@@ -1,0 +1,219 @@
+//! A small Gaussian-process regressor (RBF kernel, Cholesky solve) and the
+//! expected-improvement acquisition — the mathematical core of the
+//! BaCO-style Bayesian searcher.
+
+/// Cholesky decomposition of a symmetric positive-definite matrix
+/// (lower-triangular `L` with `L Lᵀ = A`), row-major.
+///
+/// Returns `None` if the matrix is not positive definite.
+pub fn cholesky(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = a.len();
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i][j] = sum.sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `L y = b` (forward substitution).
+pub fn solve_lower(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i][k] * y[k];
+        }
+        y[i] = sum / l[i][i];
+    }
+    y
+}
+
+/// Solves `Lᵀ x = y` (back substitution).
+pub fn solve_upper_transposed(l: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
+    let n = y.len();
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k][i] * x[k];
+        }
+        x[i] = sum / l[i][i];
+    }
+    x
+}
+
+/// Squared-exponential kernel.
+fn rbf(a: &[f64], b: &[f64], length_scale: f64) -> f64 {
+    let squared: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+    (-squared / (2.0 * length_scale * length_scale)).exp()
+}
+
+/// A fitted Gaussian process over normalized feature vectors.
+#[derive(Debug)]
+pub struct GaussianProcess {
+    xs: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    l: Vec<Vec<f64>>,
+    length_scale: f64,
+    mean: f64,
+    scale: f64,
+}
+
+impl GaussianProcess {
+    /// Fits a GP to observations `(xs, ys)`; targets are standardized
+    /// internally.
+    ///
+    /// Returns `None` with fewer than two observations or a degenerate
+    /// kernel matrix.
+    pub fn fit(xs: Vec<Vec<f64>>, ys: &[f64], length_scale: f64, noise: f64) -> Option<Self> {
+        let n = xs.len();
+        if n < 2 || ys.len() != n {
+            return None;
+        }
+        let mean = ys.iter().sum::<f64>() / n as f64;
+        let variance = ys.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / n as f64;
+        let scale = variance.sqrt().max(1e-12);
+        let standardized: Vec<f64> = ys.iter().map(|y| (y - mean) / scale).collect();
+        let mut k = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                k[i][j] = rbf(&xs[i], &xs[j], length_scale);
+            }
+            k[i][i] += noise;
+        }
+        let l = cholesky(&k)?;
+        let y = solve_lower(&l, &standardized);
+        let alpha = solve_upper_transposed(&l, &y);
+        Some(GaussianProcess { xs, alpha, l, length_scale, mean, scale })
+    }
+
+    /// Posterior mean and standard deviation at `x` (in original target
+    /// units).
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let k_star: Vec<f64> =
+            self.xs.iter().map(|xi| rbf(xi, x, self.length_scale)).collect();
+        let mean_std: f64 = k_star.iter().zip(self.alpha.iter()).map(|(a, b)| a * b).sum();
+        let v = solve_lower(&self.l, &k_star);
+        let variance = (1.0 - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
+        (self.mean + mean_std * self.scale, variance.sqrt() * self.scale)
+    }
+}
+
+/// Expected improvement (for **minimization**) of a point with posterior
+/// `(mean, std)` relative to the best observed value.
+pub fn expected_improvement(mean: f64, std: f64, best: f64) -> f64 {
+    if std <= 0.0 {
+        return 0.0;
+    }
+    let z = (best - mean) / std;
+    let (pdf, cdf) = (normal_pdf(z), normal_cdf(z));
+    (best - mean) * cdf + std * pdf
+}
+
+fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Abramowitz–Stegun approximation of the standard normal CDF.
+fn normal_cdf(z: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.2316419 * z.abs());
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let tail = normal_pdf(z) * poly;
+    if z >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_round_trip() {
+        let a = vec![vec![4.0, 2.0], vec![2.0, 3.0]];
+        let l = cholesky(&a).unwrap();
+        // L * L^T == A
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut sum = 0.0;
+                for k in 0..2 {
+                    sum += l[i][k] * l[j][k];
+                }
+                assert!((sum - a[i][j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 1.0]]; // eigenvalues 3, -1
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn solves_are_inverses() {
+        let a = vec![vec![4.0, 2.0, 0.5], vec![2.0, 3.0, 1.0], vec![0.5, 1.0, 2.0]];
+        let l = cholesky(&a).unwrap();
+        let b = vec![1.0, -2.0, 0.5];
+        let y = solve_lower(&l, &b);
+        let x = solve_upper_transposed(&l, &y);
+        // Check A x == b.
+        for i in 0..3 {
+            let ax: f64 = (0..3).map(|j| a[i][j] * x[j]).sum();
+            assert!((ax - b[i]).abs() < 1e-9, "row {i}: {ax} vs {}", b[i]);
+        }
+    }
+
+    #[test]
+    fn gp_interpolates_observations() {
+        let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let ys = [1.0, 0.0, 1.0];
+        let gp = GaussianProcess::fit(xs.clone(), &ys, 0.3, 1e-8).unwrap();
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            let (mean, std) = gp.predict(x);
+            assert!((mean - y).abs() < 1e-3, "mean {mean} vs {y}");
+            assert!(std < 0.05, "tiny uncertainty at observed points, got {std}");
+        }
+        // Uncertainty grows away from data.
+        let (_, far_std) = gp.predict(&[3.0]);
+        assert!(far_std > 0.3, "got {far_std}");
+    }
+
+    #[test]
+    fn expected_improvement_behaviour() {
+        // A point with mean below best has positive EI.
+        assert!(expected_improvement(0.5, 0.1, 1.0) > 0.4);
+        // A confident point far above best has ~zero EI.
+        assert!(expected_improvement(2.0, 0.01, 1.0) < 1e-6);
+        // Higher uncertainty → more EI, all else equal.
+        let low = expected_improvement(1.2, 0.05, 1.0);
+        let high = expected_improvement(1.2, 0.5, 1.0);
+        assert!(high > low);
+        assert_eq!(expected_improvement(1.0, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn normal_cdf_sanity() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!(normal_cdf(3.0) > 0.99);
+        assert!(normal_cdf(-3.0) < 0.01);
+    }
+}

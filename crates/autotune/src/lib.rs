@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! `td-autotune`: autotuning for Transform-script parameters (the BaCO
+//! stand-in of Case Study 5).
+//!
+//! Provides constrained parameter spaces ([`space::ParamSpace`], including
+//! divisor domains and cross-parameter constraints as in Fig. 10), and
+//! search strategies ([`search`]): random, grid, simulated annealing, and
+//! Bayesian optimization over a Gaussian-process surrogate ([`gp`]) with
+//! expected-improvement acquisition.
+
+pub mod gp;
+pub mod search;
+pub mod space;
+
+pub use gp::GaussianProcess;
+pub use search::{tune, Annealing, BayesOpt, Evaluation, GridSearch, RandomSearch, Searcher, TuneResult};
+pub use space::{divisors, Config, ParamDomain, ParamSpace, ParamValue};

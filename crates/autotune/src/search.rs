@@ -1,0 +1,344 @@
+//! Search strategies and the tuning loop.
+//!
+//! [`tune`] drives a [`Searcher`] against a user-provided objective
+//! (smaller is better), recording the full evaluation history — which is
+//! exactly what Fig. 11 plots (performance evolution over iterations).
+
+use crate::gp::{expected_improvement, GaussianProcess};
+use crate::space::{Config, ParamSpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A search strategy: proposes the next configuration to evaluate.
+pub trait Searcher {
+    /// Name for reports.
+    fn name(&self) -> &str;
+
+    /// Proposes the next configuration given the history of
+    /// `(configuration, cost)` evaluations.
+    fn suggest(
+        &mut self,
+        space: &ParamSpace,
+        history: &[(Config, f64)],
+        rng: &mut StdRng,
+    ) -> Option<Config>;
+}
+
+/// Uniform random search over valid configurations.
+#[derive(Debug, Default)]
+pub struct RandomSearch;
+
+impl Searcher for RandomSearch {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn suggest(
+        &mut self,
+        space: &ParamSpace,
+        _history: &[(Config, f64)],
+        rng: &mut StdRng,
+    ) -> Option<Config> {
+        space.sample(rng, 1000)
+    }
+}
+
+/// Exhaustive sweep in enumeration order.
+#[derive(Debug, Default)]
+pub struct GridSearch {
+    cursor: usize,
+    cached: Option<Vec<Config>>,
+}
+
+impl Searcher for GridSearch {
+    fn name(&self) -> &str {
+        "grid"
+    }
+
+    fn suggest(
+        &mut self,
+        space: &ParamSpace,
+        _history: &[(Config, f64)],
+        _rng: &mut StdRng,
+    ) -> Option<Config> {
+        let all = self.cached.get_or_insert_with(|| space.enumerate());
+        let config = all.get(self.cursor).cloned();
+        self.cursor += 1;
+        config
+    }
+}
+
+/// Simulated annealing: mutate the best-so-far, accept worse moves with a
+/// decaying probability.
+#[derive(Debug)]
+pub struct Annealing {
+    /// Initial temperature (relative to observed cost spread).
+    pub temperature: f64,
+    /// Per-step decay factor.
+    pub cooling: f64,
+}
+
+impl Default for Annealing {
+    fn default() -> Self {
+        Annealing { temperature: 1.0, cooling: 0.95 }
+    }
+}
+
+impl Searcher for Annealing {
+    fn name(&self) -> &str {
+        "annealing"
+    }
+
+    fn suggest(
+        &mut self,
+        space: &ParamSpace,
+        history: &[(Config, f64)],
+        rng: &mut StdRng,
+    ) -> Option<Config> {
+        self.temperature *= self.cooling;
+        let Some((base, _)) = history
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are comparable"))
+        else {
+            return space.sample(rng, 1000);
+        };
+        // With probability ~temperature, explore randomly; otherwise
+        // mutate one coordinate of the incumbent.
+        if rng.gen::<f64>() < self.temperature.min(0.5) {
+            return space.sample(rng, 1000);
+        }
+        for _ in 0..100 {
+            let mut candidate = base.clone();
+            let coordinate = rng.gen_range(0..space.len());
+            let domain = &space.domains()[coordinate];
+            candidate[coordinate] = domain.value(rng.gen_range(0..domain.cardinality()));
+            if space.is_valid(&candidate) {
+                return Some(candidate);
+            }
+        }
+        space.sample(rng, 1000)
+    }
+}
+
+/// BaCO-style Bayesian optimization: GP surrogate + expected improvement
+/// over a random candidate pool, with constraint-aware sampling.
+#[derive(Debug)]
+pub struct BayesOpt {
+    /// Random evaluations before the surrogate kicks in.
+    pub warmup: usize,
+    /// Candidate pool size per iteration.
+    pub pool: usize,
+    /// RBF length scale over normalized features.
+    pub length_scale: f64,
+}
+
+impl Default for BayesOpt {
+    fn default() -> Self {
+        BayesOpt { warmup: 5, pool: 128, length_scale: 0.25 }
+    }
+}
+
+impl Searcher for BayesOpt {
+    fn name(&self) -> &str {
+        "bayesian"
+    }
+
+    fn suggest(
+        &mut self,
+        space: &ParamSpace,
+        history: &[(Config, f64)],
+        rng: &mut StdRng,
+    ) -> Option<Config> {
+        if history.len() < self.warmup {
+            return space.sample(rng, 1000);
+        }
+        let xs: Vec<Vec<f64>> = history.iter().map(|(c, _)| space.encode(c)).collect();
+        let ys: Vec<f64> = history.iter().map(|(_, y)| *y).collect();
+        let Some(gp) = GaussianProcess::fit(xs, &ys, self.length_scale, 1e-6) else {
+            return space.sample(rng, 1000);
+        };
+        let best = ys.iter().copied().fold(f64::INFINITY, f64::min);
+        let mut best_candidate: Option<(Config, f64)> = None;
+        for _ in 0..self.pool {
+            let Some(candidate) = space.sample(rng, 100) else { continue };
+            // Skip already-evaluated points.
+            if history.iter().any(|(c, _)| *c == candidate) {
+                continue;
+            }
+            let (mean, std) = gp.predict(&space.encode(&candidate));
+            let ei = expected_improvement(mean, std, best);
+            if best_candidate.as_ref().is_none_or(|(_, best_ei)| ei > *best_ei) {
+                best_candidate = Some((candidate, ei));
+            }
+        }
+        best_candidate.map(|(c, _)| c).or_else(|| space.sample(rng, 1000))
+    }
+}
+
+/// One evaluation in a tuning run.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// The configuration evaluated.
+    pub config: Config,
+    /// Its cost (smaller is better).
+    pub cost: f64,
+    /// Best cost seen up to and including this evaluation.
+    pub best_so_far: f64,
+}
+
+/// Result of a tuning run.
+#[derive(Clone, Debug)]
+pub struct TuneResult {
+    /// All evaluations, in order — the Fig. 11 series.
+    pub evaluations: Vec<Evaluation>,
+}
+
+impl TuneResult {
+    /// The best evaluation, if any.
+    pub fn best(&self) -> Option<&Evaluation> {
+        self.evaluations
+            .iter()
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("costs are comparable"))
+    }
+}
+
+/// Runs `searcher` for `budget` evaluations of `objective` (smaller is
+/// better; return `None` to mark a configuration as failed — it is skipped
+/// without consuming budget quality).
+///
+/// # Examples
+///
+/// ```
+/// use td_autotune::{divisors, tune, BayesOpt, ParamDomain, ParamSpace};
+/// let space = ParamSpace::new().param("tile", ParamDomain::Ordinal(divisors(64)));
+/// let mut searcher = BayesOpt::default();
+/// let result = tune(&space, &mut searcher, 12, 0, |c| {
+///     let t = c[0].as_int()? as f64;
+///     Some((t - 16.0).abs()) // optimum at tile = 16
+/// });
+/// assert_eq!(result.best().expect("evaluated").cost, 0.0);
+/// ```
+pub fn tune(
+    space: &ParamSpace,
+    searcher: &mut dyn Searcher,
+    budget: usize,
+    seed: u64,
+    mut objective: impl FnMut(&Config) -> Option<f64>,
+) -> TuneResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut history: Vec<(Config, f64)> = Vec::new();
+    let mut evaluations = Vec::new();
+    let mut best = f64::INFINITY;
+    for _ in 0..budget {
+        let Some(config) = searcher.suggest(space, &history, &mut rng) else { break };
+        let Some(cost) = objective(&config) else { continue };
+        best = best.min(cost);
+        history.push((config.clone(), cost));
+        evaluations.push(Evaluation { config, cost, best_so_far: best });
+    }
+    TuneResult { evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{divisors, ParamDomain, ParamValue};
+
+    fn space() -> ParamSpace {
+        ParamSpace::new()
+            .param("ti", ParamDomain::Ordinal(divisors(196)))
+            .param("tj", ParamDomain::Ordinal(divisors(256)))
+    }
+
+    /// Synthetic objective with an interior optimum at (28, 32).
+    fn objective(config: &Config) -> Option<f64> {
+        let ti = config[0].as_int()? as f64;
+        let tj = config[1].as_int()? as f64;
+        Some((ti.ln() - 28f64.ln()).powi(2) + (tj.ln() - 32f64.ln()).powi(2) + 1.0)
+    }
+
+    #[test]
+    fn grid_finds_the_optimum_eventually() {
+        let space = space();
+        let mut searcher = GridSearch::default();
+        let result = tune(&space, &mut searcher, 10_000, 0, objective);
+        let best = result.best().unwrap();
+        assert_eq!(best.config[0], ParamValue::Int(28));
+        assert_eq!(best.config[1], ParamValue::Int(32));
+        assert!((best.cost - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let space = space();
+        let mut searcher = RandomSearch;
+        let result = tune(&space, &mut searcher, 40, 3, objective);
+        assert!(!result.evaluations.is_empty());
+        for window in result.evaluations.windows(2) {
+            assert!(window[1].best_so_far <= window[0].best_so_far);
+        }
+    }
+
+    #[test]
+    fn bayesian_converges_near_the_optimum() {
+        let space = space();
+        let mut searcher = BayesOpt::default();
+        let result = tune(&space, &mut searcher, 30, 42, objective);
+        let best = result.best().unwrap();
+        assert!(
+            best.cost < 1.6,
+            "BO should get close to the optimum (1.0), got {}",
+            best.cost
+        );
+    }
+
+    #[test]
+    fn bayesian_beats_random_on_average() {
+        let space = space();
+        let budget = 25;
+        let mut bayes_total = 0.0;
+        let mut random_total = 0.0;
+        for seed in 0..10 {
+            let mut bayes = BayesOpt::default();
+            bayes_total += tune(&space, &mut bayes, budget, seed, objective)
+                .best()
+                .unwrap()
+                .cost;
+            let mut random = RandomSearch;
+            random_total += tune(&space, &mut random, budget, seed + 1000, objective)
+                .best()
+                .unwrap()
+                .cost;
+        }
+        assert!(
+            bayes_total <= random_total * 1.05,
+            "bayes {bayes_total} vs random {random_total}"
+        );
+    }
+
+    #[test]
+    fn annealing_improves_over_time() {
+        let space = space();
+        let mut searcher = Annealing::default();
+        let result = tune(&space, &mut searcher, 60, 9, objective);
+        let best = result.best().unwrap();
+        assert!(best.cost < 2.5, "got {}", best.cost);
+    }
+
+    #[test]
+    fn failed_configs_are_skipped() {
+        let space = space();
+        let mut searcher = RandomSearch;
+        let mut calls = 0;
+        let result = tune(&space, &mut searcher, 20, 5, |c| {
+            calls += 1;
+            if calls % 2 == 0 {
+                None
+            } else {
+                objective(c)
+            }
+        });
+        assert!(result.evaluations.len() < 20);
+        assert!(!result.evaluations.is_empty());
+    }
+}

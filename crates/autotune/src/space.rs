@@ -1,0 +1,296 @@
+//! Constrained parameter spaces (the Fig. 10 vocabulary: ordinal tile-size
+//! parameters whose values must divide loop extents, booleans gated by
+//! divisibility constraints, …).
+
+use rand::Rng;
+use std::fmt;
+
+/// One parameter value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParamValue {
+    /// Integer-valued (ordinal) parameter.
+    Int(i64),
+    /// Boolean parameter.
+    Bool(bool),
+    /// Categorical parameter.
+    Str(String),
+}
+
+impl ParamValue {
+    /// Integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ParamValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ParamValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Int(v) => write!(f, "{v}"),
+            ParamValue::Bool(b) => write!(f, "{b}"),
+            ParamValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A concrete assignment, one value per parameter (in space order).
+pub type Config = Vec<ParamValue>;
+
+/// The domain of one parameter.
+#[derive(Clone, Debug)]
+pub enum ParamDomain {
+    /// A finite ordered set of integers (e.g. the divisors of 196).
+    Ordinal(Vec<i64>),
+    /// True/false.
+    Bool,
+    /// A finite set of labels.
+    Categorical(Vec<String>),
+}
+
+impl ParamDomain {
+    /// Number of values in the domain.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            ParamDomain::Ordinal(vs) => vs.len(),
+            ParamDomain::Bool => 2,
+            ParamDomain::Categorical(vs) => vs.len(),
+        }
+    }
+
+    /// The `index`-th value.
+    pub fn value(&self, index: usize) -> ParamValue {
+        match self {
+            ParamDomain::Ordinal(vs) => ParamValue::Int(vs[index]),
+            ParamDomain::Bool => ParamValue::Bool(index == 1),
+            ParamDomain::Categorical(vs) => ParamValue::Str(vs[index].clone()),
+        }
+    }
+
+    /// Index of a value within the domain.
+    pub fn index_of(&self, value: &ParamValue) -> Option<usize> {
+        match (self, value) {
+            (ParamDomain::Ordinal(vs), ParamValue::Int(v)) => vs.iter().position(|x| x == v),
+            (ParamDomain::Bool, ParamValue::Bool(b)) => Some(*b as usize),
+            (ParamDomain::Categorical(vs), ParamValue::Str(s)) => {
+                vs.iter().position(|x| x == s)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Constraint over a full configuration.
+pub type Constraint = Box<dyn Fn(&Config) -> bool + Send + Sync>;
+
+/// A named, constrained search space.
+pub struct ParamSpace {
+    names: Vec<String>,
+    domains: Vec<ParamDomain>,
+    constraints: Vec<Constraint>,
+}
+
+impl ParamSpace {
+    /// Creates an empty space.
+    pub fn new() -> ParamSpace {
+        ParamSpace { names: Vec::new(), domains: Vec::new(), constraints: Vec::new() }
+    }
+
+    /// Adds a parameter (builder-style).
+    pub fn param(mut self, name: &str, domain: ParamDomain) -> Self {
+        self.names.push(name.to_owned());
+        self.domains.push(domain);
+        self
+    }
+
+    /// Adds a constraint over full configurations (builder-style).
+    pub fn constraint(mut self, predicate: impl Fn(&Config) -> bool + Send + Sync + 'static) -> Self {
+        self.constraints.push(Box::new(predicate));
+        self
+    }
+
+    /// Parameter names, in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Parameter domains, in order.
+    pub fn domains(&self) -> &[ParamDomain] {
+        &self.domains
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether the space has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Whether a configuration satisfies all constraints.
+    pub fn is_valid(&self, config: &Config) -> bool {
+        self.constraints.iter().all(|c| c(config))
+    }
+
+    /// Total number of configurations ignoring constraints.
+    pub fn cardinality(&self) -> usize {
+        self.domains.iter().map(ParamDomain::cardinality).product()
+    }
+
+    /// Enumerates every *valid* configuration (use only for small spaces).
+    pub fn enumerate(&self) -> Vec<Config> {
+        let mut out = Vec::new();
+        let mut indices = vec![0usize; self.domains.len()];
+        'outer: loop {
+            let config: Config = indices
+                .iter()
+                .zip(self.domains.iter())
+                .map(|(&i, d)| d.value(i))
+                .collect();
+            if self.is_valid(&config) {
+                out.push(config);
+            }
+            // Odometer increment.
+            for position in (0..indices.len()).rev() {
+                indices[position] += 1;
+                if indices[position] < self.domains[position].cardinality() {
+                    continue 'outer;
+                }
+                indices[position] = 0;
+            }
+            break;
+        }
+        out
+    }
+
+    /// Samples a uniformly random *valid* configuration (rejection
+    /// sampling, up to `attempts`).
+    pub fn sample(&self, rng: &mut impl Rng, attempts: usize) -> Option<Config> {
+        for _ in 0..attempts {
+            let config: Config = self
+                .domains
+                .iter()
+                .map(|d| d.value(rng.gen_range(0..d.cardinality())))
+                .collect();
+            if self.is_valid(&config) {
+                return Some(config);
+            }
+        }
+        None
+    }
+
+    /// Encodes a configuration as normalized f64 features (for the GP).
+    pub fn encode(&self, config: &Config) -> Vec<f64> {
+        config
+            .iter()
+            .zip(self.domains.iter())
+            .map(|(value, domain)| {
+                let index = domain.index_of(value).unwrap_or(0) as f64;
+                let n = (domain.cardinality().max(2) - 1) as f64;
+                index / n
+            })
+            .collect()
+    }
+}
+
+impl Default for ParamSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for ParamSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParamSpace")
+            .field("names", &self.names)
+            .field("constraints", &self.constraints.len())
+            .finish()
+    }
+}
+
+/// All positive divisors of `n`, ascending — the natural tile-size domain
+/// (Fig. 10's "tile sizes must divide their dimension").
+pub fn divisors(n: i64) -> Vec<i64> {
+    let mut out: Vec<i64> = (1..=n).filter(|d| n % d == 0).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn fig10_space() -> ParamSpace {
+        // Tile sizes must divide their dimensions; vectorization is
+        // disabled unless the innermost trip count is divisible by 8.
+        ParamSpace::new()
+            .param("TILE_I", ParamDomain::Ordinal(divisors(196)))
+            .param("TILE_J", ParamDomain::Ordinal(divisors(256)))
+            .param("VECTORIZE", ParamDomain::Bool)
+            .constraint(|c| {
+                let tile_j = c[1].as_int().unwrap_or(1);
+                let vectorize = c[2].as_bool().unwrap_or(false);
+                !vectorize || tile_j % 8 == 0
+            })
+    }
+
+    #[test]
+    fn divisors_are_exact() {
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(196).len(), 9); // 1,2,4,7,14,28,49,98,196
+    }
+
+    #[test]
+    fn constraints_filter_enumeration() {
+        let space = fig10_space();
+        let all = space.cardinality();
+        let valid = space.enumerate().len();
+        assert!(valid < all, "constraint removes vectorized-but-indivisible configs");
+        for config in space.enumerate() {
+            assert!(space.is_valid(&config));
+        }
+    }
+
+    #[test]
+    fn sampling_respects_constraints() {
+        let space = fig10_space();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let config = space.sample(&mut rng, 100).expect("space is satisfiable");
+            assert!(space.is_valid(&config));
+        }
+    }
+
+    #[test]
+    fn encoding_is_normalized() {
+        let space = fig10_space();
+        for config in space.enumerate().into_iter().take(20) {
+            for feature in space.encode(&config) {
+                assert!((0.0..=1.0).contains(&feature));
+            }
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_space_sampling_gives_none() {
+        let space = ParamSpace::new()
+            .param("x", ParamDomain::Ordinal(vec![1, 2, 3]))
+            .constraint(|_| false);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert!(space.sample(&mut rng, 10).is_none());
+        assert!(space.enumerate().is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! Regenerates **Case Study 3**: detecting a counter-productive
+//! optimization pattern by binary search over the pattern set, driven from
+//! Transform scripts.
+//!
+//! ```text
+//! cargo run -p td-bench --release --bin cs3_pattern_search [-- --blocks N]
+//! ```
+
+use td_bench::cs3;
+
+/// The paper's per-iteration cost when the pattern set lives in C++: a
+/// fresh compiler link + hermetic packaging (31 s + 164 s measured on
+/// their 4x24-core machine, ~10 minutes wall including compilation).
+const REBUILD_SECONDS_PAPER: f64 = 600.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let blocks = args
+        .iter()
+        .position(|a| a == "--blocks")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
+    println!("Case Study 3: hunting a counter-productive pattern among {} candidates.\n", td_machine::pattern_names().len());
+    let outcome = cs3::binary_search_culprit(blocks);
+
+    println!(
+        "baseline (no extra patterns):   {:>12.0} simulated cycles",
+        outcome.baseline_cost
+    );
+    println!(
+        "all patterns enabled:           {:>12.0} simulated cycles ({:+.1}% — the regression)",
+        outcome.full_cost,
+        (outcome.full_cost / outcome.baseline_cost - 1.0) * 100.0
+    );
+    println!("\nbinary search over the pattern list (one Transform-script re-run per step):");
+    let rows: Vec<Vec<String>> = outcome
+        .steps
+        .iter()
+        .enumerate()
+        .map(|(i, step)| {
+            vec![
+                (i + 1).to_string(),
+                step.tested.len().to_string(),
+                format!("{:.0}", step.cost),
+                if step.regression { "yes -> recurse into this half" } else { "no -> other half" }
+                    .to_owned(),
+                format!("{:.3}", step.compile_seconds),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        td_bench::render_table(
+            &["Step", "Patterns tested", "Cost", "Regression present?", "Iter time (s)"],
+            &rows
+        )
+    );
+    println!("\nculprit: '{}'", outcome.culprit);
+    assert_eq!(outcome.culprit, td_machine::CULPRIT);
+
+    let total_iteration_time: f64 = outcome.steps.iter().map(|s| s.compile_seconds).sum();
+    let steps = outcome.steps.len() as f64;
+    println!(
+        "\nsearch cost with Transform scripts: {} steps x {:.3} s avg = {:.2} s total",
+        outcome.steps.len(),
+        total_iteration_time / steps,
+        total_iteration_time
+    );
+    println!(
+        "same search with C++ pattern edits: {} steps x ~{:.0} s rebuild = ~{:.0} s \
+         (the paper's 31 s link + 164 s packaging per iteration, plus compilation)",
+        outcome.steps.len(),
+        REBUILD_SECONDS_PAPER,
+        steps * REBUILD_SECONDS_PAPER
+    );
+    println!("\nverification: removing '{}' from the set restores performance:", outcome.culprit);
+    let without: Vec<&str> = td_machine::pattern_names()
+        .into_iter()
+        .filter(|&n| n != outcome.culprit)
+        .collect();
+    let (fixed_cost, _) = cs3::cost_with_patterns(blocks, &without);
+    println!(
+        "  all-but-culprit: {:.0} cycles ({:+.1}% vs baseline)",
+        fixed_cost,
+        (fixed_cost / outcome.baseline_cost - 1.0) * 100.0
+    );
+}

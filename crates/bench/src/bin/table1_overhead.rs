@@ -1,0 +1,59 @@
+//! Regenerates **Table 1** (and the **Figure 6** series with `--csv`):
+//! compile-time overhead of driving the TOSA→loops pipeline through the
+//! Transform interpreter vs. the pass manager on five whole-model graphs.
+//!
+//! ```text
+//! cargo run -p td-bench --release --bin table1_overhead [-- --csv] [--repeats N]
+//! ```
+
+use td_bench::table1;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let repeats = args
+        .iter()
+        .position(|a| a == "--repeats")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9);
+
+    eprintln!("measuring Table 1 ({repeats} repeats per cell, best-of reported)...");
+    let rows = table1::measure(repeats);
+
+    if csv {
+        // Figure 6 series: model, driver, compile time.
+        println!("model,driver,compile_ms");
+        for row in &rows {
+            println!("{},pass-manager,{:.3}", row.model, row.pass_manager_ms);
+            println!("{},transform,{:.3}", row.model, row.transform_ms);
+        }
+        return;
+    }
+
+    println!("Table 1: ML models compiled through the TOSA->Linalg->loops pipeline.");
+    println!("Identical pipelines; the Transform column interprets a generated script");
+    println!("of transform.apply_registered_pass ops (the paper's worst case).\n");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.model.to_owned(),
+                row.ops.to_string(),
+                format!("{:.1}", row.pass_manager_ms),
+                format!("{:.1}", row.transform_ms),
+                format!("{:+.1}%", row.overhead_percent()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        td_bench::render_table(
+            &["Model", "# Ops", "MLIR-style pass manager (ms)", "Transform (ms)", "Overhead"],
+            &table_rows
+        )
+    );
+    let max_overhead =
+        rows.iter().map(table1::Table1Row::overhead_percent).fold(f64::NEG_INFINITY, f64::max);
+    println!("\nmax overhead: {max_overhead:+.1}% (paper reports <= 2.6%)");
+}

@@ -1,0 +1,77 @@
+//! `td-bench`: shared harness code for regenerating every table and figure
+//! of the paper. The binaries in `src/bin/` print the rows/series; this
+//! library holds the workload builders and measurement loops so tests and
+//! Criterion benches reuse them.
+
+pub mod cs3;
+pub mod cs4;
+pub mod table1;
+
+use td_ir::Context;
+
+/// A context with every dialect (payload + transform) registered.
+pub fn full_context() -> Context {
+    let mut ctx = Context::new();
+    td_dialects::register_all_dialects(&mut ctx);
+    td_transform::register_transform_dialect(&mut ctx);
+    ctx
+}
+
+/// A pass registry with every pass registered.
+pub fn full_pass_registry() -> td_ir::PassRegistry {
+    let mut registry = td_ir::PassRegistry::new();
+    td_dialects::passes::register_all_passes(&mut registry);
+    registry
+}
+
+/// Renders a simple aligned table to a string.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("| ");
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<width$} | ", cell, width = widths[i]));
+        }
+        line.trim_end().to_owned()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| (*s).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&format!(
+        "|{}|",
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+    ));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let table = render_table(
+            &["Model", "Ops"],
+            &[
+                vec!["Squeezenet".into(), "126".into()],
+                vec!["GPT-2".into(), "2861".into()],
+            ],
+        );
+        assert!(table.contains("| Model"));
+        assert!(table.contains("| Squeezenet |"));
+        assert!(table.lines().count() == 4);
+    }
+}

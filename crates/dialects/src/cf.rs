@@ -1,0 +1,223 @@
+//! The `cf` dialect: classical branch-based control flow.
+//!
+//! Successor arguments follow a flat-operand convention: all operands live
+//! in the op's single operand list, and the `succ_arg_counts` attribute
+//! partitions the tail of that list among successors. `cf.cond_br`'s first
+//! operand is the condition.
+
+use td_ir::{Attribute, BlockId, Context, OpId, OpSpec, OpTraits, TypeKind, ValueId};
+use td_support::{Diagnostic, Location, Symbol};
+
+/// Registers the cf dialect.
+pub fn register(ctx: &mut Context) {
+    ctx.registry.note_dialect("cf");
+    ctx.registry.register(
+        OpSpec::new("cf.br", "unconditional branch")
+            .with_traits(OpTraits::TERMINATOR)
+            .with_verify(verify_br),
+    );
+    ctx.registry.register(
+        OpSpec::new("cf.cond_br", "conditional branch")
+            .with_traits(OpTraits::TERMINATOR)
+            .with_verify(verify_cond_br),
+    );
+}
+
+fn err(ctx: &Context, op: OpId, message: &str) -> Diagnostic {
+    Diagnostic::error(ctx.op(op).location.clone(), format!("'{}' op {message}", ctx.op(op).name))
+}
+
+/// Reads the per-successor operand counts.
+fn succ_arg_counts(ctx: &Context, op: OpId) -> Vec<usize> {
+    match ctx.op(op).attr("succ_arg_counts").and_then(Attribute::as_int_array) {
+        Some(counts) => counts.into_iter().map(|c| c.max(0) as usize).collect(),
+        None => vec![0; ctx.op(op).successors().len()],
+    }
+}
+
+/// Returns, for each successor of the terminator, the values forwarded to
+/// that successor's block arguments.
+pub fn successor_args(ctx: &Context, op: OpId) -> Vec<Vec<ValueId>> {
+    let counts = succ_arg_counts(ctx, op);
+    let leading = if ctx.op(op).name.as_str() == "cf.cond_br" { 1 } else { 0 };
+    let operands = &ctx.op(op).operands()[leading..];
+    let mut out = Vec::new();
+    let mut cursor = 0;
+    for count in counts {
+        out.push(operands[cursor..cursor + count].to_vec());
+        cursor += count;
+    }
+    out
+}
+
+fn verify_succ_args(ctx: &Context, op: OpId, leading: usize) -> Result<(), Diagnostic> {
+    let counts = succ_arg_counts(ctx, op);
+    if counts.len() != ctx.op(op).successors().len() {
+        return Err(err(ctx, op, "succ_arg_counts length differs from successor count"));
+    }
+    let total: usize = counts.iter().sum();
+    if leading + total != ctx.op(op).operands().len() {
+        return Err(err(ctx, op, "operand count does not match successor argument counts"));
+    }
+    for (succ_index, args) in successor_args(ctx, op).into_iter().enumerate() {
+        let block = ctx.op(op).successors()[succ_index];
+        let params = ctx.block(block).args();
+        if params.len() != args.len() {
+            return Err(err(ctx, op, "successor argument count differs from block arguments"));
+        }
+        for (&a, &p) in args.iter().zip(params.iter()) {
+            if ctx.value_type(a) != ctx.value_type(p) {
+                return Err(err(ctx, op, "successor argument type differs from block argument"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn verify_br(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
+    if ctx.op(op).successors().len() != 1 {
+        return Err(err(ctx, op, "expects exactly one successor"));
+    }
+    verify_succ_args(ctx, op, 0)
+}
+
+fn verify_cond_br(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
+    let data = ctx.op(op);
+    if data.successors().len() != 2 {
+        return Err(err(ctx, op, "expects exactly two successors"));
+    }
+    if data.operands().is_empty()
+        || !matches!(ctx.type_kind(ctx.value_type(data.operands()[0])), TypeKind::Integer(1))
+    {
+        return Err(err(ctx, op, "first operand must be an i1 condition"));
+    }
+    verify_succ_args(ctx, op, 1)
+}
+
+/// Builds `cf.br ^dest(args)` at the end of `block`.
+pub fn build_br(ctx: &mut Context, block: BlockId, dest: BlockId, args: Vec<ValueId>) -> OpId {
+    let counts = Attribute::int_array([args.len() as i64]);
+    let op = ctx.create_op(
+        Location::name("cf.br"),
+        "cf.br",
+        args,
+        vec![],
+        vec![(Symbol::new("succ_arg_counts"), counts)],
+        0,
+    );
+    ctx.append_op(block, op);
+    ctx.set_successors(op, vec![dest]);
+    op
+}
+
+/// Builds `cf.cond_br %cond, ^then(then_args), ^else(else_args)` at the end
+/// of `block`.
+pub fn build_cond_br(
+    ctx: &mut Context,
+    block: BlockId,
+    cond: ValueId,
+    then_dest: BlockId,
+    then_args: Vec<ValueId>,
+    else_dest: BlockId,
+    else_args: Vec<ValueId>,
+) -> OpId {
+    let counts = Attribute::int_array([then_args.len() as i64, else_args.len() as i64]);
+    let mut operands = vec![cond];
+    operands.extend(then_args);
+    operands.extend(else_args);
+    let op = ctx.create_op(
+        Location::name("cf.cond_br"),
+        "cf.cond_br",
+        operands,
+        vec![],
+        vec![(Symbol::new("succ_arg_counts"), counts)],
+        0,
+    );
+    ctx.append_op(block, op);
+    ctx.set_successors(op, vec![then_dest, else_dest]);
+    op
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_ir::verify::verify;
+    use td_ir::OpBuilder;
+
+    fn ctx() -> Context {
+        let mut ctx = Context::new();
+        crate::builtin::register(&mut ctx);
+        crate::arith::register(&mut ctx);
+        register(&mut ctx);
+        ctx
+    }
+
+    fn cfg_fixture() -> (Context, OpId) {
+        let mut ctx = ctx();
+        let module = ctx.create_module(Location::unknown());
+        let body = ctx.sole_block(module, 0);
+        let wrap = ctx.create_op(Location::unknown(), "test.wrap", vec![], vec![], vec![], 1);
+        ctx.append_op(body, wrap);
+        let region = ctx.op(wrap).regions()[0];
+        let index = ctx.index_type();
+        let entry = ctx.append_block(region, &[]);
+        let header = ctx.append_block(region, &[index]);
+        let exit = ctx.append_block(region, &[]);
+        let (zero, cond) = {
+            let mut b = OpBuilder::at_end(&mut ctx, entry);
+            let zero = b.const_index(0);
+            let i1 = b.ctx().i1_type();
+            let cond_op = b
+                .op("arith.cmpi")
+                .operands([zero, zero])
+                .attr("predicate", "slt")
+                .results(vec![i1])
+                .build();
+            let cond = b.ctx().op(cond_op).results()[0];
+            (zero, cond)
+        };
+        build_br(&mut ctx, entry, header, vec![zero]);
+        build_cond_br(&mut ctx, header, cond, exit, vec![], header, vec![zero]);
+        let done = ctx.create_op(Location::unknown(), "func.return", vec![], vec![], vec![], 0);
+        crate::func::register(&mut ctx);
+        ctx.append_op(exit, done);
+        (ctx, module)
+    }
+
+    #[test]
+    fn branches_verify() {
+        let (ctx, module) = cfg_fixture();
+        assert!(verify(&ctx, module).is_ok(), "{:?}", verify(&ctx, module));
+    }
+
+    #[test]
+    fn successor_args_partition_operands() {
+        let (ctx, module) = cfg_fixture();
+        let cond_br = ctx
+            .walk_nested(module)
+            .into_iter()
+            .find(|&o| ctx.op(o).name.as_str() == "cf.cond_br")
+            .unwrap();
+        let args = successor_args(&ctx, cond_br);
+        assert_eq!(args.len(), 2);
+        assert!(args[0].is_empty());
+        assert_eq!(args[1].len(), 1);
+    }
+
+    #[test]
+    fn arg_count_mismatch_rejected() {
+        let (mut ctx, module) = cfg_fixture();
+        // Break the cond_br by dropping its counts attribute; the single
+        // trailing operand can no longer be matched to block args.
+        let cond_br = ctx
+            .walk_nested(module)
+            .into_iter()
+            .find(|&o| ctx.op(o).name.as_str() == "cf.cond_br")
+            .unwrap();
+        ctx.remove_attr(cond_br, "succ_arg_counts");
+        let errs = verify(&ctx, module).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message().contains("does not match successor argument counts")));
+    }
+}

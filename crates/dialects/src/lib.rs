@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! `td-dialects`: payload dialects and lowering passes for the
+//! Transform-dialect reproduction.
+//!
+//! Dialects: `builtin`, `arith`, `func`, `scf`, `cf`, `memref`, `affine`,
+//! `llvm`, `tosa`, `linalg`. Passes (in [`passes`]) include the seven
+//! lowering passes of the paper's Case Study 2, `lower-affine`,
+//! `canonicalize`/`cse`, and the TOSA→Linalg→loops pipeline used by the
+//! Table 1 compile-time experiment.
+
+pub mod affine;
+pub mod arith;
+pub mod builtin;
+pub mod cf;
+pub mod func;
+pub mod linalg;
+pub mod math;
+pub mod llvm;
+pub mod memref;
+pub mod scf;
+pub mod tensor;
+pub mod passes;
+pub mod tosa;
+
+/// Registers every dialect in this crate with `ctx`.
+pub fn register_all_dialects(ctx: &mut td_ir::Context) {
+    builtin::register(ctx);
+    arith::register(ctx);
+    func::register(ctx);
+    scf::register(ctx);
+    cf::register(ctx);
+    memref::register(ctx);
+    affine::register(ctx);
+    llvm::register(ctx);
+    tosa::register(ctx);
+    linalg::register(ctx);
+    tensor::register(ctx);
+    math::register(ctx);
+}

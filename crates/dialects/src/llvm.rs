@@ -1,0 +1,82 @@
+//! The `llvm` dialect (subset): the final lowering target of the Case
+//! Study 2 pipeline.
+//!
+//! Control flow follows the same flat-operand successor-argument convention
+//! as the `cf` dialect (see [`crate::cf`]).
+
+use td_ir::{Context, OpSpec, OpTraits};
+
+/// Registers the llvm dialect.
+pub fn register(ctx: &mut Context) {
+    ctx.registry.note_dialect("llvm");
+    for (name, summary) in [
+        ("llvm.add", "integer addition"),
+        ("llvm.sub", "integer subtraction"),
+        ("llvm.mul", "integer multiplication"),
+        ("llvm.sdiv", "signed division"),
+        ("llvm.srem", "signed remainder"),
+        ("llvm.udiv", "unsigned division"),
+        ("llvm.shl", "shift left"),
+        ("llvm.fadd", "float addition"),
+        ("llvm.fsub", "float subtraction"),
+        ("llvm.fmul", "float multiplication"),
+        ("llvm.fdiv", "float division"),
+        ("llvm.icmp", "integer comparison"),
+        ("llvm.select", "value selection"),
+        ("llvm.bitcast", "bit-preserving cast"),
+        ("llvm.ptrtoint", "pointer to integer"),
+        ("llvm.inttoptr", "integer to pointer"),
+        ("llvm.getelementptr", "pointer arithmetic"),
+        ("llvm.extractvalue", "struct field read"),
+        ("llvm.insertvalue", "struct field write"),
+        ("llvm.mlir.constant", "constant"),
+        ("llvm.mlir.undef", "undefined value"),
+    ] {
+        ctx.registry.register(OpSpec::new(name, summary).with_traits(OpTraits::PURE));
+    }
+    ctx.registry.register(OpSpec::new("llvm.alloca", "stack allocation").with_traits(OpTraits::ALLOCATES));
+    ctx.registry.register(OpSpec::new("llvm.load", "memory read"));
+    ctx.registry.register(OpSpec::new("llvm.store", "memory write"));
+    ctx.registry.register(OpSpec::new("llvm.call", "function call"));
+    ctx.registry.register(
+        OpSpec::new("llvm.func", "LLVM function")
+            .with_traits(OpTraits::ISOLATED_FROM_ABOVE | OpTraits::SYMBOL),
+    );
+    ctx.registry
+        .register(OpSpec::new("llvm.return", "function return").with_traits(OpTraits::TERMINATOR));
+    ctx.registry.register(OpSpec::new("llvm.br", "branch").with_traits(OpTraits::TERMINATOR));
+    ctx.registry
+        .register(OpSpec::new("llvm.cond_br", "conditional branch").with_traits(OpTraits::TERMINATOR));
+    ctx.registry
+        .register(OpSpec::new("llvm.unreachable", "unreachable").with_traits(OpTraits::TERMINATOR));
+}
+
+/// Whether an op name belongs to the llvm dialect.
+pub fn is_llvm_op(name: &str) -> bool {
+    name.starts_with("llvm.")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_support::Symbol;
+
+    #[test]
+    fn registers_core_ops() {
+        let mut ctx = Context::new();
+        register(&mut ctx);
+        for name in ["llvm.add", "llvm.load", "llvm.func", "llvm.getelementptr", "llvm.br"] {
+            assert!(ctx.registry.is_registered(Symbol::new(name)), "{name} missing");
+        }
+        assert!(ctx
+            .registry
+            .traits_of(Symbol::new("llvm.return"))
+            .contains(OpTraits::TERMINATOR));
+    }
+
+    #[test]
+    fn name_predicate() {
+        assert!(is_llvm_op("llvm.add"));
+        assert!(!is_llvm_op("arith.addi"));
+    }
+}

@@ -1,0 +1,239 @@
+//! `linalg-bufferize`: converts tensor-form IR into memref form.
+//!
+//! A deliberately simple whole-function bufferization: every tensor type
+//! becomes the identity-layout memref of the same shape, `tensor.empty`
+//! and `tosa.const` become allocations (constants keep their data in an
+//! `init` attribute), destination-passing linalg ops lose their result
+//! (uses are redirected to the destination operand), and the remaining
+//! `tensor` plumbing ops become explicit `linalg.copy`-style ops.
+
+use td_ir::{Attribute, Context, OpId, Pass, TypeId, TypeKind};
+use td_support::{Diagnostic, Symbol};
+
+/// The `linalg-bufferize` pass.
+#[derive(Debug, Default)]
+pub struct LinalgBufferizePass;
+
+impl Pass for LinalgBufferizePass {
+    fn name(&self) -> &str {
+        "linalg-bufferize"
+    }
+
+    fn run(&self, ctx: &mut Context, target: OpId) -> Result<(), Diagnostic> {
+        // 1. Flip every tensor-typed value (results and block args) to the
+        //    equivalent memref type.
+        let all_ops = ctx.walk_nested(target);
+        for &op in &all_ops {
+            let results = ctx.op(op).results().to_vec();
+            for value in results {
+                let ty = ctx.value_type(value);
+                if let Some(new_ty) = tensor_to_memref(ctx, ty) {
+                    ctx.set_value_type(value, new_ty);
+                }
+            }
+            let regions = ctx.op(op).regions().to_vec();
+            for region in regions {
+                let blocks = ctx.region(region).blocks().to_vec();
+                for block in blocks {
+                    let args = ctx.block(block).args().to_vec();
+                    for arg in args {
+                        let ty = ctx.value_type(arg);
+                        if let Some(new_ty) = tensor_to_memref(ctx, ty) {
+                            ctx.set_value_type(arg, new_ty);
+                        }
+                    }
+                }
+            }
+            // Function types in attributes.
+            let attrs = ctx.op(op).attributes().to_vec();
+            for (key, value) in attrs {
+                if let Attribute::Type(ty) = value {
+                    if let Some(new_ty) = convert_type_deep(ctx, ty) {
+                        ctx.set_attr(op, key.as_str(), Attribute::Type(new_ty));
+                    }
+                }
+            }
+        }
+
+        // 2. Restructure ops.
+        for op in all_ops {
+            if !ctx.is_live(op) {
+                continue;
+            }
+            let name = ctx.op(op).name.as_str().to_owned();
+            match name.as_str() {
+                "tensor.empty" => ctx.set_op_name(op, "memref.alloc"),
+                "tosa.const" => {
+                    // Keep the constant data: memref.alloc {init = ...}.
+                    let data = ctx
+                        .op(op)
+                        .attr("splat")
+                        .or_else(|| ctx.op(op).attr("value"))
+                        .cloned()
+                        .unwrap_or(Attribute::float(0.0));
+                    ctx.set_op_name(op, "memref.alloc");
+                    ctx.set_attr(op, "init", data);
+                }
+                _ if name.starts_with("linalg.") => {
+                    drop_result_use_dest(ctx, op);
+                }
+                "tensor.reshape" | "tensor.pad" | "tensor.extract_slice" | "tensor.concat"
+                | "tensor.gather" | "tensor.cast" => {
+                    lower_plumbing_to_copy(ctx, op, &name);
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `tensor<AxBxT>` → `memref<AxBxT>`; `None` when not a tensor.
+fn tensor_to_memref(ctx: &mut Context, ty: TypeId) -> Option<TypeId> {
+    let TypeKind::Tensor { shape, element } = ctx.type_kind(ty).clone() else { return None };
+    Some(ctx.intern_type(TypeKind::MemRef {
+        shape,
+        element,
+        offset: td_ir::Extent::Static(0),
+        strides: vec![],
+    }))
+}
+
+/// Converts tensors inside function types as well.
+fn convert_type_deep(ctx: &mut Context, ty: TypeId) -> Option<TypeId> {
+    match ctx.type_kind(ty).clone() {
+        TypeKind::Tensor { .. } => tensor_to_memref(ctx, ty),
+        TypeKind::Function { inputs, results } => {
+            let mut changed = false;
+            let map = |ctx: &mut Context, list: Vec<TypeId>, changed: &mut bool| {
+                list.into_iter()
+                    .map(|t| match convert_type_deep(ctx, t) {
+                        Some(new) => {
+                            *changed = true;
+                            new
+                        }
+                        None => t,
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let inputs = map(ctx, inputs, &mut changed);
+            let results = map(ctx, results, &mut changed);
+            changed.then(|| ctx.intern_type(TypeKind::Function { inputs, results }))
+        }
+        _ => None,
+    }
+}
+
+/// Turns `r = linalg.op(ins..., dest)` into `linalg.op(ins..., dest)` with
+/// uses of `r` replaced by `dest`.
+fn drop_result_use_dest(ctx: &mut Context, op: OpId) {
+    let results = ctx.op(op).results().to_vec();
+    if results.is_empty() {
+        return;
+    }
+    let operands = ctx.op(op).operands().to_vec();
+    let Some(&dest) = operands.last() else { return };
+    let attributes = ctx.op(op).attributes().to_vec();
+    let name = ctx.op(op).name;
+    let block = ctx.op(op).parent().expect("attached");
+    let pos = ctx.op_position(block, op).expect("in block");
+    let new_op =
+        ctx.create_op(ctx.op(op).location.clone(), name, operands, vec![], attributes, 0);
+    ctx.insert_op(block, pos, new_op);
+    ctx.replace_all_uses(results[0], dest);
+    ctx.erase_op(op);
+}
+
+/// Lowers a tensor plumbing op to `alloc` + `linalg.copy {kind}`.
+fn lower_plumbing_to_copy(ctx: &mut Context, op: OpId, name: &str) {
+    let result = ctx.op(op).results()[0];
+    let result_ty = ctx.value_type(result); // already a memref by step 1
+    let operands = ctx.op(op).operands().to_vec();
+    let block = ctx.op(op).parent().expect("attached");
+    let pos = ctx.op_position(block, op).expect("in block");
+    let alloc = ctx.create_op(
+        ctx.op(op).location.clone(),
+        "memref.alloc",
+        vec![],
+        vec![result_ty],
+        vec![],
+        0,
+    );
+    ctx.insert_op(block, pos, alloc);
+    let dest = ctx.op(alloc).results()[0];
+    let kind = name.trim_start_matches("tensor.").to_owned();
+    let mut copy_operands = operands;
+    copy_operands.push(dest);
+    let attributes = {
+        let mut attrs = ctx.op(op).attributes().to_vec();
+        attrs.push((Symbol::new("kind"), Attribute::String(kind)));
+        attrs
+    };
+    let pos = ctx.op_position(block, op).expect("in block");
+    let copy = ctx.create_op(
+        ctx.op(op).location.clone(),
+        "linalg.copy",
+        copy_operands,
+        vec![],
+        attributes,
+        0,
+    );
+    ctx.insert_op(block, pos, copy);
+    ctx.replace_all_uses(result, dest);
+    ctx.erase_op(op);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::tosa_to_linalg::*;
+    use td_ir::verify::verify;
+
+    #[test]
+    fn bufferizes_a_lowered_model() {
+        // Reuse the tosa lowering fixture: build, lower to linalg, bufferize.
+        let mut ctx = Context::new();
+        crate::register_all_dialects(&mut ctx);
+        let module = ctx.create_module(td_support::Location::unknown());
+        let f32t = ctx.f32_type();
+        let mat = crate::tosa::tensor_type(&mut ctx, &[4, 4], f32t);
+        let (_f, entry) = crate::func::build_func(&mut ctx, module, "m", &[mat], &[mat]);
+        let x = ctx.block(entry).args()[0];
+        let mm = ctx.create_op(
+            td_support::Location::unknown(),
+            "tosa.matmul",
+            vec![x, x],
+            vec![mat],
+            vec![],
+            0,
+        );
+        ctx.append_op(entry, mm);
+        let v = ctx.op(mm).results()[0];
+        let ret = ctx.create_op(
+            td_support::Location::unknown(),
+            "func.return",
+            vec![v],
+            vec![],
+            vec![],
+            0,
+        );
+        ctx.append_op(entry, ret);
+
+        TosaToLinalgNamedPass.run(&mut ctx, module).unwrap();
+        LinalgBufferizePass.run(&mut ctx, module).unwrap();
+
+        let names: Vec<&str> =
+            ctx.walk_nested(module).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        assert!(names.contains(&"memref.alloc"), "{names:?}");
+        assert!(!names.contains(&"tensor.empty"), "{names:?}");
+        // The linalg.matmul now has no results and all-memref operands.
+        let mm = ctx
+            .walk_nested(module)
+            .into_iter()
+            .find(|&o| ctx.op(o).name.as_str() == "linalg.matmul")
+            .unwrap();
+        assert!(ctx.op(mm).results().is_empty());
+        assert!(crate::linalg::is_bufferized(&ctx, mm));
+        assert!(verify(&ctx, module).is_ok(), "{:?}", verify(&ctx, module));
+    }
+}

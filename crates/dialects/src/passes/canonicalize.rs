@@ -1,0 +1,87 @@
+//! `canonicalize` and `cse` passes.
+
+use td_ir::rewrite::{apply_patterns_greedily, run_cse, run_dce, GreedyConfig, PatternSet};
+use td_ir::{Context, OpId, Pass};
+use td_support::Diagnostic;
+
+/// Greedy application of registered folders plus dead-code elimination.
+#[derive(Debug, Default)]
+pub struct CanonicalizePass;
+
+impl Pass for CanonicalizePass {
+    fn name(&self) -> &str {
+        "canonicalize"
+    }
+
+    fn run(&self, ctx: &mut Context, target: OpId) -> Result<(), Diagnostic> {
+        let patterns = PatternSet::new();
+        apply_patterns_greedily(ctx, target, &patterns, GreedyConfig::default())?;
+        run_dce(ctx, target);
+        Ok(())
+    }
+}
+
+/// Common-subexpression elimination over pure ops.
+#[derive(Debug, Default)]
+pub struct CsePass;
+
+impl Pass for CsePass {
+    fn name(&self) -> &str {
+        "cse"
+    }
+
+    fn run(&self, ctx: &mut Context, target: OpId) -> Result<(), Diagnostic> {
+        run_cse(ctx, target);
+        run_dce(ctx, target);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_ir::parse_module;
+
+    #[test]
+    fn canonicalize_folds_and_cleans() {
+        let mut ctx = Context::new();
+        crate::register_all_dialects(&mut ctx);
+        let m = parse_module(
+            &mut ctx,
+            r#"module {
+  %a = arith.constant 2 : i64
+  %b = arith.constant 3 : i64
+  %c = "arith.addi"(%a, %b) : (i64, i64) -> i64
+  %dead = "arith.muli"(%c, %c) : (i64, i64) -> i64
+  "test.use"(%c) : (i64) -> ()
+}"#,
+        )
+        .unwrap();
+        CanonicalizePass.run(&mut ctx, m).unwrap();
+        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        assert!(!names.contains(&"arith.addi"), "{names:?}");
+        assert!(!names.contains(&"arith.muli"), "dead op removed: {names:?}");
+    }
+
+    #[test]
+    fn cse_pass_dedupes() {
+        let mut ctx = Context::new();
+        crate::register_all_dialects(&mut ctx);
+        let m = parse_module(
+            &mut ctx,
+            r#"module {
+  %a = arith.constant 7 : i64
+  %b = arith.constant 7 : i64
+  "test.use"(%a, %b) : (i64, i64) -> ()
+}"#,
+        )
+        .unwrap();
+        CsePass.run(&mut ctx, m).unwrap();
+        let constants = ctx
+            .walk_nested(m)
+            .iter()
+            .filter(|&&o| ctx.op(o).name.as_str() == "arith.constant")
+            .count();
+        assert_eq!(constants, 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Compiler passes over the payload dialects.
+//!
+//! Includes the seven passes of the paper's Case Study 2 lowering pipeline,
+//! `lower-affine` (the fix), `canonicalize`/`cse`, and the TOSA→Linalg→loops
+//! pipeline measured in Table 1.
+
+pub mod bufferize;
+pub mod canonicalize;
+pub mod conversion_util;
+pub mod expand_strided_metadata;
+pub mod finalize_memref_to_llvm;
+pub mod linalg_to_loops;
+pub mod lower_affine;
+pub mod reconcile_casts;
+pub mod scf_to_cf;
+pub mod to_llvm;
+pub mod tosa_to_linalg;
+
+pub use bufferize::LinalgBufferizePass;
+pub use canonicalize::{CanonicalizePass, CsePass};
+pub use linalg_to_loops::LinalgToLoopsPass;
+pub use tosa_to_linalg::{TosaInferShapesPass, TosaMakeBroadcastablePass, TosaOptionalDecompositionsPass, TosaToLinalgNamedPass, TosaToLinalgPass};
+pub use expand_strided_metadata::ExpandStridedMetadataPass;
+pub use finalize_memref_to_llvm::FinalizeMemrefToLlvmPass;
+pub use lower_affine::LowerAffinePass;
+pub use reconcile_casts::ReconcileCastsPass;
+pub use scf_to_cf::ScfToCfPass;
+pub use to_llvm::{ArithToLlvmPass, CfToLlvmPass, FuncToLlvmPass};
+
+/// Registers every pass in this module with `registry`.
+pub fn register_all_passes(registry: &mut td_ir::PassRegistry) {
+    registry.register("canonicalize", || Box::new(CanonicalizePass));
+    registry.register("cse", || Box::new(CsePass));
+    registry.register("convert-scf-to-cf", || Box::new(ScfToCfPass));
+    registry.register("convert-arith-to-llvm", || Box::new(ArithToLlvmPass));
+    registry.register("convert-cf-to-llvm", || Box::new(CfToLlvmPass));
+    registry.register("convert-func-to-llvm", || Box::new(FuncToLlvmPass));
+    registry.register("expand-strided-metadata", || Box::new(ExpandStridedMetadataPass));
+    registry.register("finalize-memref-to-llvm", || Box::new(FinalizeMemrefToLlvmPass));
+    registry.register("reconcile-unrealized-casts", || Box::new(ReconcileCastsPass));
+    registry.register("lower-affine", || Box::new(LowerAffinePass));
+    registry.register("tosa-optional-decompositions", || Box::new(TosaOptionalDecompositionsPass));
+    registry.register("tosa-infer-shapes", || Box::new(TosaInferShapesPass));
+    registry.register("tosa-make-broadcastable", || Box::new(TosaMakeBroadcastablePass));
+    registry.register("tosa-to-linalg-named", || Box::new(TosaToLinalgNamedPass));
+    registry.register("tosa-to-linalg", || Box::new(TosaToLinalgPass));
+    registry.register("linalg-bufferize", || Box::new(LinalgBufferizePass));
+    registry.register("convert-linalg-to-loops", || Box::new(LinalgToLoopsPass));
+}
+
+/// The naive Case Study 2 pipeline — fails on inputs with dynamic subview
+/// offsets.
+pub const CS2_NAIVE_PIPELINE: &str = "convert-scf-to-cf,convert-arith-to-llvm,convert-cf-to-llvm,convert-func-to-llvm,expand-strided-metadata,finalize-memref-to-llvm,reconcile-unrealized-casts";
+
+/// The fixed Case Study 2 pipeline: `lower-affine` (plus a second
+/// arith-to-llvm application) lowers what `expand-strided-metadata`
+/// introduced.
+pub const CS2_FIXED_PIPELINE: &str = "convert-scf-to-cf,convert-arith-to-llvm,convert-cf-to-llvm,convert-func-to-llvm,expand-strided-metadata,lower-affine,convert-arith-to-llvm,finalize-memref-to-llvm,reconcile-unrealized-casts";
+
+/// The Table 1 pipeline: TOSA whole-model graphs down to loops over
+/// memrefs, mirroring the `tfl-to-tosa`/`tosa-to-linalg` flow the paper
+/// measures.
+pub const TOSA_PIPELINE: &str = "tosa-optional-decompositions,canonicalize,tosa-infer-shapes,tosa-make-broadcastable,tosa-to-linalg-named,tosa-to-linalg,canonicalize,cse,linalg-bufferize,convert-linalg-to-loops";

@@ -1,0 +1,174 @@
+//! `reconcile-unrealized-casts`: cancels pairs of
+//! `builtin.unrealized_conversion_cast` operations and reports an error if
+//! any remain.
+//!
+//! The reported error message is the one Case Study 2 quotes:
+//! *"failed to legalize operation 'builtin.unrealized_conversion_cast' that
+//! was explicitly marked illegal"* — the famously unhelpful symptom of an
+//! incomplete lowering pipeline.
+
+use crate::builtin::UNREALIZED_CAST;
+use td_ir::{Context, OpId, Pass};
+use td_support::Diagnostic;
+
+/// The `reconcile-unrealized-casts` pass.
+#[derive(Debug, Default)]
+pub struct ReconcileCastsPass;
+
+impl Pass for ReconcileCastsPass {
+    fn name(&self) -> &str {
+        "reconcile-unrealized-casts"
+    }
+
+    fn run(&self, ctx: &mut Context, target: OpId) -> Result<(), Diagnostic> {
+        // Cancel cast chains to a fixpoint.
+        loop {
+            let mut changed = false;
+            let casts: Vec<OpId> = collect_casts(ctx, target);
+            for cast in casts {
+                if !ctx.is_live(cast) {
+                    continue;
+                }
+                let operand = ctx.op(cast).operands()[0];
+                let result = ctx.op(cast).results()[0];
+                // Identity cast.
+                if ctx.value_type(operand) == ctx.value_type(result) {
+                    ctx.replace_all_uses(result, operand);
+                    ctx.erase_op(cast);
+                    changed = true;
+                    continue;
+                }
+                // A -> B -> A chain.
+                if let Some(def) = ctx.defining_op(operand) {
+                    if ctx.op(def).name.as_str() == UNREALIZED_CAST {
+                        let original = ctx.op(def).operands()[0];
+                        if ctx.value_type(original) == ctx.value_type(result) {
+                            ctx.replace_all_uses(result, original);
+                            ctx.erase_op(cast);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            // Drop casts that became dead.
+            let casts: Vec<OpId> = collect_casts(ctx, target);
+            for cast in casts {
+                if ctx.is_live(cast) && !ctx.has_uses(ctx.op(cast).results()[0]) {
+                    ctx.erase_op(cast);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Any survivor is a legalization failure.
+        if let Some(&survivor) = collect_casts(ctx, target).first() {
+            let operand = ctx.op(survivor).operands()[0];
+            let producer = ctx
+                .defining_op(operand)
+                .map(|op| ctx.op(op).name.as_str().to_owned())
+                .unwrap_or_else(|| "a block argument".to_owned());
+            return Err(Diagnostic::error(
+                ctx.op(survivor).location.clone(),
+                format!(
+                    "failed to legalize operation '{UNREALIZED_CAST}' that was explicitly marked \
+                     illegal (its operand is produced by '{producer}', which no pass lowered)"
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn collect_casts(ctx: &Context, target: OpId) -> Vec<OpId> {
+    ctx.walk_nested(target)
+        .into_iter()
+        .filter(|&op| ctx.op(op).name.as_str() == UNREALIZED_CAST)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_ir::parse_module;
+
+    fn ctx() -> Context {
+        let mut ctx = Context::new();
+        crate::register_all_dialects(&mut ctx);
+        ctx
+    }
+
+    #[test]
+    fn cancels_round_trip_casts() {
+        let mut ctx = ctx();
+        let m = parse_module(
+            &mut ctx,
+            r#"module {
+  %a = "test.source"() : () -> index
+  %b = "builtin.unrealized_conversion_cast"(%a) : (index) -> i64
+  %c = "builtin.unrealized_conversion_cast"(%b) : (i64) -> index
+  "test.use"(%c) : (index) -> ()
+}"#,
+        )
+        .unwrap();
+        ReconcileCastsPass.run(&mut ctx, m).unwrap();
+        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        assert_eq!(names, vec!["test.source", "test.use"]);
+    }
+
+    #[test]
+    fn cancels_long_chains() {
+        let mut ctx = ctx();
+        let m = parse_module(
+            &mut ctx,
+            r#"module {
+  %a = "test.source"() : () -> index
+  %b = "builtin.unrealized_conversion_cast"(%a) : (index) -> i64
+  %c = "builtin.unrealized_conversion_cast"(%b) : (i64) -> index
+  %d = "builtin.unrealized_conversion_cast"(%c) : (index) -> i64
+  %e = "builtin.unrealized_conversion_cast"(%d) : (i64) -> index
+  "test.use"(%e) : (index) -> ()
+}"#,
+        )
+        .unwrap();
+        ReconcileCastsPass.run(&mut ctx, m).unwrap();
+        assert_eq!(ctx.walk_nested(m).len(), 2);
+    }
+
+    #[test]
+    fn reports_unreconcilable_cast() {
+        let mut ctx = ctx();
+        let m = parse_module(
+            &mut ctx,
+            r#"module {
+  %x = "test.source"() : () -> index
+  %y = "affine.apply"(%x) {map = [16, 0]} : (index) -> index
+  %z = "builtin.unrealized_conversion_cast"(%y) : (index) -> i64
+  "test.use"(%z) : (i64) -> ()
+}"#,
+        )
+        .unwrap();
+        let err = ReconcileCastsPass.run(&mut ctx, m).unwrap_err();
+        assert!(
+            err.message().contains("failed to legalize operation"),
+            "got: {err}"
+        );
+        assert!(err.message().contains("affine.apply"), "culprit named: {err}");
+    }
+
+    #[test]
+    fn removes_dead_casts() {
+        let mut ctx = ctx();
+        let m = parse_module(
+            &mut ctx,
+            r#"module {
+  %a = "test.source"() : () -> index
+  %b = "builtin.unrealized_conversion_cast"(%a) : (index) -> i64
+}"#,
+        )
+        .unwrap();
+        ReconcileCastsPass.run(&mut ctx, m).unwrap();
+        assert_eq!(ctx.walk_nested(m).len(), 1);
+    }
+}

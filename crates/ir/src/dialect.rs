@@ -1,0 +1,225 @@
+//! Dialect registration: operations are *dynamic* — known to the system via
+//! registered [`OpSpec`]s rather than compiled-in classes.
+//!
+//! This mirrors MLIR's extensibility story: dialects can be registered at
+//! runtime (including ones defined declaratively via IRDL, see `td-irdl`)
+//! without rebuilding anything. Unregistered operations are tolerated,
+//! exactly like MLIR's `allow-unregistered-dialect` mode, which the
+//! Transform dialect relies on when payload IR mixes dialects the current
+//! tool does not know about.
+
+use crate::ir::{Context, OpId};
+use td_support::{Diagnostic, Symbol};
+use std::collections::HashMap;
+
+/// Bit-set of operation traits.
+///
+/// A deliberately tiny subset of MLIR's trait zoo — just what the passes and
+/// the verifier in this workspace consult.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpTraits(u32);
+
+impl OpTraits {
+    /// No traits.
+    pub const NONE: OpTraits = OpTraits(0);
+    /// Ends its block; may have successors.
+    pub const TERMINATOR: OpTraits = OpTraits(1 << 0);
+    /// Regions may not use values defined outside the op.
+    pub const ISOLATED_FROM_ABOVE: OpTraits = OpTraits(1 << 1);
+    /// Blocks in this op's regions need no terminator (e.g. `builtin.module`).
+    pub const NO_TERMINATOR: OpTraits = OpTraits(1 << 2);
+    /// No side effects: eligible for CSE and dead-code elimination.
+    pub const PURE: OpTraits = OpTraits(1 << 3);
+    /// Materializes a constant (has a `value` attribute).
+    pub const CONSTANT_LIKE: OpTraits = OpTraits(1 << 4);
+    /// Operands commute.
+    pub const COMMUTATIVE: OpTraits = OpTraits(1 << 5);
+    /// Defines a symbol via a `sym_name` attribute.
+    pub const SYMBOL: OpTraits = OpTraits(1 << 6);
+    /// Holds symbol-defining ops (e.g. `builtin.module`).
+    pub const SYMBOL_TABLE: OpTraits = OpTraits(1 << 7);
+    /// Allocates memory (used by pre/post-condition reasoning).
+    pub const ALLOCATES: OpTraits = OpTraits(1 << 8);
+
+    /// Union of two trait sets.
+    pub const fn union(self, other: OpTraits) -> OpTraits {
+        OpTraits(self.0 | other.0)
+    }
+
+    /// Whether all traits in `other` are present.
+    pub fn contains(self, other: OpTraits) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl std::ops::BitOr for OpTraits {
+    type Output = OpTraits;
+    fn bitor(self, rhs: OpTraits) -> OpTraits {
+        self.union(rhs)
+    }
+}
+
+/// Outcome of an in-place fold attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FoldResult {
+    /// Nothing to fold.
+    Unchanged,
+    /// The op was updated in place (attributes or operands changed).
+    InPlace,
+    /// The op's results should be replaced by these existing values, and the
+    /// op erased.
+    Replace(Vec<crate::ir::ValueId>),
+}
+
+/// Verifier hook: returns a diagnostic describing the violation, if any.
+pub type VerifyFn = fn(&Context, OpId) -> Result<(), Diagnostic>;
+/// Folder hook.
+pub type FoldFn = fn(&mut Context, OpId) -> FoldResult;
+
+/// Static description of an operation kind.
+#[derive(Clone)]
+pub struct OpSpec {
+    /// Fully-qualified name (`dialect.mnemonic`).
+    pub name: Symbol,
+    /// One-line description for documentation and diagnostics.
+    pub summary: &'static str,
+    /// Trait set.
+    pub traits: OpTraits,
+    /// Optional structural verifier.
+    pub verify: Option<VerifyFn>,
+    /// Optional folder.
+    pub fold: Option<FoldFn>,
+}
+
+impl OpSpec {
+    /// Creates a minimal spec with no traits and no hooks.
+    pub fn new(name: &str, summary: &'static str) -> OpSpec {
+        OpSpec { name: Symbol::new(name), summary, traits: OpTraits::NONE, verify: None, fold: None }
+    }
+
+    /// Adds traits (builder-style).
+    pub fn with_traits(mut self, traits: OpTraits) -> OpSpec {
+        self.traits = self.traits | traits;
+        self
+    }
+
+    /// Sets the verifier (builder-style).
+    pub fn with_verify(mut self, verify: VerifyFn) -> OpSpec {
+        self.verify = Some(verify);
+        self
+    }
+
+    /// Sets the folder (builder-style).
+    pub fn with_fold(mut self, fold: FoldFn) -> OpSpec {
+        self.fold = Some(fold);
+        self
+    }
+}
+
+impl std::fmt::Debug for OpSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpSpec")
+            .field("name", &self.name)
+            .field("summary", &self.summary)
+            .field("traits", &self.traits)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Registry of op specs, keyed by fully-qualified name.
+#[derive(Debug, Default)]
+pub struct DialectRegistry {
+    specs: HashMap<Symbol, OpSpec>,
+    dialects: Vec<String>,
+}
+
+impl DialectRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers one op spec, replacing any previous spec with that name.
+    pub fn register(&mut self, spec: OpSpec) {
+        self.specs.insert(spec.name, spec);
+    }
+
+    /// Records that a dialect with this namespace has been loaded.
+    pub fn note_dialect(&mut self, namespace: &str) {
+        if !self.dialects.iter().any(|d| d == namespace) {
+            self.dialects.push(namespace.to_owned());
+        }
+    }
+
+    /// Loaded dialect namespaces.
+    pub fn dialects(&self) -> &[String] {
+        &self.dialects
+    }
+
+    /// Looks up a spec by op name.
+    pub fn spec(&self, name: Symbol) -> Option<&OpSpec> {
+        self.specs.get(&name)
+    }
+
+    /// Traits of an op kind (empty for unregistered ops).
+    pub fn traits_of(&self, name: Symbol) -> OpTraits {
+        self.specs.get(&name).map(|s| s.traits).unwrap_or(OpTraits::NONE)
+    }
+
+    /// Whether the op kind is registered.
+    pub fn is_registered(&self, name: Symbol) -> bool {
+        self.specs.contains_key(&name)
+    }
+
+    /// Iterates all registered specs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &OpSpec> {
+        self.specs.values()
+    }
+}
+
+/// Convenience helpers on [`Context`] for trait queries.
+impl Context {
+    /// Traits of a live operation.
+    pub fn op_traits(&self, op: OpId) -> OpTraits {
+        self.registry.traits_of(self.op(op).name)
+    }
+
+    /// Whether an op kind has the given trait.
+    pub fn has_trait(&self, op: OpId, traits: OpTraits) -> bool {
+        self.op_traits(op).contains(traits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traits_compose() {
+        let t = OpTraits::TERMINATOR | OpTraits::PURE;
+        assert!(t.contains(OpTraits::TERMINATOR));
+        assert!(t.contains(OpTraits::PURE));
+        assert!(!t.contains(OpTraits::SYMBOL));
+        assert!(t.contains(OpTraits::NONE));
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut registry = DialectRegistry::new();
+        registry.register(OpSpec::new("test.foo", "a test op").with_traits(OpTraits::PURE));
+        let name = Symbol::new("test.foo");
+        assert!(registry.is_registered(name));
+        assert!(registry.traits_of(name).contains(OpTraits::PURE));
+        assert!(!registry.is_registered(Symbol::new("test.bar")));
+        assert_eq!(registry.traits_of(Symbol::new("test.bar")), OpTraits::NONE);
+    }
+
+    #[test]
+    fn note_dialect_dedupes() {
+        let mut registry = DialectRegistry::new();
+        registry.note_dialect("arith");
+        registry.note_dialect("scf");
+        registry.note_dialect("arith");
+        assert_eq!(registry.dialects(), &["arith".to_owned(), "scf".to_owned()]);
+    }
+}

@@ -1,0 +1,921 @@
+//! The mutable IR: operations, regions, blocks, and values, owned by a
+//! [`Context`].
+//!
+//! The design follows MLIR's hierarchical SSA form:
+//!
+//! * an *operation* has operands, results, attributes, successors, and
+//!   nested *regions*;
+//! * a region holds a list of *blocks* (a control-flow graph);
+//! * a block has *block arguments* and an ordered list of operations.
+//!
+//! All entities live in generational arenas inside the [`Context`] and are
+//! referenced by `Copy` ids ([`OpId`], [`BlockId`], [`RegionId`],
+//! [`ValueId`]). Erasing an entity invalidates its id *detectably* — the
+//! property the Transform dialect's handle-invalidation machinery is built
+//! on.
+
+use crate::attrs::Attribute;
+use crate::dialect::DialectRegistry;
+use crate::types::{TypeId, TypeKind, TypeStore};
+use td_support::{Arena, Idx, Location, Symbol};
+use std::collections::HashMap;
+
+/// Id of an operation.
+pub type OpId = Idx<OpData>;
+/// Id of a block.
+pub type BlockId = Idx<BlockData>;
+/// Id of a region.
+pub type RegionId = Idx<RegionData>;
+/// Id of an SSA value (operation result or block argument).
+pub type ValueId = Idx<ValueData>;
+
+/// Where a value is defined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ValueDef {
+    /// The `index`-th result of an operation.
+    OpResult {
+        /// Defining operation.
+        op: OpId,
+        /// Result position.
+        index: u32,
+    },
+    /// The `index`-th argument of a block.
+    BlockArg {
+        /// Owning block.
+        block: BlockId,
+        /// Argument position.
+        index: u32,
+    },
+}
+
+/// Data of an SSA value.
+#[derive(Clone, Debug)]
+pub struct ValueData {
+    /// The value's type.
+    pub ty: TypeId,
+    /// Where the value is defined.
+    pub def: ValueDef,
+    /// Use list: `(user op, operand index)` pairs.
+    pub(crate) uses: Vec<(OpId, u32)>,
+}
+
+/// Data of an operation.
+///
+/// Fields are read through [`Context::op`]; mutation goes through `Context`
+/// methods so use lists stay consistent.
+#[derive(Clone, Debug)]
+pub struct OpData {
+    /// Fully qualified name, e.g. `arith.addi`.
+    pub name: Symbol,
+    /// Source location.
+    pub location: Location,
+    /// Flat operand list (successor arguments included, by convention).
+    pub(crate) operands: Vec<ValueId>,
+    /// Result values.
+    pub(crate) results: Vec<ValueId>,
+    /// Ordered attribute dictionary.
+    pub(crate) attributes: Vec<(Symbol, Attribute)>,
+    /// Nested regions.
+    pub(crate) regions: Vec<RegionId>,
+    /// Successor blocks (terminators only).
+    pub(crate) successors: Vec<BlockId>,
+    /// The block containing this op, if attached.
+    pub(crate) parent: Option<BlockId>,
+}
+
+impl OpData {
+    /// Operand values.
+    pub fn operands(&self) -> &[ValueId] {
+        &self.operands
+    }
+    /// Result values.
+    pub fn results(&self) -> &[ValueId] {
+        &self.results
+    }
+    /// Attribute dictionary in insertion order.
+    pub fn attributes(&self) -> &[(Symbol, Attribute)] {
+        &self.attributes
+    }
+    /// Nested regions.
+    pub fn regions(&self) -> &[RegionId] {
+        &self.regions
+    }
+    /// Successor blocks.
+    pub fn successors(&self) -> &[BlockId] {
+        &self.successors
+    }
+    /// The containing block, if attached.
+    pub fn parent(&self) -> Option<BlockId> {
+        self.parent
+    }
+    /// Looks up an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<&Attribute> {
+        self.attributes.iter().find(|(k, _)| k.as_str() == name).map(|(_, v)| v)
+    }
+}
+
+/// Data of a block.
+#[derive(Clone, Debug, Default)]
+pub struct BlockData {
+    /// Block arguments.
+    pub(crate) args: Vec<ValueId>,
+    /// Ordered operations.
+    pub(crate) ops: Vec<OpId>,
+    /// Owning region.
+    pub(crate) parent: Option<RegionId>,
+}
+
+impl BlockData {
+    /// Block arguments.
+    pub fn args(&self) -> &[ValueId] {
+        &self.args
+    }
+    /// Operations in order.
+    pub fn ops(&self) -> &[OpId] {
+        &self.ops
+    }
+    /// Owning region.
+    pub fn parent(&self) -> Option<RegionId> {
+        self.parent
+    }
+}
+
+/// Data of a region.
+#[derive(Clone, Debug, Default)]
+pub struct RegionData {
+    /// Blocks; the first is the entry block.
+    pub(crate) blocks: Vec<BlockId>,
+    /// Owning operation.
+    pub(crate) parent: Option<OpId>,
+}
+
+impl RegionData {
+    /// Blocks in order; the first is the entry block.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+    /// Owning operation.
+    pub fn parent(&self) -> Option<OpId> {
+        self.parent
+    }
+}
+
+/// The IR context: owns all IR entities, the type interner, and the dialect
+/// registry.
+///
+/// # Examples
+///
+/// ```
+/// use td_ir::ir::Context;
+/// use td_support::Location;
+/// let mut ctx = Context::new();
+/// let module = ctx.create_module(Location::unknown());
+/// assert_eq!(ctx.op(module).name.as_str(), "builtin.module");
+/// ```
+#[derive(Debug, Default)]
+pub struct Context {
+    pub(crate) ops: Arena<OpData>,
+    pub(crate) blocks: Arena<BlockData>,
+    pub(crate) regions: Arena<RegionData>,
+    pub(crate) values: Arena<ValueData>,
+    pub(crate) types: TypeStore,
+    /// Registered dialects (op specs, verifiers, folders).
+    pub registry: DialectRegistry,
+}
+
+impl Context {
+    /// Creates an empty context with no dialects registered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ----- types ---------------------------------------------------------
+
+    /// Interns a type.
+    pub fn intern_type(&mut self, kind: TypeKind) -> TypeId {
+        self.types.intern(kind)
+    }
+
+    /// Resolves a type id.
+    pub fn type_kind(&self, id: TypeId) -> &TypeKind {
+        self.types.kind(id)
+    }
+
+    /// The `index` type.
+    pub fn index_type(&mut self) -> TypeId {
+        self.intern_type(TypeKind::Index)
+    }
+    /// The `i1` type.
+    pub fn i1_type(&mut self) -> TypeId {
+        self.intern_type(TypeKind::Integer(1))
+    }
+    /// The `i32` type.
+    pub fn i32_type(&mut self) -> TypeId {
+        self.intern_type(TypeKind::Integer(32))
+    }
+    /// The `i64` type.
+    pub fn i64_type(&mut self) -> TypeId {
+        self.intern_type(TypeKind::Integer(64))
+    }
+    /// The `f32` type.
+    pub fn f32_type(&mut self) -> TypeId {
+        self.intern_type(TypeKind::F32)
+    }
+    /// The `f64` type.
+    pub fn f64_type(&mut self) -> TypeId {
+        self.intern_type(TypeKind::F64)
+    }
+    /// The `!transform.any_op` type.
+    pub fn transform_any_op_type(&mut self) -> TypeId {
+        self.intern_type(TypeKind::TransformAnyOp)
+    }
+    /// The `!transform.param` type.
+    pub fn transform_param_type(&mut self) -> TypeId {
+        self.intern_type(TypeKind::TransformParam)
+    }
+
+    // ----- entity access -------------------------------------------------
+
+    /// Reads an operation.
+    ///
+    /// # Panics
+    /// Panics if `op` is stale (erased).
+    pub fn op(&self, op: OpId) -> &OpData {
+        &self.ops[op]
+    }
+
+    /// Whether `op` still refers to a live operation.
+    pub fn is_live(&self, op: OpId) -> bool {
+        self.ops.contains(op)
+    }
+
+    /// Reads a block.
+    pub fn block(&self, block: BlockId) -> &BlockData {
+        &self.blocks[block]
+    }
+
+    /// Whether `block` still refers to a live block.
+    pub fn is_block_live(&self, block: BlockId) -> bool {
+        self.blocks.contains(block)
+    }
+
+    /// Reads a region.
+    pub fn region(&self, region: RegionId) -> &RegionData {
+        &self.regions[region]
+    }
+
+    /// Type of a value.
+    pub fn value_type(&self, value: ValueId) -> TypeId {
+        self.values[value].ty
+    }
+
+    /// Definition site of a value.
+    pub fn value_def(&self, value: ValueId) -> ValueDef {
+        self.values[value].def
+    }
+
+    /// Whether `value` still refers to a live value.
+    pub fn is_value_live(&self, value: ValueId) -> bool {
+        self.values.contains(value)
+    }
+
+    /// Current uses of a value as `(user op, operand index)` pairs.
+    pub fn uses(&self, value: ValueId) -> &[(OpId, u32)] {
+        &self.values[value].uses
+    }
+
+    /// Whether the value has at least one use.
+    pub fn has_uses(&self, value: ValueId) -> bool {
+        !self.values[value].uses.is_empty()
+    }
+
+    /// The defining op of a value, if it is an op result.
+    pub fn defining_op(&self, value: ValueId) -> Option<OpId> {
+        match self.values[value].def {
+            ValueDef::OpResult { op, .. } => Some(op),
+            ValueDef::BlockArg { .. } => None,
+        }
+    }
+
+    // ----- creation ------------------------------------------------------
+
+    /// Creates a detached operation.
+    ///
+    /// Result values are created with the given types; `num_regions` empty
+    /// regions are attached. The op must subsequently be inserted into a
+    /// block (unless it is a top-level module).
+    pub fn create_op(
+        &mut self,
+        location: Location,
+        name: impl Into<Symbol>,
+        operands: Vec<ValueId>,
+        result_types: Vec<TypeId>,
+        attributes: Vec<(Symbol, Attribute)>,
+        num_regions: usize,
+    ) -> OpId {
+        let name = name.into();
+        let op = self.ops.alloc(OpData {
+            name,
+            location,
+            operands: Vec::new(),
+            results: Vec::new(),
+            attributes,
+            regions: Vec::new(),
+            successors: Vec::new(),
+            parent: None,
+        });
+        let results: Vec<ValueId> = result_types
+            .into_iter()
+            .enumerate()
+            .map(|(index, ty)| {
+                self.values.alloc(ValueData {
+                    ty,
+                    def: ValueDef::OpResult { op, index: index as u32 },
+                    uses: Vec::new(),
+                })
+            })
+            .collect();
+        let regions: Vec<RegionId> = (0..num_regions)
+            .map(|_| self.regions.alloc(RegionData { blocks: Vec::new(), parent: Some(op) }))
+            .collect();
+        for (index, &operand) in operands.iter().enumerate() {
+            self.values[operand].uses.push((op, index as u32));
+        }
+        let data = &mut self.ops[op];
+        data.operands = operands;
+        data.results = results;
+        data.regions = regions;
+        op
+    }
+
+    /// Creates a `builtin.module` with one region containing one block.
+    pub fn create_module(&mut self, location: Location) -> OpId {
+        let module = self.create_op(location, "builtin.module", vec![], vec![], vec![], 1);
+        let region = self.op(module).regions[0];
+        self.append_block(region, &[]);
+        module
+    }
+
+    /// Appends a new block with the given argument types to a region.
+    pub fn append_block(&mut self, region: RegionId, arg_types: &[TypeId]) -> BlockId {
+        let block = self.blocks.alloc(BlockData {
+            args: Vec::new(),
+            ops: Vec::new(),
+            parent: Some(region),
+        });
+        let args: Vec<ValueId> = arg_types
+            .iter()
+            .enumerate()
+            .map(|(index, &ty)| {
+                self.values.alloc(ValueData {
+                    ty,
+                    def: ValueDef::BlockArg { block, index: index as u32 },
+                    uses: Vec::new(),
+                })
+            })
+            .collect();
+        self.blocks[block].args = args;
+        self.regions[region].blocks.push(block);
+        block
+    }
+
+    /// Adds an extra argument to an existing block, returning the new value.
+    pub fn add_block_arg(&mut self, block: BlockId, ty: TypeId) -> ValueId {
+        let index = self.blocks[block].args.len() as u32;
+        let value =
+            self.values.alloc(ValueData { ty, def: ValueDef::BlockArg { block, index }, uses: vec![] });
+        self.blocks[block].args.push(value);
+        value
+    }
+
+    /// Sets the successor blocks of a terminator.
+    pub fn set_successors(&mut self, op: OpId, successors: Vec<BlockId>) {
+        self.ops[op].successors = successors;
+    }
+
+    // ----- insertion and movement ----------------------------------------
+
+    /// Appends a detached op at the end of a block.
+    ///
+    /// # Panics
+    /// Panics if the op is already attached to a block.
+    pub fn append_op(&mut self, block: BlockId, op: OpId) {
+        self.insert_op(block, self.blocks[block].ops.len(), op);
+    }
+
+    /// Inserts a detached op at `index` within a block.
+    pub fn insert_op(&mut self, block: BlockId, index: usize, op: OpId) {
+        assert!(self.ops[op].parent.is_none(), "op {op:?} is already attached");
+        self.blocks[block].ops.insert(index, op);
+        self.ops[op].parent = Some(block);
+    }
+
+    /// Detaches an op from its block without erasing it.
+    pub fn detach_op(&mut self, op: OpId) {
+        if let Some(block) = self.ops[op].parent.take() {
+            let pos = self.op_position(block, op).expect("op missing from parent block list");
+            self.blocks[block].ops.remove(pos);
+        }
+    }
+
+    /// Moves `op` so it comes immediately before `before` (same or another
+    /// block).
+    pub fn move_op_before(&mut self, op: OpId, before: OpId) {
+        self.detach_op(op);
+        let block = self.ops[before].parent.expect("`before` op is detached");
+        let pos = self.op_position(block, before).expect("`before` missing from block");
+        self.insert_op(block, pos, op);
+    }
+
+    /// Moves `op` so it comes immediately after `after`.
+    pub fn move_op_after(&mut self, op: OpId, after: OpId) {
+        self.detach_op(op);
+        let block = self.ops[after].parent.expect("`after` op is detached");
+        let pos = self.op_position(block, after).expect("`after` missing from block");
+        self.insert_op(block, pos + 1, op);
+    }
+
+    /// Position of `op` inside `block`, if present.
+    pub fn op_position(&self, block: BlockId, op: OpId) -> Option<usize> {
+        self.blocks[block].ops.iter().position(|&o| o == op)
+    }
+
+    // ----- mutation ------------------------------------------------------
+
+    /// Replaces the operand at `index` of `op` with `new_value`, updating
+    /// use lists.
+    pub fn set_operand(&mut self, op: OpId, index: usize, new_value: ValueId) {
+        let old = self.ops[op].operands[index];
+        if old == new_value {
+            return;
+        }
+        let uses = &mut self.values[old].uses;
+        if let Some(pos) = uses.iter().position(|&(o, i)| o == op && i as usize == index) {
+            uses.swap_remove(pos);
+        }
+        self.values[new_value].uses.push((op, index as u32));
+        self.ops[op].operands[index] = new_value;
+    }
+
+    /// Renames an operation in place, keeping operands/results/attributes.
+    ///
+    /// Useful for conversions where source and target ops are structurally
+    /// identical (e.g. bufferization renaming `tensor.empty` to
+    /// `memref.alloc`).
+    pub fn set_op_name(&mut self, op: OpId, name: impl Into<Symbol>) {
+        self.ops[op].name = name.into();
+    }
+
+    /// Appends an operand to `op`, updating use lists.
+    pub fn append_operand(&mut self, op: OpId, value: ValueId) {
+        let index = self.ops[op].operands.len() as u32;
+        self.ops[op].operands.push(value);
+        self.values[value].uses.push((op, index));
+    }
+
+    /// Replaces every use of `old` with `new`.
+    pub fn replace_all_uses(&mut self, old: ValueId, new: ValueId) {
+        if old == new {
+            return;
+        }
+        let uses = std::mem::take(&mut self.values[old].uses);
+        for &(op, index) in &uses {
+            self.ops[op].operands[index as usize] = new;
+        }
+        self.values[new].uses.extend(uses);
+    }
+
+    /// Sets (or overwrites) an attribute on an operation.
+    pub fn set_attr(&mut self, op: OpId, name: impl Into<Symbol>, value: Attribute) {
+        let name = name.into();
+        let attrs = &mut self.ops[op].attributes;
+        if let Some(slot) = attrs.iter_mut().find(|(k, _)| *k == name) {
+            slot.1 = value;
+        } else {
+            attrs.push((name, value));
+        }
+    }
+
+    /// Removes an attribute; returns the previous value if present.
+    pub fn remove_attr(&mut self, op: OpId, name: &str) -> Option<Attribute> {
+        let attrs = &mut self.ops[op].attributes;
+        let pos = attrs.iter().position(|(k, _)| k.as_str() == name)?;
+        Some(attrs.remove(pos).1)
+    }
+
+    // ----- erasure -------------------------------------------------------
+
+    /// Erases an operation and everything nested inside it.
+    ///
+    /// Uses of the op's operands are removed from use lists. The op's
+    /// results must be unused (drop or replace them first); this is
+    /// asserted in debug builds and enforced with a panic in release
+    /// builds, because silently erasing used values would corrupt the IR.
+    ///
+    /// # Panics
+    /// Panics if any result still has uses *outside* the erased subtree.
+    pub fn erase_op(&mut self, op: OpId) {
+        // First erase nested regions so uses inside the subtree disappear.
+        let regions = self.ops[op].regions.clone();
+        for region in regions {
+            self.erase_region_contents(region);
+            self.regions.erase(region);
+        }
+        // Unlink operand uses.
+        let operands = self.ops[op].operands.clone();
+        for (index, operand) in operands.into_iter().enumerate() {
+            if let Some(value) = self.values.get_mut(operand) {
+                if let Some(pos) =
+                    value.uses.iter().position(|&(o, i)| o == op && i as usize == index)
+                {
+                    value.uses.swap_remove(pos);
+                }
+            }
+        }
+        // Detach from parent block.
+        self.detach_op(op);
+        // Erase result values.
+        let results = self.ops[op].results.clone();
+        for result in results {
+            let still_used = self.values[result].uses.iter().any(|&(user, _)| self.ops.contains(user));
+            assert!(
+                !still_used,
+                "erasing op {:?} ({}) whose result still has live uses",
+                op,
+                self.ops[op].name
+            );
+            self.values.erase(result);
+        }
+        self.ops.erase(op);
+    }
+
+    /// Erases all blocks (and their ops) of a region, leaving it empty.
+    pub fn erase_region_contents(&mut self, region: RegionId) {
+        let blocks = std::mem::take(&mut self.regions[region].blocks);
+        for block in blocks {
+            // Erase ops in reverse so uses disappear before defs.
+            let ops: Vec<OpId> = self.blocks[block].ops.clone();
+            for op in ops.into_iter().rev() {
+                self.erase_op(op);
+            }
+            let args = self.blocks[block].args.clone();
+            for arg in args {
+                self.values.erase(arg);
+            }
+            self.blocks.erase(block);
+        }
+    }
+
+    // ----- navigation ----------------------------------------------------
+
+    /// The op that owns the block containing `op` (its parent op).
+    pub fn parent_op(&self, op: OpId) -> Option<OpId> {
+        let block = self.ops[op].parent?;
+        let region = self.blocks[block].parent?;
+        self.regions[region].parent
+    }
+
+    /// Iterates `op`'s ancestors from the immediate parent upward.
+    pub fn ancestors(&self, op: OpId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        let mut cursor = self.parent_op(op);
+        while let Some(parent) = cursor {
+            out.push(parent);
+            cursor = self.parent_op(parent);
+        }
+        out
+    }
+
+    /// Whether `ancestor` properly contains `descendant`.
+    pub fn is_proper_ancestor(&self, ancestor: OpId, descendant: OpId) -> bool {
+        let mut cursor = self.parent_op(descendant);
+        while let Some(parent) = cursor {
+            if parent == ancestor {
+                return true;
+            }
+            cursor = self.parent_op(parent);
+        }
+        false
+    }
+
+    /// Collects `root` and every op nested inside it, preorder.
+    pub fn walk(&self, root: OpId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        self.walk_into(root, &mut out);
+        out
+    }
+
+    fn walk_into(&self, op: OpId, out: &mut Vec<OpId>) {
+        out.push(op);
+        for &region in &self.ops[op].regions {
+            for &block in &self.regions[region].blocks {
+                for &nested in &self.blocks[block].ops {
+                    self.walk_into(nested, out);
+                }
+            }
+        }
+    }
+
+    /// Collects ops nested inside `root` (excluding `root`), preorder.
+    pub fn walk_nested(&self, root: OpId) -> Vec<OpId> {
+        let mut all = self.walk(root);
+        all.remove(0);
+        all
+    }
+
+    /// Returns the single block of the op's `index`-th region.
+    ///
+    /// # Panics
+    /// Panics if the region does not have exactly one block.
+    pub fn sole_block(&self, op: OpId, index: usize) -> BlockId {
+        let region = self.ops[op].regions[index];
+        let blocks = &self.regions[region].blocks;
+        assert_eq!(blocks.len(), 1, "expected a single-block region on {}", self.ops[op].name);
+        blocks[0]
+    }
+
+    /// Looks up a symbol-defining op (one with a `sym_name` attribute equal
+    /// to `name`) among the immediate ops of `scope`'s regions.
+    pub fn lookup_symbol(&self, scope: OpId, name: &str) -> Option<OpId> {
+        for &region in &self.ops[scope].regions {
+            for &block in &self.regions[region].blocks {
+                for &op in &self.blocks[block].ops {
+                    if let Some(Attribute::String(s)) = self.op(op).attr("sym_name") {
+                        if s == name {
+                            return Some(op);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Changes the type of a value in place.
+    ///
+    /// This is the low-level primitive behind block-signature conversion in
+    /// lowering passes (MLIR's `TypeConverter::convertSignature`); callers
+    /// are responsible for materializing casts so existing uses stay
+    /// type-correct.
+    pub fn set_value_type(&mut self, value: ValueId, ty: TypeId) {
+        self.values[value].ty = ty;
+    }
+
+    /// Moves all blocks of `from` to the end of `to`, leaving `from` empty.
+    /// Used by conversions that replace a region-holding op (e.g.
+    /// `func.func` → `llvm.func`) without rebuilding its body.
+    pub fn transfer_region_blocks(&mut self, from: RegionId, to: RegionId) {
+        let blocks = std::mem::take(&mut self.regions[from].blocks);
+        for &block in &blocks {
+            self.blocks[block].parent = Some(to);
+        }
+        self.regions[to].blocks.extend(blocks);
+    }
+
+    // ----- cloning -------------------------------------------------------
+
+    /// Deep-clones `op` (with all nested regions) as a detached operation.
+    ///
+    /// `value_map` maps values of the original to values of the clone;
+    /// operands not present in the map are assumed to be defined outside
+    /// the cloned subtree and are used as-is. On return the map additionally
+    /// contains all result/argument correspondences, which callers can use
+    /// to remap handles.
+    pub fn clone_op(&mut self, op: OpId, value_map: &mut HashMap<ValueId, ValueId>) -> OpId {
+        let data = self.ops[op].clone();
+        let operands: Vec<ValueId> =
+            data.operands.iter().map(|v| *value_map.get(v).unwrap_or(v)).collect();
+        let result_types: Vec<TypeId> =
+            data.results.iter().map(|&r| self.values[r].ty).collect();
+        let clone = self.create_op(
+            data.location.clone(),
+            data.name,
+            operands,
+            result_types,
+            data.attributes.clone(),
+            0,
+        );
+        for (old, new) in data.results.iter().zip(self.ops[clone].results.clone()) {
+            value_map.insert(*old, new);
+        }
+        // Clone regions.
+        let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+        for &region in &data.regions {
+            let new_region = self.regions.alloc(RegionData { blocks: vec![], parent: Some(clone) });
+            self.ops[clone].regions.push(new_region);
+            // Pass 1: create blocks and arguments so forward branch targets
+            // and cross-block value uses resolve.
+            let blocks = self.regions[region].blocks.clone();
+            for &block in &blocks {
+                let arg_types: Vec<TypeId> =
+                    self.blocks[block].args.iter().map(|&a| self.values[a].ty).collect();
+                let new_block = self.append_block(new_region, &arg_types);
+                block_map.insert(block, new_block);
+                let old_args = self.blocks[block].args.clone();
+                let new_args = self.blocks[new_block].args.clone();
+                for (old, new) in old_args.into_iter().zip(new_args) {
+                    value_map.insert(old, new);
+                }
+            }
+            // Pass 2: clone ops.
+            for &block in &blocks {
+                let ops = self.blocks[block].ops.clone();
+                let new_block = block_map[&block];
+                for nested in ops {
+                    let nested_clone = self.clone_op(nested, value_map);
+                    // Remap successors through the accumulated block map.
+                    let succ = self.ops[nested].successors.clone();
+                    self.ops[nested_clone].successors =
+                        succ.iter().map(|b| *block_map.get(b).unwrap_or(b)).collect();
+                    self.append_op(new_block, nested_clone);
+                }
+            }
+        }
+        clone
+    }
+
+    /// Total number of live operations (for tests and statistics).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_support::Location;
+
+    fn ctx_with_module() -> (Context, OpId, BlockId) {
+        let mut ctx = Context::new();
+        let module = ctx.create_module(Location::unknown());
+        let body = ctx.sole_block(module, 0);
+        (ctx, module, body)
+    }
+
+    #[test]
+    fn create_and_insert() {
+        let (mut ctx, _module, body) = ctx_with_module();
+        let i32t = ctx.i32_type();
+        let c = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![i32t],
+            vec![(Symbol::new("value"), Attribute::Int(7))],
+            0,
+        );
+        ctx.append_op(body, c);
+        assert_eq!(ctx.block(body).ops().len(), 1);
+        assert_eq!(ctx.op(c).parent(), Some(body));
+        assert_eq!(ctx.op(c).attr("value"), Some(&Attribute::Int(7)));
+    }
+
+    #[test]
+    fn use_lists_track_operands() {
+        let (mut ctx, _m, body) = ctx_with_module();
+        let i32t = ctx.i32_type();
+        let a = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![i32t], vec![], 0);
+        let b = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![i32t], vec![], 0);
+        ctx.append_op(body, a);
+        ctx.append_op(body, b);
+        let va = ctx.op(a).results()[0];
+        let vb = ctx.op(b).results()[0];
+        let add = ctx.create_op(Location::unknown(), "arith.addi", vec![va, va], vec![i32t], vec![], 0);
+        ctx.append_op(body, add);
+        assert_eq!(ctx.uses(va).len(), 2);
+        ctx.set_operand(add, 1, vb);
+        assert_eq!(ctx.uses(va).len(), 1);
+        assert_eq!(ctx.uses(vb), &[(add, 1)]);
+    }
+
+    #[test]
+    fn rauw_moves_all_uses() {
+        let (mut ctx, _m, body) = ctx_with_module();
+        let i32t = ctx.i32_type();
+        let a = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![i32t], vec![], 0);
+        let b = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![i32t], vec![], 0);
+        ctx.append_op(body, a);
+        ctx.append_op(body, b);
+        let va = ctx.op(a).results()[0];
+        let vb = ctx.op(b).results()[0];
+        let u1 = ctx.create_op(Location::unknown(), "test.use", vec![va], vec![], vec![], 0);
+        let u2 = ctx.create_op(Location::unknown(), "test.use", vec![va, va], vec![], vec![], 0);
+        ctx.append_op(body, u1);
+        ctx.append_op(body, u2);
+        ctx.replace_all_uses(va, vb);
+        assert!(!ctx.has_uses(va));
+        assert_eq!(ctx.uses(vb).len(), 3);
+        assert_eq!(ctx.op(u2).operands(), &[vb, vb]);
+    }
+
+    #[test]
+    fn erase_op_detects_stale_ids() {
+        let (mut ctx, _m, body) = ctx_with_module();
+        let i32t = ctx.i32_type();
+        let a = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![i32t], vec![], 0);
+        ctx.append_op(body, a);
+        ctx.erase_op(a);
+        assert!(!ctx.is_live(a));
+        assert!(ctx.block(body).ops().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "still has live uses")]
+    fn erase_op_with_uses_panics() {
+        let (mut ctx, _m, body) = ctx_with_module();
+        let i32t = ctx.i32_type();
+        let a = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![i32t], vec![], 0);
+        ctx.append_op(body, a);
+        let va = ctx.op(a).results()[0];
+        let u = ctx.create_op(Location::unknown(), "test.use", vec![va], vec![], vec![], 0);
+        ctx.append_op(body, u);
+        ctx.erase_op(a);
+    }
+
+    #[test]
+    fn erase_recursively_erases_nested() {
+        let (mut ctx, _m, body) = ctx_with_module();
+        let outer = ctx.create_op(Location::unknown(), "scf.execute_region", vec![], vec![], vec![], 1);
+        ctx.append_op(body, outer);
+        let region = ctx.op(outer).regions()[0];
+        let inner_block = ctx.append_block(region, &[]);
+        let i32t = ctx.i32_type();
+        let c = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![i32t], vec![], 0);
+        ctx.append_op(inner_block, c);
+        let before = ctx.num_ops();
+        ctx.erase_op(outer);
+        assert_eq!(ctx.num_ops(), before - 2);
+        assert!(!ctx.is_live(c));
+    }
+
+    #[test]
+    fn ancestors_and_walk() {
+        let (mut ctx, module, body) = ctx_with_module();
+        let outer = ctx.create_op(Location::unknown(), "scf.execute_region", vec![], vec![], vec![], 1);
+        ctx.append_op(body, outer);
+        let region = ctx.op(outer).regions()[0];
+        let inner_block = ctx.append_block(region, &[]);
+        let c = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![], vec![], 0);
+        ctx.append_op(inner_block, c);
+        assert_eq!(ctx.ancestors(c), vec![outer, module]);
+        assert!(ctx.is_proper_ancestor(module, c));
+        assert!(ctx.is_proper_ancestor(outer, c));
+        assert!(!ctx.is_proper_ancestor(c, outer));
+        let walked = ctx.walk(module);
+        assert_eq!(walked, vec![module, outer, c]);
+        assert_eq!(ctx.walk_nested(module), vec![outer, c]);
+    }
+
+    #[test]
+    fn move_op_before_and_after() {
+        let (mut ctx, _m, body) = ctx_with_module();
+        let a = ctx.create_op(Location::unknown(), "test.a", vec![], vec![], vec![], 0);
+        let b = ctx.create_op(Location::unknown(), "test.b", vec![], vec![], vec![], 0);
+        let c = ctx.create_op(Location::unknown(), "test.c", vec![], vec![], vec![], 0);
+        ctx.append_op(body, a);
+        ctx.append_op(body, b);
+        ctx.append_op(body, c);
+        ctx.move_op_before(c, a);
+        assert_eq!(ctx.block(body).ops(), &[c, a, b]);
+        ctx.move_op_after(c, b);
+        assert_eq!(ctx.block(body).ops(), &[a, b, c]);
+    }
+
+    #[test]
+    fn clone_op_remaps_internal_uses() {
+        let (mut ctx, _m, body) = ctx_with_module();
+        let i32t = ctx.i32_type();
+        let outer = ctx.create_op(Location::unknown(), "test.wrap", vec![], vec![], vec![], 1);
+        ctx.append_op(body, outer);
+        let region = ctx.op(outer).regions()[0];
+        let block = ctx.append_block(region, &[i32t]);
+        let arg = ctx.block(block).args()[0];
+        let use_op = ctx.create_op(Location::unknown(), "test.use", vec![arg], vec![i32t], vec![], 0);
+        ctx.append_op(block, use_op);
+        let mut map = HashMap::new();
+        let clone = ctx.clone_op(outer, &mut map);
+        ctx.append_op(body, clone);
+        let cloned_block = ctx.sole_block(clone, 0);
+        let cloned_arg = ctx.block(cloned_block).args()[0];
+        let cloned_use = ctx.block(cloned_block).ops()[0];
+        assert_eq!(ctx.op(cloned_use).operands(), &[cloned_arg]);
+        assert_eq!(map[&arg], cloned_arg);
+        assert_ne!(cloned_use, use_op);
+    }
+
+    #[test]
+    fn lookup_symbol_finds_functions() {
+        let (mut ctx, module, body) = ctx_with_module();
+        let f = ctx.create_op(
+            Location::unknown(),
+            "func.func",
+            vec![],
+            vec![],
+            vec![(Symbol::new("sym_name"), Attribute::String("main".into()))],
+            1,
+        );
+        ctx.append_op(body, f);
+        assert_eq!(ctx.lookup_symbol(module, "main"), Some(f));
+        assert_eq!(ctx.lookup_symbol(module, "other"), None);
+    }
+}

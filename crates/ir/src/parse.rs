@@ -1,0 +1,1580 @@
+//! Textual IR parsing.
+//!
+//! Accepts the forms produced by [`crate::print`]: the generic operation
+//! syntax for any operation, plus custom syntax for `module`, `func.func`,
+//! `transform.named_sequence`, `arith.constant`, `func.return`, `scf.yield`
+//! and `scf.for`.
+
+use crate::attrs::Attribute;
+use crate::ir::{BlockId, Context, OpId, RegionId, ValueId};
+use crate::types::{Extent, TypeId, TypeKind};
+use td_support::{Diagnostic, Location, Symbol};
+use std::collections::HashMap;
+
+/// Parses a top-level module (either `module { ... }` or a bare list of
+/// operations wrapped in an implicit module).
+///
+/// # Errors
+/// Returns a [`Diagnostic`] pointing at the offending token on syntax or
+/// scoping errors.
+pub fn parse_module(ctx: &mut Context, source: &str) -> Result<OpId, Diagnostic> {
+    let mut parser = Parser::new(ctx, source);
+    let module = parser.parse_top_level()?;
+    Ok(module)
+}
+
+/// Parses a single type from `source` (useful for tests and tools).
+///
+/// # Errors
+/// Returns a [`Diagnostic`] on syntax errors or trailing input.
+pub fn parse_type_str(ctx: &mut Context, source: &str) -> Result<TypeId, Diagnostic> {
+    let mut parser = Parser::new(ctx, source);
+    let ty = parser.parse_type()?;
+    parser.expect_eof()?;
+    Ok(ty)
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    ValueId(String),
+    BlockId(String),
+    AtId(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Less,
+    Greater,
+    Comma,
+    Colon,
+    Equal,
+    Arrow,
+    Bang,
+    Question,
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::ValueId(s) => write!(f, "`%{s}`"),
+            Tok::BlockId(s) => write!(f, "`^{s}`"),
+            Tok::AtId(s) => write!(f, "`@{s}`"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Float(v) => write!(f, "`{v}`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::LBrace => f.write_str("`{`"),
+            Tok::RBrace => f.write_str("`}`"),
+            Tok::LBracket => f.write_str("`[`"),
+            Tok::RBracket => f.write_str("`]`"),
+            Tok::Less => f.write_str("`<`"),
+            Tok::Greater => f.write_str("`>`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Colon => f.write_str("`:`"),
+            Tok::Equal => f.write_str("`=`"),
+            Tok::Arrow => f.write_str("`->`"),
+            Tok::Bang => f.write_str("`!`"),
+            Tok::Question => f.write_str("`?`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn location(&self) -> Location {
+        Location::file("<input>", self.line, self.col)
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = *self.src.get(self.pos)?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek_char(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_char_at(&self, offset: usize) -> Option<u8> {
+        self.src.get(self.pos + offset).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek_char() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek_char_at(1) == Some(b'/') => {
+                    while let Some(c) = self.peek_char() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn is_ident_start(c: u8) -> bool {
+        c.is_ascii_alphabetic() || c == b'_'
+    }
+
+    fn is_ident_cont(c: u8) -> bool {
+        c.is_ascii_alphanumeric() || c == b'_' || c == b'.' || c == b'$'
+    }
+
+    fn lex_ident_body(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek_char() {
+            if Self::is_ident_cont(c) {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn lex_number(&mut self, negative: bool) -> Result<Tok, Diagnostic> {
+        let mut text = String::new();
+        while let Some(c) = self.peek_char() {
+            if c.is_ascii_digit() {
+                text.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let is_float = self.peek_char() == Some(b'.')
+            && self.peek_char_at(1).is_some_and(|c| c.is_ascii_digit());
+        if is_float {
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek_char() {
+                if c.is_ascii_digit() || c == b'e' || c == b'E' || c == b'-' || c == b'+' {
+                    text.push(c as char);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let mut value: f64 = text
+                .parse()
+                .map_err(|_| Diagnostic::error(self.location(), format!("invalid float `{text}`")))?;
+            if negative {
+                value = -value;
+            }
+            Ok(Tok::Float(value))
+        } else {
+            // Parse via i128 so `-9223372036854775808` (i64::MIN, used as
+            // the dynamic-marker sentinel) round-trips.
+            let mut wide: i128 = text
+                .parse()
+                .map_err(|_| Diagnostic::error(self.location(), format!("invalid integer `{text}`")))?;
+            if negative {
+                wide = -wide;
+            }
+            let value = i64::try_from(wide).map_err(|_| {
+                Diagnostic::error(self.location(), format!("integer `{text}` out of range"))
+            })?;
+            Ok(Tok::Int(value))
+        }
+    }
+
+    fn next_token(&mut self) -> Result<(Tok, Location), Diagnostic> {
+        self.skip_trivia();
+        let loc = self.location();
+        let Some(c) = self.peek_char() else {
+            return Ok((Tok::Eof, loc));
+        };
+        let tok = match c {
+            b'(' => {
+                self.bump();
+                Tok::LParen
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b'{' => {
+                self.bump();
+                Tok::LBrace
+            }
+            b'}' => {
+                self.bump();
+                Tok::RBrace
+            }
+            b'[' => {
+                self.bump();
+                Tok::LBracket
+            }
+            b']' => {
+                self.bump();
+                Tok::RBracket
+            }
+            b'<' => {
+                self.bump();
+                Tok::Less
+            }
+            b'>' => {
+                self.bump();
+                Tok::Greater
+            }
+            b',' => {
+                self.bump();
+                Tok::Comma
+            }
+            b':' => {
+                self.bump();
+                Tok::Colon
+            }
+            b'=' => {
+                self.bump();
+                Tok::Equal
+            }
+            b'!' => {
+                self.bump();
+                Tok::Bang
+            }
+            b'?' => {
+                self.bump();
+                Tok::Question
+            }
+            b'-' => {
+                self.bump();
+                if self.peek_char() == Some(b'>') {
+                    self.bump();
+                    Tok::Arrow
+                } else if self.peek_char().is_some_and(|c| c.is_ascii_digit()) {
+                    self.lex_number(true)?
+                } else {
+                    return Err(Diagnostic::error(loc, "unexpected `-`"));
+                }
+            }
+            b'%' => {
+                self.bump();
+                Tok::ValueId(self.lex_suffix_id(&loc)?)
+            }
+            b'^' => {
+                self.bump();
+                Tok::BlockId(self.lex_suffix_id(&loc)?)
+            }
+            b'@' => {
+                self.bump();
+                Tok::AtId(self.lex_suffix_id(&loc)?)
+            }
+            b'"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(b'\\') => match self.bump() {
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            other => {
+                                return Err(Diagnostic::error(
+                                    self.location(),
+                                    format!("invalid escape `\\{:?}`", other.map(|c| c as char)),
+                                ))
+                            }
+                        },
+                        Some(c) => s.push(c as char),
+                        None => {
+                            return Err(Diagnostic::error(loc, "unterminated string literal"))
+                        }
+                    }
+                }
+                Tok::Str(s)
+            }
+            c if c.is_ascii_digit() => self.lex_number(false)?,
+            c if Self::is_ident_start(c) => Tok::Ident(self.lex_ident_body()),
+            other => {
+                return Err(Diagnostic::error(
+                    loc,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        };
+        Ok((tok, loc))
+    }
+
+    fn lex_suffix_id(&mut self, loc: &Location) -> Result<String, Diagnostic> {
+        // Suffix ids allow digits at the start (`%0`, `^bb1`).
+        let mut s = String::new();
+        while let Some(c) = self.peek_char() {
+            if Self::is_ident_cont(c) {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if s.is_empty() {
+            return Err(Diagnostic::error(loc.clone(), "expected identifier"));
+        }
+        Ok(s)
+    }
+
+    /// Char-level helper: lexes a dimension list like `4x?x` and stops just
+    /// before the element type. Must be called with no buffered token.
+    fn lex_dimensions(&mut self) -> Vec<Extent> {
+        self.skip_trivia();
+        let mut dims = Vec::new();
+        loop {
+            let start = (self.pos, self.line, self.col);
+            let extent = if self.peek_char() == Some(b'?') {
+                self.bump();
+                Some(Extent::Dynamic)
+            } else if self.peek_char().is_some_and(|c| c.is_ascii_digit()) {
+                let mut n: i64 = 0;
+                while let Some(c) = self.peek_char() {
+                    if c.is_ascii_digit() {
+                        n = n * 10 + i64::from(c - b'0');
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Some(Extent::Static(n))
+            } else {
+                None
+            };
+            match (extent, self.peek_char()) {
+                (Some(e), Some(b'x')) => {
+                    self.bump();
+                    dims.push(e);
+                }
+                _ => {
+                    // Not a dimension; rewind and let normal lexing resume.
+                    self.pos = start.0;
+                    self.line = start.1;
+                    self.col = start.2;
+                    break;
+                }
+            }
+        }
+        dims
+    }
+}
+
+/// Per-region parsing state: block name resolution with forward references.
+#[derive(Default)]
+struct RegionState {
+    blocks_by_name: HashMap<String, BlockId>,
+    textual_order: Vec<BlockId>,
+}
+
+struct Parser<'c, 's> {
+    ctx: &'c mut Context,
+    lexer: Lexer<'s>,
+    peeked: Option<(Tok, Location)>,
+    /// Lexical scopes for `%name` → value resolution.
+    scopes: Vec<HashMap<String, ValueId>>,
+    /// Successor references awaiting resolution by the enclosing region.
+    pending_successors: Vec<(OpId, Vec<String>)>,
+}
+
+impl<'c, 's> Parser<'c, 's> {
+    fn new(ctx: &'c mut Context, source: &'s str) -> Self {
+        Parser {
+            ctx,
+            lexer: Lexer::new(source),
+            peeked: None,
+            scopes: vec![HashMap::new()],
+            pending_successors: Vec::new(),
+        }
+    }
+
+    // ----- token plumbing --------------------------------------------------
+
+    fn next(&mut self) -> Result<(Tok, Location), Diagnostic> {
+        if let Some(t) = self.peeked.take() {
+            return Ok(t);
+        }
+        self.lexer.next_token()
+    }
+
+    fn peek(&mut self) -> Result<&Tok, Diagnostic> {
+        if self.peeked.is_none() {
+            self.peeked = Some(self.lexer.next_token()?);
+        }
+        Ok(&self.peeked.as_ref().expect("just filled").0)
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Location, Diagnostic> {
+        let (t, loc) = self.next()?;
+        if t == tok {
+            Ok(loc)
+        } else {
+            Err(Diagnostic::error(loc, format!("expected {tok}, found {t}")))
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> Result<bool, Diagnostic> {
+        if self.peek()? == tok {
+            self.next()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Location), Diagnostic> {
+        let (t, loc) = self.next()?;
+        match t {
+            Tok::Ident(s) => Ok((s, loc)),
+            other => Err(Diagnostic::error(loc, format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), Diagnostic> {
+        let (t, loc) = self.next()?;
+        if t == Tok::Eof {
+            Ok(())
+        } else {
+            Err(Diagnostic::error(loc, format!("expected end of input, found {t}")))
+        }
+    }
+
+    // ----- scoping ---------------------------------------------------------
+
+    fn define_value(&mut self, name: &str, value: ValueId, loc: &Location) -> Result<(), Diagnostic> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.insert(name.to_owned(), value).is_some() {
+            return Err(Diagnostic::error(loc.clone(), format!("redefinition of value %{name}")));
+        }
+        Ok(())
+    }
+
+    fn lookup_value(&self, name: &str, loc: &Location) -> Result<ValueId, Diagnostic> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&v) = scope.get(name) {
+                return Ok(v);
+            }
+        }
+        Err(Diagnostic::error(loc.clone(), format!("use of undefined value %{name}")))
+    }
+
+    // ----- types -----------------------------------------------------------
+
+    fn parse_type(&mut self) -> Result<TypeId, Diagnostic> {
+        let (tok, loc) = self.next()?;
+        match tok {
+            Tok::Ident(name) => self.parse_named_type(&name, loc),
+            Tok::LParen => {
+                // Function type.
+                let mut inputs = Vec::new();
+                if !self.eat(&Tok::RParen)? {
+                    loop {
+                        inputs.push(self.parse_type()?);
+                        if !self.eat(&Tok::Comma)? {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                }
+                self.expect(Tok::Arrow)?;
+                let results = self.parse_result_types()?;
+                Ok(self.ctx.intern_type(TypeKind::Function { inputs, results }))
+            }
+            Tok::Bang => {
+                let (name, loc) = self.expect_ident()?;
+                self.parse_dialect_type(&name, loc)
+            }
+            other => Err(Diagnostic::error(loc, format!("expected type, found {other}"))),
+        }
+    }
+
+    fn parse_named_type(&mut self, name: &str, loc: Location) -> Result<TypeId, Diagnostic> {
+        match name {
+            "index" => Ok(self.ctx.index_type()),
+            "f32" => Ok(self.ctx.f32_type()),
+            "f64" => Ok(self.ctx.f64_type()),
+            "none" => Ok(self.ctx.intern_type(TypeKind::None)),
+            "memref" => {
+                self.expect(Tok::Less)?;
+                assert!(self.peeked.is_none(), "dimension lexing needs an empty lookahead");
+                let shape = self.lexer.lex_dimensions();
+                let element = self.parse_type()?;
+                let (mut offset, mut strides) = (Extent::Static(0), Vec::new());
+                if self.eat(&Tok::Comma)? {
+                    let (kw, kw_loc) = self.expect_ident()?;
+                    if kw != "strided" {
+                        return Err(Diagnostic::error(kw_loc, "expected `strided` layout"));
+                    }
+                    self.expect(Tok::Less)?;
+                    self.expect(Tok::LBracket)?;
+                    if !self.eat(&Tok::RBracket)? {
+                        loop {
+                            strides.push(self.parse_extent()?);
+                            if !self.eat(&Tok::Comma)? {
+                                break;
+                            }
+                        }
+                        self.expect(Tok::RBracket)?;
+                    }
+                    self.expect(Tok::Comma)?;
+                    let (kw, kw_loc) = self.expect_ident()?;
+                    if kw != "offset" {
+                        return Err(Diagnostic::error(kw_loc, "expected `offset`"));
+                    }
+                    self.expect(Tok::Colon)?;
+                    offset = self.parse_extent()?;
+                    self.expect(Tok::Greater)?;
+                }
+                self.expect(Tok::Greater)?;
+                Ok(self.ctx.intern_type(TypeKind::MemRef { shape, element, offset, strides }))
+            }
+            "tensor" => {
+                self.expect(Tok::Less)?;
+                assert!(self.peeked.is_none(), "dimension lexing needs an empty lookahead");
+                let shape = self.lexer.lex_dimensions();
+                let element = self.parse_type()?;
+                self.expect(Tok::Greater)?;
+                Ok(self.ctx.intern_type(TypeKind::Tensor { shape, element }))
+            }
+            _ => {
+                if let Some(width_text) = name.strip_prefix('i') {
+                    if let Ok(width) = width_text.parse::<u32>() {
+                        return Ok(self.ctx.intern_type(TypeKind::Integer(width)));
+                    }
+                }
+                Err(Diagnostic::error(loc, format!("unknown type `{name}`")))
+            }
+        }
+    }
+
+    fn parse_dialect_type(&mut self, name: &str, loc: Location) -> Result<TypeId, Diagnostic> {
+        match name {
+            "llvm.ptr" => Ok(self.ctx.intern_type(TypeKind::LlvmPtr)),
+            "llvm.struct" => {
+                self.expect(Tok::Less)?;
+                self.expect(Tok::LParen)?;
+                let mut fields = Vec::new();
+                if !self.eat(&Tok::RParen)? {
+                    loop {
+                        fields.push(self.parse_type()?);
+                        if !self.eat(&Tok::Comma)? {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                }
+                self.expect(Tok::Greater)?;
+                Ok(self.ctx.intern_type(TypeKind::LlvmStruct(fields)))
+            }
+            "transform.any_op" => Ok(self.ctx.intern_type(TypeKind::TransformAnyOp)),
+            "transform.param" => Ok(self.ctx.intern_type(TypeKind::TransformParam)),
+            "transform.any_value" => Ok(self.ctx.intern_type(TypeKind::TransformAnyValue)),
+            "transform.op" => {
+                self.expect(Tok::Less)?;
+                let (t, sloc) = self.next()?;
+                let opname = match t {
+                    Tok::Str(s) => s,
+                    other => {
+                        return Err(Diagnostic::error(
+                            sloc,
+                            format!("expected quoted op name, found {other}"),
+                        ))
+                    }
+                };
+                self.expect(Tok::Greater)?;
+                Ok(self.ctx.intern_type(TypeKind::TransformOp(Symbol::new(&opname))))
+            }
+            _ => {
+                let _ = loc;
+                Ok(self.ctx.intern_type(TypeKind::Opaque(Symbol::new(name))))
+            }
+        }
+    }
+
+    fn parse_extent(&mut self) -> Result<Extent, Diagnostic> {
+        let (t, loc) = self.next()?;
+        match t {
+            Tok::Int(v) => Ok(Extent::Static(v)),
+            Tok::Question => Ok(Extent::Dynamic),
+            other => Err(Diagnostic::error(loc, format!("expected extent, found {other}"))),
+        }
+    }
+
+    fn parse_result_types(&mut self) -> Result<Vec<TypeId>, Diagnostic> {
+        if self.peek()? == &Tok::LParen {
+            self.next()?;
+            let mut out = Vec::new();
+            if self.eat(&Tok::RParen)? {
+                return Ok(out);
+            }
+            loop {
+                out.push(self.parse_type()?);
+                if !self.eat(&Tok::Comma)? {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+            // `(T) -> U` style function type written in result position?
+            // Not supported; a single parenthesized list is just the list.
+            Ok(out)
+        } else {
+            Ok(vec![self.parse_type()?])
+        }
+    }
+
+    // ----- attributes --------------------------------------------------------
+
+    fn parse_attribute(&mut self) -> Result<Attribute, Diagnostic> {
+        match self.peek()? {
+            Tok::Int(_) => {
+                let (t, _) = self.next()?;
+                match t {
+                    Tok::Int(v) => Ok(Attribute::Int(v)),
+                    _ => unreachable!(),
+                }
+            }
+            Tok::Float(_) => {
+                let (t, _) = self.next()?;
+                match t {
+                    Tok::Float(v) => Ok(Attribute::float(v)),
+                    _ => unreachable!(),
+                }
+            }
+            Tok::Str(_) => {
+                let (t, _) = self.next()?;
+                match t {
+                    Tok::Str(s) => Ok(Attribute::String(s)),
+                    _ => unreachable!(),
+                }
+            }
+            Tok::AtId(_) => {
+                let (t, _) = self.next()?;
+                match t {
+                    Tok::AtId(s) => Ok(Attribute::SymbolRef(Symbol::new(&s))),
+                    _ => unreachable!(),
+                }
+            }
+            Tok::LBracket => {
+                self.next()?;
+                let mut items = Vec::new();
+                if !self.eat(&Tok::RBracket)? {
+                    loop {
+                        items.push(self.parse_attribute()?);
+                        if !self.eat(&Tok::Comma)? {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RBracket)?;
+                }
+                Ok(Attribute::Array(items))
+            }
+            Tok::Ident(name) => match name.as_str() {
+                "true" => {
+                    self.next()?;
+                    Ok(Attribute::Bool(true))
+                }
+                "false" => {
+                    self.next()?;
+                    Ok(Attribute::Bool(false))
+                }
+                "unit" => {
+                    self.next()?;
+                    Ok(Attribute::Unit)
+                }
+                "dense" => self.parse_dense(),
+                _ => {
+                    let ty = self.parse_type()?;
+                    Ok(Attribute::Type(ty))
+                }
+            },
+            _ => {
+                let ty = self.parse_type()?;
+                Ok(Attribute::Type(ty))
+            }
+        }
+    }
+
+    fn parse_dense(&mut self) -> Result<Attribute, Diagnostic> {
+        self.next()?; // `dense`
+        self.expect(Tok::Less)?;
+        let (kw, kw_loc) = self.expect_ident()?;
+        if kw != "shape" {
+            return Err(Diagnostic::error(kw_loc, "expected `shape`"));
+        }
+        self.expect(Tok::Equal)?;
+        self.expect(Tok::LBracket)?;
+        let mut shape = Vec::new();
+        if !self.eat(&Tok::RBracket)? {
+            loop {
+                let (t, loc) = self.next()?;
+                match t {
+                    Tok::Int(v) => shape.push(v),
+                    other => {
+                        return Err(Diagnostic::error(loc, format!("expected int, found {other}")))
+                    }
+                }
+                if !self.eat(&Tok::Comma)? {
+                    break;
+                }
+            }
+            self.expect(Tok::RBracket)?;
+        }
+        self.expect(Tok::Comma)?;
+        let (kw, kw_loc) = self.expect_ident()?;
+        if kw != "values" {
+            return Err(Diagnostic::error(kw_loc, "expected `values`"));
+        }
+        self.expect(Tok::Equal)?;
+        self.expect(Tok::LBracket)?;
+        let mut data = Vec::new();
+        if !self.eat(&Tok::RBracket)? {
+            loop {
+                let (t, loc) = self.next()?;
+                match t {
+                    Tok::Int(v) => data.push(crate::attrs::FloatVal(v as f64)),
+                    Tok::Float(v) => data.push(crate::attrs::FloatVal(v)),
+                    other => {
+                        return Err(Diagnostic::error(
+                            loc,
+                            format!("expected number, found {other}"),
+                        ))
+                    }
+                }
+                if !self.eat(&Tok::Comma)? {
+                    break;
+                }
+            }
+            self.expect(Tok::RBracket)?;
+        }
+        self.expect(Tok::Greater)?;
+        Ok(Attribute::DenseF64 { shape, data })
+    }
+
+    fn parse_attr_dict(&mut self) -> Result<Vec<(Symbol, Attribute)>, Diagnostic> {
+        self.expect(Tok::LBrace)?;
+        let mut attrs = Vec::new();
+        if self.eat(&Tok::RBrace)? {
+            return Ok(attrs);
+        }
+        loop {
+            let (t, loc) = self.next()?;
+            let key = match t {
+                Tok::Ident(s) => s,
+                Tok::Str(s) => s,
+                other => {
+                    return Err(Diagnostic::error(
+                        loc,
+                        format!("expected attribute name, found {other}"),
+                    ))
+                }
+            };
+            let value = if self.eat(&Tok::Equal)? { self.parse_attribute()? } else { Attribute::Unit };
+            attrs.push((Symbol::new(&key), value));
+            if !self.eat(&Tok::Comma)? {
+                break;
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(attrs)
+    }
+
+    // ----- top level -----------------------------------------------------
+
+    fn parse_top_level(&mut self) -> Result<OpId, Diagnostic> {
+        if let Tok::Ident(id) = self.peek()? {
+            if id == "module" {
+                let module = self.parse_module_op()?;
+                self.expect_eof()?;
+                return Ok(module);
+            }
+        }
+        // Implicit module around a list of ops.
+        let module = self.ctx.create_module(Location::file("<input>", 1, 1));
+        let body = self.ctx.sole_block(module, 0);
+        while self.peek()? != &Tok::Eof {
+            let op = self.parse_op()?;
+            self.ctx.append_op(body, op);
+        }
+        Ok(module)
+    }
+
+    fn parse_module_op(&mut self) -> Result<OpId, Diagnostic> {
+        let (_, loc) = self.next()?; // `module`
+        let mut attrs = Vec::new();
+        if let Tok::AtId(_) = self.peek()? {
+            let (t, _) = self.next()?;
+            if let Tok::AtId(name) = t {
+                attrs.push((Symbol::new("sym_name"), Attribute::String(name)));
+            }
+        }
+        let module = self.ctx.create_op(loc, "builtin.module", vec![], vec![], attrs, 1);
+        let region = self.ctx.op(module).regions()[0];
+        let body = self.ctx.append_block(region, &[]);
+        self.expect(Tok::LBrace)?;
+        self.scopes.push(HashMap::new());
+        while self.peek()? != &Tok::RBrace {
+            let op = self.parse_op()?;
+            self.ctx.append_op(body, op);
+        }
+        self.scopes.pop();
+        self.expect(Tok::RBrace)?;
+        Ok(module)
+    }
+
+    /// Parses one operation (custom or generic form), returning a detached op.
+    fn parse_op(&mut self) -> Result<OpId, Diagnostic> {
+        // Optional result list.
+        let mut result_names: Vec<(String, Location)> = Vec::new();
+        while let Tok::ValueId(_) = self.peek()? {
+            let (t, loc) = self.next()?;
+            if let Tok::ValueId(name) = t {
+                result_names.push((name, loc));
+            }
+            if !self.eat(&Tok::Comma)? {
+                break;
+            }
+        }
+        if !result_names.is_empty() {
+            self.expect(Tok::Equal)?;
+        }
+
+        let op = match self.peek()?.clone() {
+            Tok::Str(_) => self.parse_generic_op()?,
+            Tok::Ident(name) => match name.as_str() {
+                "module" => self.parse_module_op()?,
+                "func.func" | "transform.named_sequence" => self.parse_function_like(&name)?,
+                "arith.constant" => self.parse_arith_constant()?,
+                "func.return" | "scf.yield" => self.parse_bare_with_operands(&name)?,
+                "scf.for" => self.parse_scf_for()?,
+                other => {
+                    let (_, loc) = self.next()?;
+                    return Err(Diagnostic::error(
+                        loc,
+                        format!("`{other}` has no custom syntax; use the generic form \"{other}\"(...)"),
+                    ));
+                }
+            },
+            other => {
+                let (_, loc) = self.next()?;
+                return Err(Diagnostic::error(loc, format!("expected operation, found {other}")));
+            }
+        };
+
+        // Bind result names.
+        let results = self.ctx.op(op).results().to_vec();
+        if !result_names.is_empty() && result_names.len() != results.len() {
+            let loc = result_names[0].1.clone();
+            return Err(Diagnostic::error(
+                loc,
+                format!(
+                    "operation produces {} results but {} names were bound",
+                    results.len(),
+                    result_names.len()
+                ),
+            ));
+        }
+        for ((name, loc), value) in result_names.into_iter().zip(results) {
+            self.define_value(&name, value, &loc)?;
+        }
+        Ok(op)
+    }
+
+    fn parse_generic_op(&mut self) -> Result<OpId, Diagnostic> {
+        let (t, loc) = self.next()?;
+        let name = match t {
+            Tok::Str(s) => s,
+            _ => unreachable!("caller checked"),
+        };
+        self.expect(Tok::LParen)?;
+        let mut operand_names = Vec::new();
+        if !self.eat(&Tok::RParen)? {
+            loop {
+                let (t, oloc) = self.next()?;
+                match t {
+                    Tok::ValueId(n) => operand_names.push((n, oloc)),
+                    other => {
+                        return Err(Diagnostic::error(
+                            oloc,
+                            format!("expected operand, found {other}"),
+                        ))
+                    }
+                }
+                if !self.eat(&Tok::Comma)? {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+        }
+        // Successors.
+        let mut successor_names: Vec<String> = Vec::new();
+        if self.eat(&Tok::LBracket)? {
+            loop {
+                let (t, sloc) = self.next()?;
+                match t {
+                    Tok::BlockId(n) => successor_names.push(n),
+                    other => {
+                        return Err(Diagnostic::error(
+                            sloc,
+                            format!("expected successor block, found {other}"),
+                        ))
+                    }
+                }
+                if !self.eat(&Tok::Comma)? {
+                    break;
+                }
+            }
+            self.expect(Tok::RBracket)?;
+        }
+        // Regions.
+        let mut has_regions = false;
+        if self.peek()? == &Tok::LParen {
+            has_regions = true;
+        }
+        // Resolve operands before creating the op.
+        let mut operands = Vec::new();
+        for (n, oloc) in &operand_names {
+            operands.push(self.lookup_value(n, oloc)?);
+        }
+        let op = self.ctx.create_op(loc.clone(), name.as_str(), operands, vec![], vec![], 0);
+        if has_regions {
+            self.next()?; // consume '('
+            loop {
+                let region = self
+                    .ctx
+                    .regions
+                    .alloc(crate::ir::RegionData { blocks: vec![], parent: Some(op) });
+                self.ctx.ops[op].regions.push(region);
+                self.parse_region_body(region, &mut Vec::new())?;
+                if !self.eat(&Tok::Comma)? {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+        }
+        // Attributes.
+        if self.peek()? == &Tok::LBrace {
+            let attrs = self.parse_attr_dict()?;
+            self.ctx.ops[op].attributes = attrs;
+        }
+        // Functional type.
+        self.expect(Tok::Colon)?;
+        self.expect(Tok::LParen)?;
+        let mut operand_types = Vec::new();
+        if !self.eat(&Tok::RParen)? {
+            loop {
+                operand_types.push(self.parse_type()?);
+                if !self.eat(&Tok::Comma)? {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+        }
+        self.expect(Tok::Arrow)?;
+        let result_types = self.parse_result_types()?;
+        // Check operand types.
+        let operand_values = self.ctx.op(op).operands().to_vec();
+        if operand_types.len() != operand_values.len() {
+            return Err(Diagnostic::error(
+                loc,
+                format!(
+                    "operation `{name}` has {} operands but {} operand types",
+                    operand_values.len(),
+                    operand_types.len()
+                ),
+            ));
+        }
+        for (i, (&v, &t)) in operand_values.iter().zip(operand_types.iter()).enumerate() {
+            if self.ctx.value_type(v) != t {
+                return Err(Diagnostic::error(
+                    loc,
+                    format!("operand #{i} of `{name}` has a mismatched type annotation"),
+                ));
+            }
+        }
+        // Create result values now that we know their types.
+        for (index, ty) in result_types.into_iter().enumerate() {
+            let value = self.ctx.values.alloc(crate::ir::ValueData {
+                ty,
+                def: crate::ir::ValueDef::OpResult { op, index: index as u32 },
+                uses: vec![],
+            });
+            self.ctx.ops[op].results.push(value);
+        }
+        // Resolve successors against the *enclosing* region once attached —
+        // successors are resolved by the caller (parse_region_body) because
+        // they refer to sibling blocks. We stash names in an attribute-free
+        // side channel: the caller passes a resolver.
+        if !successor_names.is_empty() {
+            // Store for the enclosing region body to resolve.
+            self.pending_successors.push((op, successor_names));
+        }
+        Ok(op)
+    }
+
+    fn parse_region_body(
+        &mut self,
+        region: RegionId,
+        _unused: &mut Vec<()>,
+    ) -> Result<(), Diagnostic> {
+        self.expect(Tok::LBrace)?;
+        self.scopes.push(HashMap::new());
+        let mut state = RegionState::default();
+        let pending_before = self.pending_successors.len();
+
+        // Entry block: implicit unless a header appears first.
+        let mut current_block: Option<BlockId> = None;
+        loop {
+            match self.peek()? {
+                Tok::RBrace => break,
+                Tok::BlockId(_) => {
+                    let (t, _bloc) = self.next()?;
+                    let name = match t {
+                        Tok::BlockId(n) => n,
+                        _ => unreachable!(),
+                    };
+                    let block = self.get_or_create_block(region, &mut state, &name);
+                    state.textual_order.push(block);
+                    // Arguments.
+                    if self.eat(&Tok::LParen)? {
+                        if !self.eat(&Tok::RParen)? {
+                            loop {
+                                let (t, aloc) = self.next()?;
+                                let arg_name = match t {
+                                    Tok::ValueId(n) => n,
+                                    other => {
+                                        return Err(Diagnostic::error(
+                                            aloc,
+                                            format!("expected block argument, found {other}"),
+                                        ))
+                                    }
+                                };
+                                self.expect(Tok::Colon)?;
+                                let ty = self.parse_type()?;
+                                let arg = self.ctx.add_block_arg(block, ty);
+                                self.define_value(&arg_name, arg, &aloc)?;
+                                if !self.eat(&Tok::Comma)? {
+                                    break;
+                                }
+                            }
+                            self.expect(Tok::RParen)?;
+                        }
+                    }
+                    self.expect(Tok::Colon)?;
+                    current_block = Some(block);
+                }
+                _ => {
+                    let block = match current_block {
+                        Some(b) => b,
+                        None => {
+                            // Implicit entry block.
+                            let b = self.ctx.append_block(region, &[]);
+                            state.textual_order.push(b);
+                            current_block = Some(b);
+                            b
+                        }
+                    };
+                    let op = self.parse_op()?;
+                    self.ctx.append_op(block, op);
+                }
+            }
+        }
+        self.expect(Tok::RBrace)?;
+
+        // Resolve successor references recorded while parsing this region.
+        let pending: Vec<_> = self.pending_successors.drain(pending_before..).collect();
+        for (op, names) in pending {
+            let mut successors = Vec::new();
+            for name in names {
+                match state.blocks_by_name.get(&name) {
+                    Some(&b) => successors.push(b),
+                    None => {
+                        return Err(Diagnostic::error(
+                            self.ctx.op(op).location.clone(),
+                            format!("reference to undefined block ^{name}"),
+                        ))
+                    }
+                }
+            }
+            self.ctx.set_successors(op, successors);
+        }
+
+        // Restore textual block order.
+        self.ctx.regions[region].blocks = state.textual_order;
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn get_or_create_block(
+        &mut self,
+        region: RegionId,
+        state: &mut RegionState,
+        name: &str,
+    ) -> BlockId {
+        if let Some(&b) = state.blocks_by_name.get(name) {
+            return b;
+        }
+        let block = self.ctx.append_block(region, &[]);
+        state.blocks_by_name.insert(name.to_owned(), block);
+        block
+    }
+
+    // ----- custom forms ----------------------------------------------------
+
+    fn parse_function_like(&mut self, opname: &str) -> Result<OpId, Diagnostic> {
+        let (_, loc) = self.next()?; // op name
+        let (t, nloc) = self.next()?;
+        let sym = match t {
+            Tok::AtId(s) => s,
+            other => {
+                return Err(Diagnostic::error(nloc, format!("expected @symbol, found {other}")))
+            }
+        };
+        self.expect(Tok::LParen)?;
+        let mut arg_names = Vec::new();
+        let mut arg_types = Vec::new();
+        if !self.eat(&Tok::RParen)? {
+            loop {
+                let (t, aloc) = self.next()?;
+                let name = match t {
+                    Tok::ValueId(n) => n,
+                    other => {
+                        return Err(Diagnostic::error(
+                            aloc,
+                            format!("expected argument, found {other}"),
+                        ))
+                    }
+                };
+                self.expect(Tok::Colon)?;
+                let ty = self.parse_type()?;
+                arg_names.push((name, aloc));
+                arg_types.push(ty);
+                if !self.eat(&Tok::Comma)? {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+        }
+        let mut result_types = Vec::new();
+        if self.eat(&Tok::Arrow)? {
+            result_types = self.parse_result_types()?;
+        }
+        let fty = self
+            .ctx
+            .intern_type(TypeKind::Function { inputs: arg_types.clone(), results: result_types });
+        let attrs = vec![
+            (Symbol::new("sym_name"), Attribute::String(sym)),
+            (Symbol::new("function_type"), Attribute::Type(fty)),
+        ];
+        let op = self.ctx.create_op(loc, opname, vec![], vec![], attrs, 1);
+        let region = self.ctx.op(op).regions()[0];
+        if self.peek()? == &Tok::LBrace {
+            self.next()?;
+            self.scopes.push(HashMap::new());
+            let block = self.ctx.append_block(region, &arg_types);
+            let args = self.ctx.block(block).args().to_vec();
+            for ((name, aloc), value) in arg_names.into_iter().zip(args) {
+                self.define_value(&name, value, &aloc)?;
+            }
+            while self.peek()? != &Tok::RBrace {
+                let nested = self.parse_op()?;
+                self.ctx.append_op(block, nested);
+            }
+            self.expect(Tok::RBrace)?;
+            self.scopes.pop();
+            // transform.named_sequence bodies get an implicit terminator,
+            // like MLIR's custom syntax.
+            if opname == "transform.named_sequence" {
+                let needs_yield = match self.ctx.block(block).ops().last() {
+                    Some(&last) => self.ctx.op(last).name.as_str() != "transform.yield",
+                    None => true,
+                };
+                if needs_yield {
+                    let yld = self.ctx.create_op(
+                        Location::name("transform.yield"),
+                        "transform.yield",
+                        vec![],
+                        vec![],
+                        vec![],
+                        0,
+                    );
+                    self.ctx.append_op(block, yld);
+                }
+            }
+        }
+        Ok(op)
+    }
+
+    fn parse_arith_constant(&mut self) -> Result<OpId, Diagnostic> {
+        let (_, loc) = self.next()?;
+        let value = self.parse_attribute()?;
+        self.expect(Tok::Colon)?;
+        let ty = self.parse_type()?;
+        // Integer literal with a float type is a float constant.
+        let value = match (&value, self.ctx.type_kind(ty)) {
+            (Attribute::Int(v), TypeKind::F32 | TypeKind::F64) => Attribute::float(*v as f64),
+            _ => value,
+        };
+        let op = self.ctx.create_op(
+            loc,
+            "arith.constant",
+            vec![],
+            vec![ty],
+            vec![(Symbol::new("value"), value)],
+            0,
+        );
+        Ok(op)
+    }
+
+    fn parse_bare_with_operands(&mut self, opname: &str) -> Result<OpId, Diagnostic> {
+        let (_, loc) = self.next()?;
+        let mut operand_names = Vec::new();
+        while let Tok::ValueId(_) = self.peek()? {
+            let (t, oloc) = self.next()?;
+            if let Tok::ValueId(n) = t {
+                operand_names.push((n, oloc));
+            }
+            if !self.eat(&Tok::Comma)? {
+                break;
+            }
+        }
+        if !operand_names.is_empty() {
+            self.expect(Tok::Colon)?;
+            for i in 0..operand_names.len() {
+                let _ty = self.parse_type()?;
+                if i + 1 < operand_names.len() {
+                    self.expect(Tok::Comma)?;
+                }
+            }
+        }
+        let mut operands = Vec::new();
+        for (n, oloc) in &operand_names {
+            operands.push(self.lookup_value(n, oloc)?);
+        }
+        Ok(self.ctx.create_op(loc, opname, operands, vec![], vec![], 0))
+    }
+
+    fn parse_scf_for(&mut self) -> Result<OpId, Diagnostic> {
+        let (_, loc) = self.next()?;
+        let (t, ivloc) = self.next()?;
+        let iv_name = match t {
+            Tok::ValueId(n) => n,
+            other => {
+                return Err(Diagnostic::error(
+                    ivloc,
+                    format!("expected induction variable, found {other}"),
+                ))
+            }
+        };
+        self.expect(Tok::Equal)?;
+        let lb = self.parse_value_use()?;
+        let (kw, kwloc) = self.expect_ident()?;
+        if kw != "to" {
+            return Err(Diagnostic::error(kwloc, "expected `to`"));
+        }
+        let ub = self.parse_value_use()?;
+        let (kw, kwloc) = self.expect_ident()?;
+        if kw != "step" {
+            return Err(Diagnostic::error(kwloc, "expected `step`"));
+        }
+        let step = self.parse_value_use()?;
+        let op = self.ctx.create_op(loc, "scf.for", vec![lb, ub, step], vec![], vec![], 1);
+        let region = self.ctx.op(op).regions()[0];
+        let index = self.ctx.index_type();
+        let block = self.ctx.append_block(region, &[index]);
+        let iv = self.ctx.block(block).args()[0];
+        self.expect(Tok::LBrace)?;
+        self.scopes.push(HashMap::new());
+        self.define_value(&iv_name, iv, &ivloc)?;
+        while self.peek()? != &Tok::RBrace {
+            let nested = self.parse_op()?;
+            self.ctx.append_op(block, nested);
+        }
+        self.expect(Tok::RBrace)?;
+        self.scopes.pop();
+        // Implicit terminator, as in MLIR's custom scf.for syntax.
+        let needs_yield = match self.ctx.block(block).ops().last() {
+            Some(&last) => self.ctx.op(last).name.as_str() != "scf.yield",
+            None => true,
+        };
+        if needs_yield {
+            let yld =
+                self.ctx.create_op(Location::name("scf.yield"), "scf.yield", vec![], vec![], vec![], 0);
+            self.ctx.append_op(block, yld);
+        }
+        // Optional trailing attribute dict.
+        if self.peek()? == &Tok::LBrace {
+            let attrs = self.parse_attr_dict()?;
+            self.ctx.ops[op].attributes = attrs;
+        }
+        Ok(op)
+    }
+
+    fn parse_value_use(&mut self) -> Result<ValueId, Diagnostic> {
+        let (t, loc) = self.next()?;
+        match t {
+            Tok::ValueId(n) => self.lookup_value(&n, &loc),
+            other => Err(Diagnostic::error(loc, format!("expected value, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::{print_op, print_type};
+
+    fn roundtrip(source: &str) -> String {
+        let mut ctx = Context::new();
+        let module = parse_module(&mut ctx, source).expect("parse failed");
+        print_op(&ctx, module)
+    }
+
+    #[test]
+    fn parses_generic_ops() {
+        let text = roundtrip(
+            r#"module {
+  %0 = "arith.constant"() {value = 4} : () -> index
+  "test.use"(%0) : (index) -> ()
+}"#,
+        );
+        assert!(text.contains("arith.constant 4 : index"), "got:\n{text}");
+        assert!(text.contains("\"test.use\"(%0) : (index) -> ()"), "got:\n{text}");
+    }
+
+    #[test]
+    fn parses_func_and_scf_for() {
+        let src = r#"module {
+  func.func @fill(%m: memref<16xf32>) {
+    %lo = arith.constant 0 : index
+    %hi = arith.constant 16 : index
+    %st = arith.constant 1 : index
+    scf.for %i = %lo to %hi step %st {
+      %v = arith.constant 1.0 : f32
+      "memref.store"(%v, %m, %i) : (f32, memref<16xf32>, index) -> ()
+    }
+    func.return
+  }
+}"#;
+        let text = roundtrip(src);
+        assert!(text.contains("func.func @fill"), "got:\n{text}");
+        assert!(text.contains("scf.for"), "got:\n{text}");
+        assert!(text.contains("memref.store"), "got:\n{text}");
+    }
+
+    #[test]
+    fn parse_print_parse_is_stable() {
+        let src = r#"module {
+  func.func @f(%a: i32) -> i32 {
+    %c = arith.constant 7 : i32
+    %s = "arith.addi"(%a, %c) : (i32, i32) -> i32
+    func.return %s : i32
+  }
+}"#;
+        let mut ctx = Context::new();
+        let m1 = parse_module(&mut ctx, src).unwrap();
+        let p1 = print_op(&ctx, m1);
+        let mut ctx2 = Context::new();
+        let m2 = parse_module(&mut ctx2, &p1).unwrap();
+        let p2 = print_op(&ctx2, m2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn parses_types() {
+        let mut ctx = Context::new();
+        for ty in [
+            "i1",
+            "i32",
+            "index",
+            "f64",
+            "memref<4x4xf32>",
+            "memref<4x?xf32, strided<[64, 1], offset: ?>>",
+            "tensor<2x?xf32>",
+            "!llvm.ptr",
+            "!llvm.struct<(i64, !llvm.ptr)>",
+            "!transform.any_op",
+            "!transform.op<\"scf.for\">",
+            "(i32, f32) -> i1",
+        ] {
+            let parsed = parse_type_str(&mut ctx, ty).unwrap_or_else(|e| panic!("{ty}: {e}"));
+            assert_eq!(print_type(&ctx, parsed), ty);
+        }
+    }
+
+    #[test]
+    fn parses_blocks_and_successors() {
+        let src = r#"module {
+  func.func @cfg(%c: i1) {
+    "cf.cond_br"(%c)[^then, ^else] : (i1) -> ()
+  ^then:
+    "cf.br"()[^merge] : () -> ()
+  ^else:
+    "cf.br"()[^merge] : () -> ()
+  ^merge:
+    func.return
+  }
+}"#;
+        // func body with multiple blocks requires the generic form for the
+        // function; use a generic wrapper instead.
+        let src = src.replace(
+            "func.func @cfg(%c: i1) {",
+            "\"test.wrap\"() ({\n ^entry(%c: i1):",
+        );
+        let src = src.replace("func.return\n  }", "\"test.done\"() : () -> ()\n  }) : () -> ()");
+        let mut ctx = Context::new();
+        let module = parse_module(&mut ctx, &src).expect("parse failed");
+        let text = print_op(&ctx, module);
+        assert!(text.contains("[^bb"), "got:\n{text}");
+    }
+
+    #[test]
+    fn undefined_value_is_an_error() {
+        let mut ctx = Context::new();
+        let err = parse_module(&mut ctx, r#""test.use"(%nope) : (i32) -> ()"#).unwrap_err();
+        assert!(err.message().contains("undefined value"), "got: {err}");
+    }
+
+    #[test]
+    fn redefinition_is_an_error() {
+        let mut ctx = Context::new();
+        let src = r#"
+  %a = arith.constant 1 : i32
+  %a = arith.constant 2 : i32
+"#;
+        let err = parse_module(&mut ctx, src).unwrap_err();
+        assert!(err.message().contains("redefinition"), "got: {err}");
+    }
+
+    #[test]
+    fn dense_attribute_round_trips() {
+        let src = r#"module {
+  %w = "tosa.const"() {value = dense<shape = [2, 2], values = [1.0, 2.0, 3.5, 4.0]>} : () -> tensor<2x2xf32>
+  "test.use"(%w) : (tensor<2x2xf32>) -> ()
+}"#;
+        let text = roundtrip(src);
+        assert!(text.contains("dense<shape = [2, 2], values = [1.0, 2.0, 3.5, 4.0]>"), "{text}");
+    }
+
+    #[test]
+    fn llvm_struct_and_ptr_round_trip() {
+        let src = r#"module {
+  %p = "test.src"() : () -> !llvm.ptr
+  %s = "llvm.insertvalue"(%p) : (!llvm.ptr) -> !llvm.struct<(i64, !llvm.ptr)>
+  "test.use"(%s) : (!llvm.struct<(i64, !llvm.ptr)>) -> ()
+}"#;
+        let text = roundtrip(src);
+        assert!(text.contains("!llvm.struct<(i64, !llvm.ptr)>"), "{text}");
+    }
+
+    #[test]
+    fn scf_for_trailing_attrs_round_trip() {
+        let src = r#"module {
+  %lo = arith.constant 0 : index
+  %hi = arith.constant 8 : index
+  %st = arith.constant 1 : index
+  scf.for %i = %lo to %hi step %st {
+    "test.body"(%i) : (index) -> ()
+  } {tiled, tile_size = 8}
+}"#;
+        let text = roundtrip(src);
+        assert!(text.contains("} {tiled, tile_size = 8}"), "{text}");
+        // Second round trip is stable.
+        let mut ctx = Context::new();
+        let m = parse_module(&mut ctx, &text).unwrap();
+        assert_eq!(print_op(&ctx, m), text);
+    }
+
+    #[test]
+    fn nested_modules_parse() {
+        let src = r#"module @outer {
+  module @inner {
+    %x = arith.constant 1 : i32
+  }
+}"#;
+        let text = roundtrip(src);
+        assert!(text.contains("module @outer"), "{text}");
+        assert!(text.contains("module @inner"), "{text}");
+    }
+
+    #[test]
+    fn negative_and_extreme_integers_round_trip() {
+        let src = r#"module {
+  %a = arith.constant -42 : i64
+  %b = "test.marker"() {sentinel = -9223372036854775808, big = 9223372036854775807} : () -> i64
+  "test.use"(%a, %b) : (i64, i64) -> ()
+}"#;
+        let text = roundtrip(src);
+        assert!(text.contains("-42"), "{text}");
+        assert!(text.contains("-9223372036854775808"), "{text}");
+        assert!(text.contains("9223372036854775807"), "{text}");
+    }
+
+    #[test]
+    fn error_locations_are_line_accurate() {
+        let mut ctx = Context::new();
+        let src = "module {\n  %a = arith.constant 1 : i32\n  %b = \"test.op\"(%zzz) : (i32) -> ()\n}";
+        let err = parse_module(&mut ctx, src).unwrap_err();
+        let loc = err.location().to_string();
+        assert!(loc.contains(":3:"), "error should point at line 3: {loc}");
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let mut ctx = Context::new();
+        let err = parse_module(&mut ctx, r#""test.op"() {s = "oops} : () -> ()"#).unwrap_err();
+        assert!(err.message().contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = r#"// leading comment
+module {
+  // a constant
+  %a = arith.constant 1 : i32  // trailing
+  "test.use"(%a) : (i32) -> ()
+}"#;
+        let text = roundtrip(src);
+        assert!(text.contains("arith.constant 1 : i32"));
+    }
+
+    #[test]
+    fn operand_type_mismatch_is_an_error() {
+        let mut ctx = Context::new();
+        let src = r#"
+  %a = arith.constant 1 : i32
+  "test.use"(%a) : (f32) -> ()
+"#;
+        let err = parse_module(&mut ctx, src).unwrap_err();
+        assert!(err.message().contains("mismatched type"), "got: {err}");
+    }
+}

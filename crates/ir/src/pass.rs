@@ -1,0 +1,249 @@
+//! The pass infrastructure: [`Pass`], [`PassManager`], and the by-name
+//! [`PassRegistry`].
+//!
+//! Passes are the *coarse-grained* control mechanism the paper contrasts
+//! the Transform dialect with (§1, §2.1). The registry is what makes
+//! `transform.apply_registered_pass` possible: transforms look passes up by
+//! name and run them on precisely targeted payload ops instead of the whole
+//! module.
+
+use crate::ir::{Context, OpId};
+use crate::verify::verify;
+use td_support::{Diagnostic, Location};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// A compiler pass anchored at one operation.
+pub trait Pass {
+    /// Registry name (e.g. `"convert-scf-to-cf"`).
+    fn name(&self) -> &str;
+
+    /// Runs the pass on `target` (usually a module or function).
+    ///
+    /// # Errors
+    /// Returns a diagnostic if the pass fails; the IR may be partially
+    /// transformed in that case, as in MLIR.
+    fn run(&self, ctx: &mut Context, target: OpId) -> Result<(), Diagnostic>;
+}
+
+/// Timing record for one executed pass.
+#[derive(Clone, Debug)]
+pub struct PassTiming {
+    /// Pass name.
+    pub name: String,
+    /// Wall-clock duration of the pass.
+    pub duration: Duration,
+}
+
+/// Runs a sequence of passes, optionally verifying between them.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    verify_each: bool,
+    timings: Vec<PassTiming>,
+}
+
+impl PassManager {
+    /// Creates an empty pass manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a pass.
+    pub fn add(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Enables verification after every pass.
+    pub fn enable_verifier(&mut self) -> &mut Self {
+        self.verify_each = true;
+        self
+    }
+
+    /// Names of the scheduled passes in order.
+    pub fn pass_names(&self) -> Vec<&str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Per-pass timings of the most recent [`PassManager::run`].
+    pub fn timings(&self) -> &[PassTiming] {
+        &self.timings
+    }
+
+    /// Runs all passes on `target` in order.
+    ///
+    /// # Errors
+    /// Stops at the first failing pass or verification failure.
+    pub fn run(&mut self, ctx: &mut Context, target: OpId) -> Result<(), Diagnostic> {
+        self.timings.clear();
+        for pass in &self.passes {
+            let start = Instant::now();
+            pass.run(ctx, target)?;
+            self.timings
+                .push(PassTiming { name: pass.name().to_owned(), duration: start.elapsed() });
+            if self.verify_each {
+                if let Err(mut diags) = verify(ctx, target) {
+                    let first = diags.remove(0);
+                    return Err(Diagnostic::error(
+                        first.location().clone(),
+                        format!(
+                            "IR verification failed after pass '{}': {}",
+                            pass.name(),
+                            first.message()
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.pass_names())
+            .field("verify_each", &self.verify_each)
+            .finish()
+    }
+}
+
+/// Factory producing a fresh pass instance.
+pub type PassFactory = fn() -> Box<dyn Pass>;
+
+/// A registry of passes by name, used to parse textual pipelines and to back
+/// `transform.apply_registered_pass`.
+#[derive(Default)]
+pub struct PassRegistry {
+    factories: HashMap<String, PassFactory>,
+}
+
+impl PassRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a pass factory under `name`.
+    pub fn register(&mut self, name: &str, factory: PassFactory) {
+        self.factories.insert(name.to_owned(), factory);
+    }
+
+    /// Instantiates a pass by name.
+    pub fn create(&self, name: &str) -> Option<Box<dyn Pass>> {
+        self.factories.get(name).map(|f| f())
+    }
+
+    /// Whether a pass with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.factories.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Builds a [`PassManager`] from a comma-separated pipeline description,
+    /// e.g. `"convert-scf-to-cf,convert-arith-to-llvm"`.
+    ///
+    /// # Errors
+    /// Returns a diagnostic naming the first unknown pass.
+    pub fn parse_pipeline(&self, pipeline: &str) -> Result<PassManager, Diagnostic> {
+        let mut pm = PassManager::new();
+        for name in pipeline.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match self.create(name) {
+                Some(pass) => {
+                    pm.add(pass);
+                }
+                None => {
+                    return Err(Diagnostic::error(
+                        Location::unknown(),
+                        format!("unknown pass '{name}' in pipeline"),
+                    ))
+                }
+            }
+        }
+        Ok(pm)
+    }
+}
+
+impl std::fmt::Debug for PassRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassRegistry").field("names", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_support::Location;
+
+    struct CountOps;
+    impl Pass for CountOps {
+        fn name(&self) -> &str {
+            "count-ops"
+        }
+        fn run(&self, ctx: &mut Context, target: OpId) -> Result<(), Diagnostic> {
+            let n = ctx.walk_nested(target).len() as i64;
+            ctx.set_attr(target, "test.op_count", crate::attrs::Attribute::Int(n));
+            Ok(())
+        }
+    }
+
+    struct AlwaysFails;
+    impl Pass for AlwaysFails {
+        fn name(&self) -> &str {
+            "always-fails"
+        }
+        fn run(&self, _ctx: &mut Context, _target: OpId) -> Result<(), Diagnostic> {
+            Err(Diagnostic::error(Location::unknown(), "boom"))
+        }
+    }
+
+    #[test]
+    fn manager_runs_passes_in_order() {
+        let mut ctx = Context::new();
+        let module = ctx.create_module(Location::unknown());
+        let mut pm = PassManager::new();
+        pm.add(Box::new(CountOps));
+        pm.run(&mut ctx, module).unwrap();
+        assert_eq!(ctx.op(module).attr("test.op_count"), Some(&crate::attrs::Attribute::Int(0)));
+        assert_eq!(pm.timings().len(), 1);
+        assert_eq!(pm.timings()[0].name, "count-ops");
+    }
+
+    #[test]
+    fn manager_stops_on_failure() {
+        let mut ctx = Context::new();
+        let module = ctx.create_module(Location::unknown());
+        let mut pm = PassManager::new();
+        pm.add(Box::new(AlwaysFails));
+        pm.add(Box::new(CountOps));
+        assert!(pm.run(&mut ctx, module).is_err());
+        assert_eq!(ctx.op(module).attr("test.op_count"), None, "second pass must not run");
+    }
+
+    #[test]
+    fn registry_parses_pipelines() {
+        let mut registry = PassRegistry::new();
+        registry.register("count-ops", || Box::new(CountOps));
+        let pm = registry.parse_pipeline("count-ops, count-ops").unwrap();
+        assert_eq!(pm.pass_names(), vec!["count-ops", "count-ops"]);
+        let err = registry.parse_pipeline("count-ops,nope").unwrap_err();
+        assert!(err.message().contains("unknown pass 'nope'"));
+    }
+
+    #[test]
+    fn registry_lists_names_sorted() {
+        let mut registry = PassRegistry::new();
+        registry.register("b-pass", || Box::new(CountOps));
+        registry.register("a-pass", || Box::new(CountOps));
+        assert_eq!(registry.names(), vec!["a-pass", "b-pass"]);
+        assert!(registry.contains("a-pass"));
+        assert!(!registry.contains("c-pass"));
+    }
+}

@@ -1,0 +1,555 @@
+//! Textual IR printing.
+//!
+//! Prints the MLIR-like textual form. Every operation can be printed in the
+//! *generic* form:
+//!
+//! ```text
+//! %0 = "arith.constant"() {value = 4} : () -> index
+//! "func.return"(%0) : (index) -> ()
+//! ```
+//!
+//! A few frequent operations (`builtin.module`, `func.func`, `scf.for`,
+//! `arith.constant`, `func.return`, `scf.yield`,
+//! `transform.named_sequence`) have a *custom* (pretty) form that the
+//! parser also understands, so printing and parsing round-trip.
+
+use crate::attrs::{Attribute, FloatVal};
+use crate::ir::{BlockId, Context, OpId, ValueId};
+use crate::types::{Extent, TypeId, TypeKind};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Prints a single operation (and everything nested in it).
+pub fn print_op(ctx: &Context, op: OpId) -> String {
+    let mut printer = Printer::new(ctx);
+    printer.number_op(op);
+    printer.print_op(op, 0);
+    printer.out
+}
+
+/// Prints a type.
+pub fn print_type(ctx: &Context, ty: TypeId) -> String {
+    let mut out = String::new();
+    write_type(ctx, ty, &mut out);
+    out
+}
+
+/// Prints an attribute.
+pub fn print_attribute(ctx: &Context, attr: &Attribute) -> String {
+    let mut out = String::new();
+    write_attr(ctx, attr, &mut out);
+    out
+}
+
+fn write_type(ctx: &Context, ty: TypeId, out: &mut String) {
+    match ctx.type_kind(ty) {
+        TypeKind::Integer(width) => write!(out, "i{width}").unwrap(),
+        TypeKind::Index => out.push_str("index"),
+        TypeKind::F32 => out.push_str("f32"),
+        TypeKind::F64 => out.push_str("f64"),
+        TypeKind::None => out.push_str("none"),
+        TypeKind::Function { inputs, results } => {
+            out.push('(');
+            for (i, &t) in inputs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_type(ctx, t, out);
+            }
+            out.push_str(") -> ");
+            write_result_types(ctx, results, out);
+        }
+        TypeKind::MemRef { shape, element, offset, strides } => {
+            out.push_str("memref<");
+            for extent in shape {
+                write!(out, "{extent}x").unwrap();
+            }
+            write_type(ctx, *element, out);
+            let identity = *offset == Extent::Static(0) && strides.is_empty();
+            if !identity {
+                out.push_str(", strided<[");
+                for (i, s) in strides.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write!(out, "{s}").unwrap();
+                }
+                write!(out, "], offset: {offset}>").unwrap();
+            }
+            out.push('>');
+        }
+        TypeKind::Tensor { shape, element } => {
+            out.push_str("tensor<");
+            for extent in shape {
+                write!(out, "{extent}x").unwrap();
+            }
+            write_type(ctx, *element, out);
+            out.push('>');
+        }
+        TypeKind::LlvmPtr => out.push_str("!llvm.ptr"),
+        TypeKind::LlvmStruct(fields) => {
+            out.push_str("!llvm.struct<(");
+            for (i, &t) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_type(ctx, t, out);
+            }
+            out.push_str(")>");
+        }
+        TypeKind::TransformAnyOp => out.push_str("!transform.any_op"),
+        TypeKind::TransformOp(name) => write!(out, "!transform.op<\"{name}\">").unwrap(),
+        TypeKind::TransformParam => out.push_str("!transform.param"),
+        TypeKind::TransformAnyValue => out.push_str("!transform.any_value"),
+        TypeKind::Opaque(name) => write!(out, "!{name}").unwrap(),
+    }
+}
+
+fn write_result_types(ctx: &Context, results: &[TypeId], out: &mut String) {
+    if results.len() == 1 {
+        // A single function-typed result still needs parentheses to stay
+        // unambiguous.
+        if matches!(ctx.type_kind(results[0]), TypeKind::Function { .. }) {
+            out.push('(');
+            write_type(ctx, results[0], out);
+            out.push(')');
+        } else {
+            write_type(ctx, results[0], out);
+        }
+    } else {
+        out.push('(');
+        for (i, &t) in results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_type(ctx, t, out);
+        }
+        out.push(')');
+    }
+}
+
+fn write_attr(ctx: &Context, attr: &Attribute, out: &mut String) {
+    match attr {
+        Attribute::Unit => out.push_str("unit"),
+        Attribute::Bool(b) => write!(out, "{b}").unwrap(),
+        Attribute::Int(v) => write!(out, "{v}").unwrap(),
+        Attribute::Float(FloatVal(v)) => {
+            let fv = FloatVal(*v);
+            write!(out, "{fv}").unwrap();
+        }
+        Attribute::String(s) => write!(out, "{s:?}").unwrap(),
+        Attribute::SymbolRef(s) => write!(out, "@{s}").unwrap(),
+        Attribute::Type(t) => write_type(ctx, *t, out),
+        Attribute::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_attr(ctx, item, out);
+            }
+            out.push(']');
+        }
+        Attribute::DenseF64 { shape, data } => {
+            out.push_str("dense<shape = [");
+            for (i, d) in shape.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write!(out, "{d}").unwrap();
+            }
+            out.push_str("], values = [");
+            for (i, v) in data.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write!(out, "{v}").unwrap();
+            }
+            out.push_str("]>");
+        }
+    }
+}
+
+struct Printer<'c> {
+    ctx: &'c Context,
+    value_names: HashMap<ValueId, String>,
+    block_names: HashMap<BlockId, String>,
+    next_value: usize,
+    next_block: usize,
+    out: String,
+}
+
+impl<'c> Printer<'c> {
+    fn new(ctx: &'c Context) -> Self {
+        Printer {
+            ctx,
+            value_names: HashMap::new(),
+            block_names: HashMap::new(),
+            next_value: 0,
+            next_block: 0,
+            out: String::new(),
+        }
+    }
+
+    /// Assigns names to all values and blocks in `op`'s subtree, in
+    /// syntactic order.
+    fn number_op(&mut self, op: OpId) {
+        for &result in self.ctx.op(op).results() {
+            let name = format!("%{}", self.next_value);
+            self.next_value += 1;
+            self.value_names.insert(result, name);
+        }
+        for &region in self.ctx.op(op).regions() {
+            for &block in self.ctx.region(region).blocks() {
+                let bname = format!("^bb{}", self.next_block);
+                self.next_block += 1;
+                self.block_names.insert(block, bname);
+                for &arg in self.ctx.block(block).args() {
+                    let name = format!("%{}", self.next_value);
+                    self.next_value += 1;
+                    self.value_names.insert(arg, name);
+                }
+                for &nested in self.ctx.block(block).ops() {
+                    self.number_op(nested);
+                }
+            }
+        }
+    }
+
+    fn value_name(&self, value: ValueId) -> String {
+        self.value_names.get(&value).cloned().unwrap_or_else(|| "%<unnumbered>".to_owned())
+    }
+
+    fn indent(&mut self, depth: usize) {
+        for _ in 0..depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn print_op(&mut self, op: OpId, depth: usize) {
+        self.indent(depth);
+        let name = self.ctx.op(op).name.as_str();
+        match name {
+            "builtin.module" => self.print_module(op, depth),
+            "func.func" | "transform.named_sequence" => self.print_function_like(op, depth),
+            "arith.constant" => self.print_constant(op),
+            "func.return" | "scf.yield" => self.print_bare_with_operands(op),
+            "scf.for" => self.print_scf_for(op, depth),
+            _ => self.print_generic(op, depth),
+        }
+        self.out.push('\n');
+    }
+
+    fn print_module(&mut self, op: OpId, depth: usize) {
+        self.out.push_str("module");
+        if let Some(Attribute::String(name)) = self.ctx.op(op).attr("sym_name") {
+            write!(self.out, " @{name}").unwrap();
+        }
+        self.out.push_str(" {\n");
+        let block = self.ctx.sole_block(op, 0);
+        for &nested in self.ctx.block(block).ops() {
+            self.print_op(nested, depth + 1);
+        }
+        self.indent(depth);
+        self.out.push('}');
+    }
+
+    fn print_function_like(&mut self, op: OpId, depth: usize) {
+        let data = self.ctx.op(op);
+        let name = data.name.as_str().to_owned();
+        let sym = match data.attr("sym_name") {
+            Some(Attribute::String(s)) => s.clone(),
+            _ => "<anonymous>".to_owned(),
+        };
+        write!(self.out, "{name} @{sym}(").unwrap();
+        if data.regions().is_empty() || self.ctx.region(data.regions()[0]).blocks().is_empty() {
+            // Declaration only.
+            self.out.push(')');
+            return;
+        }
+        let block = self.ctx.sole_block(op, 0);
+        let args = self.ctx.block(block).args().to_vec();
+        for (i, &arg) in args.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            let arg_name = self.value_name(arg);
+            write!(self.out, "{arg_name}: ").unwrap();
+            write_type(self.ctx, self.ctx.value_type(arg), &mut self.out);
+        }
+        self.out.push(')');
+        if let Some(Attribute::Type(fty)) = self.ctx.op(op).attr("function_type") {
+            if let TypeKind::Function { results, .. } = self.ctx.type_kind(*fty) {
+                if !results.is_empty() {
+                    self.out.push_str(" -> ");
+                    let results = results.clone();
+                    write_result_types(self.ctx, &results, &mut self.out);
+                }
+            }
+        }
+        self.out.push_str(" {\n");
+        for &nested in self.ctx.block(block).ops() {
+            self.print_op(nested, depth + 1);
+        }
+        self.indent(depth);
+        self.out.push('}');
+    }
+
+    fn print_constant(&mut self, op: OpId) {
+        let result = self.ctx.op(op).results()[0];
+        let result_name = self.value_name(result);
+        write!(self.out, "{result_name} = arith.constant ").unwrap();
+        let value = self.ctx.op(op).attr("value").cloned().unwrap_or(Attribute::Unit);
+        write_attr(self.ctx, &value, &mut self.out);
+        self.out.push_str(" : ");
+        write_type(self.ctx, self.ctx.value_type(result), &mut self.out);
+    }
+
+    fn print_bare_with_operands(&mut self, op: OpId) {
+        let data = self.ctx.op(op);
+        let name = data.name.as_str().to_owned();
+        let operands = data.operands().to_vec();
+        self.out.push_str(&name);
+        if !operands.is_empty() {
+            self.out.push(' ');
+            for (i, &v) in operands.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                let vn = self.value_name(v);
+                self.out.push_str(&vn);
+            }
+            self.out.push_str(" : ");
+            for (i, &v) in operands.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                write_type(self.ctx, self.ctx.value_type(v), &mut self.out);
+            }
+        }
+    }
+
+    fn print_scf_for(&mut self, op: OpId, depth: usize) {
+        let operands = self.ctx.op(op).operands().to_vec();
+        let block = self.ctx.sole_block(op, 0);
+        let iv = self.ctx.block(block).args()[0];
+        let iv_name = self.value_name(iv);
+        let lb = self.value_name(operands[0]);
+        let ub = self.value_name(operands[1]);
+        let step = self.value_name(operands[2]);
+        write!(self.out, "scf.for {iv_name} = {lb} to {ub} step {step}").unwrap();
+        self.out.push_str(" {\n");
+        // The trailing scf.yield is implicit in the custom syntax.
+        let mut body_ops = self.ctx.block(block).ops().to_vec();
+        if let Some(&last) = body_ops.last() {
+            if self.ctx.op(last).name.as_str() == "scf.yield"
+                && self.ctx.op(last).operands().is_empty()
+            {
+                body_ops.pop();
+            }
+        }
+        for nested in body_ops {
+            self.print_op(nested, depth + 1);
+        }
+        self.indent(depth);
+        self.out.push('}');
+        // Extra attributes (e.g. markers left by transforms) print after the
+        // body, where they are unambiguous to parse.
+        let attrs = self.ctx.op(op).attributes().to_vec();
+        if !attrs.is_empty() {
+            self.print_attr_dict(&attrs);
+        }
+    }
+
+    fn print_attr_dict(&mut self, attrs: &[(td_support::Symbol, Attribute)]) {
+        self.out.push_str(" {");
+        for (i, (key, value)) in attrs.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            write!(self.out, "{key}").unwrap();
+            if *value != Attribute::Unit {
+                self.out.push_str(" = ");
+                write_attr(self.ctx, value, &mut self.out);
+            }
+        }
+        self.out.push('}');
+    }
+
+    fn print_generic(&mut self, op: OpId, depth: usize) {
+        let data = self.ctx.op(op);
+        let name = data.name.as_str().to_owned();
+        let results = data.results().to_vec();
+        let operands = data.operands().to_vec();
+        let successors = data.successors().to_vec();
+        let regions = data.regions().to_vec();
+        let attrs = data.attributes().to_vec();
+
+        if !results.is_empty() {
+            for (i, &r) in results.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                let rn = self.value_name(r);
+                self.out.push_str(&rn);
+            }
+            self.out.push_str(" = ");
+        }
+        write!(self.out, "\"{name}\"(").unwrap();
+        for (i, &v) in operands.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            let vn = self.value_name(v);
+            self.out.push_str(&vn);
+        }
+        self.out.push(')');
+        if !successors.is_empty() {
+            self.out.push('[');
+            for (i, &b) in successors.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                let bn = self.block_names.get(&b).cloned().unwrap_or_else(|| "^<?>".to_owned());
+                self.out.push_str(&bn);
+            }
+            self.out.push(']');
+        }
+        if !regions.is_empty() {
+            self.out.push_str(" (");
+            for (ri, &region) in regions.iter().enumerate() {
+                if ri > 0 {
+                    self.out.push_str(", ");
+                }
+                self.out.push_str("{\n");
+                let blocks = self.ctx.region(region).blocks().to_vec();
+                for (bi, &block) in blocks.iter().enumerate() {
+                    // The entry block header is implicit when it has no args.
+                    let args = self.ctx.block(block).args().to_vec();
+                    if bi > 0 || !args.is_empty() {
+                        self.indent(depth);
+                        let bn = self.block_names[&block].clone();
+                        self.out.push_str(&bn);
+                        if !args.is_empty() {
+                            self.out.push('(');
+                            for (ai, &arg) in args.iter().enumerate() {
+                                if ai > 0 {
+                                    self.out.push_str(", ");
+                                }
+                                let an = self.value_name(arg);
+                                write!(self.out, "{an}: ").unwrap();
+                                write_type(self.ctx, self.ctx.value_type(arg), &mut self.out);
+                            }
+                            self.out.push(')');
+                        }
+                        self.out.push_str(":\n");
+                    }
+                    for nested in self.ctx.block(block).ops().to_vec() {
+                        self.print_op(nested, depth + 1);
+                    }
+                }
+                self.indent(depth);
+                self.out.push('}');
+            }
+            self.out.push(')');
+        }
+        if !attrs.is_empty() {
+            self.print_attr_dict(&attrs);
+        }
+        self.out.push_str(" : (");
+        for (i, &v) in operands.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            write_type(self.ctx, self.ctx.value_type(v), &mut self.out);
+        }
+        self.out.push_str(") -> ");
+        let result_types: Vec<TypeId> = results.iter().map(|&r| self.ctx.value_type(r)).collect();
+        if result_types.is_empty() {
+            self.out.push_str("()");
+        } else {
+            write_result_types(self.ctx, &result_types, &mut self.out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OpBuilder;
+    use td_support::{Location, Symbol};
+
+    #[test]
+    fn prints_generic_op() {
+        let mut ctx = Context::new();
+        let module = ctx.create_module(Location::unknown());
+        let body = ctx.sole_block(module, 0);
+        let mut b = OpBuilder::at_end(&mut ctx, body);
+        let v = b.const_index(4);
+        b.op("test.use").operand(v).build();
+        let text = print_op(&ctx, module);
+        assert!(text.contains("%0 = arith.constant 4 : index"), "got:\n{text}");
+        assert!(text.contains("\"test.use\"(%0) : (index) -> ()"), "got:\n{text}");
+    }
+
+    #[test]
+    fn prints_memref_types() {
+        let mut ctx = Context::new();
+        let f32t = ctx.f32_type();
+        let plain = ctx.intern_type(TypeKind::MemRef {
+            shape: vec![Extent::Static(4), Extent::Static(4)],
+            element: f32t,
+            offset: Extent::Static(0),
+            strides: vec![],
+        });
+        assert_eq!(print_type(&ctx, plain), "memref<4x4xf32>");
+        let strided = ctx.intern_type(TypeKind::MemRef {
+            shape: vec![Extent::Static(4), Extent::Dynamic],
+            element: f32t,
+            offset: Extent::Dynamic,
+            strides: vec![Extent::Static(64), Extent::Static(1)],
+        });
+        assert_eq!(print_type(&ctx, strided), "memref<4x?xf32, strided<[64, 1], offset: ?>>");
+    }
+
+    #[test]
+    fn prints_function_and_transform_types() {
+        let mut ctx = Context::new();
+        let i32t = ctx.i32_type();
+        let f = ctx.intern_type(TypeKind::Function { inputs: vec![i32t], results: vec![i32t] });
+        assert_eq!(print_type(&ctx, f), "(i32) -> i32");
+        let anyop = ctx.transform_any_op_type();
+        assert_eq!(print_type(&ctx, anyop), "!transform.any_op");
+        let opty = ctx.intern_type(TypeKind::TransformOp(Symbol::new("scf.for")));
+        assert_eq!(print_type(&ctx, opty), "!transform.op<\"scf.for\">");
+    }
+
+    #[test]
+    fn prints_attributes() {
+        let ctx = Context::new();
+        assert_eq!(print_attribute(&ctx, &Attribute::Int(-3)), "-3");
+        assert_eq!(print_attribute(&ctx, &Attribute::float(1.5)), "1.5");
+        assert_eq!(print_attribute(&ctx, &Attribute::String("hi".into())), "\"hi\"");
+        assert_eq!(
+            print_attribute(&ctx, &Attribute::int_array([32, 8])),
+            "[32, 8]"
+        );
+        assert_eq!(print_attribute(&ctx, &Attribute::SymbolRef(Symbol::new("f"))), "@f");
+    }
+
+    #[test]
+    fn prints_nested_regions() {
+        let mut ctx = Context::new();
+        let module = ctx.create_module(Location::unknown());
+        let body = ctx.sole_block(module, 0);
+        let outer = ctx.create_op(Location::unknown(), "test.wrap", vec![], vec![], vec![], 1);
+        ctx.append_op(body, outer);
+        let region = ctx.op(outer).regions()[0];
+        let inner = ctx.append_block(region, &[]);
+        let mut b = OpBuilder::at_end(&mut ctx, inner);
+        b.op("test.inner").build();
+        let text = print_op(&ctx, module);
+        assert!(text.contains("\"test.wrap\"() ({"), "got:\n{text}");
+        assert!(text.contains("\"test.inner\"()"), "got:\n{text}");
+    }
+}

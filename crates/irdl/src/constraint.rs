@@ -1,0 +1,154 @@
+//! Constraint vocabulary for IRDL definitions.
+
+use td_ir::{Attribute, Context, TypeId, TypeKind};
+
+/// How many entities a declared slot may bind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arity {
+    /// Exactly one.
+    Single,
+    /// Zero or more.
+    Variadic,
+    /// Exactly `n` — IRDL's `Variadic<!t, n>` form. The paper's
+    /// `memref.subview.constr` uses `Variadic<!index, 0>` to demand that
+    /// the dynamic offset/size/stride operand lists are *empty*.
+    Exactly(usize),
+}
+
+impl Arity {
+    /// Whether `count` remaining entities can satisfy this slot, consuming
+    /// greedily. Returns the number consumed, or `None` on violation.
+    pub fn consume(self, available: usize) -> Option<usize> {
+        match self {
+            Arity::Single => (available >= 1).then_some(1),
+            Arity::Variadic => Some(available),
+            Arity::Exactly(n) => (available >= n).then_some(n),
+        }
+    }
+}
+
+/// A constraint over a type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeConstraint {
+    /// Any type.
+    Any,
+    /// The `index` type.
+    Index,
+    /// Any signless integer.
+    AnyInteger,
+    /// Any float.
+    AnyFloat,
+    /// Any memref.
+    AnyMemRef,
+    /// Any tensor.
+    AnyTensor,
+    /// One of the given alternatives.
+    OneOf(Vec<TypeConstraint>),
+}
+
+impl TypeConstraint {
+    /// Checks the constraint against a concrete type.
+    pub fn check(&self, ctx: &Context, ty: TypeId) -> bool {
+        match self {
+            TypeConstraint::Any => true,
+            TypeConstraint::Index => matches!(ctx.type_kind(ty), TypeKind::Index),
+            TypeConstraint::AnyInteger => matches!(ctx.type_kind(ty), TypeKind::Integer(_)),
+            TypeConstraint::AnyFloat => matches!(ctx.type_kind(ty), TypeKind::F32 | TypeKind::F64),
+            TypeConstraint::AnyMemRef => matches!(ctx.type_kind(ty), TypeKind::MemRef { .. }),
+            TypeConstraint::AnyTensor => matches!(ctx.type_kind(ty), TypeKind::Tensor { .. }),
+            TypeConstraint::OneOf(alternatives) => {
+                alternatives.iter().any(|alt| alt.check(ctx, ty))
+            }
+        }
+    }
+}
+
+/// A constraint over an attribute.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrConstraint {
+    /// Any attribute (presence required).
+    Any,
+    /// An integer attribute.
+    AnyInt,
+    /// A string attribute.
+    AnyString,
+    /// An array of integer attributes (IRDL's `Variadic<!indexAttr>`).
+    IntArray,
+    /// An array of integers that are all equal to the given value (used to
+    /// express "all offsets are static zero" style constraints).
+    IntArrayAllEqual(i64),
+    /// An attribute that equals this value exactly.
+    Equals(Attribute),
+    /// The attribute may be absent; when present it must satisfy the inner
+    /// constraint.
+    Optional(Box<AttrConstraint>),
+}
+
+impl AttrConstraint {
+    /// Checks the constraint against a concrete attribute lookup result.
+    pub fn check(&self, attr: Option<&Attribute>) -> bool {
+        match self {
+            AttrConstraint::Optional(inner) => match attr {
+                None => true,
+                Some(_) => inner.check(attr),
+            },
+            _ => {
+                let Some(attr) = attr else { return false };
+                match self {
+                    AttrConstraint::Any => true,
+                    AttrConstraint::AnyInt => attr.as_int().is_some(),
+                    AttrConstraint::AnyString => attr.as_str().is_some(),
+                    AttrConstraint::IntArray => attr.as_int_array().is_some(),
+                    AttrConstraint::IntArrayAllEqual(v) => attr
+                        .as_int_array()
+                        .map(|items| items.iter().all(|item| item == v))
+                        .unwrap_or(false),
+                    AttrConstraint::Equals(expected) => attr == expected,
+                    AttrConstraint::Optional(_) => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_consumption() {
+        assert_eq!(Arity::Single.consume(3), Some(1));
+        assert_eq!(Arity::Single.consume(0), None);
+        assert_eq!(Arity::Variadic.consume(5), Some(5));
+        assert_eq!(Arity::Variadic.consume(0), Some(0));
+        assert_eq!(Arity::Exactly(0).consume(4), Some(0));
+        assert_eq!(Arity::Exactly(2).consume(1), None);
+    }
+
+    #[test]
+    fn type_constraints() {
+        let mut ctx = Context::new();
+        let index = ctx.index_type();
+        let i32t = ctx.i32_type();
+        let f32t = ctx.f32_type();
+        assert!(TypeConstraint::Index.check(&ctx, index));
+        assert!(!TypeConstraint::Index.check(&ctx, i32t));
+        assert!(TypeConstraint::AnyInteger.check(&ctx, i32t));
+        assert!(TypeConstraint::AnyFloat.check(&ctx, f32t));
+        let one_of = TypeConstraint::OneOf(vec![TypeConstraint::Index, TypeConstraint::AnyFloat]);
+        assert!(one_of.check(&ctx, f32t));
+        assert!(!one_of.check(&ctx, i32t));
+    }
+
+    #[test]
+    fn attr_constraints() {
+        assert!(AttrConstraint::AnyInt.check(Some(&Attribute::Int(3))));
+        assert!(!AttrConstraint::AnyInt.check(None));
+        assert!(AttrConstraint::IntArray.check(Some(&Attribute::int_array([1, 2]))));
+        assert!(AttrConstraint::IntArrayAllEqual(0).check(Some(&Attribute::int_array([0, 0]))));
+        assert!(!AttrConstraint::IntArrayAllEqual(0).check(Some(&Attribute::int_array([0, 1]))));
+        assert!(AttrConstraint::Optional(Box::new(AttrConstraint::AnyInt)).check(None));
+        assert!(!AttrConstraint::Optional(Box::new(AttrConstraint::AnyInt))
+            .check(Some(&Attribute::Bool(true))));
+    }
+}

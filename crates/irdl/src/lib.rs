@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! `td-irdl`: a declarative IR Definition Language, after Fehr et al.
+//! (PLDI 2022), as used by the Transform dialect's advanced pre- and
+//! post-conditions (§3.3 of the paper).
+//!
+//! IRDL serves two roles here:
+//!
+//! 1. **Defining dialects declaratively**: an [`IrdlDialect`] is plain
+//!    data; [`register_dialect`] turns each [`IrdlOp`] into a registered
+//!    op spec whose verifier is *generated* from the declared constraints.
+//! 2. **Constraining existing ops** without redefining them: an
+//!    [`IrdlOp`] can be registered as a *constraint* (e.g. the paper's
+//!    `memref.subview.constr`, Fig. 3) and checked dynamically against
+//!    concrete operations ([`check_op`]), which is how pre-/post-conditions
+//!    gain precision beyond op names.
+
+pub mod constraint;
+pub mod def;
+pub mod parse;
+pub mod verifier;
+
+pub use constraint::{Arity, AttrConstraint, TypeConstraint};
+pub use def::{IrdlDialect, IrdlOp, IrdlRegistry};
+pub use parse::parse_irdl;
+pub use verifier::{check_op, register_dialect};

@@ -1,0 +1,292 @@
+//! A textual frontend for IRDL definitions, covering the subset the paper
+//! shows in Fig. 3:
+//!
+//! ```text
+//! Dialect memref {
+//!   Operation subview.constr {
+//!     Attributes(static_offsets: Variadic<!indexAttr>)
+//!     Operands(input: !memrefType, offset: Variadic<!index, 0>)
+//!     Results(view: !memrefType)
+//!   }
+//! }
+//! ```
+//!
+//! Base constraints: `!index`, `!indexAttr`, `!memrefType`, `!tensorType`,
+//! `!float`, `!integer`, `!anyType`, `!anyAttr`; `Variadic<C>` and
+//! `Variadic<C, n>` wrap them.
+
+use crate::constraint::{Arity, AttrConstraint, TypeConstraint};
+use crate::def::{IrdlDialect, IrdlOp};
+use td_support::{Diagnostic, Location};
+
+/// Parses one `Dialect name { ... }` definition.
+///
+/// # Errors
+/// Returns a diagnostic with an approximate character position on invalid
+/// syntax.
+#[allow(unused_assignments)]
+pub fn parse_irdl(source: &str) -> Result<IrdlDialect, Diagnostic> {
+    let mut p = P { src: source.as_bytes(), pos: 0 };
+    p.expect_word("Dialect")?;
+    let name = p.ident()?;
+    p.expect_char(b'{')?;
+    let mut dialect = IrdlDialect::new(&name);
+    loop {
+        p.skip_ws();
+        if p.peek() == Some(b'}') {
+            p.pos += 1;
+            break;
+        }
+        p.expect_word("Operation")?;
+        let op_name = p.ident()?;
+        // `.constr`-suffixed names constrain the op without the suffix.
+        let constrained_target = op_name.strip_suffix(".constr").map(str::to_owned);
+        let full = match &constrained_target {
+            Some(base) => format!("{name}.{base}"),
+            None => format!("{name}.{op_name}"),
+        };
+        let mut op = IrdlOp::new(&full);
+        p.expect_char(b'{')?;
+        loop {
+            p.skip_ws();
+            if p.peek() == Some(b'}') {
+                p.pos += 1;
+                break;
+            }
+            let section = p.ident()?;
+            if !matches!(section.as_str(), "Attributes" | "Operands" | "Results") {
+                return Err(p.error(&format!("unknown section '{section}'")));
+            }
+            p.expect_char(b'(')?;
+            loop {
+                p.skip_ws();
+                if p.peek() == Some(b')') {
+                    p.pos += 1;
+                    break;
+                }
+                let slot = p.ident()?;
+                p.expect_char(b':')?;
+                match section.as_str() {
+                    "Attributes" => {
+                        let constraint = p.attr_constraint()?;
+                        op = op.attr(&slot, constraint);
+                    }
+                    "Operands" => {
+                        let (constraint, arity) = p.type_constraint()?;
+                        op = op.operand(&slot, constraint, arity);
+                    }
+                    "Results" => {
+                        let (constraint, arity) = p.type_constraint()?;
+                        op = op.result(&slot, constraint, arity);
+                    }
+                    other => {
+                        return Err(p.error(&format!("unknown section '{other}'")));
+                    }
+                }
+                p.skip_ws();
+                if p.peek() == Some(b',') {
+                    p.pos += 1;
+                }
+            }
+        }
+        dialect.operations.push(op);
+    }
+    Ok(dialect)
+}
+
+struct P<'s> {
+    src: &'s [u8],
+    pos: usize,
+}
+
+impl P<'_> {
+    fn error(&self, message: &str) -> Diagnostic {
+        Diagnostic::error(
+            Location::file("<irdl>", 1, self.pos as u32 + 1),
+            format!("IRDL: {message}"),
+        )
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b'/' && self.src.get(self.pos + 1) == Some(&b'/') {
+                while let Some(c) = self.peek() {
+                    self.pos += 1;
+                    if c == b'\n' {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, Diagnostic> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.error("expected identifier"));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), Diagnostic> {
+        let got = self.ident()?;
+        if got == word {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{word}', found '{got}'")))
+        }
+    }
+
+    fn expect_char(&mut self, c: u8) -> Result<(), Diagnostic> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn integer(&mut self) -> Result<usize, Diagnostic> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected integer"));
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos])
+            .parse()
+            .map_err(|_| self.error("invalid integer"))
+    }
+
+    fn base_type(&mut self) -> Result<TypeConstraint, Diagnostic> {
+        self.expect_char(b'!')?;
+        let name = self.ident()?;
+        Ok(match name.as_str() {
+            "index" => TypeConstraint::Index,
+            "memrefType" => TypeConstraint::AnyMemRef,
+            "tensorType" => TypeConstraint::AnyTensor,
+            "float" => TypeConstraint::AnyFloat,
+            "integer" => TypeConstraint::AnyInteger,
+            _ => TypeConstraint::Any,
+        })
+    }
+
+    fn type_constraint(&mut self) -> Result<(TypeConstraint, Arity), Diagnostic> {
+        self.skip_ws();
+        if self.peek() == Some(b'V') {
+            self.expect_word("Variadic")?;
+            self.expect_char(b'<')?;
+            let inner = self.base_type()?;
+            self.skip_ws();
+            let arity = if self.peek() == Some(b',') {
+                self.pos += 1;
+                Arity::Exactly(self.integer()?)
+            } else {
+                Arity::Variadic
+            };
+            self.expect_char(b'>')?;
+            Ok((inner, arity))
+        } else {
+            Ok((self.base_type()?, Arity::Single))
+        }
+    }
+
+    fn attr_constraint(&mut self) -> Result<AttrConstraint, Diagnostic> {
+        self.skip_ws();
+        if self.peek() == Some(b'V') {
+            self.expect_word("Variadic")?;
+            self.expect_char(b'<')?;
+            self.expect_char(b'!')?;
+            let _inner = self.ident()?;
+            self.expect_char(b'>')?;
+            Ok(AttrConstraint::IntArray)
+        } else {
+            self.expect_char(b'!')?;
+            let name = self.ident()?;
+            Ok(match name.as_str() {
+                "indexAttr" => AttrConstraint::AnyInt,
+                "stringAttr" => AttrConstraint::AnyString,
+                _ => AttrConstraint::Any,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG3: &str = r#"
+Dialect memref {
+  Operation subview {
+    Attributes(
+      static_offsets: Variadic<!indexAttr>,
+      static_sizes: Variadic<!indexAttr>,
+      static_strides: Variadic<!indexAttr>)
+    Operands(
+      input: !memrefType,
+      offset: Variadic<!index, 0>,
+      sizes: Variadic<!index, 0>,
+      strides: Variadic<!index, 0>)
+    Results(view: !memrefType)
+  }
+}
+"#;
+
+    #[test]
+    fn parses_fig3() {
+        let dialect = parse_irdl(FIG3).unwrap();
+        assert_eq!(dialect.name, "memref");
+        assert_eq!(dialect.operations.len(), 1);
+        let op = &dialect.operations[0];
+        assert_eq!(op.name, "memref.subview");
+        assert_eq!(op.attributes.len(), 3);
+        assert_eq!(op.operands.len(), 4);
+        assert_eq!(op.operands[1].2, Arity::Exactly(0));
+        assert_eq!(op.results.len(), 1);
+    }
+
+    #[test]
+    fn parses_constr_suffix() {
+        let src = r#"Dialect memref {
+  Operation subview.constr {
+    Operands(input: !memrefType, offset: Variadic<!index, 0>)
+    Results(view: !memrefType)
+  }
+}"#;
+        let dialect = parse_irdl(src).unwrap();
+        assert_eq!(dialect.operations[0].name, "memref.subview");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_irdl("NotADialect foo {}").is_err());
+        assert!(parse_irdl("Dialect x { Operation y { Bogus() } }").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "Dialect d { // a dialect\n Operation o { Results(r: !float) } }";
+        let dialect = parse_irdl(src).unwrap();
+        assert_eq!(dialect.operations[0].name, "d.o");
+    }
+}

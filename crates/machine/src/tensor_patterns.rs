@@ -1,0 +1,522 @@
+//! The tensor-level peephole pattern set of Case Study 3.
+//!
+//! A catalogue of work-reducing and enabling rewrites over TOSA-level IR —
+//! the kind of StableHLO optimization set the paper debugged. Each pattern
+//! is *named* and registered in a [`NamedPatternRegistry`], so Transform
+//! scripts can enable any subset via `transform.apply_patterns` — which is
+//! exactly what makes the binary search of Case Study 3 a 4-second
+//! edit-and-rerun loop instead of a 10-minute compiler rebuild.
+//!
+//! One pattern — `fold-reshape-into-full-reduce` — is individually correct
+//! (strictly removes work) but interacts badly with the fusion back-end's
+//! recomputation heuristic (see [`crate::fusion`]), reproducing the
+//! regression hunted in the paper.
+
+use td_ir::rewrite::{RewritePattern, Rewriter};
+use td_ir::{Attribute, Context, OpId, ValueId};
+use td_support::{Diagnostic, Symbol};
+use td_transform::NamedPatternRegistry;
+
+type ApplyFn = fn(&mut Rewriter<'_>, OpId) -> Result<bool, Diagnostic>;
+
+/// A pattern defined by a name, a root op, and an apply function.
+struct FnPattern {
+    name: &'static str,
+    root: &'static str,
+    apply: ApplyFn,
+}
+
+impl RewritePattern for FnPattern {
+    fn name(&self) -> &str {
+        self.name
+    }
+    fn root_op(&self) -> Option<Symbol> {
+        Some(Symbol::new(self.root))
+    }
+    fn match_and_rewrite(&self, rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+        (self.apply)(rw, op)
+    }
+}
+
+// ----- helpers ---------------------------------------------------------------
+
+fn splat_of(ctx: &Context, value: ValueId) -> Option<f64> {
+    let def = ctx.defining_op(value)?;
+    if ctx.op(def).name.as_str() != "tosa.const" {
+        return None;
+    }
+    ctx.op(def)
+        .attr("splat")
+        .and_then(|a| a.as_float().or_else(|| a.as_int().map(|v| v as f64)))
+}
+
+fn defined_by(ctx: &Context, value: ValueId, name: &str) -> Option<OpId> {
+    let def = ctx.defining_op(value)?;
+    (ctx.op(def).name.as_str() == name).then_some(def)
+}
+
+fn result_elems(ctx: &Context, op: OpId) -> Option<i64> {
+    let ty = ctx.value_type(ctx.op(op).results()[0]);
+    td_dialects::tosa::static_shape(ctx, ty).map(|s| s.iter().product())
+}
+
+/// Replaces a unary-ish op with one of its input values, requiring equal
+/// types.
+fn forward_if_same_type(rw: &mut Rewriter<'_>, op: OpId, value: ValueId) -> bool {
+    let result = rw.ctx_ref().op(op).results()[0];
+    if rw.ctx_ref().value_type(result) != rw.ctx_ref().value_type(value) {
+        return false;
+    }
+    rw.replace_op(op, vec![value]);
+    true
+}
+
+/// Creates a splat constant of the op's result type right before it, then
+/// replaces the op.
+fn replace_with_splat(rw: &mut Rewriter<'_>, op: OpId, splat: f64) {
+    let result_ty = {
+        let ctx = rw.ctx_ref();
+        ctx.value_type(ctx.op(op).results()[0])
+    };
+    let constant = rw.create_before(op, |b| {
+        b.op("tosa.const").attr("splat", Attribute::float(splat)).results(vec![result_ty]).build()
+    });
+    let value = rw.ctx_ref().op(constant).results()[0];
+    rw.replace_op(op, vec![value]);
+}
+
+/// Recreates `op` with one operand substituted, keeping everything else.
+fn swap_operand(rw: &mut Rewriter<'_>, op: OpId, index: usize, new_value: ValueId) {
+    rw.ctx().set_operand(op, index, new_value);
+}
+
+// ----- the pattern catalogue -------------------------------------------------
+
+fn add_of_zero(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    let ctx = rw.ctx_ref();
+    let (lhs, rhs) = (ctx.op(op).operands()[0], ctx.op(op).operands()[1]);
+    if splat_of(ctx, rhs) == Some(0.0) {
+        return Ok(forward_if_same_type(rw, op, lhs));
+    }
+    if splat_of(ctx, lhs) == Some(0.0) {
+        return Ok(forward_if_same_type(rw, op, rhs));
+    }
+    Ok(false)
+}
+
+fn mul_by_one(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    let ctx = rw.ctx_ref();
+    let (lhs, rhs) = (ctx.op(op).operands()[0], ctx.op(op).operands()[1]);
+    if splat_of(ctx, rhs) == Some(1.0) {
+        return Ok(forward_if_same_type(rw, op, lhs));
+    }
+    if splat_of(ctx, lhs) == Some(1.0) {
+        return Ok(forward_if_same_type(rw, op, rhs));
+    }
+    Ok(false)
+}
+
+fn mul_by_zero(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    let ctx = rw.ctx_ref();
+    let (lhs, rhs) = (ctx.op(op).operands()[0], ctx.op(op).operands()[1]);
+    if splat_of(ctx, lhs) == Some(0.0) || splat_of(ctx, rhs) == Some(0.0) {
+        replace_with_splat(rw, op, 0.0);
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+fn sub_of_zero(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    let ctx = rw.ctx_ref();
+    let (lhs, rhs) = (ctx.op(op).operands()[0], ctx.op(op).operands()[1]);
+    if splat_of(ctx, rhs) == Some(0.0) {
+        return Ok(forward_if_same_type(rw, op, lhs));
+    }
+    Ok(false)
+}
+
+fn add_of_zero_pad(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    // add(x, pad(zeros)) → x: tensor elements produced by zero padding
+    // contribute nothing.
+    let ctx = rw.ctx_ref();
+    let (lhs, rhs) = (ctx.op(op).operands()[0], ctx.op(op).operands()[1]);
+    for (padded, other) in [(rhs, lhs), (lhs, rhs)] {
+        if let Some(pad) = defined_by(ctx, padded, "tosa.pad") {
+            let source = ctx.op(pad).operands()[0];
+            if splat_of(ctx, source) == Some(0.0) {
+                return Ok(forward_if_same_type(rw, op, other));
+            }
+        }
+    }
+    Ok(false)
+}
+
+fn double_transpose(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    let ctx = rw.ctx_ref();
+    let input = ctx.op(op).operands()[0];
+    if let Some(inner) = defined_by(ctx, input, "tosa.transpose") {
+        let original = ctx.op(inner).operands()[0];
+        return Ok(forward_if_same_type(rw, op, original));
+    }
+    Ok(false)
+}
+
+fn double_reshape(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    let ctx = rw.ctx_ref();
+    let input = ctx.op(op).operands()[0];
+    if let Some(inner) = defined_by(ctx, input, "tosa.reshape") {
+        let original = ctx.op(inner).operands()[0];
+        if original == input {
+            return Ok(false);
+        }
+        swap_operand(rw, op, 0, original);
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+fn movement_of_const(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    // transpose/reshape of a splat constant is that constant, reshaped.
+    let ctx = rw.ctx_ref();
+    let input = ctx.op(op).operands()[0];
+    if let Some(splat) = splat_of(ctx, input) {
+        replace_with_splat(rw, op, splat);
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+fn reciprocal_of_reciprocal(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    let ctx = rw.ctx_ref();
+    let input = ctx.op(op).operands()[0];
+    if let Some(inner) = defined_by(ctx, input, "tosa.reciprocal") {
+        let original = ctx.op(inner).operands()[0];
+        return Ok(forward_if_same_type(rw, op, original));
+    }
+    Ok(false)
+}
+
+fn tanh_of_zero(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    let ctx = rw.ctx_ref();
+    if splat_of(ctx, ctx.op(op).operands()[0]) == Some(0.0) {
+        replace_with_splat(rw, op, 0.0);
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+fn exp_of_zero(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    let ctx = rw.ctx_ref();
+    if splat_of(ctx, ctx.op(op).operands()[0]) == Some(0.0) {
+        replace_with_splat(rw, op, 1.0);
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+fn sigmoid_of_zero(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    let ctx = rw.ctx_ref();
+    if splat_of(ctx, ctx.op(op).operands()[0]) == Some(0.0) {
+        replace_with_splat(rw, op, 0.5);
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+fn clamp_of_clamp(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    let ctx = rw.ctx_ref();
+    let input = ctx.op(op).operands()[0];
+    if let Some(inner) = defined_by(ctx, input, "tosa.clamp") {
+        let original = ctx.op(inner).operands()[0];
+        if original == input {
+            return Ok(false);
+        }
+        swap_operand(rw, op, 0, original);
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+fn concat_of_single(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    let ctx = rw.ctx_ref();
+    if ctx.op(op).operands().len() == 1 {
+        let only = ctx.op(op).operands()[0];
+        return Ok(forward_if_same_type(rw, op, only));
+    }
+    Ok(false)
+}
+
+fn identity_movement(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    // slice/cast/rescale/reshape whose result type equals its input type.
+    let ctx = rw.ctx_ref();
+    let input = ctx.op(op).operands()[0];
+    Ok(forward_if_same_type(rw, op, input))
+}
+
+fn matmul_of_transpose(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    // matmul(transpose(a), b) → matmul(a, b) {transpose_a} — enabling: the
+    // contraction supports transposed operands natively.
+    let ctx = rw.ctx_ref();
+    if ctx.op(op).attr("transpose_a").is_some() {
+        return Ok(false);
+    }
+    let lhs = ctx.op(op).operands()[0];
+    if let Some(transpose) = defined_by(ctx, lhs, "tosa.transpose") {
+        let original = ctx.op(transpose).operands()[0];
+        swap_operand(rw, op, 0, original);
+        rw.ctx().set_attr(op, "transpose_a", Attribute::Unit);
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+/// Whether `op` is a *full* reduction (scalar-ish result).
+fn is_full_reduce(ctx: &Context, op: OpId) -> bool {
+    result_elems(ctx, op) == Some(1)
+}
+
+/// **The Case Study 3 culprit.** Individually correct — a full additive
+/// reduction is shape-agnostic (under `-ffast-math` associativity), so the
+/// leading reshape is dead work — but removing the reshape merges the
+/// producer cluster with the reduction in the fusion back-end, triggering
+/// recomputation (see `crate::fusion`).
+fn fold_reshape_into_full_reduce(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    let ctx = rw.ctx_ref();
+    if !is_full_reduce(ctx, op) {
+        return Ok(false);
+    }
+    let input = ctx.op(op).operands()[0];
+    if let Some(reshape) = defined_by(ctx, input, "tosa.reshape") {
+        let original = ctx.op(reshape).operands()[0];
+        if original == input {
+            return Ok(false);
+        }
+        swap_operand(rw, op, 0, original);
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+fn fold_transpose_into_full_reduce(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    let ctx = rw.ctx_ref();
+    if !is_full_reduce(ctx, op) {
+        return Ok(false);
+    }
+    // Only for max-reductions, where reassociation questions do not arise —
+    // keeping this pattern's profile distinct from the culprit's.
+    if ctx.op(op).name.as_str() != "tosa.reduce_max" {
+        return Ok(false);
+    }
+    let input = ctx.op(op).operands()[0];
+    if let Some(transpose) = defined_by(ctx, input, "tosa.transpose") {
+        let original = ctx.op(transpose).operands()[0];
+        swap_operand(rw, op, 0, original);
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+fn reduce_of_const(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    let ctx = rw.ctx_ref();
+    let input = ctx.op(op).operands()[0];
+    let Some(splat) = splat_of(ctx, input) else { return Ok(false) };
+    let input_ty = ctx.value_type(input);
+    let Some(shape) = td_dialects::tosa::static_shape(ctx, input_ty) else { return Ok(false) };
+    let Some(out) = result_elems(ctx, op) else { return Ok(false) };
+    let total: i64 = shape.iter().product();
+    let value = match ctx.op(op).name.as_str() {
+        "tosa.reduce_sum" => splat * (total / out.max(1)) as f64,
+        _ => splat,
+    };
+    replace_with_splat(rw, op, value);
+    Ok(true)
+}
+
+fn commute_const_left(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+    // add/mul(const, x) → add/mul(x, const): canonical operand order that
+    // later folds rely on.
+    let ctx = rw.ctx_ref();
+    let (lhs, rhs) = (ctx.op(op).operands()[0], ctx.op(op).operands()[1]);
+    if splat_of(ctx, lhs).is_some() && splat_of(ctx, rhs).is_none() {
+        rw.ctx().set_operand(op, 0, rhs);
+        rw.ctx().set_operand(op, 1, lhs);
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+/// The catalogue: `(name, root op, implementation)`.
+const CATALOGUE: &[(&str, &str, ApplyFn)] = &[
+    ("add-of-zero", "tosa.add", add_of_zero),
+    ("mul-by-one", "tosa.mul", mul_by_one),
+    ("mul-by-zero", "tosa.mul", mul_by_zero),
+    ("sub-of-zero", "tosa.sub", sub_of_zero),
+    ("add-of-zero-pad", "tosa.add", add_of_zero_pad),
+    ("double-transpose", "tosa.transpose", double_transpose),
+    ("double-reshape", "tosa.reshape", double_reshape),
+    ("transpose-of-const", "tosa.transpose", movement_of_const),
+    ("reshape-of-const", "tosa.reshape", movement_of_const),
+    ("reciprocal-of-reciprocal", "tosa.reciprocal", reciprocal_of_reciprocal),
+    ("tanh-of-zero", "tosa.tanh", tanh_of_zero),
+    ("exp-of-zero", "tosa.exp", exp_of_zero),
+    ("sigmoid-of-zero", "tosa.sigmoid", sigmoid_of_zero),
+    ("clamp-of-clamp", "tosa.clamp", clamp_of_clamp),
+    ("concat-of-single", "tosa.concat", concat_of_single),
+    ("slice-identity", "tosa.slice", identity_movement),
+    ("cast-identity", "tosa.cast", identity_movement),
+    ("rescale-identity", "tosa.rescale", identity_movement),
+    ("matmul-of-transpose", "tosa.matmul", matmul_of_transpose),
+    ("fold-reshape-into-full-reduce", "tosa.reduce_sum", fold_reshape_into_full_reduce),
+    ("fold-transpose-into-full-reduce", "tosa.reduce_max", fold_transpose_into_full_reduce),
+    ("reduce-sum-of-const", "tosa.reduce_sum", reduce_of_const),
+    ("reduce-max-of-const", "tosa.reduce_max", reduce_of_const),
+    ("add-commute-const", "tosa.add", commute_const_left),
+    ("mul-commute-const", "tosa.mul", commute_const_left),
+];
+
+/// Names of all patterns in catalogue order.
+pub fn pattern_names() -> Vec<&'static str> {
+    CATALOGUE.iter().map(|(name, _, _)| *name).collect()
+}
+
+/// The name of the pattern Case Study 3's search must converge on.
+pub const CULPRIT: &str = "fold-reshape-into-full-reduce";
+
+/// Registers the whole catalogue into a [`NamedPatternRegistry`].
+pub fn register_tensor_patterns(registry: &mut NamedPatternRegistry) {
+    for &(name, root, apply) in CATALOGUE {
+        registry.register(name, move || Box::new(FnPattern { name, root, apply }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_ir::rewrite::{apply_patterns_greedily, GreedyConfig, PatternSet};
+    use td_ir::parse_module;
+
+    fn apply(src: &str, names: &[&str]) -> (Context, OpId) {
+        let mut ctx = Context::new();
+        td_dialects::register_all_dialects(&mut ctx);
+        let m = parse_module(&mut ctx, src).unwrap();
+        let mut registry = NamedPatternRegistry::new();
+        register_tensor_patterns(&mut registry);
+        let mut set = PatternSet::new();
+        for name in names {
+            set.add(registry.create(name).unwrap_or_else(|| panic!("unknown pattern {name}")));
+        }
+        apply_patterns_greedily(&mut ctx, m, &set, GreedyConfig { max_iterations: 10, fold: false })
+            .unwrap();
+        td_ir::rewrite::run_dce(&mut ctx, m);
+        (ctx, m)
+    }
+
+    const ZEROS_SRC: &str = r#"module {
+  %x = "test.src"() : () -> tensor<4x4xf32>
+  %z = "tosa.const"() {splat = 0.0} : () -> tensor<4x4xf32>
+  %o = "tosa.const"() {splat = 1.0} : () -> tensor<4x4xf32>
+  %a = "tosa.add"(%x, %z) : (tensor<4x4xf32>, tensor<4x4xf32>) -> tensor<4x4xf32>
+  %b = "tosa.mul"(%a, %o) : (tensor<4x4xf32>, tensor<4x4xf32>) -> tensor<4x4xf32>
+  "test.use"(%b) : (tensor<4x4xf32>) -> ()
+}"#;
+
+    #[test]
+    fn zero_and_one_folds() {
+        let (ctx, m) = apply(ZEROS_SRC, &["add-of-zero", "mul-by-one"]);
+        let use_op = ctx
+            .walk_nested(m)
+            .into_iter()
+            .find(|&o| ctx.op(o).name.as_str() == "test.use")
+            .unwrap();
+        let v = ctx.op(use_op).operands()[0];
+        let def = ctx.defining_op(v).unwrap();
+        assert_eq!(ctx.op(def).name.as_str(), "test.src", "all folds applied");
+    }
+
+    #[test]
+    fn disabled_patterns_do_not_fire() {
+        let (ctx, m) = apply(ZEROS_SRC, &["mul-by-one"]);
+        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        assert!(names.contains(&"tosa.add"), "add-of-zero disabled: {names:?}");
+        assert!(!names.contains(&"tosa.mul"));
+    }
+
+    #[test]
+    fn culprit_folds_reshape_before_full_reduce() {
+        let src = r#"module {
+  %x = "test.src"() : () -> tensor<8x4xf32>
+  %r = "tosa.reshape"(%x) : (tensor<8x4xf32>) -> tensor<32xf32>
+  %s = "tosa.reduce_sum"(%r) : (tensor<32xf32>) -> tensor<1xf32>
+  "test.use"(%s) : (tensor<1xf32>) -> ()
+}"#;
+        let (ctx, m) = apply(src, &[CULPRIT]);
+        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        assert!(!names.contains(&"tosa.reshape"), "{names:?}");
+        // The reduce now consumes the source directly.
+        let reduce = ctx
+            .walk_nested(m)
+            .into_iter()
+            .find(|&o| ctx.op(o).name.as_str() == "tosa.reduce_sum")
+            .unwrap();
+        let def = ctx.defining_op(ctx.op(reduce).operands()[0]).unwrap();
+        assert_eq!(ctx.op(def).name.as_str(), "test.src");
+    }
+
+    #[test]
+    fn culprit_leaves_partial_reduces_alone() {
+        let src = r#"module {
+  %x = "test.src"() : () -> tensor<8x4xf32>
+  %r = "tosa.reshape"(%x) : (tensor<8x4xf32>) -> tensor<4x8xf32>
+  %s = "tosa.reduce_sum"(%r) : (tensor<4x8xf32>) -> tensor<4x1xf32>
+  "test.use"(%s) : (tensor<4x1xf32>) -> ()
+}"#;
+        let (ctx, m) = apply(src, &[CULPRIT]);
+        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        assert!(names.contains(&"tosa.reshape"), "partial reduce is shape-sensitive");
+    }
+
+    #[test]
+    fn double_movement_cancellations() {
+        let src = r#"module {
+  %x = "test.src"() : () -> tensor<4x8xf32>
+  %t1 = "tosa.transpose"(%x) : (tensor<4x8xf32>) -> tensor<8x4xf32>
+  %t2 = "tosa.transpose"(%t1) : (tensor<8x4xf32>) -> tensor<4x8xf32>
+  "test.use"(%t2) : (tensor<4x8xf32>) -> ()
+}"#;
+        let (ctx, m) = apply(src, &["double-transpose"]);
+        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        assert!(!names.contains(&"tosa.transpose"), "{names:?}");
+    }
+
+    #[test]
+    fn matmul_transpose_becomes_flag() {
+        let src = r#"module {
+  %a = "test.src"() : () -> tensor<8x4xf32>
+  %b = "test.src2"() : () -> tensor<8x8xf32>
+  %t = "tosa.transpose"(%a) : (tensor<8x4xf32>) -> tensor<4x8xf32>
+  %m = "tosa.matmul"(%t, %b) : (tensor<4x8xf32>, tensor<8x8xf32>) -> tensor<4x8xf32>
+  "test.use"(%m) : (tensor<4x8xf32>) -> ()
+}"#;
+        let (ctx, m) = apply(src, &["matmul-of-transpose"]);
+        let mm = ctx
+            .walk_nested(m)
+            .into_iter()
+            .find(|&o| ctx.op(o).name.as_str() == "tosa.matmul")
+            .unwrap();
+        assert!(ctx.op(mm).attr("transpose_a").is_some());
+        let lhs = ctx.defining_op(ctx.op(mm).operands()[0]).unwrap();
+        assert_eq!(ctx.op(lhs).name.as_str(), "test.src");
+    }
+
+    #[test]
+    fn catalogue_is_well_formed() {
+        let names = pattern_names();
+        assert!(names.len() >= 25);
+        assert!(names.contains(&CULPRIT));
+        // Names are unique.
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+}

@@ -1,0 +1,293 @@
+//! Generational arena used to store IR entities.
+//!
+//! Every IR object (operation, block, region, value) lives in an [`Arena`]
+//! and is referred to by a small, `Copy`-able [`Idx`]. Erasing an entity
+//! bumps the *generation* of its slot, so stale indices are detected rather
+//! than silently resolving to an unrelated entity. This is the mechanical
+//! foundation of the *handle invalidation* story of the Transform dialect:
+//! a dangling payload reference is a detectable error, not undefined
+//! behaviour.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A generational index into an [`Arena<T>`].
+///
+/// The `T` parameter is a phantom tag so indices of different entity kinds
+/// (operations vs. blocks, say) cannot be confused.
+pub struct Idx<T> {
+    index: u32,
+    generation: u32,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Idx<T> {
+    /// Creates an index from raw parts. Mostly useful in tests.
+    pub fn from_raw(index: u32, generation: u32) -> Self {
+        Idx { index, generation, _marker: PhantomData }
+    }
+
+    /// The slot position inside the arena.
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// The generation this index was created at.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+impl<T> Clone for Idx<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Idx<T> {}
+impl<T> PartialEq for Idx<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index && self.generation == other.generation
+    }
+}
+impl<T> Eq for Idx<T> {}
+impl<T> std::hash::Hash for Idx<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.index.hash(state);
+        self.generation.hash(state);
+    }
+}
+impl<T> PartialOrd for Idx<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Idx<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.index, self.generation).cmp(&(other.index, other.generation))
+    }
+}
+impl<T> fmt::Debug for Idx<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}v{}", self.index, self.generation)
+    }
+}
+
+enum Slot<T> {
+    Occupied { generation: u32, value: T },
+    Free { generation: u32, next_free: Option<u32> },
+}
+
+/// A generational arena: O(1) insert, erase, and lookup with stale-index
+/// detection.
+///
+/// # Examples
+///
+/// ```
+/// use td_support::arena::Arena;
+/// let mut arena = Arena::new();
+/// let a = arena.alloc("hello");
+/// assert_eq!(arena[a], "hello");
+/// arena.erase(a);
+/// assert!(arena.get(a).is_none());
+/// ```
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free_head: Option<u32>,
+    len: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena { slots: Vec::new(), free_head: None, len: 0 }
+    }
+
+    /// Number of live entities.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the arena holds no live entity.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocates a new entity and returns its index.
+    pub fn alloc(&mut self, value: T) -> Idx<T> {
+        self.len += 1;
+        if let Some(index) = self.free_head {
+            let slot = &mut self.slots[index as usize];
+            let generation = match slot {
+                Slot::Free { generation, next_free } => {
+                    self.free_head = *next_free;
+                    *generation
+                }
+                Slot::Occupied { .. } => unreachable!("free list points at occupied slot"),
+            };
+            *slot = Slot::Occupied { generation, value };
+            Idx::from_raw(index, generation)
+        } else {
+            let index = self.slots.len() as u32;
+            self.slots.push(Slot::Occupied { generation: 0, value });
+            Idx::from_raw(index, 0)
+        }
+    }
+
+    /// Returns a reference to the entity, or `None` if the index is stale
+    /// (the entity was erased) or out of bounds.
+    pub fn get(&self, idx: Idx<T>) -> Option<&T> {
+        match self.slots.get(idx.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == idx.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable variant of [`Arena::get`].
+    pub fn get_mut(&mut self, idx: Idx<T>) -> Option<&mut T> {
+        match self.slots.get_mut(idx.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == idx.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether `idx` refers to a live entity.
+    pub fn contains(&self, idx: Idx<T>) -> bool {
+        self.get(idx).is_some()
+    }
+
+    /// Erases the entity. Returns the value if the index was live.
+    ///
+    /// The slot's generation is bumped, so any outstanding copy of `idx`
+    /// becomes detectably stale.
+    pub fn erase(&mut self, idx: Idx<T>) -> Option<T> {
+        let slot = self.slots.get_mut(idx.index as usize)?;
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == idx.generation => {
+                let next_gen = idx.generation.wrapping_add(1);
+                let old = std::mem::replace(
+                    slot,
+                    Slot::Free { generation: next_gen, next_free: self.free_head },
+                );
+                self.free_head = Some(idx.index);
+                self.len -= 1;
+                match old {
+                    Slot::Occupied { value, .. } => Some(value),
+                    Slot::Free { .. } => unreachable!(),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterates over all live `(index, value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Idx<T>, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, slot)| match slot {
+            Slot::Occupied { generation, value } => {
+                Some((Idx::from_raw(i as u32, *generation), value))
+            }
+            Slot::Free { .. } => None,
+        })
+    }
+}
+
+impl<T> std::ops::Index<Idx<T>> for Arena<T> {
+    type Output = T;
+    /// # Panics
+    /// Panics if the index is stale or out of bounds.
+    fn index(&self, idx: Idx<T>) -> &T {
+        self.get(idx).unwrap_or_else(|| panic!("stale or invalid arena index {idx:?}"))
+    }
+}
+
+impl<T> std::ops::IndexMut<Idx<T>> for Arena<T> {
+    fn index_mut(&mut self, idx: Idx<T>) -> &mut T {
+        self.get_mut(idx).unwrap_or_else(|| panic!("stale or invalid arena index {idx:?}"))
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Arena<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_get() {
+        let mut arena = Arena::new();
+        let a = arena.alloc(1);
+        let b = arena.alloc(2);
+        assert_eq!(arena[a], 1);
+        assert_eq!(arena[b], 2);
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn erase_detects_stale() {
+        let mut arena = Arena::new();
+        let a = arena.alloc("x");
+        assert_eq!(arena.erase(a), Some("x"));
+        assert!(arena.get(a).is_none());
+        assert!(!arena.contains(a));
+        assert_eq!(arena.erase(a), None);
+    }
+
+    #[test]
+    fn slot_reuse_bumps_generation() {
+        let mut arena = Arena::new();
+        let a = arena.alloc(10);
+        arena.erase(a);
+        let b = arena.alloc(20);
+        assert_eq!(a.index(), b.index(), "slot should be reused");
+        assert_ne!(a.generation(), b.generation());
+        assert!(arena.get(a).is_none(), "old index must not resolve");
+        assert_eq!(arena[b], 20);
+    }
+
+    #[test]
+    fn iter_skips_free_slots() {
+        let mut arena = Arena::new();
+        let a = arena.alloc(1);
+        let _b = arena.alloc(2);
+        let c = arena.alloc(3);
+        arena.erase(a);
+        arena.erase(c);
+        let values: Vec<_> = arena.iter().map(|(_, v)| *v).collect();
+        assert_eq!(values, vec![2]);
+    }
+
+    #[test]
+    fn index_mut_updates() {
+        let mut arena = Arena::new();
+        let a = arena.alloc(5);
+        arena[a] += 1;
+        assert_eq!(arena[a], 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale or invalid")]
+    fn index_panics_on_stale() {
+        let mut arena = Arena::new();
+        let a = arena.alloc(1);
+        arena.erase(a);
+        let _ = arena[a];
+    }
+
+    #[test]
+    fn phantom_tag_is_zero_cost() {
+        assert_eq!(std::mem::size_of::<Idx<String>>(), 8);
+    }
+}

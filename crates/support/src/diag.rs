@@ -1,0 +1,181 @@
+//! Diagnostics: structured error/warning/remark reporting with source
+//! locations, notes, and a collecting engine.
+
+use crate::location::Location;
+use std::fmt;
+
+/// Severity of a [`Diagnostic`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational remark.
+    Remark,
+    /// A warning; compilation may proceed.
+    Warning,
+    /// An error; the producing operation failed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Remark => f.write_str("remark"),
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// A single diagnostic with optional attached notes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    severity: Severity,
+    location: Location,
+    message: String,
+    notes: Vec<(Location, String)>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(location: Location, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Error, location, message: message.into(), notes: vec![] }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(location: Location, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            location,
+            message: message.into(),
+            notes: vec![],
+        }
+    }
+
+    /// Creates a remark diagnostic.
+    pub fn remark(location: Location, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Remark, location, message: message.into(), notes: vec![] }
+    }
+
+    /// Attaches a note (builder-style).
+    pub fn with_note(mut self, location: Location, message: impl Into<String>) -> Self {
+        self.notes.push((location, message.into()));
+        self
+    }
+
+    /// The diagnostic's severity.
+    pub fn severity(&self) -> Severity {
+        self.severity
+    }
+
+    /// The primary source location.
+    pub fn location(&self) -> &Location {
+        &self.location
+    }
+
+    /// The primary message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Attached notes.
+    pub fn notes(&self) -> &[(Location, String)] {
+        &self.notes
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}: {}", self.location, self.severity, self.message)?;
+        for (loc, note) in &self.notes {
+            write!(f, "\n{loc}: note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Collects diagnostics emitted during a compilation activity.
+///
+/// ```
+/// use td_support::diag::{DiagnosticEngine, Diagnostic};
+/// use td_support::location::Location;
+/// let mut engine = DiagnosticEngine::new();
+/// engine.emit(Diagnostic::error(Location::unknown(), "boom"));
+/// assert_eq!(engine.error_count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct DiagnosticEngine {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl DiagnosticEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a diagnostic.
+    pub fn emit(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// All recorded diagnostics, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity() == Severity::Error).count()
+    }
+
+    /// Whether any error was emitted.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Removes and returns all recorded diagnostics.
+    pub fn take(&mut self) -> Vec<Diagnostic> {
+        std::mem::take(&mut self.diagnostics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_notes() {
+        let d = Diagnostic::error(Location::unknown(), "failed to legalize operation")
+            .with_note(Location::unknown(), "see current operation");
+        let text = d.to_string();
+        assert!(text.contains("error: failed to legalize operation"));
+        assert!(text.contains("note: see current operation"));
+    }
+
+    #[test]
+    fn engine_counts_errors_only() {
+        let mut engine = DiagnosticEngine::new();
+        engine.emit(Diagnostic::warning(Location::unknown(), "w"));
+        engine.emit(Diagnostic::error(Location::unknown(), "e"));
+        engine.emit(Diagnostic::remark(Location::unknown(), "r"));
+        assert_eq!(engine.error_count(), 1);
+        assert!(engine.has_errors());
+        assert_eq!(engine.diagnostics().len(), 3);
+    }
+
+    #[test]
+    fn take_drains() {
+        let mut engine = DiagnosticEngine::new();
+        engine.emit(Diagnostic::error(Location::unknown(), "e"));
+        let taken = engine.take();
+        assert_eq!(taken.len(), 1);
+        assert!(!engine.has_errors());
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Remark);
+    }
+}

@@ -1,0 +1,133 @@
+//! String interning.
+//!
+//! Operation names, attribute keys, and symbol names are interned into
+//! [`Symbol`]s: cheap `Copy` handles that compare in O(1). A process-global
+//! interner is used so symbols can be created from anywhere without
+//! threading a context around; this mirrors how MLIR interns identifiers in
+//! its `MLIRContext`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string.
+///
+/// ```
+/// use td_support::interner::Symbol;
+/// let a = Symbol::new("scf.for");
+/// let b = Symbol::new("scf.for");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "scf.for");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn global() -> &'static Mutex<Interner> {
+    static GLOBAL: OnceLock<Mutex<Interner>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(Interner { map: HashMap::new(), strings: Vec::new() }))
+}
+
+impl Symbol {
+    /// Interns `s` and returns its symbol.
+    pub fn new(s: &str) -> Symbol {
+        let mut interner = global().lock().expect("interner poisoned");
+        if let Some(&id) = interner.map.get(s) {
+            return Symbol(id);
+        }
+        // Interned strings live for the duration of the process; leaking is
+        // the standard implementation technique for a global interner.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = interner.strings.len() as u32;
+        interner.strings.push(leaked);
+        interner.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(self) -> &'static str {
+        let interner = global().lock().expect("interner poisoned");
+        interner.strings[self.0 as usize]
+    }
+
+    /// The raw id; stable within a process, useful as a dense map key.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::new(&s)
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes() {
+        let a = Symbol::new("arith.addi");
+        let b = Symbol::new("arith.addi");
+        let c = Symbol::new("arith.addf");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = "transform.named_sequence";
+        assert_eq!(Symbol::new(s).as_str(), s);
+    }
+
+    #[test]
+    fn compares_with_str() {
+        let a = Symbol::new("func.func");
+        assert_eq!(a, "func.func");
+        assert_ne!(a, "func.return");
+    }
+
+    #[test]
+    fn threads_share_symbols() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| Symbol::new("shared.symbol")))
+            .collect();
+        let symbols: Vec<Symbol> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(symbols.windows(2).all(|w| w[0] == w[1]));
+    }
+}

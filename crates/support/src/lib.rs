@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Foundation utilities for the Transform-dialect reproduction: generational
+//! arenas, string interning, source locations, and diagnostics.
+//!
+//! Everything in the IR stack (`td-ir` and above) builds on these few types:
+//!
+//! * [`arena::Arena`] / [`arena::Idx`] — storage with stale-index detection,
+//!   the mechanical basis of handle invalidation;
+//! * [`interner::Symbol`] — interned identifiers (operation names, attribute
+//!   keys);
+//! * [`location::Location`] and [`diag::Diagnostic`] — the error-reporting
+//!   vocabulary shared by the verifier, the pass manager, and the transform
+//!   interpreter.
+
+pub mod arena;
+pub mod diag;
+pub mod interner;
+pub mod location;
+
+pub use arena::{Arena, Idx};
+pub use diag::{Diagnostic, DiagnosticEngine, Severity};
+pub use interner::Symbol;
+pub use location::Location;

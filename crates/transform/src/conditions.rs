@@ -1,0 +1,629 @@
+//! Pre-/post-conditions and the static pipeline checker (§3.3, Table 2).
+//!
+//! Conditions are *op sets*: patterns over payload operation names such as
+//! `{scf.*}` (a whole dialect), `{cf.br}` (one op), `{memref.subview.constr}`
+//! (an op refined by an IRDL constraint), or `{*.*}` (anything). A
+//! transformation's **pre**-condition names the ops it consumes and removes;
+//! its **post**-condition names the ops it may introduce.
+//!
+//! The static checker abstractly interprets a pipeline over a set of op
+//! names: `state' = (state \ pre) ∪ post`. If the final state contains ops
+//! not allowed by the target set, the composition is rejected — *before*
+//! ever running it on a payload. This is how Table 2 exposes that
+//! `expand-strided-metadata` can introduce `affine.apply`, which nothing in
+//! the naive Case Study 2 pipeline lowers.
+
+use td_ir::{Context, OpId};
+use td_support::Diagnostic;
+use std::collections::BTreeSet;
+
+/// One pattern in an op set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpPattern {
+    /// `*.*`: any operation.
+    Any,
+    /// `scf.*`: every op of a dialect.
+    Dialect(String),
+    /// `cf.br`: exactly this op (also matches its constrained refinements,
+    /// e.g. `memref.subview` matches `memref.subview.constr`).
+    Exact(String),
+    /// `memref.subview.constr`: only the constrained refinement.
+    Constrained(String),
+    /// `interface:allocates`: every op implementing the named interface
+    /// (§3.3 — conditions over op interfaces instead of names). Needs the
+    /// dialect registry to resolve; use [`OpSet::expand_interfaces`] before
+    /// matching against bare descriptors.
+    Interface(String),
+}
+
+impl OpPattern {
+    /// Parses one pattern.
+    pub fn parse(text: &str) -> OpPattern {
+        let text = text.trim();
+        if text == "*.*" || text == "*" {
+            return OpPattern::Any;
+        }
+        if let Some(interface) = text.strip_prefix("interface:") {
+            return OpPattern::Interface(interface.to_owned());
+        }
+        if let Some(dialect) = text.strip_suffix(".*") {
+            return OpPattern::Dialect(dialect.to_owned());
+        }
+        if text.ends_with(".constr") {
+            return OpPattern::Constrained(text.to_owned());
+        }
+        OpPattern::Exact(text.to_owned())
+    }
+
+    /// Whether this pattern matches an op descriptor (a concrete name,
+    /// possibly carrying a `.constr` suffix).
+    pub fn matches(&self, descriptor: &str) -> bool {
+        match self {
+            OpPattern::Any => true,
+            OpPattern::Dialect(dialect) => {
+                descriptor.split('.').next() == Some(dialect.as_str())
+            }
+            OpPattern::Exact(name) => {
+                descriptor == name
+                    || descriptor.strip_suffix(".constr") == Some(name.as_str())
+            }
+            OpPattern::Constrained(name) => descriptor == name,
+            // Interface patterns never match bare descriptors; expand them
+            // against a registry first (`OpSet::expand_interfaces`).
+            OpPattern::Interface(_) => false,
+        }
+    }
+}
+
+/// Resolves an interface name to its trait bit-set.
+fn interface_traits(name: &str) -> Option<td_ir::OpTraits> {
+    Some(match name {
+        "allocates" => td_ir::OpTraits::ALLOCATES,
+        "terminator" => td_ir::OpTraits::TERMINATOR,
+        "pure" => td_ir::OpTraits::PURE,
+        "symbol" => td_ir::OpTraits::SYMBOL,
+        "constant_like" => td_ir::OpTraits::CONSTANT_LIKE,
+        _ => return None,
+    })
+}
+
+impl std::fmt::Display for OpPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpPattern::Any => f.write_str("*.*"),
+            OpPattern::Dialect(d) => write!(f, "{d}.*"),
+            OpPattern::Exact(n) | OpPattern::Constrained(n) => f.write_str(n),
+            OpPattern::Interface(i) => write!(f, "interface:{i}"),
+        }
+    }
+}
+
+/// A set of op patterns, e.g. `{scf.*, arith.addi}`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpSet {
+    patterns: Vec<OpPattern>,
+}
+
+impl OpSet {
+    /// Builds a set from textual patterns.
+    pub fn of(patterns: impl IntoIterator<Item = impl AsRef<str>>) -> OpSet {
+        OpSet { patterns: patterns.into_iter().map(|p| OpPattern::parse(p.as_ref())).collect() }
+    }
+
+    /// Whether the set matches a descriptor.
+    pub fn matches(&self, descriptor: &str) -> bool {
+        self.patterns.iter().any(|p| p.matches(descriptor))
+    }
+
+    /// The patterns.
+    pub fn patterns(&self) -> &[OpPattern] {
+        &self.patterns
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Replaces every `interface:<name>` pattern with the exact names of
+    /// the registered ops implementing that interface. Unknown interfaces
+    /// expand to nothing (conservative).
+    pub fn expand_interfaces(&self, registry: &td_ir::DialectRegistry) -> OpSet {
+        let mut patterns = Vec::new();
+        for pattern in &self.patterns {
+            match pattern {
+                OpPattern::Interface(name) => {
+                    let Some(traits) = interface_traits(name) else { continue };
+                    let mut names: Vec<&str> = registry
+                        .iter()
+                        .filter(|spec| spec.traits.contains(traits))
+                        .map(|spec| spec.name.as_str())
+                        .collect();
+                    names.sort_unstable();
+                    patterns
+                        .extend(names.into_iter().map(|n| OpPattern::Exact(n.to_owned())));
+                }
+                other => patterns.push(other.clone()),
+            }
+        }
+        OpSet { patterns }
+    }
+}
+
+impl std::fmt::Display for OpSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("{")?;
+        for (i, p) in self.patterns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// Declared conditions of one transformation/pass.
+#[derive(Clone, Debug)]
+pub struct PassConditions {
+    /// Pass or transform name.
+    pub name: String,
+    /// Ops consumed and removed.
+    pub pre: Vec<String>,
+    /// Op descriptors introduced (concrete names, possibly `.constr`).
+    pub post: Vec<String>,
+}
+
+impl PassConditions {
+    /// Convenience constructor.
+    pub fn new(name: &str, pre: &[&str], post: &[&str]) -> PassConditions {
+        PassConditions {
+            name: name.to_owned(),
+            pre: pre.iter().map(|s| (*s).to_owned()).collect(),
+            post: post.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+}
+
+/// The conditions table for this workspace's lowering passes — the analogue
+/// of Table 2 in the paper, adapted to what the passes here actually
+/// produce.
+pub fn standard_pass_conditions() -> Vec<PassConditions> {
+    vec![
+        PassConditions::new(
+            "convert-scf-to-cf",
+            &["scf.*"],
+            &["cf.br", "cf.cond_br", "arith.cmpi", "arith.addi", "arith.constant"],
+        ),
+        PassConditions::new(
+            "convert-arith-to-llvm",
+            &["arith.*"],
+            &[
+                "llvm.add",
+                "llvm.sub",
+                "llvm.mul",
+                "llvm.sdiv",
+                "llvm.srem",
+                "llvm.shl",
+                "llvm.fadd",
+                "llvm.fsub",
+                "llvm.fmul",
+                "llvm.fdiv",
+                "llvm.icmp",
+                "llvm.select",
+                "llvm.mlir.constant",
+                "llvm.bitcast",
+                "builtin.unrealized_conversion_cast",
+            ],
+        ),
+        PassConditions::new(
+            "convert-cf-to-llvm",
+            &["cf.*"],
+            &["llvm.br", "llvm.cond_br", "builtin.unrealized_conversion_cast"],
+        ),
+        PassConditions::new(
+            "convert-func-to-llvm",
+            &["func.*"],
+            &["llvm.func", "llvm.return", "llvm.call", "builtin.unrealized_conversion_cast"],
+        ),
+        PassConditions::new(
+            "expand-strided-metadata",
+            &["memref.subview"],
+            &[
+                "memref.subview.constr",
+                "memref.extract_strided_metadata",
+                "memref.reinterpret_cast",
+                "affine.apply",
+            ],
+        ),
+        PassConditions::new(
+            "finalize-memref-to-llvm",
+            &["memref.*"],
+            &[
+                "llvm.add",
+                "llvm.mul",
+                "llvm.call",
+                "llvm.load",
+                "llvm.store",
+                "llvm.getelementptr",
+                "llvm.ptrtoint",
+                "llvm.mlir.constant",
+                "builtin.unrealized_conversion_cast",
+            ],
+        ),
+        PassConditions::new(
+            "reconcile-unrealized-casts",
+            &["builtin.unrealized_conversion_cast"],
+            &[],
+        ),
+        PassConditions::new(
+            "lower-affine",
+            &["affine.*"],
+            &["arith.constant", "arith.muli", "arith.addi", "arith.minsi"],
+        ),
+        PassConditions::new("canonicalize", &[], &[]),
+        PassConditions::new("cse", &[], &[]),
+    ]
+}
+
+/// Looks up the standard conditions of a pass.
+pub fn conditions_for(pass: &str) -> Option<PassConditions> {
+    standard_pass_conditions().into_iter().find(|c| c.name == pass)
+}
+
+/// One step of a static pipeline check.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// Pass or transform name.
+    pub name: String,
+    /// Descriptors removed by the pre-condition.
+    pub removed: Vec<String>,
+    /// Descriptors introduced by the post-condition.
+    pub introduced: Vec<String>,
+    /// Abstract state after the step.
+    pub state_after: Vec<String>,
+}
+
+/// Result of a static pipeline check.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// Per-step evolution.
+    pub steps: Vec<StepReport>,
+    /// Descriptors in the final state that the target set does not allow;
+    /// empty means the pipeline is statically sound.
+    pub leftover: Vec<String>,
+}
+
+impl CheckReport {
+    /// Whether the pipeline passed the check.
+    pub fn is_ok(&self) -> bool {
+        self.leftover.is_empty()
+    }
+
+    /// Renders the failure as a diagnostic, if any.
+    pub fn to_diagnostic(&self) -> Option<Diagnostic> {
+        if self.is_ok() {
+            return None;
+        }
+        Some(Diagnostic::error(
+            td_support::Location::unknown(),
+            format!(
+                "pipeline check failed: {} will remain after the pipeline but the target \
+                 op set does not allow {}",
+                self.leftover.join(", "),
+                if self.leftover.len() == 1 { "it" } else { "them" },
+            ),
+        ))
+    }
+}
+
+/// Statically checks a pipeline of condition-annotated steps against an
+/// initial op-descriptor set and a target op set.
+pub fn check_steps(
+    steps: &[PassConditions],
+    input_ops: &[&str],
+    target: &OpSet,
+) -> CheckReport {
+    let mut state: BTreeSet<String> = input_ops.iter().map(|s| (*s).to_owned()).collect();
+    let mut reports = Vec::new();
+    for step in steps {
+        let pre = OpSet::of(step.pre.iter());
+        let removed: Vec<String> = state.iter().filter(|d| pre.matches(d)).cloned().collect();
+        for r in &removed {
+            state.remove(r);
+        }
+        let mut introduced = Vec::new();
+        for p in &step.post {
+            if state.insert(p.clone()) {
+                introduced.push(p.clone());
+            }
+        }
+        reports.push(StepReport {
+            name: step.name.clone(),
+            removed,
+            introduced,
+            state_after: state.iter().cloned().collect(),
+        });
+    }
+    let leftover: Vec<String> = state.iter().filter(|d| !target.matches(d)).cloned().collect();
+    CheckReport { steps: reports, leftover }
+}
+
+/// Statically checks a named pipeline using the standard conditions table.
+///
+/// # Errors
+/// Returns a diagnostic if a pass has no declared conditions.
+pub fn check_pipeline(
+    passes: &[&str],
+    input_ops: &[&str],
+    target: &OpSet,
+) -> Result<CheckReport, Diagnostic> {
+    let mut steps = Vec::new();
+    for &pass in passes {
+        let conditions = conditions_for(pass).ok_or_else(|| {
+            Diagnostic::error(
+                td_support::Location::unknown(),
+                format!("no pre-/post-conditions declared for pass '{pass}'"),
+            )
+        })?;
+        steps.push(conditions);
+    }
+    Ok(check_steps(&steps, input_ops, target))
+}
+
+/// Statically checks a Transform *script*: walks the entry sequence and
+/// interprets `transform.apply_registered_pass` steps (and any transform op
+/// with declared conditions in `registry`) over the abstract op set.
+///
+/// # Errors
+/// Returns a diagnostic for steps without declared conditions.
+pub fn check_script(
+    ctx: &Context,
+    registry: &crate::registry::TransformOpRegistry,
+    entry: OpId,
+    input_ops: &[&str],
+    target: &OpSet,
+) -> Result<CheckReport, Diagnostic> {
+    let mut steps: Vec<PassConditions> = Vec::new();
+    for op in ctx.walk_nested(entry) {
+        let name = ctx.op(op).name.as_str();
+        if name == "transform.apply_registered_pass" {
+            let pass = ctx
+                .op(op)
+                .attr("pass_name")
+                .and_then(|a| a.as_str().map(str::to_owned))
+                .unwrap_or_default();
+            let conditions = conditions_for(&pass).ok_or_else(|| {
+                Diagnostic::error(
+                    ctx.op(op).location.clone(),
+                    format!("no pre-/post-conditions declared for pass '{pass}'"),
+                )
+            })?;
+            steps.push(conditions);
+        } else if let Some(def) = registry.def(ctx.op(op).name) {
+            if !def.pre.is_empty() || !def.post.is_empty() {
+                steps.push(PassConditions {
+                    name: ctx.op(op).name.as_str().to_owned(),
+                    pre: def.pre.clone(),
+                    post: def.post.clone(),
+                });
+            }
+        }
+    }
+    Ok(check_steps(&steps, input_ops, target))
+}
+
+/// Scans a payload subtree into op descriptors for the checker, refining
+/// trivial subviews into their `.constr` form when an IRDL registry with
+/// `memref.subview.constr` is provided.
+pub fn scan_payload_ops(
+    ctx: &Context,
+    root: OpId,
+    irdl: Option<&td_irdl::IrdlRegistry>,
+) -> Vec<String> {
+    let mut out = BTreeSet::new();
+    for op in ctx.walk_nested(root) {
+        let name = ctx.op(op).name.as_str();
+        let mut descriptor = name.to_owned();
+        if let Some(irdl) = irdl {
+            let constrained_id = format!("{name}.constr");
+            if let Some(def) = irdl.constraint(&constrained_id) {
+                if td_irdl::check_op(ctx, op, def).is_ok() {
+                    descriptor = constrained_id;
+                }
+            }
+        }
+        out.insert(descriptor);
+    }
+    out.into_iter().collect()
+}
+
+/// Dynamically validates a transformation's declared conditions against an
+/// observed before/after op-name transition (§3.3, "Checking Pre- and
+/// Post-Conditions Dynamically").
+///
+/// # Errors
+/// Returns a diagnostic naming the first introduced op that the declared
+/// post-condition does not cover.
+pub fn verify_transition(
+    name: &str,
+    before: &[String],
+    after: &[String],
+    post: &OpSet,
+) -> Result<(), Diagnostic> {
+    let before: BTreeSet<&String> = before.iter().collect();
+    for descriptor in after {
+        if !before.contains(descriptor) && !post.matches(descriptor) {
+            return Err(Diagnostic::error(
+                td_support::Location::unknown(),
+                format!(
+                    "'{name}' introduced '{descriptor}', which its declared post-condition \
+                     does not cover"
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_matching() {
+        assert!(OpPattern::parse("*.*").matches("anything.at_all"));
+        assert!(OpPattern::parse("scf.*").matches("scf.for"));
+        assert!(!OpPattern::parse("scf.*").matches("cf.br"));
+        assert!(OpPattern::parse("cf.br").matches("cf.br"));
+        assert!(!OpPattern::parse("cf.br").matches("cf.cond_br"));
+        // Exact base pattern also covers the constrained refinement...
+        assert!(OpPattern::parse("memref.subview").matches("memref.subview.constr"));
+        // ...but the constrained pattern only covers the refinement.
+        assert!(!OpPattern::parse("memref.subview.constr").matches("memref.subview"));
+        assert!(OpPattern::parse("memref.subview.constr").matches("memref.subview.constr"));
+    }
+
+    #[test]
+    fn set_display_round_trip() {
+        let set = OpSet::of(["scf.*", "cf.br", "memref.subview.constr"]);
+        assert_eq!(set.to_string(), "{scf.*, cf.br, memref.subview.constr}");
+        assert!(set.matches("scf.forall"));
+        assert!(set.matches("cf.br"));
+        assert!(!set.matches("llvm.add"));
+    }
+
+    /// The Table 2 scenario: the naive pipeline leaves `affine.apply` (and
+    /// the constants it feeds) behind; the fixed pipeline is clean.
+    #[test]
+    fn naive_cs2_pipeline_fails_statically() {
+        let input = [
+            "func.func",
+            "func.return",
+            "arith.constant",
+            "scf.forall",
+            "memref.subview",
+            "memref.store",
+        ];
+        let naive = [
+            "convert-scf-to-cf",
+            "convert-arith-to-llvm",
+            "convert-cf-to-llvm",
+            "convert-func-to-llvm",
+            "expand-strided-metadata",
+            "finalize-memref-to-llvm",
+            "reconcile-unrealized-casts",
+        ];
+        let target = OpSet::of(["llvm.*"]);
+        let report = check_pipeline(&naive, &input, &target).unwrap();
+        assert!(!report.is_ok());
+        assert!(
+            report.leftover.contains(&"affine.apply".to_owned()),
+            "leftover: {:?}",
+            report.leftover
+        );
+        let diag = report.to_diagnostic().unwrap();
+        assert!(diag.message().contains("affine.apply"));
+    }
+
+    #[test]
+    fn fixed_cs2_pipeline_passes_statically() {
+        let input = [
+            "func.func",
+            "func.return",
+            "arith.constant",
+            "scf.forall",
+            "memref.subview",
+            "memref.store",
+        ];
+        let fixed = [
+            "convert-scf-to-cf",
+            "convert-arith-to-llvm",
+            "convert-cf-to-llvm",
+            "convert-func-to-llvm",
+            "expand-strided-metadata",
+            "lower-affine",
+            "convert-arith-to-llvm",
+            "finalize-memref-to-llvm",
+            "reconcile-unrealized-casts",
+        ];
+        let target = OpSet::of(["llvm.*"]);
+        let report = check_pipeline(&fixed, &input, &target).unwrap();
+        assert!(report.is_ok(), "leftover: {:?}", report.leftover);
+    }
+
+    #[test]
+    fn phase_ordering_violation_detected() {
+        // Loop transforms operate on scf; running convert-scf-to-cf first
+        // leaves scf ops gone, so a later scf-consuming step is vacuous and
+        // the cf ops it cannot handle remain.
+        let input = ["scf.for", "func.func", "func.return"];
+        let steps = ["convert-scf-to-cf", "convert-func-to-llvm"];
+        let target = OpSet::of(["llvm.*"]);
+        let report = check_pipeline(&steps, &input, &target).unwrap();
+        assert!(!report.is_ok());
+        assert!(report.leftover.iter().any(|d| d.starts_with("cf.")));
+    }
+
+    #[test]
+    fn step_reports_trace_evolution() {
+        let input = ["scf.for", "func.func"];
+        let report =
+            check_pipeline(&["convert-scf-to-cf"], &input, &OpSet::of(["*.*"])).unwrap();
+        assert!(report.is_ok());
+        let step = &report.steps[0];
+        assert_eq!(step.removed, vec!["scf.for"]);
+        assert!(step.introduced.contains(&"cf.br".to_owned()));
+        assert!(step.state_after.contains(&"func.func".to_owned()));
+    }
+
+    #[test]
+    fn verify_transition_flags_undeclared_ops() {
+        let before = vec!["scf.for".to_owned()];
+        let after = vec!["cf.br".to_owned(), "affine.apply".to_owned()];
+        let post = OpSet::of(["cf.br", "cf.cond_br"]);
+        let err = verify_transition("convert-scf-to-cf", &before, &after, &post).unwrap_err();
+        assert!(err.message().contains("affine.apply"));
+        let post_ok = OpSet::of(["cf.br", "affine.apply"]);
+        assert!(verify_transition("x", &before, &after, &post_ok).is_ok());
+    }
+
+    #[test]
+    fn interface_patterns_expand_via_registry() {
+        let mut ctx = td_ir::Context::new();
+        td_dialects::register_all_dialects(&mut ctx);
+        let set = OpSet::of(["interface:allocates", "cf.br"]);
+        // Unexpanded, interface patterns match nothing.
+        assert!(!set.matches("memref.alloc"));
+        assert!(set.matches("cf.br"));
+        let expanded = set.expand_interfaces(&ctx.registry);
+        assert!(expanded.matches("memref.alloc"), "{expanded}");
+        assert!(expanded.matches("llvm.alloca"), "{expanded}");
+        assert!(expanded.matches("cf.br"));
+        assert!(!expanded.matches("arith.addi"));
+        // Terminator interface covers branch/return families.
+        let terminators =
+            OpSet::of(["interface:terminator"]).expand_interfaces(&ctx.registry);
+        assert!(terminators.matches("func.return"));
+        assert!(terminators.matches("cf.cond_br"));
+        assert!(!terminators.matches("func.func"));
+    }
+
+    #[test]
+    fn unknown_interface_expands_to_nothing() {
+        let ctx = {
+            let mut c = td_ir::Context::new();
+            td_dialects::register_all_dialects(&mut c);
+            c
+        };
+        let expanded =
+            OpSet::of(["interface:made_up"]).expand_interfaces(&ctx.registry);
+        assert!(!expanded.matches("memref.alloc"));
+    }
+
+    #[test]
+    fn unknown_pass_is_an_error() {
+        let err = check_pipeline(&["mystery-pass"], &[], &OpSet::of(["*.*"])).unwrap_err();
+        assert!(err.message().contains("mystery-pass"));
+    }
+}

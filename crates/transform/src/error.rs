@@ -1,0 +1,84 @@
+//! The Transform dialect's error model (§3 of the paper).
+//!
+//! A transform may signal a *silenceable* or a *definite* error. Silenceable
+//! errors indicate a failed precondition — the payload has not been
+//! modified irreversibly — and may be suppressed by enclosing constructs
+//! such as `transform.alternatives` or a `transform.sequence` with
+//! suppressing failure-propagation mode. Definite errors abort the
+//! interpreter immediately.
+
+use td_support::{Diagnostic, Location};
+
+/// An error signalled by a transform.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TransformError {
+    /// Failed precondition; the payload is still in a consistent state and
+    /// an enclosing transform may suppress the failure.
+    Silenceable(Diagnostic),
+    /// Unrecoverable failure; aborts interpretation.
+    Definite(Diagnostic),
+}
+
+impl TransformError {
+    /// Creates a silenceable error.
+    pub fn silenceable(location: Location, message: impl Into<String>) -> Self {
+        TransformError::Silenceable(Diagnostic::error(location, message))
+    }
+
+    /// Creates a definite error.
+    pub fn definite(location: Location, message: impl Into<String>) -> Self {
+        TransformError::Definite(Diagnostic::error(location, message))
+    }
+
+    /// The underlying diagnostic.
+    pub fn diagnostic(&self) -> &Diagnostic {
+        match self {
+            TransformError::Silenceable(d) | TransformError::Definite(d) => d,
+        }
+    }
+
+    /// Whether the error may be suppressed.
+    pub fn is_silenceable(&self) -> bool {
+        matches!(self, TransformError::Silenceable(_))
+    }
+
+    /// Escalates a silenceable error into a definite one (used when a
+    /// sequence with `propagate` mode re-reports a child failure).
+    pub fn into_definite(self) -> TransformError {
+        match self {
+            TransformError::Silenceable(d) | TransformError::Definite(d) => {
+                TransformError::Definite(d)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::Silenceable(d) => write!(f, "silenceable failure: {d}"),
+            TransformError::Definite(d) => write!(f, "definite failure: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Shorthand for transform results.
+pub type TransformResult<T = ()> = Result<T, TransformError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let s = TransformError::silenceable(Location::unknown(), "precondition failed");
+        let d = TransformError::definite(Location::unknown(), "payload corrupted");
+        assert!(s.is_silenceable());
+        assert!(!d.is_silenceable());
+        assert!(!s.clone().into_definite().is_silenceable());
+        assert!(s.to_string().contains("silenceable"));
+        assert!(d.to_string().contains("definite"));
+    }
+}

@@ -1,0 +1,276 @@
+//! The transform interpreter (§3): executes a Transform script against a
+//! payload program, maintaining the handle association table and enforcing
+//! handle invalidation.
+
+use crate::error::{TransformError, TransformResult};
+use crate::registry::{LibraryResolver, NamedPatternRegistry, TransformOpRegistry};
+use crate::state::TransformState;
+use td_ir::{BlockId, Context, OpId, PassRegistry, ValueId};
+
+/// Interpreter configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct InterpConfig {
+    /// Check, before every transform, that none of its operand handles maps
+    /// to erased payload ops (catches invalidation bugs early, at a cost).
+    pub expensive_checks: bool,
+    /// Dynamically check declared post-conditions (§3.3): after a transform
+    /// with a declared `post` op-set runs, scan the affected payload and
+    /// report (as a definite error) any op it introduced that the
+    /// declaration does not cover. Catches *wrong declarations*, which the
+    /// static checker cannot.
+    pub check_conditions: bool,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig { expensive_checks: true, check_conditions: false }
+    }
+}
+
+/// The interpreter's environment: every registry a transform might need.
+///
+/// Kept separate from the interpreter so handlers can recurse through
+/// `&mut Interpreter` while the environment stays immutably borrowed.
+pub struct InterpEnv<'a> {
+    /// Transform op definitions.
+    pub transforms: TransformOpRegistry,
+    /// Pass registry backing `transform.apply_registered_pass`.
+    pub passes: Option<&'a PassRegistry>,
+    /// Named patterns backing `transform.apply_patterns`.
+    pub patterns: Option<&'a NamedPatternRegistry>,
+    /// Library resolver backing `transform.to_library`.
+    pub library: Option<&'a dyn LibraryResolver>,
+    /// Configuration.
+    pub config: InterpConfig,
+}
+
+impl<'a> InterpEnv<'a> {
+    /// Environment with standard transform ops and nothing else wired up.
+    pub fn standard() -> InterpEnv<'a> {
+        InterpEnv {
+            transforms: TransformOpRegistry::with_standard_ops(),
+            passes: None,
+            patterns: None,
+            library: None,
+            config: InterpConfig::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for InterpEnv<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InterpEnv")
+            .field("transforms", &self.transforms.names().len())
+            .field("has_passes", &self.passes.is_some())
+            .field("has_patterns", &self.patterns.is_some())
+            .field("has_library", &self.library.is_some())
+            .finish()
+    }
+}
+
+/// Execution statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InterpStats {
+    /// Number of transform ops executed.
+    pub transforms_executed: usize,
+    /// Number of silenceable errors suppressed by enclosing constructs.
+    pub suppressed_errors: usize,
+}
+
+/// The transform interpreter.
+///
+/// # Examples
+///
+/// ```
+/// use td_transform::{InterpEnv, Interpreter};
+/// let mut ctx = td_ir::Context::new();
+/// td_dialects::register_all_dialects(&mut ctx);
+/// td_transform::register_transform_dialect(&mut ctx);
+/// let payload = td_ir::parse_module(&mut ctx, r#"module {
+///   %c = arith.constant 1 : index
+/// }"#).map_err(|e| e.to_string())?;
+/// let script = td_ir::parse_module(&mut ctx, r#"module {
+///   transform.named_sequence @main(%root: !transform.any_op) {
+///     %consts = "transform.match_op"(%root) {name = "arith.constant", select = "all"}
+///         : (!transform.any_op) -> !transform.any_op
+///     "transform.annotate"(%consts) {name = "seen"} : (!transform.any_op) -> ()
+///   }
+/// }"#).map_err(|e| e.to_string())?;
+/// let entry = ctx.lookup_symbol(script, "main").expect("entry point");
+/// let env = InterpEnv::standard();
+/// Interpreter::new(&env).apply(&mut ctx, entry, payload).map_err(|e| e.to_string())?;
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug)]
+pub struct Interpreter<'e> {
+    /// The environment (registries and configuration).
+    pub env: &'e InterpEnv<'e>,
+    /// Statistics of the current run.
+    pub stats: InterpStats,
+}
+
+impl<'e> Interpreter<'e> {
+    /// Creates an interpreter over `env`.
+    pub fn new(env: &'e InterpEnv<'e>) -> Self {
+        Interpreter { env, stats: InterpStats::default() }
+    }
+
+    /// Applies the transform script rooted at `entry` (a
+    /// `transform.named_sequence` or `transform.sequence` whose entry block
+    /// argument receives the payload root) to `payload`.
+    ///
+    /// # Errors
+    /// Propagates definite errors and unsuppressed silenceable errors.
+    pub fn apply(&mut self, ctx: &mut Context, entry: OpId, payload: OpId) -> TransformResult {
+        let mut state = TransformState::new();
+        self.apply_with_state(ctx, &mut state, entry, payload)
+    }
+
+    /// Like [`Interpreter::apply`] but against caller-provided state
+    /// (useful for inspecting mappings afterwards).
+    pub fn apply_with_state(
+        &mut self,
+        ctx: &mut Context,
+        state: &mut TransformState,
+        entry: OpId,
+        payload: OpId,
+    ) -> TransformResult {
+        let name = ctx.op(entry).name.as_str();
+        if name != "transform.named_sequence" && name != "transform.sequence" {
+            return Err(TransformError::definite(
+                ctx.op(entry).location.clone(),
+                format!("expected a transform entry point, found '{name}'"),
+            ));
+        }
+        let region = ctx.op(entry).regions().first().copied().ok_or_else(|| {
+            TransformError::definite(ctx.op(entry).location.clone(), "entry point has no region")
+        })?;
+        let block = ctx.region(region).blocks().first().copied().ok_or_else(|| {
+            TransformError::definite(ctx.op(entry).location.clone(), "entry point has no block")
+        })?;
+        if let Some(&arg) = ctx.block(block).args().first() {
+            state.set_ops(arg, vec![payload]);
+        }
+        self.run_block(ctx, state, block)
+    }
+
+    /// Executes every transform op in `block`, in order.
+    ///
+    /// # Errors
+    /// Stops at (and returns) the first error.
+    pub fn run_block(
+        &mut self,
+        ctx: &mut Context,
+        state: &mut TransformState,
+        block: BlockId,
+    ) -> TransformResult {
+        let ops = ctx.block(block).ops().to_vec();
+        for op in ops {
+            self.execute(ctx, state, op)?;
+        }
+        Ok(())
+    }
+
+    /// Executes a single transform op.
+    ///
+    /// # Errors
+    /// Definite error for unregistered transform ops; otherwise whatever
+    /// the handler reports.
+    pub fn execute(
+        &mut self,
+        ctx: &mut Context,
+        state: &mut TransformState,
+        op: OpId,
+    ) -> TransformResult {
+        let name = ctx.op(op).name;
+        if name.as_str() == "transform.yield" {
+            return Ok(());
+        }
+        let Some(def) = self.env.transforms.def(name) else {
+            return Err(TransformError::definite(
+                ctx.op(op).location.clone(),
+                format!("unregistered transform op '{name}'"),
+            ));
+        };
+
+        // Expensive checks: every op-handle operand must map to live ops.
+        if self.env.config.expensive_checks {
+            let location = ctx.op(op).location.clone();
+            for &operand in ctx.op(op).operands() {
+                if let Ok(ops) = state.ops(operand, &location) {
+                    if let Some(&dead) = ops.iter().find(|&&o| !ctx.is_live(o)) {
+                        return Err(TransformError::definite(
+                            location,
+                            format!(
+                                "operand handle maps to erased payload op {dead:?} \
+                                 (missing invalidation?)"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Snapshot the affected payload scope for dynamic condition checks.
+        let condition_scope: Option<(OpId, Vec<String>)> = if self.env.config.check_conditions
+            && !def.post.is_empty()
+        {
+            self.payload_scope(ctx, state, op).map(|scope| {
+                (scope, crate::conditions::scan_payload_ops(ctx, scope, None))
+            })
+        } else {
+            None
+        };
+
+        // Capture invalidation sets for consumed operands before mutation.
+        let mut to_invalidate: Vec<(ValueId, String)> = Vec::new();
+        for &index in &def.consumed_operands {
+            let Some(&operand) = ctx.op(op).operands().get(index) else { continue };
+            // Reading an already-invalidated handle is an error (detected
+            // dynamically here; the static analysis catches it offline).
+            let location = ctx.op(op).location.clone();
+            let _ = state.ops(operand, &location)?;
+            for handle in state.aliasing_handles(ctx, operand) {
+                to_invalidate
+                    .push((handle, format!("consumed by '{}' at {location}", name)));
+            }
+        }
+
+        (def.handler)(self, ctx, state, op)?;
+        self.stats.transforms_executed += 1;
+
+        for (handle, reason) in to_invalidate {
+            state.invalidate(handle, reason);
+        }
+
+        // Dynamic post-condition verification (§3.3).
+        if let Some((scope, before)) = condition_scope {
+            if ctx.is_live(scope) {
+                let after = crate::conditions::scan_payload_ops(ctx, scope, None);
+                let post = crate::conditions::OpSet::of(def.post.iter());
+                if let Err(diag) =
+                    crate::conditions::verify_transition(name.as_str(), &before, &after, &post)
+                {
+                    return Err(TransformError::Definite(diag));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The payload scope a transform affects, for dynamic condition checks:
+    /// the common enclosing op of the first operand's payload (its parent,
+    /// so newly created siblings are visible to the scan).
+    fn payload_scope(
+        &self,
+        ctx: &Context,
+        state: &TransformState,
+        op: OpId,
+    ) -> Option<OpId> {
+        let &operand = ctx.op(op).operands().first()?;
+        let location = ctx.op(op).location.clone();
+        let targets = state.ops(operand, &location).ok()?;
+        let &first = targets.first()?;
+        ctx.parent_op(first).or(Some(first))
+    }
+}

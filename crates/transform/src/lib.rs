@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! `td-transform`: the **Transform dialect** — a controllable, IR-based
+//! transformation system (the paper's core contribution).
+//!
+//! Transform *scripts* are ordinary IR (parsed/printed by `td-ir`); this
+//! crate provides:
+//!
+//! * the [`interp`] interpreter maintaining handle↔payload associations;
+//! * handle [`state`] with invalidation (§3.1), including updates from
+//!   rewrite events so handles survive payload replacement;
+//! * the standard transform [`ops`] (matching, structural combinators,
+//!   loop transforms, pass/pattern/library integration);
+//! * payload-level [`loop_transforms`] (tile/split/unroll/hoist/
+//!   interchange/peel), the "hidden compiler features" being exposed;
+//! * an extensible [`registry`] of transform op definitions with declared
+//!   consumption and pre-/post-conditions.
+//!
+//! Higher-level features — the static pipeline checker, static handle
+//! invalidation analysis, script optimization, pipeline→script conversion,
+//! and the autodiff introspection case study — live in sibling modules.
+
+pub mod autodiff;
+pub mod conditions;
+pub mod error;
+pub mod interp;
+pub mod invalidation;
+pub mod loop_transforms;
+pub mod ops;
+pub mod pipeline_to_script;
+pub mod registry;
+pub mod script_opt;
+pub mod state;
+
+pub use conditions::{check_pipeline, check_script, CheckReport, OpPattern, OpSet, PassConditions};
+pub use error::{TransformError, TransformResult};
+pub use invalidation::analyze_invalidation;
+pub use pipeline_to_script::{pipeline_to_script, transform_main, TRANSFORM_MAIN};
+pub use interp::{InterpConfig, InterpEnv, Interpreter, InterpStats};
+pub use ops::register_transform_dialect;
+pub use registry::{
+    LibraryResolver, NamedPatternRegistry, TransformOpDef, TransformOpRegistry,
+};
+pub use state::{Mapped, TransformState};

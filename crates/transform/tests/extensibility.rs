@@ -1,0 +1,310 @@
+//! The extensibility story (§3.2) and dynamic condition checking (§3.3):
+//!
+//! * new transform ops can be registered by downstream code (no recompiling
+//!   of the "compiler" crates);
+//! * new abstractions can also be built *without* native code, as named
+//!   sequences composed from existing transforms;
+//! * dynamically checked post-conditions catch *inaccurate declarations* —
+//!   the case the static checker fundamentally cannot see.
+
+use td_ir::{parse_module, Attribute, Context, OpBuilder};
+use td_support::Location;
+use td_transform::{InterpEnv, Interpreter, TransformError, TransformOpDef};
+
+fn context() -> Context {
+    let mut ctx = Context::new();
+    td_dialects::register_all_dialects(&mut ctx);
+    td_transform::register_transform_dialect(&mut ctx);
+    ctx
+}
+
+const PAYLOAD: &str = r#"module {
+  func.func @f() {
+    %lo = arith.constant 0 : index
+    %hi = arith.constant 64 : index
+    %st = arith.constant 1 : index
+    scf.for %i = %lo to %hi step %st {
+      "test.body"(%i) : (index) -> ()
+    }
+    func.return
+  }
+}"#;
+
+/// A user-defined native transform: reverses a loop's direction marker (a
+/// stand-in for any custom IR transformation), registered into the standard
+/// registry at runtime.
+#[test]
+fn custom_native_transform_op() {
+    let mut ctx = context();
+    ctx.registry.register(td_ir::OpSpec::new("transform.mark_hot", "user extension"));
+    let payload = parse_module(&mut ctx, PAYLOAD).unwrap();
+    let script = parse_module(
+        &mut ctx,
+        r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    "transform.mark_hot"(%loop) : (!transform.any_op) -> ()
+  }
+}"#,
+    )
+    .unwrap();
+    let entry = ctx.lookup_symbol(script, "main").unwrap();
+
+    let mut env = InterpEnv::standard();
+    // The extension: a handler closure, registered like any built-in.
+    env.transforms.register(TransformOpDef::new(
+        "transform.mark_hot",
+        "annotate targets as hot",
+        |_, ctx, state, op| {
+            let handle = ctx.op(op).operands()[0];
+            let location = ctx.op(op).location.clone();
+            for target in state.ops(handle, &location)? {
+                ctx.set_attr(target, "hotness", Attribute::Int(100));
+            }
+            Ok(())
+        },
+    ));
+    Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap();
+    let marked = ctx
+        .walk_nested(payload)
+        .into_iter()
+        .filter(|&op| ctx.op(op).attr("hotness") == Some(&Attribute::Int(100)))
+        .count();
+    assert_eq!(marked, 1);
+}
+
+/// A new abstraction with *no* native code: `@tile_twice` composes existing
+/// transforms in a named sequence and is reused via `include` — the macro
+/// route of §3.2.
+#[test]
+fn macro_composition_without_native_code() {
+    let mut ctx = context();
+    let payload = parse_module(&mut ctx, PAYLOAD).unwrap();
+    let script = parse_module(
+        &mut ctx,
+        r#"module {
+  transform.named_sequence @tile_twice(%loop: !transform.any_op) {
+    %t0, %p0 = "transform.loop.tile"(%loop) {tile_sizes = [16]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    %t1, %p1 = "transform.loop.tile"(%p0) {tile_sizes = [4]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+  }
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    "transform.include"(%loop) {target = @tile_twice} : (!transform.any_op) -> ()
+  }
+}"#,
+    )
+    .unwrap();
+    let entry = ctx.lookup_symbol(script, "main").unwrap();
+    let env = InterpEnv::standard();
+    Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap();
+    // 64 → (4 tiles of 16) → each 16 → (4 tiles of 4): three loop levels.
+    assert_eq!(td_dialects::scf::collect_loops(&ctx, payload).len(), 3);
+    td_ir::verify::verify(&ctx, payload).unwrap();
+}
+
+/// Dynamic post-condition checking: a transform whose declaration *lies*
+/// (it introduces `test.surprise` but declares only `arith.constant`) is
+/// caught at application time — static checking would have accepted it.
+#[test]
+fn dynamic_check_catches_wrong_declarations() {
+    let mut ctx = context();
+    ctx.registry.register(td_ir::OpSpec::new("transform.misdeclared", "buggy extension"));
+    let payload = parse_module(&mut ctx, PAYLOAD).unwrap();
+    let script = parse_module(
+        &mut ctx,
+        r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    "transform.misdeclared"(%loop) : (!transform.any_op) -> ()
+  }
+}"#,
+    )
+    .unwrap();
+    let entry = ctx.lookup_symbol(script, "main").unwrap();
+
+    let mut env = InterpEnv::standard();
+    env.config.check_conditions = true;
+    env.transforms.register(
+        TransformOpDef::new("transform.misdeclared", "declares wrong post", |_, ctx, state, op| {
+            let handle = ctx.op(op).operands()[0];
+            let location = ctx.op(op).location.clone();
+            let targets = state.ops(handle, &location)?;
+            // Actually introduces test.surprise next to the loop.
+            let mut b = OpBuilder::before(ctx, targets[0]);
+            b.set_location(Location::name("surprise"));
+            b.op("test.surprise").build();
+            Ok(())
+        })
+        .with_conditions([], ["arith.constant"]),
+    );
+    let err = Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap_err();
+    assert!(matches!(err, TransformError::Definite(_)));
+    assert!(
+        err.diagnostic().message().contains("test.surprise"),
+        "diagnostic names the undeclared op: {}",
+        err.diagnostic()
+    );
+}
+
+/// With an accurate declaration the same dynamic check passes.
+#[test]
+fn dynamic_check_accepts_accurate_declarations() {
+    let mut ctx = context();
+    let payload = parse_module(&mut ctx, PAYLOAD).unwrap();
+    let script = parse_module(
+        &mut ctx,
+        r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %t, %p = "transform.loop.tile"(%loop) {tile_sizes = [16]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+  }
+}"#,
+    )
+    .unwrap();
+    let entry = ctx.lookup_symbol(script, "main").unwrap();
+    let mut env = InterpEnv::standard();
+    env.config.check_conditions = true;
+    Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap();
+}
+
+/// Handlers can also recurse into the interpreter — a native op wrapping a
+/// body region, like the built-in `sequence`.
+#[test]
+fn custom_region_transform_recurses() {
+    let mut ctx = context();
+    ctx.registry.register(td_ir::OpSpec::new("transform.twice", "run the body two times"));
+    let payload = parse_module(&mut ctx, PAYLOAD).unwrap();
+    let script = parse_module(
+        &mut ctx,
+        r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    "transform.twice"(%root) ({
+    ^bb0(%arg: !transform.any_op):
+      %loops = "transform.match_op"(%arg) {name = "scf.for", select = "all"} : (!transform.any_op) -> !transform.any_op
+      "transform.annotate"(%loops) {name = "seen"} : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) : (!transform.any_op) -> ()
+  }
+}"#,
+    )
+    .unwrap();
+    let entry = ctx.lookup_symbol(script, "main").unwrap();
+    let mut env = InterpEnv::standard();
+    env.transforms.register(TransformOpDef::new(
+        "transform.twice",
+        "apply the body twice",
+        |interp, ctx, state, op| {
+            let handle = ctx.op(op).operands()[0];
+            let location = ctx.op(op).location.clone();
+            let targets = state.ops(handle, &location)?;
+            let region = ctx.op(op).regions()[0];
+            let block = ctx.region(region).blocks()[0];
+            for _ in 0..2 {
+                if let Some(&arg) = ctx.block(block).args().first() {
+                    state.set_ops(arg, targets.clone());
+                }
+                interp.run_block(ctx, state, block)?;
+            }
+            Ok(())
+        },
+    ));
+    let mut interp = Interpreter::new(&env);
+    interp.apply(&mut ctx, entry, payload).unwrap();
+    assert!(interp.stats.transforms_executed >= 5, "{}", interp.stats.transforms_executed);
+}
+
+/// Loop fusion via the transform op: two adjacent loops with identical
+/// bounds merge; the fused handle remains usable; non-adjacent loops fail
+/// silenceably.
+#[test]
+fn loop_fusion() {
+    let mut ctx = context();
+    let payload = parse_module(
+        &mut ctx,
+        r#"module {
+  func.func @f(%m: memref<64xf32>) {
+    %lo = arith.constant 0 : index
+    %hi = arith.constant 64 : index
+    %st = arith.constant 1 : index
+    scf.for %i = %lo to %hi step %st {
+      %v = "memref.load"(%m, %i) : (memref<64xf32>, index) -> f32
+      "test.a"(%v) : (f32) -> ()
+    }
+    scf.for %j = %lo to %hi step %st {
+      %w = "memref.load"(%m, %j) : (memref<64xf32>, index) -> f32
+      "test.b"(%w) : (f32) -> ()
+    }
+    func.return
+  }
+}"#,
+    )
+    .unwrap();
+    let script = parse_module(
+        &mut ctx,
+        r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %a = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %b = "transform.match_op"(%root) {name = "scf.for", select = "second"} : (!transform.any_op) -> !transform.any_op
+    %fused = "transform.loop.fuse"(%a, %b) : (!transform.any_op, !transform.any_op) -> !transform.any_op
+    "transform.annotate"(%fused) {name = "fused"} : (!transform.any_op) -> ()
+  }
+}"#,
+    )
+    .unwrap();
+    let entry = ctx.lookup_symbol(script, "main").unwrap();
+    let env = InterpEnv::standard();
+    Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap();
+    td_ir::verify::verify(&ctx, payload).unwrap();
+    let loops = td_dialects::scf::collect_loops(&ctx, payload);
+    assert_eq!(loops.len(), 1, "one fused loop remains");
+    let fused = loops[0];
+    assert!(ctx.op(fused).attr("fused").is_some(), "fused handle stayed live");
+    // Body now contains both computations, in order.
+    let body = td_dialects::scf::as_for(&ctx, fused).unwrap();
+    let names: Vec<&str> = td_dialects::scf::body_ops(&ctx, body)
+        .iter()
+        .map(|&o| ctx.op(o).name.as_str())
+        .collect();
+    assert_eq!(names, vec!["memref.load", "test.a", "memref.load", "test.b"]);
+}
+
+/// Fusion refuses non-adjacent or bound-mismatched loops (silenceable).
+#[test]
+fn loop_fusion_preconditions() {
+    let mut ctx = context();
+    let payload = parse_module(
+        &mut ctx,
+        r#"module {
+  func.func @f() {
+    %lo = arith.constant 0 : index
+    %hi = arith.constant 64 : index
+    %hi2 = arith.constant 32 : index
+    %st = arith.constant 1 : index
+    scf.for %i = %lo to %hi step %st {
+      "test.a"(%i) : (index) -> ()
+    }
+    scf.for %j = %lo to %hi2 step %st {
+      "test.b"(%j) : (index) -> ()
+    }
+    func.return
+  }
+}"#,
+    )
+    .unwrap();
+    let script = parse_module(
+        &mut ctx,
+        r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %a = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %b = "transform.match_op"(%root) {name = "scf.for", select = "second"} : (!transform.any_op) -> !transform.any_op
+    %fused = "transform.loop.fuse"(%a, %b) : (!transform.any_op, !transform.any_op) -> !transform.any_op
+  }
+}"#,
+    )
+    .unwrap();
+    let entry = ctx.lookup_symbol(script, "main").unwrap();
+    let env = InterpEnv::standard();
+    let err = Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap_err();
+    assert!(err.is_silenceable());
+    assert!(err.diagnostic().message().contains("bounds differ"), "{}", err.diagnostic());
+}

@@ -1,0 +1,305 @@
+//! End-to-end interpreter tests: Transform scripts written in the textual
+//! format, parsed and applied to payload IR — including the Figure 1
+//! scenario (hoist + split + tile + unroll, and the deliberate
+//! use-after-consume error).
+
+use td_dialects::scf;
+use td_ir::verify::verify;
+use td_ir::{parse_module, Context, OpId};
+use td_transform::{InterpEnv, Interpreter, TransformError, TransformState};
+
+fn setup(payload_src: &str, script_src: &str) -> (Context, OpId, OpId) {
+    let mut ctx = Context::new();
+    td_dialects::register_all_dialects(&mut ctx);
+    td_transform::register_transform_dialect(&mut ctx);
+    let payload = parse_module(&mut ctx, payload_src).expect("payload parses");
+    let script_module = parse_module(&mut ctx, script_src).expect("script parses");
+    let entry = ctx
+        .walk_nested(script_module)
+        .into_iter()
+        .find(|&op| ctx.op(op).name.as_str() == "transform.named_sequence")
+        .expect("script has an entry point");
+    (ctx, payload, entry)
+}
+
+/// The Figure 1 payload: an outer loop over j, an inner loop over i with a
+/// trip count (2042) not divisible by 8, and loop-invariant constants.
+const FIG1_PAYLOAD: &str = r#"module {
+  func.func @myFunc(%values: memref<4096x4096xf32>) {
+    %lo = arith.constant 0 : index
+    %n = arith.constant 4096 : index
+    %ni = arith.constant 2042 : index
+    %st = arith.constant 1 : index
+    scf.for %j = %lo to %n step %st {
+      scf.for %i = %lo to %ni step %st {
+        %c1 = arith.constant 1 : index
+        %v = "memref.load"(%values, %c1, %i) : (memref<4096x4096xf32>, index, index) -> f32
+        "func.call"(%v) {callee = @use} : (f32) -> ()
+      }
+    }
+    func.return
+  }
+}"#;
+
+/// The Figure 1a script, without the deliberate error.
+const FIG1_SCRIPT: &str = r#"module {
+  transform.named_sequence @split_then_tile_and_unroll(%func: !transform.any_op) {
+    %outer = "transform.match_op"(%func) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %inner = "transform.match_op"(%outer) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %hoisted = "transform.loop.hoist"(%inner) : (!transform.any_op) -> !transform.any_op
+    %param = "transform.param.constant"() {value = 8} : () -> !transform.param
+    %part0, %part1 = "transform.loop.split"(%inner, %param) : (!transform.any_op, !transform.param) -> (!transform.any_op, !transform.any_op)
+    %tiled0, %tiled1 = "transform.loop.tile"(%part0, %param) : (!transform.any_op, !transform.param) -> (!transform.any_op, !transform.any_op)
+    %unrolled = "transform.loop.unroll"(%part1) {full} : (!transform.any_op) -> !transform.any_op
+  }
+}"#;
+
+#[test]
+fn fig1_script_transforms_payload() {
+    let (mut ctx, payload, entry) = setup(FIG1_PAYLOAD, FIG1_SCRIPT);
+    let env = InterpEnv::standard();
+    let mut interp = Interpreter::new(&env);
+    interp.apply(&mut ctx, entry, payload).expect("script applies");
+    assert!(verify(&ctx, payload).is_ok(), "{:?}", verify(&ctx, payload));
+
+    // The inner loop (2042 iterations) was split at 2040, the main part
+    // tiled by 8 (tile + point loops), and the 2-iteration remainder fully
+    // unrolled. Loops remaining: outer j + tile + point = 3.
+    let loops = scf::collect_loops(&ctx, payload);
+    assert_eq!(loops.len(), 3, "outer, tile, and point loops remain");
+    // The hoisted constant now lives directly in the outer loop's body.
+    let text = td_ir::print_op(&ctx, payload);
+    assert!(text.contains("memref.load"), "{text}");
+    // Remainder unrolled: two loads outside any i-loop... count loads: one
+    // in the tiled body + 2 unrolled copies.
+    let loads = ctx
+        .walk_nested(payload)
+        .into_iter()
+        .filter(|&op| ctx.op(op).name.as_str() == "memref.load")
+        .count();
+    assert_eq!(loads, 3);
+    assert!(interp.stats.transforms_executed >= 7);
+}
+
+#[test]
+fn fig1_double_unroll_is_a_definite_error() {
+    // Line 11 of Fig. 1a: unrolling the same (consumed) handle again.
+    let script = FIG1_SCRIPT.replace(
+        "%unrolled = \"transform.loop.unroll\"(%part1) {full} : (!transform.any_op) -> !transform.any_op",
+        "%unrolled = \"transform.loop.unroll\"(%part1) {full} : (!transform.any_op) -> !transform.any_op\n    %unrolled2 = \"transform.loop.unroll\"(%part1) {full} : (!transform.any_op) -> !transform.any_op",
+    );
+    let (mut ctx, payload, entry) = setup(FIG1_PAYLOAD, &script);
+    let env = InterpEnv::standard();
+    let mut interp = Interpreter::new(&env);
+    let err = interp.apply(&mut ctx, entry, payload).unwrap_err();
+    assert!(!err.is_silenceable(), "use-after-consume is definite");
+    assert!(
+        err.diagnostic().message().contains("invalidated handle"),
+        "got: {}",
+        err.diagnostic()
+    );
+    assert!(
+        err.diagnostic().message().contains("loop.unroll"),
+        "the reason names the consumer: {}",
+        err.diagnostic()
+    );
+}
+
+#[test]
+fn consuming_nested_handle_invalidates_descendants_only() {
+    // Consuming the outer loop invalidates the handle to the inner loop,
+    // but consuming the inner loop leaves the outer handle usable.
+    let script = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %outer = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %inner = "transform.match_op"(%outer) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %u = "transform.loop.unroll"(%inner) {factor = 2} : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%outer) {name = "still_valid"} : (!transform.any_op) -> ()
+  }
+}"#;
+    // Use a 4-trip inner loop so factor-2 unrolling divides evenly.
+    let payload = FIG1_PAYLOAD.replace("2042", "4");
+    let (mut ctx, payload, entry) = setup(&payload, script);
+    let env = InterpEnv::standard();
+    let mut interp = Interpreter::new(&env);
+    interp.apply(&mut ctx, entry, payload).expect("outer handle stays valid");
+}
+
+#[test]
+fn alternatives_falls_back_to_empty_region() {
+    // First alternative fails (tiling deeper than the nest); the empty
+    // second alternative leaves the payload unchanged — Fig. 8's pattern.
+    let script = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "last"} : (!transform.any_op) -> !transform.any_op
+    "transform.alternatives"(%loop) ({
+    ^bb0(%arg: !transform.any_op):
+      %t0, %t1 = "transform.loop.tile"(%arg) {tile_sizes = [8, 8, 8]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+      "transform.yield"() : () -> ()
+    }, {
+    ^bb1(%arg2: !transform.any_op):
+      "transform.yield"() : () -> ()
+    }) : (!transform.any_op) -> ()
+  }
+}"#;
+    let (mut ctx, payload, entry) = setup(FIG1_PAYLOAD, script);
+    let before = ctx.walk_nested(payload).len();
+    let env = InterpEnv::standard();
+    let mut interp = Interpreter::new(&env);
+    interp.apply(&mut ctx, entry, payload).expect("fallback succeeds");
+    assert_eq!(ctx.walk_nested(payload).len(), before, "payload unchanged");
+    assert!(interp.stats.suppressed_errors >= 1);
+    assert!(verify(&ctx, payload).is_ok());
+}
+
+#[test]
+fn alternatives_commits_first_success() {
+    let script = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "last"} : (!transform.any_op) -> !transform.any_op
+    "transform.alternatives"(%loop) ({
+    ^bb0(%arg: !transform.any_op):
+      %t0, %t1 = "transform.loop.tile"(%arg) {tile_sizes = [8]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+      "transform.yield"() : () -> ()
+    }, {
+    ^bb1(%arg2: !transform.any_op):
+      "transform.yield"() : () -> ()
+    }) : (!transform.any_op) -> ()
+  }
+}"#;
+    let payload = FIG1_PAYLOAD.replace("2042", "64");
+    let (mut ctx, payload, entry) = setup(&payload, script);
+    let env = InterpEnv::standard();
+    let mut interp = Interpreter::new(&env);
+    interp.apply(&mut ctx, entry, payload).expect("first alternative succeeds");
+    assert!(verify(&ctx, payload).is_ok(), "{:?}", verify(&ctx, payload));
+    // Tiling the inner loop adds one loop level: j, tile, point.
+    assert_eq!(scf::collect_loops(&ctx, payload).len(), 3);
+}
+
+#[test]
+fn foreach_visits_every_match() {
+    let script = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loops = "transform.match_op"(%root) {name = "scf.for", select = "all"} : (!transform.any_op) -> !transform.any_op
+    "transform.foreach"(%loops) ({
+    ^bb0(%arg: !transform.any_op):
+      "transform.annotate"(%arg) {name = "visited"} : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) : (!transform.any_op) -> ()
+  }
+}"#;
+    let (mut ctx, payload, entry) = setup(FIG1_PAYLOAD, script);
+    let env = InterpEnv::standard();
+    Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap();
+    let annotated = ctx
+        .walk_nested(payload)
+        .into_iter()
+        .filter(|&op| ctx.op(op).attr("visited").is_some())
+        .count();
+    assert_eq!(annotated, 2, "both loops annotated");
+}
+
+#[test]
+fn include_expands_named_sequences() {
+    let script = r#"module {
+  transform.named_sequence @tile_it(%loop: !transform.any_op) {
+    %t0, %t1 = "transform.loop.tile"(%loop) {tile_sizes = [8]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+  }
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "last"} : (!transform.any_op) -> !transform.any_op
+    "transform.include"(%loop) {target = @tile_it} : (!transform.any_op) -> ()
+  }
+}"#;
+    let payload = FIG1_PAYLOAD.replace("2042", "64");
+    let mut ctx = Context::new();
+    td_dialects::register_all_dialects(&mut ctx);
+    td_transform::register_transform_dialect(&mut ctx);
+    let payload = parse_module(&mut ctx, &payload).unwrap();
+    let script_module = parse_module(&mut ctx, script).unwrap();
+    let entry = ctx.lookup_symbol(script_module, "main").unwrap();
+    let env = InterpEnv::standard();
+    Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap();
+    assert_eq!(scf::collect_loops(&ctx, payload).len(), 3);
+}
+
+#[test]
+fn sequence_suppresses_silenceable_failures() {
+    let script = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    "transform.sequence"(%root) ({
+    ^bb0(%arg: !transform.any_op):
+      %missing = "transform.match_op"(%arg) {name = "nonexistent.op", select = "first"} : (!transform.any_op) -> !transform.any_op
+      "transform.yield"() : () -> ()
+    }) {failure_propagation_mode = "suppress"} : (!transform.any_op) -> ()
+    %loops = "transform.match_op"(%root) {name = "scf.for", select = "all"} : (!transform.any_op) -> !transform.any_op
+  }
+}"#;
+    let (mut ctx, payload, entry) = setup(FIG1_PAYLOAD, script);
+    let env = InterpEnv::standard();
+    let mut interp = Interpreter::new(&env);
+    interp.apply(&mut ctx, entry, payload).expect("suppressed");
+    assert_eq!(interp.stats.suppressed_errors, 1);
+}
+
+#[test]
+fn match_failure_is_silenceable() {
+    let script = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %missing = "transform.match_op"(%root) {name = "nonexistent.op", select = "first"} : (!transform.any_op) -> !transform.any_op
+  }
+}"#;
+    let (mut ctx, payload, entry) = setup(FIG1_PAYLOAD, script);
+    let env = InterpEnv::standard();
+    let err = Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap_err();
+    assert!(matches!(err, TransformError::Silenceable(_)));
+}
+
+#[test]
+fn apply_registered_pass_runs_passes_on_targets() {
+    let script = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %func = "transform.match_op"(%root) {name = "func.func", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %after = "transform.apply_registered_pass"(%func) {pass_name = "canonicalize"} : (!transform.any_op) -> !transform.any_op
+  }
+}"#;
+    let payload = r#"module {
+  func.func @f() {
+    %a = arith.constant 2 : i64
+    %b = arith.constant 3 : i64
+    %c = "arith.addi"(%a, %b) : (i64, i64) -> i64
+    "test.use"(%c) : (i64) -> ()
+    func.return
+  }
+}"#;
+    let (mut ctx, payload, entry) = setup(payload, script);
+    let mut passes = td_ir::PassRegistry::new();
+    td_dialects::passes::register_all_passes(&mut passes);
+    let mut env = InterpEnv::standard();
+    env.passes = Some(&passes);
+    Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap();
+    let names: Vec<&str> =
+        ctx.walk_nested(payload).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+    assert!(!names.contains(&"arith.addi"), "canonicalize folded the add: {names:?}");
+}
+
+#[test]
+fn param_and_state_inspection() {
+    let script = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %p = "transform.param.constant"() {value = 32} : () -> !transform.param
+    %loops = "transform.match_op"(%root) {name = "scf.for", select = "all"} : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%loops, %p) {name = "tile_hint"} : (!transform.any_op, !transform.param) -> ()
+  }
+}"#;
+    let (mut ctx, payload, entry) = setup(FIG1_PAYLOAD, script);
+    let env = InterpEnv::standard();
+    let mut state = TransformState::new();
+    Interpreter::new(&env).apply_with_state(&mut ctx, &mut state, entry, payload).unwrap();
+    let hinted = ctx
+        .walk_nested(payload)
+        .into_iter()
+        .filter(|&op| ctx.op(op).attr("tile_hint") == Some(&td_ir::Attribute::Int(32)))
+        .count();
+    assert_eq!(hinted, 2);
+}

@@ -1,0 +1,229 @@
+//! Coverage tests for individual transform ops that the case-study flows
+//! exercise only indirectly: `merge_handles`, `get_parent_op`,
+//! `select_op`, `loop.peel`, `loop.interchange`, interface matching, and
+//! nested sequences.
+
+use td_ir::{parse_module, Context};
+use td_transform::{InterpEnv, Interpreter, TransformState};
+
+fn context() -> Context {
+    let mut ctx = Context::new();
+    td_dialects::register_all_dialects(&mut ctx);
+    td_transform::register_transform_dialect(&mut ctx);
+    ctx
+}
+
+const PAYLOAD_2D: &str = r#"module {
+  func.func @f(%m: memref<32x16xf32>) {
+    %lo = arith.constant 0 : index
+    %hi = arith.constant 32 : index
+    %hj = arith.constant 16 : index
+    %st = arith.constant 1 : index
+    scf.for %i = %lo to %hi step %st {
+      scf.for %j = %lo to %hj step %st {
+        %v = "memref.load"(%m, %i, %j) : (memref<32x16xf32>, index, index) -> f32
+        "test.use"(%v) : (f32) -> ()
+      }
+    }
+    func.return
+  }
+}"#;
+
+fn apply(payload_src: &str, script_src: &str) -> (Context, td_ir::OpId, TransformState) {
+    let mut ctx = context();
+    let payload = parse_module(&mut ctx, payload_src).unwrap();
+    let script = parse_module(&mut ctx, script_src).unwrap();
+    let entry = ctx.lookup_symbol(script, "main").unwrap();
+    let env = InterpEnv::standard();
+    let mut state = TransformState::new();
+    Interpreter::new(&env)
+        .apply_with_state(&mut ctx, &mut state, entry, payload)
+        .unwrap_or_else(|e| panic!("script failed: {e}"));
+    td_ir::verify::verify(&ctx, payload).unwrap();
+    (ctx, payload, state)
+}
+
+#[test]
+fn merge_handles_concatenates() {
+    let (ctx, payload, _) = apply(
+        PAYLOAD_2D,
+        r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %outer = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %inner = "transform.match_op"(%root) {name = "scf.for", select = "second"} : (!transform.any_op) -> !transform.any_op
+    %both = "transform.merge_handles"(%outer, %inner) : (!transform.any_op, !transform.any_op) -> !transform.any_op
+    "transform.annotate"(%both) {name = "merged"} : (!transform.any_op) -> ()
+  }
+}"#,
+    );
+    let annotated = ctx
+        .walk_nested(payload)
+        .into_iter()
+        .filter(|&op| ctx.op(op).attr("merged").is_some())
+        .count();
+    assert_eq!(annotated, 2);
+}
+
+#[test]
+fn get_parent_op_walks_to_named_ancestor() {
+    let (ctx, payload, _) = apply(
+        PAYLOAD_2D,
+        r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %load = "transform.match_op"(%root) {name = "memref.load", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %func = "transform.get_parent_op"(%load) {name = "func.func"} : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%func) {name = "owner"} : (!transform.any_op) -> ()
+    %direct = "transform.get_parent_op"(%load) : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%direct) {name = "immediate"} : (!transform.any_op) -> ()
+  }
+}"#,
+    );
+    let func = ctx.lookup_symbol(payload, "f").unwrap();
+    assert!(ctx.op(func).attr("owner").is_some());
+    // The immediate parent of the load is the inner loop.
+    let inner = td_dialects::scf::collect_loops(&ctx, payload)[1];
+    assert!(ctx.op(inner).attr("immediate").is_some());
+}
+
+#[test]
+fn select_op_narrows_multi_op_handles() {
+    let (ctx, payload, _) = apply(
+        PAYLOAD_2D,
+        r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loops = "transform.match_op"(%root) {name = "scf.for", select = "all"} : (!transform.any_op) -> !transform.any_op
+    %second = "transform.select_op"(%loops) {index = 1} : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%second) {name = "picked"} : (!transform.any_op) -> ()
+  }
+}"#,
+    );
+    let picked: Vec<_> = ctx
+        .walk_nested(payload)
+        .into_iter()
+        .filter(|&op| ctx.op(op).attr("picked").is_some())
+        .collect();
+    assert_eq!(picked.len(), 1);
+    assert_eq!(picked[0], td_dialects::scf::collect_loops(&ctx, payload)[1]);
+}
+
+#[test]
+fn interface_matching_finds_terminators_and_allocations() {
+    let payload = r#"module {
+  func.func @f() {
+    %m = "memref.alloc"() : () -> memref<4xf32>
+    "memref.dealloc"(%m) : (memref<4xf32>) -> ()
+    func.return
+  }
+}"#;
+    let (ctx, payload, _) = apply(
+        payload,
+        r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %allocs = "transform.match_op"(%root) {interface = "allocates"} : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%allocs) {name = "allocation"} : (!transform.any_op) -> ()
+    %terms = "transform.match_op"(%root) {interface = "terminator"} : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%terms) {name = "exit"} : (!transform.any_op) -> ()
+  }
+}"#,
+    );
+    let names_with = |attr: &str| -> Vec<&str> {
+        ctx.walk_nested(payload)
+            .into_iter()
+            .filter(|&op| ctx.op(op).attr(attr).is_some())
+            .map(|op| ctx.op(op).name.as_str())
+            .collect()
+    };
+    assert_eq!(names_with("allocation"), vec!["memref.alloc"]);
+    assert_eq!(names_with("exit"), vec!["func.return"]);
+}
+
+#[test]
+fn peel_via_script() {
+    let (ctx, payload, _) = apply(
+        PAYLOAD_2D,
+        r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %outer = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %main, %peeled = "transform.loop.peel"(%outer) : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    "transform.annotate"(%peeled) {name = "epilogue"} : (!transform.any_op) -> ()
+  }
+}"#,
+    );
+    // The peeled copy of the inner loop carries the annotation.
+    let epilogue: Vec<_> = ctx
+        .walk_nested(payload)
+        .into_iter()
+        .filter(|&op| ctx.op(op).attr("epilogue").is_some())
+        .collect();
+    assert_eq!(epilogue.len(), 1);
+    // Main loop shrunk to 31 iterations.
+    let outer = td_dialects::scf::collect_loops(&ctx, payload)[0];
+    let f = td_dialects::scf::as_for(&ctx, outer).unwrap();
+    assert_eq!(td_dialects::scf::static_trip_count(&ctx, f), Some(31));
+}
+
+#[test]
+fn interchange_via_script() {
+    let (ctx, payload, state) = apply(
+        PAYLOAD_2D,
+        r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %outer = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %new = "transform.loop.interchange"(%outer) {permutation = [1, 0]} : (!transform.any_op) -> !transform.any_op
+  }
+}"#,
+    );
+    let _ = state;
+    let loops = td_dialects::scf::collect_loops(&ctx, payload);
+    assert_eq!(loops.len(), 2);
+    // The j loop (extent 16) is now outermost.
+    let outer = td_dialects::scf::as_for(&ctx, loops[0]).unwrap();
+    assert_eq!(td_dialects::scf::static_trip_count(&ctx, outer), Some(16));
+}
+
+#[test]
+fn nested_sequences_scope_handles() {
+    let (ctx, payload, _) = apply(
+        PAYLOAD_2D,
+        r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %func = "transform.match_op"(%root) {name = "func.func", select = "first"} : (!transform.any_op) -> !transform.any_op
+    "transform.sequence"(%func) ({
+    ^bb0(%scoped: !transform.any_op):
+      %loops = "transform.match_op"(%scoped) {name = "scf.for", select = "all"} : (!transform.any_op) -> !transform.any_op
+      "transform.annotate"(%loops) {name = "inner_pass"} : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) : (!transform.any_op) -> ()
+    "transform.annotate"(%func) {name = "outer_pass"} : (!transform.any_op) -> ()
+  }
+}"#,
+    );
+    let func = ctx.lookup_symbol(payload, "f").unwrap();
+    assert!(ctx.op(func).attr("outer_pass").is_some());
+    let inner_marked = ctx
+        .walk_nested(payload)
+        .into_iter()
+        .filter(|&op| ctx.op(op).attr("inner_pass").is_some())
+        .count();
+    assert_eq!(inner_marked, 2);
+}
+
+#[test]
+fn select_out_of_range_is_silenceable() {
+    let mut ctx = context();
+    let payload = parse_module(&mut ctx, PAYLOAD_2D).unwrap();
+    let script = parse_module(
+        &mut ctx,
+        r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loops = "transform.match_op"(%root) {name = "scf.for", select = "all"} : (!transform.any_op) -> !transform.any_op
+    %x = "transform.select_op"(%loops) {index = 9} : (!transform.any_op) -> !transform.any_op
+  }
+}"#,
+    )
+    .unwrap();
+    let entry = ctx.lookup_symbol(script, "main").unwrap();
+    let env = InterpEnv::standard();
+    let err = Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap_err();
+    assert!(err.is_silenceable());
+}

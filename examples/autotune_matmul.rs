@@ -1,0 +1,64 @@
+//! The Case Study 5 workflow as an example: expose a Transform script's
+//! tile-size parameters to a Bayesian autotuner, with the Fig. 10
+//! constraint system.
+//!
+//! ```text
+//! cargo run --release --example autotune_matmul
+//! ```
+
+use td_autotune::{divisors, tune, BayesOpt, ParamDomain, ParamSpace};
+use td_bench::cs4::{apply_tuned, build_payload, run_payload, Cs4Config};
+
+fn main() {
+    let config = Cs4Config { m: 196, n: 256, k: 64 };
+    // Fig. 10: ordinal tile-size parameters restricted to divisors, plus a
+    // boolean gated by a divisibility constraint.
+    let space = ParamSpace::new()
+        .param("TILE_I", ParamDomain::Ordinal(divisors(config.m)))
+        .param("TILE_J", ParamDomain::Ordinal(divisors(config.n)))
+        .param("VECTORIZE", ParamDomain::Bool)
+        .constraint(move |c| {
+            let vectorize = c[2].as_bool().unwrap_or(false);
+            !vectorize || config.k % 8 == 0
+        });
+    println!(
+        "search space: {} configurations ({} valid)",
+        space.cardinality(),
+        space.enumerate().len()
+    );
+
+    let baseline = evaluate(config, 1, 1, false).expect("baseline runs");
+    println!("untuned nest: {baseline:.4} simulated seconds\n");
+
+    let mut searcher = BayesOpt::default();
+    let result = tune(&space, &mut searcher, 15, 7, |c| {
+        evaluate(config, c[0].as_int()?, c[1].as_int()?, c[2].as_bool()?)
+    });
+    for (i, e) in result.evaluations.iter().enumerate() {
+        println!(
+            "  iter {:>2}: TILE_I={:<3} TILE_J={:<3} VEC={:<5} -> {:.4} s (best so far {:.2}x)",
+            i + 1,
+            e.config[0],
+            e.config[1],
+            e.config[2],
+            e.cost,
+            baseline / e.best_so_far
+        );
+    }
+    let best = result.best().expect("evaluated at least once");
+    println!(
+        "\nbest: TILE_I={} TILE_J={} VECTORIZE={} -> {:.2}x over the untuned nest",
+        best.config[0],
+        best.config[1],
+        best.config[2],
+        baseline / best.cost
+    );
+}
+
+fn evaluate(config: Cs4Config, tile_i: i64, tile_j: i64, vectorize: bool) -> Option<f64> {
+    let mut ctx = td_bench::full_context();
+    let module = build_payload(&mut ctx, config);
+    apply_tuned(&mut ctx, module, tile_i, tile_j, vectorize).ok()?;
+    let (_, report) = run_payload(&ctx, module, config);
+    Some(report.seconds())
+}

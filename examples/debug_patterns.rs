@@ -1,0 +1,45 @@
+//! The Case Study 3 workflow as an example: a performance regression
+//! appears after enabling a set of peephole patterns; Transform scripts
+//! make each bisection step a millisecond-scale re-run instead of a
+//! compiler rebuild.
+//!
+//! ```text
+//! cargo run --release --example debug_patterns
+//! ```
+
+use td_bench::cs3;
+
+fn main() {
+    let blocks = 3;
+    println!(
+        "pattern set: {} candidates; payload: {} transformer-ish blocks\n",
+        td_machine::pattern_names().len(),
+        blocks
+    );
+    let outcome = cs3::binary_search_culprit(blocks);
+    println!(
+        "baseline {:.0} cycles, all-patterns {:.0} cycles ({:+.1}%)",
+        outcome.baseline_cost,
+        outcome.full_cost,
+        (outcome.full_cost / outcome.baseline_cost - 1.0) * 100.0
+    );
+    for (i, step) in outcome.steps.iter().enumerate() {
+        println!(
+            "  step {}: tested {:>2} patterns -> {}",
+            i + 1,
+            step.tested.len(),
+            if step.regression { "regression, recurse" } else { "clean, other half" }
+        );
+    }
+    println!("\nculprit: {}", outcome.culprit);
+
+    // Confirm by shipping the catalogue without the culprit.
+    let without: Vec<&str> =
+        td_machine::pattern_names().into_iter().filter(|&n| n != outcome.culprit).collect();
+    let (fixed, _) = cs3::cost_with_patterns(blocks, &without);
+    println!(
+        "catalogue minus culprit: {:.0} cycles ({:+.2}% vs baseline) — regression gone",
+        fixed,
+        (fixed / outcome.baseline_cost - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,96 @@
+//! Building a robust lowering pipeline with pre-/post-conditions (the
+//! Case Study 2 workflow, as a library user would follow it):
+//!
+//! 1. propose a pipeline,
+//! 2. check it *statically* against the target op set,
+//! 3. act on the report (insert the missing lowering),
+//! 4. compile and execute.
+//!
+//! ```text
+//! cargo run --example lowering_pipeline
+//! ```
+
+use td_machine::{run_function_with_buffers, ArgBuilder, ExecConfig, RtValue};
+use td_transform::conditions::{check_pipeline, OpSet};
+
+const PROGRAM: &str = r#"module {
+  func.func @fill(%m: memref<16x16xf32>, %offset: index) {
+    %view = "memref.subview"(%m, %offset) {static_offsets = [-9223372036854775808, 0], static_sizes = [4, 4], static_strides = [1, 1]} : (memref<16x16xf32>, index) -> memref<4x4xf32, strided<[16, 1], offset: ?>>
+    %lo = arith.constant 0 : index
+    %hi = arith.constant 4 : index
+    %st = arith.constant 1 : index
+    %value = arith.constant 42.0 : f32
+    scf.for %i = %lo to %hi step %st {
+      scf.for %j = %lo to %hi step %st {
+        "memref.store"(%value, %view, %i, %j) : (f32, memref<4x4xf32, strided<[16, 1], offset: ?>>, index, index) -> ()
+      }
+    }
+    func.return
+  }
+}"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut pipeline = vec![
+        "convert-scf-to-cf",
+        "convert-arith-to-llvm",
+        "convert-cf-to-llvm",
+        "convert-func-to-llvm",
+        "expand-strided-metadata",
+        "finalize-memref-to-llvm",
+        "reconcile-unrealized-casts",
+    ];
+    let input_ops =
+        ["func.func", "func.return", "arith.constant", "scf.for", "memref.subview", "memref.store"];
+    let target = OpSet::of(["llvm.*"]);
+
+    // Static check catches the phase-ordering hole before any compilation.
+    let report = check_pipeline(&pipeline, &input_ops, &target)?;
+    if !report.is_ok() {
+        println!("static check rejected the pipeline:");
+        println!("  leftover ops: {}", report.leftover.join(", "));
+        // The leftover tells us which lowering is missing: affine needs
+        // lower-affine, whose own post-condition (arith ops) needs a second
+        // arith conversion.
+        let insert_at = pipeline.iter().position(|&p| p == "finalize-memref-to-llvm").unwrap();
+        pipeline.splice(insert_at..insert_at, ["lower-affine", "convert-arith-to-llvm"]);
+        println!("  repaired pipeline: {}", pipeline.join(", "));
+        let report = check_pipeline(&pipeline, &input_ops, &target)?;
+        assert!(report.is_ok(), "repaired pipeline must pass: {:?}", report.leftover);
+        println!("  static check now passes.");
+    }
+
+    // Compile.
+    let mut ctx = td_ir::Context::new();
+    td_dialects::register_all_dialects(&mut ctx);
+    let module = td_ir::parse_module(&mut ctx, PROGRAM)?;
+    let mut registry = td_ir::PassRegistry::new();
+    td_dialects::passes::register_all_passes(&mut registry);
+    let mut pm = registry.parse_pipeline(&pipeline.join(","))?;
+    pm.run(&mut ctx, module)?;
+    println!(
+        "\ncompiled to the LLVM dialect; per-pass timings:\n{}",
+        pm.timings()
+            .iter()
+            .map(|t| format!("  {:<28} {:>8.3} ms", t.name, t.duration.as_secs_f64() * 1e3))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    // Execute the fully lowered program.
+    let mut args = ArgBuilder::new();
+    let buffer = args.buffer(vec![0.0; 256]);
+    let buffers = args.into_buffers();
+    let (_, buffers, _) = run_function_with_buffers(
+        &ctx,
+        module,
+        "fill",
+        vec![buffer, RtValue::Int(3)],
+        buffers,
+        ExecConfig::default(),
+        None,
+    )?;
+    let filled = buffers[0].iter().filter(|&&v| v == 42.0).count();
+    println!("\nexecuted: {filled} elements of the 4x4 view at row 3 set to 42");
+    assert_eq!(filled, 16);
+    Ok(())
+}

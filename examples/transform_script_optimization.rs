@@ -1,0 +1,65 @@
+//! Transform scripts are IR, so the compiler optimizes *them* (§3.4):
+//! macro inlining (`transform.include` expansion), constant propagation of
+//! parameters into transforms, no-op simplification (unroll-by-1,
+//! tile-by-0), and static use-after-invalidate analysis — all without ever
+//! touching a payload.
+//!
+//! ```text
+//! cargo run --example transform_script_optimization
+//! ```
+
+use td_transform::script_opt::{inline_includes, propagate_params, simplify};
+use td_transform::{analyze_invalidation, TransformOpRegistry};
+
+const SCRIPT: &str = r#"module {
+  transform.named_sequence @tile_by(%loop: !transform.any_op, %size: !transform.param) {
+    %t0, %t1 = "transform.loop.tile"(%loop, %size) : (!transform.any_op, !transform.param) -> (!transform.any_op, !transform.any_op)
+  }
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %noop = "transform.loop.unroll"(%loop) {factor = 1} : (!transform.any_op) -> !transform.any_op
+    %size = "transform.param.constant"() {value = 32} : () -> !transform.param
+    "transform.include"(%noop, %size) {target = @tile_by} : (!transform.any_op, !transform.param) -> ()
+  }
+}"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut ctx = td_bench::full_context();
+    let script = td_ir::parse_module(&mut ctx, SCRIPT)?;
+    println!("=== script as written ===\n{}", td_ir::print_op(&ctx, script));
+
+    // 1. Macro expansion (checks for recursion first).
+    let expanded = inline_includes(&mut ctx, script)?;
+    // 2. Constant propagation: the %size parameter becomes an attribute.
+    let propagated = propagate_params(&mut ctx, script);
+    // 3. Simplification: unroll-by-1 is a no-op and disappears.
+    let simplified = simplify(&mut ctx, script);
+    println!(
+        "inlined {expanded} include(s), propagated {propagated} parameter(s), \
+         removed {simplified} no-op transform(s):\n"
+    );
+    println!("=== optimized script ===\n{}", td_ir::print_op(&ctx, script));
+
+    // 4. Static invalidation analysis on a buggy variant.
+    let buggy = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %u1 = "transform.loop.unroll"(%loop) {full} : (!transform.any_op) -> !transform.any_op
+    %u2 = "transform.loop.unroll"(%loop) {full} : (!transform.any_op) -> !transform.any_op
+  }
+}"#;
+    let mut ctx2 = td_bench::full_context();
+    let module = td_ir::parse_module(&mut ctx2, buggy)?;
+    let entry = ctx2.lookup_symbol(module, "main").expect("@main");
+    let registry = TransformOpRegistry::with_standard_ops();
+    let findings = analyze_invalidation(&ctx2, &registry, entry);
+    println!("=== static analysis of the buggy script ===");
+    for diag in &findings {
+        println!("  {}", diag.message());
+        for (_, note) in diag.notes() {
+            println!("    note: {note}");
+        }
+    }
+    assert_eq!(findings.len(), 1);
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! **transform-dialect**: a Rust reproduction of *"The MLIR Transform
+//! Dialect: Your Compiler Is More Powerful Than You Think"* (CGO 2025).
+//!
+//! This umbrella crate re-exports the workspace members and hosts the
+//! runnable examples (`examples/`) and cross-crate test suites (`tests/`).
+//! Start with [`td_transform`] (the paper's contribution) and
+//! `examples/quickstart.rs`; the architecture overview lives in the
+//! repository README and DESIGN.md.
+//!
+//! ```
+//! use transform_dialect::{td_dialects, td_ir, td_transform};
+//! let mut ctx = td_ir::Context::new();
+//! td_dialects::register_all_dialects(&mut ctx);
+//! td_transform::register_transform_dialect(&mut ctx);
+//! let module = td_ir::parse_module(&mut ctx, "module { }").map_err(|e| e.to_string())?;
+//! assert!(td_ir::verify::verify(&ctx, module).is_ok());
+//! # Ok::<(), String>(())
+//! ```
+
+pub use td_autotune;
+pub use td_dialects;
+pub use td_ir;
+pub use td_irdl;
+pub use td_machine;
+pub use td_modelgen;
+pub use td_support;
+pub use td_transform;
