@@ -98,18 +98,35 @@ impl GaussianProcess {
         let l = cholesky(&k)?;
         let y = solve_lower(&l, &standardized);
         let alpha = solve_upper_transposed(&l, &y);
-        Some(GaussianProcess { xs, alpha, l, length_scale, mean, scale })
+        Some(GaussianProcess {
+            xs,
+            alpha,
+            l,
+            length_scale,
+            mean,
+            scale,
+        })
     }
 
     /// Posterior mean and standard deviation at `x` (in original target
     /// units).
     pub fn predict(&self, x: &[f64]) -> (f64, f64) {
-        let k_star: Vec<f64> =
-            self.xs.iter().map(|xi| rbf(xi, x, self.length_scale)).collect();
-        let mean_std: f64 = k_star.iter().zip(self.alpha.iter()).map(|(a, b)| a * b).sum();
+        let k_star: Vec<f64> = self
+            .xs
+            .iter()
+            .map(|xi| rbf(xi, x, self.length_scale))
+            .collect();
+        let mean_std: f64 = k_star
+            .iter()
+            .zip(self.alpha.iter())
+            .map(|(a, b)| a * b)
+            .sum();
         let v = solve_lower(&self.l, &k_star);
         let variance = (1.0 - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
-        (self.mean + mean_std * self.scale, variance.sqrt() * self.scale)
+        (
+            self.mean + mean_std * self.scale,
+            variance.sqrt() * self.scale,
+        )
     }
 }
 
@@ -170,7 +187,11 @@ mod tests {
 
     #[test]
     fn solves_are_inverses() {
-        let a = vec![vec![4.0, 2.0, 0.5], vec![2.0, 3.0, 1.0], vec![0.5, 1.0, 2.0]];
+        let a = vec![
+            vec![4.0, 2.0, 0.5],
+            vec![2.0, 3.0, 1.0],
+            vec![0.5, 1.0, 2.0],
+        ];
         let l = cholesky(&a).unwrap();
         let b = vec![1.0, -2.0, 0.5];
         let y = solve_lower(&l, &b);

@@ -14,5 +14,7 @@ pub mod search;
 pub mod space;
 
 pub use gp::GaussianProcess;
-pub use search::{tune, Annealing, BayesOpt, Evaluation, GridSearch, RandomSearch, Searcher, TuneResult};
+pub use search::{
+    tune, Annealing, BayesOpt, Evaluation, GridSearch, RandomSearch, Searcher, TuneResult,
+};
 pub use space::{divisors, Config, ParamDomain, ParamSpace, ParamValue};

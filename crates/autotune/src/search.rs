@@ -6,8 +6,7 @@
 
 use crate::gp::{expected_improvement, GaussianProcess};
 use crate::space::{Config, ParamSpace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use td_support::rng::Rng;
 
 /// A search strategy: proposes the next configuration to evaluate.
 pub trait Searcher {
@@ -20,7 +19,7 @@ pub trait Searcher {
         &mut self,
         space: &ParamSpace,
         history: &[(Config, f64)],
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Option<Config>;
 }
 
@@ -37,7 +36,7 @@ impl Searcher for RandomSearch {
         &mut self,
         space: &ParamSpace,
         _history: &[(Config, f64)],
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Option<Config> {
         space.sample(rng, 1000)
     }
@@ -59,7 +58,7 @@ impl Searcher for GridSearch {
         &mut self,
         space: &ParamSpace,
         _history: &[(Config, f64)],
-        _rng: &mut StdRng,
+        _rng: &mut Rng,
     ) -> Option<Config> {
         let all = self.cached.get_or_insert_with(|| space.enumerate());
         let config = all.get(self.cursor).cloned();
@@ -80,7 +79,10 @@ pub struct Annealing {
 
 impl Default for Annealing {
     fn default() -> Self {
-        Annealing { temperature: 1.0, cooling: 0.95 }
+        Annealing {
+            temperature: 1.0,
+            cooling: 0.95,
+        }
     }
 }
 
@@ -93,7 +95,7 @@ impl Searcher for Annealing {
         &mut self,
         space: &ParamSpace,
         history: &[(Config, f64)],
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Option<Config> {
         self.temperature *= self.cooling;
         let Some((base, _)) = history
@@ -104,14 +106,14 @@ impl Searcher for Annealing {
         };
         // With probability ~temperature, explore randomly; otherwise
         // mutate one coordinate of the incumbent.
-        if rng.gen::<f64>() < self.temperature.min(0.5) {
+        if rng.next_f64() < self.temperature.min(0.5) {
             return space.sample(rng, 1000);
         }
         for _ in 0..100 {
             let mut candidate = base.clone();
-            let coordinate = rng.gen_range(0..space.len());
+            let coordinate = rng.range_usize(0, space.len());
             let domain = &space.domains()[coordinate];
-            candidate[coordinate] = domain.value(rng.gen_range(0..domain.cardinality()));
+            candidate[coordinate] = domain.value(rng.range_usize(0, domain.cardinality()));
             if space.is_valid(&candidate) {
                 return Some(candidate);
             }
@@ -134,7 +136,11 @@ pub struct BayesOpt {
 
 impl Default for BayesOpt {
     fn default() -> Self {
-        BayesOpt { warmup: 5, pool: 128, length_scale: 0.25 }
+        BayesOpt {
+            warmup: 5,
+            pool: 128,
+            length_scale: 0.25,
+        }
     }
 }
 
@@ -147,7 +153,7 @@ impl Searcher for BayesOpt {
         &mut self,
         space: &ParamSpace,
         history: &[(Config, f64)],
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Option<Config> {
         if history.len() < self.warmup {
             return space.sample(rng, 1000);
@@ -160,18 +166,25 @@ impl Searcher for BayesOpt {
         let best = ys.iter().copied().fold(f64::INFINITY, f64::min);
         let mut best_candidate: Option<(Config, f64)> = None;
         for _ in 0..self.pool {
-            let Some(candidate) = space.sample(rng, 100) else { continue };
+            let Some(candidate) = space.sample(rng, 100) else {
+                continue;
+            };
             // Skip already-evaluated points.
             if history.iter().any(|(c, _)| *c == candidate) {
                 continue;
             }
             let (mean, std) = gp.predict(&space.encode(&candidate));
             let ei = expected_improvement(mean, std, best);
-            if best_candidate.as_ref().is_none_or(|(_, best_ei)| ei > *best_ei) {
+            if best_candidate
+                .as_ref()
+                .is_none_or(|(_, best_ei)| ei > *best_ei)
+            {
                 best_candidate = Some((candidate, ei));
             }
         }
-        best_candidate.map(|(c, _)| c).or_else(|| space.sample(rng, 1000))
+        best_candidate
+            .map(|(c, _)| c)
+            .or_else(|| space.sample(rng, 1000))
     }
 }
 
@@ -225,16 +238,24 @@ pub fn tune(
     seed: u64,
     mut objective: impl FnMut(&Config) -> Option<f64>,
 ) -> TuneResult {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut history: Vec<(Config, f64)> = Vec::new();
     let mut evaluations = Vec::new();
     let mut best = f64::INFINITY;
     for _ in 0..budget {
-        let Some(config) = searcher.suggest(space, &history, &mut rng) else { break };
-        let Some(cost) = objective(&config) else { continue };
+        let Some(config) = searcher.suggest(space, &history, &mut rng) else {
+            break;
+        };
+        let Some(cost) = objective(&config) else {
+            continue;
+        };
         best = best.min(cost);
         history.push((config.clone(), cost));
-        evaluations.push(Evaluation { config, cost, best_so_far: best });
+        evaluations.push(Evaluation {
+            config,
+            cost,
+            best_so_far: best,
+        });
     }
     TuneResult { evaluations }
 }

@@ -2,8 +2,8 @@
 //! parameters whose values must divide loop extents, booleans gated by
 //! divisibility constraints, …).
 
-use rand::Rng;
 use std::fmt;
+use td_support::rng::Rng;
 
 /// One parameter value.
 #[derive(Clone, Debug, PartialEq)]
@@ -82,9 +82,7 @@ impl ParamDomain {
         match (self, value) {
             (ParamDomain::Ordinal(vs), ParamValue::Int(v)) => vs.iter().position(|x| x == v),
             (ParamDomain::Bool, ParamValue::Bool(b)) => Some(*b as usize),
-            (ParamDomain::Categorical(vs), ParamValue::Str(s)) => {
-                vs.iter().position(|x| x == s)
-            }
+            (ParamDomain::Categorical(vs), ParamValue::Str(s)) => vs.iter().position(|x| x == s),
             _ => None,
         }
     }
@@ -103,7 +101,11 @@ pub struct ParamSpace {
 impl ParamSpace {
     /// Creates an empty space.
     pub fn new() -> ParamSpace {
-        ParamSpace { names: Vec::new(), domains: Vec::new(), constraints: Vec::new() }
+        ParamSpace {
+            names: Vec::new(),
+            domains: Vec::new(),
+            constraints: Vec::new(),
+        }
     }
 
     /// Adds a parameter (builder-style).
@@ -114,7 +116,10 @@ impl ParamSpace {
     }
 
     /// Adds a constraint over full configurations (builder-style).
-    pub fn constraint(mut self, predicate: impl Fn(&Config) -> bool + Send + Sync + 'static) -> Self {
+    pub fn constraint(
+        mut self,
+        predicate: impl Fn(&Config) -> bool + Send + Sync + 'static,
+    ) -> Self {
         self.constraints.push(Box::new(predicate));
         self
     }
@@ -177,12 +182,12 @@ impl ParamSpace {
 
     /// Samples a uniformly random *valid* configuration (rejection
     /// sampling, up to `attempts`).
-    pub fn sample(&self, rng: &mut impl Rng, attempts: usize) -> Option<Config> {
+    pub fn sample(&self, rng: &mut Rng, attempts: usize) -> Option<Config> {
         for _ in 0..attempts {
             let config: Config = self
                 .domains
                 .iter()
-                .map(|d| d.value(rng.gen_range(0..d.cardinality())))
+                .map(|d| d.value(rng.range_usize(0, d.cardinality())))
                 .collect();
             if self.is_valid(&config) {
                 return Some(config);
@@ -231,7 +236,6 @@ pub fn divisors(n: i64) -> Vec<i64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn fig10_space() -> ParamSpace {
         // Tile sizes must divide their dimensions; vectorization is
@@ -258,7 +262,10 @@ mod tests {
         let space = fig10_space();
         let all = space.cardinality();
         let valid = space.enumerate().len();
-        assert!(valid < all, "constraint removes vectorized-but-indivisible configs");
+        assert!(
+            valid < all,
+            "constraint removes vectorized-but-indivisible configs"
+        );
         for config in space.enumerate() {
             assert!(space.is_valid(&config));
         }
@@ -267,7 +274,7 @@ mod tests {
     #[test]
     fn sampling_respects_constraints() {
         let space = fig10_space();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for _ in 0..50 {
             let config = space.sample(&mut rng, 100).expect("space is satisfiable");
             assert!(space.is_valid(&config));
@@ -289,7 +296,7 @@ mod tests {
         let space = ParamSpace::new()
             .param("x", ParamDomain::Ordinal(vec![1, 2, 3]))
             .constraint(|_| false);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         assert!(space.sample(&mut rng, 10).is_none());
         assert!(space.enumerate().is_empty());
     }

@@ -1,15 +1,20 @@
-//! Criterion micro-benchmarks for the infrastructure itself: transform
-//! interpreter dispatch overhead, parsing, greedy pattern application, the
-//! cache simulator, and the Table 1 compile-time comparison on the
-//! smallest model.
+//! Micro-benchmarks for the infrastructure itself, on the in-tree std-only
+//! harness (`td_bench::harness`): transform interpreter dispatch overhead,
+//! parsing, greedy pattern application, the cache simulator, and the
+//! Table 1 compile-time comparison on the smallest model.
+//!
+//! ```text
+//! cargo bench --bench microbench              # full run
+//! TD_BENCH_QUICK=1 cargo bench ...            # CI smoke run
+//! TD_BENCH_JSON=BENCH_micro.json cargo bench  # also write JSON lines
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use td_bench::{full_context, full_pass_registry};
+use td_bench::{full_context, full_pass_registry, BenchSuite};
 use td_machine::{CacheConfig, CacheSim};
 use td_modelgen::{build_model, paper_models};
 use td_transform::{pipeline_to_script, transform_main, InterpEnv, Interpreter};
 
-fn bench_parser(c: &mut Criterion) {
+fn bench_parser(suite: &mut BenchSuite) {
     let src = r#"module {
   func.func @f(%m: memref<196x256xf32>) {
     %lo = arith.constant 0 : index
@@ -24,90 +29,87 @@ fn bench_parser(c: &mut Criterion) {
     func.return
   }
 }"#;
-    c.bench_function("parse_loop_nest", |b| {
-        b.iter(|| {
-            let mut ctx = full_context();
-            std::hint::black_box(td_ir::parse_module(&mut ctx, src).unwrap());
-        })
+    suite.run("parse_loop_nest", || {
+        let mut ctx = full_context();
+        std::hint::black_box(td_ir::parse_module(&mut ctx, src).unwrap());
     });
 }
 
-fn bench_interpreter_dispatch(c: &mut Criterion) {
+fn bench_interpreter_dispatch(suite: &mut BenchSuite) {
     // Overhead of executing one trivial transform op, amortized over a
     // script of 100 annotates.
-    let mut script = String::from(
-        "module {\n  transform.named_sequence @main(%root: !transform.any_op) {\n",
-    );
+    let mut script =
+        String::from("module {\n  transform.named_sequence @main(%root: !transform.any_op) {\n");
     for _ in 0..100 {
         script.push_str(
             "    \"transform.annotate\"(%root) {name = \"x\"} : (!transform.any_op) -> ()\n",
         );
     }
     script.push_str("  }\n}");
-    c.bench_function("transform_dispatch_100_ops", |b| {
-        b.iter(|| {
-            let mut ctx = full_context();
-            let payload = ctx.create_module(td_support::Location::unknown());
-            let script_module = td_ir::parse_module(&mut ctx, &script).unwrap();
-            let entry = ctx.lookup_symbol(script_module, "main").unwrap();
-            let env = InterpEnv::standard();
-            Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap();
-        })
+    suite.run("transform_dispatch_100_ops", || {
+        let mut ctx = full_context();
+        let payload = ctx.create_module(td_support::Location::unknown());
+        let script_module = td_ir::parse_module(&mut ctx, &script).unwrap();
+        let entry = ctx.lookup_symbol(script_module, "main").unwrap();
+        let env = InterpEnv::standard();
+        Interpreter::new(&env)
+            .apply(&mut ctx, entry, payload)
+            .unwrap();
     });
 }
 
-fn bench_cache_sim(c: &mut Criterion) {
-    c.bench_function("cache_sim_100k_accesses", |b| {
-        b.iter(|| {
-            let mut sim = CacheSim::new(CacheConfig::default());
-            let mut total = 0.0;
-            for i in 0..100_000u64 {
-                total += sim.access((i * 37) % 262_144);
-            }
-            std::hint::black_box(total)
-        })
+fn bench_cache_sim(suite: &mut BenchSuite) {
+    suite.run("cache_sim_100k_accesses", || {
+        let mut sim = CacheSim::new(CacheConfig::default());
+        let mut total = 0.0;
+        for i in 0..100_000u64 {
+            total += sim.access((i * 37) % 262_144);
+        }
+        std::hint::black_box(total)
     });
 }
 
-fn bench_table1_smallest(c: &mut Criterion) {
+fn bench_table1_smallest(suite: &mut BenchSuite) {
     let spec = paper_models().into_iter().next().unwrap(); // Squeezenet
     let registry = full_pass_registry();
-    c.bench_function("table1_squeezenet_pass_manager", |b| {
-        b.iter(|| {
-            let mut ctx = full_context();
-            let module = build_model(&mut ctx, &spec);
-            let mut pm =
-                registry.parse_pipeline(td_dialects::passes::TOSA_PIPELINE).unwrap();
-            pm.run(&mut ctx, module).unwrap();
-        })
+    suite.run("table1_squeezenet_pass_manager", || {
+        let mut ctx = full_context();
+        let module = build_model(&mut ctx, &spec);
+        let mut pm = registry
+            .parse_pipeline(td_dialects::passes::TOSA_PIPELINE)
+            .unwrap();
+        pm.run(&mut ctx, module).unwrap();
     });
-    c.bench_function("table1_squeezenet_transform", |b| {
-        b.iter(|| {
-            let mut ctx = full_context();
-            let module = build_model(&mut ctx, &spec);
-            let script =
-                pipeline_to_script(&mut ctx, td_dialects::passes::TOSA_PIPELINE).unwrap();
-            let entry = transform_main(&ctx, script).unwrap();
-            let mut env = InterpEnv::standard();
-            env.passes = Some(&registry);
-            env.config.expensive_checks = false;
-            Interpreter::new(&env).apply(&mut ctx, entry, module).unwrap();
-        })
+    suite.run("table1_squeezenet_transform", || {
+        let mut ctx = full_context();
+        let module = build_model(&mut ctx, &spec);
+        let script = pipeline_to_script(&mut ctx, td_dialects::passes::TOSA_PIPELINE).unwrap();
+        let entry = transform_main(&ctx, script).unwrap();
+        let mut env = InterpEnv::standard();
+        env.passes = Some(&registry);
+        env.config.expensive_checks = false;
+        Interpreter::new(&env)
+            .apply(&mut ctx, entry, module)
+            .unwrap();
     });
 }
 
-fn bench_greedy_patterns(c: &mut Criterion) {
-    c.bench_function("greedy_pattern_sweep_cs3_payload", |b| {
-        b.iter(|| {
-            let names = td_machine::pattern_names();
-            std::hint::black_box(td_bench::cs3::cost_with_patterns(1, &names))
-        })
+fn bench_greedy_patterns(suite: &mut BenchSuite) {
+    suite.run("greedy_pattern_sweep_cs3_payload", || {
+        let names = td_machine::pattern_names();
+        std::hint::black_box(td_bench::cs3::cost_with_patterns(1, &names))
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_parser, bench_interpreter_dispatch, bench_cache_sim, bench_table1_smallest, bench_greedy_patterns
+fn main() {
+    let mut suite = BenchSuite::from_env();
+    bench_parser(&mut suite);
+    bench_interpreter_dispatch(&mut suite);
+    bench_cache_sim(&mut suite);
+    bench_table1_smallest(&mut suite);
+    bench_greedy_patterns(&mut suite);
+    if let Ok(path) = std::env::var("TD_BENCH_JSON") {
+        suite.write_json(&path).expect("write JSON report");
+        println!("wrote {path}");
+    }
 }
-criterion_main!(benches);

@@ -33,8 +33,7 @@ fn cs4_cycles(variant: Variant, hashed: bool) -> f64 {
     let c = args.buffer(vec![0.0; (config.m * config.n) as usize]);
     let buffers = args.into_buffers();
     let (_, _, report) =
-        run_function_with_buffers(&ctx, module, "mm", vec![a, b, c], buffers, exec, None)
-            .unwrap();
+        run_function_with_buffers(&ctx, module, "mm", vec![a, b, c], buffers, exec, None).unwrap();
     report.cycles
 }
 
@@ -46,7 +45,12 @@ fn main() {
         let baseline = cs4_cycles(Variant::Baseline, hashed);
         let tiled = cs4_cycles(Variant::OpenMpTile, hashed);
         rows.push(vec![
-            if hashed { "hashed (default)" } else { "plain modulo" }.to_owned(),
+            if hashed {
+                "hashed (default)"
+            } else {
+                "plain modulo"
+            }
+            .to_owned(),
             format!("{baseline:.0}"),
             format!("{tiled:.0}"),
             format!("{:.2}x", baseline / tiled),
@@ -55,7 +59,12 @@ fn main() {
     print!(
         "{}",
         td_bench::render_table(
-            &["Set indexing", "Baseline cycles", "Tiled(32,32) cycles", "Tiling speedup"],
+            &[
+                "Set indexing",
+                "Baseline cycles",
+                "Tiled(32,32) cycles",
+                "Tiling speedup"
+            ],
             &rows
         )
     );
@@ -67,7 +76,10 @@ fn main() {
 
     // ----- 2. interpreter expensive checks ----------------------------------
     println!("Ablation 2: interpreter expensive checks (Mobile BERT, Table 1 pipeline)\n");
-    let spec = td_modelgen::paper_models().into_iter().find(|s| s.target_ops == 4134).unwrap();
+    let spec = td_modelgen::paper_models()
+        .into_iter()
+        .find(|s| s.target_ops == 4134)
+        .unwrap();
     let registry = full_pass_registry();
     let mut rows = Vec::new();
     for expensive in [false, true] {
@@ -75,14 +87,15 @@ fn main() {
         for _ in 0..5 {
             let mut ctx = full_context();
             let module = td_modelgen::build_model(&mut ctx, &spec);
-            let script =
-                pipeline_to_script(&mut ctx, td_dialects::passes::TOSA_PIPELINE).unwrap();
+            let script = pipeline_to_script(&mut ctx, td_dialects::passes::TOSA_PIPELINE).unwrap();
             let entry = transform_main(&ctx, script).unwrap();
             let mut env = InterpEnv::standard();
             env.passes = Some(&registry);
             env.config.expensive_checks = expensive;
             let start = Instant::now();
-            Interpreter::new(&env).apply(&mut ctx, entry, module).unwrap();
+            Interpreter::new(&env)
+                .apply(&mut ctx, entry, module)
+                .unwrap();
             best = best.min(start.elapsed().as_secs_f64() * 1e3);
         }
         rows.push(vec![
@@ -90,7 +103,10 @@ fn main() {
             format!("{best:.1}"),
         ]);
     }
-    print!("{}", td_bench::render_table(&["Expensive checks", "Compile (ms, best of 5)"], &rows));
+    print!(
+        "{}",
+        td_bench::render_table(&["Expensive checks", "Compile (ms, best of 5)"], &rows)
+    );
     println!(
         "\nPer-transform handle-liveness validation is cheap for pipeline-shaped\n\
          scripts (one chained handle); it is kept on by default everywhere except\n\
@@ -119,7 +135,10 @@ fn main() {
             &mut ctx,
             module,
             &PatternSet::new(),
-            GreedyConfig { max_iterations: 10, fold },
+            GreedyConfig {
+                max_iterations: 10,
+                fold,
+            },
         )
         .unwrap();
         let remaining = ctx

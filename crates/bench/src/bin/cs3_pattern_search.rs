@@ -22,7 +22,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);
 
-    println!("Case Study 3: hunting a counter-productive pattern among {} candidates.\n", td_machine::pattern_names().len());
+    println!(
+        "Case Study 3: hunting a counter-productive pattern among {} candidates.\n",
+        td_machine::pattern_names().len()
+    );
     let outcome = cs3::binary_search_culprit(blocks);
 
     println!(
@@ -44,8 +47,12 @@ fn main() {
                 (i + 1).to_string(),
                 step.tested.len().to_string(),
                 format!("{:.0}", step.cost),
-                if step.regression { "yes -> recurse into this half" } else { "no -> other half" }
-                    .to_owned(),
+                if step.regression {
+                    "yes -> recurse into this half"
+                } else {
+                    "no -> other half"
+                }
+                .to_owned(),
                 format!("{:.3}", step.compile_seconds),
             ]
         })
@@ -53,7 +60,13 @@ fn main() {
     print!(
         "{}",
         td_bench::render_table(
-            &["Step", "Patterns tested", "Cost", "Regression present?", "Iter time (s)"],
+            &[
+                "Step",
+                "Patterns tested",
+                "Cost",
+                "Regression present?",
+                "Iter time (s)"
+            ],
             &rows
         )
     );
@@ -75,7 +88,10 @@ fn main() {
         REBUILD_SECONDS_PAPER,
         steps * REBUILD_SECONDS_PAPER
     );
-    println!("\nverification: removing '{}' from the set restores performance:", outcome.culprit);
+    println!(
+        "\nverification: removing '{}' from the set restores performance:",
+        outcome.culprit
+    );
     let without: Vec<&str> = td_machine::pattern_names()
         .into_iter()
         .filter(|&n| n != outcome.culprit)

@@ -30,7 +30,12 @@ fn main() {
     print!(
         "{}",
         td_bench::render_table(
-            &["Variant", "Simulated runtime (s)", "Speedup vs baseline", "Output checksum"],
+            &[
+                "Variant",
+                "Simulated runtime (s)",
+                "Speedup vs baseline",
+                "Output checksum"
+            ],
             &table
         )
     );
@@ -47,7 +52,9 @@ fn main() {
         "microkernel replacement {:.1}x faster than the tiled versions (paper: ~20x)",
         transform / library
     );
-    let checksums_match = rows.iter().all(|r| (r.checksum - rows[0].checksum).abs() < 1e-6);
+    let checksums_match = rows
+        .iter()
+        .all(|r| (r.checksum - rows[0].checksum).abs() < 1e-6);
     println!("all variants compute identical results: {checksums_match}");
     assert!(checksums_match);
 }

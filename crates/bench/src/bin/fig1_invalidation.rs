@@ -53,9 +53,10 @@ fn main() {
     println!("Fig. 1a with the deliberate line-11 error, checked STATICALLY");
     println!("(use-after-free dataflow over the script, no payload involved):\n");
     let mut ctx = td_bench::full_context();
-    let script_module =
-        td_ir::parse_module(&mut ctx, &script(true)).expect("script parses");
-    let entry = ctx.lookup_symbol(script_module, "split_then_tile_and_unroll").expect("entry");
+    let script_module = td_ir::parse_module(&mut ctx, &script(true)).expect("script parses");
+    let entry = ctx
+        .lookup_symbol(script_module, "split_then_tile_and_unroll")
+        .expect("entry");
     let registry = TransformOpRegistry::with_standard_ops();
     let diagnostics = analyze_invalidation(&ctx, &registry, entry);
     for diag in &diagnostics {
@@ -71,15 +72,22 @@ fn main() {
     let mut ctx = td_bench::full_context();
     let payload = td_ir::parse_module(&mut ctx, PAYLOAD).expect("payload parses");
     let script_module = td_ir::parse_module(&mut ctx, &script(false)).expect("script parses");
-    let entry = ctx.lookup_symbol(script_module, "split_then_tile_and_unroll").expect("entry");
+    let entry = ctx
+        .lookup_symbol(script_module, "split_then_tile_and_unroll")
+        .expect("entry");
     let diagnostics = analyze_invalidation(&ctx, &registry, entry);
     assert!(diagnostics.is_empty(), "corrected script is clean");
     println!("  static check: clean");
     let env = InterpEnv::standard();
     let mut interp = Interpreter::new(&env);
-    interp.apply(&mut ctx, entry, payload).expect("script applies");
+    interp
+        .apply(&mut ctx, entry, payload)
+        .expect("script applies");
     td_ir::verify::verify(&ctx, payload).expect("transformed payload verifies");
-    println!("  applied {} transforms; transformed payload:", interp.stats.transforms_executed);
+    println!(
+        "  applied {} transforms; transformed payload:",
+        interp.stats.transforms_executed
+    );
     println!();
     for line in td_ir::print_op(&ctx, payload).lines() {
         println!("  {line}");

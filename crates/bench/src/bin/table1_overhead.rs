@@ -49,11 +49,19 @@ fn main() {
     print!(
         "{}",
         td_bench::render_table(
-            &["Model", "# Ops", "MLIR-style pass manager (ms)", "Transform (ms)", "Overhead"],
+            &[
+                "Model",
+                "# Ops",
+                "MLIR-style pass manager (ms)",
+                "Transform (ms)",
+                "Overhead"
+            ],
             &table_rows
         )
     );
-    let max_overhead =
-        rows.iter().map(table1::Table1Row::overhead_percent).fold(f64::NEG_INFINITY, f64::max);
+    let max_overhead = rows
+        .iter()
+        .map(table1::Table1Row::overhead_percent)
+        .fold(f64::NEG_INFINITY, f64::max);
     println!("\nmax overhead: {max_overhead:+.1}% (paper reports <= 2.6%)");
 }

@@ -46,7 +46,12 @@ fn payload(dynamic: bool) -> String {
             "(memref<16x16xf32>, index)",
         )
     } else {
-        ("%m: memref<16x16xf32>", "[0, 0]", "(%m)", "(memref<16x16xf32>)")
+        (
+            "%m: memref<16x16xf32>",
+            "[0, 0]",
+            "(%m)",
+            "(memref<16x16xf32>)",
+        )
     };
     let result_offset = if dynamic { "?" } else { "0" };
     format!(
@@ -72,7 +77,9 @@ fn compile(pipeline: &[&str], dynamic: bool) -> Result<(td_ir::Context, td_ir::O
     let mut ctx = full_context();
     let module = td_ir::parse_module(&mut ctx, &payload(dynamic)).expect("payload parses");
     let registry = full_pass_registry();
-    let mut pm = registry.parse_pipeline(&pipeline.join(",")).expect("pipeline parses");
+    let mut pm = registry
+        .parse_pipeline(&pipeline.join(","))
+        .expect("pipeline parses");
     pm.run(&mut ctx, module).map_err(|e| e.to_string())?;
     Ok((ctx, module))
 }
@@ -95,7 +102,10 @@ fn main() {
         .collect();
     print!(
         "{}",
-        td_bench::render_table(&["Transform Operation", "Pre-conditions", "Post-conditions"], &rows)
+        td_bench::render_table(
+            &["Transform Operation", "Pre-conditions", "Post-conditions"],
+            &rows
+        )
     );
 
     // ----- static check ----------------------------------------------------
@@ -125,12 +135,18 @@ fn main() {
     println!("\nDynamic confirmation on concrete programs:");
     for (pipeline_name, pipeline) in [("naive", &NAIVE[..]), ("fixed", &FIXED[..])] {
         for dynamic in [false, true] {
-            let kind = if dynamic { "dynamic-offset" } else { "static-offset" };
+            let kind = if dynamic {
+                "dynamic-offset"
+            } else {
+                "static-offset"
+            };
             match compile(pipeline, dynamic) {
                 Ok(_) => println!("  {pipeline_name} pipeline, {kind} subview: OK"),
                 Err(e) => {
                     let first_line = e.lines().next().unwrap_or_default();
-                    println!("  {pipeline_name} pipeline, {kind} subview: FAILED\n      {first_line}");
+                    println!(
+                        "  {pipeline_name} pipeline, {kind} subview: FAILED\n      {first_line}"
+                    );
                 }
             }
         }

@@ -31,7 +31,11 @@ pub fn build_payload(ctx: &mut Context, blocks: usize) -> OpId {
     let (_func, entry) = td_dialects::func::build_func(ctx, module, "main", &[big], &[scalar]);
     let x0 = ctx.block(entry).args()[0];
 
-    let emit = |ctx: &mut Context, name: &str, operands: Vec<ValueId>, ty, attrs: Vec<(Symbol, Attribute)>| {
+    let emit = |ctx: &mut Context,
+                name: &str,
+                operands: Vec<ValueId>,
+                ty,
+                attrs: Vec<(Symbol, Attribute)>| {
         let op = ctx.create_op(Location::name(name), name, operands, vec![ty], attrs, 0);
         ctx.append_op(entry, op);
         ctx.op(op).results()[0]
@@ -91,11 +95,23 @@ pub fn build_payload(ctx: &mut Context, blocks: usize) -> OpId {
             vec![(Symbol::new("kind"), Attribute::String("sum".into()))],
         );
         let acc = aux.expect("set above");
-        aux = Some(emit(ctx, "tosa.add", vec![acc, small_reduced], scalar, vec![]));
+        aux = Some(emit(
+            ctx,
+            "tosa.add",
+            vec![acc, small_reduced],
+            scalar,
+            vec![],
+        ));
     }
     let result = aux.expect("at least one block");
-    let ret =
-        ctx.create_op(Location::name("return"), "func.return", vec![result], vec![], vec![], 0);
+    let ret = ctx.create_op(
+        Location::name("return"),
+        "func.return",
+        vec![result],
+        vec![],
+        vec![],
+        0,
+    );
     ctx.append_op(entry, ret);
     module
 }
@@ -105,7 +121,9 @@ pub fn build_payload(ctx: &mut Context, blocks: usize) -> OpId {
 fn pattern_script(ctx: &mut Context, patterns: &[&str]) -> OpId {
     let mut body = String::new();
     for name in patterns {
-        body.push_str(&format!("      \"transform.pattern.{name}\"() : () -> ()\n"));
+        body.push_str(&format!(
+            "      \"transform.pattern.{name}\"() : () -> ()\n"
+        ));
     }
     let src = format!(
         r#"module {{
@@ -133,7 +151,9 @@ pub fn cost_with_patterns(blocks: usize, patterns: &[&str]) -> (f64, f64) {
     let mut env = InterpEnv::standard();
     env.patterns = Some(&registry);
     let start = Instant::now();
-    Interpreter::new(&env).apply(&mut ctx, entry, module).expect("patterns apply");
+    Interpreter::new(&env)
+        .apply(&mut ctx, entry, module)
+        .expect("patterns apply");
     td_ir::rewrite::run_dce(&mut ctx, module);
     let compile_seconds = start.elapsed().as_secs_f64();
     let report = estimate_cost(&ctx, module, FusionCostModel::default());
@@ -185,8 +205,11 @@ pub fn binary_search_culprit(blocks: usize) -> SearchOutcome {
             regression,
             compile_seconds,
         });
-        candidates =
-            if regression { half.to_vec() } else { candidates[candidates.len() / 2..].to_vec() };
+        candidates = if regression {
+            half.to_vec()
+        } else {
+            candidates[candidates.len() / 2..].to_vec()
+        };
     }
     SearchOutcome {
         baseline_cost,
@@ -250,7 +273,11 @@ mod tests {
         let outcome = binary_search_culprit(2);
         assert_eq!(outcome.culprit, td_machine::CULPRIT);
         // ~log2(25) iterations.
-        assert!(outcome.steps.len() <= 6, "took {} steps", outcome.steps.len());
+        assert!(
+            outcome.steps.len() <= 6,
+            "took {} steps",
+            outcome.steps.len()
+        );
         assert!(outcome.full_cost > outcome.baseline_cost);
     }
 }

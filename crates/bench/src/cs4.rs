@@ -22,7 +22,11 @@ pub struct Cs4Config {
 
 impl Default for Cs4Config {
     fn default() -> Self {
-        Cs4Config { m: 196, n: 256, k: 64 }
+        Cs4Config {
+            m: 196,
+            n: 256,
+            k: 64,
+        }
     }
 }
 
@@ -135,11 +139,15 @@ pub fn apply_variant(ctx: &mut Context, module: OpId, variant: Variant) {
             let with_library = variant == Variant::TransformLibrary;
             let script = script_source(with_library, 32, 32);
             let script_module = td_ir::parse_module(ctx, &script).expect("script parses");
-            let entry = ctx.lookup_symbol(script_module, "cs4").expect("entry exists");
+            let entry = ctx
+                .lookup_symbol(script_module, "cs4")
+                .expect("entry exists");
             let library = MicrokernelLibrary::libxsmm();
             let mut env = InterpEnv::standard();
             env.library = Some(&library);
-            Interpreter::new(&env).apply(ctx, entry, module).expect("script applies");
+            Interpreter::new(&env)
+                .apply(ctx, entry, module)
+                .expect("script applies");
         }
     }
 }
@@ -163,9 +171,10 @@ pub fn apply_tuned(
     if vectorize {
         // Vectorize the innermost (reduction) loop by unrolling it 8-wide.
         let loops = td_dialects::scf::collect_loops(ctx, module);
-        let Some(&innermost) = loops.last() else { return Ok(()) };
-        td_transform::loop_transforms::unroll_by(ctx, innermost, 8)
-            .map_err(|d| d.to_string())?;
+        let Some(&innermost) = loops.last() else {
+            return Ok(());
+        };
+        td_transform::loop_transforms::unroll_by(ctx, innermost, 8).map_err(|d| d.to_string())?;
     }
     Ok(())
 }
@@ -188,10 +197,14 @@ pub fn cs4_exec_config() -> ExecConfig {
 pub fn run_payload(ctx: &Context, module: OpId, config: Cs4Config) -> (f64, ExecReport) {
     let mut args = ArgBuilder::new();
     let a = args.buffer(
-        (0..config.m * config.k).map(|i| ((i % 13) as f64 - 6.0) * 0.25).collect(),
+        (0..config.m * config.k)
+            .map(|i| ((i % 13) as f64 - 6.0) * 0.25)
+            .collect(),
     );
     let b = args.buffer(
-        (0..config.k * config.n).map(|i| ((i % 7) as f64 - 3.0) * 0.5).collect(),
+        (0..config.k * config.n)
+            .map(|i| ((i % 7) as f64 - 3.0) * 0.5)
+            .collect(),
     );
     let c = args.buffer(vec![0.0; (config.m * config.n) as usize]);
     let buffers = args.into_buffers();
@@ -206,7 +219,11 @@ pub fn run_payload(ctx: &Context, module: OpId, config: Cs4Config) -> (f64, Exec
         Some(&library),
     )
     .expect("execution succeeds");
-    let checksum: f64 = buffers[2].iter().enumerate().map(|(i, v)| v * ((i % 17) as f64)).sum();
+    let checksum: f64 = buffers[2]
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v * ((i % 17) as f64))
+        .sum();
     (checksum, report)
 }
 
@@ -223,19 +240,27 @@ pub struct Cs4Row {
 
 /// Measures every variant.
 pub fn measure(config: Cs4Config) -> Vec<Cs4Row> {
-    [Variant::Baseline, Variant::OpenMpTile, Variant::TransformScript, Variant::TransformLibrary]
-        .into_iter()
-        .map(|variant| {
-            let mut ctx = crate::full_context();
-            let module = build_payload(&mut ctx, config);
-            apply_variant(&mut ctx, module, variant);
-            td_ir::verify::verify(&ctx, module).unwrap_or_else(|e| {
-                panic!("IR after {variant:?} fails verification: {e:?}")
-            });
-            let (checksum, report) = run_payload(&ctx, module, config);
-            Cs4Row { variant, seconds: report.seconds(), checksum }
-        })
-        .collect()
+    [
+        Variant::Baseline,
+        Variant::OpenMpTile,
+        Variant::TransformScript,
+        Variant::TransformLibrary,
+    ]
+    .into_iter()
+    .map(|variant| {
+        let mut ctx = crate::full_context();
+        let module = build_payload(&mut ctx, config);
+        apply_variant(&mut ctx, module, variant);
+        td_ir::verify::verify(&ctx, module)
+            .unwrap_or_else(|e| panic!("IR after {variant:?} fails verification: {e:?}"));
+        let (checksum, report) = run_payload(&ctx, module, config);
+        Cs4Row {
+            variant,
+            seconds: report.seconds(),
+            checksum,
+        }
+    })
+    .collect()
 }
 
 #[cfg(test)]
@@ -243,7 +268,11 @@ mod tests {
     use super::*;
 
     fn small() -> Cs4Config {
-        Cs4Config { m: 68, n: 64, k: 32 } // 68 = 2*32 + 4: split/remainder path
+        Cs4Config {
+            m: 68,
+            n: 64,
+            k: 32,
+        } // 68 = 2*32 + 4: split/remainder path
     }
 
     #[test]

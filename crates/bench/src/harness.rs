@@ -1,0 +1,234 @@
+//! A std-only micro-benchmark harness — the workspace's replacement for
+//! Criterion, so benches build offline with zero external dependencies.
+//!
+//! Protocol per benchmark: run `warmup` untimed iterations, then time
+//! `iters` iterations individually and report min / mean / median / p95.
+//! Results print as human-readable lines and serialize as JSON-lines
+//! records (one object per benchmark), the format the checked-in
+//! `BENCH_*.json` files use; see README "Reproducing benchmark numbers".
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+use td_support::metrics::json_string;
+
+/// Harness configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Untimed warmup iterations before measurement.
+    pub warmup: usize,
+    /// Timed iterations.
+    pub iters: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            warmup: 3,
+            iters: 10,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Quick preset for CI smoke runs.
+    pub fn quick() -> Self {
+        BenchConfig {
+            warmup: 1,
+            iters: 3,
+        }
+    }
+}
+
+/// Summary statistics of one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchStats {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of timed iterations.
+    pub iters: usize,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u128,
+    /// Arithmetic mean, nanoseconds.
+    pub mean_ns: u128,
+    /// Median (50th percentile), nanoseconds.
+    pub median_ns: u128,
+    /// 95th percentile, nanoseconds.
+    pub p95_ns: u128,
+}
+
+impl BenchStats {
+    /// One JSON object on one line — the `BENCH_*.json` record format.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"iters\":{},\"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{}}}",
+            json_string(&self.name),
+            self.iters,
+            self.min_ns,
+            self.mean_ns,
+            self.median_ns,
+            self.p95_ns
+        );
+        out
+    }
+
+    /// Human-readable one-line summary.
+    pub fn to_display_line(&self) -> String {
+        format!(
+            "{:<40} median {:>12} ns   p95 {:>12} ns   ({} iters)",
+            self.name, self.median_ns, self.p95_ns, self.iters
+        )
+    }
+}
+
+/// Percentile by nearest-rank over a sorted sample.
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs one benchmark: `warmup` untimed + `iters` timed calls of `f`.
+///
+/// Wrap inputs/outputs in [`std::hint::black_box`] inside `f` where the
+/// optimizer could otherwise delete the measured work.
+pub fn bench<R>(name: &str, config: BenchConfig, mut f: impl FnMut() -> R) -> BenchStats {
+    let iters = config.iters.max(1);
+    for _ in 0..config.warmup {
+        black_box(f());
+    }
+    let mut samples: Vec<u128> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        samples.push(start.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    let min_ns = samples[0];
+    let mean_ns = samples.iter().sum::<u128>() / samples.len() as u128;
+    let median_ns = percentile(&samples, 50.0);
+    let p95_ns = percentile(&samples, 95.0);
+    BenchStats {
+        name: name.to_owned(),
+        iters,
+        min_ns,
+        mean_ns,
+        median_ns,
+        p95_ns,
+    }
+}
+
+/// A suite: collects stats and renders both display and JSON-lines output.
+#[derive(Debug, Default)]
+pub struct BenchSuite {
+    config: BenchConfig,
+    results: Vec<BenchStats>,
+}
+
+impl BenchSuite {
+    /// A suite with the given per-benchmark configuration.
+    pub fn new(config: BenchConfig) -> Self {
+        BenchSuite {
+            config,
+            results: Vec::new(),
+        }
+    }
+
+    /// A suite honouring `TD_BENCH_QUICK=1` (CI smoke mode).
+    pub fn from_env() -> Self {
+        let config = if std::env::var("TD_BENCH_QUICK").is_ok_and(|v| v == "1") {
+            BenchConfig::quick()
+        } else {
+            BenchConfig::default()
+        };
+        Self::new(config)
+    }
+
+    /// Runs and records one benchmark, echoing its display line.
+    pub fn run<R>(&mut self, name: &str, f: impl FnMut() -> R) -> &BenchStats {
+        let stats = bench(name, self.config, f);
+        println!("{}", stats.to_display_line());
+        self.results.push(stats);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All recorded results.
+    pub fn results(&self) -> &[BenchStats] {
+        &self.results
+    }
+
+    /// The full suite as JSON lines (one benchmark per line).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for stats in &self.results {
+            out.push_str(&stats.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSON-lines report to `path` (e.g. `BENCH_micro.json`).
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_lines())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_ordered_stats() {
+        let stats = bench(
+            "spin",
+            BenchConfig {
+                warmup: 1,
+                iters: 8,
+            },
+            || {
+                let mut acc = 0u64;
+                for i in 0..1000u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            },
+        );
+        assert_eq!(stats.iters, 8);
+        assert!(stats.min_ns <= stats.median_ns);
+        assert!(stats.median_ns <= stats.p95_ns);
+        assert!(stats.min_ns > 0, "timed work must be visible");
+    }
+
+    #[test]
+    fn json_line_is_one_object() {
+        let stats = bench("j", BenchConfig::quick(), || 1 + 1);
+        let line = stats.to_json_line();
+        assert!(line.starts_with("{\"name\":\"j\""));
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"median_ns\":"));
+    }
+
+    #[test]
+    fn suite_collects_results_as_json_lines() {
+        let mut suite = BenchSuite::new(BenchConfig::quick());
+        suite.run("a", || 1);
+        suite.run("b", || 2);
+        let report = suite.to_json_lines();
+        let lines: Vec<&str> = report.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"a\"") && lines[1].contains("\"b\""));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted = vec![10, 20, 30, 40];
+        assert_eq!(percentile(&sorted, 50.0), 20);
+        assert_eq!(percentile(&sorted, 95.0), 40);
+        assert_eq!(percentile(&[7], 50.0), 7);
+    }
+}

@@ -1,11 +1,14 @@
 //! `td-bench`: shared harness code for regenerating every table and figure
 //! of the paper. The binaries in `src/bin/` print the rows/series; this
 //! library holds the workload builders and measurement loops so tests and
-//! Criterion benches reuse them.
+//! the in-tree micro-benchmark harness ([`harness`]) reuse them.
 
 pub mod cs3;
 pub mod cs4;
+pub mod harness;
 pub mod table1;
+
+pub use harness::{bench, BenchConfig, BenchStats, BenchSuite};
 
 use td_ir::Context;
 
@@ -47,7 +50,11 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out.push('\n');
     out.push_str(&format!(
         "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
     ));
     out.push('\n');
     for row in rows {

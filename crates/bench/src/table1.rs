@@ -59,7 +59,9 @@ pub fn compile_with_transform(spec: &ModelSpec) -> f64 {
     env.config.expensive_checks = false;
     let mut interp = Interpreter::new(&env);
     let start = Instant::now();
-    interp.apply(&mut ctx, entry, module).expect("script succeeds");
+    interp
+        .apply(&mut ctx, entry, module)
+        .expect("script succeeds");
     start.elapsed().as_secs_f64() * 1e3
 }
 
@@ -109,8 +111,7 @@ mod tests {
 
         let mut ctx2 = crate::full_context();
         let m2 = build_model(&mut ctx2, spec);
-        let script =
-            pipeline_to_script(&mut ctx2, td_dialects::passes::TOSA_PIPELINE).unwrap();
+        let script = pipeline_to_script(&mut ctx2, td_dialects::passes::TOSA_PIPELINE).unwrap();
         let entry = transform_main(&ctx2, script).unwrap();
         let mut env = InterpEnv::standard();
         env.passes = Some(&registry);
@@ -125,10 +126,12 @@ mod tests {
         // transform route must not cost more than 50% extra even in debug
         // builds (the release-mode harness reports the real ≤ a-few-%).
         let spec = &paper_models()[0];
-        let pm: f64 =
-            (0..3).map(|_| compile_with_pass_manager(spec)).fold(f64::INFINITY, f64::min);
-        let tf: f64 =
-            (0..3).map(|_| compile_with_transform(spec)).fold(f64::INFINITY, f64::min);
+        let pm: f64 = (0..3)
+            .map(|_| compile_with_pass_manager(spec))
+            .fold(f64::INFINITY, f64::min);
+        let tf: f64 = (0..3)
+            .map(|_| compile_with_transform(spec))
+            .fold(f64::INFINITY, f64::min);
         assert!(tf < pm * 1.5, "transform {tf} ms vs pass manager {pm} ms");
     }
 }

@@ -28,7 +28,10 @@ pub fn register(ctx: &mut Context) {
 }
 
 fn err(ctx: &Context, op: OpId, message: &str) -> Diagnostic {
-    Diagnostic::error(ctx.op(op).location.clone(), format!("'{}' op {message}", ctx.op(op).name))
+    Diagnostic::error(
+        ctx.op(op).location.clone(),
+        format!("'{}' op {message}", ctx.op(op).name),
+    )
 }
 
 /// Reads the coefficient vector of an `affine.apply`.
@@ -49,7 +52,11 @@ pub fn min_maps(ctx: &Context, op: OpId) -> Option<Vec<Vec<i64>>> {
 fn verify_map(ctx: &Context, op: OpId, map: &[i64]) -> Result<(), Diagnostic> {
     let data = ctx.op(op);
     if map.len() != data.operands().len() + 1 {
-        return Err(err(ctx, op, "map must have one coefficient per operand plus a constant"));
+        return Err(err(
+            ctx,
+            op,
+            "map must have one coefficient per operand plus a constant",
+        ));
     }
     for &operand in data.operands() {
         if !matches!(ctx.type_kind(ctx.value_type(operand)), TypeKind::Index) {
@@ -57,7 +64,10 @@ fn verify_map(ctx: &Context, op: OpId, map: &[i64]) -> Result<(), Diagnostic> {
         }
     }
     if data.results().len() != 1
-        || !matches!(ctx.type_kind(ctx.value_type(data.results()[0])), TypeKind::Index)
+        || !matches!(
+            ctx.type_kind(ctx.value_type(data.results()[0])),
+            TypeKind::Index
+        )
     {
         return Err(err(ctx, op, "expects a single index result"));
     }
@@ -86,12 +96,7 @@ fn verify_min(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
 
 /// Builds `affine.apply` with coefficient vector `map` (length =
 /// `operands.len() + 1`) at the end of `block`.
-pub fn build_apply(
-    ctx: &mut Context,
-    block: BlockId,
-    map: &[i64],
-    operands: Vec<ValueId>,
-) -> OpId {
+pub fn build_apply(ctx: &mut Context, block: BlockId, map: &[i64], operands: Vec<ValueId>) -> OpId {
     debug_assert_eq!(map.len(), operands.len() + 1);
     let index = ctx.index_type();
     let op = ctx.create_op(
@@ -99,7 +104,10 @@ pub fn build_apply(
         "affine.apply",
         operands,
         vec![index],
-        vec![(Symbol::new("map"), Attribute::int_array(map.iter().copied()))],
+        vec![(
+            Symbol::new("map"),
+            Attribute::int_array(map.iter().copied()),
+        )],
         0,
     );
     ctx.append_op(block, op);
@@ -166,7 +174,9 @@ mod tests {
         );
         ctx.append_op(body, bad);
         let errs = verify(&ctx, module).unwrap_err();
-        assert!(errs.iter().any(|e| e.message().contains("one coefficient per operand")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message().contains("one coefficient per operand")));
     }
 
     #[test]
@@ -175,8 +185,14 @@ mod tests {
         let module = ctx.create_module(Location::unknown());
         let body = ctx.sole_block(module, 0);
         let index = ctx.index_type();
-        let bad =
-            ctx.create_op(Location::unknown(), "affine.min", vec![], vec![index], vec![], 0);
+        let bad = ctx.create_op(
+            Location::unknown(),
+            "affine.min",
+            vec![],
+            vec![index],
+            vec![],
+            0,
+        );
         ctx.append_op(body, bad);
         let errs = verify(&ctx, module).unwrap_err();
         assert!(errs.iter().any(|e| e.message().contains("maps")));

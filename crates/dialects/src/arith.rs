@@ -1,8 +1,6 @@
 //! The `arith` dialect: integer/float arithmetic and comparisons.
 
-use td_ir::{
-    Attribute, Context, FoldResult, OpId, OpSpec, OpTraits, TypeKind,
-};
+use td_ir::{Attribute, Context, FoldResult, OpId, OpSpec, OpTraits, TypeKind};
 use td_support::Diagnostic;
 
 /// Comparison predicates for `arith.cmpi` (stored as a string attribute).
@@ -81,12 +79,18 @@ fn verify_constant(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
         .ok_or_else(|| err(ctx, op, "requires a 'value' attribute"))?;
     let ty = ctx.value_type(data.results()[0]);
     let ok = match ctx.type_kind(ty) {
-        TypeKind::Integer(_) | TypeKind::Index => matches!(value, Attribute::Int(_) | Attribute::Bool(_)),
+        TypeKind::Integer(_) | TypeKind::Index => {
+            matches!(value, Attribute::Int(_) | Attribute::Bool(_))
+        }
         TypeKind::F32 | TypeKind::F64 => matches!(value, Attribute::Float(_)),
         _ => true,
     };
     if !ok {
-        return Err(err(ctx, op, "'value' attribute does not match the result type"));
+        return Err(err(
+            ctx,
+            op,
+            "'value' attribute does not match the result type",
+        ));
     }
     Ok(())
 }
@@ -134,7 +138,10 @@ fn verify_select(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
 }
 
 fn err(ctx: &Context, op: OpId, message: &str) -> Diagnostic {
-    Diagnostic::error(ctx.op(op).location.clone(), format!("'{}' op {message}", ctx.op(op).name))
+    Diagnostic::error(
+        ctx.op(op).location.clone(),
+        format!("'{}' op {message}", ctx.op(op).name),
+    )
 }
 
 /// Reads the integer value of a constant-like defining op, if any.
@@ -166,7 +173,9 @@ fn fold_int_binary(ctx: &mut Context, op: OpId) -> FoldResult {
         _ => {}
     }
 
-    let (Some(l), Some(r)) = (lhs_const, rhs_const) else { return FoldResult::Unchanged };
+    let (Some(l), Some(r)) = (lhs_const, rhs_const) else {
+        return FoldResult::Unchanged;
+    };
     let result = match name {
         "arith.addi" => l.checked_add(r),
         "arith.subi" => l.checked_sub(r),
@@ -196,7 +205,9 @@ fn fold_int_binary(ctx: &mut Context, op: OpId) -> FoldResult {
         }
         _ => None,
     };
-    let Some(result) = result else { return FoldResult::Unchanged };
+    let Some(result) = result else {
+        return FoldResult::Unchanged;
+    };
     // Materialize a constant right before the op and replace.
     let ty = ctx.value_type(ctx.op(op).results()[0]);
     let block = match ctx.op(op).parent() {
@@ -219,9 +230,9 @@ fn fold_int_binary(ctx: &mut Context, op: OpId) -> FoldResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use td_ir::parse_module;
     use td_ir::rewrite::{apply_patterns_greedily, GreedyConfig, PatternSet};
     use td_ir::verify::verify;
-    use td_ir::parse_module;
 
     fn ctx() -> Context {
         let mut ctx = Context::new();
@@ -331,7 +342,11 @@ mod tests {
             .unwrap();
         let v = ctx.op(use_op).operands()[0];
         let def = ctx.defining_op(v).unwrap();
-        assert_eq!(ctx.op(def).name.as_str(), "test.opaque", "identities folded through");
+        assert_eq!(
+            ctx.op(def).name.as_str(),
+            "test.opaque",
+            "identities folded through"
+        );
     }
 
     #[test]
@@ -348,7 +363,11 @@ mod tests {
         )
         .unwrap();
         apply_patterns_greedily(&mut ctx, m, &PatternSet::new(), GreedyConfig::default()).unwrap();
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(names.contains(&"arith.divsi"), "{names:?}");
     }
 }

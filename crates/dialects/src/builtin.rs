@@ -16,9 +16,12 @@ pub fn register(ctx: &mut Context) {
             .with_verify(verify_module),
     );
     ctx.registry.register(
-        OpSpec::new(UNREALIZED_CAST, "temporary cast between unreconciled type systems")
-            .with_traits(OpTraits::PURE)
-            .with_verify(verify_cast),
+        OpSpec::new(
+            UNREALIZED_CAST,
+            "temporary cast between unreconciled type systems",
+        )
+        .with_traits(OpTraits::PURE)
+        .with_verify(verify_cast),
     );
 }
 
@@ -54,7 +57,9 @@ fn verify_cast(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
 /// before `anchor`, returning the cast result.
 pub fn cast_before(ctx: &mut Context, anchor: OpId, value: ValueId, to_type: TypeId) -> ValueId {
     let block = ctx.op(anchor).parent().expect("anchor must be attached");
-    let pos = ctx.op_position(block, anchor).expect("anchor in parent block");
+    let pos = ctx
+        .op_position(block, anchor)
+        .expect("anchor in parent block");
     let cast = ctx.create_op(
         Location::name("materialized-cast"),
         UNREALIZED_CAST,
@@ -70,7 +75,9 @@ pub fn cast_before(ctx: &mut Context, anchor: OpId, value: ValueId, to_type: Typ
 /// Creates an unrealized conversion cast right after `anchor`.
 pub fn cast_after(ctx: &mut Context, anchor: OpId, value: ValueId, to_type: TypeId) -> ValueId {
     let block = ctx.op(anchor).parent().expect("anchor must be attached");
-    let pos = ctx.op_position(block, anchor).expect("anchor in parent block");
+    let pos = ctx
+        .op_position(block, anchor)
+        .expect("anchor in parent block");
     let cast = ctx.create_op(
         Location::name("materialized-cast"),
         UNREALIZED_CAST,
@@ -93,7 +100,9 @@ pub fn enclosing_module(ctx: &Context, op: OpId) -> Option<OpId> {
     if ctx.op(op).name.as_str() == "builtin.module" {
         return Some(op);
     }
-    ctx.ancestors(op).into_iter().find(|&a| ctx.op(a).name.as_str() == "builtin.module")
+    ctx.ancestors(op)
+        .into_iter()
+        .find(|&a| ctx.op(a).name.as_str() == "builtin.module")
 }
 
 #[cfg(test)]
@@ -117,7 +126,14 @@ mod tests {
         let body = ctx.sole_block(module, 0);
         let i64t = ctx.i64_type();
         let index = ctx.index_type();
-        let c = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![index], vec![], 0);
+        let c = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![index],
+            vec![],
+            0,
+        );
         ctx.append_op(body, c);
         let v = ctx.op(c).results()[0];
         let casted = cast_after(&mut ctx, c, v, i64t);
@@ -153,7 +169,14 @@ mod tests {
         let mut ctx = Context::new();
         register(&mut ctx);
         let i32t = ctx.i32_type();
-        let bad = ctx.create_op(Location::unknown(), "builtin.module", vec![], vec![i32t], vec![], 1);
+        let bad = ctx.create_op(
+            Location::unknown(),
+            "builtin.module",
+            vec![],
+            vec![i32t],
+            vec![],
+            1,
+        );
         let region = ctx.op(bad).regions()[0];
         ctx.append_block(region, &[]);
         assert!(verify(&ctx, bad).is_err());

@@ -24,12 +24,19 @@ pub fn register(ctx: &mut Context) {
 }
 
 fn err(ctx: &Context, op: OpId, message: &str) -> Diagnostic {
-    Diagnostic::error(ctx.op(op).location.clone(), format!("'{}' op {message}", ctx.op(op).name))
+    Diagnostic::error(
+        ctx.op(op).location.clone(),
+        format!("'{}' op {message}", ctx.op(op).name),
+    )
 }
 
 /// Reads the per-successor operand counts.
 fn succ_arg_counts(ctx: &Context, op: OpId) -> Vec<usize> {
-    match ctx.op(op).attr("succ_arg_counts").and_then(Attribute::as_int_array) {
+    match ctx
+        .op(op)
+        .attr("succ_arg_counts")
+        .and_then(Attribute::as_int_array)
+    {
         Some(counts) => counts.into_iter().map(|c| c.max(0) as usize).collect(),
         None => vec![0; ctx.op(op).successors().len()],
     }
@@ -39,7 +46,11 @@ fn succ_arg_counts(ctx: &Context, op: OpId) -> Vec<usize> {
 /// that successor's block arguments.
 pub fn successor_args(ctx: &Context, op: OpId) -> Vec<Vec<ValueId>> {
     let counts = succ_arg_counts(ctx, op);
-    let leading = if ctx.op(op).name.as_str() == "cf.cond_br" { 1 } else { 0 };
+    let leading = if ctx.op(op).name.as_str() == "cf.cond_br" {
+        1
+    } else {
+        0
+    };
     let operands = &ctx.op(op).operands()[leading..];
     let mut out = Vec::new();
     let mut cursor = 0;
@@ -53,21 +64,37 @@ pub fn successor_args(ctx: &Context, op: OpId) -> Vec<Vec<ValueId>> {
 fn verify_succ_args(ctx: &Context, op: OpId, leading: usize) -> Result<(), Diagnostic> {
     let counts = succ_arg_counts(ctx, op);
     if counts.len() != ctx.op(op).successors().len() {
-        return Err(err(ctx, op, "succ_arg_counts length differs from successor count"));
+        return Err(err(
+            ctx,
+            op,
+            "succ_arg_counts length differs from successor count",
+        ));
     }
     let total: usize = counts.iter().sum();
     if leading + total != ctx.op(op).operands().len() {
-        return Err(err(ctx, op, "operand count does not match successor argument counts"));
+        return Err(err(
+            ctx,
+            op,
+            "operand count does not match successor argument counts",
+        ));
     }
     for (succ_index, args) in successor_args(ctx, op).into_iter().enumerate() {
         let block = ctx.op(op).successors()[succ_index];
         let params = ctx.block(block).args();
         if params.len() != args.len() {
-            return Err(err(ctx, op, "successor argument count differs from block arguments"));
+            return Err(err(
+                ctx,
+                op,
+                "successor argument count differs from block arguments",
+            ));
         }
         for (&a, &p) in args.iter().zip(params.iter()) {
             if ctx.value_type(a) != ctx.value_type(p) {
-                return Err(err(ctx, op, "successor argument type differs from block argument"));
+                return Err(err(
+                    ctx,
+                    op,
+                    "successor argument type differs from block argument",
+                ));
             }
         }
     }
@@ -87,7 +114,10 @@ fn verify_cond_br(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
         return Err(err(ctx, op, "expects exactly two successors"));
     }
     if data.operands().is_empty()
-        || !matches!(ctx.type_kind(ctx.value_type(data.operands()[0])), TypeKind::Integer(1))
+        || !matches!(
+            ctx.type_kind(ctx.value_type(data.operands()[0])),
+            TypeKind::Integer(1)
+        )
     {
         return Err(err(ctx, op, "first operand must be an i1 condition"));
     }
@@ -178,7 +208,14 @@ mod tests {
         };
         build_br(&mut ctx, entry, header, vec![zero]);
         build_cond_br(&mut ctx, header, cond, exit, vec![], header, vec![zero]);
-        let done = ctx.create_op(Location::unknown(), "func.return", vec![], vec![], vec![], 0);
+        let done = ctx.create_op(
+            Location::unknown(),
+            "func.return",
+            vec![],
+            vec![],
+            vec![],
+            0,
+        );
         crate::func::register(&mut ctx);
         ctx.append_op(exit, done);
         (ctx, module)
@@ -216,8 +253,8 @@ mod tests {
             .unwrap();
         ctx.remove_attr(cond_br, "succ_arg_counts");
         let errs = verify(&ctx, module).unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| e.message().contains("does not match successor argument counts")));
+        assert!(errs.iter().any(|e| e
+            .message()
+            .contains("does not match successor argument counts")));
     }
 }

@@ -21,12 +21,19 @@ pub fn register(ctx: &mut Context) {
 }
 
 fn err(ctx: &Context, op: OpId, message: &str) -> Diagnostic {
-    Diagnostic::error(ctx.op(op).location.clone(), format!("'{}' op {message}", ctx.op(op).name))
+    Diagnostic::error(
+        ctx.op(op).location.clone(),
+        format!("'{}' op {message}", ctx.op(op).name),
+    )
 }
 
 fn verify_func(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
     let data = ctx.op(op);
-    if data.attr("sym_name").and_then(|a| a.as_str().map(str::to_owned)).is_none() {
+    if data
+        .attr("sym_name")
+        .and_then(|a| a.as_str().map(str::to_owned))
+        .is_none()
+    {
         return Err(err(ctx, op, "requires a string 'sym_name' attribute"));
     }
     let Some(Attribute::Type(fty)) = data.attr("function_type") else {
@@ -42,11 +49,19 @@ fn verify_func(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
     if let Some(&entry) = ctx.region(region).blocks().first() {
         let args = ctx.block(entry).args();
         if args.len() != inputs.len() {
-            return Err(err(ctx, op, "entry block argument count differs from function type"));
+            return Err(err(
+                ctx,
+                op,
+                "entry block argument count differs from function type",
+            ));
         }
         for (&arg, &expected) in args.iter().zip(inputs.iter()) {
             if ctx.value_type(arg) != expected {
-                return Err(err(ctx, op, "entry block argument type differs from function type"));
+                return Err(err(
+                    ctx,
+                    op,
+                    "entry block argument type differs from function type",
+                ));
             }
         }
     }
@@ -55,7 +70,9 @@ fn verify_func(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
 
 fn verify_return(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
     // Check against the enclosing function's result types, when known.
-    let Some(func) = ctx.parent_op(op) else { return Ok(()) };
+    let Some(func) = ctx.parent_op(op) else {
+        return Ok(());
+    };
     if ctx.op(func).name.as_str() != "func.func" {
         return Ok(());
     }
@@ -67,18 +84,31 @@ fn verify_return(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
     };
     let operands = ctx.op(op).operands();
     if operands.len() != results.len() {
-        return Err(err(ctx, op, "operand count differs from function result count"));
+        return Err(err(
+            ctx,
+            op,
+            "operand count differs from function result count",
+        ));
     }
     for (&v, &expected) in operands.iter().zip(results.iter()) {
         if ctx.value_type(v) != expected {
-            return Err(err(ctx, op, "operand type differs from function result type"));
+            return Err(err(
+                ctx,
+                op,
+                "operand type differs from function result type",
+            ));
         }
     }
     Ok(())
 }
 
 fn verify_call(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
-    if ctx.op(op).attr("callee").and_then(Attribute::as_symbol).is_none() {
+    if ctx
+        .op(op)
+        .attr("callee")
+        .and_then(Attribute::as_symbol)
+        .is_none()
+    {
         return Err(err(ctx, op, "requires a 'callee' symbol attribute"));
     }
     Ok(())
@@ -93,8 +123,10 @@ pub fn build_func(
     inputs: &[TypeId],
     results: &[TypeId],
 ) -> (OpId, BlockId) {
-    let fty = ctx
-        .intern_type(TypeKind::Function { inputs: inputs.to_vec(), results: results.to_vec() });
+    let fty = ctx.intern_type(TypeKind::Function {
+        inputs: inputs.to_vec(),
+        results: results.to_vec(),
+    });
     let func = ctx.create_op(
         Location::name(name),
         "func.func",
@@ -115,7 +147,9 @@ pub fn build_func(
 
 /// Returns the symbol name of a function-like op.
 pub fn symbol_name(ctx: &Context, op: OpId) -> Option<String> {
-    ctx.op(op).attr("sym_name").and_then(|a| a.as_str().map(str::to_owned))
+    ctx.op(op)
+        .attr("sym_name")
+        .and_then(|a| a.as_str().map(str::to_owned))
 }
 
 #[cfg(test)]
@@ -139,7 +173,14 @@ mod tests {
         let i32t = ctx.i32_type();
         let (func, entry) = build_func(&mut ctx, module, "id", &[i32t], &[i32t]);
         let arg = ctx.block(entry).args()[0];
-        let ret = ctx.create_op(Location::unknown(), "func.return", vec![arg], vec![], vec![], 0);
+        let ret = ctx.create_op(
+            Location::unknown(),
+            "func.return",
+            vec![arg],
+            vec![],
+            vec![],
+            0,
+        );
         ctx.append_op(entry, ret);
         assert!(verify(&ctx, module).is_ok(), "{:?}", verify(&ctx, module));
         assert_eq!(symbol_name(&ctx, func).as_deref(), Some("id"));
@@ -160,7 +201,9 @@ mod tests {
         )
         .unwrap();
         let errs = verify(&ctx, m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message().contains("differs from function result")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message().contains("differs from function result")));
     }
 
     #[test]
@@ -176,7 +219,10 @@ mod tests {
         )
         .unwrap();
         let errs = verify(&ctx, m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message().contains("not terminated")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message().contains("not terminated")),
+            "{errs:?}"
+        );
     }
 
     #[test]

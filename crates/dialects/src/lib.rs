@@ -15,12 +15,12 @@ pub mod builtin;
 pub mod cf;
 pub mod func;
 pub mod linalg;
-pub mod math;
 pub mod llvm;
+pub mod math;
 pub mod memref;
+pub mod passes;
 pub mod scf;
 pub mod tensor;
-pub mod passes;
 pub mod tosa;
 
 /// Registers every dialect in this crate with `ctx`.

@@ -28,9 +28,8 @@ pub const LINALG_OPS: &[&str] = &[
 pub fn register(ctx: &mut Context) {
     ctx.registry.note_dialect("linalg");
     for &name in LINALG_OPS {
-        ctx.registry.register(
-            OpSpec::new(name, "structured operation").with_verify(verify_structured),
-        );
+        ctx.registry
+            .register(OpSpec::new(name, "structured operation").with_verify(verify_structured));
     }
 }
 
@@ -100,8 +99,14 @@ mod tests {
         let a = ctx.create_op(Location::unknown(), "test.src", vec![], vec![t], vec![], 0);
         ctx.append_op(body, a);
         let v = ctx.op(a).results()[0];
-        let mm =
-            ctx.create_op(Location::unknown(), "linalg.matmul", vec![v, v, v], vec![t], vec![], 0);
+        let mm = ctx.create_op(
+            Location::unknown(),
+            "linalg.matmul",
+            vec![v, v, v],
+            vec![t],
+            vec![],
+            0,
+        );
         ctx.append_op(body, mm);
         assert!(verify(&ctx, module).is_ok());
         assert!(!is_bufferized(&ctx, mm));
@@ -114,11 +119,24 @@ mod tests {
         let body = ctx.sole_block(module, 0);
         let f32t = ctx.f32_type();
         let mt = memref_type(&mut ctx, &[4, 4], f32t);
-        let a = ctx.create_op(Location::unknown(), "memref.alloc", vec![], vec![mt], vec![], 0);
+        let a = ctx.create_op(
+            Location::unknown(),
+            "memref.alloc",
+            vec![],
+            vec![mt],
+            vec![],
+            0,
+        );
         ctx.append_op(body, a);
         let v = ctx.op(a).results()[0];
-        let mm =
-            ctx.create_op(Location::unknown(), "linalg.matmul", vec![v, v, v], vec![], vec![], 0);
+        let mm = ctx.create_op(
+            Location::unknown(),
+            "linalg.matmul",
+            vec![v, v, v],
+            vec![],
+            vec![],
+            0,
+        );
         ctx.append_op(body, mm);
         assert!(verify(&ctx, module).is_ok());
         assert!(is_bufferized(&ctx, mm));
@@ -133,13 +151,26 @@ mod tests {
         let t = tensor_type(&mut ctx, &[4, 4], f32t);
         let mt = memref_type(&mut ctx, &[4, 4], f32t);
         let a = ctx.create_op(Location::unknown(), "test.src", vec![], vec![t], vec![], 0);
-        let b = ctx.create_op(Location::unknown(), "memref.alloc", vec![], vec![mt], vec![], 0);
+        let b = ctx.create_op(
+            Location::unknown(),
+            "memref.alloc",
+            vec![],
+            vec![mt],
+            vec![],
+            0,
+        );
         ctx.append_op(body, a);
         ctx.append_op(body, b);
         let va = ctx.op(a).results()[0];
         let vb = ctx.op(b).results()[0];
-        let bad =
-            ctx.create_op(Location::unknown(), "linalg.matmul", vec![va, vb, vb], vec![], vec![], 0);
+        let bad = ctx.create_op(
+            Location::unknown(),
+            "linalg.matmul",
+            vec![va, vb, vb],
+            vec![],
+            vec![],
+            0,
+        );
         ctx.append_op(body, bad);
         assert!(verify(&ctx, module).is_err());
     }

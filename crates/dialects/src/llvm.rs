@@ -32,21 +32,28 @@ pub fn register(ctx: &mut Context) {
         ("llvm.mlir.constant", "constant"),
         ("llvm.mlir.undef", "undefined value"),
     ] {
-        ctx.registry.register(OpSpec::new(name, summary).with_traits(OpTraits::PURE));
+        ctx.registry
+            .register(OpSpec::new(name, summary).with_traits(OpTraits::PURE));
     }
-    ctx.registry.register(OpSpec::new("llvm.alloca", "stack allocation").with_traits(OpTraits::ALLOCATES));
-    ctx.registry.register(OpSpec::new("llvm.load", "memory read"));
-    ctx.registry.register(OpSpec::new("llvm.store", "memory write"));
-    ctx.registry.register(OpSpec::new("llvm.call", "function call"));
+    ctx.registry
+        .register(OpSpec::new("llvm.alloca", "stack allocation").with_traits(OpTraits::ALLOCATES));
+    ctx.registry
+        .register(OpSpec::new("llvm.load", "memory read"));
+    ctx.registry
+        .register(OpSpec::new("llvm.store", "memory write"));
+    ctx.registry
+        .register(OpSpec::new("llvm.call", "function call"));
     ctx.registry.register(
         OpSpec::new("llvm.func", "LLVM function")
             .with_traits(OpTraits::ISOLATED_FROM_ABOVE | OpTraits::SYMBOL),
     );
     ctx.registry
         .register(OpSpec::new("llvm.return", "function return").with_traits(OpTraits::TERMINATOR));
-    ctx.registry.register(OpSpec::new("llvm.br", "branch").with_traits(OpTraits::TERMINATOR));
     ctx.registry
-        .register(OpSpec::new("llvm.cond_br", "conditional branch").with_traits(OpTraits::TERMINATOR));
+        .register(OpSpec::new("llvm.br", "branch").with_traits(OpTraits::TERMINATOR));
+    ctx.registry.register(
+        OpSpec::new("llvm.cond_br", "conditional branch").with_traits(OpTraits::TERMINATOR),
+    );
     ctx.registry
         .register(OpSpec::new("llvm.unreachable", "unreachable").with_traits(OpTraits::TERMINATOR));
 }
@@ -65,8 +72,17 @@ mod tests {
     fn registers_core_ops() {
         let mut ctx = Context::new();
         register(&mut ctx);
-        for name in ["llvm.add", "llvm.load", "llvm.func", "llvm.getelementptr", "llvm.br"] {
-            assert!(ctx.registry.is_registered(Symbol::new(name)), "{name} missing");
+        for name in [
+            "llvm.add",
+            "llvm.load",
+            "llvm.func",
+            "llvm.getelementptr",
+            "llvm.br",
+        ] {
+            assert!(
+                ctx.registry.is_registered(Symbol::new(name)),
+                "{name} missing"
+            );
         }
         assert!(ctx
             .registry

@@ -5,7 +5,9 @@
 //! exactly when offsets are dynamic, which is what breaks naive lowering
 //! pipelines.
 
-use td_ir::{Attribute, BlockId, Context, Extent, OpId, OpSpec, OpTraits, TypeId, TypeKind, ValueId};
+use td_ir::{
+    Attribute, BlockId, Context, Extent, OpId, OpSpec, OpTraits, TypeId, TypeKind, ValueId,
+};
 use td_support::{Diagnostic, Location, Symbol};
 
 /// Sentinel attribute value marking a dynamic offset/size/stride in the
@@ -20,9 +22,12 @@ pub fn register(ctx: &mut Context) {
             .with_traits(OpTraits::ALLOCATES)
             .with_verify(verify_alloc),
     );
-    ctx.registry.register(OpSpec::new("memref.dealloc", "heap deallocation"));
-    ctx.registry.register(OpSpec::new("memref.load", "memory read").with_verify(verify_load));
-    ctx.registry.register(OpSpec::new("memref.store", "memory write").with_verify(verify_store));
+    ctx.registry
+        .register(OpSpec::new("memref.dealloc", "heap deallocation"));
+    ctx.registry
+        .register(OpSpec::new("memref.load", "memory read").with_verify(verify_load));
+    ctx.registry
+        .register(OpSpec::new("memref.store", "memory write").with_verify(verify_store));
     ctx.registry.register(
         OpSpec::new("memref.subview", "strided view into a memref")
             .with_traits(OpTraits::PURE)
@@ -30,24 +35,38 @@ pub fn register(ctx: &mut Context) {
     );
     ctx.registry
         .register(OpSpec::new("memref.dim", "dimension extent").with_traits(OpTraits::PURE));
-    ctx.registry.register(OpSpec::new("memref.copy", "bulk copy"));
+    ctx.registry
+        .register(OpSpec::new("memref.copy", "bulk copy"));
     ctx.registry.register(
-        OpSpec::new("memref.extract_strided_metadata", "decompose a memref into base/offset/sizes/strides")
-            .with_traits(OpTraits::PURE),
+        OpSpec::new(
+            "memref.extract_strided_metadata",
+            "decompose a memref into base/offset/sizes/strides",
+        )
+        .with_traits(OpTraits::PURE),
     );
     ctx.registry.register(
-        OpSpec::new("memref.reinterpret_cast", "reassemble a memref from base/offset/sizes/strides")
-            .with_traits(OpTraits::PURE),
+        OpSpec::new(
+            "memref.reinterpret_cast",
+            "reassemble a memref from base/offset/sizes/strides",
+        )
+        .with_traits(OpTraits::PURE),
     );
     ctx.registry.register(
-        OpSpec::new("memref.extract_aligned_pointer_as_index", "raw pointer of a memref")
-            .with_traits(OpTraits::PURE),
+        OpSpec::new(
+            "memref.extract_aligned_pointer_as_index",
+            "raw pointer of a memref",
+        )
+        .with_traits(OpTraits::PURE),
     );
-    ctx.registry.register(OpSpec::new("memref.cast", "layout-compatible cast").with_traits(OpTraits::PURE));
+    ctx.registry
+        .register(OpSpec::new("memref.cast", "layout-compatible cast").with_traits(OpTraits::PURE));
 }
 
 fn err(ctx: &Context, op: OpId, message: &str) -> Diagnostic {
-    Diagnostic::error(ctx.op(op).location.clone(), format!("'{}' op {message}", ctx.op(op).name))
+    Diagnostic::error(
+        ctx.op(op).location.clone(),
+        format!("'{}' op {message}", ctx.op(op).name),
+    )
 }
 
 /// Convenience constructor for an identity-layout memref type.
@@ -62,8 +81,17 @@ pub fn memref_type(ctx: &mut Context, shape: &[i64], element: TypeId) -> TypeId 
 
 /// Structural info of a memref type: `(shape, element, offset, strides)`.
 /// Identity layouts get their canonical row-major strides materialized.
-pub fn memref_info(ctx: &Context, ty: TypeId) -> Option<(Vec<Extent>, TypeId, Extent, Vec<Extent>)> {
-    let TypeKind::MemRef { shape, element, offset, strides } = ctx.type_kind(ty) else {
+pub fn memref_info(
+    ctx: &Context,
+    ty: TypeId,
+) -> Option<(Vec<Extent>, TypeId, Extent, Vec<Extent>)> {
+    let TypeKind::MemRef {
+        shape,
+        element,
+        offset,
+        strides,
+    } = ctx.type_kind(ty)
+    else {
         return None;
     };
     let strides = if strides.is_empty() {
@@ -96,7 +124,11 @@ fn verify_alloc(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
     };
     let dynamic = shape.iter().filter(|e| e.is_dynamic()).count();
     if data.operands().len() != dynamic {
-        return Err(err(ctx, op, "expects one index operand per dynamic dimension"));
+        return Err(err(
+            ctx,
+            op,
+            "expects one index operand per dynamic dimension",
+        ));
     }
     Ok(())
 }
@@ -130,7 +162,11 @@ fn verify_store(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
         return Err(err(ctx, op, "expects one index per memref dimension"));
     }
     if ctx.value_type(data.operands()[0]) != element {
-        return Err(err(ctx, op, "stored value type must be the memref element type"));
+        return Err(err(
+            ctx,
+            op,
+            "stored value type must be the memref element type",
+        ));
     }
     Ok(())
 }
@@ -153,16 +189,32 @@ fn verify_subview(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
         return Err(err(ctx, op, "source must be a memref"));
     };
     let Some((offsets, sizes, strides)) = static_triple(ctx, op) else {
-        return Err(err(ctx, op, "requires static_offsets/static_sizes/static_strides attributes"));
+        return Err(err(
+            ctx,
+            op,
+            "requires static_offsets/static_sizes/static_strides attributes",
+        ));
     };
     let rank = shape.len();
     if offsets.len() != rank || sizes.len() != rank || strides.len() != rank {
-        return Err(err(ctx, op, "offset/size/stride ranks must match the source rank"));
+        return Err(err(
+            ctx,
+            op,
+            "offset/size/stride ranks must match the source rank",
+        ));
     }
-    let dynamic_count =
-        offsets.iter().chain(&sizes).chain(&strides).filter(|&&v| v == DYNAMIC).count();
+    let dynamic_count = offsets
+        .iter()
+        .chain(&sizes)
+        .chain(&strides)
+        .filter(|&&v| v == DYNAMIC)
+        .count();
     if data.operands().len() != 1 + dynamic_count {
-        return Err(err(ctx, op, "expects one index operand per dynamic offset/size/stride"));
+        return Err(err(
+            ctx,
+            op,
+            "expects one index operand per dynamic offset/size/stride",
+        ));
     }
     Ok(())
 }
@@ -200,7 +252,13 @@ pub fn subview_result_type(
     }
     let result_shape: Vec<Extent> = sizes
         .iter()
-        .map(|&s| if s == DYNAMIC { Extent::Dynamic } else { Extent::Static(s) })
+        .map(|&s| {
+            if s == DYNAMIC {
+                Extent::Dynamic
+            } else {
+                Extent::Static(s)
+            }
+        })
         .collect();
     let result_strides: Vec<Extent> = strides
         .iter()
@@ -242,9 +300,18 @@ pub fn build_subview(
         operands,
         vec![result_ty],
         vec![
-            (Symbol::new("static_offsets"), Attribute::int_array(offsets.iter().copied())),
-            (Symbol::new("static_sizes"), Attribute::int_array(sizes.iter().copied())),
-            (Symbol::new("static_strides"), Attribute::int_array(strides.iter().copied())),
+            (
+                Symbol::new("static_offsets"),
+                Attribute::int_array(offsets.iter().copied()),
+            ),
+            (
+                Symbol::new("static_sizes"),
+                Attribute::int_array(sizes.iter().copied()),
+            ),
+            (
+                Symbol::new("static_strides"),
+                Attribute::int_array(strides.iter().copied()),
+            ),
         ],
         0,
     );
@@ -257,7 +324,9 @@ pub fn build_subview(
 /// strides are one (so the view is a plain prefix window needing no address
 /// arithmetic beyond the base pointer).
 pub fn is_trivial_subview(ctx: &Context, op: OpId) -> bool {
-    let Some((offsets, _sizes, strides)) = static_triple(ctx, op) else { return false };
+    let Some((offsets, _sizes, strides)) = static_triple(ctx, op) else {
+        return false;
+    };
     offsets.iter().all(|&o| o == 0) && strides.iter().all(|&s| s == 1)
 }
 
@@ -318,8 +387,14 @@ mod tests {
         let body = ctx.sole_block(module, 0);
         let f32t = ctx.f32_type();
         let src_ty = memref_type(&mut ctx, &[16, 16], f32t);
-        let alloc =
-            ctx.create_op(Location::unknown(), "memref.alloc", vec![], vec![src_ty], vec![], 0);
+        let alloc = ctx.create_op(
+            Location::unknown(),
+            "memref.alloc",
+            vec![],
+            vec![src_ty],
+            vec![],
+            0,
+        );
         ctx.append_op(body, alloc);
         let src = ctx.op(alloc).results()[0];
         let sv = build_subview(
@@ -344,8 +419,14 @@ mod tests {
         let body = ctx.sole_block(module, 0);
         let f32t = ctx.f32_type();
         let src_ty = memref_type(&mut ctx, &[16, 16], f32t);
-        let alloc =
-            ctx.create_op(Location::unknown(), "memref.alloc", vec![], vec![src_ty], vec![], 0);
+        let alloc = ctx.create_op(
+            Location::unknown(),
+            "memref.alloc",
+            vec![],
+            vec![src_ty],
+            vec![],
+            0,
+        );
         ctx.append_op(body, alloc);
         let src = ctx.op(alloc).results()[0];
         // DYNAMIC offset but no operand: must fail verification.
@@ -357,7 +438,10 @@ mod tests {
             vec![src],
             vec![result_ty],
             vec![
-                (Symbol::new("static_offsets"), Attribute::int_array([DYNAMIC, 0])),
+                (
+                    Symbol::new("static_offsets"),
+                    Attribute::int_array([DYNAMIC, 0]),
+                ),
                 (Symbol::new("static_sizes"), Attribute::int_array([4, 4])),
                 (Symbol::new("static_strides"), Attribute::int_array([1, 1])),
             ],
@@ -375,13 +459,29 @@ mod tests {
         let body = ctx.sole_block(module, 0);
         let f32t = ctx.f32_type();
         let mt = memref_type(&mut ctx, &[8], f32t);
-        let alloc = ctx.create_op(Location::unknown(), "memref.alloc", vec![], vec![mt], vec![], 0);
+        let alloc = ctx.create_op(
+            Location::unknown(),
+            "memref.alloc",
+            vec![],
+            vec![mt],
+            vec![],
+            0,
+        );
         ctx.append_op(body, alloc);
         let m = ctx.op(alloc).results()[0];
         // Missing index.
-        let bad = ctx.create_op(Location::unknown(), "memref.load", vec![m], vec![f32t], vec![], 0);
+        let bad = ctx.create_op(
+            Location::unknown(),
+            "memref.load",
+            vec![m],
+            vec![f32t],
+            vec![],
+            0,
+        );
         ctx.append_op(body, bad);
         let errs = verify(&ctx, module).unwrap_err();
-        assert!(errs.iter().any(|e| e.message().contains("one index per memref dimension")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message().contains("one index per memref dimension")));
     }
 }

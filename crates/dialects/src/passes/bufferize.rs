@@ -77,8 +77,12 @@ impl Pass for LinalgBufferizePass {
                 _ if name.starts_with("linalg.") => {
                     drop_result_use_dest(ctx, op);
                 }
-                "tensor.reshape" | "tensor.pad" | "tensor.extract_slice" | "tensor.concat"
-                | "tensor.gather" | "tensor.cast" => {
+                "tensor.reshape"
+                | "tensor.pad"
+                | "tensor.extract_slice"
+                | "tensor.concat"
+                | "tensor.gather"
+                | "tensor.cast" => {
                     lower_plumbing_to_copy(ctx, op, &name);
                 }
                 _ => {}
@@ -90,7 +94,9 @@ impl Pass for LinalgBufferizePass {
 
 /// `tensor<AxBxT>` → `memref<AxBxT>`; `None` when not a tensor.
 fn tensor_to_memref(ctx: &mut Context, ty: TypeId) -> Option<TypeId> {
-    let TypeKind::Tensor { shape, element } = ctx.type_kind(ty).clone() else { return None };
+    let TypeKind::Tensor { shape, element } = ctx.type_kind(ty).clone() else {
+        return None;
+    };
     Some(ctx.intern_type(TypeKind::MemRef {
         shape,
         element,
@@ -137,8 +143,14 @@ fn drop_result_use_dest(ctx: &mut Context, op: OpId) {
     let name = ctx.op(op).name;
     let block = ctx.op(op).parent().expect("attached");
     let pos = ctx.op_position(block, op).expect("in block");
-    let new_op =
-        ctx.create_op(ctx.op(op).location.clone(), name, operands, vec![], attributes, 0);
+    let new_op = ctx.create_op(
+        ctx.op(op).location.clone(),
+        name,
+        operands,
+        vec![],
+        attributes,
+        0,
+    );
     ctx.insert_op(block, pos, new_op);
     ctx.replace_all_uses(results[0], dest);
     ctx.erase_op(op);
@@ -222,8 +234,11 @@ mod tests {
         TosaToLinalgNamedPass.run(&mut ctx, module).unwrap();
         LinalgBufferizePass.run(&mut ctx, module).unwrap();
 
-        let names: Vec<&str> =
-            ctx.walk_nested(module).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(module)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(names.contains(&"memref.alloc"), "{names:?}");
         assert!(!names.contains(&"tensor.empty"), "{names:?}");
         // The linalg.matmul now has no results and all-memref operands.

@@ -58,7 +58,11 @@ mod tests {
         )
         .unwrap();
         CanonicalizePass.run(&mut ctx, m).unwrap();
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(!names.contains(&"arith.addi"), "{names:?}");
         assert!(!names.contains(&"arith.muli"), "dead op removed: {names:?}");
     }

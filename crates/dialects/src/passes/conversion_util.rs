@@ -113,8 +113,11 @@ pub fn replace_one_to_one(ctx: &mut Context, op: OpId, replacement: Replacement)
     for (&old, &new) in old_results.iter().zip(new_results.iter()) {
         let old_ty = ctx.value_type(old);
         let new_ty = ctx.value_type(new);
-        let replacement_value =
-            if old_ty == new_ty { new } else { builtin::cast_after(ctx, new_op, new, old_ty) };
+        let replacement_value = if old_ty == new_ty {
+            new
+        } else {
+            builtin::cast_after(ctx, new_op, new, old_ty)
+        };
         ctx.replace_all_uses(old, replacement_value);
     }
     ctx.erase_op(op);
@@ -131,7 +134,9 @@ pub fn convert_block_signatures(ctx: &mut Context, region: td_ir::RegionId) {
         let args = ctx.block(block).args().to_vec();
         for arg in args {
             let ty = ctx.value_type(arg);
-            let Some(target) = llvm_type_of(ctx, ty) else { continue };
+            let Some(target) = llvm_type_of(ctx, ty) else {
+                continue;
+            };
             ctx.set_value_type(arg, target);
             // Insert cast target -> original at block start and move uses.
             let cast = ctx.create_op(
@@ -175,11 +180,17 @@ mod tests {
         let mt = memref_type(&mut ctx, &[4], f32t);
         let ptr = ctx.intern_type(TypeKind::LlvmPtr);
         assert_eq!(llvm_type_of(&mut ctx, mt), Some(ptr));
-        let fty = ctx.intern_type(TypeKind::Function { inputs: vec![index], results: vec![f32t] });
+        let fty = ctx.intern_type(TypeKind::Function {
+            inputs: vec![index],
+            results: vec![f32t],
+        });
         let converted = llvm_type_of(&mut ctx, fty).unwrap();
         assert_eq!(
             ctx.type_kind(converted),
-            &TypeKind::Function { inputs: vec![i64t], results: vec![f32t] }
+            &TypeKind::Function {
+                inputs: vec![i64t],
+                results: vec![f32t]
+            }
         );
     }
 
@@ -203,14 +214,22 @@ mod tests {
         replace_one_to_one(
             &mut ctx,
             add,
-            Replacement { name: "llvm.add", attributes: vec![] },
+            Replacement {
+                name: "llvm.add",
+                attributes: vec![],
+            },
         );
-        let names: Vec<&str> =
-            ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(names.contains(&"llvm.add"));
         // Two operand casts (index->i64) + one result cast (i64->index).
-        let cast_count =
-            names.iter().filter(|&&n| n == builtin::UNREALIZED_CAST).count();
+        let cast_count = names
+            .iter()
+            .filter(|&&n| n == builtin::UNREALIZED_CAST)
+            .count();
         assert_eq!(cast_count, 3, "{names:?}");
         // The add's operands are i64 now.
         let add = ctx
@@ -219,7 +238,11 @@ mod tests {
             .find(|&o| ctx.op(o).name.as_str() == "llvm.add")
             .unwrap();
         let i64t = ctx.i64_type();
-        assert!(ctx.op(add).operands().iter().all(|&v| ctx.value_type(v) == i64t));
+        assert!(ctx
+            .op(add)
+            .operands()
+            .iter()
+            .all(|&v| ctx.value_type(v) == i64t));
     }
 
     #[test]

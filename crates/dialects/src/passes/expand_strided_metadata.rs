@@ -37,7 +37,10 @@ impl Pass for ExpandStridedMetadataPass {
 }
 
 fn err(ctx: &Context, op: OpId, message: &str) -> Diagnostic {
-    Diagnostic::error(ctx.op(op).location.clone(), format!("'{}' op {message}", ctx.op(op).name))
+    Diagnostic::error(
+        ctx.op(op).location.clone(),
+        format!("'{}' op {message}", ctx.op(op).name),
+    )
 }
 
 fn expand_subview(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
@@ -45,8 +48,8 @@ fn expand_subview(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
     let source_ty = ctx.value_type(source);
     let (_, element, src_offset, src_strides) = memref::memref_info(ctx, source_ty)
         .ok_or_else(|| err(ctx, op, "source is not a memref"))?;
-    let (offsets, sizes, strides) =
-        memref::static_triple(ctx, op).ok_or_else(|| err(ctx, op, "is missing its static triple"))?;
+    let (offsets, sizes, strides) = memref::static_triple(ctx, op)
+        .ok_or_else(|| err(ctx, op, "is missing its static triple"))?;
 
     // Static strides of the source are required to fold coefficients.
     let src_stride_values: Vec<i64> = src_strides
@@ -61,13 +64,12 @@ fn expand_subview(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
     // Extract base + metadata.
     let rank = offsets.len();
     let index = ctx.index_type();
-    let flat =
-        ctx.intern_type(TypeKind::MemRef {
-            shape: vec![Extent::Dynamic],
-            element,
-            offset: Extent::Static(0),
-            strides: vec![],
-        });
+    let flat = ctx.intern_type(TypeKind::MemRef {
+        shape: vec![Extent::Dynamic],
+        element,
+        offset: Extent::Static(0),
+        strides: vec![],
+    });
     let mut result_types = vec![flat, index];
     result_types.extend(std::iter::repeat(index).take(2 * rank));
     let metadata = {
@@ -123,8 +125,11 @@ fn expand_subview(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
     };
 
     // Result strides are stride_i * src_stride_i.
-    let result_strides: Vec<i64> =
-        strides.iter().zip(&src_stride_values).map(|(&s, &base)| s * base).collect();
+    let result_strides: Vec<i64> = strides
+        .iter()
+        .zip(&src_stride_values)
+        .map(|(&s, &base)| s * base)
+        .collect();
 
     let result_ty = ctx.value_type(ctx.op(op).results()[0]);
     let block = ctx.op(op).parent().expect("attached");
@@ -137,9 +142,18 @@ fn expand_subview(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
         operands,
         vec![result_ty],
         vec![
-            (Symbol::new("static_offsets"), Attribute::int_array([static_offset_attr])),
-            (Symbol::new("static_sizes"), Attribute::int_array(sizes.iter().copied())),
-            (Symbol::new("static_strides"), Attribute::int_array(result_strides.iter().copied())),
+            (
+                Symbol::new("static_offsets"),
+                Attribute::int_array([static_offset_attr]),
+            ),
+            (
+                Symbol::new("static_sizes"),
+                Attribute::int_array(sizes.iter().copied()),
+            ),
+            (
+                Symbol::new("static_strides"),
+                Attribute::int_array(result_strides.iter().copied()),
+            ),
         ],
         0,
     );
@@ -176,7 +190,11 @@ mod tests {
     #[test]
     fn static_offsets_produce_no_affine() {
         let (ctx, m) = run(STATIC_SUBVIEW);
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(!names.contains(&"memref.subview"), "{names:?}");
         assert!(names.contains(&"memref.reinterpret_cast"));
         assert!(names.contains(&"memref.extract_strided_metadata"));
@@ -189,16 +207,18 @@ mod tests {
 
     #[test]
     fn dynamic_offset_introduces_affine_apply() {
-        let (ctx, m) = run(
-            r#"module {
+        let (ctx, m) = run(r#"module {
   func.func @f(%m: memref<16x16xf32>, %offset: index) {
     %sv = "memref.subview"(%m, %offset) {static_offsets = [-9223372036854775808, 0], static_sizes = [4, 4], static_strides = [1, 1]} : (memref<16x16xf32>, index) -> memref<4x4xf32, strided<[16, 1], offset: ?>>
     "test.use"(%sv) : (memref<4x4xf32, strided<[16, 1], offset: ?>>) -> ()
     func.return
   }
-}"#,
-        );
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+}"#);
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(
             names.contains(&"affine.apply"),
             "dynamic subview offset must introduce affine.apply: {names:?}"

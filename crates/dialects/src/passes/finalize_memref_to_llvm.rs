@@ -65,7 +65,10 @@ impl Pass for FinalizeMemrefToLlvmPass {
 }
 
 fn err(ctx: &Context, op: OpId, message: &str) -> Diagnostic {
-    Diagnostic::error(ctx.op(op).location.clone(), format!("'{}' op {message}", ctx.op(op).name))
+    Diagnostic::error(
+        ctx.op(op).location.clone(),
+        format!("'{}' op {message}", ctx.op(op).name),
+    )
 }
 
 fn ptr_type(ctx: &mut Context) -> td_ir::TypeId {
@@ -115,8 +118,14 @@ fn binop_i64(ctx: &mut Context, anchor: OpId, name: &str, lhs: ValueId, rhs: Val
     let i64t = ctx.i64_type();
     let block = ctx.op(anchor).parent().expect("attached");
     let pos = ctx.op_position(block, anchor).expect("in block");
-    let op =
-        ctx.create_op(ctx.op(anchor).location.clone(), name, vec![lhs, rhs], vec![i64t], vec![], 0);
+    let op = ctx.create_op(
+        ctx.op(anchor).location.clone(),
+        name,
+        vec![lhs, rhs],
+        vec![i64t],
+        vec![],
+        0,
+    );
     ctx.insert_op(block, pos, op);
     ctx.op(op).results()[0]
 }
@@ -140,8 +149,8 @@ fn gep(ctx: &mut Context, anchor: OpId, base: ValueId, offset: ValueId) -> Value
 fn lower_alloc(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
     let result = ctx.op(op).results()[0];
     let memref_ty = ctx.value_type(result);
-    let (shape, ..) =
-        memref::memref_info(ctx, memref_ty).ok_or_else(|| err(ctx, op, "result is not a memref"))?;
+    let (shape, ..) = memref::memref_info(ctx, memref_ty)
+        .ok_or_else(|| err(ctx, op, "result is not a memref"))?;
     // Element count: product of static dims × dynamic operands.
     let mut static_product = 1i64;
     for extent in &shape {
@@ -163,7 +172,10 @@ fn lower_alloc(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
         "llvm.call",
         vec![size],
         vec![ptr],
-        vec![(Symbol::new("callee"), Attribute::SymbolRef(td_support::Symbol::new("malloc")))],
+        vec![(
+            Symbol::new("callee"),
+            Attribute::SymbolRef(td_support::Symbol::new("malloc")),
+        )],
         0,
     );
     ctx.insert_op(block, pos, call);
@@ -184,7 +196,10 @@ fn lower_dealloc(ctx: &mut Context, op: OpId) {
         "llvm.call",
         vec![ptr_value],
         vec![],
-        vec![(Symbol::new("callee"), Attribute::SymbolRef(td_support::Symbol::new("free")))],
+        vec![(
+            Symbol::new("callee"),
+            Attribute::SymbolRef(td_support::Symbol::new("free")),
+        )],
         0,
     );
     ctx.insert_op(block, pos, call);
@@ -413,8 +428,7 @@ mod tests {
 
     #[test]
     fn lowers_alloc_load_store() {
-        let (ctx, m) = run(
-            r#"module {
+        let (ctx, m) = run(r#"module {
   func.func @f(%i: index, %v: f32) {
     %m = "memref.alloc"() : () -> memref<8x8xf32>
     "memref.store"(%v, %m, %i, %i) : (f32, memref<8x8xf32>, index, index) -> ()
@@ -422,30 +436,38 @@ mod tests {
     "test.use"(%x) : (f32) -> ()
     func.return
   }
-}"#,
-        );
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+}"#);
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(!names.iter().any(|n| n.starts_with("memref.")), "{names:?}");
         assert!(names.contains(&"llvm.call"), "malloc call: {names:?}");
         assert!(names.contains(&"llvm.load"));
         assert!(names.contains(&"llvm.store"));
         assert!(names.contains(&"llvm.getelementptr"));
-        assert!(names.contains(&"llvm.mul"), "row stride multiply: {names:?}");
+        assert!(
+            names.contains(&"llvm.mul"),
+            "row stride multiply: {names:?}"
+        );
     }
 
     #[test]
     fn lowers_reinterpret_cast_with_dynamic_offset() {
-        let (ctx, m) = run(
-            r#"module {
+        let (ctx, m) = run(r#"module {
   func.func @f(%m: memref<16x16xf32>, %off: index) {
     %base, %o, %s0, %s1, %t0, %t1 = "memref.extract_strided_metadata"(%m) : (memref<16x16xf32>) -> (memref<?xf32>, index, index, index, index, index)
     %rc = "memref.reinterpret_cast"(%base, %off) {static_offsets = [-9223372036854775808], static_sizes = [4, 4], static_strides = [16, 1]} : (memref<?xf32>, index) -> memref<4x4xf32, strided<[16, 1], offset: ?>>
     "test.use"(%rc) : (memref<4x4xf32, strided<[16, 1], offset: ?>>) -> ()
     func.return
   }
-}"#,
-        );
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+}"#);
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(!names.contains(&"memref.reinterpret_cast"), "{names:?}");
         assert!(
             !names.contains(&"memref.extract_strided_metadata"),
@@ -456,16 +478,18 @@ mod tests {
 
     #[test]
     fn nontrivial_subview_left_untouched() {
-        let (ctx, m) = run(
-            r#"module {
+        let (ctx, m) = run(r#"module {
   func.func @f(%m: memref<16x16xf32>) {
     %sv = "memref.subview"(%m) {static_offsets = [2, 2], static_sizes = [4, 4], static_strides = [1, 1]} : (memref<16x16xf32>) -> memref<4x4xf32, strided<[16, 1], offset: 34>>
     "test.use"(%sv) : (memref<4x4xf32, strided<[16, 1], offset: 34>>) -> ()
     func.return
   }
-}"#,
-        );
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+}"#);
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(
             names.contains(&"memref.subview"),
             "non-trivial subview violates the pre-condition and must be left alone: {names:?}"
@@ -474,16 +498,18 @@ mod tests {
 
     #[test]
     fn trivial_subview_lowers_to_pointer_reuse() {
-        let (ctx, m) = run(
-            r#"module {
+        let (ctx, m) = run(r#"module {
   func.func @f(%m: memref<16x16xf32>) {
     %sv = "memref.subview"(%m) {static_offsets = [0, 0], static_sizes = [4, 4], static_strides = [1, 1]} : (memref<16x16xf32>) -> memref<4x4xf32, strided<[16, 1], offset: 0>>
     "test.use"(%sv) : (memref<4x4xf32, strided<[16, 1], offset: 0>>) -> ()
     func.return
   }
-}"#,
-        );
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+}"#);
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(!names.contains(&"memref.subview"), "{names:?}");
     }
 }

@@ -32,7 +32,10 @@ impl Pass for LinalgToLoopsPass {
 }
 
 fn err(ctx: &Context, op: OpId, message: &str) -> Diagnostic {
-    Diagnostic::error(ctx.op(op).location.clone(), format!("'{}' op {message}", ctx.op(op).name))
+    Diagnostic::error(
+        ctx.op(op).location.clone(),
+        format!("'{}' op {message}", ctx.op(op).name),
+    )
 }
 
 fn static_dims(ctx: &Context, op: OpId, value: ValueId) -> Result<Vec<i64>, Diagnostic> {
@@ -42,18 +45,20 @@ fn static_dims(ctx: &Context, op: OpId, value: ValueId) -> Result<Vec<i64>, Diag
         .iter()
         .map(|e| e.as_static())
         .collect::<Option<Vec<i64>>>()
-        .ok_or_else(|| err(ctx, op, "with dynamic shapes is not supported by this lowering"))
+        .ok_or_else(|| {
+            err(
+                ctx,
+                op,
+                "with dynamic shapes is not supported by this lowering",
+            )
+        })
 }
 
 /// Builds a loop nest over `bounds` immediately before `anchor`. Returns the
 /// induction variables (outermost first) and the innermost body block with
 /// its insertion handled by the returned block (insert before its trailing
 /// `scf.yield`).
-fn build_loop_nest(
-    ctx: &mut Context,
-    anchor: OpId,
-    bounds: &[i64],
-) -> (Vec<ValueId>, BlockId) {
+fn build_loop_nest(ctx: &mut Context, anchor: OpId, bounds: &[i64]) -> (Vec<ValueId>, BlockId) {
     let block = ctx.op(anchor).parent().expect("attached");
     let pos = ctx.op_position(block, anchor).expect("in block");
     // Constants in the outer block.
@@ -96,14 +101,23 @@ fn build_loop_nest(
 
 /// Builder positioned just before the `scf.yield` of `body`.
 fn body_builder<'c>(ctx: &'c mut Context, body: BlockId) -> OpBuilder<'c> {
-    let last = ctx.block(body).ops().last().copied().expect("loop body has a terminator");
+    let last = ctx
+        .block(body)
+        .ops()
+        .last()
+        .copied()
+        .expect("loop body has a terminator");
     OpBuilder::before(ctx, last)
 }
 
 fn load(b: &mut OpBuilder, source: ValueId, indices: &[ValueId], elem: TypeId) -> ValueId {
     let mut operands = vec![source];
     operands.extend_from_slice(indices);
-    let op = b.op("memref.load").operands(operands).results(vec![elem]).build();
+    let op = b
+        .op("memref.load")
+        .operands(operands)
+        .results(vec![elem])
+        .build();
     b.ctx().op(op).results()[0]
 }
 
@@ -143,7 +157,9 @@ fn lower(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
 
 fn lower_matmul(ctx: &mut Context, op: OpId, batched: bool) -> Result<(), Diagnostic> {
     let operands = ctx.op(op).operands().to_vec();
-    let [a, b_mat, c] = operands[..] else { return Err(err(ctx, op, "expects (A, B, C)")) };
+    let [a, b_mat, c] = operands[..] else {
+        return Err(err(ctx, op, "expects (A, B, C)"));
+    };
     let a_dims = static_dims(ctx, op, a)?;
     let b_dims = static_dims(ctx, op, b_mat)?;
     let elem = element_type(ctx, c);
@@ -152,8 +168,11 @@ fn lower_matmul(ctx: &mut Context, op: OpId, batched: bool) -> Result<(), Diagno
     } else {
         (1, a_dims[0], a_dims[1], b_dims[1])
     };
-    let bounds: Vec<i64> =
-        if batched { vec![batch, m, n, k] } else { vec![m, n, k] };
+    let bounds: Vec<i64> = if batched {
+        vec![batch, m, n, k]
+    } else {
+        vec![m, n, k]
+    };
     let (ivs, body) = build_loop_nest(ctx, op, &bounds);
     {
         let mut builder = body_builder(ctx, body);
@@ -164,7 +183,11 @@ fn lower_matmul(ctx: &mut Context, op: OpId, batched: bool) -> Result<(), Diagno
                 vec![ivs[0], ivs[1], ivs[2]],
             )
         } else {
-            (vec![ivs[0], ivs[2]], vec![ivs[2], ivs[1]], vec![ivs[0], ivs[1]])
+            (
+                vec![ivs[0], ivs[2]],
+                vec![ivs[2], ivs[1]],
+                vec![ivs[0], ivs[1]],
+            )
         };
         let av = load(&mut builder, a, &idx_a, elem);
         let bv = load(&mut builder, b_mat, &idx_b, elem);
@@ -179,7 +202,9 @@ fn lower_matmul(ctx: &mut Context, op: OpId, batched: bool) -> Result<(), Diagno
 
 fn lower_conv2d(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
     let operands = ctx.op(op).operands().to_vec();
-    let [x, w, o] = operands[..] else { return Err(err(ctx, op, "expects (input, weights, out)")) };
+    let [x, w, o] = operands[..] else {
+        return Err(err(ctx, op, "expects (input, weights, out)"));
+    };
     let x_dims = static_dims(ctx, op, x)?;
     let w_dims = static_dims(ctx, op, w)?;
     let o_dims = static_dims(ctx, op, o)?;
@@ -190,18 +215,28 @@ fn lower_conv2d(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
     let elem = element_type(ctx, o);
     // Loops: n, oh, ow, f, kh, kw, c — with input indices clamped to stay
     // in bounds (simplified "same" padding).
-    let bounds = vec![o_dims[0], o_dims[1], o_dims[2], o_dims[3], w_dims[0], w_dims[1], w_dims[2]];
+    let bounds = vec![
+        o_dims[0], o_dims[1], o_dims[2], o_dims[3], w_dims[0], w_dims[1], w_dims[2],
+    ];
     let (ivs, body) = build_loop_nest(ctx, op, &bounds);
     {
         let mut builder = body_builder(ctx, body);
         let index = builder.ctx().index_type();
         let add = |b: &mut OpBuilder, l: ValueId, r: ValueId| {
-            let o = b.op("arith.addi").operands([l, r]).results(vec![index]).build();
+            let o = b
+                .op("arith.addi")
+                .operands([l, r])
+                .results(vec![index])
+                .build();
             b.ctx().op(o).results()[0]
         };
         let clamp = |b: &mut OpBuilder, v: ValueId, hi: i64| {
             let c = b.const_int(hi - 1, index);
-            let o = b.op("arith.minsi").operands([v, c]).results(vec![index]).build();
+            let o = b
+                .op("arith.minsi")
+                .operands([v, c])
+                .results(vec![index])
+                .build();
             b.ctx().op(o).results()[0]
         };
         let ih_raw = add(&mut builder, ivs[1], ivs[4]);
@@ -221,7 +256,9 @@ fn lower_conv2d(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
 
 fn lower_elementwise_binary(ctx: &mut Context, op: OpId, name: &str) -> Result<(), Diagnostic> {
     let operands = ctx.op(op).operands().to_vec();
-    let [a, b_val, dst] = operands[..] else { return Err(err(ctx, op, "expects (a, b, dst)")) };
+    let [a, b_val, dst] = operands[..] else {
+        return Err(err(ctx, op, "expects (a, b, dst)"));
+    };
     let dims = static_dims(ctx, op, dst)?;
     let elem = element_type(ctx, dst);
     let scalar = match name {
@@ -243,7 +280,9 @@ fn lower_elementwise_binary(ctx: &mut Context, op: OpId, name: &str) -> Result<(
 
 fn lower_map(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
     let operands = ctx.op(op).operands().to_vec();
-    let [src, dst] = operands[..] else { return Err(err(ctx, op, "expects (src, dst)")) };
+    let [src, dst] = operands[..] else {
+        return Err(err(ctx, op, "expects (src, dst)"));
+    };
     let kind = ctx
         .op(op)
         .attr("kind")
@@ -258,7 +297,11 @@ fn lower_map(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
         let y = match kind.as_str() {
             "exp" | "tanh" | "sigmoid" | "rsqrt" => {
                 let math_name = format!("math.{kind}");
-                let o = builder.op(&math_name).operand(x).results(vec![elem]).build();
+                let o = builder
+                    .op(&math_name)
+                    .operand(x)
+                    .results(vec![elem])
+                    .build();
                 builder.ctx().op(o).results()[0]
             }
             "reciprocal" => {
@@ -280,7 +323,9 @@ fn lower_map(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
 
 fn lower_reduce(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
     let operands = ctx.op(op).operands().to_vec();
-    let [src, dst] = operands[..] else { return Err(err(ctx, op, "expects (src, dst)")) };
+    let [src, dst] = operands[..] else {
+        return Err(err(ctx, op, "expects (src, dst)"));
+    };
     let src_dims = static_dims(ctx, op, src)?;
     let dst_dims = static_dims(ctx, op, dst)?;
     let elem = element_type(ctx, dst);
@@ -291,7 +336,9 @@ fn lower_reduce(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
         .unwrap_or_else(|| "sum".to_owned());
     // Reduce over the last dimension of the source.
     let outer: Vec<i64> = src_dims[..src_dims.len() - 1].to_vec();
-    let inner = *src_dims.last().ok_or_else(|| err(ctx, op, "requires rank >= 1"))?;
+    let inner = *src_dims
+        .last()
+        .ok_or_else(|| err(ctx, op, "requires rank >= 1"))?;
     let mut bounds = outer.clone();
     bounds.push(inner);
     let (ivs, body) = build_loop_nest(ctx, op, &bounds);
@@ -320,7 +367,9 @@ fn lower_reduce(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
 
 fn lower_transpose(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
     let operands = ctx.op(op).operands().to_vec();
-    let [src, dst] = operands[..] else { return Err(err(ctx, op, "expects (src, dst)")) };
+    let [src, dst] = operands[..] else {
+        return Err(err(ctx, op, "expects (src, dst)"));
+    };
     let dims = static_dims(ctx, op, dst)?;
     let elem = element_type(ctx, dst);
     let rank = dims.len();
@@ -352,10 +401,16 @@ fn lower_transpose(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
 
 fn lower_fill(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
     let operands = ctx.op(op).operands().to_vec();
-    let Some(&dst) = operands.last() else { return Err(err(ctx, op, "expects a destination")) };
+    let Some(&dst) = operands.last() else {
+        return Err(err(ctx, op, "expects a destination"));
+    };
     let dims = static_dims(ctx, op, dst)?;
     let elem = element_type(ctx, dst);
-    let value = ctx.op(op).attr("value").and_then(Attribute::as_float).unwrap_or(0.0);
+    let value = ctx
+        .op(op)
+        .attr("value")
+        .and_then(Attribute::as_float)
+        .unwrap_or(0.0);
     let (ivs, body) = build_loop_nest(ctx, op, &dims);
     {
         let mut builder = body_builder(ctx, body);
@@ -402,9 +457,18 @@ fn lower_copy(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
                 vec![value],
                 vec![ty],
                 vec![
-                    (td_support::Symbol::new("static_offsets"), Attribute::int_array([0])),
-                    (td_support::Symbol::new("static_sizes"), Attribute::int_array([total])),
-                    (td_support::Symbol::new("static_strides"), Attribute::int_array([1])),
+                    (
+                        td_support::Symbol::new("static_offsets"),
+                        Attribute::int_array([0]),
+                    ),
+                    (
+                        td_support::Symbol::new("static_sizes"),
+                        Attribute::int_array([total]),
+                    ),
+                    (
+                        td_support::Symbol::new("static_strides"),
+                        Attribute::int_array([1]),
+                    ),
                 ],
                 0,
             );
@@ -427,7 +491,9 @@ fn lower_copy(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
 
 fn lower_pooling(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
     let operands = ctx.op(op).operands().to_vec();
-    let [src, dst] = operands[..] else { return Err(err(ctx, op, "expects (src, dst)")) };
+    let [src, dst] = operands[..] else {
+        return Err(err(ctx, op, "expects (src, dst)"));
+    };
     let src_dims = static_dims(ctx, op, src)?;
     let dst_dims = static_dims(ctx, op, dst)?;
     if src_dims.len() != 4 || dst_dims.len() != 4 {
@@ -444,10 +510,18 @@ fn lower_pooling(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
         let mut builder = body_builder(ctx, body);
         let index = builder.ctx().index_type();
         let add_clamped = |b: &mut OpBuilder, base: ValueId, off: ValueId, hi: i64| {
-            let s = b.op("arith.addi").operands([base, off]).results(vec![index]).build();
+            let s = b
+                .op("arith.addi")
+                .operands([base, off])
+                .results(vec![index])
+                .build();
             let s = b.ctx().op(s).results()[0];
             let c = b.const_int(hi - 1, index);
-            let m = b.op("arith.minsi").operands([s, c]).results(vec![index]).build();
+            let m = b
+                .op("arith.minsi")
+                .operands([s, c])
+                .results(vec![index])
+                .build();
             b.ctx().op(m).results()[0]
         };
         let ih = add_clamped(&mut builder, ivs[1], ivs[4], src_dims[1]);
@@ -476,33 +550,51 @@ mod tests {
     use td_ir::verify::verify;
     use td_support::Location;
 
-    fn bufferized_op(name: &str, shapes: &[&[i64]], attrs: Vec<(&str, Attribute)>) -> (Context, OpId) {
+    fn bufferized_op(
+        name: &str,
+        shapes: &[&[i64]],
+        attrs: Vec<(&str, Attribute)>,
+    ) -> (Context, OpId) {
         let mut ctx = Context::new();
         crate::register_all_dialects(&mut ctx);
         crate::math::register(&mut ctx);
         let module = ctx.create_module(Location::unknown());
         let f32t = ctx.f32_type();
-        let arg_types: Vec<td_ir::TypeId> =
-            shapes.iter().map(|s| crate::memref::memref_type(&mut ctx, s, f32t)).collect();
+        let arg_types: Vec<td_ir::TypeId> = shapes
+            .iter()
+            .map(|s| crate::memref::memref_type(&mut ctx, s, f32t))
+            .collect();
         let (_f, entry) = crate::func::build_func(&mut ctx, module, "f", &arg_types, &[]);
         let args = ctx.block(entry).args().to_vec();
-        let attrs: Vec<_> =
-            attrs.into_iter().map(|(k, v)| (td_support::Symbol::new(k), v)).collect();
+        let attrs: Vec<_> = attrs
+            .into_iter()
+            .map(|(k, v)| (td_support::Symbol::new(k), v))
+            .collect();
         let op = ctx.create_op(Location::unknown(), name, args, vec![], attrs, 0);
         ctx.append_op(entry, op);
-        let ret = ctx.create_op(Location::unknown(), "func.return", vec![], vec![], vec![], 0);
+        let ret = ctx.create_op(
+            Location::unknown(),
+            "func.return",
+            vec![],
+            vec![],
+            vec![],
+            0,
+        );
         ctx.append_op(entry, ret);
         (ctx, module)
     }
 
     #[test]
     fn matmul_becomes_three_loops() {
-        let (mut ctx, m) =
-            bufferized_op("linalg.matmul", &[&[4, 8], &[8, 6], &[4, 6]], vec![]);
+        let (mut ctx, m) = bufferized_op("linalg.matmul", &[&[4, 8], &[8, 6], &[4, 6]], vec![]);
         LinalgToLoopsPass.run(&mut ctx, m).unwrap();
         let loops = crate::scf::collect_loops(&ctx, m);
         assert_eq!(loops.len(), 3);
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(names.contains(&"arith.mulf"));
         assert!(names.contains(&"arith.addf"));
         assert!(names.contains(&"memref.store"));
@@ -523,8 +615,7 @@ mod tests {
 
     #[test]
     fn elementwise_and_map_lower() {
-        let (mut ctx, m) =
-            bufferized_op("linalg.add", &[&[4, 4], &[4, 4], &[4, 4]], vec![]);
+        let (mut ctx, m) = bufferized_op("linalg.add", &[&[4, 4], &[4, 4], &[4, 4]], vec![]);
         LinalgToLoopsPass.run(&mut ctx, m).unwrap();
         assert_eq!(crate::scf::collect_loops(&ctx, m).len(), 2);
 
@@ -534,8 +625,11 @@ mod tests {
             vec![("kind", Attribute::String("exp".into()))],
         );
         LinalgToLoopsPass.run(&mut ctx2, m2).unwrap();
-        let names: Vec<&str> =
-            ctx2.walk_nested(m2).iter().map(|&o| ctx2.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx2
+            .walk_nested(m2)
+            .iter()
+            .map(|&o| ctx2.op(o).name.as_str())
+            .collect();
         assert!(names.contains(&"math.exp"), "{names:?}");
         assert!(verify(&ctx2, m2).is_ok(), "{:?}", verify(&ctx2, m2));
     }
@@ -560,8 +654,7 @@ mod tests {
     #[test]
     fn lowered_matmul_is_numerically_correct() {
         // 2x3 @ 3x2 with known values, executed after lowering.
-        let (mut ctx, m) =
-            bufferized_op("linalg.matmul", &[&[2, 3], &[3, 2], &[2, 2]], vec![]);
+        let (mut ctx, m) = bufferized_op("linalg.matmul", &[&[2, 3], &[3, 2], &[2, 2]], vec![]);
         LinalgToLoopsPass.run(&mut ctx, m).unwrap();
         // Reference: plain Rust.
         let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3 row-major
@@ -600,7 +693,11 @@ mod tests {
         );
         LinalgToLoopsPass.run(&mut ctx, m).unwrap();
         assert_eq!(crate::scf::collect_loops(&ctx, m).len(), 1);
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(names.contains(&"memref.reinterpret_cast"));
         assert!(verify(&ctx, m).is_ok(), "{:?}", verify(&ctx, m));
     }

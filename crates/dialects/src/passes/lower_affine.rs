@@ -35,7 +35,10 @@ impl Pass for LowerAffinePass {
 }
 
 fn err(ctx: &Context, op: OpId, message: &str) -> Diagnostic {
-    Diagnostic::error(ctx.op(op).location.clone(), format!("'{}' op {message}", ctx.op(op).name))
+    Diagnostic::error(
+        ctx.op(op).location.clone(),
+        format!("'{}' op {message}", ctx.op(op).name),
+    )
 }
 
 /// Emits `sum(c_i * operand_i) + constant` right before `anchor` and returns
@@ -52,10 +55,18 @@ fn emit_map(ctx: &mut Context, anchor: OpId, map: &[i64], operands: &[ValueId]) 
             operand
         } else {
             let c = b.const_int(coefficient, index);
-            let mul = b.op("arith.muli").operands([c, operand]).results(vec![index]).build();
+            let mul = b
+                .op("arith.muli")
+                .operands([c, operand])
+                .results(vec![index])
+                .build();
             b.ctx().op(mul).results()[0]
         };
-        let add = b.op("arith.addi").operands([acc, term]).results(vec![index]).build();
+        let add = b
+            .op("arith.addi")
+            .operands([acc, term])
+            .results(vec![index])
+            .build();
         acc = b.ctx().op(add).results()[0];
     }
     acc
@@ -82,8 +93,11 @@ fn lower_min(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
             None => value,
             Some(current) => {
                 let mut b = OpBuilder::before(ctx, op);
-                let min =
-                    b.op("arith.minsi").operands([current, value]).results(vec![index]).build();
+                let min = b
+                    .op("arith.minsi")
+                    .operands([current, value])
+                    .results(vec![index])
+                    .build();
                 b.ctx().op(min).results()[0]
             }
         });
@@ -116,7 +130,11 @@ mod tests {
         )
         .unwrap();
         LowerAffinePass.run(&mut ctx, m).unwrap();
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(!names.contains(&"affine.apply"), "{names:?}");
         assert!(names.contains(&"arith.muli"));
         assert!(names.contains(&"arith.addi"));
@@ -161,7 +179,11 @@ mod tests {
         )
         .unwrap();
         LowerAffinePass.run(&mut ctx, m).unwrap();
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(!names.contains(&"affine.min"));
         assert!(names.contains(&"arith.minsi"));
         assert!(verify(&ctx, m).is_ok());

@@ -18,14 +18,17 @@ pub mod tosa_to_linalg;
 
 pub use bufferize::LinalgBufferizePass;
 pub use canonicalize::{CanonicalizePass, CsePass};
-pub use linalg_to_loops::LinalgToLoopsPass;
-pub use tosa_to_linalg::{TosaInferShapesPass, TosaMakeBroadcastablePass, TosaOptionalDecompositionsPass, TosaToLinalgNamedPass, TosaToLinalgPass};
 pub use expand_strided_metadata::ExpandStridedMetadataPass;
 pub use finalize_memref_to_llvm::FinalizeMemrefToLlvmPass;
+pub use linalg_to_loops::LinalgToLoopsPass;
 pub use lower_affine::LowerAffinePass;
 pub use reconcile_casts::ReconcileCastsPass;
 pub use scf_to_cf::ScfToCfPass;
 pub use to_llvm::{ArithToLlvmPass, CfToLlvmPass, FuncToLlvmPass};
+pub use tosa_to_linalg::{
+    TosaInferShapesPass, TosaMakeBroadcastablePass, TosaOptionalDecompositionsPass,
+    TosaToLinalgNamedPass, TosaToLinalgPass,
+};
 
 /// Registers every pass in this module with `registry`.
 pub fn register_all_passes(registry: &mut td_ir::PassRegistry) {
@@ -35,13 +38,23 @@ pub fn register_all_passes(registry: &mut td_ir::PassRegistry) {
     registry.register("convert-arith-to-llvm", || Box::new(ArithToLlvmPass));
     registry.register("convert-cf-to-llvm", || Box::new(CfToLlvmPass));
     registry.register("convert-func-to-llvm", || Box::new(FuncToLlvmPass));
-    registry.register("expand-strided-metadata", || Box::new(ExpandStridedMetadataPass));
-    registry.register("finalize-memref-to-llvm", || Box::new(FinalizeMemrefToLlvmPass));
-    registry.register("reconcile-unrealized-casts", || Box::new(ReconcileCastsPass));
+    registry.register("expand-strided-metadata", || {
+        Box::new(ExpandStridedMetadataPass)
+    });
+    registry.register("finalize-memref-to-llvm", || {
+        Box::new(FinalizeMemrefToLlvmPass)
+    });
+    registry.register("reconcile-unrealized-casts", || {
+        Box::new(ReconcileCastsPass)
+    });
     registry.register("lower-affine", || Box::new(LowerAffinePass));
-    registry.register("tosa-optional-decompositions", || Box::new(TosaOptionalDecompositionsPass));
+    registry.register("tosa-optional-decompositions", || {
+        Box::new(TosaOptionalDecompositionsPass)
+    });
     registry.register("tosa-infer-shapes", || Box::new(TosaInferShapesPass));
-    registry.register("tosa-make-broadcastable", || Box::new(TosaMakeBroadcastablePass));
+    registry.register("tosa-make-broadcastable", || {
+        Box::new(TosaMakeBroadcastablePass)
+    });
     registry.register("tosa-to-linalg-named", || Box::new(TosaToLinalgNamedPass));
     registry.register("tosa-to-linalg", || Box::new(TosaToLinalgPass));
     registry.register("linalg-bufferize", || Box::new(LinalgBufferizePass));

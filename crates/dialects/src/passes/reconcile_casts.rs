@@ -113,7 +113,11 @@ mod tests {
         )
         .unwrap();
         ReconcileCastsPass.run(&mut ctx, m).unwrap();
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert_eq!(names, vec!["test.source", "test.use"]);
     }
 
@@ -154,7 +158,10 @@ mod tests {
             err.message().contains("failed to legalize operation"),
             "got: {err}"
         );
-        assert!(err.message().contains("affine.apply"), "culprit named: {err}");
+        assert!(
+            err.message().contains("affine.apply"),
+            "culprit named: {err}"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl Pass for ScfToCfPass {
 }
 
 fn err(ctx: &Context, op: OpId, message: &str) -> Diagnostic {
-    Diagnostic::error(ctx.op(op).location.clone(), format!("'{}' op {message}", ctx.op(op).name))
+    Diagnostic::error(
+        ctx.op(op).location.clone(),
+        format!("'{}' op {message}", ctx.op(op).name),
+    )
 }
 
 /// Splits `block` at `pos`: ops at `pos..` (exclusive of the op at `pos-1`)
@@ -59,8 +62,14 @@ fn split_block_after(ctx: &mut Context, region: RegionId, block: BlockId, pos: u
 
 fn lower_for(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
     let for_op = scf::as_for(ctx, op).ok_or_else(|| err(ctx, op, "is malformed"))?;
-    let block = ctx.op(op).parent().ok_or_else(|| err(ctx, op, "is detached"))?;
-    let region = ctx.block(block).parent().expect("attached block has a region");
+    let block = ctx
+        .op(op)
+        .parent()
+        .ok_or_else(|| err(ctx, op, "is detached"))?;
+    let region = ctx
+        .block(block)
+        .parent()
+        .expect("attached block has a region");
     let pos = ctx.op_position(block, op).expect("op in block");
 
     // exit <- everything after the loop.
@@ -97,7 +106,10 @@ fn lower_for(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
     ctx.replace_all_uses(for_op.induction_var, header_iv);
     let next = {
         let mut b = OpBuilder::at_end(ctx, body);
-        b.op("arith.addi").operands([header_iv, for_op.step]).results(vec![index]).build()
+        b.op("arith.addi")
+            .operands([header_iv, for_op.step])
+            .results(vec![index])
+            .build()
     };
     let next_value = ctx.op(next).results()[0];
     cf::build_br(ctx, body, header, vec![next_value]);
@@ -109,10 +121,20 @@ fn lower_for(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
 
 fn lower_if(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
     if !ctx.op(op).results().is_empty() {
-        return Err(err(ctx, op, "with results is not supported by this lowering"));
+        return Err(err(
+            ctx,
+            op,
+            "with results is not supported by this lowering",
+        ));
     }
-    let block = ctx.op(op).parent().ok_or_else(|| err(ctx, op, "is detached"))?;
-    let region = ctx.block(block).parent().expect("attached block has a region");
+    let block = ctx
+        .op(op)
+        .parent()
+        .ok_or_else(|| err(ctx, op, "is detached"))?;
+    let region = ctx
+        .block(block)
+        .parent()
+        .expect("attached block has a region");
     let pos = ctx.op_position(block, op).expect("op in block");
     let cond = ctx.op(op).operands()[0];
     let regions = ctx.op(op).regions().to_vec();
@@ -136,9 +158,16 @@ fn lower_if(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
 
 fn lower_execute_region(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
     if !ctx.op(op).results().is_empty() {
-        return Err(err(ctx, op, "with results is not supported by this lowering"));
+        return Err(err(
+            ctx,
+            op,
+            "with results is not supported by this lowering",
+        ));
     }
-    let block = ctx.op(op).parent().ok_or_else(|| err(ctx, op, "is detached"))?;
+    let block = ctx
+        .op(op)
+        .parent()
+        .ok_or_else(|| err(ctx, op, "is detached"))?;
     let pos = ctx.op_position(block, op).expect("op in block");
     // Inline the single-block region's ops in place of the op.
     let region = ctx.op(op).regions()[0];
@@ -164,7 +193,9 @@ fn lower_execute_region(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
 
 /// Moves the non-terminator ops of a single-block region into `dest`.
 fn move_region_ops(ctx: &mut Context, region: RegionId, dest: BlockId) {
-    let Some(&inner) = ctx.region(region).blocks().first() else { return };
+    let Some(&inner) = ctx.region(region).blocks().first() else {
+        return;
+    };
     let ops: Vec<OpId> = ctx.block(inner).ops().to_vec();
     for nested in ops {
         if ctx.op(nested).name.as_str() == "scf.yield" {
@@ -178,7 +209,10 @@ fn move_region_ops(ctx: &mut Context, region: RegionId, dest: BlockId) {
 /// Pre-/post-condition helper used by Table 2 tooling: the op names this
 /// pass consumes and produces.
 pub fn conditions() -> (&'static [&'static str], &'static [&'static str]) {
-    (&["scf.*"], &["cf.br", "cf.cond_br", "arith.addi", "arith.cmpi"])
+    (
+        &["scf.*"],
+        &["cf.br", "cf.cond_br", "arith.addi", "arith.cmpi"],
+    )
 }
 
 #[cfg(test)]
@@ -210,7 +244,11 @@ mod tests {
   }
 }"#,
         );
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(!names.contains(&"scf.for"), "{names:?}");
         assert!(names.contains(&"cf.br"));
         assert!(names.contains(&"cf.cond_br"));
@@ -243,7 +281,11 @@ mod tests {
   }
 }"#,
         );
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(!names.contains(&"scf.for"));
         assert_eq!(names.iter().filter(|&&n| n == "cf.cond_br").count(), 2);
         assert!(verify(&ctx, m).is_ok(), "{:?}", verify(&ctx, m));
@@ -265,7 +307,11 @@ mod tests {
   }
 }"#,
         );
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(!names.contains(&"scf.if"));
         assert!(names.contains(&"test.then"));
         assert!(names.contains(&"test.else"));
@@ -286,7 +332,11 @@ mod tests {
   }
 }"#,
         );
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(!names.contains(&"scf.execute_region"));
         assert!(names.contains(&"test.inner"));
         assert!(verify(&ctx, m).is_ok());

@@ -46,7 +46,14 @@ impl Pass for ArithToLlvmPass {
                 _ => continue,
             };
             let attributes = ctx.op(op).attributes().to_vec();
-            replace_one_to_one(ctx, op, Replacement { name: target_name, attributes });
+            replace_one_to_one(
+                ctx,
+                op,
+                Replacement {
+                    name: target_name,
+                    attributes,
+                },
+            );
         }
         Ok(())
     }
@@ -74,7 +81,10 @@ fn lower_min_max(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
         "arith.cmpi",
         vec![lhs, rhs],
         vec![i1],
-        vec![(Symbol::new("predicate"), Attribute::String(predicate.into()))],
+        vec![(
+            Symbol::new("predicate"),
+            Attribute::String(predicate.into()),
+        )],
         0,
     );
     ctx.insert_op(block, pos, cmp);
@@ -96,10 +106,20 @@ fn lower_min_max(ctx: &mut Context, op: OpId) -> Result<(), Diagnostic> {
     ctx.erase_op(op);
     // Convert the two freshly created arith ops.
     for new_op in [cmp, select] {
-        let target_name =
-            if ctx.op(new_op).name.as_str() == "arith.cmpi" { "llvm.icmp" } else { "llvm.select" };
+        let target_name = if ctx.op(new_op).name.as_str() == "arith.cmpi" {
+            "llvm.icmp"
+        } else {
+            "llvm.select"
+        };
         let attributes = ctx.op(new_op).attributes().to_vec();
-        replace_one_to_one(ctx, new_op, Replacement { name: target_name, attributes });
+        replace_one_to_one(
+            ctx,
+            new_op,
+            Replacement {
+                name: target_name,
+                attributes,
+            },
+        );
     }
     Ok(())
 }
@@ -126,7 +146,14 @@ impl Pass for CfToLlvmPass {
                 _ => continue,
             };
             let attributes = ctx.op(op).attributes().to_vec();
-            replace_one_to_one(ctx, op, Replacement { name: target_name, attributes });
+            replace_one_to_one(
+                ctx,
+                op,
+                Replacement {
+                    name: target_name,
+                    attributes,
+                },
+            );
         }
         Ok(())
     }
@@ -156,7 +183,14 @@ impl Pass for FuncToLlvmPass {
                 _ => "llvm.call",
             };
             let attributes = ctx.op(op).attributes().to_vec();
-            replace_one_to_one(ctx, op, Replacement { name: target_name, attributes });
+            replace_one_to_one(
+                ctx,
+                op,
+                Replacement {
+                    name: target_name,
+                    attributes,
+                },
+            );
         }
         // Then the functions themselves.
         let funcs: Vec<OpId> = ctx
@@ -222,7 +256,11 @@ mod tests {
         )
         .unwrap();
         ArithToLlvmPass.run(&mut ctx, m).unwrap();
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(!names.iter().any(|n| n.starts_with("arith.")), "{names:?}");
         assert!(names.contains(&"llvm.add"));
         assert!(names.contains(&"llvm.mlir.constant"));
@@ -243,7 +281,11 @@ mod tests {
         )
         .unwrap();
         ArithToLlvmPass.run(&mut ctx, m).unwrap();
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(names.contains(&"llvm.icmp"));
         assert!(names.contains(&"llvm.select"));
         assert!(!names.contains(&"arith.minsi"));
@@ -270,15 +312,20 @@ mod tests {
         ArithToLlvmPass.run(&mut ctx, m).unwrap();
         CfToLlvmPass.run(&mut ctx, m).unwrap();
         FuncToLlvmPass.run(&mut ctx, m).unwrap();
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(names.contains(&"llvm.func"));
         assert!(names.contains(&"llvm.br"));
         assert!(names.contains(&"llvm.cond_br"));
         assert!(names.contains(&"llvm.return"));
-        assert!(!names.iter().any(|n| n.starts_with("func.")
-            || n.starts_with("scf.")
-            || n.starts_with("cf.")
-            || n.starts_with("arith.")),
+        assert!(
+            !names.iter().any(|n| n.starts_with("func.")
+                || n.starts_with("scf.")
+                || n.starts_with("cf.")
+                || n.starts_with("arith.")),
             "{names:?}"
         );
         // The function argument was converted to i64.
@@ -289,6 +336,9 @@ mod tests {
             .unwrap();
         let entry = ctx.region(ctx.op(func).regions()[0]).blocks()[0];
         let arg = ctx.block(entry).args()[0];
-        assert!(matches!(ctx.type_kind(ctx.value_type(arg)), TK::Integer(64)));
+        assert!(matches!(
+            ctx.type_kind(ctx.value_type(arg)),
+            TK::Integer(64)
+        ));
     }
 }

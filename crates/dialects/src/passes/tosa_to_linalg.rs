@@ -11,7 +11,10 @@ use td_ir::{Attribute, Context, OpId, Pass, TypeId, ValueId};
 use td_support::{Diagnostic, Symbol};
 
 fn err(ctx: &Context, op: OpId, message: &str) -> Diagnostic {
-    Diagnostic::error(ctx.op(op).location.clone(), format!("'{}' op {message}", ctx.op(op).name))
+    Diagnostic::error(
+        ctx.op(op).location.clone(),
+        format!("'{}' op {message}", ctx.op(op).name),
+    )
 }
 
 /// Creates `op_name(operands) : result_ty` right before `anchor`.
@@ -140,7 +143,9 @@ impl Pass for TosaInferShapesPass {
             ) {
                 continue;
             }
-            let Some(&first) = ctx.op(op).operands().first() else { continue };
+            let Some(&first) = ctx.op(op).operands().first() else {
+                continue;
+            };
             let operand_ty = ctx.value_type(first);
             if static_shape(ctx, operand_ty).is_none() {
                 continue;
@@ -168,7 +173,12 @@ impl Pass for TosaMakeBroadcastablePass {
         let ops: Vec<OpId> = ctx
             .walk_nested(target)
             .into_iter()
-            .filter(|&op| matches!(ctx.op(op).name.as_str(), "tosa.add" | "tosa.sub" | "tosa.mul"))
+            .filter(|&op| {
+                matches!(
+                    ctx.op(op).name.as_str(),
+                    "tosa.add" | "tosa.sub" | "tosa.mul"
+                )
+            })
             .collect();
         for op in ops {
             let operands = ctx.op(op).operands().to_vec();
@@ -181,8 +191,14 @@ impl Pass for TosaMakeBroadcastablePass {
                 continue;
             }
             // Reshape the rhs to the lhs type (toy broadcast semantics).
-            let reshape =
-                create_before(ctx, op, "tosa.reshape", vec![operands[1]], vec![lhs_ty], vec![]);
+            let reshape = create_before(
+                ctx,
+                op,
+                "tosa.reshape",
+                vec![operands[1]],
+                vec![lhs_ty],
+                vec![],
+            );
             let new_value = ctx.op(reshape).results()[0];
             ctx.set_operand(op, 1, new_value);
         }
@@ -238,8 +254,14 @@ impl Pass for TosaToLinalgNamedPass {
             };
             new_operands.push(dest);
             let attributes = ctx.op(op).attributes().to_vec();
-            let new_op =
-                create_before(ctx, op, target_name, new_operands, vec![result_ty], attributes);
+            let new_op = create_before(
+                ctx,
+                op,
+                target_name,
+                new_operands,
+                vec![result_ty],
+                attributes,
+            );
             let mut value = ctx.op(new_op).results()[0];
             if let Some(bias) = bias {
                 let dest2 = empty_dest(ctx, op, result_ty);
@@ -296,7 +318,14 @@ impl Pass for TosaToLinalgPass {
                     let dest = empty_dest(ctx, op, result_ty);
                     let mut new_operands = operands.clone();
                     new_operands.push(dest);
-                    create_before(ctx, op, target_name, new_operands, vec![result_ty], attributes)
+                    create_before(
+                        ctx,
+                        op,
+                        target_name,
+                        new_operands,
+                        vec![result_ty],
+                        attributes,
+                    )
                 }
                 "tosa.clamp" | "tosa.sigmoid" | "tosa.tanh" | "tosa.exp" | "tosa.reciprocal"
                 | "tosa.rsqrt" | "tosa.cast" | "tosa.rescale" => {
@@ -338,9 +367,14 @@ impl Pass for TosaToLinalgPass {
                         attributes,
                     )
                 }
-                "tosa.reshape" => {
-                    create_before(ctx, op, "tensor.reshape", operands, vec![result_ty], attributes)
-                }
+                "tosa.reshape" => create_before(
+                    ctx,
+                    op,
+                    "tensor.reshape",
+                    operands,
+                    vec![result_ty],
+                    attributes,
+                ),
                 "tosa.pad" => {
                     create_before(ctx, op, "tensor.pad", operands, vec![result_ty], attributes)
                 }
@@ -352,12 +386,22 @@ impl Pass for TosaToLinalgPass {
                     vec![result_ty],
                     attributes,
                 ),
-                "tosa.concat" => {
-                    create_before(ctx, op, "tensor.concat", operands, vec![result_ty], attributes)
-                }
-                "tosa.gather" => {
-                    create_before(ctx, op, "tensor.gather", operands, vec![result_ty], attributes)
-                }
+                "tosa.concat" => create_before(
+                    ctx,
+                    op,
+                    "tensor.concat",
+                    operands,
+                    vec![result_ty],
+                    attributes,
+                ),
+                "tosa.gather" => create_before(
+                    ctx,
+                    op,
+                    "tensor.gather",
+                    operands,
+                    vec![result_ty],
+                    attributes,
+                ),
                 _ => return Err(err(ctx, op, "has no tosa-to-linalg lowering")),
             };
             replace_with(ctx, op, new_op);
@@ -402,10 +446,24 @@ mod tests {
         );
         ctx.append_op(entry, fc);
         let fcv = ctx.op(fc).results()[0];
-        let act = ctx.create_op(Location::unknown(), "tosa.tanh", vec![fcv], vec![mat], vec![], 0);
+        let act = ctx.create_op(
+            Location::unknown(),
+            "tosa.tanh",
+            vec![fcv],
+            vec![mat],
+            vec![],
+            0,
+        );
         ctx.append_op(entry, act);
         let av = ctx.op(act).results()[0];
-        let ret = ctx.create_op(Location::unknown(), "func.return", vec![av], vec![], vec![], 0);
+        let ret = ctx.create_op(
+            Location::unknown(),
+            "func.return",
+            vec![av],
+            vec![],
+            vec![],
+            0,
+        );
         ctx.append_op(entry, ret);
         let _ = body;
         module
@@ -416,7 +474,11 @@ mod tests {
         let mut ctx = Context::new();
         let m = model(&mut ctx);
         TosaOptionalDecompositionsPass.run(&mut ctx, m).unwrap();
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(!names.contains(&"tosa.fully_connected"));
         assert!(names.contains(&"tosa.matmul"));
         assert!(names.contains(&"tosa.add"));
@@ -432,9 +494,15 @@ mod tests {
         TosaMakeBroadcastablePass.run(&mut ctx, m).unwrap();
         TosaToLinalgNamedPass.run(&mut ctx, m).unwrap();
         TosaToLinalgPass.run(&mut ctx, m).unwrap();
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(
-            names.iter().all(|n| !n.starts_with("tosa.") || *n == "tosa.const"),
+            names
+                .iter()
+                .all(|n| !n.starts_with("tosa.") || *n == "tosa.const"),
             "{names:?}"
         );
         assert!(names.contains(&"linalg.matmul"));

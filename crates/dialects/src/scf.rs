@@ -10,28 +10,33 @@ use td_support::{Diagnostic, Location};
 /// Registers the scf dialect.
 pub fn register(ctx: &mut Context) {
     ctx.registry.note_dialect("scf");
-    ctx.registry.register(
-        OpSpec::new("scf.for", "counted loop").with_verify(verify_for),
-    );
-    ctx.registry.register(
-        OpSpec::new("scf.forall", "parallel counted loop").with_verify(verify_for),
-    );
-    ctx.registry.register(OpSpec::new("scf.if", "conditional").with_verify(verify_if));
-    ctx.registry.register(
-        OpSpec::new("scf.yield", "region terminator").with_traits(OpTraits::TERMINATOR),
-    );
+    ctx.registry
+        .register(OpSpec::new("scf.for", "counted loop").with_verify(verify_for));
+    ctx.registry
+        .register(OpSpec::new("scf.forall", "parallel counted loop").with_verify(verify_for));
+    ctx.registry
+        .register(OpSpec::new("scf.if", "conditional").with_verify(verify_if));
+    ctx.registry
+        .register(OpSpec::new("scf.yield", "region terminator").with_traits(OpTraits::TERMINATOR));
     ctx.registry
         .register(OpSpec::new("scf.execute_region", "inline region"));
 }
 
 fn err(ctx: &Context, op: OpId, message: &str) -> Diagnostic {
-    Diagnostic::error(ctx.op(op).location.clone(), format!("'{}' op {message}", ctx.op(op).name))
+    Diagnostic::error(
+        ctx.op(op).location.clone(),
+        format!("'{}' op {message}", ctx.op(op).name),
+    )
 }
 
 fn verify_for(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
     let data = ctx.op(op);
     if data.operands().len() != 3 {
-        return Err(err(ctx, op, "expects (lower bound, upper bound, step) operands"));
+        return Err(err(
+            ctx,
+            op,
+            "expects (lower bound, upper bound, step) operands",
+        ));
     }
     for &operand in data.operands() {
         if !matches!(ctx.type_kind(ctx.value_type(operand)), TypeKind::Index) {
@@ -49,7 +54,11 @@ fn verify_for(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
     let entry = blocks[0];
     let args = ctx.block(entry).args();
     if args.len() != 1 || !matches!(ctx.type_kind(ctx.value_type(args[0])), TypeKind::Index) {
-        return Err(err(ctx, op, "body must have a single index-typed induction variable"));
+        return Err(err(
+            ctx,
+            op,
+            "body must have a single index-typed induction variable",
+        ));
     }
     Ok(())
 }
@@ -59,11 +68,18 @@ fn verify_if(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
     if data.operands().len() != 1 {
         return Err(err(ctx, op, "expects a single condition operand"));
     }
-    if !matches!(ctx.type_kind(ctx.value_type(data.operands()[0])), TypeKind::Integer(1)) {
+    if !matches!(
+        ctx.type_kind(ctx.value_type(data.operands()[0])),
+        TypeKind::Integer(1)
+    ) {
         return Err(err(ctx, op, "condition must be i1"));
     }
     if data.regions().is_empty() || data.regions().len() > 2 {
-        return Err(err(ctx, op, "expects a 'then' region and an optional 'else' region"));
+        return Err(err(
+            ctx,
+            op,
+            "expects a 'then' region and an optional 'else' region",
+        ));
     }
     Ok(())
 }
@@ -130,10 +146,24 @@ pub fn build_for(
     let region = ctx.op(op).regions()[0];
     let index = ctx.index_type();
     let body = ctx.append_block(region, &[index]);
-    let yld = ctx.create_op(Location::name("scf.yield"), "scf.yield", vec![], vec![], vec![], 0);
+    let yld = ctx.create_op(
+        Location::name("scf.yield"),
+        "scf.yield",
+        vec![],
+        vec![],
+        vec![],
+        0,
+    );
     ctx.append_op(body, yld);
     let induction_var = ctx.block(body).args()[0];
-    ForOp { op, lower, upper, step, body, induction_var }
+    ForOp {
+        op,
+        lower,
+        upper,
+        step,
+        body,
+        induction_var,
+    }
 }
 
 /// The static trip count of a loop with constant bounds and step, if known.

@@ -28,7 +28,10 @@ pub fn register(ctx: &mut Context) {
 fn verify_tensor_results(ctx: &Context, op: OpId) -> Result<(), Diagnostic> {
     let data = ctx.op(op);
     if data.results().len() != 1
-        || !matches!(ctx.type_kind(ctx.value_type(data.results()[0])), TypeKind::Tensor { .. })
+        || !matches!(
+            ctx.type_kind(ctx.value_type(data.results()[0])),
+            TypeKind::Tensor { .. }
+        )
     {
         return Err(Diagnostic::error(
             data.location.clone(),
@@ -54,10 +57,24 @@ mod tests {
         let body = ctx.sole_block(module, 0);
         let f32t = ctx.f32_type();
         let t = tensor_type(&mut ctx, &[2, 2], f32t);
-        let e = ctx.create_op(Location::unknown(), "tensor.empty", vec![], vec![t], vec![], 0);
+        let e = ctx.create_op(
+            Location::unknown(),
+            "tensor.empty",
+            vec![],
+            vec![t],
+            vec![],
+            0,
+        );
         ctx.append_op(body, e);
         assert!(verify(&ctx, module).is_ok());
-        let bad = ctx.create_op(Location::unknown(), "tensor.empty", vec![], vec![f32t], vec![], 0);
+        let bad = ctx.create_op(
+            Location::unknown(),
+            "tensor.empty",
+            vec![],
+            vec![f32t],
+            vec![],
+            0,
+        );
         ctx.append_op(body, bad);
         assert!(verify(&ctx, module).is_err());
     }

@@ -79,7 +79,9 @@ pub fn tensor_type(ctx: &mut Context, shape: &[i64], element: TypeId) -> TypeId 
 
 /// The static shape of a tensor-typed value, if fully static.
 pub fn static_shape(ctx: &Context, ty: TypeId) -> Option<Vec<i64>> {
-    let TypeKind::Tensor { shape, .. } = ctx.type_kind(ty) else { return None };
+    let TypeKind::Tensor { shape, .. } = ctx.type_kind(ty) else {
+        return None;
+    };
     shape.iter().map(|e| e.as_static()).collect()
 }
 
@@ -126,8 +128,14 @@ mod tests {
         );
         ctx.append_op(body, c);
         let v = ctx.op(c).results()[0];
-        let add =
-            ctx.create_op(Location::unknown(), "tosa.add", vec![v, v], vec![t], vec![], 0);
+        let add = ctx.create_op(
+            Location::unknown(),
+            "tosa.add",
+            vec![v, v],
+            vec![t],
+            vec![],
+            0,
+        );
         ctx.append_op(body, add);
         assert!(verify(&ctx, module).is_ok());
         assert!(is_zero_const(&ctx, c));
@@ -140,10 +148,24 @@ mod tests {
         let body = ctx.sole_block(module, 0);
         let f32t = ctx.f32_type();
         let t = tensor_type(&mut ctx, &[2], f32t);
-        let scalar = ctx.create_op(Location::unknown(), "test.scalar", vec![], vec![f32t], vec![], 0);
+        let scalar = ctx.create_op(
+            Location::unknown(),
+            "test.scalar",
+            vec![],
+            vec![f32t],
+            vec![],
+            0,
+        );
         ctx.append_op(body, scalar);
         let v = ctx.op(scalar).results()[0];
-        let bad = ctx.create_op(Location::unknown(), "tosa.add", vec![v, v], vec![t], vec![], 0);
+        let bad = ctx.create_op(
+            Location::unknown(),
+            "tosa.add",
+            vec![v, v],
+            vec![t],
+            vec![],
+            0,
+        );
         ctx.append_op(body, bad);
         assert!(verify(&ctx, module).is_err());
     }

@@ -25,7 +25,11 @@ impl Dominance {
     pub fn compute(ctx: &Context, region: RegionId) -> Dominance {
         let blocks = ctx.region(region).blocks();
         let Some(&entry) = blocks.first() else {
-            return Dominance { rpo: vec![], idom: HashMap::new(), entry: None };
+            return Dominance {
+                rpo: vec![],
+                idom: HashMap::new(),
+                entry: None,
+            };
         };
 
         // Successors of a block are the successors of its terminator.
@@ -104,7 +108,11 @@ impl Dominance {
                 }
             }
         }
-        Dominance { rpo, idom, entry: Some(entry) }
+        Dominance {
+            rpo,
+            idom,
+            entry: Some(entry),
+        }
     }
 
     /// Whether block `a` dominates block `b`. Unreachable blocks dominate
@@ -113,7 +121,9 @@ impl Dominance {
         if a == b {
             return true;
         }
-        let Some(entry) = self.entry else { return false };
+        let Some(entry) = self.entry else {
+            return false;
+        };
         if !self.idom.contains_key(&b) || !self.idom.contains_key(&a) {
             return false;
         }

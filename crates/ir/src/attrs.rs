@@ -5,8 +5,8 @@
 //! the enum is cheap to clone for the sizes that occur in practice.
 
 use crate::types::TypeId;
-use td_support::Symbol;
 use std::fmt;
+use td_support::Symbol;
 
 /// A float wrapper with total equality/hashing via its bit pattern, so
 /// [`Attribute`] can be `Eq + Hash` (needed by CSE and the canonicalizer).

@@ -42,21 +42,43 @@ pub struct OpBuilder<'c> {
 impl<'c> OpBuilder<'c> {
     /// Builder inserting at the end of `block`.
     pub fn at_end(ctx: &'c mut Context, block: BlockId) -> Self {
-        OpBuilder { ctx, insert: InsertPoint::AtEnd(block), location: Location::Unknown }
+        OpBuilder {
+            ctx,
+            insert: InsertPoint::AtEnd(block),
+            location: Location::Unknown,
+        }
     }
 
     /// Builder inserting immediately before `op`.
     pub fn before(ctx: &'c mut Context, op: OpId) -> Self {
-        let block = ctx.op(op).parent().expect("cannot insert before a detached op");
-        let pos = ctx.op_position(block, op).expect("op missing from parent block");
-        OpBuilder { ctx, insert: InsertPoint::At(block, pos), location: Location::Unknown }
+        let block = ctx
+            .op(op)
+            .parent()
+            .expect("cannot insert before a detached op");
+        let pos = ctx
+            .op_position(block, op)
+            .expect("op missing from parent block");
+        OpBuilder {
+            ctx,
+            insert: InsertPoint::At(block, pos),
+            location: Location::Unknown,
+        }
     }
 
     /// Builder inserting immediately after `op`.
     pub fn after(ctx: &'c mut Context, op: OpId) -> Self {
-        let block = ctx.op(op).parent().expect("cannot insert after a detached op");
-        let pos = ctx.op_position(block, op).expect("op missing from parent block");
-        OpBuilder { ctx, insert: InsertPoint::At(block, pos + 1), location: Location::Unknown }
+        let block = ctx
+            .op(op)
+            .parent()
+            .expect("cannot insert after a detached op");
+        let pos = ctx
+            .op_position(block, op)
+            .expect("op missing from parent block");
+        OpBuilder {
+            ctx,
+            insert: InsertPoint::At(block, pos + 1),
+            location: Location::Unknown,
+        }
     }
 
     /// Access to the underlying context.
@@ -199,7 +221,6 @@ impl OpUnderConstruction<'_, '_> {
         self.builder.insert(op);
         op
     }
-
 }
 
 #[cfg(test)]

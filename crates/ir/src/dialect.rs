@@ -9,8 +9,8 @@
 //! tool does not know about.
 
 use crate::ir::{Context, OpId};
-use td_support::{Diagnostic, Symbol};
 use std::collections::HashMap;
+use td_support::{Diagnostic, Symbol};
 
 /// Bit-set of operation traits.
 ///
@@ -94,7 +94,13 @@ pub struct OpSpec {
 impl OpSpec {
     /// Creates a minimal spec with no traits and no hooks.
     pub fn new(name: &str, summary: &'static str) -> OpSpec {
-        OpSpec { name: Symbol::new(name), summary, traits: OpTraits::NONE, verify: None, fold: None }
+        OpSpec {
+            name: Symbol::new(name),
+            summary,
+            traits: OpTraits::NONE,
+            verify: None,
+            fold: None,
+        }
     }
 
     /// Adds traits (builder-style).
@@ -163,7 +169,10 @@ impl DialectRegistry {
 
     /// Traits of an op kind (empty for unregistered ops).
     pub fn traits_of(&self, name: Symbol) -> OpTraits {
-        self.specs.get(&name).map(|s| s.traits).unwrap_or(OpTraits::NONE)
+        self.specs
+            .get(&name)
+            .map(|s| s.traits)
+            .unwrap_or(OpTraits::NONE)
     }
 
     /// Whether the op kind is registered.

@@ -17,8 +17,8 @@
 use crate::attrs::Attribute;
 use crate::dialect::DialectRegistry;
 use crate::types::{TypeId, TypeKind, TypeStore};
-use td_support::{Arena, Idx, Location, Symbol};
 use std::collections::HashMap;
+use td_support::{Arena, Idx, Location, Symbol};
 
 /// Id of an operation.
 pub type OpId = Idx<OpData>;
@@ -110,7 +110,10 @@ impl OpData {
     }
     /// Looks up an attribute by name.
     pub fn attr(&self, name: &str) -> Option<&Attribute> {
-        self.attributes.iter().find(|(k, _)| k.as_str() == name).map(|(_, v)| v)
+        self.attributes
+            .iter()
+            .find(|(k, _)| k.as_str() == name)
+            .map(|(_, v)| v)
     }
 }
 
@@ -330,13 +333,21 @@ impl Context {
             .map(|(index, ty)| {
                 self.values.alloc(ValueData {
                     ty,
-                    def: ValueDef::OpResult { op, index: index as u32 },
+                    def: ValueDef::OpResult {
+                        op,
+                        index: index as u32,
+                    },
                     uses: Vec::new(),
                 })
             })
             .collect();
         let regions: Vec<RegionId> = (0..num_regions)
-            .map(|_| self.regions.alloc(RegionData { blocks: Vec::new(), parent: Some(op) }))
+            .map(|_| {
+                self.regions.alloc(RegionData {
+                    blocks: Vec::new(),
+                    parent: Some(op),
+                })
+            })
             .collect();
         for (index, &operand) in operands.iter().enumerate() {
             self.values[operand].uses.push((op, index as u32));
@@ -369,7 +380,10 @@ impl Context {
             .map(|(index, &ty)| {
                 self.values.alloc(ValueData {
                     ty,
-                    def: ValueDef::BlockArg { block, index: index as u32 },
+                    def: ValueDef::BlockArg {
+                        block,
+                        index: index as u32,
+                    },
                     uses: Vec::new(),
                 })
             })
@@ -382,8 +396,11 @@ impl Context {
     /// Adds an extra argument to an existing block, returning the new value.
     pub fn add_block_arg(&mut self, block: BlockId, ty: TypeId) -> ValueId {
         let index = self.blocks[block].args.len() as u32;
-        let value =
-            self.values.alloc(ValueData { ty, def: ValueDef::BlockArg { block, index }, uses: vec![] });
+        let value = self.values.alloc(ValueData {
+            ty,
+            def: ValueDef::BlockArg { block, index },
+            uses: vec![],
+        });
         self.blocks[block].args.push(value);
         value
     }
@@ -405,7 +422,10 @@ impl Context {
 
     /// Inserts a detached op at `index` within a block.
     pub fn insert_op(&mut self, block: BlockId, index: usize, op: OpId) {
-        assert!(self.ops[op].parent.is_none(), "op {op:?} is already attached");
+        assert!(
+            self.ops[op].parent.is_none(),
+            "op {op:?} is already attached"
+        );
         self.blocks[block].ops.insert(index, op);
         self.ops[op].parent = Some(block);
     }
@@ -413,7 +433,9 @@ impl Context {
     /// Detaches an op from its block without erasing it.
     pub fn detach_op(&mut self, op: OpId) {
         if let Some(block) = self.ops[op].parent.take() {
-            let pos = self.op_position(block, op).expect("op missing from parent block list");
+            let pos = self
+                .op_position(block, op)
+                .expect("op missing from parent block list");
             self.blocks[block].ops.remove(pos);
         }
     }
@@ -423,7 +445,9 @@ impl Context {
     pub fn move_op_before(&mut self, op: OpId, before: OpId) {
         self.detach_op(op);
         let block = self.ops[before].parent.expect("`before` op is detached");
-        let pos = self.op_position(block, before).expect("`before` missing from block");
+        let pos = self
+            .op_position(block, before)
+            .expect("`before` missing from block");
         self.insert_op(block, pos, op);
     }
 
@@ -431,7 +455,9 @@ impl Context {
     pub fn move_op_after(&mut self, op: OpId, after: OpId) {
         self.detach_op(op);
         let block = self.ops[after].parent.expect("`after` op is detached");
-        let pos = self.op_position(block, after).expect("`after` missing from block");
+        let pos = self
+            .op_position(block, after)
+            .expect("`after` missing from block");
         self.insert_op(block, pos + 1, op);
     }
 
@@ -450,7 +476,10 @@ impl Context {
             return;
         }
         let uses = &mut self.values[old].uses;
-        if let Some(pos) = uses.iter().position(|&(o, i)| o == op && i as usize == index) {
+        if let Some(pos) = uses
+            .iter()
+            .position(|&(o, i)| o == op && i as usize == index)
+        {
             uses.swap_remove(pos);
         }
         self.values[new_value].uses.push((op, index as u32));
@@ -525,8 +554,10 @@ impl Context {
         let operands = self.ops[op].operands.clone();
         for (index, operand) in operands.into_iter().enumerate() {
             if let Some(value) = self.values.get_mut(operand) {
-                if let Some(pos) =
-                    value.uses.iter().position(|&(o, i)| o == op && i as usize == index)
+                if let Some(pos) = value
+                    .uses
+                    .iter()
+                    .position(|&(o, i)| o == op && i as usize == index)
                 {
                     value.uses.swap_remove(pos);
                 }
@@ -537,12 +568,14 @@ impl Context {
         // Erase result values.
         let results = self.ops[op].results.clone();
         for result in results {
-            let still_used = self.values[result].uses.iter().any(|&(user, _)| self.ops.contains(user));
+            let still_used = self.values[result]
+                .uses
+                .iter()
+                .any(|&(user, _)| self.ops.contains(user));
             assert!(
                 !still_used,
                 "erasing op {:?} ({}) whose result still has live uses",
-                op,
-                self.ops[op].name
+                op, self.ops[op].name
             );
             self.values.erase(result);
         }
@@ -630,7 +663,12 @@ impl Context {
     pub fn sole_block(&self, op: OpId, index: usize) -> BlockId {
         let region = self.ops[op].regions[index];
         let blocks = &self.regions[region].blocks;
-        assert_eq!(blocks.len(), 1, "expected a single-block region on {}", self.ops[op].name);
+        assert_eq!(
+            blocks.len(),
+            1,
+            "expected a single-block region on {}",
+            self.ops[op].name
+        );
         blocks[0]
     }
 
@@ -683,10 +721,12 @@ impl Context {
     /// to remap handles.
     pub fn clone_op(&mut self, op: OpId, value_map: &mut HashMap<ValueId, ValueId>) -> OpId {
         let data = self.ops[op].clone();
-        let operands: Vec<ValueId> =
-            data.operands.iter().map(|v| *value_map.get(v).unwrap_or(v)).collect();
-        let result_types: Vec<TypeId> =
-            data.results.iter().map(|&r| self.values[r].ty).collect();
+        let operands: Vec<ValueId> = data
+            .operands
+            .iter()
+            .map(|v| *value_map.get(v).unwrap_or(v))
+            .collect();
+        let result_types: Vec<TypeId> = data.results.iter().map(|&r| self.values[r].ty).collect();
         let clone = self.create_op(
             data.location.clone(),
             data.name,
@@ -701,14 +741,20 @@ impl Context {
         // Clone regions.
         let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
         for &region in &data.regions {
-            let new_region = self.regions.alloc(RegionData { blocks: vec![], parent: Some(clone) });
+            let new_region = self.regions.alloc(RegionData {
+                blocks: vec![],
+                parent: Some(clone),
+            });
             self.ops[clone].regions.push(new_region);
             // Pass 1: create blocks and arguments so forward branch targets
             // and cross-block value uses resolve.
             let blocks = self.regions[region].blocks.clone();
             for &block in &blocks {
-                let arg_types: Vec<TypeId> =
-                    self.blocks[block].args.iter().map(|&a| self.values[a].ty).collect();
+                let arg_types: Vec<TypeId> = self.blocks[block]
+                    .args
+                    .iter()
+                    .map(|&a| self.values[a].ty)
+                    .collect();
                 let new_block = self.append_block(new_region, &arg_types);
                 block_map.insert(block, new_block);
                 let old_args = self.blocks[block].args.clone();
@@ -725,8 +771,10 @@ impl Context {
                     let nested_clone = self.clone_op(nested, value_map);
                     // Remap successors through the accumulated block map.
                     let succ = self.ops[nested].successors.clone();
-                    self.ops[nested_clone].successors =
-                        succ.iter().map(|b| *block_map.get(b).unwrap_or(b)).collect();
+                    self.ops[nested_clone].successors = succ
+                        .iter()
+                        .map(|b| *block_map.get(b).unwrap_or(b))
+                        .collect();
                     self.append_op(new_block, nested_clone);
                 }
             }
@@ -774,13 +822,34 @@ mod tests {
     fn use_lists_track_operands() {
         let (mut ctx, _m, body) = ctx_with_module();
         let i32t = ctx.i32_type();
-        let a = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![i32t], vec![], 0);
-        let b = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![i32t], vec![], 0);
+        let a = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![i32t],
+            vec![],
+            0,
+        );
+        let b = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![i32t],
+            vec![],
+            0,
+        );
         ctx.append_op(body, a);
         ctx.append_op(body, b);
         let va = ctx.op(a).results()[0];
         let vb = ctx.op(b).results()[0];
-        let add = ctx.create_op(Location::unknown(), "arith.addi", vec![va, va], vec![i32t], vec![], 0);
+        let add = ctx.create_op(
+            Location::unknown(),
+            "arith.addi",
+            vec![va, va],
+            vec![i32t],
+            vec![],
+            0,
+        );
         ctx.append_op(body, add);
         assert_eq!(ctx.uses(va).len(), 2);
         ctx.set_operand(add, 1, vb);
@@ -792,14 +861,35 @@ mod tests {
     fn rauw_moves_all_uses() {
         let (mut ctx, _m, body) = ctx_with_module();
         let i32t = ctx.i32_type();
-        let a = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![i32t], vec![], 0);
-        let b = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![i32t], vec![], 0);
+        let a = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![i32t],
+            vec![],
+            0,
+        );
+        let b = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![i32t],
+            vec![],
+            0,
+        );
         ctx.append_op(body, a);
         ctx.append_op(body, b);
         let va = ctx.op(a).results()[0];
         let vb = ctx.op(b).results()[0];
         let u1 = ctx.create_op(Location::unknown(), "test.use", vec![va], vec![], vec![], 0);
-        let u2 = ctx.create_op(Location::unknown(), "test.use", vec![va, va], vec![], vec![], 0);
+        let u2 = ctx.create_op(
+            Location::unknown(),
+            "test.use",
+            vec![va, va],
+            vec![],
+            vec![],
+            0,
+        );
         ctx.append_op(body, u1);
         ctx.append_op(body, u2);
         ctx.replace_all_uses(va, vb);
@@ -812,7 +902,14 @@ mod tests {
     fn erase_op_detects_stale_ids() {
         let (mut ctx, _m, body) = ctx_with_module();
         let i32t = ctx.i32_type();
-        let a = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![i32t], vec![], 0);
+        let a = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![i32t],
+            vec![],
+            0,
+        );
         ctx.append_op(body, a);
         ctx.erase_op(a);
         assert!(!ctx.is_live(a));
@@ -824,7 +921,14 @@ mod tests {
     fn erase_op_with_uses_panics() {
         let (mut ctx, _m, body) = ctx_with_module();
         let i32t = ctx.i32_type();
-        let a = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![i32t], vec![], 0);
+        let a = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![i32t],
+            vec![],
+            0,
+        );
         ctx.append_op(body, a);
         let va = ctx.op(a).results()[0];
         let u = ctx.create_op(Location::unknown(), "test.use", vec![va], vec![], vec![], 0);
@@ -835,12 +939,26 @@ mod tests {
     #[test]
     fn erase_recursively_erases_nested() {
         let (mut ctx, _m, body) = ctx_with_module();
-        let outer = ctx.create_op(Location::unknown(), "scf.execute_region", vec![], vec![], vec![], 1);
+        let outer = ctx.create_op(
+            Location::unknown(),
+            "scf.execute_region",
+            vec![],
+            vec![],
+            vec![],
+            1,
+        );
         ctx.append_op(body, outer);
         let region = ctx.op(outer).regions()[0];
         let inner_block = ctx.append_block(region, &[]);
         let i32t = ctx.i32_type();
-        let c = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![i32t], vec![], 0);
+        let c = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![i32t],
+            vec![],
+            0,
+        );
         ctx.append_op(inner_block, c);
         let before = ctx.num_ops();
         ctx.erase_op(outer);
@@ -851,11 +969,25 @@ mod tests {
     #[test]
     fn ancestors_and_walk() {
         let (mut ctx, module, body) = ctx_with_module();
-        let outer = ctx.create_op(Location::unknown(), "scf.execute_region", vec![], vec![], vec![], 1);
+        let outer = ctx.create_op(
+            Location::unknown(),
+            "scf.execute_region",
+            vec![],
+            vec![],
+            vec![],
+            1,
+        );
         ctx.append_op(body, outer);
         let region = ctx.op(outer).regions()[0];
         let inner_block = ctx.append_block(region, &[]);
-        let c = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![], vec![], 0);
+        let c = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![],
+            vec![],
+            0,
+        );
         ctx.append_op(inner_block, c);
         assert_eq!(ctx.ancestors(c), vec![outer, module]);
         assert!(ctx.is_proper_ancestor(module, c));
@@ -890,7 +1022,14 @@ mod tests {
         let region = ctx.op(outer).regions()[0];
         let block = ctx.append_block(region, &[i32t]);
         let arg = ctx.block(block).args()[0];
-        let use_op = ctx.create_op(Location::unknown(), "test.use", vec![arg], vec![i32t], vec![], 0);
+        let use_op = ctx.create_op(
+            Location::unknown(),
+            "test.use",
+            vec![arg],
+            vec![i32t],
+            vec![],
+            0,
+        );
         ctx.append_op(block, use_op);
         let mut map = HashMap::new();
         let clone = ctx.clone_op(outer, &mut map);

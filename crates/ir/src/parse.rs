@@ -8,8 +8,8 @@
 use crate::attrs::Attribute;
 use crate::ir::{BlockId, Context, OpId, RegionId, ValueId};
 use crate::types::{Extent, TypeId, TypeKind};
-use td_support::{Diagnostic, Location, Symbol};
 use std::collections::HashMap;
+use td_support::{Diagnostic, Location, Symbol};
 
 /// Parses a top-level module (either `module { ... }` or a bare list of
 /// operations wrapped in an implicit module).
@@ -98,7 +98,12 @@ struct Lexer<'s> {
 
 impl<'s> Lexer<'s> {
     fn new(src: &'s str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn location(&self) -> Location {
@@ -188,9 +193,9 @@ impl<'s> Lexer<'s> {
                     break;
                 }
             }
-            let mut value: f64 = text
-                .parse()
-                .map_err(|_| Diagnostic::error(self.location(), format!("invalid float `{text}`")))?;
+            let mut value: f64 = text.parse().map_err(|_| {
+                Diagnostic::error(self.location(), format!("invalid float `{text}`"))
+            })?;
             if negative {
                 value = -value;
             }
@@ -198,9 +203,9 @@ impl<'s> Lexer<'s> {
         } else {
             // Parse via i128 so `-9223372036854775808` (i64::MIN, used as
             // the dynamic-marker sentinel) round-trips.
-            let mut wide: i128 = text
-                .parse()
-                .map_err(|_| Diagnostic::error(self.location(), format!("invalid integer `{text}`")))?;
+            let mut wide: i128 = text.parse().map_err(|_| {
+                Diagnostic::error(self.location(), format!("invalid integer `{text}`"))
+            })?;
             if negative {
                 wide = -wide;
             }
@@ -312,9 +317,7 @@ impl<'s> Lexer<'s> {
                             }
                         },
                         Some(c) => s.push(c as char),
-                        None => {
-                            return Err(Diagnostic::error(loc, "unterminated string literal"))
-                        }
+                        None => return Err(Diagnostic::error(loc, "unterminated string literal")),
                     }
                 }
                 Tok::Str(s)
@@ -456,7 +459,10 @@ impl<'c, 's> Parser<'c, 's> {
         let (t, loc) = self.next()?;
         match t {
             Tok::Ident(s) => Ok((s, loc)),
-            other => Err(Diagnostic::error(loc, format!("expected identifier, found {other}"))),
+            other => Err(Diagnostic::error(
+                loc,
+                format!("expected identifier, found {other}"),
+            )),
         }
     }
 
@@ -465,16 +471,27 @@ impl<'c, 's> Parser<'c, 's> {
         if t == Tok::Eof {
             Ok(())
         } else {
-            Err(Diagnostic::error(loc, format!("expected end of input, found {t}")))
+            Err(Diagnostic::error(
+                loc,
+                format!("expected end of input, found {t}"),
+            ))
         }
     }
 
     // ----- scoping ---------------------------------------------------------
 
-    fn define_value(&mut self, name: &str, value: ValueId, loc: &Location) -> Result<(), Diagnostic> {
+    fn define_value(
+        &mut self,
+        name: &str,
+        value: ValueId,
+        loc: &Location,
+    ) -> Result<(), Diagnostic> {
         let scope = self.scopes.last_mut().expect("scope stack never empty");
         if scope.insert(name.to_owned(), value).is_some() {
-            return Err(Diagnostic::error(loc.clone(), format!("redefinition of value %{name}")));
+            return Err(Diagnostic::error(
+                loc.clone(),
+                format!("redefinition of value %{name}"),
+            ));
         }
         Ok(())
     }
@@ -485,7 +502,10 @@ impl<'c, 's> Parser<'c, 's> {
                 return Ok(v);
             }
         }
-        Err(Diagnostic::error(loc.clone(), format!("use of undefined value %{name}")))
+        Err(Diagnostic::error(
+            loc.clone(),
+            format!("use of undefined value %{name}"),
+        ))
     }
 
     // ----- types -----------------------------------------------------------
@@ -514,7 +534,10 @@ impl<'c, 's> Parser<'c, 's> {
                 let (name, loc) = self.expect_ident()?;
                 self.parse_dialect_type(&name, loc)
             }
-            other => Err(Diagnostic::error(loc, format!("expected type, found {other}"))),
+            other => Err(Diagnostic::error(
+                loc,
+                format!("expected type, found {other}"),
+            )),
         }
     }
 
@@ -526,7 +549,10 @@ impl<'c, 's> Parser<'c, 's> {
             "none" => Ok(self.ctx.intern_type(TypeKind::None)),
             "memref" => {
                 self.expect(Tok::Less)?;
-                assert!(self.peeked.is_none(), "dimension lexing needs an empty lookahead");
+                assert!(
+                    self.peeked.is_none(),
+                    "dimension lexing needs an empty lookahead"
+                );
                 let shape = self.lexer.lex_dimensions();
                 let element = self.parse_type()?;
                 let (mut offset, mut strides) = (Extent::Static(0), Vec::new());
@@ -556,11 +582,19 @@ impl<'c, 's> Parser<'c, 's> {
                     self.expect(Tok::Greater)?;
                 }
                 self.expect(Tok::Greater)?;
-                Ok(self.ctx.intern_type(TypeKind::MemRef { shape, element, offset, strides }))
+                Ok(self.ctx.intern_type(TypeKind::MemRef {
+                    shape,
+                    element,
+                    offset,
+                    strides,
+                }))
             }
             "tensor" => {
                 self.expect(Tok::Less)?;
-                assert!(self.peeked.is_none(), "dimension lexing needs an empty lookahead");
+                assert!(
+                    self.peeked.is_none(),
+                    "dimension lexing needs an empty lookahead"
+                );
                 let shape = self.lexer.lex_dimensions();
                 let element = self.parse_type()?;
                 self.expect(Tok::Greater)?;
@@ -612,7 +646,9 @@ impl<'c, 's> Parser<'c, 's> {
                     }
                 };
                 self.expect(Tok::Greater)?;
-                Ok(self.ctx.intern_type(TypeKind::TransformOp(Symbol::new(&opname))))
+                Ok(self
+                    .ctx
+                    .intern_type(TypeKind::TransformOp(Symbol::new(&opname))))
             }
             _ => {
                 let _ = loc;
@@ -626,7 +662,10 @@ impl<'c, 's> Parser<'c, 's> {
         match t {
             Tok::Int(v) => Ok(Extent::Static(v)),
             Tok::Question => Ok(Extent::Dynamic),
-            other => Err(Diagnostic::error(loc, format!("expected extent, found {other}"))),
+            other => Err(Diagnostic::error(
+                loc,
+                format!("expected extent, found {other}"),
+            )),
         }
     }
 
@@ -740,7 +779,10 @@ impl<'c, 's> Parser<'c, 's> {
                 match t {
                     Tok::Int(v) => shape.push(v),
                     other => {
-                        return Err(Diagnostic::error(loc, format!("expected int, found {other}")))
+                        return Err(Diagnostic::error(
+                            loc,
+                            format!("expected int, found {other}"),
+                        ))
                     }
                 }
                 if !self.eat(&Tok::Comma)? {
@@ -798,7 +840,11 @@ impl<'c, 's> Parser<'c, 's> {
                     ))
                 }
             };
-            let value = if self.eat(&Tok::Equal)? { self.parse_attribute()? } else { Attribute::Unit };
+            let value = if self.eat(&Tok::Equal)? {
+                self.parse_attribute()?
+            } else {
+                Attribute::Unit
+            };
             attrs.push((Symbol::new(&key), value));
             if !self.eat(&Tok::Comma)? {
                 break;
@@ -837,7 +883,9 @@ impl<'c, 's> Parser<'c, 's> {
                 attrs.push((Symbol::new("sym_name"), Attribute::String(name)));
             }
         }
-        let module = self.ctx.create_op(loc, "builtin.module", vec![], vec![], attrs, 1);
+        let module = self
+            .ctx
+            .create_op(loc, "builtin.module", vec![], vec![], attrs, 1);
         let region = self.ctx.op(module).regions()[0];
         let body = self.ctx.append_block(region, &[]);
         self.expect(Tok::LBrace)?;
@@ -870,23 +918,28 @@ impl<'c, 's> Parser<'c, 's> {
 
         let op = match self.peek()?.clone() {
             Tok::Str(_) => self.parse_generic_op()?,
-            Tok::Ident(name) => match name.as_str() {
-                "module" => self.parse_module_op()?,
-                "func.func" | "transform.named_sequence" => self.parse_function_like(&name)?,
-                "arith.constant" => self.parse_arith_constant()?,
-                "func.return" | "scf.yield" => self.parse_bare_with_operands(&name)?,
-                "scf.for" => self.parse_scf_for()?,
-                other => {
-                    let (_, loc) = self.next()?;
-                    return Err(Diagnostic::error(
+            Tok::Ident(name) => {
+                match name.as_str() {
+                    "module" => self.parse_module_op()?,
+                    "func.func" | "transform.named_sequence" => self.parse_function_like(&name)?,
+                    "arith.constant" => self.parse_arith_constant()?,
+                    "func.return" | "scf.yield" => self.parse_bare_with_operands(&name)?,
+                    "scf.for" => self.parse_scf_for()?,
+                    other => {
+                        let (_, loc) = self.next()?;
+                        return Err(Diagnostic::error(
                         loc,
                         format!("`{other}` has no custom syntax; use the generic form \"{other}\"(...)"),
                     ));
+                    }
                 }
-            },
+            }
             other => {
                 let (_, loc) = self.next()?;
-                return Err(Diagnostic::error(loc, format!("expected operation, found {other}")));
+                return Err(Diagnostic::error(
+                    loc,
+                    format!("expected operation, found {other}"),
+                ));
             }
         };
 
@@ -965,14 +1018,16 @@ impl<'c, 's> Parser<'c, 's> {
         for (n, oloc) in &operand_names {
             operands.push(self.lookup_value(n, oloc)?);
         }
-        let op = self.ctx.create_op(loc.clone(), name.as_str(), operands, vec![], vec![], 0);
+        let op = self
+            .ctx
+            .create_op(loc.clone(), name.as_str(), operands, vec![], vec![], 0);
         if has_regions {
             self.next()?; // consume '('
             loop {
-                let region = self
-                    .ctx
-                    .regions
-                    .alloc(crate::ir::RegionData { blocks: vec![], parent: Some(op) });
+                let region = self.ctx.regions.alloc(crate::ir::RegionData {
+                    blocks: vec![],
+                    parent: Some(op),
+                });
                 self.ctx.ops[op].regions.push(region);
                 self.parse_region_body(region, &mut Vec::new())?;
                 if !self.eat(&Tok::Comma)? {
@@ -1025,7 +1080,10 @@ impl<'c, 's> Parser<'c, 's> {
         for (index, ty) in result_types.into_iter().enumerate() {
             let value = self.ctx.values.alloc(crate::ir::ValueData {
                 ty,
-                def: crate::ir::ValueDef::OpResult { op, index: index as u32 },
+                def: crate::ir::ValueDef::OpResult {
+                    op,
+                    index: index as u32,
+                },
                 uses: vec![],
             });
             self.ctx.ops[op].results.push(value);
@@ -1156,7 +1214,10 @@ impl<'c, 's> Parser<'c, 's> {
         let sym = match t {
             Tok::AtId(s) => s,
             other => {
-                return Err(Diagnostic::error(nloc, format!("expected @symbol, found {other}")))
+                return Err(Diagnostic::error(
+                    nloc,
+                    format!("expected @symbol, found {other}"),
+                ))
             }
         };
         self.expect(Tok::LParen)?;
@@ -1188,9 +1249,10 @@ impl<'c, 's> Parser<'c, 's> {
         if self.eat(&Tok::Arrow)? {
             result_types = self.parse_result_types()?;
         }
-        let fty = self
-            .ctx
-            .intern_type(TypeKind::Function { inputs: arg_types.clone(), results: result_types });
+        let fty = self.ctx.intern_type(TypeKind::Function {
+            inputs: arg_types.clone(),
+            results: result_types,
+        });
         let attrs = vec![
             (Symbol::new("sym_name"), Attribute::String(sym)),
             (Symbol::new("function_type"), Attribute::Type(fty)),
@@ -1307,7 +1369,9 @@ impl<'c, 's> Parser<'c, 's> {
             return Err(Diagnostic::error(kwloc, "expected `step`"));
         }
         let step = self.parse_value_use()?;
-        let op = self.ctx.create_op(loc, "scf.for", vec![lb, ub, step], vec![], vec![], 1);
+        let op = self
+            .ctx
+            .create_op(loc, "scf.for", vec![lb, ub, step], vec![], vec![], 1);
         let region = self.ctx.op(op).regions()[0];
         let index = self.ctx.index_type();
         let block = self.ctx.append_block(region, &[index]);
@@ -1327,8 +1391,14 @@ impl<'c, 's> Parser<'c, 's> {
             None => true,
         };
         if needs_yield {
-            let yld =
-                self.ctx.create_op(Location::name("scf.yield"), "scf.yield", vec![], vec![], vec![], 0);
+            let yld = self.ctx.create_op(
+                Location::name("scf.yield"),
+                "scf.yield",
+                vec![],
+                vec![],
+                vec![],
+                0,
+            );
             self.ctx.append_op(block, yld);
         }
         // Optional trailing attribute dict.
@@ -1343,7 +1413,10 @@ impl<'c, 's> Parser<'c, 's> {
         let (t, loc) = self.next()?;
         match t {
             Tok::ValueId(n) => self.lookup_value(&n, &loc),
-            other => Err(Diagnostic::error(loc, format!("expected value, found {other}"))),
+            other => Err(Diagnostic::error(
+                loc,
+                format!("expected value, found {other}"),
+            )),
         }
     }
 }
@@ -1368,7 +1441,10 @@ mod tests {
 }"#,
         );
         assert!(text.contains("arith.constant 4 : index"), "got:\n{text}");
-        assert!(text.contains("\"test.use\"(%0) : (index) -> ()"), "got:\n{text}");
+        assert!(
+            text.contains("\"test.use\"(%0) : (index) -> ()"),
+            "got:\n{text}"
+        );
     }
 
     #[test]
@@ -1450,7 +1526,10 @@ mod tests {
             "func.func @cfg(%c: i1) {",
             "\"test.wrap\"() ({\n ^entry(%c: i1):",
         );
-        let src = src.replace("func.return\n  }", "\"test.done\"() : () -> ()\n  }) : () -> ()");
+        let src = src.replace(
+            "func.return\n  }",
+            "\"test.done\"() : () -> ()\n  }) : () -> ()",
+        );
         let mut ctx = Context::new();
         let module = parse_module(&mut ctx, &src).expect("parse failed");
         let text = print_op(&ctx, module);
@@ -1482,7 +1561,10 @@ mod tests {
   "test.use"(%w) : (tensor<2x2xf32>) -> ()
 }"#;
         let text = roundtrip(src);
-        assert!(text.contains("dense<shape = [2, 2], values = [1.0, 2.0, 3.5, 4.0]>"), "{text}");
+        assert!(
+            text.contains("dense<shape = [2, 2], values = [1.0, 2.0, 3.5, 4.0]>"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -1542,7 +1624,8 @@ mod tests {
     #[test]
     fn error_locations_are_line_accurate() {
         let mut ctx = Context::new();
-        let src = "module {\n  %a = arith.constant 1 : i32\n  %b = \"test.op\"(%zzz) : (i32) -> ()\n}";
+        let src =
+            "module {\n  %a = arith.constant 1 : i32\n  %b = \"test.op\"(%zzz) : (i32) -> ()\n}";
         let err = parse_module(&mut ctx, src).unwrap_err();
         let loc = err.location().to_string();
         assert!(loc.contains(":3:"), "error should point at line 3: {loc}");

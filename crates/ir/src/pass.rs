@@ -9,9 +9,9 @@
 
 use crate::ir::{Context, OpId};
 use crate::verify::verify;
-use td_support::{Diagnostic, Location};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+use td_support::{metrics, Diagnostic, Location};
 
 /// A compiler pass anchored at one operation.
 pub trait Pass {
@@ -77,13 +77,22 @@ impl PassManager {
     /// Stops at the first failing pass or verification failure.
     pub fn run(&mut self, ctx: &mut Context, target: OpId) -> Result<(), Diagnostic> {
         self.timings.clear();
+        let _run_span = metrics::span("pass_manager.run");
+        metrics::counter("pass_manager.runs", 1);
         for pass in &self.passes {
             let start = Instant::now();
             pass.run(ctx, target)?;
-            self.timings
-                .push(PassTiming { name: pass.name().to_owned(), duration: start.elapsed() });
+            let duration = start.elapsed();
+            metrics::timer_ns(&format!("pass.{}", pass.name()), duration.as_nanos());
+            metrics::counter("pass_manager.passes_run", 1);
+            self.timings.push(PassTiming {
+                name: pass.name().to_owned(),
+                duration,
+            });
             if self.verify_each {
-                if let Err(mut diags) = verify(ctx, target) {
+                metrics::counter("pass_manager.verifies", 1);
+                if let Err(mut diags) = metrics::time("pass_manager.verify", || verify(ctx, target))
+                {
                     let first = diags.remove(0);
                     return Err(Diagnostic::error(
                         first.location().clone(),
@@ -173,7 +182,9 @@ impl PassRegistry {
 
 impl std::fmt::Debug for PassRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PassRegistry").field("names", &self.names()).finish()
+        f.debug_struct("PassRegistry")
+            .field("names", &self.names())
+            .finish()
     }
 }
 
@@ -211,7 +222,10 @@ mod tests {
         let mut pm = PassManager::new();
         pm.add(Box::new(CountOps));
         pm.run(&mut ctx, module).unwrap();
-        assert_eq!(ctx.op(module).attr("test.op_count"), Some(&crate::attrs::Attribute::Int(0)));
+        assert_eq!(
+            ctx.op(module).attr("test.op_count"),
+            Some(&crate::attrs::Attribute::Int(0))
+        );
         assert_eq!(pm.timings().len(), 1);
         assert_eq!(pm.timings()[0].name, "count-ops");
     }
@@ -224,7 +238,11 @@ mod tests {
         pm.add(Box::new(AlwaysFails));
         pm.add(Box::new(CountOps));
         assert!(pm.run(&mut ctx, module).is_err());
-        assert_eq!(ctx.op(module).attr("test.op_count"), None, "second pass must not run");
+        assert_eq!(
+            ctx.op(module).attr("test.op_count"),
+            None,
+            "second pass must not run"
+        );
     }
 
     #[test]
@@ -235,6 +253,27 @@ mod tests {
         assert_eq!(pm.pass_names(), vec!["count-ops", "count-ops"]);
         let err = registry.parse_pipeline("count-ops,nope").unwrap_err();
         assert!(err.message().contains("unknown pass 'nope'"));
+    }
+
+    #[test]
+    fn run_emits_metrics_json() {
+        metrics::reset();
+        let mut ctx = Context::new();
+        let module = ctx.create_module(Location::unknown());
+        let mut pm = PassManager::new();
+        pm.add(Box::new(CountOps));
+        pm.add(Box::new(CountOps));
+        pm.run(&mut ctx, module).unwrap();
+        let snapshot = metrics::snapshot();
+        assert_eq!(snapshot.counter_value("pass_manager.runs"), Some(1));
+        assert_eq!(snapshot.counter_value("pass_manager.passes_run"), Some(2));
+        let stat = snapshot
+            .timer_stat("pass.count-ops")
+            .expect("per-pass timer recorded");
+        assert_eq!(stat.count, 2);
+        let json = snapshot.to_json();
+        assert!(json.contains("\"pass.count-ops\""), "dump: {json}");
+        assert!(json.contains("\"pass_manager.runs\":1"), "dump: {json}");
     }
 
     #[test]

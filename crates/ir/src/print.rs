@@ -59,7 +59,12 @@ fn write_type(ctx: &Context, ty: TypeId, out: &mut String) {
             out.push_str(") -> ");
             write_result_types(ctx, results, out);
         }
-        TypeKind::MemRef { shape, element, offset, strides } => {
+        TypeKind::MemRef {
+            shape,
+            element,
+            offset,
+            strides,
+        } => {
             out.push_str("memref<");
             for extent in shape {
                 write!(out, "{extent}x").unwrap();
@@ -217,7 +222,10 @@ impl<'c> Printer<'c> {
     }
 
     fn value_name(&self, value: ValueId) -> String {
-        self.value_names.get(&value).cloned().unwrap_or_else(|| "%<unnumbered>".to_owned())
+        self.value_names
+            .get(&value)
+            .cloned()
+            .unwrap_or_else(|| "%<unnumbered>".to_owned())
     }
 
     fn indent(&mut self, depth: usize) {
@@ -299,7 +307,12 @@ impl<'c> Printer<'c> {
         let result = self.ctx.op(op).results()[0];
         let result_name = self.value_name(result);
         write!(self.out, "{result_name} = arith.constant ").unwrap();
-        let value = self.ctx.op(op).attr("value").cloned().unwrap_or(Attribute::Unit);
+        let value = self
+            .ctx
+            .op(op)
+            .attr("value")
+            .cloned()
+            .unwrap_or(Attribute::Unit);
         write_attr(self.ctx, &value, &mut self.out);
         self.out.push_str(" : ");
         write_type(self.ctx, self.ctx.value_type(result), &mut self.out);
@@ -410,7 +423,11 @@ impl<'c> Printer<'c> {
                 if i > 0 {
                     self.out.push_str(", ");
                 }
-                let bn = self.block_names.get(&b).cloned().unwrap_or_else(|| "^<?>".to_owned());
+                let bn = self
+                    .block_names
+                    .get(&b)
+                    .cloned()
+                    .unwrap_or_else(|| "^<?>".to_owned());
                 self.out.push_str(&bn);
             }
             self.out.push(']');
@@ -488,8 +505,14 @@ mod tests {
         let v = b.const_index(4);
         b.op("test.use").operand(v).build();
         let text = print_op(&ctx, module);
-        assert!(text.contains("%0 = arith.constant 4 : index"), "got:\n{text}");
-        assert!(text.contains("\"test.use\"(%0) : (index) -> ()"), "got:\n{text}");
+        assert!(
+            text.contains("%0 = arith.constant 4 : index"),
+            "got:\n{text}"
+        );
+        assert!(
+            text.contains("\"test.use\"(%0) : (index) -> ()"),
+            "got:\n{text}"
+        );
     }
 
     #[test]
@@ -509,14 +532,20 @@ mod tests {
             offset: Extent::Dynamic,
             strides: vec![Extent::Static(64), Extent::Static(1)],
         });
-        assert_eq!(print_type(&ctx, strided), "memref<4x?xf32, strided<[64, 1], offset: ?>>");
+        assert_eq!(
+            print_type(&ctx, strided),
+            "memref<4x?xf32, strided<[64, 1], offset: ?>>"
+        );
     }
 
     #[test]
     fn prints_function_and_transform_types() {
         let mut ctx = Context::new();
         let i32t = ctx.i32_type();
-        let f = ctx.intern_type(TypeKind::Function { inputs: vec![i32t], results: vec![i32t] });
+        let f = ctx.intern_type(TypeKind::Function {
+            inputs: vec![i32t],
+            results: vec![i32t],
+        });
         assert_eq!(print_type(&ctx, f), "(i32) -> i32");
         let anyop = ctx.transform_any_op_type();
         assert_eq!(print_type(&ctx, anyop), "!transform.any_op");
@@ -529,12 +558,18 @@ mod tests {
         let ctx = Context::new();
         assert_eq!(print_attribute(&ctx, &Attribute::Int(-3)), "-3");
         assert_eq!(print_attribute(&ctx, &Attribute::float(1.5)), "1.5");
-        assert_eq!(print_attribute(&ctx, &Attribute::String("hi".into())), "\"hi\"");
+        assert_eq!(
+            print_attribute(&ctx, &Attribute::String("hi".into())),
+            "\"hi\""
+        );
         assert_eq!(
             print_attribute(&ctx, &Attribute::int_array([32, 8])),
             "[32, 8]"
         );
-        assert_eq!(print_attribute(&ctx, &Attribute::SymbolRef(Symbol::new("f"))), "@f");
+        assert_eq!(
+            print_attribute(&ctx, &Attribute::SymbolRef(Symbol::new("f"))),
+            "@f"
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@
 use crate::builder::OpBuilder;
 use crate::dialect::{FoldResult, OpTraits};
 use crate::ir::{Context, OpId, ValueId};
-use td_support::{Diagnostic, Symbol};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use td_support::{metrics, Diagnostic, Symbol};
 
 /// A structural change performed through a [`Rewriter`].
 #[derive(Clone, Debug, PartialEq)]
@@ -41,7 +41,10 @@ pub struct Rewriter<'c> {
 impl<'c> Rewriter<'c> {
     /// Creates a rewriter over `ctx`.
     pub fn new(ctx: &'c mut Context) -> Self {
-        Rewriter { ctx, events: Vec::new() }
+        Rewriter {
+            ctx,
+            events: Vec::new(),
+        }
     }
 
     /// Access to the underlying context (for matching and ad-hoc edits).
@@ -70,11 +73,7 @@ impl<'c> Rewriter<'c> {
     }
 
     /// Creates an op right before `anchor` and records the insertion.
-    pub fn create_before(
-        &mut self,
-        anchor: OpId,
-        f: impl FnOnce(&mut OpBuilder) -> OpId,
-    ) -> OpId {
+    pub fn create_before(&mut self, anchor: OpId, f: impl FnOnce(&mut OpBuilder) -> OpId) -> OpId {
         let mut builder = OpBuilder::before(self.ctx, anchor);
         let op = f(&mut builder);
         self.events.push(RewriteEvent::Inserted(op));
@@ -98,7 +97,10 @@ impl<'c> Rewriter<'c> {
             self.ctx.replace_all_uses(old, new);
         }
         self.ctx.erase_op(op);
-        self.events.push(RewriteEvent::Replaced { old: op, new_values });
+        self.events.push(RewriteEvent::Replaced {
+            old: op,
+            new_values,
+        });
     }
 
     /// Erases `op` (which must have no remaining uses of its results).
@@ -189,7 +191,9 @@ impl PatternSet {
 
 impl std::fmt::Debug for PatternSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PatternSet").field("patterns", &self.names()).finish()
+        f.debug_struct("PatternSet")
+            .field("patterns", &self.names())
+            .finish()
     }
 }
 
@@ -205,7 +209,10 @@ pub struct GreedyConfig {
 
 impl Default for GreedyConfig {
     fn default() -> Self {
-        GreedyConfig { max_iterations: 10, fold: true }
+        GreedyConfig {
+            max_iterations: 10,
+            fold: true,
+        }
     }
 }
 
@@ -233,35 +240,52 @@ pub fn apply_patterns_greedily(
     patterns: &PatternSet,
     config: GreedyConfig,
 ) -> Result<GreedyOutcome, Diagnostic> {
-    let mut outcome =
-        GreedyOutcome { changed: false, applications: 0, converged: false, events: Vec::new() };
+    let mut outcome = GreedyOutcome {
+        changed: false,
+        applications: 0,
+        converged: false,
+        events: Vec::new(),
+    };
+    let _greedy_span = metrics::span("rewrite.greedy");
     for _ in 0..config.max_iterations {
+        metrics::counter("rewrite.sweeps", 1);
         let mut worklist: Vec<OpId> = ctx.walk_nested(root);
         worklist.reverse();
         let mut changed_this_iteration = false;
         let mut rewriter = Rewriter::new(ctx);
         // Events already turned into worklist entries.
         let mut processed_events = 0;
+        // Ops popped once already this sweep: a second pop is a revisit
+        // caused by a re-enqueue (replacement users, insertions, folds).
+        let mut visited: HashSet<OpId> = HashSet::new();
         while let Some(op) = worklist.pop() {
             if !rewriter.ctx_ref().is_live(op) {
                 continue;
             }
+            if !visited.insert(op) {
+                metrics::counter("rewrite.worklist_revisits", 1);
+            }
             // Try the registered folder first.
             if config.fold {
-                if let Some(fold) =
-                    rewriter.ctx_ref().registry.spec(rewriter.ctx_ref().op(op).name).and_then(|s| s.fold)
+                if let Some(fold) = rewriter
+                    .ctx_ref()
+                    .registry
+                    .spec(rewriter.ctx_ref().op(op).name)
+                    .and_then(|s| s.fold)
                 {
                     match fold(rewriter.ctx(), op) {
                         FoldResult::Unchanged => {}
                         FoldResult::InPlace => {
                             changed_this_iteration = true;
                             outcome.applications += 1;
+                            metrics::counter("rewrite.folds", 1);
                             worklist.push(op);
                             continue;
                         }
                         FoldResult::Replace(values) => {
                             changed_this_iteration = true;
                             outcome.applications += 1;
+                            metrics::counter("rewrite.folds", 1);
                             rewriter.replace_op(op, values.clone());
                             processed_events = rewriter.events().len();
                             enqueue_affected(&mut worklist, &rewriter, &values);
@@ -274,6 +298,7 @@ pub fn apply_patterns_greedily(
             let name = rewriter.ctx_ref().op(op).name;
             for pattern in patterns.applicable(name) {
                 if pattern.match_and_rewrite(&mut rewriter, op)? {
+                    metrics::counter("rewrite.pattern_hits", 1);
                     changed_this_iteration = true;
                     outcome.applications += 1;
                     // Requeue everything the new events touched.
@@ -290,6 +315,7 @@ pub fn apply_patterns_greedily(
                     }
                     break;
                 }
+                metrics::counter("rewrite.pattern_misses", 1);
             }
         }
         outcome.events.extend(rewriter.take_events());
@@ -339,6 +365,7 @@ pub fn run_dce(ctx: &mut Context, root: OpId) -> usize {
         }
         erased += removed_this_round;
         if removed_this_round == 0 {
+            metrics::counter("rewrite.dce_erased", erased as u64);
             return erased;
         }
     }
@@ -369,13 +396,20 @@ pub fn run_cse(ctx: &mut Context, root: OpId) -> usize {
         if !ctx.op(op).regions().is_empty() {
             continue; // regions make structural equality subtle; skip
         }
-        let Some(block) = ctx.op(op).parent() else { continue };
+        let Some(block) = ctx.op(op).parent() else {
+            continue;
+        };
         let key = Key {
             block,
             name: ctx.op(op).name,
             operands: ctx.op(op).operands().to_vec(),
             attrs: ctx.op(op).attributes().to_vec(),
-            result_types: ctx.op(op).results().iter().map(|&r| ctx.value_type(r)).collect(),
+            result_types: ctx
+                .op(op)
+                .results()
+                .iter()
+                .map(|&r| ctx.value_type(r))
+                .collect(),
         };
         match seen.get(&key) {
             Some(&canonical) => {
@@ -392,6 +426,7 @@ pub fn run_cse(ctx: &mut Context, root: OpId) -> usize {
             }
         }
     }
+    metrics::counter("rewrite.cse_erased", erased as u64);
     erased
 }
 
@@ -402,13 +437,13 @@ mod tests {
     use crate::dialect::OpSpec;
     use crate::parse::parse_module;
 
-
     fn register(ctx: &mut Context) {
         ctx.registry.register(
             OpSpec::new("arith.constant", "constant")
                 .with_traits(OpTraits::PURE | OpTraits::CONSTANT_LIKE),
         );
-        ctx.registry.register(OpSpec::new("arith.addi", "add").with_traits(OpTraits::PURE));
+        ctx.registry
+            .register(OpSpec::new("arith.addi", "add").with_traits(OpTraits::PURE));
     }
 
     /// `x + 0 → x` for integer adds whose rhs is a zero constant.
@@ -420,13 +455,11 @@ mod tests {
         fn root_op(&self) -> Option<Symbol> {
             Some(Symbol::new("arith.addi"))
         }
-        fn match_and_rewrite(
-            &self,
-            rw: &mut Rewriter<'_>,
-            op: OpId,
-        ) -> Result<bool, Diagnostic> {
+        fn match_and_rewrite(&self, rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
             let rhs = rw.ctx_ref().op(op).operands()[1];
-            let Some(def) = rw.ctx_ref().defining_op(rhs) else { return Ok(false) };
+            let Some(def) = rw.ctx_ref().defining_op(rhs) else {
+                return Ok(false);
+            };
             if rw.ctx_ref().op(def).name.as_str() != "arith.constant" {
                 return Ok(false);
             }
@@ -462,8 +495,11 @@ mod tests {
         assert!(outcome.converged);
         assert_eq!(outcome.applications, 2);
         // Both adds are gone; the use now consumes %x directly.
-        let names: Vec<&str> =
-            ctx.walk_nested(module).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(module)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(!names.contains(&"arith.addi"), "{names:?}");
     }
 
@@ -548,6 +584,214 @@ mod tests {
         let ops = ctx.op(use_op).operands();
         assert_eq!(ops[0], ops[1], "identical constants merged");
         assert_ne!(ops[0], ops[2]);
+    }
+
+    /// `"test.mk_add"(x, z) → "arith.addi"(x, z)`: materializes a fresh op
+    /// via the rewriter so the driver sees an `Inserted` event.
+    struct ExpandMkAdd;
+    impl RewritePattern for ExpandMkAdd {
+        fn name(&self) -> &str {
+            "expand-mk-add"
+        }
+        fn root_op(&self) -> Option<Symbol> {
+            Some(Symbol::new("test.mk_add"))
+        }
+        fn match_and_rewrite(&self, rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+            let operands = rw.ctx_ref().op(op).operands().to_vec();
+            let result_ty = rw.ctx_ref().value_type(rw.ctx_ref().op(op).results()[0]);
+            let add = rw.create_before(op, |b| {
+                b.op("arith.addi")
+                    .operands(operands)
+                    .results(vec![result_ty])
+                    .build()
+            });
+            let new_value = rw.ctx_ref().op(add).results()[0];
+            rw.replace_op(op, vec![new_value]);
+            Ok(true)
+        }
+    }
+
+    /// Toggles a `parity` attribute `from → to` in place. Registering the
+    /// `0→1` and `1→0` instances together yields a pattern pair that never
+    /// reaches a fixpoint — each sweep undoes the previous one — which is
+    /// exactly what the max-sweep guard exists for.
+    struct Toggle {
+        from: i64,
+        to: i64,
+    }
+    impl RewritePattern for Toggle {
+        fn name(&self) -> &str {
+            "toggle-parity"
+        }
+        fn root_op(&self) -> Option<Symbol> {
+            Some(Symbol::new("test.ping"))
+        }
+        fn match_and_rewrite(&self, rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
+            if rw.ctx_ref().op(op).attr("parity") != Some(&Attribute::Int(self.from)) {
+                return Ok(false);
+            }
+            rw.ctx().set_attr(op, "parity", Attribute::Int(self.to));
+            Ok(true)
+        }
+    }
+
+    /// A replacement re-enqueues the users of the new values: the second
+    /// add only becomes foldable after the first is replaced, yet a single
+    /// sweep suffices — and the revisit is counted.
+    #[test]
+    fn replacement_reenqueues_users_within_one_sweep() {
+        metrics::reset();
+        let mut ctx = Context::new();
+        register(&mut ctx);
+        let module = parse_module(
+            &mut ctx,
+            r#"module {
+  %x = arith.constant 5 : i32
+  %z = arith.constant 0 : i32
+  %a = "arith.addi"(%x, %z) : (i32, i32) -> i32
+  %b = "arith.addi"(%a, %z) : (i32, i32) -> i32
+  "test.use"(%b) : (i32) -> ()
+}"#,
+        )
+        .unwrap();
+        let mut patterns = PatternSet::new();
+        patterns.add(Box::new(FoldAddZero));
+        let config = GreedyConfig {
+            max_iterations: 1,
+            fold: false,
+        };
+        let outcome = apply_patterns_greedily(&mut ctx, module, &patterns, config).unwrap();
+        assert!(outcome.changed);
+        assert_eq!(outcome.applications, 2, "both adds fold in a single sweep");
+        let names: Vec<&str> = ctx
+            .walk_nested(module)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
+        assert!(!names.contains(&"arith.addi"), "{names:?}");
+        let snapshot = metrics::snapshot();
+        assert!(
+            snapshot
+                .counter_value("rewrite.worklist_revisits")
+                .unwrap_or(0)
+                >= 1,
+            "re-enqueue of %b after %a's replacement must count as a revisit: {}",
+            snapshot.to_json()
+        );
+        assert_eq!(snapshot.counter_value("rewrite.pattern_hits"), Some(2));
+    }
+
+    /// An `Inserted` event lands the new op on the worklist: the addi that
+    /// `ExpandMkAdd` materializes is folded by `FoldAddZero` in the same
+    /// sweep.
+    #[test]
+    fn inserted_ops_are_enqueued_within_one_sweep() {
+        let mut ctx = Context::new();
+        register(&mut ctx);
+        let module = parse_module(
+            &mut ctx,
+            r#"module {
+  %x = arith.constant 5 : i32
+  %z = arith.constant 0 : i32
+  %a = "test.mk_add"(%x, %z) : (i32, i32) -> i32
+  "test.use"(%a) : (i32) -> ()
+}"#,
+        )
+        .unwrap();
+        let mut patterns = PatternSet::new();
+        patterns.add(Box::new(ExpandMkAdd));
+        patterns.add(Box::new(FoldAddZero));
+        let config = GreedyConfig {
+            max_iterations: 1,
+            fold: false,
+        };
+        let outcome = apply_patterns_greedily(&mut ctx, module, &patterns, config).unwrap();
+        assert_eq!(outcome.applications, 2, "expand then fold, one sweep");
+        assert!(outcome
+            .events
+            .iter()
+            .any(|e| matches!(e, RewriteEvent::Inserted(_))));
+        let names: Vec<&str> = ctx
+            .walk_nested(module)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
+        assert!(!names.contains(&"arith.addi"), "{names:?}");
+        assert!(!names.contains(&"test.mk_add"), "{names:?}");
+        // The use now consumes %x directly.
+        let use_op = ctx
+            .walk_nested(module)
+            .into_iter()
+            .find(|&o| ctx.op(o).name.as_str() == "test.use")
+            .unwrap();
+        let operand = ctx.op(use_op).operands()[0];
+        let def = ctx.defining_op(operand).unwrap();
+        assert_eq!(ctx.op(def).attr("value"), Some(&Attribute::Int(5)));
+    }
+
+    /// A ping-ponging pattern pair must terminate via the iteration budget
+    /// and report non-convergence instead of looping forever.
+    #[test]
+    fn max_sweeps_guard_stops_ping_pong() {
+        metrics::reset();
+        let mut ctx = Context::new();
+        register(&mut ctx);
+        let module = parse_module(
+            &mut ctx,
+            r#"module {
+  %p = "test.ping"() {parity = 0} : () -> i32
+  "test.use"(%p) : (i32) -> ()
+}"#,
+        )
+        .unwrap();
+        let mut patterns = PatternSet::new();
+        patterns.add(Box::new(Toggle { from: 0, to: 1 }));
+        patterns.add(Box::new(Toggle { from: 1, to: 0 }));
+        let config = GreedyConfig {
+            max_iterations: 4,
+            fold: false,
+        };
+        let outcome = apply_patterns_greedily(&mut ctx, module, &patterns, config).unwrap();
+        assert!(outcome.changed);
+        assert!(!outcome.converged, "ping-pong must exhaust the budget");
+        assert_eq!(outcome.applications, 4, "one toggle per sweep");
+        assert_eq!(metrics::snapshot().counter_value("rewrite.sweeps"), Some(4));
+        // The IR is untouched structurally: the op is still there, well-formed.
+        let names: Vec<&str> = ctx
+            .walk_nested(module)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
+        assert_eq!(
+            names.iter().filter(|n| **n == "test.ping").count(),
+            1,
+            "{names:?}"
+        );
+    }
+
+    /// DCE and CSE report their erasure counts through the metrics layer.
+    #[test]
+    fn dce_and_cse_record_metrics_counters() {
+        metrics::reset();
+        let mut ctx = Context::new();
+        register(&mut ctx);
+        let module = parse_module(
+            &mut ctx,
+            r#"module {
+  %dead = arith.constant 9 : i32
+  %a = arith.constant 5 : i32
+  %b = arith.constant 5 : i32
+  "test.use"(%a, %b) : (i32, i32) -> ()
+}"#,
+        )
+        .unwrap();
+        assert_eq!(run_cse(&mut ctx, module), 1);
+        assert_eq!(run_dce(&mut ctx, module), 1);
+        let snapshot = metrics::snapshot();
+        assert_eq!(snapshot.counter_value("rewrite.cse_erased"), Some(1));
+        assert_eq!(snapshot.counter_value("rewrite.dce_erased"), Some(1));
+        let json = snapshot.to_json();
+        assert!(json.contains("\"rewrite.cse_erased\":1"), "dump: {json}");
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! by IRDL). Types are interned in the [`TypeStore`] owned by the IR
 //! context, so equality is a single integer comparison.
 
-use td_support::Symbol;
 use std::collections::HashMap;
 use std::fmt;
+use td_support::Symbol;
 
 /// Interned handle to a [`TypeKind`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

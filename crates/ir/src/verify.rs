@@ -12,15 +12,19 @@
 use crate::analysis::Dominance;
 use crate::dialect::OpTraits;
 use crate::ir::{BlockId, Context, OpId, ValueDef, ValueId};
-use td_support::Diagnostic;
 use std::collections::HashMap;
+use td_support::Diagnostic;
 
 /// Verifies `root` and everything nested in it.
 ///
 /// # Errors
 /// Returns all violations found (not just the first).
 pub fn verify(ctx: &Context, root: OpId) -> Result<(), Vec<Diagnostic>> {
-    let mut verifier = Verifier { ctx, diags: Vec::new(), dominance: HashMap::new() };
+    let mut verifier = Verifier {
+        ctx,
+        diags: Vec::new(),
+        dominance: HashMap::new(),
+    };
     verifier.verify_op(root);
     if verifier.diags.is_empty() {
         Ok(())
@@ -41,7 +45,8 @@ impl<'c> Verifier<'c> {
     fn error(&mut self, op: OpId, message: String) {
         let loc = self.ctx.op(op).location.clone();
         let name = self.ctx.op(op).name;
-        self.diags.push(Diagnostic::error(loc, format!("'{name}' op {message}")));
+        self.diags
+            .push(Diagnostic::error(loc, format!("'{name}' op {message}")));
     }
 
     fn verify_op(&mut self, op: OpId) {
@@ -100,12 +105,18 @@ impl<'c> Verifier<'c> {
         let ops = self.ctx.block(block).ops().to_vec();
         for (i, &nested) in ops.iter().enumerate() {
             if self.ctx.op(nested).parent() != Some(block) {
-                self.error(nested, "parent link does not match containing block".to_owned());
+                self.error(
+                    nested,
+                    "parent link does not match containing block".to_owned(),
+                );
             }
             let is_last = i + 1 == ops.len();
             let is_terminator = self.ctx.has_trait(nested, OpTraits::TERMINATOR);
             if is_terminator && !is_last {
-                self.error(nested, "terminator is not the last operation in its block".to_owned());
+                self.error(
+                    nested,
+                    "terminator is not the last operation in its block".to_owned(),
+                );
             }
             if is_last && !is_terminator && !parent_traits.contains(OpTraits::NO_TERMINATOR) {
                 // Only enforce for registered parents that demand it: blocks
@@ -140,7 +151,10 @@ impl<'c> Verifier<'c> {
             ValueDef::OpResult { op, .. } => match self.ctx.op(op).parent() {
                 Some(b) => (b, Some(op)),
                 None => {
-                    self.error(user, format!("operand #{index} is defined by a detached op"));
+                    self.error(
+                        user,
+                        format!("operand #{index} is defined by a detached op"),
+                    );
                     return;
                 }
             },
@@ -153,7 +167,10 @@ impl<'c> Verifier<'c> {
         loop {
             let Some(block) = self.ctx.op(cursor).parent() else {
                 // Reached a detached/top-level op without finding the def.
-                self.error(user, format!("operand #{index} is not visible from this operation"));
+                self.error(
+                    user,
+                    format!("operand #{index} is not visible from this operation"),
+                );
                 return;
             };
             if block == def_block {
@@ -182,17 +199,17 @@ impl<'c> Verifier<'c> {
                         .entry(region)
                         .or_insert_with(|| Dominance::compute(self.ctx, region));
                     if !dom.dominates(def_block, block) {
-                        self.error(
-                            user,
-                            format!("operand #{index} does not dominate this use"),
-                        );
+                        self.error(user, format!("operand #{index} does not dominate this use"));
                     }
                 }
                 return;
             }
             // Cross a region boundary: check isolation.
             let Some(parent) = self.ctx.parent_op(cursor) else {
-                self.error(user, format!("operand #{index} is not visible from this operation"));
+                self.error(
+                    user,
+                    format!("operand #{index} is not visible from this operation"),
+                );
                 return;
             };
             if self.ctx.has_trait(parent, OpTraits::ISOLATED_FROM_ABOVE) {
@@ -218,14 +235,14 @@ mod tests {
     use td_support::Location;
 
     fn register_test_dialect(ctx: &mut Context) {
-        ctx.registry.register(OpSpec::new("test.done", "terminator").with_traits(OpTraits::TERMINATOR));
         ctx.registry
-            .register(OpSpec::new("test.isolated", "isolated region op").with_traits(
-                OpTraits::ISOLATED_FROM_ABOVE | OpTraits::NO_TERMINATOR,
-            ));
+            .register(OpSpec::new("test.done", "terminator").with_traits(OpTraits::TERMINATOR));
         ctx.registry.register(
-            OpSpec::new("builtin.module", "module").with_traits(OpTraits::NO_TERMINATOR),
+            OpSpec::new("test.isolated", "isolated region op")
+                .with_traits(OpTraits::ISOLATED_FROM_ABOVE | OpTraits::NO_TERMINATOR),
         );
+        ctx.registry
+            .register(OpSpec::new("builtin.module", "module").with_traits(OpTraits::NO_TERMINATOR));
     }
 
     #[test]
@@ -250,13 +267,22 @@ mod tests {
         let module = ctx.create_module(Location::unknown());
         let body = ctx.sole_block(module, 0);
         let i32t = ctx.i32_type();
-        let def = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![i32t], vec![], 0);
+        let def = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![i32t],
+            vec![],
+            0,
+        );
         ctx.append_op(body, def);
         let v = ctx.op(def).results()[0];
         let user = ctx.create_op(Location::unknown(), "test.use", vec![v], vec![], vec![], 0);
         ctx.insert_op(body, 0, user); // user before def
         let errs = verify(&ctx, module).unwrap_err();
-        assert!(errs.iter().any(|d| d.message().contains("used before its definition")));
+        assert!(errs
+            .iter()
+            .any(|d| d.message().contains("used before its definition")));
     }
 
     #[test]
@@ -266,17 +292,35 @@ mod tests {
         let module = ctx.create_module(Location::unknown());
         let body = ctx.sole_block(module, 0);
         let i32t = ctx.i32_type();
-        let def = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![i32t], vec![], 0);
+        let def = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![i32t],
+            vec![],
+            0,
+        );
         ctx.append_op(body, def);
         let v = ctx.op(def).results()[0];
-        let isolated = ctx.create_op(Location::unknown(), "test.isolated", vec![], vec![], vec![], 1);
+        let isolated = ctx.create_op(
+            Location::unknown(),
+            "test.isolated",
+            vec![],
+            vec![],
+            vec![],
+            1,
+        );
         ctx.append_op(body, isolated);
         let region = ctx.op(isolated).regions()[0];
         let inner = ctx.append_block(region, &[]);
         let user = ctx.create_op(Location::unknown(), "test.use", vec![v], vec![], vec![], 0);
         ctx.append_op(inner, user);
         let errs = verify(&ctx, module).unwrap_err();
-        assert!(errs.iter().any(|d| d.message().contains("isolated-from-above")), "{errs:?}");
+        assert!(
+            errs.iter()
+                .any(|d| d.message().contains("isolated-from-above")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -309,7 +353,9 @@ mod tests {
         let after = ctx.create_op(Location::unknown(), "test.other", vec![], vec![], vec![], 0);
         ctx.append_op(body, after);
         let errs = verify(&ctx, module).unwrap_err();
-        assert!(errs.iter().any(|d| d.message().contains("terminator is not the last")));
+        assert!(errs
+            .iter()
+            .any(|d| d.message().contains("terminator is not the last")));
     }
 
     #[test]
@@ -320,7 +366,14 @@ mod tests {
             .register(OpSpec::new("cf.br", "branch").with_traits(OpTraits::TERMINATOR));
         let module = ctx.create_module(Location::unknown());
         let body = ctx.sole_block(module, 0);
-        let wrap = ctx.create_op(Location::unknown(), "test.isolated", vec![], vec![], vec![], 1);
+        let wrap = ctx.create_op(
+            Location::unknown(),
+            "test.isolated",
+            vec![],
+            vec![],
+            vec![],
+            1,
+        );
         ctx.append_op(body, wrap);
         let region = ctx.op(wrap).regions()[0];
         let entry = ctx.append_block(region, &[]);
@@ -331,7 +384,14 @@ mod tests {
         ctx.append_op(entry, br);
         ctx.set_successors(br, vec![b1, b2]);
         let i32t = ctx.i32_type();
-        let def = ctx.create_op(Location::unknown(), "arith.constant", vec![], vec![i32t], vec![], 0);
+        let def = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![i32t],
+            vec![],
+            0,
+        );
         ctx.append_op(b1, def);
         let br1 = ctx.create_op(Location::unknown(), "cf.br", vec![], vec![], vec![], 0);
         ctx.append_op(b1, br1);
@@ -343,7 +403,8 @@ mod tests {
         ctx.append_op(b2, done);
         let errs = verify(&ctx, module).unwrap_err();
         assert!(
-            errs.iter().any(|d| d.message().contains("does not dominate")),
+            errs.iter()
+                .any(|d| d.message().contains("does not dominate")),
             "expected dominance error, got {errs:?}"
         );
     }

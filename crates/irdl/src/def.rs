@@ -1,9 +1,9 @@
 //! IRDL dialect and operation definitions.
 
 use crate::constraint::{Arity, AttrConstraint, TypeConstraint};
+use std::collections::HashMap;
 use td_ir::{Context, OpId};
 use td_support::Diagnostic;
-use std::collections::HashMap;
 
 /// Custom predicate hook, the analogue of IRDL's `CPPConstraint` escape
 /// hatch (Fig. 3 of the paper references `checkMemrefConstraints()`).
@@ -84,7 +84,10 @@ pub struct IrdlDialect {
 impl IrdlDialect {
     /// Creates an empty dialect definition.
     pub fn new(name: &str) -> IrdlDialect {
-        IrdlDialect { name: name.to_owned(), operations: Vec::new() }
+        IrdlDialect {
+            name: name.to_owned(),
+            operations: Vec::new(),
+        }
     }
 
     /// Adds an op definition (builder-style).

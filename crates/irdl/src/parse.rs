@@ -26,7 +26,10 @@ use td_support::{Diagnostic, Location};
 /// syntax.
 #[allow(unused_assignments)]
 pub fn parse_irdl(source: &str) -> Result<IrdlDialect, Diagnostic> {
-    let mut p = P { src: source.as_bytes(), pos: 0 };
+    let mut p = P {
+        src: source.as_bytes(),
+        pos: 0,
+    };
     p.expect_word("Dialect")?;
     let name = p.ident()?;
     p.expect_char(b'{')?;

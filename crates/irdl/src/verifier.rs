@@ -8,10 +8,10 @@
 //! in normal IR verification.
 
 use crate::def::{IrdlDialect, IrdlOp};
-use td_ir::{Context, OpId, OpSpec};
-use td_support::Diagnostic;
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
+use td_ir::{Context, OpId, OpSpec};
+use td_support::Diagnostic;
 
 /// Checks one operation against a declarative definition.
 ///
@@ -176,20 +176,27 @@ mod tests {
     #[test]
     fn registered_dialect_verifies_via_generated_verifier() {
         let mut ctx = Context::new();
-        let dialect = IrdlDialect::new("toy").op(
-            IrdlOp::new("toy.axpy")
-                .attr("alpha", AttrConstraint::AnyInt)
-                .operand("x", TypeConstraint::AnyFloat, Arity::Single)
-                .operand("y", TypeConstraint::AnyFloat, Arity::Single)
-                .result("r", TypeConstraint::AnyFloat, Arity::Single),
-        );
+        let dialect = IrdlDialect::new("toy").op(IrdlOp::new("toy.axpy")
+            .attr("alpha", AttrConstraint::AnyInt)
+            .operand("x", TypeConstraint::AnyFloat, Arity::Single)
+            .operand("y", TypeConstraint::AnyFloat, Arity::Single)
+            .result("r", TypeConstraint::AnyFloat, Arity::Single));
         register_dialect(&mut ctx, &dialect);
-        assert!(ctx.registry.is_registered(td_support::Symbol::new("toy.axpy")));
+        assert!(ctx
+            .registry
+            .is_registered(td_support::Symbol::new("toy.axpy")));
 
         let module = ctx.create_module(Location::unknown());
         let body = ctx.sole_block(module, 0);
         let f32t = ctx.f32_type();
-        let src = ctx.create_op(Location::unknown(), "test.src", vec![], vec![f32t], vec![], 0);
+        let src = ctx.create_op(
+            Location::unknown(),
+            "test.src",
+            vec![],
+            vec![f32t],
+            vec![],
+            0,
+        );
         ctx.append_op(body, src);
         let v = ctx.op(src).results()[0];
         let good = ctx.create_op(
@@ -204,11 +211,20 @@ mod tests {
         assert!(verify(&ctx, module).is_ok(), "{:?}", verify(&ctx, module));
 
         // Missing the attribute: the generated verifier rejects it.
-        let bad =
-            ctx.create_op(Location::unknown(), "toy.axpy", vec![v, v], vec![f32t], vec![], 0);
+        let bad = ctx.create_op(
+            Location::unknown(),
+            "toy.axpy",
+            vec![v, v],
+            vec![f32t],
+            vec![],
+            0,
+        );
         ctx.append_op(body, bad);
         let errs = verify(&ctx, module).unwrap_err();
-        assert!(errs.iter().any(|e| e.message().contains("alpha")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message().contains("alpha")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -221,10 +237,24 @@ mod tests {
         let module = ctx.create_module(Location::unknown());
         let body = ctx.sole_block(module, 0);
         let index = ctx.index_type();
-        let src = ctx.create_op(Location::unknown(), "test.src", vec![], vec![index], vec![], 0);
+        let src = ctx.create_op(
+            Location::unknown(),
+            "test.src",
+            vec![],
+            vec![index],
+            vec![],
+            0,
+        );
         ctx.append_op(body, src);
         let v = ctx.op(src).results()[0];
-        let op = ctx.create_op(Location::unknown(), "test.var", vec![v, v, v, v], vec![], vec![], 0);
+        let op = ctx.create_op(
+            Location::unknown(),
+            "test.var",
+            vec![v, v, v, v],
+            vec![],
+            vec![],
+            0,
+        );
         ctx.append_op(body, op);
         assert!(check_op(&ctx, op, &def).is_ok());
         let too_few = ctx.create_op(Location::unknown(), "test.var", vec![v], vec![], vec![], 0);

@@ -63,12 +63,18 @@ struct Cluster {
 enum Kind {
     Heavy(f64),
     Barrier(f64),
-    Fusible { flops: f64, elems: f64, is_reduce: bool },
+    Fusible {
+        flops: f64,
+        elems: f64,
+        is_reduce: bool,
+    },
     Ignored,
 }
 
 fn elems(ctx: &Context, op: OpId) -> f64 {
-    let Some(&result) = ctx.op(op).results().first() else { return 0.0 };
+    let Some(&result) = ctx.op(op).results().first() else {
+        return 0.0;
+    };
     let ty = ctx.value_type(result);
     match ctx.type_kind(ty) {
         TypeKind::Tensor { .. } => static_shape(ctx, ty)
@@ -99,11 +105,19 @@ fn classify(ctx: &Context, op: OpId) -> Kind {
                     _ => 1.0,
                 })
                 .unwrap_or(1.0);
-            Kind::Fusible { flops: input_elems, elems: out, is_reduce: true }
+            Kind::Fusible {
+                flops: input_elems,
+                elems: out,
+                is_reduce: true,
+            }
         }
         "tosa.add" | "tosa.sub" | "tosa.mul" | "tosa.clamp" | "tosa.sigmoid" | "tosa.tanh"
         | "tosa.exp" | "tosa.reciprocal" | "tosa.rsqrt" | "tosa.cast" | "tosa.rescale" => {
-            Kind::Fusible { flops: out, elems: out, is_reduce: false }
+            Kind::Fusible {
+                flops: out,
+                elems: out,
+                is_reduce: false,
+            }
         }
         _ => Kind::Ignored,
     }
@@ -144,7 +158,11 @@ pub fn estimate_cost(ctx: &Context, module: OpId, model: FusionCostModel) -> Fus
                     ops: 1,
                 });
             }
-            Kind::Fusible { flops, elems, is_reduce } => {
+            Kind::Fusible {
+                flops,
+                elems,
+                is_reduce,
+            } => {
                 current.flops += flops;
                 if !is_reduce {
                     current.producer_flops += flops;
@@ -170,7 +188,11 @@ pub fn estimate_cost(ctx: &Context, module: OpId, model: FusionCostModel) -> Fus
         }
         total += flops * model.flop_cost + cluster.boundary_elems * model.mem_cost_per_elem;
     }
-    FusionReport { clusters: clusters_done.len(), total_cost: total, recompute_clusters }
+    FusionReport {
+        clusters: clusters_done.len(),
+        total_cost: total,
+        recompute_clusters,
+    }
 }
 
 #[cfg(test)]
@@ -189,16 +211,30 @@ mod tests {
         let big = tensor_type(&mut ctx, &[64, 256], f32t);
         let flat = tensor_type(&mut ctx, &[16384], f32t);
         let scalar = tensor_type(&mut ctx, &[1], f32t);
-        let (_f, entry) = td_dialects::func::build_func(&mut ctx, module, "main", &[big], &[scalar]);
+        let (_f, entry) =
+            td_dialects::func::build_func(&mut ctx, module, "main", &[big], &[scalar]);
         let mut x: ValueId = ctx.block(entry).args()[0];
         for _ in 0..chain_length {
-            let op = ctx.create_op(Location::unknown(), "tosa.tanh", vec![x], vec![big], vec![], 0);
+            let op = ctx.create_op(
+                Location::unknown(),
+                "tosa.tanh",
+                vec![x],
+                vec![big],
+                vec![],
+                0,
+            );
             ctx.append_op(entry, op);
             x = ctx.op(op).results()[0];
         }
         if with_reshape {
-            let op =
-                ctx.create_op(Location::unknown(), "tosa.reshape", vec![x], vec![flat], vec![], 0);
+            let op = ctx.create_op(
+                Location::unknown(),
+                "tosa.reshape",
+                vec![x],
+                vec![flat],
+                vec![],
+                0,
+            );
             ctx.append_op(entry, op);
             x = ctx.op(op).results()[0];
         }
@@ -212,7 +248,14 @@ mod tests {
         );
         ctx.append_op(entry, reduce);
         let r = ctx.op(reduce).results()[0];
-        let ret = ctx.create_op(Location::unknown(), "func.return", vec![r], vec![], vec![], 0);
+        let ret = ctx.create_op(
+            Location::unknown(),
+            "func.return",
+            vec![r],
+            vec![],
+            vec![],
+            0,
+        );
         ctx.append_op(entry, ret);
         (ctx, module)
     }
@@ -252,10 +295,24 @@ mod tests {
         let t = tensor_type(&mut ctx, &[16, 16], f32t);
         let (_f, entry) = td_dialects::func::build_func(&mut ctx, module, "main", &[t], &[t]);
         let x = ctx.block(entry).args()[0];
-        let mm = ctx.create_op(Location::unknown(), "tosa.matmul", vec![x, x], vec![t], vec![], 0);
+        let mm = ctx.create_op(
+            Location::unknown(),
+            "tosa.matmul",
+            vec![x, x],
+            vec![t],
+            vec![],
+            0,
+        );
         ctx.append_op(entry, mm);
         let v = ctx.op(mm).results()[0];
-        let ret = ctx.create_op(Location::unknown(), "func.return", vec![v], vec![], vec![], 0);
+        let ret = ctx.create_op(
+            Location::unknown(),
+            "func.return",
+            vec![v],
+            vec![],
+            vec![],
+            0,
+        );
         ctx.append_op(entry, ret);
         let report = estimate_cost(&ctx, module, FusionCostModel::default());
         assert_eq!(report.clusters, 1);

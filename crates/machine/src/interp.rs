@@ -9,10 +9,10 @@
 
 use crate::cache::{CacheConfig, CacheSim, LevelStats};
 use crate::microkernel::MicrokernelLibrary;
+use std::collections::HashMap;
 use td_dialects::memref::memref_info;
 use td_ir::{Attribute, BlockId, Context, OpId, RegionId, TypeKind, ValueId};
 use td_support::Diagnostic;
-use std::collections::HashMap;
 
 /// A runtime value.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -179,7 +179,10 @@ pub fn run_function(
         instructions: 0,
     };
     let results = machine.call(name, args).map_err(|message| {
-        Diagnostic::error(ctx.op(module).location.clone(), format!("execution failed: {message}"))
+        Diagnostic::error(
+            ctx.op(module).location.clone(),
+            format!("execution failed: {message}"),
+        )
     })?;
     let report = ExecReport {
         cycles: machine.cycles,
@@ -200,13 +203,18 @@ pub struct ArgBuilder {
 impl ArgBuilder {
     /// Creates an empty argument builder.
     pub fn new() -> ArgBuilder {
-        ArgBuilder { buffers: Vec::new() }
+        ArgBuilder {
+            buffers: Vec::new(),
+        }
     }
 
     /// Adds a buffer with the given contents; returns its argument value.
     pub fn buffer(&mut self, data: Vec<f64>) -> RtValue {
         self.buffers.push(data);
-        RtValue::Ptr(MemPtr { buffer: self.buffers.len() - 1, offset: 0 })
+        RtValue::Ptr(MemPtr {
+            buffer: self.buffers.len() - 1,
+            offset: 0,
+        })
     }
 
     /// The buffers, to be passed to [`run_function_with_buffers`].
@@ -246,7 +254,10 @@ pub fn run_function_with_buffers(
         instructions: 0,
     };
     let results = machine.call(name, args).map_err(|message| {
-        Diagnostic::error(ctx.op(module).location.clone(), format!("execution failed: {message}"))
+        Diagnostic::error(
+            ctx.op(module).location.clone(),
+            format!("execution failed: {message}"),
+        )
     })?;
     let report = ExecReport {
         cycles: machine.cycles,
@@ -291,7 +302,10 @@ impl Machine<'_> {
     }
 
     fn value(&self, v: ValueId) -> Result<RtValue, String> {
-        self.env.get(&v).copied().ok_or_else(|| "use of unevaluated value".to_owned())
+        self.env
+            .get(&v)
+            .copied()
+            .ok_or_else(|| "use of unevaluated value".to_owned())
     }
 
     fn set(&mut self, v: ValueId, value: RtValue) {
@@ -357,13 +371,17 @@ impl Machine<'_> {
 
     fn mem_load(&mut self, ptr: MemPtr, linear: i64) -> Result<f64, String> {
         self.cycles += self.cache.access(Self::address(ptr, linear));
-        let buffer =
-            self.buffers.get(ptr.buffer).ok_or_else(|| "dangling buffer".to_owned())?;
+        let buffer = self
+            .buffers
+            .get(ptr.buffer)
+            .ok_or_else(|| "dangling buffer".to_owned())?;
         let index = ptr.offset + linear;
-        buffer
-            .get(index as usize)
-            .copied()
-            .ok_or_else(|| format!("load out of bounds: element {index} of buffer {}", ptr.buffer))
+        buffer.get(index as usize).copied().ok_or_else(|| {
+            format!(
+                "load out of bounds: element {index} of buffer {}",
+                ptr.buffer
+            )
+        })
     }
 
     fn mem_store(&mut self, ptr: MemPtr, linear: i64, value: f64) -> Result<(), String> {
@@ -389,7 +407,9 @@ impl Machine<'_> {
             memref_info(self.ctx, ty).ok_or_else(|| "not a memref".to_owned())?;
         let mut linear = 0;
         for (value, stride) in indices.iter().zip(strides.iter()) {
-            let stride = stride.as_static().ok_or_else(|| "dynamic stride".to_owned())?;
+            let stride = stride
+                .as_static()
+                .ok_or_else(|| "dynamic stride".to_owned())?;
             linear += value.as_int()? * stride;
         }
         Ok(linear)
@@ -407,12 +427,16 @@ impl Machine<'_> {
                 let ty = self.ctx.value_type(result);
                 let attr = data.attr("value").ok_or("constant without value")?;
                 let value = match (self.ctx.type_kind(ty), attr) {
-                    (TypeKind::F32 | TypeKind::F64, a) => {
-                        RtValue::Float(a.as_float().or_else(|| a.as_int().map(|v| v as f64)).ok_or("bad float constant")?)
-                    }
-                    (TypeKind::Integer(1), a) => {
-                        RtValue::Bool(a.as_bool().or_else(|| a.as_int().map(|v| v != 0)).ok_or("bad bool constant")?)
-                    }
+                    (TypeKind::F32 | TypeKind::F64, a) => RtValue::Float(
+                        a.as_float()
+                            .or_else(|| a.as_int().map(|v| v as f64))
+                            .ok_or("bad float constant")?,
+                    ),
+                    (TypeKind::Integer(1), a) => RtValue::Bool(
+                        a.as_bool()
+                            .or_else(|| a.as_int().map(|v| v != 0))
+                            .ok_or("bad bool constant")?,
+                    ),
                     (_, a) => RtValue::Int(a.as_int().ok_or("bad integer constant")?),
                 };
                 self.cycles += costs.int_op;
@@ -469,8 +493,10 @@ impl Machine<'_> {
             "arith.cmpi" | "llvm.icmp" => {
                 let l = self.value(data.operands()[0])?.as_int()?;
                 let r = self.value(data.operands()[1])?.as_int()?;
-                let predicate =
-                    data.attr("predicate").and_then(|a| a.as_str().map(str::to_owned)).unwrap_or_default();
+                let predicate = data
+                    .attr("predicate")
+                    .and_then(|a| a.as_str().map(str::to_owned))
+                    .unwrap_or_default();
                 let v = match predicate.as_str() {
                     "eq" => l == r,
                     "ne" => l != r,
@@ -493,8 +519,12 @@ impl Machine<'_> {
                 self.cycles += costs.int_op;
                 self.set(data.results()[0], v);
             }
-            "arith.index_cast" | "llvm.bitcast" | "builtin.unrealized_conversion_cast"
-            | "memref.cast" | "llvm.ptrtoint" | "llvm.inttoptr" => {
+            "arith.index_cast"
+            | "llvm.bitcast"
+            | "builtin.unrealized_conversion_cast"
+            | "memref.cast"
+            | "llvm.ptrtoint"
+            | "llvm.inttoptr" => {
                 let v = self.value(data.operands()[0])?;
                 self.set(data.results()[0], v);
             }
@@ -531,11 +561,21 @@ impl Machine<'_> {
                 let init = data
                     .attr("init")
                     .and_then(Attribute::as_float)
-                    .or_else(|| data.attr("init").and_then(Attribute::as_int).map(|v| v as f64))
+                    .or_else(|| {
+                        data.attr("init")
+                            .and_then(Attribute::as_int)
+                            .map(|v| v as f64)
+                    })
                     .unwrap_or(0.0);
                 self.cycles += costs.alloc;
                 self.buffers.push(vec![init; total.max(0) as usize]);
-                self.set(result, RtValue::Ptr(MemPtr { buffer: self.buffers.len() - 1, offset: 0 }));
+                self.set(
+                    result,
+                    RtValue::Ptr(MemPtr {
+                        buffer: self.buffers.len() - 1,
+                        offset: 0,
+                    }),
+                );
             }
             "memref.dealloc" => {
                 // Buffers are reclaimed wholesale at the end of execution.
@@ -576,14 +616,16 @@ impl Machine<'_> {
                     } else {
                         o
                     };
-                    let stride =
-                        strides[i].as_static().ok_or("dynamic source stride")?;
+                    let stride = strides[i].as_static().ok_or("dynamic source stride")?;
                     delta += o * stride;
                 }
                 self.cycles += costs.int_op;
                 self.set(
                     data.results()[0],
-                    RtValue::Ptr(MemPtr { buffer: source.buffer, offset: source.offset + delta }),
+                    RtValue::Ptr(MemPtr {
+                        buffer: source.buffer,
+                        offset: source.offset + delta,
+                    }),
                 );
             }
             "memref.reinterpret_cast" => {
@@ -599,13 +641,22 @@ impl Machine<'_> {
                 };
                 self.set(
                     data.results()[0],
-                    RtValue::Ptr(MemPtr { buffer: source.buffer, offset: source.offset + delta }),
+                    RtValue::Ptr(MemPtr {
+                        buffer: source.buffer,
+                        offset: source.offset + delta,
+                    }),
                 );
             }
             "memref.extract_strided_metadata" => {
                 let source = self.value(data.operands()[0])?.as_ptr()?;
                 let results = data.results().to_vec();
-                self.set(results[0], RtValue::Ptr(MemPtr { buffer: source.buffer, offset: 0 }));
+                self.set(
+                    results[0],
+                    RtValue::Ptr(MemPtr {
+                        buffer: source.buffer,
+                        offset: 0,
+                    }),
+                );
                 if results.len() > 1 {
                     self.set(results[1], RtValue::Int(source.offset));
                 }
@@ -636,9 +687,8 @@ impl Machine<'_> {
             }
             "memref.dim" => {
                 let index = data.attr("index").and_then(Attribute::as_int).unwrap_or(0);
-                let (shape, ..) =
-                    memref_info(self.ctx, self.ctx.value_type(data.operands()[0]))
-                        .ok_or("dim of non-memref")?;
+                let (shape, ..) = memref_info(self.ctx, self.ctx.value_type(data.operands()[0]))
+                    .ok_or("dim of non-memref")?;
                 let extent = shape
                     .get(index as usize)
                     .and_then(|e| e.as_static())
@@ -656,7 +706,10 @@ impl Machine<'_> {
                 self.cycles += costs.int_op;
                 self.set(
                     data.results()[0],
-                    RtValue::Ptr(MemPtr { buffer: base.buffer, offset: base.offset + offset }),
+                    RtValue::Ptr(MemPtr {
+                        buffer: base.buffer,
+                        offset: base.offset + offset,
+                    }),
                 );
             }
             "llvm.load" => {
@@ -677,7 +730,10 @@ impl Machine<'_> {
                 self.buffers.push(vec![0.0; size.max(0) as usize]);
                 self.set(
                     data.results()[0],
-                    RtValue::Ptr(MemPtr { buffer: self.buffers.len() - 1, offset: 0 }),
+                    RtValue::Ptr(MemPtr {
+                        buffer: self.buffers.len() - 1,
+                        offset: 0,
+                    }),
                 );
             }
             "llvm.mlir.undef" => {
@@ -685,8 +741,7 @@ impl Machine<'_> {
             }
             // ----- control flow -------------------------------------------
             "scf.for" => {
-                let for_op =
-                    td_dialects::scf::as_for(self.ctx, op).ok_or("malformed scf.for")?;
+                let for_op = td_dialects::scf::as_for(self.ctx, op).ok_or("malformed scf.for")?;
                 let lower = self.value(for_op.lower)?.as_int()?;
                 let upper = self.value(for_op.upper)?.as_int()?;
                 let step = self.value(for_op.step)?.as_int()?;
@@ -730,8 +785,11 @@ impl Machine<'_> {
             }
             "scf.yield" => return Ok(Flow::Return(vec![])),
             "func.return" | "llvm.return" => {
-                let values: Vec<RtValue> =
-                    data.operands().iter().map(|&v| self.value(v)).collect::<Result<_, _>>()?;
+                let values: Vec<RtValue> = data
+                    .operands()
+                    .iter()
+                    .map(|&v| self.value(v))
+                    .collect::<Result<_, _>>()?;
                 return Ok(Flow::Return(values));
             }
             "cf.br" | "llvm.br" => {
@@ -761,8 +819,11 @@ impl Machine<'_> {
                     .and_then(Attribute::as_symbol)
                     .ok_or("call without callee")?;
                 let callee_name = callee.as_str();
-                let args: Vec<RtValue> =
-                    data.operands().iter().map(|&v| self.value(v)).collect::<Result<_, _>>()?;
+                let args: Vec<RtValue> = data
+                    .operands()
+                    .iter()
+                    .map(|&v| self.value(v))
+                    .collect::<Result<_, _>>()?;
                 match callee_name {
                     "malloc" => {
                         let size = args[0].as_int()?;
@@ -770,7 +831,10 @@ impl Machine<'_> {
                         self.buffers.push(vec![0.0; size.max(0) as usize]);
                         self.set(
                             data.results()[0],
-                            RtValue::Ptr(MemPtr { buffer: self.buffers.len() - 1, offset: 0 }),
+                            RtValue::Ptr(MemPtr {
+                                buffer: self.buffers.len() - 1,
+                                offset: 0,
+                            }),
                         );
                     }
                     "free" => {}
@@ -817,7 +881,9 @@ impl Machine<'_> {
             .attr("kernel_sizes")
             .and_then(Attribute::as_int_array)
             .ok_or("microkernel call without kernel_sizes")?;
-        let [m, n, k] = sizes[..] else { return Err("kernel_sizes must be [m, n, k]".to_owned()) };
+        let [m, n, k] = sizes[..] else {
+            return Err("kernel_sizes must be [m, n, k]".to_owned());
+        };
         // When a library is linked, the call must actually be resolvable —
         // simulating a link error otherwise.
         if let Some(library) = self.library {
@@ -835,9 +901,8 @@ impl Machine<'_> {
         let j0 = args.get(4).map(|v| v.as_int()).transpose()?.unwrap_or(0);
         // Strides from the operand memref types.
         let stride_of = |machine: &Self, operand: ValueId| -> Result<(i64, i64), String> {
-            let (_, _, _, strides) =
-                memref_info(machine.ctx, machine.ctx.value_type(operand))
-                    .ok_or("microkernel operand is not a memref")?;
+            let (_, _, _, strides) = memref_info(machine.ctx, machine.ctx.value_type(operand))
+                .ok_or("microkernel operand is not a memref")?;
             let s0 = strides[0].as_static().ok_or("dynamic stride")?;
             let s1 = strides[1].as_static().ok_or("dynamic stride")?;
             Ok((s0, s1))
@@ -849,8 +914,8 @@ impl Machine<'_> {
             for j in 0..n {
                 let mut acc = 0.0;
                 for kk in 0..k {
-                    let av = self.buffers[a.buffer]
-                        [(a.offset + (i0 + i) * a_s0 + kk * a_s1) as usize];
+                    let av =
+                        self.buffers[a.buffer][(a.offset + (i0 + i) * a_s0 + kk * a_s1) as usize];
                     let bv =
                         self.buffers[b.buffer][(b.offset + kk * b_s0 + (j0 + j) * b_s1) as usize];
                     acc += av * bv;
@@ -883,8 +948,7 @@ mod tests {
 
     fn run(src: &str, name: &str, args: Vec<RtValue>) -> Vec<RtValue> {
         let (ctx, m) = ctx_with(src);
-        let (results, _) =
-            run_function(&ctx, m, name, args, ExecConfig::default(), None).unwrap();
+        let (results, _) = run_function(&ctx, m, name, args, ExecConfig::default(), None).unwrap();
         results
     }
 
@@ -997,9 +1061,15 @@ mod tests {
         let mut ctx = Context::new();
         td_dialects::register_all_dialects(&mut ctx);
         let m = td_ir::parse_module(&mut ctx, src).unwrap();
-        let (results, report) =
-            run_function(&ctx, m, "f", vec![RtValue::Float(0.5)], ExecConfig::default(), None)
-                .unwrap();
+        let (results, report) = run_function(
+            &ctx,
+            m,
+            "f",
+            vec![RtValue::Float(0.5)],
+            ExecConfig::default(),
+            None,
+        )
+        .unwrap();
         let expected = 1.0 / (1.0 + (-(0.5f64.exp().tanh())).exp());
         match results[0] {
             RtValue::Float(v) => assert!((v - expected).abs() < 1e-12),

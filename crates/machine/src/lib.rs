@@ -9,7 +9,10 @@ pub mod microkernel;
 pub mod tensor_patterns;
 
 pub use cache::{CacheConfig, CacheSim, LevelStats};
-pub use interp::{run_function, run_function_with_buffers, ArgBuilder, CostConfig, ExecConfig, ExecReport, MemPtr, RtValue};
 pub use fusion::{estimate_cost, FusionCostModel, FusionReport};
+pub use interp::{
+    run_function, run_function_with_buffers, ArgBuilder, CostConfig, ExecConfig, ExecReport,
+    MemPtr, RtValue,
+};
 pub use microkernel::{recognize_matmul, MatmulNest, MicrokernelLibrary};
 pub use tensor_patterns::{pattern_names, register_tensor_patterns, CULPRIT};

@@ -30,7 +30,12 @@ impl MicrokernelLibrary {
     /// The standard configuration used by the Case Study 4 experiments:
     /// kernels for m,n ∈ {8, 16, …, 64} (multiples of 8) and k ≤ 512.
     pub fn libxsmm() -> MicrokernelLibrary {
-        MicrokernelLibrary { name: "libxsmm".to_owned(), max_mn: 64, mn_multiple: 8, max_k: 512 }
+        MicrokernelLibrary {
+            name: "libxsmm".to_owned(),
+            max_mn: 64,
+            mn_multiple: 8,
+            max_k: 512,
+        }
     }
 
     /// Whether a kernel for this size triple exists.
@@ -140,7 +145,16 @@ pub fn recognize_matmul(ctx: &Context, root: OpId) -> Option<MatmulNest> {
             return None;
         }
     }
-    Some(MatmulNest { m, n, k, a: a?, b: b?, c, i_lower: li.lower, j_lower: lj.lower })
+    Some(MatmulNest {
+        m,
+        n,
+        k,
+        a: a?,
+        b: b?,
+        c,
+        i_lower: li.lower,
+        j_lower: lj.lower,
+    })
 }
 
 impl LibraryResolver for MicrokernelLibrary {
@@ -181,7 +195,10 @@ impl LibraryResolver for MicrokernelLibrary {
             vec![nest.a, nest.b, nest.c, nest.i_lower, nest.j_lower],
             vec![],
             vec![
-                (Symbol::new("callee"), Attribute::SymbolRef(Symbol::new(&callee))),
+                (
+                    Symbol::new("callee"),
+                    Attribute::SymbolRef(Symbol::new(&callee)),
+                ),
                 (Symbol::new("microkernel"), Attribute::Unit),
                 (
                     Symbol::new("kernel_sizes"),
@@ -261,7 +278,9 @@ mod tests {
         let (mut ctx, m) = parse(MATMUL);
         let root = scf::collect_loops(&ctx, m)[0];
         let lib = MicrokernelLibrary::libxsmm();
-        let call = lib.try_replace(&mut ctx, root, "libxsmm").expect("replaced");
+        let call = lib
+            .try_replace(&mut ctx, root, "libxsmm")
+            .expect("replaced");
         assert_eq!(ctx.op(call).name.as_str(), "func.call");
         assert_eq!(
             ctx.op(call).attr("kernel_sizes"),
@@ -288,7 +307,9 @@ mod tests {
             let (mut ctx, m) = parse(MATMUL);
             if replace {
                 let root = scf::collect_loops(&ctx, m)[0];
-                MicrokernelLibrary::libxsmm().try_replace(&mut ctx, root, "libxsmm").unwrap();
+                MicrokernelLibrary::libxsmm()
+                    .try_replace(&mut ctx, root, "libxsmm")
+                    .unwrap();
             }
             let mut args = ArgBuilder::new();
             let a = args.buffer((0..32 * 48).map(|i| (i % 7) as f64).collect());

@@ -79,7 +79,10 @@ fn replace_with_splat(rw: &mut Rewriter<'_>, op: OpId, splat: f64) {
         ctx.value_type(ctx.op(op).results()[0])
     };
     let constant = rw.create_before(op, |b| {
-        b.op("tosa.const").attr("splat", Attribute::float(splat)).results(vec![result_ty]).build()
+        b.op("tosa.const")
+            .attr("splat", Attribute::float(splat))
+            .results(vec![result_ty])
+            .build()
     });
     let value = rw.ctx_ref().op(constant).results()[0];
     rw.replace_op(op, vec![value]);
@@ -319,10 +322,16 @@ fn fold_transpose_into_full_reduce(rw: &mut Rewriter<'_>, op: OpId) -> Result<bo
 fn reduce_of_const(rw: &mut Rewriter<'_>, op: OpId) -> Result<bool, Diagnostic> {
     let ctx = rw.ctx_ref();
     let input = ctx.op(op).operands()[0];
-    let Some(splat) = splat_of(ctx, input) else { return Ok(false) };
+    let Some(splat) = splat_of(ctx, input) else {
+        return Ok(false);
+    };
     let input_ty = ctx.value_type(input);
-    let Some(shape) = td_dialects::tosa::static_shape(ctx, input_ty) else { return Ok(false) };
-    let Some(out) = result_elems(ctx, op) else { return Ok(false) };
+    let Some(shape) = td_dialects::tosa::static_shape(ctx, input_ty) else {
+        return Ok(false);
+    };
+    let Some(out) = result_elems(ctx, op) else {
+        return Ok(false);
+    };
     let total: i64 = shape.iter().product();
     let value = match ctx.op(op).name.as_str() {
         "tosa.reduce_sum" => splat * (total / out.max(1)) as f64,
@@ -356,7 +365,11 @@ const CATALOGUE: &[(&str, &str, ApplyFn)] = &[
     ("double-reshape", "tosa.reshape", double_reshape),
     ("transpose-of-const", "tosa.transpose", movement_of_const),
     ("reshape-of-const", "tosa.reshape", movement_of_const),
-    ("reciprocal-of-reciprocal", "tosa.reciprocal", reciprocal_of_reciprocal),
+    (
+        "reciprocal-of-reciprocal",
+        "tosa.reciprocal",
+        reciprocal_of_reciprocal,
+    ),
     ("tanh-of-zero", "tosa.tanh", tanh_of_zero),
     ("exp-of-zero", "tosa.exp", exp_of_zero),
     ("sigmoid-of-zero", "tosa.sigmoid", sigmoid_of_zero),
@@ -366,8 +379,16 @@ const CATALOGUE: &[(&str, &str, ApplyFn)] = &[
     ("cast-identity", "tosa.cast", identity_movement),
     ("rescale-identity", "tosa.rescale", identity_movement),
     ("matmul-of-transpose", "tosa.matmul", matmul_of_transpose),
-    ("fold-reshape-into-full-reduce", "tosa.reduce_sum", fold_reshape_into_full_reduce),
-    ("fold-transpose-into-full-reduce", "tosa.reduce_max", fold_transpose_into_full_reduce),
+    (
+        "fold-reshape-into-full-reduce",
+        "tosa.reduce_sum",
+        fold_reshape_into_full_reduce,
+    ),
+    (
+        "fold-transpose-into-full-reduce",
+        "tosa.reduce_max",
+        fold_transpose_into_full_reduce,
+    ),
     ("reduce-sum-of-const", "tosa.reduce_sum", reduce_of_const),
     ("reduce-max-of-const", "tosa.reduce_max", reduce_of_const),
     ("add-commute-const", "tosa.add", commute_const_left),
@@ -392,8 +413,8 @@ pub fn register_tensor_patterns(registry: &mut NamedPatternRegistry) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use td_ir::rewrite::{apply_patterns_greedily, GreedyConfig, PatternSet};
     use td_ir::parse_module;
+    use td_ir::rewrite::{apply_patterns_greedily, GreedyConfig, PatternSet};
 
     fn apply(src: &str, names: &[&str]) -> (Context, OpId) {
         let mut ctx = Context::new();
@@ -403,10 +424,22 @@ mod tests {
         register_tensor_patterns(&mut registry);
         let mut set = PatternSet::new();
         for name in names {
-            set.add(registry.create(name).unwrap_or_else(|| panic!("unknown pattern {name}")));
+            set.add(
+                registry
+                    .create(name)
+                    .unwrap_or_else(|| panic!("unknown pattern {name}")),
+            );
         }
-        apply_patterns_greedily(&mut ctx, m, &set, GreedyConfig { max_iterations: 10, fold: false })
-            .unwrap();
+        apply_patterns_greedily(
+            &mut ctx,
+            m,
+            &set,
+            GreedyConfig {
+                max_iterations: 10,
+                fold: false,
+            },
+        )
+        .unwrap();
         td_ir::rewrite::run_dce(&mut ctx, m);
         (ctx, m)
     }
@@ -436,8 +469,15 @@ mod tests {
     #[test]
     fn disabled_patterns_do_not_fire() {
         let (ctx, m) = apply(ZEROS_SRC, &["mul-by-one"]);
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
-        assert!(names.contains(&"tosa.add"), "add-of-zero disabled: {names:?}");
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
+        assert!(
+            names.contains(&"tosa.add"),
+            "add-of-zero disabled: {names:?}"
+        );
         assert!(!names.contains(&"tosa.mul"));
     }
 
@@ -450,7 +490,11 @@ mod tests {
   "test.use"(%s) : (tensor<1xf32>) -> ()
 }"#;
         let (ctx, m) = apply(src, &[CULPRIT]);
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(!names.contains(&"tosa.reshape"), "{names:?}");
         // The reduce now consumes the source directly.
         let reduce = ctx
@@ -471,8 +515,15 @@ mod tests {
   "test.use"(%s) : (tensor<4x1xf32>) -> ()
 }"#;
         let (ctx, m) = apply(src, &[CULPRIT]);
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
-        assert!(names.contains(&"tosa.reshape"), "partial reduce is shape-sensitive");
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
+        assert!(
+            names.contains(&"tosa.reshape"),
+            "partial reduce is shape-sensitive"
+        );
     }
 
     #[test]
@@ -484,7 +535,11 @@ mod tests {
   "test.use"(%t2) : (tensor<4x8xf32>) -> ()
 }"#;
         let (ctx, m) = apply(src, &["double-transpose"]);
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(!names.contains(&"tosa.transpose"), "{names:?}");
     }
 

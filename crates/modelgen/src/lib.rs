@@ -47,7 +47,12 @@ pub struct ModelSpec {
 /// The five models of Table 1 with their paper-reported op counts.
 pub fn paper_models() -> Vec<ModelSpec> {
     vec![
-        ModelSpec { name: "Squeezenet", kind: ModelKind::Cnn, target_ops: 126, hidden: 8 },
+        ModelSpec {
+            name: "Squeezenet",
+            kind: ModelKind::Cnn,
+            target_ops: 126,
+            hidden: 8,
+        },
         ModelSpec {
             name: "GPT-2",
             kind: ModelKind::TransformerDecoder,
@@ -78,7 +83,9 @@ pub fn paper_models() -> Vec<ModelSpec> {
 /// Counts the ops in the model function's body, excluding the terminator —
 /// the quantity Table 1 reports.
 pub fn count_model_ops(ctx: &Context, module: OpId) -> usize {
-    let Some(func) = ctx.lookup_symbol(module, "main") else { return 0 };
+    let Some(func) = ctx.lookup_symbol(module, "main") else {
+        return 0;
+    };
     ctx.walk_nested(func)
         .into_iter()
         .filter(|&op| ctx.op(op).name.as_str() != "func.return")
@@ -107,7 +114,9 @@ impl Builder<'_> {
         result: TypeId,
         attrs: Vec<(Symbol, Attribute)>,
     ) -> ValueId {
-        let op = self.ctx.create_op(Location::name(name), name, operands, vec![result], attrs, 0);
+        let op = self
+            .ctx
+            .create_op(Location::name(name), name, operands, vec![result], attrs, 0);
         self.ctx.append_op(self.block, op);
         self.ctx.op(op).results()[0]
     }
@@ -208,7 +217,11 @@ pub fn build_model(ctx: &mut Context, spec: &ModelSpec) -> OpId {
     let input_ty = tensor_type(ctx, &shape, f32);
     let (_func, entry) = build_func(ctx, module, "main", &[input_ty], &[input_ty]);
     let input = ctx.block(entry).args()[0];
-    let mut b = Builder { ctx, block: entry, f32 };
+    let mut b = Builder {
+        ctx,
+        block: entry,
+        f32,
+    };
 
     let mut x = input;
     loop {
@@ -235,8 +248,14 @@ pub fn build_model(ctx: &mut Context, spec: &ModelSpec) -> OpId {
     while b.ctx.block(entry).ops().len() < spec.target_ops {
         x = b.pad_op(x);
     }
-    let ret =
-        b.ctx.create_op(Location::name("return"), "func.return", vec![x], vec![], vec![], 0);
+    let ret = b.ctx.create_op(
+        Location::name("return"),
+        "func.return",
+        vec![x],
+        vec![],
+        vec![],
+        0,
+    );
     b.ctx.append_op(entry, ret);
     module
 }
@@ -257,7 +276,12 @@ mod tests {
         for spec in paper_models() {
             let mut ctx = fresh_ctx();
             let module = build_model(&mut ctx, &spec);
-            assert_eq!(count_model_ops(&ctx, module), spec.target_ops, "{}", spec.name);
+            assert_eq!(
+                count_model_ops(&ctx, module),
+                spec.target_ops,
+                "{}",
+                spec.name
+            );
         }
     }
 
@@ -266,7 +290,12 @@ mod tests {
         for spec in paper_models() {
             let mut ctx = fresh_ctx();
             let module = build_model(&mut ctx, &spec);
-            assert!(verify(&ctx, module).is_ok(), "{}: {:?}", spec.name, verify(&ctx, module));
+            assert!(
+                verify(&ctx, module).is_ok(),
+                "{}: {:?}",
+                spec.name,
+                verify(&ctx, module)
+            );
         }
     }
 
@@ -275,16 +304,27 @@ mod tests {
         let mut ctx = fresh_ctx();
         let models = paper_models();
         let module = build_model(&mut ctx, &models[1]); // GPT-2
-        let names: Vec<&str> =
-            ctx.walk_nested(module).iter().map(|&o| ctx.op(o).name.as_str()).collect();
-        for expected in ["tosa.matmul", "tosa.exp", "tosa.reduce_sum", "tosa.transpose", "tosa.add"]
-        {
+        let names: Vec<&str> = ctx
+            .walk_nested(module)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
+        for expected in [
+            "tosa.matmul",
+            "tosa.exp",
+            "tosa.reduce_sum",
+            "tosa.transpose",
+            "tosa.add",
+        ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
         let mut ctx2 = fresh_ctx();
         let cnn = build_model(&mut ctx2, &models[0]);
-        let names2: Vec<&str> =
-            ctx2.walk_nested(cnn).iter().map(|&o| ctx2.op(o).name.as_str()).collect();
+        let names2: Vec<&str> = ctx2
+            .walk_nested(cnn)
+            .iter()
+            .map(|&o| ctx2.op(o).name.as_str())
+            .collect();
         assert!(names2.contains(&"tosa.conv2d"));
     }
 
@@ -295,12 +335,20 @@ mod tests {
         let module = build_model(&mut ctx, &models[0]); // Squeezenet (smallest)
         let mut registry = td_ir::PassRegistry::new();
         td_dialects::passes::register_all_passes(&mut registry);
-        let mut pm = registry.parse_pipeline(td_dialects::passes::TOSA_PIPELINE).unwrap();
-        pm.run(&mut ctx, module).unwrap_or_else(|e| panic!("pipeline failed: {e}"));
-        let names: Vec<&str> =
-            ctx.walk_nested(module).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let mut pm = registry
+            .parse_pipeline(td_dialects::passes::TOSA_PIPELINE)
+            .unwrap();
+        pm.run(&mut ctx, module)
+            .unwrap_or_else(|e| panic!("pipeline failed: {e}"));
+        let names: Vec<&str> = ctx
+            .walk_nested(module)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(
-            names.iter().all(|n| !n.starts_with("tosa.") && !n.starts_with("linalg.")),
+            names
+                .iter()
+                .all(|n| !n.starts_with("tosa.") && !n.starts_with("linalg.")),
             "pipeline must lower everything: {:?}",
             names
                 .iter()

@@ -24,7 +24,11 @@ pub struct Idx<T> {
 impl<T> Idx<T> {
     /// Creates an index from raw parts. Mostly useful in tests.
     pub fn from_raw(index: u32, generation: u32) -> Self {
-        Idx { index, generation, _marker: PhantomData }
+        Idx {
+            index,
+            generation,
+            _marker: PhantomData,
+        }
     }
 
     /// The slot position inside the arena.
@@ -73,8 +77,14 @@ impl<T> fmt::Debug for Idx<T> {
 }
 
 enum Slot<T> {
-    Occupied { generation: u32, value: T },
-    Free { generation: u32, next_free: Option<u32> },
+    Occupied {
+        generation: u32,
+        value: T,
+    },
+    Free {
+        generation: u32,
+        next_free: Option<u32>,
+    },
 }
 
 /// A generational arena: O(1) insert, erase, and lookup with stale-index
@@ -105,7 +115,11 @@ impl<T> Default for Arena<T> {
 impl<T> Arena<T> {
     /// Creates an empty arena.
     pub fn new() -> Self {
-        Arena { slots: Vec::new(), free_head: None, len: 0 }
+        Arena {
+            slots: Vec::new(),
+            free_head: None,
+            len: 0,
+        }
     }
 
     /// Number of live entities.
@@ -124,7 +138,10 @@ impl<T> Arena<T> {
         if let Some(index) = self.free_head {
             let slot = &mut self.slots[index as usize];
             let generation = match slot {
-                Slot::Free { generation, next_free } => {
+                Slot::Free {
+                    generation,
+                    next_free,
+                } => {
                     self.free_head = *next_free;
                     *generation
                 }
@@ -134,7 +151,10 @@ impl<T> Arena<T> {
             Idx::from_raw(index, generation)
         } else {
             let index = self.slots.len() as u32;
-            self.slots.push(Slot::Occupied { generation: 0, value });
+            self.slots.push(Slot::Occupied {
+                generation: 0,
+                value,
+            });
             Idx::from_raw(index, 0)
         }
     }
@@ -176,7 +196,10 @@ impl<T> Arena<T> {
                 let next_gen = idx.generation.wrapping_add(1);
                 let old = std::mem::replace(
                     slot,
-                    Slot::Free { generation: next_gen, next_free: self.free_head },
+                    Slot::Free {
+                        generation: next_gen,
+                        next_free: self.free_head,
+                    },
                 );
                 self.free_head = Some(idx.index);
                 self.len -= 1;
@@ -191,12 +214,15 @@ impl<T> Arena<T> {
 
     /// Iterates over all live `(index, value)` pairs in slot order.
     pub fn iter(&self) -> impl Iterator<Item = (Idx<T>, &T)> {
-        self.slots.iter().enumerate().filter_map(|(i, slot)| match slot {
-            Slot::Occupied { generation, value } => {
-                Some((Idx::from_raw(i as u32, *generation), value))
-            }
-            Slot::Free { .. } => None,
-        })
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                Slot::Occupied { generation, value } => {
+                    Some((Idx::from_raw(i as u32, *generation), value))
+                }
+                Slot::Free { .. } => None,
+            })
     }
 }
 
@@ -205,13 +231,15 @@ impl<T> std::ops::Index<Idx<T>> for Arena<T> {
     /// # Panics
     /// Panics if the index is stale or out of bounds.
     fn index(&self, idx: Idx<T>) -> &T {
-        self.get(idx).unwrap_or_else(|| panic!("stale or invalid arena index {idx:?}"))
+        self.get(idx)
+            .unwrap_or_else(|| panic!("stale or invalid arena index {idx:?}"))
     }
 }
 
 impl<T> std::ops::IndexMut<Idx<T>> for Arena<T> {
     fn index_mut(&mut self, idx: Idx<T>) -> &mut T {
-        self.get_mut(idx).unwrap_or_else(|| panic!("stale or invalid arena index {idx:?}"))
+        self.get_mut(idx)
+            .unwrap_or_else(|| panic!("stale or invalid arena index {idx:?}"))
     }
 }
 

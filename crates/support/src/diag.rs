@@ -37,7 +37,12 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates an error diagnostic.
     pub fn error(location: Location, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Error, location, message: message.into(), notes: vec![] }
+        Diagnostic {
+            severity: Severity::Error,
+            location,
+            message: message.into(),
+            notes: vec![],
+        }
     }
 
     /// Creates a warning diagnostic.
@@ -52,7 +57,12 @@ impl Diagnostic {
 
     /// Creates a remark diagnostic.
     pub fn remark(location: Location, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Remark, location, message: message.into(), notes: vec![] }
+        Diagnostic {
+            severity: Severity::Remark,
+            location,
+            message: message.into(),
+            notes: vec![],
+        }
     }
 
     /// Attaches a note (builder-style).
@@ -126,7 +136,10 @@ impl DiagnosticEngine {
 
     /// Number of error-severity diagnostics.
     pub fn error_count(&self) -> usize {
-        self.diagnostics.iter().filter(|d| d.severity() == Severity::Error).count()
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count()
     }
 
     /// Whether any error was emitted.

@@ -1,0 +1,175 @@
+//! A FileCheck-lite substring-check DSL for golden-file tests.
+//!
+//! A check file is ordinary text; lines containing a directive are
+//! interpreted, everything else is commentary. Supported directives
+//! (after an optional `//` or `;` comment leader):
+//!
+//! - `CHECK: <substring>` — the substring must occur in the input *after*
+//!   the position where the previous `CHECK` matched (matches are ordered).
+//! - `CHECK-NOT: <substring>` — the substring must *not* occur between the
+//!   previous `CHECK` match and the next one (or the end of input when it
+//!   is the last directive).
+//!
+//! Unlike LLVM FileCheck there are no regexes or variables: matching is
+//! plain substring search, which is robust against SSA renumbering as long
+//! as checks target op names, attributes, and shapes rather than value ids.
+//!
+//! # Examples
+//!
+//! ```
+//! use td_support::filecheck::check;
+//! let input = "a = tile(32)\nb = unroll(4)\n";
+//! check(input, "CHECK: tile(32)\nCHECK-NOT: vectorize\nCHECK: unroll(4)").unwrap();
+//! assert!(check(input, "CHECK: unroll(4)\nCHECK: tile(32)").is_err());
+//! ```
+
+/// One parsed directive, with the 1-based line it came from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Directive {
+    /// `CHECK:` — ordered substring match.
+    Check {
+        /// 1-based line in the check file.
+        line: usize,
+        /// Substring that must occur.
+        pattern: String,
+    },
+    /// `CHECK-NOT:` — forbidden in the gap up to the next match.
+    CheckNot {
+        /// 1-based line in the check file.
+        line: usize,
+        /// Substring that must not occur.
+        pattern: String,
+    },
+}
+
+/// Parses the directives out of a check file, ignoring everything else.
+pub fn parse_directives(spec: &str) -> Vec<Directive> {
+    let mut directives = Vec::new();
+    for (index, raw) in spec.lines().enumerate() {
+        let line = index + 1;
+        let text = raw.trim_start();
+        let text = text
+            .strip_prefix("//")
+            .or_else(|| text.strip_prefix(';'))
+            .unwrap_or(text);
+        let text = text.trim_start();
+        if let Some(rest) = text.strip_prefix("CHECK:") {
+            directives.push(Directive::Check {
+                line,
+                pattern: rest.trim().to_owned(),
+            });
+        } else if let Some(rest) = text.strip_prefix("CHECK-NOT:") {
+            directives.push(Directive::CheckNot {
+                line,
+                pattern: rest.trim().to_owned(),
+            });
+        }
+    }
+    directives
+}
+
+/// Runs the directives in `spec` against `input`.
+///
+/// # Errors
+/// Returns a human-readable report naming the first failing directive, its
+/// line in the check file, and the region of input it was checked against.
+pub fn check(input: &str, spec: &str) -> Result<(), String> {
+    let directives = parse_directives(spec);
+    let mut cursor = 0usize;
+    // CHECK-NOTs accumulate until the next CHECK resolves their scan region.
+    let mut pending_not: Vec<(usize, &str)> = Vec::new();
+    for directive in &directives {
+        match directive {
+            Directive::Check { line, pattern } => {
+                let found = input[cursor..].find(pattern.as_str());
+                let Some(offset) = found else {
+                    return Err(format!(
+                        "CHECK (check line {line}) not found after offset {cursor}: \
+                         `{pattern}`\nremaining input:\n{}",
+                        excerpt(&input[cursor..])
+                    ));
+                };
+                let matched_at = cursor + offset;
+                for (not_line, not_pattern) in pending_not.drain(..) {
+                    if let Some(bad) = input[cursor..matched_at].find(not_pattern) {
+                        return Err(format!(
+                            "CHECK-NOT (check line {not_line}) matched before the next CHECK: \
+                             `{not_pattern}` at offset {}\nregion:\n{}",
+                            cursor + bad,
+                            excerpt(&input[cursor..matched_at])
+                        ));
+                    }
+                }
+                cursor = matched_at + pattern.len();
+            }
+            Directive::CheckNot { line, pattern } => {
+                pending_not.push((*line, pattern.as_str()));
+            }
+        }
+    }
+    for (not_line, not_pattern) in pending_not {
+        if let Some(bad) = input[cursor..].find(not_pattern) {
+            return Err(format!(
+                "CHECK-NOT (check line {not_line}) matched: `{not_pattern}` at offset {}\n\
+                 region:\n{}",
+                cursor + bad,
+                excerpt(&input[cursor..])
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// First few lines of `text`, for error reports.
+fn excerpt(text: &str) -> String {
+    const MAX_LINES: usize = 12;
+    let mut out: String = text.lines().take(MAX_LINES).collect::<Vec<_>>().join("\n");
+    if text.lines().count() > MAX_LINES {
+        out.push_str("\n...");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checks_match_in_order() {
+        let input = "alpha\nbeta\ngamma\n";
+        assert!(check(input, "CHECK: alpha\nCHECK: gamma").is_ok());
+        let err = check(input, "CHECK: gamma\nCHECK: alpha").unwrap_err();
+        assert!(err.contains("`alpha`"), "{err}");
+    }
+
+    #[test]
+    fn check_not_guards_the_gap() {
+        let input = "tile\nvectorize\nunroll\n";
+        // vectorize occurs between tile and unroll: the NOT fires.
+        assert!(check(input, "CHECK: tile\nCHECK-NOT: vectorize\nCHECK: unroll").is_err());
+        // ...but not between unroll and end of input.
+        assert!(check(input, "CHECK: unroll\nCHECK-NOT: vectorize").is_ok());
+    }
+
+    #[test]
+    fn trailing_check_not_scans_to_end() {
+        let input = "a\nb\nforbidden\n";
+        assert!(check(input, "CHECK: a\nCHECK-NOT: forbidden").is_err());
+    }
+
+    #[test]
+    fn non_directive_lines_are_commentary() {
+        let spec = "This file checks things.\n// CHECK: a\n; CHECK-NOT: z\n  CHECK: b\n";
+        let directives = parse_directives(spec);
+        assert_eq!(directives.len(), 3);
+        assert!(check("a then b", spec).is_ok());
+    }
+
+    #[test]
+    fn same_line_cannot_match_twice() {
+        // The cursor advances past each match, so a single occurrence
+        // cannot satisfy two CHECKs.
+        assert!(check("once\n", "CHECK: once\nCHECK: once").is_err());
+        assert!(check("once\nonce\n", "CHECK: once\nCHECK: once").is_ok());
+    }
+}

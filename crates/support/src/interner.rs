@@ -29,7 +29,12 @@ struct Interner {
 
 fn global() -> &'static Mutex<Interner> {
     static GLOBAL: OnceLock<Mutex<Interner>> = OnceLock::new();
-    GLOBAL.get_or_init(|| Mutex::new(Interner { map: HashMap::new(), strings: Vec::new() }))
+    GLOBAL.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
 }
 
 impl Symbol {

@@ -11,12 +11,25 @@
 //!   keys);
 //! * [`location::Location`] and [`diag::Diagnostic`] — the error-reporting
 //!   vocabulary shared by the verifier, the pass manager, and the transform
-//!   interpreter.
+//!   interpreter;
+//! * [`rng`] — vendored deterministic PRNGs (SplitMix64, xoshiro256++), so
+//!   the workspace needs no external `rand`;
+//! * [`proptest`] — a minimal in-tree property-testing harness (seeded
+//!   generation, shrinking by halving, failure-seed replay);
+//! * [`metrics`] — counters, timers, and scoped spans with a JSON dump,
+//!   reported into by the pass manager, the rewrite driver, and the
+//!   transform interpreter;
+//! * [`filecheck`] — a FileCheck-lite substring-check DSL backing the
+//!   golden-file tests.
 
 pub mod arena;
 pub mod diag;
+pub mod filecheck;
 pub mod interner;
 pub mod location;
+pub mod metrics;
+pub mod proptest;
+pub mod rng;
 
 pub use arena::{Arena, Idx};
 pub use diag::{Diagnostic, DiagnosticEngine, Severity};

@@ -35,7 +35,11 @@ impl Location {
 
     /// A `file:line:column` location.
     pub fn file(file: impl AsRef<str>, line: u32, column: u32) -> Location {
-        Location::File { file: Arc::from(file.as_ref()), line, column }
+        Location::File {
+            file: Arc::from(file.as_ref()),
+            line,
+            column,
+        }
     }
 
     /// A named location for synthesized IR.

@@ -17,9 +17,9 @@ use crate::conditions::{conditions_for, OpSet};
 use crate::error::{TransformError, TransformResult};
 use crate::registry::{TransformOpDef, TransformOpRegistry};
 use crate::state::TransformState;
+use std::collections::HashMap;
 use td_ir::{Attribute, Context, OpBuilder, OpId, ValueId};
 use td_support::Diagnostic;
-use std::collections::HashMap;
 
 /// An abstraction level AD can run at (Fig. 5's three options).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -131,7 +131,10 @@ fn autodiff_handler(
 ) -> TransformResult {
     let location = ctx.op(op).location.clone();
     let handle = ctx.op(op).operands().first().copied().ok_or_else(|| {
-        TransformError::definite(location.clone(), "'transform.autodiff' expects a function handle")
+        TransformError::definite(
+            location.clone(),
+            "'transform.autodiff' expects a function handle",
+        )
     })?;
     let add_kind = ctx
         .op(op)
@@ -143,7 +146,10 @@ fn autodiff_handler(
                 "'transform.autodiff' needs an 'add_kind' (set explicitly or via introspection)",
             )
         })?;
-    let mul_kind = add_kind.replace("addf", "mulf").replace("add", "mul").replace("fadd", "fmul");
+    let mul_kind = add_kind
+        .replace("addf", "mulf")
+        .replace("add", "mul")
+        .replace("fadd", "fmul");
     // Normalize: tosa.add→tosa.mul, arith.addf→arith.mulf, llvm.fadd→llvm.fmul.
     let mul_kind = match add_kind.as_str() {
         "tosa.add" => "tosa.mul".to_owned(),
@@ -284,12 +290,21 @@ mod tests {
 
     #[test]
     fn stage_inference() {
-        assert_eq!(AdStage::from_live_ops(["tosa.add", "func.func"]), AdStage::Tosa);
-        assert_eq!(AdStage::from_live_ops(["arith.addf", "scf.for"]), AdStage::Arith);
+        assert_eq!(
+            AdStage::from_live_ops(["tosa.add", "func.func"]),
+            AdStage::Tosa
+        );
+        assert_eq!(
+            AdStage::from_live_ops(["arith.addf", "scf.for"]),
+            AdStage::Arith
+        );
         assert_eq!(AdStage::from_live_ops(["llvm.fadd"]), AdStage::Llvm);
         assert_eq!(AdStage::from_live_ops(["func.func"]), AdStage::Arith);
         // Mixed: the highest level wins (tosa before arith).
-        assert_eq!(AdStage::from_live_ops(["arith.addf", "tosa.add"]), AdStage::Tosa);
+        assert_eq!(
+            AdStage::from_live_ops(["arith.addf", "tosa.add"]),
+            AdStage::Tosa
+        );
     }
 
     #[test]

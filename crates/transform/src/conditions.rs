@@ -13,9 +13,9 @@
 //! `expand-strided-metadata` can introduce `affine.apply`, which nothing in
 //! the naive Case Study 2 pipeline lowers.
 
+use std::collections::BTreeSet;
 use td_ir::{Context, OpId};
 use td_support::Diagnostic;
-use std::collections::BTreeSet;
 
 /// One pattern in an op set.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -60,12 +60,9 @@ impl OpPattern {
     pub fn matches(&self, descriptor: &str) -> bool {
         match self {
             OpPattern::Any => true,
-            OpPattern::Dialect(dialect) => {
-                descriptor.split('.').next() == Some(dialect.as_str())
-            }
+            OpPattern::Dialect(dialect) => descriptor.split('.').next() == Some(dialect.as_str()),
             OpPattern::Exact(name) => {
-                descriptor == name
-                    || descriptor.strip_suffix(".constr") == Some(name.as_str())
+                descriptor == name || descriptor.strip_suffix(".constr") == Some(name.as_str())
             }
             OpPattern::Constrained(name) => descriptor == name,
             // Interface patterns never match bare descriptors; expand them
@@ -107,7 +104,12 @@ pub struct OpSet {
 impl OpSet {
     /// Builds a set from textual patterns.
     pub fn of(patterns: impl IntoIterator<Item = impl AsRef<str>>) -> OpSet {
-        OpSet { patterns: patterns.into_iter().map(|p| OpPattern::parse(p.as_ref())).collect() }
+        OpSet {
+            patterns: patterns
+                .into_iter()
+                .map(|p| OpPattern::parse(p.as_ref()))
+                .collect(),
+        }
     }
 
     /// Whether the set matches a descriptor.
@@ -133,15 +135,16 @@ impl OpSet {
         for pattern in &self.patterns {
             match pattern {
                 OpPattern::Interface(name) => {
-                    let Some(traits) = interface_traits(name) else { continue };
+                    let Some(traits) = interface_traits(name) else {
+                        continue;
+                    };
                     let mut names: Vec<&str> = registry
                         .iter()
                         .filter(|spec| spec.traits.contains(traits))
                         .map(|spec| spec.name.as_str())
                         .collect();
                     names.sort_unstable();
-                    patterns
-                        .extend(names.into_iter().map(|n| OpPattern::Exact(n.to_owned())));
+                    patterns.extend(names.into_iter().map(|n| OpPattern::Exact(n.to_owned())));
                 }
                 other => patterns.push(other.clone()),
             }
@@ -193,7 +196,13 @@ pub fn standard_pass_conditions() -> Vec<PassConditions> {
         PassConditions::new(
             "convert-scf-to-cf",
             &["scf.*"],
-            &["cf.br", "cf.cond_br", "arith.cmpi", "arith.addi", "arith.constant"],
+            &[
+                "cf.br",
+                "cf.cond_br",
+                "arith.cmpi",
+                "arith.addi",
+                "arith.constant",
+            ],
         ),
         PassConditions::new(
             "convert-arith-to-llvm",
@@ -219,12 +228,21 @@ pub fn standard_pass_conditions() -> Vec<PassConditions> {
         PassConditions::new(
             "convert-cf-to-llvm",
             &["cf.*"],
-            &["llvm.br", "llvm.cond_br", "builtin.unrealized_conversion_cast"],
+            &[
+                "llvm.br",
+                "llvm.cond_br",
+                "builtin.unrealized_conversion_cast",
+            ],
         ),
         PassConditions::new(
             "convert-func-to-llvm",
             &["func.*"],
-            &["llvm.func", "llvm.return", "llvm.call", "builtin.unrealized_conversion_cast"],
+            &[
+                "llvm.func",
+                "llvm.return",
+                "llvm.call",
+                "builtin.unrealized_conversion_cast",
+            ],
         ),
         PassConditions::new(
             "expand-strided-metadata",
@@ -268,7 +286,9 @@ pub fn standard_pass_conditions() -> Vec<PassConditions> {
 
 /// Looks up the standard conditions of a pass.
 pub fn conditions_for(pass: &str) -> Option<PassConditions> {
-    standard_pass_conditions().into_iter().find(|c| c.name == pass)
+    standard_pass_conditions()
+        .into_iter()
+        .find(|c| c.name == pass)
 }
 
 /// One step of a static pipeline check.
@@ -311,7 +331,11 @@ impl CheckReport {
                 "pipeline check failed: {} will remain after the pipeline but the target \
                  op set does not allow {}",
                 self.leftover.join(", "),
-                if self.leftover.len() == 1 { "it" } else { "them" },
+                if self.leftover.len() == 1 {
+                    "it"
+                } else {
+                    "them"
+                },
             ),
         ))
     }
@@ -319,11 +343,7 @@ impl CheckReport {
 
 /// Statically checks a pipeline of condition-annotated steps against an
 /// initial op-descriptor set and a target op set.
-pub fn check_steps(
-    steps: &[PassConditions],
-    input_ops: &[&str],
-    target: &OpSet,
-) -> CheckReport {
+pub fn check_steps(steps: &[PassConditions], input_ops: &[&str], target: &OpSet) -> CheckReport {
     let mut state: BTreeSet<String> = input_ops.iter().map(|s| (*s).to_owned()).collect();
     let mut reports = Vec::new();
     for step in steps {
@@ -345,8 +365,15 @@ pub fn check_steps(
             state_after: state.iter().cloned().collect(),
         });
     }
-    let leftover: Vec<String> = state.iter().filter(|d| !target.matches(d)).cloned().collect();
-    CheckReport { steps: reports, leftover }
+    let leftover: Vec<String> = state
+        .iter()
+        .filter(|d| !target.matches(d))
+        .cloned()
+        .collect();
+    CheckReport {
+        steps: reports,
+        leftover,
+    }
 }
 
 /// Statically checks a named pipeline using the standard conditions table.
@@ -568,8 +595,7 @@ mod tests {
     #[test]
     fn step_reports_trace_evolution() {
         let input = ["scf.for", "func.func"];
-        let report =
-            check_pipeline(&["convert-scf-to-cf"], &input, &OpSet::of(["*.*"])).unwrap();
+        let report = check_pipeline(&["convert-scf-to-cf"], &input, &OpSet::of(["*.*"])).unwrap();
         assert!(report.is_ok());
         let step = &report.steps[0];
         assert_eq!(step.removed, vec!["scf.for"]);
@@ -602,8 +628,7 @@ mod tests {
         assert!(expanded.matches("cf.br"));
         assert!(!expanded.matches("arith.addi"));
         // Terminator interface covers branch/return families.
-        let terminators =
-            OpSet::of(["interface:terminator"]).expand_interfaces(&ctx.registry);
+        let terminators = OpSet::of(["interface:terminator"]).expand_interfaces(&ctx.registry);
         assert!(terminators.matches("func.return"));
         assert!(terminators.matches("cf.cond_br"));
         assert!(!terminators.matches("func.func"));
@@ -616,8 +641,7 @@ mod tests {
             td_dialects::register_all_dialects(&mut c);
             c
         };
-        let expanded =
-            OpSet::of(["interface:made_up"]).expand_interfaces(&ctx.registry);
+        let expanded = OpSet::of(["interface:made_up"]).expand_interfaces(&ctx.registry);
         assert!(!expanded.matches("memref.alloc"));
     }
 

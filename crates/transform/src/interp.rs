@@ -5,7 +5,9 @@
 use crate::error::{TransformError, TransformResult};
 use crate::registry::{LibraryResolver, NamedPatternRegistry, TransformOpRegistry};
 use crate::state::TransformState;
+use std::time::Instant;
 use td_ir::{BlockId, Context, OpId, PassRegistry, ValueId};
+use td_support::metrics;
 
 /// Interpreter configuration.
 #[derive(Clone, Copy, Debug)]
@@ -23,7 +25,10 @@ pub struct InterpConfig {
 
 impl Default for InterpConfig {
     fn default() -> Self {
-        InterpConfig { expensive_checks: true, check_conditions: false }
+        InterpConfig {
+            expensive_checks: true,
+            check_conditions: false,
+        }
     }
 }
 
@@ -112,7 +117,10 @@ pub struct Interpreter<'e> {
 impl<'e> Interpreter<'e> {
     /// Creates an interpreter over `env`.
     pub fn new(env: &'e InterpEnv<'e>) -> Self {
-        Interpreter { env, stats: InterpStats::default() }
+        Interpreter {
+            env,
+            stats: InterpStats::default(),
+        }
     }
 
     /// Applies the transform script rooted at `entry` (a
@@ -135,6 +143,8 @@ impl<'e> Interpreter<'e> {
         entry: OpId,
         payload: OpId,
     ) -> TransformResult {
+        let _apply_span = metrics::span("interp.apply");
+        metrics::counter("interp.applies", 1);
         let name = ctx.op(entry).name.as_str();
         if name != "transform.named_sequence" && name != "transform.sequence" {
             return Err(TransformError::definite(
@@ -145,9 +155,14 @@ impl<'e> Interpreter<'e> {
         let region = ctx.op(entry).regions().first().copied().ok_or_else(|| {
             TransformError::definite(ctx.op(entry).location.clone(), "entry point has no region")
         })?;
-        let block = ctx.region(region).blocks().first().copied().ok_or_else(|| {
-            TransformError::definite(ctx.op(entry).location.clone(), "entry point has no block")
-        })?;
+        let block = ctx
+            .region(region)
+            .blocks()
+            .first()
+            .copied()
+            .ok_or_else(|| {
+                TransformError::definite(ctx.op(entry).location.clone(), "entry point has no block")
+            })?;
         if let Some(&arg) = ctx.block(block).args().first() {
             state.set_ops(arg, vec![payload]);
         }
@@ -212,31 +227,37 @@ impl<'e> Interpreter<'e> {
         }
 
         // Snapshot the affected payload scope for dynamic condition checks.
-        let condition_scope: Option<(OpId, Vec<String>)> = if self.env.config.check_conditions
-            && !def.post.is_empty()
-        {
-            self.payload_scope(ctx, state, op).map(|scope| {
-                (scope, crate::conditions::scan_payload_ops(ctx, scope, None))
-            })
-        } else {
-            None
-        };
+        let condition_scope: Option<(OpId, Vec<String>)> =
+            if self.env.config.check_conditions && !def.post.is_empty() {
+                self.payload_scope(ctx, state, op)
+                    .map(|scope| (scope, crate::conditions::scan_payload_ops(ctx, scope, None)))
+            } else {
+                None
+            };
 
         // Capture invalidation sets for consumed operands before mutation.
         let mut to_invalidate: Vec<(ValueId, String)> = Vec::new();
         for &index in &def.consumed_operands {
-            let Some(&operand) = ctx.op(op).operands().get(index) else { continue };
+            let Some(&operand) = ctx.op(op).operands().get(index) else {
+                continue;
+            };
             // Reading an already-invalidated handle is an error (detected
             // dynamically here; the static analysis catches it offline).
             let location = ctx.op(op).location.clone();
             let _ = state.ops(operand, &location)?;
             for handle in state.aliasing_handles(ctx, operand) {
-                to_invalidate
-                    .push((handle, format!("consumed by '{}' at {location}", name)));
+                to_invalidate.push((handle, format!("consumed by '{}' at {location}", name)));
             }
         }
 
+        let handler_start = Instant::now();
         (def.handler)(self, ctx, state, op)?;
+        metrics::timer_ns(
+            &format!("transform.{name}"),
+            handler_start.elapsed().as_nanos(),
+        );
+        metrics::counter("interp.transforms_executed", 1);
+        metrics::high_watermark("interp.live_handles_peak", state.num_mappings() as u64);
         self.stats.transforms_executed += 1;
 
         for (handle, reason) in to_invalidate {
@@ -258,19 +279,80 @@ impl<'e> Interpreter<'e> {
         Ok(())
     }
 
-    /// The payload scope a transform affects, for dynamic condition checks:
-    /// the common enclosing op of the first operand's payload (its parent,
-    /// so newly created siblings are visible to the scan).
-    fn payload_scope(
-        &self,
-        ctx: &Context,
-        state: &TransformState,
-        op: OpId,
-    ) -> Option<OpId> {
+    /// The payload scope a transform affects, for dynamic condition
+    /// checks: the common enclosing op of the first operand's payload (its
+    /// parent, so newly created siblings are visible to the scan).
+    fn payload_scope(&self, ctx: &Context, state: &TransformState, op: OpId) -> Option<OpId> {
         let &operand = ctx.op(op).operands().first()?;
         let location = ctx.op(op).location.clone();
         let targets = state.ops(operand, &location).ok()?;
         let &first = targets.first()?;
         ctx.parent_op(first).or(Some(first))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Per-transform timing, execution counters, and the live-handle
+    /// high-watermark all land in the metrics registry, and the JSON dump
+    /// carries them.
+    #[test]
+    fn interpreter_emits_metrics_json() {
+        metrics::reset();
+        let mut ctx = Context::new();
+        td_dialects::register_all_dialects(&mut ctx);
+        crate::register_transform_dialect(&mut ctx);
+        let payload = td_ir::parse_module(
+            &mut ctx,
+            r#"module {
+  %a = arith.constant 1 : index
+  %b = arith.constant 2 : index
+}"#,
+        )
+        .unwrap();
+        let script = td_ir::parse_module(
+            &mut ctx,
+            r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %consts = "transform.match_op"(%root) {name = "arith.constant", select = "all"}
+        : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%consts) {name = "seen"} : (!transform.any_op) -> ()
+    "transform.annotate"(%consts) {name = "seen_again"} : (!transform.any_op) -> ()
+  }
+}"#,
+        )
+        .unwrap();
+        let entry = ctx.lookup_symbol(script, "main").unwrap();
+        let env = InterpEnv::standard();
+        let mut interp = Interpreter::new(&env);
+        let mut state = TransformState::new();
+        interp
+            .apply_with_state(&mut ctx, &mut state, entry, payload)
+            .unwrap();
+
+        let snapshot = metrics::snapshot();
+        assert_eq!(snapshot.counter_value("interp.applies"), Some(1));
+        assert_eq!(
+            snapshot.counter_value("interp.transforms_executed"),
+            Some(interp.stats.transforms_executed as u64)
+        );
+        // %root plus %consts were live at once.
+        assert!(snapshot.counter_value("interp.live_handles_peak") >= Some(2));
+        let annotate = snapshot
+            .timer_stat("transform.transform.annotate")
+            .expect("per-transform timer recorded");
+        assert_eq!(annotate.count, 2);
+        assert!(
+            snapshot.timer_stat("interp.apply").is_some(),
+            "span recorded on drop"
+        );
+        let json = snapshot.to_json();
+        assert!(
+            json.contains("\"transform.transform.match_op\""),
+            "dump: {json}"
+        );
+        assert!(json.contains("\"interp.applies\":1"), "dump: {json}");
     }
 }

@@ -14,9 +14,9 @@
 //! standard op where this over-approximates.)
 
 use crate::registry::TransformOpRegistry;
+use std::collections::{HashMap, HashSet};
 use td_ir::{Context, OpId, ValueId};
 use td_support::Diagnostic;
-use std::collections::{HashMap, HashSet};
 
 /// Runs the static analysis over the transform ops nested in `entry`
 /// (typically a `transform.named_sequence`). Returns one diagnostic per
@@ -109,7 +109,9 @@ impl Analysis<'_> {
             if !seen.insert(value) {
                 continue;
             }
-            self.consumed.entry(value).or_insert_with(|| consumer.to_owned());
+            self.consumed
+                .entry(value)
+                .or_insert_with(|| consumer.to_owned());
             if let Some(children) = self.derived.get(&value) {
                 worklist.extend(children.iter().copied());
             }

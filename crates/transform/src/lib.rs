@@ -34,11 +34,9 @@ pub mod state;
 
 pub use conditions::{check_pipeline, check_script, CheckReport, OpPattern, OpSet, PassConditions};
 pub use error::{TransformError, TransformResult};
+pub use interp::{InterpConfig, InterpEnv, InterpStats, Interpreter};
 pub use invalidation::analyze_invalidation;
-pub use pipeline_to_script::{pipeline_to_script, transform_main, TRANSFORM_MAIN};
-pub use interp::{InterpConfig, InterpEnv, Interpreter, InterpStats};
 pub use ops::register_transform_dialect;
-pub use registry::{
-    LibraryResolver, NamedPatternRegistry, TransformOpDef, TransformOpRegistry,
-};
+pub use pipeline_to_script::{pipeline_to_script, transform_main, TRANSFORM_MAIN};
+pub use registry::{LibraryResolver, NamedPatternRegistry, TransformOpDef, TransformOpRegistry};
 pub use state::{Mapped, TransformState};

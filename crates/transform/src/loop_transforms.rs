@@ -4,14 +4,17 @@
 //! Transform dialect exposes (§1): plain IR-to-IR functions with explicit
 //! inputs and outputs, callable from passes *or* from transform ops.
 
+use std::collections::HashMap;
 use td_dialects::arith::constant_int_value;
 use td_dialects::scf::{self, ForOp};
 use td_ir::{Context, OpBuilder, OpId, OpTraits, ValueId};
 use td_support::{Diagnostic, Location};
-use std::collections::HashMap;
 
 fn err(ctx: &Context, op: OpId, message: &str) -> Diagnostic {
-    Diagnostic::error(ctx.op(op).location.clone(), format!("'{}' op {message}", ctx.op(op).name))
+    Diagnostic::error(
+        ctx.op(op).location.clone(),
+        format!("'{}' op {message}", ctx.op(op).name),
+    )
 }
 
 /// Collects the perfect loop nest rooted at `root`: `root` plus each
@@ -21,7 +24,9 @@ pub fn perfect_nest(ctx: &Context, root: OpId) -> Vec<ForOp> {
     let mut nest = Vec::new();
     let mut cursor = root;
     loop {
-        let Some(for_op) = scf::as_for(ctx, cursor) else { break };
+        let Some(for_op) = scf::as_for(ctx, cursor) else {
+            break;
+        };
         nest.push(for_op);
         let body = scf::body_ops(ctx, for_op);
         match body.as_slice() {
@@ -65,15 +70,33 @@ fn new_for_before(
     let region = ctx.op(op).regions()[0];
     let index = ctx.index_type();
     let body = ctx.append_block(region, &[index]);
-    let yld = ctx.create_op(Location::name("scf.yield"), "scf.yield", vec![], vec![], vec![], 0);
+    let yld = ctx.create_op(
+        Location::name("scf.yield"),
+        "scf.yield",
+        vec![],
+        vec![],
+        vec![],
+        0,
+    );
     ctx.append_op(body, yld);
     let induction_var = ctx.block(body).args()[0];
-    ForOp { op, lower, upper, step, body, induction_var }
+    ForOp {
+        op,
+        lower,
+        upper,
+        step,
+        body,
+        induction_var,
+    }
 }
 
 /// The trailing `scf.yield` of a loop body.
 fn body_terminator(ctx: &Context, body: td_ir::BlockId) -> OpId {
-    ctx.block(body).ops().last().copied().expect("loop body has a terminator")
+    ctx.block(body)
+        .ops()
+        .last()
+        .copied()
+        .expect("loop body has a terminator")
 }
 
 /// Tiles the perfect nest rooted at `root` with the given tile sizes
@@ -116,7 +139,10 @@ pub fn tile(ctx: &mut Context, root: OpId, sizes: &[i64]) -> Result<Tiled, Diagn
         return Err(err(
             ctx,
             root,
-            &format!("expected a perfect nest of depth {} for tiling", sizes.len()),
+            &format!(
+                "expected a perfect nest of depth {} for tiling",
+                sizes.len()
+            ),
         ));
     }
     if sizes.iter().any(|&s| s < 1) {
@@ -164,8 +190,7 @@ pub fn tile(ctx: &mut Context, root: OpId, sizes: &[i64]) -> Result<Tiled, Diagn
     let mut upper_values = Vec::with_capacity(depth);
     for (level, for_op) in nest.iter().enumerate() {
         let size = sizes[level];
-        let divisible =
-            scf::static_trip_count(ctx, *for_op).is_some_and(|t| t % size == 0);
+        let divisible = scf::static_trip_count(ctx, *for_op).is_some_and(|t| t % size == 0);
         let upper_value = {
             let mut b = OpBuilder::before(ctx, anchor);
             let span = match constant_int_value(b.ctx(), for_op.step) {
@@ -204,8 +229,13 @@ pub fn tile(ctx: &mut Context, root: OpId, sizes: &[i64]) -> Result<Tiled, Diagn
     let mut point_loops = Vec::with_capacity(depth);
     let mut point_ivs = Vec::with_capacity(depth);
     for (level, for_op) in nest.iter().enumerate() {
-        let new_loop =
-            new_for_before(ctx, anchor, tile_ivs[level], upper_values[level], for_op.step);
+        let new_loop = new_for_before(
+            ctx,
+            anchor,
+            tile_ivs[level],
+            upper_values[level],
+            for_op.step,
+        );
         point_loops.push(new_loop.op);
         point_ivs.push(new_loop.induction_var);
         anchor = body_terminator(ctx, new_loop.body);
@@ -221,7 +251,10 @@ pub fn tile(ctx: &mut Context, root: OpId, sizes: &[i64]) -> Result<Tiled, Diagn
         ctx.replace_all_uses(for_op.induction_var, point_iv);
     }
     ctx.erase_op(root);
-    Ok(Tiled { tile_loops, point_loops })
+    Ok(Tiled {
+        tile_loops,
+        point_loops,
+    })
 }
 
 /// Splits `loop_op` into a main part whose trip count is divisible by
@@ -266,7 +299,6 @@ pub fn split(ctx: &mut Context, loop_op: OpId, divisor: i64) -> Result<(OpId, Op
     Ok((main, rest))
 }
 
-
 /// Trip count of a loop whose bounds are either fully static or in the
 /// offset form `ub = lb + constant` that tiling produces for point loops.
 pub fn symbolic_trip_count(ctx: &Context, for_op: ForOp) -> Option<i64> {
@@ -296,8 +328,13 @@ pub fn symbolic_trip_count(ctx: &Context, for_op: ForOp) -> Option<i64> {
 /// Fails when the trip count is not static.
 pub fn unroll_full(ctx: &mut Context, loop_op: OpId) -> Result<Vec<OpId>, Diagnostic> {
     let for_op = scf::as_for(ctx, loop_op).ok_or_else(|| err(ctx, loop_op, "is not a loop"))?;
-    let trip = scf::static_trip_count(ctx, for_op)
-        .ok_or_else(|| err(ctx, loop_op, "requires a static trip count for full unrolling"))?;
+    let trip = scf::static_trip_count(ctx, for_op).ok_or_else(|| {
+        err(
+            ctx,
+            loop_op,
+            "requires a static trip count for full unrolling",
+        )
+    })?;
     let lb = constant_int_value(ctx, for_op.lower).expect("static trip implies static lb");
     let step = constant_int_value(ctx, for_op.step).expect("static trip implies static step");
     let body_ops = scf::body_ops(ctx, for_op);
@@ -335,8 +372,13 @@ pub fn unroll_by(ctx: &mut Context, loop_op: OpId, factor: i64) -> Result<OpId, 
         return Ok(loop_op); // no-op, as the script simplifier also knows
     }
     let for_op = scf::as_for(ctx, loop_op).ok_or_else(|| err(ctx, loop_op, "is not a loop"))?;
-    let trip = symbolic_trip_count(ctx, for_op)
-        .ok_or_else(|| err(ctx, loop_op, "requires a (symbolically) static trip count for unrolling"))?;
+    let trip = symbolic_trip_count(ctx, for_op).ok_or_else(|| {
+        err(
+            ctx,
+            loop_op,
+            "requires a (symbolically) static trip count for unrolling",
+        )
+    })?;
     if trip % factor != 0 {
         return Err(err(
             ctx,
@@ -356,8 +398,12 @@ pub fn unroll_by(ctx: &mut Context, loop_op: OpId, factor: i64) -> Result<OpId, 
     let _ = pos_src;
     ctx.move_op_before(new_for.op, loop_op);
     let body_ops = scf::body_ops(ctx, for_op);
-    let terminator =
-        ctx.block(new_for.body).ops().last().copied().expect("new body has a terminator");
+    let terminator = ctx
+        .block(new_for.body)
+        .ops()
+        .last()
+        .copied()
+        .expect("new body has a terminator");
     for k in 0..factor {
         let iv_value = if k == 0 {
             new_for.induction_var
@@ -407,8 +453,8 @@ pub fn hoist_invariants(ctx: &mut Context, loop_op: OpId) -> Result<Vec<OpId>, D
                         let mut inside = false;
                         if let Some(region) = ctx.block(block).parent() {
                             if let Some(parent) = ctx.region(region).parent() {
-                                inside = parent == loop_op
-                                    || ctx.is_proper_ancestor(loop_op, parent);
+                                inside =
+                                    parent == loop_op || ctx.is_proper_ancestor(loop_op, parent);
                             }
                         }
                         !inside
@@ -453,7 +499,10 @@ pub fn interchange(
         return Err(err(ctx, root, "nest is shallower than the permutation"));
     }
     let nest = &nest[..depth];
-    let block = ctx.op(root).parent().ok_or_else(|| err(ctx, root, "is detached"))?;
+    let block = ctx
+        .op(root)
+        .parent()
+        .ok_or_else(|| err(ctx, root, "is detached"))?;
 
     let _ = block;
     let mut new_loops = Vec::with_capacity(depth);
@@ -492,16 +541,22 @@ pub fn interchange(
 /// Fails when the loops are not adjacent siblings or bounds differ.
 pub fn fuse(ctx: &mut Context, first: OpId, second: OpId) -> Result<OpId, Diagnostic> {
     let first_for = scf::as_for(ctx, first).ok_or_else(|| err(ctx, first, "is not a loop"))?;
-    let second_for =
-        scf::as_for(ctx, second).ok_or_else(|| err(ctx, second, "is not a loop"))?;
-    let block = ctx.op(first).parent().ok_or_else(|| err(ctx, first, "is detached"))?;
+    let second_for = scf::as_for(ctx, second).ok_or_else(|| err(ctx, second, "is not a loop"))?;
+    let block = ctx
+        .op(first)
+        .parent()
+        .ok_or_else(|| err(ctx, first, "is detached"))?;
     if ctx.op(second).parent() != Some(block) {
         return Err(err(ctx, second, "is not a sibling of the fusion target"));
     }
     let first_pos = ctx.op_position(block, first).expect("in block");
     let second_pos = ctx.op_position(block, second).expect("in block");
     if second_pos != first_pos + 1 {
-        return Err(err(ctx, second, "must immediately follow the fusion target"));
+        return Err(err(
+            ctx,
+            second,
+            "must immediately follow the fusion target",
+        ));
     }
     if (first_for.lower, first_for.upper, first_for.step)
         != (second_for.lower, second_for.upper, second_for.step)
@@ -623,7 +678,11 @@ mod tests {
         assert_eq!(tiled.point_loops.len(), 2);
         assert!(verify(&ctx, m).is_ok(), "{:?}", verify(&ctx, m));
         // 64 divisible by 32: no minsi needed.
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(!names.contains(&"arith.minsi"), "{names:?}");
         assert_eq!(scf::collect_loops(&ctx, m).len(), 4);
     }
@@ -633,8 +692,15 @@ mod tests {
         let (mut ctx, m) = parse(SIMPLE_LOOP);
         let root = first_loop(&ctx, m);
         tile(&mut ctx, root, &[32]).unwrap();
-        let names: Vec<&str> = ctx.walk_nested(m).iter().map(|&o| ctx.op(o).name.as_str()).collect();
-        assert!(names.contains(&"arith.minsi"), "196 % 32 != 0 needs a bound guard");
+        let names: Vec<&str> = ctx
+            .walk_nested(m)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
+        assert!(
+            names.contains(&"arith.minsi"),
+            "196 % 32 != 0 needs a bound guard"
+        );
         assert!(verify(&ctx, m).is_ok(), "{:?}", verify(&ctx, m));
     }
 
@@ -744,7 +810,11 @@ mod tests {
         assert_eq!(hoisted.len(), 2, "constant and add are both invariant");
         assert!(verify(&ctx, m).is_ok(), "{:?}", verify(&ctx, m));
         let for_op = scf::as_for(&ctx, root).unwrap();
-        assert_eq!(scf::body_ops(&ctx, for_op).len(), 1, "only the iv-dependent use remains");
+        assert_eq!(
+            scf::body_ops(&ctx, for_op).len(),
+            1,
+            "only the iv-dependent use remains"
+        );
     }
 
     #[test]
@@ -763,7 +833,10 @@ mod tests {
         let outer = scf::as_for(&ctx, new_loops[0]).unwrap();
         let inner = scf::as_for(&ctx, new_loops[1]).unwrap();
         let operands = ctx.op(load).operands();
-        assert_eq!(operands[1], inner.induction_var, "i index now comes from the inner loop");
+        assert_eq!(
+            operands[1], inner.induction_var,
+            "i index now comes from the inner loop"
+        );
         assert_eq!(operands[2], outer.induction_var);
     }
 

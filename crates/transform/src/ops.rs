@@ -11,10 +11,10 @@ use crate::interp::Interpreter;
 use crate::loop_transforms;
 use crate::registry::{TransformOpDef, TransformOpRegistry};
 use crate::state::TransformState;
+use std::collections::HashMap;
 use td_ir::rewrite::{apply_patterns_greedily, GreedyConfig, PatternSet};
 use td_ir::{Attribute, Context, OpId, OpSpec, OpTraits, ValueId};
 use td_support::{Location, Symbol};
-use std::collections::HashMap;
 
 /// Registers the transform dialect's op *specs* (for IR verification and
 /// printing of Transform scripts themselves).
@@ -24,9 +24,11 @@ pub fn register_transform_dialect(ctx: &mut Context) {
         OpSpec::new("transform.named_sequence", "reusable transform macro")
             .with_traits(OpTraits::ISOLATED_FROM_ABOVE | OpTraits::SYMBOL),
     );
-    ctx.registry.register(OpSpec::new("transform.sequence", "sequential composition"));
     ctx.registry
-        .register(OpSpec::new("transform.yield", "region terminator").with_traits(OpTraits::TERMINATOR));
+        .register(OpSpec::new("transform.sequence", "sequential composition"));
+    ctx.registry.register(
+        OpSpec::new("transform.yield", "region terminator").with_traits(OpTraits::TERMINATOR),
+    );
     for name in [
         "transform.include",
         "transform.foreach",
@@ -49,7 +51,8 @@ pub fn register_transform_dialect(ctx: &mut Context) {
         "transform.to_library",
         "transform.select_op",
     ] {
-        ctx.registry.register(OpSpec::new(name, "transform operation"));
+        ctx.registry
+            .register(OpSpec::new(name, "transform operation"));
     }
 }
 
@@ -119,10 +122,24 @@ pub fn register_standard(registry: &mut TransformOpRegistry) {
     registry.register(TransformOpDef::new(
         "transform.named_sequence",
         "declaration; executed only via include or as the entry point",
-        |_, ctx, _, op| Err(definite(ctx, op, "named_sequence is a declaration and cannot be executed inline")),
+        |_, ctx, _, op| {
+            Err(definite(
+                ctx,
+                op,
+                "named_sequence is a declaration and cannot be executed inline",
+            ))
+        },
     ));
-    registry.register(TransformOpDef::new("transform.include", "expand a named sequence", include));
-    registry.register(TransformOpDef::new("transform.foreach", "map over payload ops", foreach));
+    registry.register(TransformOpDef::new(
+        "transform.include",
+        "expand a named sequence",
+        include,
+    ));
+    registry.register(TransformOpDef::new(
+        "transform.foreach",
+        "map over payload ops",
+        foreach,
+    ));
     registry.register(
         TransformOpDef::new(
             "transform.alternatives",
@@ -138,26 +155,52 @@ pub fn register_standard(registry: &mut TransformOpRegistry) {
         "narrow a handle to its index-th payload op",
         select_op,
     ));
-    registry.register(TransformOpDef::new("transform.match_op", "match payload ops by name", match_op));
+    registry.register(TransformOpDef::new(
+        "transform.match_op",
+        "match payload ops by name",
+        match_op,
+    ));
     registry.register(TransformOpDef::new(
         "transform.param.constant",
         "materialize a constant parameter",
         param_constant,
     ));
-    registry.register(TransformOpDef::new("transform.merge_handles", "concatenate handles", merge_handles));
-    registry
-        .register(TransformOpDef::new("transform.get_parent_op", "navigate to ancestors", get_parent_op));
-    registry.register(TransformOpDef::new("transform.annotate", "attach an attribute", annotate));
-    registry.register(TransformOpDef::new("transform.print", "debug-print payload ops", print_op));
+    registry.register(TransformOpDef::new(
+        "transform.merge_handles",
+        "concatenate handles",
+        merge_handles,
+    ));
+    registry.register(TransformOpDef::new(
+        "transform.get_parent_op",
+        "navigate to ancestors",
+        get_parent_op,
+    ));
+    registry.register(TransformOpDef::new(
+        "transform.annotate",
+        "attach an attribute",
+        annotate,
+    ));
+    registry.register(TransformOpDef::new(
+        "transform.print",
+        "debug-print payload ops",
+        print_op,
+    ));
     registry.register(
         TransformOpDef::new("transform.loop.tile", "tile a perfect loop nest", loop_tile)
             .consuming([0])
-            .with_conditions(["scf.for"], ["scf.for", "arith.constant", "arith.addi", "arith.minsi"]),
+            .with_conditions(
+                ["scf.for"],
+                ["scf.for", "arith.constant", "arith.addi", "arith.minsi"],
+            ),
     );
     registry.register(
-        TransformOpDef::new("transform.loop.split", "split an iteration space", loop_split)
-            .consuming([0])
-            .with_conditions(["scf.for"], ["scf.for", "arith.constant"]),
+        TransformOpDef::new(
+            "transform.loop.split",
+            "split an iteration space",
+            loop_split,
+        )
+        .consuming([0])
+        .with_conditions(["scf.for"], ["scf.for", "arith.constant"]),
     );
     registry.register(
         TransformOpDef::new("transform.loop.unroll", "unroll a loop", loop_unroll)
@@ -170,8 +213,12 @@ pub fn register_standard(registry: &mut TransformOpRegistry) {
         loop_hoist,
     ));
     registry.register(
-        TransformOpDef::new("transform.loop.interchange", "permute a loop nest", loop_interchange)
-            .consuming([0]),
+        TransformOpDef::new(
+            "transform.loop.interchange",
+            "permute a loop nest",
+            loop_interchange,
+        )
+        .consuming([0]),
     );
     registry.register(
         TransformOpDef::new("transform.loop.peel", "peel the last iteration", loop_peel)
@@ -209,9 +256,12 @@ fn sequence(
     state: &mut TransformState,
     op: OpId,
 ) -> TransformResult {
-    let region = ctx.op(op).regions().first().copied().ok_or_else(|| {
-        definite(ctx, op, "expects a body region")
-    })?;
+    let region = ctx
+        .op(op)
+        .regions()
+        .first()
+        .copied()
+        .ok_or_else(|| definite(ctx, op, "expects a body region"))?;
     let block = ctx
         .region(region)
         .blocks()
@@ -219,14 +269,17 @@ fn sequence(
         .copied()
         .ok_or_else(|| definite(ctx, op, "expects a non-empty body"))?;
     // Forward the operand (if any) into the block argument.
-    if let (Some(&outer), Some(&arg)) =
-        (ctx.op(op).operands().first(), ctx.block(block).args().first())
-    {
+    if let (Some(&outer), Some(&arg)) = (
+        ctx.op(op).operands().first(),
+        ctx.block(block).args().first(),
+    ) {
         let ops = state.ops(outer, &loc(ctx, op))?;
         state.set_ops(arg, ops);
     }
     let suppress = matches!(
-        ctx.op(op).attr("failure_propagation_mode").and_then(Attribute::as_str),
+        ctx.op(op)
+            .attr("failure_propagation_mode")
+            .and_then(Attribute::as_str),
         Some("suppress")
     );
     match interp.run_block(ctx, state, block) {
@@ -267,7 +320,11 @@ fn include(
     let args = ctx.block(block).args().to_vec();
     let operands = ctx.op(op).operands().to_vec();
     if args.len() != operands.len() {
-        return Err(definite(ctx, op, "argument count differs from the included sequence"));
+        return Err(definite(
+            ctx,
+            op,
+            "argument count differs from the included sequence",
+        ));
     }
     let location = loc(ctx, op);
     for (&arg, &value) in args.iter().zip(operands.iter()) {
@@ -290,9 +347,12 @@ fn foreach(
 ) -> TransformResult {
     let handle = operand(ctx, op, 0)?;
     let targets = state.ops(handle, &loc(ctx, op))?;
-    let region = ctx.op(op).regions().first().copied().ok_or_else(|| {
-        definite(ctx, op, "expects a body region")
-    })?;
+    let region = ctx
+        .op(op)
+        .regions()
+        .first()
+        .copied()
+        .ok_or_else(|| definite(ctx, op, "expects a body region"))?;
     let block = ctx
         .region(region)
         .blocks()
@@ -318,7 +378,11 @@ fn alternatives(
     let handle = operand(ctx, op, 0)?;
     let targets = state.ops(handle, &loc(ctx, op))?;
     let [target] = targets[..] else {
-        return Err(definite(ctx, op, "expects a handle to exactly one payload op"));
+        return Err(definite(
+            ctx,
+            op,
+            "expects a handle to exactly one payload op",
+        ));
     };
     let regions = ctx.op(op).regions().to_vec();
     if regions.is_empty() {
@@ -330,7 +394,12 @@ fn alternatives(
             // An empty alternative (Fig. 8's `{ }`) trivially succeeds.
             return Ok(());
         };
-        if ctx.block(block).ops().iter().all(|&o| ctx.op(o).name.as_str() == "transform.yield") {
+        if ctx
+            .block(block)
+            .ops()
+            .iter()
+            .all(|&o| ctx.op(o).name.as_str() == "transform.yield")
+        {
             return Ok(());
         }
         // Dry-run on a clone of the target; commit on the original.
@@ -339,7 +408,9 @@ fn alternatives(
         let target_block = ctx.op(target).parent().ok_or_else(|| {
             TransformError::definite(location.clone(), "alternatives target is detached")
         })?;
-        let pos = ctx.op_position(target_block, target).expect("target in block");
+        let pos = ctx
+            .op_position(target_block, target)
+            .expect("target in block");
         ctx.insert_op(target_block, pos + 1, clone);
         let arg = ctx.block(block).args().first().copied();
         if let Some(arg) = arg {
@@ -361,7 +432,10 @@ fn alternatives(
             Err(definite_err) => return Err(definite_err),
         }
     }
-    Err(TransformError::silenceable(location, "all alternatives failed"))
+    Err(TransformError::silenceable(
+        location,
+        "all alternatives failed",
+    ))
 }
 
 /// Erases an op if it is still live (alternatives bookkeeping).
@@ -383,9 +457,14 @@ fn match_op(
     let parents = state.ops(parent, &loc(ctx, op))?;
     // Match either by exact op name or by interface (trait), per §3.3's
     // "operation interfaces instead" of names.
-    let wanted_name = ctx.op(op).attr("name").and_then(|a| a.as_str().map(str::to_owned));
-    let wanted_interface =
-        ctx.op(op).attr("interface").and_then(|a| a.as_str().map(str::to_owned));
+    let wanted_name = ctx
+        .op(op)
+        .attr("name")
+        .and_then(|a| a.as_str().map(str::to_owned));
+    let wanted_interface = ctx
+        .op(op)
+        .attr("interface")
+        .and_then(|a| a.as_str().map(str::to_owned));
     let wanted_traits = match &wanted_interface {
         Some(interface) => Some(match interface.as_str() {
             "allocates" => td_ir::OpTraits::ALLOCATES,
@@ -393,14 +472,16 @@ fn match_op(
             "pure" => td_ir::OpTraits::PURE,
             "symbol" => td_ir::OpTraits::SYMBOL,
             "constant_like" => td_ir::OpTraits::CONSTANT_LIKE,
-            other => {
-                return Err(definite(ctx, op, format!("unknown interface '{other}'")))
-            }
+            other => return Err(definite(ctx, op, format!("unknown interface '{other}'"))),
         }),
         None => None,
     };
     if wanted_name.is_none() && wanted_traits.is_none() {
-        return Err(definite(ctx, op, "requires a 'name' or 'interface' attribute"));
+        return Err(definite(
+            ctx,
+            op,
+            "requires a 'name' or 'interface' attribute",
+        ));
     }
     let select = ctx
         .op(op)
@@ -410,8 +491,9 @@ fn match_op(
     let mut matched = Vec::new();
     for root in parents {
         for nested in ctx.walk_nested(root) {
-            let name_ok =
-                wanted_name.as_deref().is_none_or(|w| ctx.op(nested).name.as_str() == w);
+            let name_ok = wanted_name
+                .as_deref()
+                .is_none_or(|w| ctx.op(nested).name.as_str() == w);
             let interface_ok = wanted_traits.is_none_or(|t| ctx.has_trait(nested, t));
             if name_ok && interface_ok {
                 matched.push(nested);
@@ -433,7 +515,11 @@ fn match_op(
     };
     if selected.is_empty() {
         let what = wanted_name.or(wanted_interface).unwrap_or_default();
-        return Err(silenceable(ctx, op, format!("no '{what}' payload op matched")));
+        return Err(silenceable(
+            ctx,
+            op,
+            format!("no '{what}' payload op matched"),
+        ));
     }
     state.set_ops(result(ctx, op, 0)?, selected);
     Ok(())
@@ -447,12 +533,19 @@ fn select_op(
 ) -> TransformResult {
     let handle = operand(ctx, op, 0)?;
     let targets = state.ops(handle, &loc(ctx, op))?;
-    let index = ctx.op(op).attr("index").and_then(Attribute::as_int).unwrap_or(0) as usize;
+    let index = ctx
+        .op(op)
+        .attr("index")
+        .and_then(Attribute::as_int)
+        .unwrap_or(0) as usize;
     let Some(&selected) = targets.get(index) else {
         return Err(silenceable(
             ctx,
             op,
-            format!("handle has {} payload ops, index {index} is out of range", targets.len()),
+            format!(
+                "handle has {} payload ops, index {index} is out of range",
+                targets.len()
+            ),
         ));
     };
     state.set_ops(result(ctx, op, 0)?, vec![selected]);
@@ -497,7 +590,10 @@ fn get_parent_op(
 ) -> TransformResult {
     let handle = operand(ctx, op, 0)?;
     let targets = state.ops(handle, &loc(ctx, op))?;
-    let wanted = ctx.op(op).attr("name").and_then(|a| a.as_str().map(str::to_owned));
+    let wanted = ctx
+        .op(op)
+        .attr("name")
+        .and_then(|a| a.as_str().map(str::to_owned));
     let mut parents = Vec::new();
     for target in targets {
         let found = match &wanted {
@@ -567,11 +663,7 @@ fn print_op(
 
 // ----- loop transforms -------------------------------------------------------
 
-fn single_target(
-    ctx: &Context,
-    state: &TransformState,
-    op: OpId,
-) -> TransformResult<OpId> {
+fn single_target(ctx: &Context, state: &TransformState, op: OpId) -> TransformResult<OpId> {
     let handle = operand(ctx, op, 0)?;
     let targets = state.ops(handle, &loc(ctx, op))?;
     match targets[..] {
@@ -579,7 +671,10 @@ fn single_target(
         _ => Err(definite(
             ctx,
             op,
-            format!("expects a handle to exactly one payload op, got {}", targets.len()),
+            format!(
+                "expects a handle to exactly one payload op, got {}",
+                targets.len()
+            ),
         )),
     }
 }
@@ -594,7 +689,11 @@ fn loop_tile(
     // Sizes: attr `tile_sizes` (ints) with parameter operands substituting
     // entries equal to the sentinel 0? Keep it simple: attr ints, or a
     // single param operand broadcast when the attr is absent.
-    let sizes: Vec<i64> = match ctx.op(op).attr("tile_sizes").and_then(Attribute::as_int_array) {
+    let sizes: Vec<i64> = match ctx
+        .op(op)
+        .attr("tile_sizes")
+        .and_then(Attribute::as_int_array)
+    {
         Some(sizes) => sizes,
         None => {
             let size = int_config(ctx, state, op, "tile_size", Some(1))?
@@ -609,8 +708,7 @@ fn loop_tile(
         state.set_ops(result(ctx, op, 1)?, vec![target]);
         return Ok(());
     }
-    let tiled = loop_transforms::tile(ctx, target, &sizes)
-        .map_err(TransformError::Silenceable)?;
+    let tiled = loop_transforms::tile(ctx, target, &sizes).map_err(TransformError::Silenceable)?;
     state.set_ops(result(ctx, op, 0)?, tiled.tile_loops);
     state.set_ops(result(ctx, op, 1)?, tiled.point_loops);
     Ok(())
@@ -723,8 +821,7 @@ fn loop_fuse(
     let ([first], [second]) = (&firsts[..], &seconds[..]) else {
         return Err(definite(ctx, op, "expects single-op handles"));
     };
-    let fused = loop_transforms::fuse(ctx, *first, *second)
-        .map_err(TransformError::Silenceable)?;
+    let fused = loop_transforms::fuse(ctx, *first, *second).map_err(TransformError::Silenceable)?;
     if let Ok(r) = result(ctx, op, 0) {
         state.set_ops(r, vec![fused]);
     }
@@ -747,7 +844,11 @@ fn apply_registered_pass(
         .and_then(|a| a.as_str().map(str::to_owned))
         .ok_or_else(|| definite(ctx, op, "requires a string 'pass_name' attribute"))?;
     let Some(passes) = interp.env.passes else {
-        return Err(definite(ctx, op, "no pass registry is attached to the interpreter"));
+        return Err(definite(
+            ctx,
+            op,
+            "no pass registry is attached to the interpreter",
+        ));
     };
     let pass = passes
         .create(&pass_name)
@@ -774,7 +875,11 @@ fn apply_patterns(
     let handle = operand(ctx, op, 0)?;
     let targets = state.ops(handle, &loc(ctx, op))?;
     let Some(pattern_registry) = interp.env.patterns else {
-        return Err(definite(ctx, op, "no pattern registry is attached to the interpreter"));
+        return Err(definite(
+            ctx,
+            op,
+            "no pattern registry is attached to the interpreter",
+        ));
     };
     // Collect pattern names from the body region: ops named
     // `transform.pattern.<name>`.
@@ -793,17 +898,16 @@ fn apply_patterns(
                         format!("unexpected op '{full}' in pattern list"),
                     ));
                 };
-                let pattern = pattern_registry.create(name).ok_or_else(|| {
-                    definite(ctx, op, format!("unknown pattern '{name}'"))
-                })?;
+                let pattern = pattern_registry
+                    .create(name)
+                    .ok_or_else(|| definite(ctx, op, format!("unknown pattern '{name}'")))?;
                 patterns.add(pattern);
             }
         }
     }
     for target in targets {
-        let outcome =
-            apply_patterns_greedily(ctx, target, &patterns, GreedyConfig::default())
-                .map_err(TransformError::Definite)?;
+        let outcome = apply_patterns_greedily(ctx, target, &patterns, GreedyConfig::default())
+            .map_err(TransformError::Definite)?;
         // §3.1: subscribe to replaced/erased events so handles follow
         // replacements instead of dangling.
         state.apply_rewrite_events(ctx, &outcome.events);
@@ -824,7 +928,11 @@ fn to_library(
         .and_then(|a| a.as_str().map(str::to_owned))
         .ok_or_else(|| definite(ctx, op, "requires a string 'library' attribute"))?;
     let Some(resolver) = interp.env.library else {
-        return Err(definite(ctx, op, "no library resolver is attached to the interpreter"));
+        return Err(definite(
+            ctx,
+            op,
+            "no library resolver is attached to the interpreter",
+        ));
     };
     let call = resolver
         .try_replace(ctx, target, &library)

@@ -16,8 +16,11 @@ pub const TRANSFORM_MAIN: &str = "__transform_main";
 /// # Errors
 /// Fails on an empty pipeline.
 pub fn pipeline_to_script(ctx: &mut Context, pipeline: &str) -> Result<OpId, Diagnostic> {
-    let passes: Vec<&str> =
-        pipeline.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let passes: Vec<&str> = pipeline
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
     if passes.is_empty() {
         return Err(Diagnostic::error(
             Location::unknown(),
@@ -27,14 +30,20 @@ pub fn pipeline_to_script(ctx: &mut Context, pipeline: &str) -> Result<OpId, Dia
     let module = ctx.create_module(Location::name("generated-transform-script"));
     let body = ctx.sole_block(module, 0);
     let anyop = ctx.transform_any_op_type();
-    let fty = ctx.intern_type(TypeKind::Function { inputs: vec![anyop], results: vec![] });
+    let fty = ctx.intern_type(TypeKind::Function {
+        inputs: vec![anyop],
+        results: vec![],
+    });
     let seq = ctx.create_op(
         Location::name(TRANSFORM_MAIN),
         "transform.named_sequence",
         vec![],
         vec![],
         vec![
-            (Symbol::new("sym_name"), Attribute::String(TRANSFORM_MAIN.to_owned())),
+            (
+                Symbol::new("sym_name"),
+                Attribute::String(TRANSFORM_MAIN.to_owned()),
+            ),
             (Symbol::new("function_type"), Attribute::Type(fty)),
         ],
         1,
@@ -82,8 +91,7 @@ mod tests {
         let mut ctx = Context::new();
         td_dialects::register_all_dialects(&mut ctx);
         crate::ops::register_transform_dialect(&mut ctx);
-        let script =
-            pipeline_to_script(&mut ctx, "canonicalize, cse, canonicalize").unwrap();
+        let script = pipeline_to_script(&mut ctx, "canonicalize, cse, canonicalize").unwrap();
         let entry = transform_main(&ctx, script).unwrap();
         let applies = ctx
             .walk_nested(entry)
@@ -122,7 +130,11 @@ mod tests {
         let mut ctx1 = Context::new();
         td_dialects::register_all_dialects(&mut ctx1);
         let m1 = td_ir::parse_module(&mut ctx1, src).unwrap();
-        passes.parse_pipeline(pipeline).unwrap().run(&mut ctx1, m1).unwrap();
+        passes
+            .parse_pipeline(pipeline)
+            .unwrap()
+            .run(&mut ctx1, m1)
+            .unwrap();
 
         // Transform side.
         let mut ctx2 = Context::new();

@@ -10,10 +10,10 @@
 use crate::error::TransformResult;
 use crate::interp::Interpreter;
 use crate::state::TransformState;
+use std::collections::HashMap;
 use td_ir::rewrite::RewritePattern;
 use td_ir::{Context, OpId};
 use td_support::{Diagnostic, Symbol};
-use std::collections::HashMap;
 
 /// Handler implementing one transform operation.
 pub type TransformHandler = Box<
@@ -151,7 +151,10 @@ impl NamedPatternRegistry {
 
     /// Instantiates the pattern registered under `name`.
     pub fn create(&self, name: &str) -> Option<Box<dyn RewritePattern>> {
-        self.factories.iter().find(|(n, _)| n == name).map(|(_, f)| f())
+        self.factories
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, f)| f())
     }
 
     /// All registered names, in registration order.
@@ -172,7 +175,9 @@ impl NamedPatternRegistry {
 
 impl std::fmt::Debug for NamedPatternRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NamedPatternRegistry").field("names", &self.names()).finish()
+        f.debug_struct("NamedPatternRegistry")
+            .field("names", &self.names())
+            .finish()
     }
 }
 
@@ -199,7 +204,11 @@ mod tests {
     #[test]
     fn registry_registers_and_lists() {
         let mut registry = TransformOpRegistry::new();
-        registry.register(TransformOpDef::new("transform.test", "a test", |_, _, _, _| Ok(())));
+        registry.register(TransformOpDef::new(
+            "transform.test",
+            "a test",
+            |_, _, _, _| Ok(()),
+        ));
         assert!(registry.def(Symbol::new("transform.test")).is_some());
         assert!(registry.def(Symbol::new("transform.other")).is_none());
         assert_eq!(registry.names(), vec!["transform.test"]);

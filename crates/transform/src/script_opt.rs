@@ -8,9 +8,9 @@
 //!   tiling by 0 do nothing, so interpreting them would only waste compile
 //!   time — the simplifier deletes them without ever touching a payload.
 
+use std::collections::HashMap;
 use td_ir::{Attribute, Context, OpId, ValueId};
 use td_support::Diagnostic;
-use std::collections::HashMap;
 
 /// Expands every `transform.include` inside `script_module` by inlining the
 /// referenced named sequence. Returns the number of expanded includes.
@@ -38,12 +38,14 @@ pub fn inline_includes(ctx: &mut Context, script_module: OpId) -> Result<usize, 
                     "'transform.include' requires a 'target' symbol",
                 )
             })?;
-        let callee = ctx.lookup_symbol(script_module, target.as_str()).ok_or_else(|| {
-            Diagnostic::error(
-                ctx.op(include).location.clone(),
-                format!("unknown named sequence @{target}"),
-            )
-        })?;
+        let callee = ctx
+            .lookup_symbol(script_module, target.as_str())
+            .ok_or_else(|| {
+                Diagnostic::error(
+                    ctx.op(include).location.clone(),
+                    format!("unknown named sequence @{target}"),
+                )
+            })?;
         // Clone the callee body before the include, mapping block args to
         // the include's operands.
         let callee_block = ctx.sole_block(callee, 0);
@@ -78,7 +80,10 @@ fn check_no_recursion(ctx: &Context, script_module: OpId) -> Result<(), Diagnost
         if ctx.op(op).name.as_str() != "transform.named_sequence" {
             continue;
         }
-        let Some(name) = ctx.op(op).attr("sym_name").and_then(|a| a.as_str().map(str::to_owned))
+        let Some(name) = ctx
+            .op(op)
+            .attr("sym_name")
+            .and_then(|a| a.as_str().map(str::to_owned))
         else {
             continue;
         };
@@ -146,16 +151,24 @@ pub fn propagate_params(ctx: &mut Context, script_root: OpId) -> usize {
             continue;
         }
         let name = ctx.op(op).name.as_str().to_owned();
-        let Some((attr_name, operand_index)) = slot_of(&name) else { continue };
+        let Some((attr_name, operand_index)) = slot_of(&name) else {
+            continue;
+        };
         if ctx.op(op).attr(attr_name).is_some() {
             continue;
         }
-        let Some(&param_value) = ctx.op(op).operands().get(operand_index) else { continue };
-        let Some(def) = ctx.defining_op(param_value) else { continue };
+        let Some(&param_value) = ctx.op(op).operands().get(operand_index) else {
+            continue;
+        };
+        let Some(def) = ctx.defining_op(param_value) else {
+            continue;
+        };
         if ctx.op(def).name.as_str() != "transform.param.constant" {
             continue;
         }
-        let Some(value) = ctx.op(def).attr("value").cloned() else { continue };
+        let Some(value) = ctx.op(def).attr("value").cloned() else {
+            continue;
+        };
         // Fold: set the attribute and drop the operand.
         ctx.set_attr(op, attr_name, value);
         remove_operand(ctx, op, operand_index);
@@ -222,8 +235,7 @@ pub fn simplify(ctx: &mut Context, script_root: OpId) -> usize {
                     .attr("tile_sizes")
                     .and_then(Attribute::as_int_array)
                     .is_some_and(|sizes| sizes.iter().all(|&s| s == 0));
-                let by_single =
-                    ctx.op(op).attr("tile_size").and_then(Attribute::as_int) == Some(0);
+                let by_single = ctx.op(op).attr("tile_size").and_then(Attribute::as_int) == Some(0);
                 by_attr || by_single
             }
             _ => false,
@@ -271,8 +283,11 @@ mod tests {
         let expanded = inline_includes(&mut ctx, module).unwrap();
         assert_eq!(expanded, 1);
         let main = ctx.lookup_symbol(module, "main").unwrap();
-        let names: Vec<&str> =
-            ctx.walk_nested(main).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+        let names: Vec<&str> = ctx
+            .walk_nested(main)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
         assert!(names.contains(&"transform.loop.tile"), "{names:?}");
         assert!(!names.contains(&"transform.include"));
     }
@@ -312,10 +327,20 @@ mod tests {
             .find(|&o| ctx.op(o).name.as_str() == "transform.loop.split")
             .unwrap();
         assert_eq!(ctx.op(split).attr("div_by"), Some(&Attribute::Int(8)));
-        assert_eq!(ctx.op(split).operands().len(), 1, "parameter operand folded away");
-        let names: Vec<&str> =
-            ctx.walk_nested(module).iter().map(|&o| ctx.op(o).name.as_str()).collect();
-        assert!(!names.contains(&"transform.param.constant"), "dead param removed: {names:?}");
+        assert_eq!(
+            ctx.op(split).operands().len(),
+            1,
+            "parameter operand folded away"
+        );
+        let names: Vec<&str> = ctx
+            .walk_nested(module)
+            .iter()
+            .map(|&o| ctx.op(o).name.as_str())
+            .collect();
+        assert!(
+            !names.contains(&"transform.param.constant"),
+            "dead param removed: {names:?}"
+        );
     }
 
     #[test]

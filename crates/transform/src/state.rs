@@ -3,10 +3,10 @@
 //! machinery (§3.1 of the paper).
 
 use crate::error::{TransformError, TransformResult};
+use std::collections::HashMap;
 use td_ir::rewrite::RewriteEvent;
 use td_ir::{Attribute, Context, OpId, ValueId};
 use td_support::Location;
-use std::collections::HashMap;
 
 /// What a transform value is associated with.
 #[derive(Clone, Debug, PartialEq)]
@@ -61,7 +61,10 @@ impl TransformState {
                 location.clone(),
                 "expected an operation handle, found a parameter",
             )),
-            None => Err(TransformError::definite(location.clone(), "use of unmapped handle")),
+            None => Err(TransformError::definite(
+                location.clone(),
+                "use of unmapped handle",
+            )),
         }
     }
 
@@ -82,7 +85,10 @@ impl TransformState {
                 location.clone(),
                 "expected a parameter, found an operation handle",
             )),
-            None => Err(TransformError::definite(location.clone(), "use of unmapped handle")),
+            None => Err(TransformError::definite(
+                location.clone(),
+                "use of unmapped handle",
+            )),
         }
     }
 
@@ -206,7 +212,14 @@ mod tests {
         ctx.append_op(inner_block, inner);
         // Transform values are just values of some op in a scratch module.
         let anyop = ctx.transform_any_op_type();
-        let t1 = ctx.create_op(Location::unknown(), "transform.test", vec![], vec![anyop, anyop], vec![], 0);
+        let t1 = ctx.create_op(
+            Location::unknown(),
+            "transform.test",
+            vec![],
+            vec![anyop, anyop],
+            vec![],
+            0,
+        );
         ctx.append_op(body, t1);
         let h1 = ctx.op(t1).results()[0];
         let h2 = ctx.op(t1).results()[1];
@@ -220,7 +233,10 @@ mod tests {
         state.set_ops(h1, vec![outer]);
         state.set_params(h2, vec![Attribute::Int(32)]);
         assert_eq!(state.ops(h1, &Location::unknown()).unwrap(), vec![outer]);
-        assert_eq!(state.params(h2, &Location::unknown()).unwrap(), vec![Attribute::Int(32)]);
+        assert_eq!(
+            state.params(h2, &Location::unknown()).unwrap(),
+            vec![Attribute::Int(32)]
+        );
         assert!(state.ops(h2, &Location::unknown()).is_err());
         assert!(state.params(h1, &Location::unknown()).is_err());
         let _ = ctx;
@@ -260,15 +276,24 @@ mod tests {
         state.set_ops(h1, vec![outer]);
         // Replace `outer` with a new op via the rewriter.
         let block = ctx.op(outer).parent().unwrap();
-        let replacement =
-            ctx.create_op(Location::unknown(), "test.replacement", vec![], vec![], vec![], 0);
+        let replacement = ctx.create_op(
+            Location::unknown(),
+            "test.replacement",
+            vec![],
+            vec![],
+            vec![],
+            0,
+        );
         ctx.append_op(block, replacement);
         // outer has no results, so the "replacement" event carries none.
         let mut rewriter = td_ir::Rewriter::new(&mut ctx);
         rewriter.erase_op(outer);
         let events = rewriter.take_events();
         state.apply_rewrite_events(&ctx, &events);
-        assert_eq!(state.ops(h1, &Location::unknown()).unwrap(), Vec::<OpId>::new());
+        assert_eq!(
+            state.ops(h1, &Location::unknown()).unwrap(),
+            Vec::<OpId>::new()
+        );
     }
 
     #[test]

@@ -36,7 +36,8 @@ const PAYLOAD: &str = r#"module {
 #[test]
 fn custom_native_transform_op() {
     let mut ctx = context();
-    ctx.registry.register(td_ir::OpSpec::new("transform.mark_hot", "user extension"));
+    ctx.registry
+        .register(td_ir::OpSpec::new("transform.mark_hot", "user extension"));
     let payload = parse_module(&mut ctx, PAYLOAD).unwrap();
     let script = parse_module(
         &mut ctx,
@@ -64,7 +65,9 @@ fn custom_native_transform_op() {
             Ok(())
         },
     ));
-    Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap();
+    Interpreter::new(&env)
+        .apply(&mut ctx, entry, payload)
+        .unwrap();
     let marked = ctx
         .walk_nested(payload)
         .into_iter()
@@ -96,7 +99,9 @@ fn macro_composition_without_native_code() {
     .unwrap();
     let entry = ctx.lookup_symbol(script, "main").unwrap();
     let env = InterpEnv::standard();
-    Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap();
+    Interpreter::new(&env)
+        .apply(&mut ctx, entry, payload)
+        .unwrap();
     // 64 → (4 tiles of 16) → each 16 → (4 tiles of 4): three loop levels.
     assert_eq!(td_dialects::scf::collect_loops(&ctx, payload).len(), 3);
     td_ir::verify::verify(&ctx, payload).unwrap();
@@ -108,7 +113,10 @@ fn macro_composition_without_native_code() {
 #[test]
 fn dynamic_check_catches_wrong_declarations() {
     let mut ctx = context();
-    ctx.registry.register(td_ir::OpSpec::new("transform.misdeclared", "buggy extension"));
+    ctx.registry.register(td_ir::OpSpec::new(
+        "transform.misdeclared",
+        "buggy extension",
+    ));
     let payload = parse_module(&mut ctx, PAYLOAD).unwrap();
     let script = parse_module(
         &mut ctx,
@@ -125,19 +133,25 @@ fn dynamic_check_catches_wrong_declarations() {
     let mut env = InterpEnv::standard();
     env.config.check_conditions = true;
     env.transforms.register(
-        TransformOpDef::new("transform.misdeclared", "declares wrong post", |_, ctx, state, op| {
-            let handle = ctx.op(op).operands()[0];
-            let location = ctx.op(op).location.clone();
-            let targets = state.ops(handle, &location)?;
-            // Actually introduces test.surprise next to the loop.
-            let mut b = OpBuilder::before(ctx, targets[0]);
-            b.set_location(Location::name("surprise"));
-            b.op("test.surprise").build();
-            Ok(())
-        })
+        TransformOpDef::new(
+            "transform.misdeclared",
+            "declares wrong post",
+            |_, ctx, state, op| {
+                let handle = ctx.op(op).operands()[0];
+                let location = ctx.op(op).location.clone();
+                let targets = state.ops(handle, &location)?;
+                // Actually introduces test.surprise next to the loop.
+                let mut b = OpBuilder::before(ctx, targets[0]);
+                b.set_location(Location::name("surprise"));
+                b.op("test.surprise").build();
+                Ok(())
+            },
+        )
         .with_conditions([], ["arith.constant"]),
     );
-    let err = Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap_err();
+    let err = Interpreter::new(&env)
+        .apply(&mut ctx, entry, payload)
+        .unwrap_err();
     assert!(matches!(err, TransformError::Definite(_)));
     assert!(
         err.diagnostic().message().contains("test.surprise"),
@@ -164,7 +178,9 @@ fn dynamic_check_accepts_accurate_declarations() {
     let entry = ctx.lookup_symbol(script, "main").unwrap();
     let mut env = InterpEnv::standard();
     env.config.check_conditions = true;
-    Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap();
+    Interpreter::new(&env)
+        .apply(&mut ctx, entry, payload)
+        .unwrap();
 }
 
 /// Handlers can also recurse into the interpreter — a native op wrapping a
@@ -172,7 +188,10 @@ fn dynamic_check_accepts_accurate_declarations() {
 #[test]
 fn custom_region_transform_recurses() {
     let mut ctx = context();
-    ctx.registry.register(td_ir::OpSpec::new("transform.twice", "run the body two times"));
+    ctx.registry.register(td_ir::OpSpec::new(
+        "transform.twice",
+        "run the body two times",
+    ));
     let payload = parse_module(&mut ctx, PAYLOAD).unwrap();
     let script = parse_module(
         &mut ctx,
@@ -210,7 +229,11 @@ fn custom_region_transform_recurses() {
     ));
     let mut interp = Interpreter::new(&env);
     interp.apply(&mut ctx, entry, payload).unwrap();
-    assert!(interp.stats.transforms_executed >= 5, "{}", interp.stats.transforms_executed);
+    assert!(
+        interp.stats.transforms_executed >= 5,
+        "{}",
+        interp.stats.transforms_executed
+    );
 }
 
 /// Loop fusion via the transform op: two adjacent loops with identical
@@ -253,19 +276,27 @@ fn loop_fusion() {
     .unwrap();
     let entry = ctx.lookup_symbol(script, "main").unwrap();
     let env = InterpEnv::standard();
-    Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap();
+    Interpreter::new(&env)
+        .apply(&mut ctx, entry, payload)
+        .unwrap();
     td_ir::verify::verify(&ctx, payload).unwrap();
     let loops = td_dialects::scf::collect_loops(&ctx, payload);
     assert_eq!(loops.len(), 1, "one fused loop remains");
     let fused = loops[0];
-    assert!(ctx.op(fused).attr("fused").is_some(), "fused handle stayed live");
+    assert!(
+        ctx.op(fused).attr("fused").is_some(),
+        "fused handle stayed live"
+    );
     // Body now contains both computations, in order.
     let body = td_dialects::scf::as_for(&ctx, fused).unwrap();
     let names: Vec<&str> = td_dialects::scf::body_ops(&ctx, body)
         .iter()
         .map(|&o| ctx.op(o).name.as_str())
         .collect();
-    assert_eq!(names, vec!["memref.load", "test.a", "memref.load", "test.b"]);
+    assert_eq!(
+        names,
+        vec!["memref.load", "test.a", "memref.load", "test.b"]
+    );
 }
 
 /// Fusion refuses non-adjacent or bound-mismatched loops (silenceable).
@@ -304,7 +335,13 @@ fn loop_fusion_preconditions() {
     .unwrap();
     let entry = ctx.lookup_symbol(script, "main").unwrap();
     let env = InterpEnv::standard();
-    let err = Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap_err();
+    let err = Interpreter::new(&env)
+        .apply(&mut ctx, entry, payload)
+        .unwrap_err();
     assert!(err.is_silenceable());
-    assert!(err.diagnostic().message().contains("bounds differ"), "{}", err.diagnostic());
+    assert!(
+        err.diagnostic().message().contains("bounds differ"),
+        "{}",
+        err.diagnostic()
+    );
 }

@@ -59,7 +59,9 @@ fn fig1_script_transforms_payload() {
     let (mut ctx, payload, entry) = setup(FIG1_PAYLOAD, FIG1_SCRIPT);
     let env = InterpEnv::standard();
     let mut interp = Interpreter::new(&env);
-    interp.apply(&mut ctx, entry, payload).expect("script applies");
+    interp
+        .apply(&mut ctx, entry, payload)
+        .expect("script applies");
     assert!(verify(&ctx, payload).is_ok(), "{:?}", verify(&ctx, payload));
 
     // The inner loop (2042 iterations) was split at 2040, the main part
@@ -122,7 +124,9 @@ fn consuming_nested_handle_invalidates_descendants_only() {
     let (mut ctx, payload, entry) = setup(&payload, script);
     let env = InterpEnv::standard();
     let mut interp = Interpreter::new(&env);
-    interp.apply(&mut ctx, entry, payload).expect("outer handle stays valid");
+    interp
+        .apply(&mut ctx, entry, payload)
+        .expect("outer handle stays valid");
 }
 
 #[test]
@@ -146,7 +150,9 @@ fn alternatives_falls_back_to_empty_region() {
     let before = ctx.walk_nested(payload).len();
     let env = InterpEnv::standard();
     let mut interp = Interpreter::new(&env);
-    interp.apply(&mut ctx, entry, payload).expect("fallback succeeds");
+    interp
+        .apply(&mut ctx, entry, payload)
+        .expect("fallback succeeds");
     assert_eq!(ctx.walk_nested(payload).len(), before, "payload unchanged");
     assert!(interp.stats.suppressed_errors >= 1);
     assert!(verify(&ctx, payload).is_ok());
@@ -171,7 +177,9 @@ fn alternatives_commits_first_success() {
     let (mut ctx, payload, entry) = setup(&payload, script);
     let env = InterpEnv::standard();
     let mut interp = Interpreter::new(&env);
-    interp.apply(&mut ctx, entry, payload).expect("first alternative succeeds");
+    interp
+        .apply(&mut ctx, entry, payload)
+        .expect("first alternative succeeds");
     assert!(verify(&ctx, payload).is_ok(), "{:?}", verify(&ctx, payload));
     // Tiling the inner loop adds one loop level: j, tile, point.
     assert_eq!(scf::collect_loops(&ctx, payload).len(), 3);
@@ -191,7 +199,9 @@ fn foreach_visits_every_match() {
 }"#;
     let (mut ctx, payload, entry) = setup(FIG1_PAYLOAD, script);
     let env = InterpEnv::standard();
-    Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap();
+    Interpreter::new(&env)
+        .apply(&mut ctx, entry, payload)
+        .unwrap();
     let annotated = ctx
         .walk_nested(payload)
         .into_iter()
@@ -219,7 +229,9 @@ fn include_expands_named_sequences() {
     let script_module = parse_module(&mut ctx, script).unwrap();
     let entry = ctx.lookup_symbol(script_module, "main").unwrap();
     let env = InterpEnv::standard();
-    Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap();
+    Interpreter::new(&env)
+        .apply(&mut ctx, entry, payload)
+        .unwrap();
     assert_eq!(scf::collect_loops(&ctx, payload).len(), 3);
 }
 
@@ -251,7 +263,9 @@ fn match_failure_is_silenceable() {
 }"#;
     let (mut ctx, payload, entry) = setup(FIG1_PAYLOAD, script);
     let env = InterpEnv::standard();
-    let err = Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap_err();
+    let err = Interpreter::new(&env)
+        .apply(&mut ctx, entry, payload)
+        .unwrap_err();
     assert!(matches!(err, TransformError::Silenceable(_)));
 }
 
@@ -277,10 +291,18 @@ fn apply_registered_pass_runs_passes_on_targets() {
     td_dialects::passes::register_all_passes(&mut passes);
     let mut env = InterpEnv::standard();
     env.passes = Some(&passes);
-    Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap();
-    let names: Vec<&str> =
-        ctx.walk_nested(payload).iter().map(|&o| ctx.op(o).name.as_str()).collect();
-    assert!(!names.contains(&"arith.addi"), "canonicalize folded the add: {names:?}");
+    Interpreter::new(&env)
+        .apply(&mut ctx, entry, payload)
+        .unwrap();
+    let names: Vec<&str> = ctx
+        .walk_nested(payload)
+        .iter()
+        .map(|&o| ctx.op(o).name.as_str())
+        .collect();
+    assert!(
+        !names.contains(&"arith.addi"),
+        "canonicalize folded the add: {names:?}"
+    );
 }
 
 #[test]
@@ -295,7 +317,9 @@ fn param_and_state_inspection() {
     let (mut ctx, payload, entry) = setup(FIG1_PAYLOAD, script);
     let env = InterpEnv::standard();
     let mut state = TransformState::new();
-    Interpreter::new(&env).apply_with_state(&mut ctx, &mut state, entry, payload).unwrap();
+    Interpreter::new(&env)
+        .apply_with_state(&mut ctx, &mut state, entry, payload)
+        .unwrap();
     let hinted = ctx
         .walk_nested(payload)
         .into_iter()

@@ -224,6 +224,8 @@ fn select_out_of_range_is_silenceable() {
     .unwrap();
     let entry = ctx.lookup_symbol(script, "main").unwrap();
     let env = InterpEnv::standard();
-    let err = Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap_err();
+    let err = Interpreter::new(&env)
+        .apply(&mut ctx, entry, payload)
+        .unwrap_err();
     assert!(err.is_silenceable());
 }

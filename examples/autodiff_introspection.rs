@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut env = InterpEnv::standard();
     env.transforms = registry;
     Interpreter::new(&env).apply(&mut ctx, entry, payload)?;
-    println!("\ndifferentiated payload:\n{}", td_ir::print_op(&ctx, payload));
+    println!(
+        "\ndifferentiated payload:\n{}",
+        td_ir::print_op(&ctx, payload)
+    );
 
     // d/dx[(x + w) * x] = (x + w) + x; at x=3, w=2: 8.
     let func = ctx.lookup_symbol(payload, "f").expect("@f");

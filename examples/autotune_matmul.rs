@@ -10,7 +10,11 @@ use td_autotune::{divisors, tune, BayesOpt, ParamDomain, ParamSpace};
 use td_bench::cs4::{apply_tuned, build_payload, run_payload, Cs4Config};
 
 fn main() {
-    let config = Cs4Config { m: 196, n: 256, k: 64 };
+    let config = Cs4Config {
+        m: 196,
+        n: 256,
+        k: 64,
+    };
     // Fig. 10: ordinal tile-size parameters restricted to divisors, plus a
     // boolean gated by a divisibility constraint.
     let space = ParamSpace::new()

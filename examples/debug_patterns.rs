@@ -28,14 +28,20 @@ fn main() {
             "  step {}: tested {:>2} patterns -> {}",
             i + 1,
             step.tested.len(),
-            if step.regression { "regression, recurse" } else { "clean, other half" }
+            if step.regression {
+                "regression, recurse"
+            } else {
+                "clean, other half"
+            }
         );
     }
     println!("\nculprit: {}", outcome.culprit);
 
     // Confirm by shipping the catalogue without the culprit.
-    let without: Vec<&str> =
-        td_machine::pattern_names().into_iter().filter(|&n| n != outcome.culprit).collect();
+    let without: Vec<&str> = td_machine::pattern_names()
+        .into_iter()
+        .filter(|&n| n != outcome.culprit)
+        .collect();
     let (fixed, _) = cs3::cost_with_patterns(blocks, &without);
     println!(
         "catalogue minus culprit: {:.0} cycles ({:+.2}% vs baseline) — regression gone",

@@ -39,8 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "finalize-memref-to-llvm",
         "reconcile-unrealized-casts",
     ];
-    let input_ops =
-        ["func.func", "func.return", "arith.constant", "scf.for", "memref.subview", "memref.store"];
+    let input_ops = [
+        "func.func",
+        "func.return",
+        "arith.constant",
+        "scf.for",
+        "memref.subview",
+        "memref.store",
+    ];
     let target = OpSet::of(["llvm.*"]);
 
     // Static check catches the phase-ordering hole before any compilation.
@@ -51,11 +57,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The leftover tells us which lowering is missing: affine needs
         // lower-affine, whose own post-condition (arith ops) needs a second
         // arith conversion.
-        let insert_at = pipeline.iter().position(|&p| p == "finalize-memref-to-llvm").unwrap();
-        pipeline.splice(insert_at..insert_at, ["lower-affine", "convert-arith-to-llvm"]);
+        let insert_at = pipeline
+            .iter()
+            .position(|&p| p == "finalize-memref-to-llvm")
+            .unwrap();
+        pipeline.splice(
+            insert_at..insert_at,
+            ["lower-affine", "convert-arith-to-llvm"],
+        );
         println!("  repaired pipeline: {}", pipeline.join(", "));
         let report = check_pipeline(&pipeline, &input_ops, &target)?;
-        assert!(report.is_ok(), "repaired pipeline must pass: {:?}", report.leftover);
+        assert!(
+            report.is_ok(),
+            "repaired pipeline must pass: {:?}",
+            report.leftover
+        );
         println!("  static check now passes.");
     }
 
@@ -71,7 +87,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\ncompiled to the LLVM dialect; per-pass timings:\n{}",
         pm.timings()
             .iter()
-            .map(|t| format!("  {:<28} {:>8.3} ms", t.name, t.duration.as_secs_f64() * 1e3))
+            .map(|t| format!(
+                "  {:<28} {:>8.3} ms",
+                t.name,
+                t.duration.as_secs_f64() * 1e3
+            ))
             .collect::<Vec<_>>()
             .join("\n")
     );

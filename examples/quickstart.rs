@@ -46,7 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let payload = td_ir::parse_module(&mut ctx, PAYLOAD)?;
     let script = td_ir::parse_module(&mut ctx, SCRIPT)?;
-    let entry = ctx.lookup_symbol(script, "optimize").expect("@optimize exists");
+    let entry = ctx
+        .lookup_symbol(script, "optimize")
+        .expect("@optimize exists");
 
     println!("=== payload before ===\n{}", td_ir::print_op(&ctx, payload));
 
@@ -76,6 +78,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None,
     )?;
     assert_eq!(buffers[1][10], 2.0 * 10.0 + 1.0);
-    println!("executed: y[10] = {}, {:.0} simulated cycles", buffers[1][10], report.cycles);
+    println!(
+        "executed: y[10] = {}, {:.0} simulated cycles",
+        buffers[1][10], report.cycles
+    );
     Ok(())
 }

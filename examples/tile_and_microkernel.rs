@@ -10,13 +10,23 @@
 use td_bench::cs4::{apply_variant, build_payload, run_payload, Cs4Config, Variant};
 
 fn main() {
-    let config = Cs4Config { m: 196, n: 256, k: 64 };
-    println!("matmul {}x{}x{} — comparing optimization strategies:\n", config.m, config.n, config.k);
+    let config = Cs4Config {
+        m: 196,
+        n: 256,
+        k: 64,
+    };
+    println!(
+        "matmul {}x{}x{} — comparing optimization strategies:\n",
+        config.m, config.n, config.k
+    );
 
     let mut baseline_seconds = None;
-    for variant in
-        [Variant::Baseline, Variant::OpenMpTile, Variant::TransformScript, Variant::TransformLibrary]
-    {
+    for variant in [
+        Variant::Baseline,
+        Variant::OpenMpTile,
+        Variant::TransformScript,
+        Variant::TransformLibrary,
+    ] {
         let mut ctx = td_bench::full_context();
         let module = build_payload(&mut ctx, config);
         apply_variant(&mut ctx, module, variant);
@@ -36,12 +46,19 @@ fn main() {
     // implement, the same script still works — alternatives falls through
     // to the plain tiled code.
     println!("\nwith k=1000 (no libxsmm kernel), the same script degrades gracefully:");
-    let odd = Cs4Config { m: 64, n: 64, k: 1000 };
+    let odd = Cs4Config {
+        m: 64,
+        n: 64,
+        k: 1000,
+    };
     let mut ctx = td_bench::full_context();
     let module = build_payload(&mut ctx, odd);
     apply_variant(&mut ctx, module, Variant::TransformLibrary);
-    let names: Vec<&str> =
-        ctx.walk_nested(module).iter().map(|&o| ctx.op(o).name.as_str()).collect();
+    let names: Vec<&str> = ctx
+        .walk_nested(module)
+        .iter()
+        .map(|&o| ctx.op(o).name.as_str())
+        .collect();
     let has_kernel_call = names.iter().any(|n| *n == "func.call");
     println!(
         "  microkernel call present: {has_kernel_call} (fell back to tiled loops, IR still valid: {})",

@@ -26,7 +26,10 @@ const SCRIPT: &str = r#"module {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ctx = td_bench::full_context();
     let script = td_ir::parse_module(&mut ctx, SCRIPT)?;
-    println!("=== script as written ===\n{}", td_ir::print_op(&ctx, script));
+    println!(
+        "=== script as written ===\n{}",
+        td_ir::print_op(&ctx, script)
+    );
 
     // 1. Macro expansion (checks for recursion first).
     let expanded = inline_includes(&mut ctx, script)?;
@@ -38,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "inlined {expanded} include(s), propagated {propagated} parameter(s), \
          removed {simplified} no-op transform(s):\n"
     );
-    println!("=== optimized script ===\n{}", td_ir::print_op(&ctx, script));
+    println!(
+        "=== optimized script ===\n{}",
+        td_ir::print_op(&ctx, script)
+    );
 
     // 4. Static invalidation analysis on a buggy variant.
     let buggy = r#"module {

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 CI: everything here runs fully offline — the workspace has no
+# external dependencies by policy (see README "Hermetic build"), so a
+# network-less container must be able to build, test, and lint.
+#
+#   scripts/ci.sh          # build + tests + format check
+#   scripts/ci.sh --bench  # additionally smoke-run the micro-benchmarks
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "== format check =="
+cargo fmt --check
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "== micro-benchmark smoke run =="
+    TD_BENCH_QUICK=1 TD_BENCH_JSON=BENCH_micro.json cargo bench -q --offline -p td-bench
+fi
+
+echo "CI OK"

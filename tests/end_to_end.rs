@@ -39,7 +39,9 @@ fn script_transformed_code_computes_identically() {
             let script = td_ir::parse_module(&mut ctx, script_src).unwrap();
             let entry = ctx.lookup_symbol(script, "opt").unwrap();
             let env = InterpEnv::standard();
-            Interpreter::new(&env).apply(&mut ctx, entry, payload).unwrap();
+            Interpreter::new(&env)
+                .apply(&mut ctx, entry, payload)
+                .unwrap();
             td_ir::verify::verify(&ctx, payload).unwrap();
         }
         let mut args = ArgBuilder::new();
@@ -142,7 +144,13 @@ fn cs2_pipeline_failure_modes() {
                 "?",
             )
         } else {
-            ("%m: memref<8x8xf32>", "[0, 0]", "(%m)", "(memref<8x8xf32>)", "0")
+            (
+                "%m: memref<8x8xf32>",
+                "[0, 0]",
+                "(%m)",
+                "(memref<8x8xf32>)",
+                "0",
+            )
         };
         format!(
             r#"module {{
@@ -181,7 +189,11 @@ fn cs2_pipeline_failure_modes() {
 #[test]
 fn to_library_end_to_end() {
     use td_bench::cs4::{apply_variant, build_payload, run_payload, Cs4Config, Variant};
-    let config = Cs4Config { m: 32, n: 32, k: 16 };
+    let config = Cs4Config {
+        m: 32,
+        n: 32,
+        k: 16,
+    };
     let mut reference = None;
     for variant in [Variant::Baseline, Variant::TransformLibrary] {
         let mut ctx = full_context();
@@ -217,7 +229,14 @@ fn generated_scripts_are_statically_checkable() {
         &ctx,
         &registry,
         entry,
-        &["func.func", "func.return", "arith.constant", "scf.for", "memref.subview", "memref.store"],
+        &[
+            "func.func",
+            "func.return",
+            "arith.constant",
+            "scf.for",
+            "memref.subview",
+            "memref.store",
+        ],
         &td_transform::OpSet::of(["llvm.*"]),
     )
     .unwrap();
@@ -232,7 +251,14 @@ fn generated_scripts_are_statically_checkable() {
         &ctx,
         &registry,
         entry,
-        &["func.func", "func.return", "arith.constant", "scf.for", "memref.subview", "memref.store"],
+        &[
+            "func.func",
+            "func.return",
+            "arith.constant",
+            "scf.for",
+            "memref.subview",
+            "memref.store",
+        ],
         &td_transform::OpSet::of(["llvm.*"]),
     )
     .unwrap();
@@ -259,7 +285,10 @@ fn irdl_constraint_refines_payload_scan() {
     let mut irdl = td_irdl::IrdlRegistry::new();
     td_irdl::def::register_standard_constraints(&mut irdl);
     let descriptors = td_transform::conditions::scan_payload_ops(&ctx, module, Some(&irdl));
-    assert!(descriptors.contains(&"memref.subview.constr".to_owned()), "{descriptors:?}");
+    assert!(
+        descriptors.contains(&"memref.subview.constr".to_owned()),
+        "{descriptors:?}"
+    );
     assert!(!descriptors.contains(&"memref.subview".to_owned()));
 }
 
@@ -279,7 +308,9 @@ fn lowered_linalg_matmul_computes_correctly() {
     )
     .unwrap();
     use td_ir::Pass;
-    td_dialects::passes::LinalgToLoopsPass.run(&mut ctx, module).unwrap();
+    td_dialects::passes::LinalgToLoopsPass
+        .run(&mut ctx, module)
+        .unwrap();
     td_ir::verify::verify(&ctx, module).unwrap();
     let mut args = ArgBuilder::new();
     let a = args.buffer(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);

@@ -1,0 +1,99 @@
+//! Golden-file tests: run the transform schedules from `examples/` and
+//! check the printed IR against `.expected` files with the FileCheck-lite
+//! DSL (`td_support::filecheck` — ordered `CHECK:` substrings plus
+//! `CHECK-NOT:` exclusions scoped to the gap before the next match).
+//!
+//! The `.expected` files live in `tests/golden/` and deliberately check op
+//! names, attributes, and structure — never SSA value numbers — so the
+//! printer is free to renumber.
+
+use td_support::filecheck;
+use td_transform::{InterpEnv, Interpreter};
+
+fn assert_checks(name: &str, output: &str, spec: &str) {
+    if let Err(report) = filecheck::check(output, spec) {
+        panic!("golden check '{name}' failed: {report}\n=== full output ===\n{output}");
+    }
+}
+
+/// The quickstart schedule (tile by 64, unroll by 4) against its golden
+/// file. Payload and script are the ones from `examples/quickstart.rs`.
+#[test]
+fn quickstart_tile_unroll_matches_golden() {
+    let payload_src = r#"module {
+  func.func @saxpy(%x: memref<1024xf32>, %y: memref<1024xf32>) {
+    %lo = arith.constant 0 : index
+    %hi = arith.constant 1024 : index
+    %st = arith.constant 1 : index
+    %a = arith.constant 2.0 : f32
+    scf.for %i = %lo to %hi step %st {
+      %xv = "memref.load"(%x, %i) : (memref<1024xf32>, index) -> f32
+      %yv = "memref.load"(%y, %i) : (memref<1024xf32>, index) -> f32
+      %ax = "arith.mulf"(%a, %xv) : (f32, f32) -> f32
+      %s = "arith.addf"(%ax, %yv) : (f32, f32) -> f32
+      "memref.store"(%s, %y, %i) : (f32, memref<1024xf32>, index) -> ()
+    }
+    func.return
+  }
+}"#;
+    let script_src = r#"module {
+  transform.named_sequence @optimize(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %tiles, %points = "transform.loop.tile"(%loop) {tile_sizes = [64]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    %unrolled = "transform.loop.unroll"(%points) {factor = 4} : (!transform.any_op) -> !transform.any_op
+  }
+}"#;
+    let mut ctx = td_ir::Context::new();
+    td_dialects::register_all_dialects(&mut ctx);
+    td_transform::register_transform_dialect(&mut ctx);
+    let payload = td_ir::parse_module(&mut ctx, payload_src).unwrap();
+    let script = td_ir::parse_module(&mut ctx, script_src).unwrap();
+    let entry = ctx.lookup_symbol(script, "optimize").unwrap();
+    let env = InterpEnv::standard();
+    Interpreter::new(&env)
+        .apply(&mut ctx, entry, payload)
+        .unwrap();
+    td_ir::verify::verify(&ctx, payload).unwrap();
+    assert_checks(
+        "quickstart_tile_unroll",
+        &td_ir::print_op(&ctx, payload),
+        include_str!("golden/quickstart_tile_unroll.expected"),
+    );
+}
+
+/// Script-on-script optimization against its golden file: the include is
+/// inlined, the parameter propagated, and the no-op unroll removed. The
+/// script is the one from `examples/transform_script_optimization.rs`.
+#[test]
+fn script_optimization_matches_golden() {
+    use td_transform::script_opt::{inline_includes, propagate_params, simplify};
+    let script_src = r#"module {
+  transform.named_sequence @tile_by(%loop: !transform.any_op, %size: !transform.param) {
+    %t0, %t1 = "transform.loop.tile"(%loop, %size) : (!transform.any_op, !transform.param) -> (!transform.any_op, !transform.any_op)
+  }
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %noop = "transform.loop.unroll"(%loop) {factor = 1} : (!transform.any_op) -> !transform.any_op
+    %size = "transform.param.constant"() {value = 32} : () -> !transform.param
+    "transform.include"(%noop, %size) {target = @tile_by} : (!transform.any_op, !transform.param) -> ()
+  }
+}"#;
+    let mut ctx = td_bench::full_context();
+    let script = td_ir::parse_module(&mut ctx, script_src).unwrap();
+    assert_eq!(
+        inline_includes(&mut ctx, script).unwrap(),
+        1,
+        "one include inlined"
+    );
+    assert_eq!(
+        propagate_params(&mut ctx, script),
+        1,
+        "one parameter propagated"
+    );
+    assert_eq!(simplify(&mut ctx, script), 1, "one no-op removed");
+    assert_checks(
+        "script_optimization",
+        &td_ir::print_op(&ctx, script),
+        include_str!("golden/script_optimization.expected"),
+    );
+}

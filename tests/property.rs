@@ -1,20 +1,32 @@
-//! Property-based tests (proptest) over the core infrastructure:
+//! Property-based tests on the in-tree harness (`td_support::proptest`):
 //! arena safety under random operation sequences, printer/parser
-//! round-trips on generated IR, semantic preservation of loop transforms
-//! under random shapes, cache-simulator invariants, op-set algebra, and
-//! autotuner constraint satisfaction.
+//! round-trips on generated IR (both textual and structural), semantic
+//! preservation of loop transforms under random shapes, cache-simulator
+//! invariants, op-set algebra, and autotuner constraint satisfaction.
+//!
+//! Every case is seeded deterministically; a failure panics with a
+//! `TD_PROP_REPLAY=<seed>:<size>` line. Export that variable and re-run
+//! the test to reproduce (and debug) exactly the shrunk failing case:
+//!
+//! ```text
+//! TD_PROP_REPLAY=1234567890:4 cargo test -q --test property -- arena
+//! ```
 
-use proptest::prelude::*;
-use td_support::arena::Arena;
+use std::collections::HashMap;
+use td_ir::{Attribute, Context, OpId, ValueId};
+use td_support::proptest::{check, Config, Gen};
+use td_support::rng::Rng;
+use td_support::{Location, Symbol};
 
 // ----- generational arena ----------------------------------------------------
 
-proptest! {
-    /// Random alloc/erase sequences never resurrect stale indices, and the
-    /// live count always matches a reference model.
-    #[test]
-    fn arena_against_model(ops in proptest::collection::vec(0u8..4, 1..200)) {
-        let mut arena: Arena<u32> = Arena::new();
+/// Random alloc/erase sequences never resurrect stale indices, and the
+/// live count always matches a reference model.
+#[test]
+fn arena_against_model() {
+    check("arena_against_model", Config::default(), |g| {
+        let ops = g.vec(1, 200, |g| g.u8(0, 4));
+        let mut arena: td_support::Arena<u32> = td_support::Arena::new();
         let mut live: Vec<(td_support::Idx<u32>, u32)> = Vec::new();
         let mut erased: Vec<td_support::Idx<u32>> = Vec::new();
         let mut counter = 0u32;
@@ -27,25 +39,34 @@ proptest! {
                 }
                 2 if !live.is_empty() => {
                     let (idx, _) = live.swap_remove(counter as usize % live.len());
-                    prop_assert!(arena.erase(idx).is_some());
+                    if arena.erase(idx).is_none() {
+                        return Err("live index failed to erase".into());
+                    }
                     erased.push(idx);
                 }
                 _ => {}
             }
-            prop_assert_eq!(arena.len(), live.len());
+            if arena.len() != live.len() {
+                return Err(format!("len {} != model {}", arena.len(), live.len()));
+            }
             for (idx, value) in &live {
-                prop_assert_eq!(arena.get(*idx), Some(value));
+                if arena.get(*idx) != Some(value) {
+                    return Err(format!("live index lost value {value}"));
+                }
             }
             for idx in &erased {
-                prop_assert!(arena.get(*idx).is_none(), "stale index resolved");
+                if arena.get(*idx).is_some() {
+                    return Err("stale index resolved".into());
+                }
             }
         }
-    }
+        Ok(())
+    });
 }
 
 // ----- printer / parser round-trip -------------------------------------------
 
-/// A tiny generator of well-formed straight-line payload programs.
+/// A tiny generator of well-formed straight-line payload programs (text).
 fn generated_program(ops: &[(u8, u8, u8)]) -> String {
     let mut body = String::new();
     let mut values: Vec<String> = Vec::new();
@@ -53,7 +74,10 @@ fn generated_program(ops: &[(u8, u8, u8)]) -> String {
         let name = format!("%v{i}");
         match kind % 4 {
             0 => {
-                body.push_str(&format!("    {name} = arith.constant {} : i64\n", a as i64 - 100));
+                body.push_str(&format!(
+                    "    {name} = arith.constant {} : i64\n",
+                    a as i64 - 100
+                ));
             }
             1 if values.len() >= 2 => {
                 let lhs = &values[a as usize % values.len()];
@@ -81,51 +105,233 @@ fn generated_program(ops: &[(u8, u8, u8)]) -> String {
     format!("module {{\n  func.func @f() {{\n{body}    func.return\n  }}\n}}")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn gen_op_triples(g: &mut Gen, max: usize) -> Vec<(u8, u8, u8)> {
+    g.vec(1, max, |g| (g.u8(0, 4), g.any_u8(), g.any_u8()))
+}
 
-    /// print(parse(print(parse(p)))) is stable: the second round-trip is a
-    /// fixed point.
-    #[test]
-    fn parse_print_fixed_point(ops in proptest::collection::vec((0u8..4, any::<u8>(), any::<u8>()), 1..40)) {
+/// print(parse(print(parse(p)))) is stable: the second round-trip is a
+/// fixed point.
+#[test]
+fn parse_print_fixed_point() {
+    check("parse_print_fixed_point", Config::default(), |g| {
+        let ops = gen_op_triples(g, 40);
         let source = generated_program(&ops);
         let mut ctx1 = td_ir::Context::new();
         td_dialects::register_all_dialects(&mut ctx1);
-        let m1 = td_ir::parse_module(&mut ctx1, &source).expect("generated program parses");
-        td_ir::verify::verify(&ctx1, m1).expect("generated program verifies");
+        let m1 = td_ir::parse_module(&mut ctx1, &source)
+            .map_err(|e| format!("generated program must parse: {e}"))?;
+        td_ir::verify::verify(&ctx1, m1)
+            .map_err(|e| format!("generated program must verify: {e:?}"))?;
         let printed1 = td_ir::print_op(&ctx1, m1);
         let mut ctx2 = td_ir::Context::new();
         td_dialects::register_all_dialects(&mut ctx2);
-        let m2 = td_ir::parse_module(&mut ctx2, &printed1).expect("printed program re-parses");
+        let m2 = td_ir::parse_module(&mut ctx2, &printed1)
+            .map_err(|e| format!("printed program must re-parse: {e}"))?;
         let printed2 = td_ir::print_op(&ctx2, m2);
-        prop_assert_eq!(printed1, printed2);
+        if printed1 != printed2 {
+            return Err(format!(
+                "not a fixed point:\n--- first\n{printed1}\n--- second\n{printed2}"
+            ));
+        }
+        Ok(())
+    });
+}
+
+/// A context- and id-independent structural signature of the IR under
+/// `root`: op names, operand wiring (by local value numbering), printed
+/// attributes, printed result types, and region/block shape, in walk
+/// order. Two modules are structurally equal iff signatures match.
+fn structural_signature(ctx: &Context, root: OpId) -> Vec<String> {
+    fn visit_op(
+        ctx: &Context,
+        op: OpId,
+        numbering: &mut HashMap<ValueId, usize>,
+        sig: &mut Vec<String>,
+    ) {
+        let data = ctx.op(op);
+        let operands: Vec<String> = data
+            .operands()
+            .iter()
+            .map(|v| match numbering.get(v) {
+                Some(&n) => format!("v{n}"),
+                None => "v?".to_owned(),
+            })
+            .collect();
+        let mut attrs: Vec<String> = data
+            .attributes()
+            .iter()
+            .map(|(k, a)| format!("{k}={}", td_ir::print_attribute(ctx, a)))
+            .collect();
+        attrs.sort();
+        let result_types: Vec<String> = data
+            .results()
+            .iter()
+            .map(|&r| td_ir::print_type(ctx, ctx.value_type(r)))
+            .collect();
+        sig.push(format!(
+            "{}({}) {{{}}} -> ({}) regions={}",
+            data.name,
+            operands.join(", "),
+            attrs.join(", "),
+            result_types.join(", "),
+            data.regions().len()
+        ));
+        for &result in data.results() {
+            let n = numbering.len();
+            numbering.insert(result, n);
+        }
+        for &region in data.regions() {
+            for &block in ctx.region(region).blocks() {
+                sig.push(format!("block(args={})", ctx.block(block).args().len()));
+                for &arg in ctx.block(block).args() {
+                    let n = numbering.len();
+                    numbering.insert(arg, n);
+                }
+                for &inner in ctx.block(block).ops() {
+                    visit_op(ctx, inner, numbering, sig);
+                }
+            }
+        }
     }
+    let mut numbering = HashMap::new();
+    let mut sig = Vec::new();
+    visit_op(ctx, root, &mut numbering, &mut sig);
+    sig
+}
 
-    /// Canonicalization preserves the observable value: folding a random
-    /// arithmetic DAG produces the same result the interpreter computes.
-    #[test]
-    fn canonicalization_preserves_semantics(ops in proptest::collection::vec((0u8..4, any::<u8>(), any::<u8>()), 1..25)) {
-        use td_ir::Pass;
-        let source = generated_program(&ops);
-
-        // Reference: evaluate the final value by hand over the op list.
-        let eval = |ctx: &td_ir::Context, module| -> Option<i64> {
-            let use_op = ctx
-                .walk_nested(module)
-                .into_iter()
-                .find(|&o| ctx.op(o).name.as_str() == "test.use")?;
-            evaluate_int(ctx, ctx.op(use_op).operands()[0])
+/// Builds a random straight-line module *structurally* (no text), driven
+/// by the vendored PRNG: constants feeding random add/mul DAGs.
+fn build_random_module(ctx: &mut Context, rng: &mut Rng, num_ops: usize) -> OpId {
+    let module = ctx.create_module(Location::name("gen"));
+    let i64t = ctx.i64_type();
+    let (_func, entry) = td_dialects::func::build_func(ctx, module, "gen", &[], &[]);
+    let mut values: Vec<ValueId> = Vec::new();
+    for _ in 0..num_ops {
+        let (name, operands, attrs) = if values.len() < 2 || rng.below(2) == 0 {
+            (
+                "arith.constant",
+                vec![],
+                vec![(
+                    Symbol::new("value"),
+                    Attribute::Int(rng.range_i64(-100, 100)),
+                )],
+            )
+        } else {
+            let a = *rng.choose(&values);
+            let b = *rng.choose(&values);
+            (
+                if rng.next_bool() {
+                    "arith.addi"
+                } else {
+                    "arith.muli"
+                },
+                vec![a, b],
+                vec![],
+            )
         };
-
-        let mut ctx = td_ir::Context::new();
-        td_dialects::register_all_dialects(&mut ctx);
-        let module = td_ir::parse_module(&mut ctx, &source).unwrap();
-        let before = eval(&ctx, module);
-        td_dialects::passes::CanonicalizePass.run(&mut ctx, module).unwrap();
-        td_ir::verify::verify(&ctx, module).expect("canonical IR verifies");
-        let after = eval(&ctx, module);
-        prop_assert_eq!(before, after);
+        let op = ctx.create_op(Location::name("g"), name, operands, vec![i64t], attrs, 0);
+        ctx.append_op(entry, op);
+        values.push(ctx.op(op).results()[0]);
     }
+    if let Some(&last) = values.last() {
+        let use_op = ctx.create_op(
+            Location::name("use"),
+            "test.use",
+            vec![last],
+            vec![],
+            vec![],
+            0,
+        );
+        ctx.append_op(entry, use_op);
+    }
+    let ret = ctx.create_op(
+        Location::name("ret"),
+        "func.return",
+        vec![],
+        vec![],
+        vec![],
+        0,
+    );
+    ctx.append_op(entry, ret);
+    module
+}
+
+/// `parse(print(m)) == m` structurally, for modules generated with the
+/// vendored PRNG: printing and re-parsing loses no structure.
+#[test]
+fn parse_print_structural_roundtrip() {
+    check("parse_print_structural_roundtrip", Config::default(), |g| {
+        let num_ops = g.usize(1, 30.min(g.size() as usize + 1) + 1);
+        let mut ctx = Context::new();
+        td_dialects::register_all_dialects(&mut ctx);
+        let module = build_random_module(&mut ctx, g.rng(), num_ops);
+        td_ir::verify::verify(&ctx, module)
+            .map_err(|e| format!("generated module must verify: {e:?}"))?;
+        let printed = td_ir::print_op(&ctx, module);
+        let mut ctx2 = Context::new();
+        td_dialects::register_all_dialects(&mut ctx2);
+        let reparsed = td_ir::parse_module(&mut ctx2, &printed)
+            .map_err(|e| format!("printed module must parse: {e}\n{printed}"))?;
+        let original_sig = structural_signature(&ctx, module);
+        let reparsed_sig = structural_signature(&ctx2, reparsed);
+        if original_sig != reparsed_sig {
+            let diff = original_sig
+                .iter()
+                .zip(reparsed_sig.iter())
+                .find(|(a, b)| a != b)
+                .map(|(a, b)| format!("first diff:\n  orig: {a}\n  back: {b}"))
+                .unwrap_or_else(|| {
+                    format!(
+                        "lengths differ: {} vs {}",
+                        original_sig.len(),
+                        reparsed_sig.len()
+                    )
+                });
+            return Err(format!(
+                "structural mismatch after round-trip; {diff}\n{printed}"
+            ));
+        }
+        Ok(())
+    });
+}
+
+/// Canonicalization preserves the observable value: folding a random
+/// arithmetic DAG produces the same result the interpreter computes.
+#[test]
+fn canonicalization_preserves_semantics() {
+    check(
+        "canonicalization_preserves_semantics",
+        Config::default(),
+        |g| {
+            use td_ir::Pass;
+            let ops = gen_op_triples(g, 25);
+            let source = generated_program(&ops);
+
+            // Reference: evaluate the final value by hand over the op list.
+            let eval = |ctx: &td_ir::Context, module| -> Option<i64> {
+                let use_op = ctx
+                    .walk_nested(module)
+                    .into_iter()
+                    .find(|&o| ctx.op(o).name.as_str() == "test.use")?;
+                evaluate_int(ctx, ctx.op(use_op).operands()[0])
+            };
+
+            let mut ctx = td_ir::Context::new();
+            td_dialects::register_all_dialects(&mut ctx);
+            let module = td_ir::parse_module(&mut ctx, &source).map_err(|e| e.to_string())?;
+            let before = eval(&ctx, module);
+            td_dialects::passes::CanonicalizePass
+                .run(&mut ctx, module)
+                .map_err(|e| e.to_string())?;
+            td_ir::verify::verify(&ctx, module)
+                .map_err(|e| format!("canonical IR must verify: {e:?}"))?;
+            let after = eval(&ctx, module);
+            if before != after {
+                return Err(format!("value changed: {before:?} -> {after:?}\n{source}"));
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Recursively evaluates an integer SSA value (constants, addi, muli).
@@ -148,13 +354,14 @@ fn evaluate_int(ctx: &td_ir::Context, value: td_ir::ValueId) -> Option<i64> {
 
 // ----- loop transformations preserve semantics -------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Tiling + unrolling a reduction loop computes the same sum for
-    /// random extents and tile sizes.
-    #[test]
-    fn tiling_preserves_reduction(extent in 1i64..120, tile in 1i64..40, unroll in 1i64..5) {
+/// Tiling + unrolling a reduction loop computes the same sum for random
+/// extents and tile sizes.
+#[test]
+fn tiling_preserves_reduction() {
+    check("tiling_preserves_reduction", Config::with_cases(24), |g| {
+        let extent = g.i64(1, 120);
+        let tile = g.i64(1, 40);
+        let unroll = g.i64(1, 5);
         let src = format!(
             r#"module {{
   func.func @sum(%x: memref<{extent}xf32>, %out: memref<1xf32>) {{
@@ -172,19 +379,25 @@ proptest! {
   }}
 }}"#
         );
-        let run = |transform: bool| -> f64 {
+        let run = |transform: bool| -> Result<f64, String> {
             let mut ctx = td_ir::Context::new();
             td_dialects::register_all_dialects(&mut ctx);
-            let module = td_ir::parse_module(&mut ctx, &src).unwrap();
+            let module = td_ir::parse_module(&mut ctx, &src).map_err(|e| e.to_string())?;
             if transform {
                 let root = td_dialects::scf::collect_loops(&ctx, module)[0];
-                let tiled = td_transform::loop_transforms::tile(&mut ctx, root, &[tile]).unwrap();
+                let tiled = td_transform::loop_transforms::tile(&mut ctx, root, &[tile])
+                    .map_err(|e| format!("{e:?}"))?;
                 // Unroll the point loop when the tile size divides evenly.
                 if tile % unroll == 0 && extent % tile == 0 {
-                    td_transform::loop_transforms::unroll_by(&mut ctx, tiled.point_loops[0], unroll)
-                        .unwrap();
+                    td_transform::loop_transforms::unroll_by(
+                        &mut ctx,
+                        tiled.point_loops[0],
+                        unroll,
+                    )
+                    .map_err(|e| format!("{e:?}"))?;
                 }
-                td_ir::verify::verify(&ctx, module).expect("tiled IR verifies");
+                td_ir::verify::verify(&ctx, module)
+                    .map_err(|e| format!("tiled IR must verify: {e:?}"))?;
             }
             let mut args = td_machine::ArgBuilder::new();
             let x = args.buffer((0..extent).map(|i| (i as f64) - 3.0).collect());
@@ -199,16 +412,26 @@ proptest! {
                 td_machine::ExecConfig::default(),
                 None,
             )
-            .unwrap();
-            buffers[1][0]
+            .map_err(|e| format!("{e:?}"))?;
+            Ok(buffers[1][0])
         };
-        prop_assert_eq!(run(false), run(true));
-    }
+        let (reference, transformed) = (run(false)?, run(true)?);
+        if reference != transformed {
+            return Err(format!(
+                "extent={extent} tile={tile} unroll={unroll}: {reference} != {transformed}"
+            ));
+        }
+        Ok(())
+    });
+}
 
-    /// Splitting preserves the iteration multiset: trip(main) + trip(rest)
-    /// equals the original trip count, and main's trip divides the divisor.
-    #[test]
-    fn split_partitions_iterations(extent in 1i64..300, divisor in 1i64..40) {
+/// Splitting preserves the iteration multiset: trip(main) + trip(rest)
+/// equals the original trip count, and main's trip divides the divisor.
+#[test]
+fn split_partitions_iterations() {
+    check("split_partitions_iterations", Config::with_cases(24), |g| {
+        let extent = g.i64(1, 300);
+        let divisor = g.i64(1, 40);
         let src = format!(
             r#"module {{
   func.func @f() {{
@@ -224,128 +447,172 @@ proptest! {
         );
         let mut ctx = td_ir::Context::new();
         td_dialects::register_all_dialects(&mut ctx);
-        let module = td_ir::parse_module(&mut ctx, &src).unwrap();
+        let module = td_ir::parse_module(&mut ctx, &src).map_err(|e| e.to_string())?;
         let root = td_dialects::scf::collect_loops(&ctx, module)[0];
-        let (main, rest) = td_transform::loop_transforms::split(&mut ctx, root, divisor).unwrap();
+        let (main, rest) = td_transform::loop_transforms::split(&mut ctx, root, divisor)
+            .map_err(|e| format!("{e:?}"))?;
         let trip = |ctx: &td_ir::Context, op| {
             td_dialects::scf::static_trip_count(ctx, td_dialects::scf::as_for(ctx, op).unwrap())
                 .unwrap()
         };
         let (main_trip, rest_trip) = (trip(&ctx, main), trip(&ctx, rest));
-        prop_assert_eq!(main_trip + rest_trip, extent);
-        prop_assert_eq!(main_trip % divisor, 0);
-        prop_assert!(rest_trip < divisor);
-        td_ir::verify::verify(&ctx, module).expect("split IR verifies");
-    }
+        if main_trip + rest_trip != extent {
+            return Err(format!("{main_trip} + {rest_trip} != {extent}"));
+        }
+        if main_trip % divisor != 0 {
+            return Err(format!("main trip {main_trip} not a multiple of {divisor}"));
+        }
+        if rest_trip >= divisor {
+            return Err(format!("rest trip {rest_trip} >= divisor {divisor}"));
+        }
+        td_ir::verify::verify(&ctx, module).map_err(|e| format!("split IR must verify: {e:?}"))?;
+        Ok(())
+    });
 }
 
 // ----- cache simulator invariants ---------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Hits + misses equals accesses; repeating the same trace twice never
-    /// lowers the L1 hit count; costs are bounded by the configured range.
-    #[test]
-    fn cache_sim_invariants(addresses in proptest::collection::vec(0u64..1_000_000, 1..400)) {
+/// Hits + misses equals accesses; repeating the same trace twice never
+/// lowers the L1 hit count; costs are bounded by the configured range.
+#[test]
+fn cache_sim_invariants() {
+    check("cache_sim_invariants", Config::with_cases(32), |g| {
         use td_machine::{CacheConfig, CacheSim};
+        let addresses = g.vec(1, 400, |g| g.u64(0, 1_000_000));
         let mut sim = CacheSim::new(CacheConfig::default());
         let config = CacheConfig::default();
         let mut total = 0u64;
         for &address in &addresses {
             let cost = sim.access(address);
-            prop_assert!(cost >= config.l1.hit_cycles && cost <= config.memory_cycles);
+            if cost < config.l1.hit_cycles || cost > config.memory_cycles {
+                return Err(format!("cost {cost} out of configured range"));
+            }
             total += 1;
         }
         let stats = sim.l1_stats();
-        prop_assert_eq!(stats.hits + stats.misses, total);
-        // Second pass over the same trace: hit rate cannot be worse than a
-        // fully cold pass when the trace fits in L2.
-        let unique: std::collections::HashSet<u64> =
-            addresses.iter().map(|a| a / 64).collect();
+        if stats.hits + stats.misses != total {
+            return Err(format!("{} + {} != {total}", stats.hits, stats.misses));
+        }
+        // Second pass over the same trace: a warm L2 must not miss when
+        // the trace fits comfortably.
+        let unique: std::collections::HashSet<u64> = addresses.iter().map(|a| a / 64).collect();
         if (unique.len() as u64) * 64 < config.l2.size_bytes / 2 {
             let before = sim.l2_stats().misses;
             for &address in &addresses {
                 sim.access(address);
             }
             let new_misses = sim.l2_stats().misses - before;
-            prop_assert_eq!(new_misses, 0, "warm L2 must not miss on a resident trace");
+            if new_misses != 0 {
+                return Err(format!(
+                    "warm L2 missed {new_misses} times on a resident trace"
+                ));
+            }
         }
-    }
+        Ok(())
+    });
 }
 
 // ----- op-set algebra ----------------------------------------------------------
 
-proptest! {
-    /// OpSet::matches is monotone under union and consistent with its
-    /// constituent patterns.
-    #[test]
-    fn opset_union_is_monotone(names in proptest::collection::vec("[a-z]{1,6}\\.[a-z]{1,6}", 1..12), probe in "[a-z]{1,6}\\.[a-z]{1,6}") {
+/// OpSet::matches is monotone under union and consistent with its
+/// constituent patterns.
+#[test]
+fn opset_union_is_monotone() {
+    check("opset_union_is_monotone", Config::default(), |g| {
         use td_transform::OpSet;
+        let qualified = |g: &mut Gen| format!("{}.{}", g.ident(1, 6), g.ident(1, 6));
+        let names = g.vec(1, 12, qualified);
+        let probe = qualified(g);
         let half = names.len() / 2;
         let a = OpSet::of(names[..half].iter());
         let b = OpSet::of(names[half..].iter());
         let all = OpSet::of(names.iter());
-        prop_assert_eq!(a.matches(&probe) || b.matches(&probe), all.matches(&probe));
+        if (a.matches(&probe) || b.matches(&probe)) != all.matches(&probe) {
+            return Err(format!(
+                "union not monotone for probe {probe} over {names:?}"
+            ));
+        }
         // Every exact member matches its own set.
         for name in &names {
-            prop_assert!(all.matches(name));
+            if !all.matches(name) {
+                return Err(format!("{name} does not match its own set"));
+            }
         }
         // Dialect wildcard covers all members of that dialect.
         if let Some(dialect) = probe.split('.').next() {
             let wild = OpSet::of([format!("{dialect}.*")]);
-            prop_assert!(wild.matches(&probe));
+            if !wild.matches(&probe) {
+                return Err(format!("wildcard {dialect}.* misses {probe}"));
+            }
         }
-    }
+        Ok(())
+    });
 }
 
 // ----- autotuner constraints -----------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Every configuration any searcher proposes satisfies the space's
-    /// constraints, for random divisor-structured spaces.
-    #[test]
-    fn searchers_respect_constraints(n in 2i64..200, seed in any::<u64>()) {
-        use td_autotune::{divisors, tune, Annealing, BayesOpt, ParamDomain, ParamSpace, RandomSearch, Searcher};
-        let space = ParamSpace::new()
-            .param("t", ParamDomain::Ordinal(divisors(n)))
-            .param("v", ParamDomain::Bool)
-            .constraint(move |c| {
-                let t = c[0].as_int().unwrap_or(1);
-                let v = c[1].as_bool().unwrap_or(false);
-                !v || t % 2 == 0
-            });
-        let satisfiable = divisors(n).iter().any(|t| t % 2 == 0);
-        let mut searchers: Vec<Box<dyn Searcher>> = vec![
-            Box::new(RandomSearch),
-            Box::new(Annealing::default()),
-            Box::new(BayesOpt { warmup: 2, pool: 16, length_scale: 0.3 }),
-        ];
-        for searcher in &mut searchers {
-            let result = tune(&space, searcher.as_mut(), 8, seed, |c| {
-                // Objective checks the constraint as a hard property.
-                assert!(space.is_valid(c), "searcher proposed an invalid config");
-                Some(c[0].as_int().unwrap_or(1) as f64)
-            });
-            if satisfiable || !space.enumerate().is_empty() {
-                prop_assert!(!result.evaluations.is_empty());
+/// Every configuration any searcher proposes satisfies the space's
+/// constraints, for random divisor-structured spaces.
+#[test]
+fn searchers_respect_constraints() {
+    check(
+        "searchers_respect_constraints",
+        Config::with_cases(32),
+        |g| {
+            use td_autotune::{
+                divisors, tune, Annealing, BayesOpt, ParamDomain, ParamSpace, RandomSearch,
+                Searcher,
+            };
+            let n = g.i64(2, 200);
+            let seed = g.any_u64();
+            let space = ParamSpace::new()
+                .param("t", ParamDomain::Ordinal(divisors(n)))
+                .param("v", ParamDomain::Bool)
+                .constraint(move |c| {
+                    let t = c[0].as_int().unwrap_or(1);
+                    let v = c[1].as_bool().unwrap_or(false);
+                    !v || t % 2 == 0
+                });
+            let satisfiable = divisors(n).iter().any(|t| t % 2 == 0);
+            let mut searchers: Vec<Box<dyn Searcher>> = vec![
+                Box::new(RandomSearch),
+                Box::new(Annealing::default()),
+                Box::new(BayesOpt {
+                    warmup: 2,
+                    pool: 16,
+                    length_scale: 0.3,
+                }),
+            ];
+            for searcher in &mut searchers {
+                let mut violation = None;
+                let result = tune(&space, searcher.as_mut(), 8, seed, |c| {
+                    // Objective checks the constraint as a hard property.
+                    if !space.is_valid(c) {
+                        violation = Some(format!("{} proposed invalid config {c:?}", "searcher"));
+                    }
+                    Some(c[0].as_int().unwrap_or(1) as f64)
+                });
+                if let Some(violation) = violation {
+                    return Err(violation);
+                }
+                if (satisfiable || !space.enumerate().is_empty()) && result.evaluations.is_empty() {
+                    return Err(format!("no evaluations for n={n} seed={seed}"));
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }
 
 // ----- microkernel semantic equivalence ---------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// For random library-supported sizes, replacing the matmul nest with a
-    /// microkernel call computes exactly the same C.
-    #[test]
-    fn microkernel_matches_loops(mi in 1i64..5, ni in 1i64..5, k in 1i64..40) {
-        let (m, n) = (mi * 8, ni * 8); // library supports multiples of 8
+/// For random library-supported sizes, replacing the matmul nest with a
+/// microkernel call computes exactly the same C.
+#[test]
+fn microkernel_matches_loops() {
+    check("microkernel_matches_loops", Config::with_cases(12), |g| {
+        let (m, n) = (g.i64(1, 5) * 8, g.i64(1, 5) * 8); // library supports multiples of 8
+        let k = g.i64(1, 40);
         let config = td_bench::cs4::Cs4Config { m, n, k };
         let mut reference: Option<f64> = None;
         for variant in [
@@ -358,14 +625,17 @@ proptest! {
             let (checksum, _) = td_bench::cs4::run_payload(&ctx, module, config);
             match reference {
                 None => reference = Some(checksum),
-                Some(expected) => prop_assert!(
-                    (checksum - expected).abs() < 1e-9 * expected.abs().max(1.0),
-                    "{checksum} vs {expected} at {m}x{n}x{k}"
-                ),
+                Some(expected) => {
+                    if (checksum - expected).abs() >= 1e-9 * expected.abs().max(1.0) {
+                        return Err(format!("{checksum} vs {expected} at {m}x{n}x{k}"));
+                    }
+                }
             }
         }
         // The kernel call must actually be present for supported sizes.
-        if k <= 512 {
+        if k <= 512 && m % 32 == 0 && n % 32 == 0 {
+            // The split/tile path uses tile size 32; for smaller m the
+            // split main part is empty and the library may not fire.
             let mut ctx = td_bench::full_context();
             let module = td_bench::cs4::build_payload(&mut ctx, config);
             td_bench::cs4::apply_variant(
@@ -373,24 +643,29 @@ proptest! {
                 module,
                 td_bench::cs4::Variant::TransformLibrary,
             );
-            // The split/tile path uses tile size 32; for m < 32 the split
-            // main part is empty and the library may not fire — only check
-            // when m is a multiple of 32.
-            if m % 32 == 0 && n % 32 == 0 {
-                let has_kernel = ctx
-                    .walk_nested(module)
-                    .iter()
-                    .any(|&op| ctx.op(op).attr("microkernel").is_some());
-                prop_assert!(has_kernel, "kernel expected at {m}x{n}x{k}");
+            let has_kernel = ctx
+                .walk_nested(module)
+                .iter()
+                .any(|&op| ctx.op(op).attr("microkernel").is_some());
+            if !has_kernel {
+                return Err(format!("kernel expected at {m}x{n}x{k}"));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Interchanging a 2-D nest never changes the computed result.
-    #[test]
-    fn interchange_preserves_semantics(rows in 1i64..20, cols in 1i64..20) {
-        let src = format!(
-            r#"module {{
+/// Interchanging a 2-D nest never changes the computed result.
+#[test]
+fn interchange_preserves_semantics() {
+    check(
+        "interchange_preserves_semantics",
+        Config::with_cases(12),
+        |g| {
+            let rows = g.i64(1, 20);
+            let cols = g.i64(1, 20);
+            let src = format!(
+                r#"module {{
   func.func @acc(%x: memref<{rows}x{cols}xf32>, %out: memref<1xf32>) {{
     %lo = arith.constant 0 : index
     %hr = arith.constant {rows} : index
@@ -410,33 +685,39 @@ proptest! {
     func.return
   }}
 }}"#
-        );
-        let run = |interchange: bool| -> f64 {
-            let mut ctx = td_bench::full_context();
-            let module = td_ir::parse_module(&mut ctx, &src).unwrap();
-            if interchange {
-                let root = td_dialects::scf::collect_loops(&ctx, module)[0];
-                td_transform::loop_transforms::interchange(&mut ctx, root, &[1, 0]).unwrap();
-                td_ir::verify::verify(&ctx, module).unwrap();
+            );
+            let run = |interchange: bool| -> Result<f64, String> {
+                let mut ctx = td_bench::full_context();
+                let module = td_ir::parse_module(&mut ctx, &src).map_err(|e| e.to_string())?;
+                if interchange {
+                    let root = td_dialects::scf::collect_loops(&ctx, module)[0];
+                    td_transform::loop_transforms::interchange(&mut ctx, root, &[1, 0])
+                        .map_err(|e| format!("{e:?}"))?;
+                    td_ir::verify::verify(&ctx, module).map_err(|e| format!("{e:?}"))?;
+                }
+                let mut args = td_machine::ArgBuilder::new();
+                let x = args.buffer((0..rows * cols).map(|i| (i % 11) as f64 - 5.0).collect());
+                let out = args.buffer(vec![0.0]);
+                let buffers = args.into_buffers();
+                let (_, buffers, _) = td_machine::run_function_with_buffers(
+                    &ctx,
+                    module,
+                    "acc",
+                    vec![x, out],
+                    buffers,
+                    td_machine::ExecConfig::default(),
+                    None,
+                )
+                .map_err(|e| format!("{e:?}"))?;
+                Ok(buffers[1][0])
+            };
+            let (reference, transformed) = (run(false)?, run(true)?);
+            if reference != transformed {
+                return Err(format!("{rows}x{cols}: {reference} != {transformed}"));
             }
-            let mut args = td_machine::ArgBuilder::new();
-            let x = args.buffer((0..rows * cols).map(|i| (i % 11) as f64 - 5.0).collect());
-            let out = args.buffer(vec![0.0]);
-            let buffers = args.into_buffers();
-            let (_, buffers, _) = td_machine::run_function_with_buffers(
-                &ctx,
-                module,
-                "acc",
-                vec![x, out],
-                buffers,
-                td_machine::ExecConfig::default(),
-                None,
-            )
-            .unwrap();
-            buffers[1][0]
-        };
-        prop_assert_eq!(run(false), run(true));
-    }
+            Ok(())
+        },
+    );
 }
 
 // ----- interpreter robustness under random scripts -----------------------------
@@ -492,16 +773,18 @@ fn generated_script(ops: &[(u8, u8)]) -> String {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Random transform scripts never panic the interpreter: they either
-    /// apply (leaving verified IR) or fail with a structured error. On
-    /// error, any *definite* failure must be an invalidation/expectation
-    /// error, never a crash.
-    #[test]
-    fn interpreter_is_total_on_random_scripts(ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..14)) {
-        let payload_src = r#"module {
+/// Random transform scripts never panic the interpreter: they either
+/// apply (leaving verified IR) or fail with a structured error. On
+/// error, any *definite* failure must be an invalidation/expectation
+/// error, never a crash.
+#[test]
+fn interpreter_is_total_on_random_scripts() {
+    check(
+        "interpreter_is_total_on_random_scripts",
+        Config::with_cases(96),
+        |g| {
+            let ops = g.vec(0, 14, |g| (g.any_u8(), g.any_u8()));
+            let payload_src = r#"module {
   func.func @f(%m: memref<24x24xf32>) {
     %lo = arith.constant 0 : index
     %hi = arith.constant 24 : index
@@ -515,18 +798,22 @@ proptest! {
     func.return
   }
 }"#;
-        let script_src = generated_script(&ops);
-        let mut ctx = td_bench::full_context();
-        let payload = td_ir::parse_module(&mut ctx, payload_src).expect("payload parses");
-        let script = td_ir::parse_module(&mut ctx, &script_src)
-            .unwrap_or_else(|e| panic!("generated script must parse: {e}\n{script_src}"));
-        let entry = ctx.lookup_symbol(script, "main").expect("entry");
-        let env = td_transform::InterpEnv::standard();
-        let outcome = td_transform::Interpreter::new(&env).apply(&mut ctx, entry, payload);
-        // Whatever happened, the payload must still be verifiable IR —
-        // failed transforms either do not mutate or mutate consistently.
-        td_ir::verify::verify(&ctx, payload)
-            .unwrap_or_else(|e| panic!("payload corrupted: {e:?}\nscript:\n{script_src}"));
-        let _ = outcome;
-    }
+            let script_src = generated_script(&ops);
+            let mut ctx = td_bench::full_context();
+            let payload = td_ir::parse_module(&mut ctx, payload_src).map_err(|e| e.to_string())?;
+            let script = td_ir::parse_module(&mut ctx, &script_src)
+                .map_err(|e| format!("generated script must parse: {e}\n{script_src}"))?;
+            let entry = ctx
+                .lookup_symbol(script, "main")
+                .ok_or("entry point missing")?;
+            let env = td_transform::InterpEnv::standard();
+            let outcome = td_transform::Interpreter::new(&env).apply(&mut ctx, entry, payload);
+            // Whatever happened, the payload must still be verifiable IR —
+            // failed transforms either do not mutate or mutate consistently.
+            td_ir::verify::verify(&ctx, payload)
+                .map_err(|e| format!("payload corrupted: {e:?}\nscript:\n{script_src}"))?;
+            let _ = outcome;
+            Ok(())
+        },
+    );
 }
