@@ -112,4 +112,7 @@ fn main() {
         suite.write_json(&path).expect("write JSON report");
         println!("wrote {path}");
     }
+    if let Some(path) = td_support::trace::write_env_trace().expect("write trace") {
+        println!("wrote {path}");
+    }
 }

@@ -64,4 +64,7 @@ fn main() {
         .map(table1::Table1Row::overhead_percent)
         .fold(f64::NEG_INFINITY, f64::max);
     println!("\nmax overhead: {max_overhead:+.1}% (paper reports <= 2.6%)");
+    if let Some(path) = td_support::trace::write_env_trace().expect("write trace") {
+        eprintln!("wrote {path}");
+    }
 }

@@ -177,4 +177,7 @@ fn main() {
         println!("  simulated cycles: {:.0}", report.cycles);
         assert_eq!(filled, 16, "the 4x4 view at row offset 5 must be filled");
     }
+    if let Some(path) = td_support::trace::write_env_trace().expect("write trace") {
+        eprintln!("wrote {path}");
+    }
 }

@@ -1,0 +1,83 @@
+//! CI smoke check for the tracing subsystem: runs the quickstart schedule
+//! (tile by 64, unroll by 4) with tracing on, writes the Chrome
+//! `trace_event` JSON file, reads it back, validates the JSON with the
+//! std-only validator, and fails if the event stream is empty or missing
+//! the expected span/instant structure.
+//!
+//! ```text
+//! TD_TRACE=target/trace_smoke.json cargo run -p td-bench --bin trace_smoke
+//! ```
+//!
+//! Without `TD_TRACE` the trace is kept in memory and validated there.
+
+use td_support::trace;
+use td_transform::{InterpEnv, Interpreter};
+
+const PAYLOAD: &str = r#"module {
+  func.func @saxpy(%x: memref<1024xf32>, %y: memref<1024xf32>) {
+    %lo = arith.constant 0 : index
+    %hi = arith.constant 1024 : index
+    %st = arith.constant 1 : index
+    %a = arith.constant 2.0 : f32
+    scf.for %i = %lo to %hi step %st {
+      %xv = "memref.load"(%x, %i) : (memref<1024xf32>, index) -> f32
+      %yv = "memref.load"(%y, %i) : (memref<1024xf32>, index) -> f32
+      %ax = "arith.mulf"(%a, %xv) : (f32, f32) -> f32
+      %s = "arith.addf"(%ax, %yv) : (f32, f32) -> f32
+      "memref.store"(%s, %y, %i) : (f32, memref<1024xf32>, index) -> ()
+    }
+    func.return
+  }
+}"#;
+
+const SCRIPT: &str = r#"module {
+  transform.named_sequence @optimize(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %tiles, %points = "transform.loop.tile"(%loop) {tile_sizes = [64]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    %unrolled = "transform.loop.unroll"(%points) {factor = 4} : (!transform.any_op) -> !transform.any_op
+  }
+}"#;
+
+fn main() {
+    trace::set_enabled(true);
+    trace::reset();
+
+    let mut ctx = td_bench::full_context();
+    let payload = td_ir::parse_module(&mut ctx, PAYLOAD).expect("payload parses");
+    let script = td_ir::parse_module(&mut ctx, SCRIPT).expect("script parses");
+    let entry = ctx.lookup_symbol(script, "optimize").expect("entry point");
+    let env = InterpEnv::standard();
+    Interpreter::new(&env)
+        .apply(&mut ctx, entry, payload)
+        .expect("schedule applies");
+
+    // Export: through the TD_TRACE file when set (the CI path), else from
+    // the in-memory snapshot.
+    let json = match trace::write_env_trace().expect("write trace file") {
+        Some(path) => {
+            println!("wrote {path}");
+            std::fs::read_to_string(&path).expect("re-read trace file")
+        }
+        None => trace::snapshot().to_chrome_json(),
+    };
+
+    trace::validate_json(&json).unwrap_or_else(|e| panic!("invalid trace JSON: {e}"));
+    let recorded = trace::snapshot();
+    assert!(!recorded.is_empty(), "trace event stream must not be empty");
+    for expected in [
+        "\"apply\"",               // interpreter root span
+        "\"transform.loop.tile\"", // transform-op span
+        "\"handle.invalidated\"",  // instant event from handle consumption
+    ] {
+        assert!(
+            json.contains(expected),
+            "trace JSON is missing {expected}:\n{}",
+            recorded.to_tree_string()
+        );
+    }
+    println!(
+        "trace smoke OK: {} events, tree:\n{}",
+        recorded.events().len(),
+        recorded.to_tree_string()
+    );
+}

@@ -169,12 +169,27 @@ impl BenchSuite {
         out
     }
 
-    /// Writes the JSON-lines report to `path` (e.g. `BENCH_micro.json`).
+    /// The suite plus one trailing `{"metrics": {...}}` record carrying
+    /// this thread's metrics snapshot — per-pass/per-transform timers and
+    /// the interpreter statistics (`interp.stats.*`), so `TD_BENCH_JSON`
+    /// consumers get execution counters next to the timings.
+    pub fn to_json_lines_with_metrics(&self) -> String {
+        let mut out = self.to_json_lines();
+        let _ = writeln!(
+            out,
+            "{{\"metrics\":{}}}",
+            td_support::metrics::snapshot().to_json()
+        );
+        out
+    }
+
+    /// Writes the JSON-lines report (benchmarks plus the trailing metrics
+    /// record) to `path` (e.g. `BENCH_micro.json`).
     ///
     /// # Errors
     /// Propagates I/O errors.
     pub fn write_json(&self, path: &str) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json_lines())
+        std::fs::write(path, self.to_json_lines_with_metrics())
     }
 }
 

@@ -18,7 +18,10 @@
 //!   handles valid across rewrites, §3.1 of the paper);
 //! * a [`pass`] manager and by-name pass registry (the coarse-grained
 //!   mechanism the Transform dialect refines, and the backing store of
-//!   `transform.apply_registered_pass`).
+//!   `transform.apply_registered_pass`), instrumented with trace spans,
+//!   `Instrumentation` hooks, and env-driven IR snapshotting;
+//! * cheap structural [`fingerprint`]ing for change detection
+//!   (the `print-only-on-change` gate of the snapshot instrumentation).
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@ pub mod analysis;
 pub mod attrs;
 pub mod builder;
 pub mod dialect;
+pub mod fingerprint;
 pub mod ir;
 pub mod parse;
 pub mod pass;
@@ -49,6 +53,7 @@ pub mod verify;
 pub use attrs::{Attribute, FloatVal};
 pub use builder::{InsertPoint, OpBuilder};
 pub use dialect::{DialectRegistry, FoldResult, OpSpec, OpTraits};
+pub use fingerprint::fingerprint_op;
 pub use ir::{BlockId, Context, OpData, OpId, RegionId, ValueDef, ValueId};
 pub use parse::{parse_module, parse_type_str};
 pub use pass::{Pass, PassManager, PassRegistry};

@@ -6,11 +6,24 @@
 //! `transform.apply_registered_pass` possible: transforms look passes up by
 //! name and run them on precisely targeted payload ops instead of the whole
 //! module.
+//!
+//! The manager is fully instrumented (the MLIR `PassInstrumentation`
+//! analogue): every run opens a trace span per pass, calls
+//! [`Instrumentation`] hooks before/after each pass and after each
+//! verifier run, and reports failures. Per-pass wall-clock time is
+//! measured exactly once and fans out to the trace stream, the metrics
+//! registry, and [`PassManager::timings`] — the three reports share one
+//! clock and can never disagree. Setting `TD_PRINT_IR_BEFORE` /
+//! `TD_PRINT_IR_AFTER` (values: pass names, `all`, `changed`) attaches the
+//! IR-snapshot instrumentation automatically, no call-site changes needed.
 
+use crate::fingerprint::fingerprint_op;
 use crate::ir::{Context, OpId};
+use crate::print::print_op;
 use crate::verify::verify;
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+use td_support::trace::{self, Instrumentation, IrView, PrintIr};
 use td_support::{metrics, Diagnostic, Location};
 
 /// A compiler pass anchored at one operation.
@@ -41,6 +54,8 @@ pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
     verify_each: bool,
     timings: Vec<PassTiming>,
+    instrumentations: Vec<Box<dyn Instrumentation>>,
+    env_instrumentation_checked: bool,
 }
 
 impl PassManager {
@@ -61,14 +76,35 @@ impl PassManager {
         self
     }
 
+    /// Attaches an instrumentation; hooks fire in attachment order.
+    pub fn add_instrumentation(&mut self, instrumentation: Box<dyn Instrumentation>) -> &mut Self {
+        self.instrumentations.push(instrumentation);
+        self
+    }
+
     /// Names of the scheduled passes in order.
     pub fn pass_names(&self) -> Vec<&str> {
         self.passes.iter().map(|p| p.name()).collect()
     }
 
-    /// Per-pass timings of the most recent [`PassManager::run`].
+    /// Per-pass timings of the most recent [`PassManager::run`]. Derived
+    /// from the same single measurement that feeds the trace span and the
+    /// `pass.<name>` metrics timer.
     pub fn timings(&self) -> &[PassTiming] {
         &self.timings
+    }
+
+    /// Attaches env-driven instrumentation (`TD_PRINT_IR_BEFORE/AFTER`)
+    /// once per manager, so plain `PassManager::run` callers get IR
+    /// snapshots without plumbing.
+    fn attach_env_instrumentation(&mut self) {
+        if self.env_instrumentation_checked {
+            return;
+        }
+        self.env_instrumentation_checked = true;
+        if let Some(print_ir) = PrintIr::from_env() {
+            self.instrumentations.push(Box::new(print_ir));
+        }
     }
 
     /// Runs all passes on `target` in order.
@@ -76,29 +112,77 @@ impl PassManager {
     /// # Errors
     /// Stops at the first failing pass or verification failure.
     pub fn run(&mut self, ctx: &mut Context, target: OpId) -> Result<(), Diagnostic> {
+        let result = self.run_inner(ctx, target);
+        // Flush after the root span has closed, so `TD_TRACE` works for
+        // plain PassManager callers without any plumbing.
+        if let Err(e) = trace::write_env_trace() {
+            eprintln!("warning: failed to write TD_TRACE file: {e}");
+        }
+        result
+    }
+
+    fn run_inner(&mut self, ctx: &mut Context, target: OpId) -> Result<(), Diagnostic> {
         self.timings.clear();
-        let _run_span = metrics::span("pass_manager.run");
+        self.attach_env_instrumentation();
+        let _run_span = trace::span("pass_manager", "run");
+        let _run_metric = metrics::span("pass_manager.run");
         metrics::counter("pass_manager.runs", 1);
         for pass in &self.passes {
-            let start = Instant::now();
-            pass.run(ctx, target)?;
-            let duration = start.elapsed();
-            metrics::timer_ns(&format!("pass.{}", pass.name()), duration.as_nanos());
+            let name = pass.name().to_owned();
+            {
+                let print = || print_op(ctx, target);
+                let fp = || fingerprint_op(ctx, target);
+                let view = IrView::new(&print, &fp);
+                for instr in &mut self.instrumentations {
+                    instr.before_pass(&name, &view);
+                }
+            }
+            let mut span = trace::span("pass", name.clone());
+            let result = pass.run(ctx, target);
+            if let Err(diag) = &result {
+                span.arg("failed", diag.message().to_owned());
+            }
+            // The single instrumented clock: this one measurement feeds the
+            // trace span (recorded on `end`), the metrics timer, and the
+            // PassTiming entry.
+            let duration = span.end();
+            metrics::timer_ns(&format!("pass.{name}"), duration.as_nanos());
             metrics::counter("pass_manager.passes_run", 1);
             self.timings.push(PassTiming {
-                name: pass.name().to_owned(),
+                name: name.clone(),
                 duration,
             });
+            if let Err(diag) = result {
+                for instr in &mut self.instrumentations {
+                    instr.pass_failed(&name, diag.message());
+                }
+                trace::instant("pass", "pass.failed", &[("pass", name.clone())]);
+                return Err(diag);
+            }
+            {
+                let print = || print_op(ctx, target);
+                let fp = || fingerprint_op(ctx, target);
+                let view = IrView::new(&print, &fp);
+                for instr in &mut self.instrumentations {
+                    instr.after_pass(&name, &view);
+                }
+            }
             if self.verify_each {
                 metrics::counter("pass_manager.verifies", 1);
-                if let Err(mut diags) = metrics::time("pass_manager.verify", || verify(ctx, target))
-                {
+                let verify_span = trace::span("verify", format!("verify after {name}"));
+                let outcome = verify(ctx, target);
+                metrics::timer_ns("pass_manager.verify", verify_span.end().as_nanos());
+                let ok = outcome.is_ok();
+                for instr in &mut self.instrumentations {
+                    instr.after_verify(&name, ok);
+                }
+                if let Err(mut diags) = outcome {
                     let first = diags.remove(0);
                     return Err(Diagnostic::error(
                         first.location().clone(),
                         format!(
                             "IR verification failed after pass '{}': {}",
-                            pass.name(),
+                            name,
                             first.message()
                         ),
                     ));
@@ -274,6 +358,133 @@ mod tests {
         let json = snapshot.to_json();
         assert!(json.contains("\"pass.count-ops\""), "dump: {json}");
         assert!(json.contains("\"pass_manager.runs\":1"), "dump: {json}");
+    }
+
+    /// Instrumentation hooks fire in order around every pass, and the
+    /// verifier hook reports its outcome.
+    #[test]
+    fn instrumentation_hooks_fire_in_order() {
+        use std::sync::{Arc, Mutex};
+        struct Recorder(Arc<Mutex<Vec<String>>>);
+        impl Instrumentation for Recorder {
+            fn before_pass(&mut self, pass: &str, _ir: &IrView<'_>) {
+                self.0.lock().unwrap().push(format!("before:{pass}"));
+            }
+            fn after_pass(&mut self, pass: &str, _ir: &IrView<'_>) {
+                self.0.lock().unwrap().push(format!("after:{pass}"));
+            }
+            fn pass_failed(&mut self, pass: &str, message: &str) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push(format!("failed:{pass}:{message}"));
+            }
+            fn after_verify(&mut self, pass: &str, ok: bool) {
+                self.0.lock().unwrap().push(format!("verify:{pass}:{ok}"));
+            }
+        }
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut ctx = Context::new();
+        let module = ctx.create_module(Location::unknown());
+        let mut pm = PassManager::new();
+        pm.add(Box::new(CountOps));
+        pm.enable_verifier();
+        pm.add_instrumentation(Box::new(Recorder(Arc::clone(&log))));
+        pm.run(&mut ctx, module).unwrap();
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec![
+                "before:count-ops",
+                "after:count-ops",
+                "verify:count-ops:true"
+            ]
+        );
+
+        log.lock().unwrap().clear();
+        let mut pm = PassManager::new();
+        pm.add(Box::new(AlwaysFails));
+        pm.add_instrumentation(Box::new(Recorder(Arc::clone(&log))));
+        assert!(pm.run(&mut ctx, module).is_err());
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec!["before:always-fails", "failed:always-fails:boom"]
+        );
+    }
+
+    /// The print-ir instrumentation with the on-change filter prints IR
+    /// only for passes whose fingerprint changed (acceptance criterion).
+    #[test]
+    fn print_ir_on_change_skips_no_op_passes() {
+        use std::sync::{Arc, Mutex};
+        use td_support::PrintFilter;
+        struct NoOp;
+        impl Pass for NoOp {
+            fn name(&self) -> &str {
+                "no-op"
+            }
+            fn run(&self, _ctx: &mut Context, _target: OpId) -> Result<(), Diagnostic> {
+                Ok(())
+            }
+        }
+        let buffer = Arc::new(Mutex::new(String::new()));
+        let mut ctx = Context::new();
+        let module = ctx.create_module(Location::unknown());
+        let mut pm = PassManager::new();
+        // count-ops mutates (sets an attribute); no-op does not.
+        pm.add(Box::new(CountOps));
+        pm.add(Box::new(NoOp));
+        pm.add(Box::new(NoOp));
+        pm.add_instrumentation(Box::new(PrintIr::with_buffer(
+            PrintFilter::default(),
+            PrintFilter::parse("all,changed"),
+            Arc::clone(&buffer),
+        )));
+        pm.run(&mut ctx, module).unwrap();
+        let output = buffer.lock().unwrap().clone();
+        assert!(
+            output.contains("IR Dump After count-ops"),
+            "output: {output}"
+        );
+        assert!(!output.contains("IR Dump After no-op"), "output: {output}");
+    }
+
+    /// The trace span, the metrics timer, and the PassTiming report all
+    /// derive from one measurement (the unified-clock satellite): totals
+    /// agree exactly.
+    #[test]
+    fn trace_metrics_and_timings_share_one_clock() {
+        metrics::reset();
+        trace::reset();
+        trace::set_enabled(true);
+        let mut ctx = Context::new();
+        let module = ctx.create_module(Location::unknown());
+        let mut pm = PassManager::new();
+        pm.add(Box::new(CountOps));
+        pm.add(Box::new(CountOps));
+        pm.run(&mut ctx, module).unwrap();
+        trace::set_enabled(false);
+        trace::clear_enabled_override();
+
+        let metric = metrics::snapshot().timer_stat("pass.count-ops").unwrap();
+        let timing_total: u128 = pm.timings().iter().map(|t| t.duration.as_nanos()).sum();
+        assert_eq!(metric.count, 2);
+        assert_eq!(metric.total_ns, timing_total, "metrics vs timings");
+
+        let traced: Vec<_> = trace::take()
+            .events()
+            .iter()
+            .filter(|e| e.cat == "pass" && e.name == "count-ops")
+            .map(|e| match e.kind {
+                td_support::trace::EventKind::Span { dur_ns } => dur_ns,
+                td_support::trace::EventKind::Instant => 0,
+            })
+            .collect();
+        assert_eq!(traced.len(), 2);
+        assert_eq!(
+            traced.iter().sum::<u128>(),
+            timing_total,
+            "trace vs timings"
+        );
     }
 
     #[test]

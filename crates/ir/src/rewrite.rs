@@ -12,7 +12,7 @@ use crate::builder::OpBuilder;
 use crate::dialect::{FoldResult, OpTraits};
 use crate::ir::{Context, OpId, ValueId};
 use std::collections::{HashMap, HashSet};
-use td_support::{metrics, Diagnostic, Symbol};
+use td_support::{metrics, trace, Diagnostic, Symbol};
 
 /// A structural change performed through a [`Rewriter`].
 #[derive(Clone, Debug, PartialEq)]
@@ -247,6 +247,7 @@ pub fn apply_patterns_greedily(
         events: Vec::new(),
     };
     let _greedy_span = metrics::span("rewrite.greedy");
+    let _greedy_trace = trace::span("rewrite", "greedy");
     for _ in 0..config.max_iterations {
         metrics::counter("rewrite.sweeps", 1);
         let mut worklist: Vec<OpId> = ctx.walk_nested(root);

@@ -1,7 +1,10 @@
 //! Diagnostics: structured error/warning/remark reporting with source
-//! locations, notes, and a collecting engine.
+//! locations, notes, and a collecting engine — plus the optimization
+//! *remarks* channel ([`Remark`], [`emit_remark`]) modeled on LLVM's
+//! `-Rpass`/`-Rpass-missed`/`-Rpass-analysis` family.
 
 use crate::location::Location;
+use std::cell::RefCell;
 use std::fmt;
 
 /// Severity of a [`Diagnostic`].
@@ -153,6 +156,261 @@ impl DiagnosticEngine {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Optimization remarks (LLVM -Rpass style)
+// ---------------------------------------------------------------------------
+
+/// The category of an optimization remark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RemarkKind {
+    /// A transformation was applied (`-Rpass`).
+    Applied,
+    /// A transformation was attempted but did not apply (`-Rpass-missed`);
+    /// suppressed silenceable errors surface here, exactly once each.
+    Missed,
+    /// Information computed while deciding (`-Rpass-analysis`), e.g.
+    /// dynamic condition-check outcomes.
+    Analysis,
+}
+
+impl RemarkKind {
+    /// The kind's lowercase name (the `TD_REMARKS` filter vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            RemarkKind::Applied => "applied",
+            RemarkKind::Missed => "missed",
+            RemarkKind::Analysis => "analysis",
+        }
+    }
+}
+
+impl fmt::Display for RemarkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One optimization remark: which transform/pass (`origin`) did or did not
+/// do what, and where.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Remark {
+    /// Applied / missed / analysis.
+    pub kind: RemarkKind,
+    /// The emitting pass or transform op name.
+    pub origin: String,
+    /// Human-readable payload.
+    pub message: String,
+    /// Source location of the affected payload (or the transform op).
+    pub location: Location,
+}
+
+impl Remark {
+    /// Creates an [`RemarkKind::Applied`] remark.
+    pub fn applied(
+        origin: impl Into<String>,
+        location: Location,
+        message: impl Into<String>,
+    ) -> Self {
+        Remark {
+            kind: RemarkKind::Applied,
+            origin: origin.into(),
+            message: message.into(),
+            location,
+        }
+    }
+
+    /// Creates a [`RemarkKind::Missed`] remark.
+    pub fn missed(
+        origin: impl Into<String>,
+        location: Location,
+        message: impl Into<String>,
+    ) -> Self {
+        Remark {
+            kind: RemarkKind::Missed,
+            origin: origin.into(),
+            message: message.into(),
+            location,
+        }
+    }
+
+    /// Creates an [`RemarkKind::Analysis`] remark.
+    pub fn analysis(
+        origin: impl Into<String>,
+        location: Location,
+        message: impl Into<String>,
+    ) -> Self {
+        Remark {
+            kind: RemarkKind::Analysis,
+            origin: origin.into(),
+            message: message.into(),
+            location,
+        }
+    }
+
+    /// Lowers the remark into the ordinary severity machinery as a
+    /// [`Severity::Remark`] diagnostic, so it can travel through a
+    /// [`DiagnosticEngine`] next to errors and warnings.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic::remark(
+            self.location.clone(),
+            format!("[{}] {}: {}", self.kind, self.origin, self.message),
+        )
+    }
+}
+
+impl fmt::Display for Remark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: remark: [{}] {}: {}",
+            self.location, self.kind, self.origin, self.message
+        )
+    }
+}
+
+/// Which remark kinds the thread's remark stream records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RemarkFilter {
+    /// Record applied remarks.
+    pub applied: bool,
+    /// Record missed remarks.
+    pub missed: bool,
+    /// Record analysis remarks.
+    pub analysis: bool,
+}
+
+impl RemarkFilter {
+    /// Records every kind.
+    pub fn all() -> Self {
+        RemarkFilter {
+            applied: true,
+            missed: true,
+            analysis: true,
+        }
+    }
+
+    /// Parses a `TD_REMARKS` spec: comma-separated `applied`, `missed`,
+    /// `analysis`, or `all`. Unknown tokens are ignored.
+    pub fn parse(spec: &str) -> Self {
+        let mut filter = RemarkFilter::default();
+        for token in spec.split(',').map(str::trim) {
+            match token {
+                "applied" => filter.applied = true,
+                "missed" => filter.missed = true,
+                "analysis" => filter.analysis = true,
+                "all" => filter = RemarkFilter::all(),
+                _ => {}
+            }
+        }
+        filter
+    }
+
+    /// Whether any kind is recorded.
+    pub fn is_active(&self) -> bool {
+        self.applied || self.missed || self.analysis
+    }
+
+    /// Whether remarks of `kind` are recorded.
+    pub fn accepts(&self, kind: RemarkKind) -> bool {
+        match kind {
+            RemarkKind::Applied => self.applied,
+            RemarkKind::Missed => self.missed,
+            RemarkKind::Analysis => self.analysis,
+        }
+    }
+}
+
+struct RemarkStream {
+    /// Explicit override; `None` falls back to the `TD_REMARKS` env var
+    /// (env-driven remarks additionally echo to stderr, like `-Rpass`).
+    filter_override: Option<RemarkFilter>,
+    remarks: Vec<Remark>,
+}
+
+thread_local! {
+    static REMARKS: RefCell<RemarkStream> = RefCell::new(RemarkStream {
+        filter_override: None,
+        remarks: Vec::new(),
+    });
+    /// Cached `TD_REMARKS` parse — [`emit_remark`] sits on per-transform-op
+    /// hot paths. Per-thread, computed once; use [`set_remark_filter`] for
+    /// dynamic control.
+    static ENV_FILTER: std::cell::Cell<Option<RemarkFilter>> =
+        const { std::cell::Cell::new(None) };
+}
+
+fn env_remark_filter() -> RemarkFilter {
+    ENV_FILTER.with(|cache| match cache.get() {
+        Some(filter) => filter,
+        None => {
+            let filter = std::env::var("TD_REMARKS")
+                .map(|spec| RemarkFilter::parse(&spec))
+                .unwrap_or_default();
+            cache.set(Some(filter));
+            filter
+        }
+    })
+}
+
+/// The filter in effect on this thread (override, else `TD_REMARKS`).
+pub fn remark_filter() -> RemarkFilter {
+    REMARKS
+        .with(|s| s.borrow().filter_override)
+        .unwrap_or_else(env_remark_filter)
+}
+
+/// Overrides the remark filter on this thread (tests, embedders).
+pub fn set_remark_filter(filter: RemarkFilter) {
+    REMARKS.with(|s| s.borrow_mut().filter_override = Some(filter));
+}
+
+/// Clears the override (back to `TD_REMARKS`-driven behavior).
+pub fn clear_remark_filter_override() {
+    REMARKS.with(|s| s.borrow_mut().filter_override = None);
+}
+
+/// Emits an optimization remark into the thread's stream. Filtered-out
+/// kinds are dropped without allocation of stream state; accepted remarks
+/// are recorded in emission order, mirrored into the trace stream as an
+/// instant event (when tracing is enabled), and echoed to stderr when the
+/// filter came from the `TD_REMARKS` environment (the `-Rpass`-like UX).
+pub fn emit_remark(remark: Remark) {
+    let (filter, from_env) = REMARKS.with(|s| match s.borrow().filter_override {
+        Some(f) => (f, false),
+        None => (env_remark_filter(), true),
+    });
+    if !filter.accepts(remark.kind) {
+        return;
+    }
+    crate::trace::instant(
+        "remark",
+        remark.kind.name(),
+        &[
+            ("origin", remark.origin.clone()),
+            ("message", remark.message.clone()),
+        ],
+    );
+    if from_env {
+        eprintln!("{remark}");
+    }
+    REMARKS.with(|s| s.borrow_mut().remarks.push(remark));
+}
+
+/// A copy of this thread's recorded remarks, in emission order.
+pub fn remarks_snapshot() -> Vec<Remark> {
+    REMARKS.with(|s| s.borrow().remarks.clone())
+}
+
+/// Takes (returns and clears) this thread's recorded remarks.
+pub fn take_remarks() -> Vec<Remark> {
+    REMARKS.with(|s| std::mem::take(&mut s.borrow_mut().remarks))
+}
+
+/// Clears this thread's recorded remarks.
+pub fn reset_remarks() {
+    REMARKS.with(|s| s.borrow_mut().remarks.clear());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +448,69 @@ mod tests {
     fn severity_ordering() {
         assert!(Severity::Error > Severity::Warning);
         assert!(Severity::Warning > Severity::Remark);
+    }
+
+    /// Remarks lower into the severity machinery as `Severity::Remark`
+    /// diagnostics carrying their kind and origin.
+    #[test]
+    fn remark_severities_and_display() {
+        let applied = Remark::applied("loop.tile", Location::unknown(), "tiled by 64");
+        let missed = Remark::missed("loop.unroll", Location::unknown(), "not a loop");
+        let analysis = Remark::analysis("conditions", Location::unknown(), "post-set ok");
+        for (remark, kind) in [
+            (&applied, "applied"),
+            (&missed, "missed"),
+            (&analysis, "analysis"),
+        ] {
+            let diag = remark.to_diagnostic();
+            assert_eq!(diag.severity(), Severity::Remark);
+            assert!(diag.message().contains(&format!("[{kind}]")));
+            assert!(remark.to_string().contains(&format!("remark: [{kind}]")));
+        }
+        assert!(applied.to_diagnostic().message().contains("loop.tile"));
+    }
+
+    /// The stream records accepted remarks in emission order and drops
+    /// filtered-out kinds.
+    #[test]
+    fn remark_stream_orders_and_filters() {
+        set_remark_filter(RemarkFilter::parse("applied,missed"));
+        reset_remarks();
+        emit_remark(Remark::applied("a", Location::unknown(), "first"));
+        emit_remark(Remark::analysis("b", Location::unknown(), "dropped"));
+        emit_remark(Remark::missed("c", Location::unknown(), "second"));
+        emit_remark(Remark::applied("d", Location::unknown(), "third"));
+        let remarks = take_remarks();
+        assert_eq!(
+            remarks
+                .iter()
+                .map(|r| r.message.as_str())
+                .collect::<Vec<_>>(),
+            vec!["first", "second", "third"],
+            "emission order preserved, analysis filtered out"
+        );
+        assert!(remarks_snapshot().is_empty(), "take drains");
+        clear_remark_filter_override();
+    }
+
+    /// With an inactive filter nothing is recorded at all.
+    #[test]
+    fn inactive_filter_records_nothing() {
+        set_remark_filter(RemarkFilter::default());
+        reset_remarks();
+        emit_remark(Remark::applied("x", Location::unknown(), "m"));
+        assert!(remarks_snapshot().is_empty());
+        clear_remark_filter_override();
+    }
+
+    #[test]
+    fn remark_filter_parses_specs() {
+        let all = RemarkFilter::parse("all");
+        assert!(all.applied && all.missed && all.analysis);
+        let some = RemarkFilter::parse("applied, analysis");
+        assert!(some.applied && !some.missed && some.analysis);
+        assert!(some.accepts(RemarkKind::Applied));
+        assert!(!some.accepts(RemarkKind::Missed));
+        assert!(!RemarkFilter::parse("bogus").is_active());
     }
 }

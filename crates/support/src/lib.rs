@@ -19,6 +19,10 @@
 //! * [`metrics`] — counters, timers, and scoped spans with a JSON dump,
 //!   reported into by the pass manager, the rewrite driver, and the
 //!   transform interpreter;
+//! * [`trace`] — hierarchical structured tracing (Chrome `trace_event`
+//!   JSON + human-readable tree), the [`trace::Instrumentation`] hook
+//!   trait, and the `print-ir-before/after` snapshot instrumentation;
+//!   [`diag`] additionally hosts the optimization-remarks channel;
 //! * [`filecheck`] — a FileCheck-lite substring-check DSL backing the
 //!   golden-file tests.
 
@@ -30,8 +34,10 @@ pub mod location;
 pub mod metrics;
 pub mod proptest;
 pub mod rng;
+pub mod trace;
 
 pub use arena::{Arena, Idx};
-pub use diag::{Diagnostic, DiagnosticEngine, Severity};
+pub use diag::{Diagnostic, DiagnosticEngine, Remark, RemarkFilter, RemarkKind, Severity};
 pub use interner::Symbol;
 pub use location::Location;
+pub use trace::{HandleEvent, Instrumentation, IrView, PrintFilter, PrintIr};

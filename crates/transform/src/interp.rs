@@ -1,13 +1,22 @@
 //! The transform interpreter (§3): executes a Transform script against a
 //! payload program, maintaining the handle association table and enforcing
 //! handle invalidation.
+//!
+//! The interpreter is fully observable: every transform op executes inside
+//! a trace span, handle allocation/invalidation surface as instant events,
+//! suppressed silenceable errors and condition-check outcomes become
+//! optimization remarks, and [`Instrumentation`] hooks fire around each
+//! transform (including IR snapshots via `TD_PRINT_IR_BEFORE/AFTER`). All
+//! of it is off — and costs nothing beyond a branch — unless tracing,
+//! remarks, or an instrumentation is active.
 
 use crate::error::{TransformError, TransformResult};
 use crate::registry::{LibraryResolver, NamedPatternRegistry, TransformOpRegistry};
 use crate::state::TransformState;
-use std::time::Instant;
 use td_ir::{BlockId, Context, OpId, PassRegistry, ValueId};
-use td_support::metrics;
+use td_support::diag::{self, Remark};
+use td_support::trace::{self, Instrumentation, IrView, PrintIr};
+use td_support::{metrics, Diagnostic};
 
 /// Interpreter configuration.
 #[derive(Clone, Copy, Debug)]
@@ -82,6 +91,22 @@ pub struct InterpStats {
     pub suppressed_errors: usize,
 }
 
+impl InterpStats {
+    /// Mirrors the final stats into the metrics registry (cross-checking
+    /// the live counters), so `metrics::dump_json()` / `TD_BENCH_JSON`
+    /// consumers see interpreter statistics without reading this struct.
+    pub fn publish_to_metrics(&self) {
+        metrics::high_watermark(
+            "interp.stats.transforms_executed",
+            self.transforms_executed as u64,
+        );
+        metrics::high_watermark(
+            "interp.stats.suppressed_errors",
+            self.suppressed_errors as u64,
+        );
+    }
+}
+
 /// The transform interpreter.
 ///
 /// # Examples
@@ -106,20 +131,116 @@ pub struct InterpStats {
 /// Interpreter::new(&env).apply(&mut ctx, entry, payload).map_err(|e| e.to_string())?;
 /// # Ok::<(), String>(())
 /// ```
-#[derive(Debug)]
 pub struct Interpreter<'e> {
     /// The environment (registries and configuration).
     pub env: &'e InterpEnv<'e>,
     /// Statistics of the current run.
     pub stats: InterpStats,
+    /// Attached instrumentations (env-driven print-ir plus any explicit).
+    instrumentations: Vec<Box<dyn Instrumentation>>,
+    /// The payload root of the current apply, for IR snapshot hooks.
+    payload_root: Option<OpId>,
+    /// Whether any observability channel is active for this run.
+    observing: bool,
+}
+
+impl std::fmt::Debug for Interpreter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Interpreter")
+            .field("env", &self.env)
+            .field("stats", &self.stats)
+            .field("instrumentations", &self.instrumentations.len())
+            .finish()
+    }
 }
 
 impl<'e> Interpreter<'e> {
-    /// Creates an interpreter over `env`.
+    /// Creates an interpreter over `env`. If `TD_PRINT_IR_BEFORE` /
+    /// `TD_PRINT_IR_AFTER` are set, the IR-snapshot instrumentation is
+    /// attached automatically (filters also match transform-op names here).
     pub fn new(env: &'e InterpEnv<'e>) -> Self {
-        Interpreter {
+        let mut interp = Interpreter {
             env,
             stats: InterpStats::default(),
+            instrumentations: Vec::new(),
+            payload_root: None,
+            observing: false,
+        };
+        if let Some(print_ir) = PrintIr::from_env() {
+            interp.instrumentations.push(Box::new(print_ir));
+        }
+        interp
+    }
+
+    /// Attaches an instrumentation; hooks fire in attachment order.
+    pub fn add_instrumentation(&mut self, instrumentation: Box<dyn Instrumentation>) -> &mut Self {
+        self.instrumentations.push(instrumentation);
+        self
+    }
+
+    /// Notes a suppressed silenceable error: counted in [`InterpStats`]
+    /// and the metrics registry, surfaced as a missed-optimization remark
+    /// (exactly once per suppression), and reported to instrumentations.
+    /// Called by the enclosing constructs (`transform.sequence` with
+    /// suppress mode, `transform.alternatives`) that swallow the error.
+    pub fn suppress(&mut self, origin: &str, diag: &Diagnostic) {
+        self.stats.suppressed_errors += 1;
+        metrics::counter("interp.suppressed_errors", 1);
+        if self.observing {
+            trace::instant(
+                "transform",
+                "error.suppressed",
+                &[
+                    ("origin", origin.to_owned()),
+                    ("message", diag.message().to_owned()),
+                ],
+            );
+            diag::emit_remark(Remark::missed(
+                origin,
+                diag.location().clone(),
+                format!("suppressed silenceable error: {}", diag.message()),
+            ));
+            for instr in &mut self.instrumentations {
+                instr.error_suppressed(diag.message());
+            }
+        }
+    }
+
+    /// Forwards logged handle lifecycle events to the trace stream and the
+    /// instrumentation hooks.
+    fn drain_handle_events(&mut self, state: &mut TransformState) {
+        if !self.observing {
+            return;
+        }
+        for event in state.take_handle_events() {
+            trace::instant("handle", event.name(), &event.args());
+            for instr in &mut self.instrumentations {
+                instr.handle_event(&event);
+            }
+        }
+    }
+
+    /// Calls the before/after-transform snapshot hooks with a lazy view of
+    /// the payload root.
+    fn notify_transform_hooks(&mut self, ctx: &Context, name: &str, before: bool) {
+        if self.instrumentations.is_empty() {
+            return;
+        }
+        let Some(root) = self.payload_root else {
+            return;
+        };
+        if !ctx.is_live(root) {
+            return;
+        }
+        let print = || td_ir::print_op(ctx, root);
+        let fp = || td_ir::fingerprint_op(ctx, root);
+        let view = IrView::new(&print, &fp);
+        for instr in &mut self.instrumentations {
+            if before {
+                instr.before_transform(name, &view);
+            } else {
+                instr.after_transform(name, &view);
+            }
         }
     }
 
@@ -143,8 +264,32 @@ impl<'e> Interpreter<'e> {
         entry: OpId,
         payload: OpId,
     ) -> TransformResult {
+        let result = self.apply_inner(ctx, state, entry, payload);
+        // Flush after the apply span has closed, so a bare `TD_TRACE=...`
+        // on any schedule-running binary produces the trace file without
+        // call-site plumbing.
+        if let Err(e) = trace::write_env_trace() {
+            eprintln!("warning: failed to write TD_TRACE file: {e}");
+        }
+        result
+    }
+
+    fn apply_inner(
+        &mut self,
+        ctx: &mut Context,
+        state: &mut TransformState,
+        entry: OpId,
+        payload: OpId,
+    ) -> TransformResult {
         let _apply_span = metrics::span("interp.apply");
+        let _apply_trace = trace::span("interp", "apply");
         metrics::counter("interp.applies", 1);
+        // One flag decides whether any observability work happens per op.
+        self.observing = !self.instrumentations.is_empty()
+            || trace::enabled()
+            || diag::remark_filter().is_active();
+        state.set_observe(self.observing);
+        self.payload_root = Some(payload);
         let name = ctx.op(entry).name.as_str();
         if name != "transform.named_sequence" && name != "transform.sequence" {
             return Err(TransformError::definite(
@@ -166,7 +311,11 @@ impl<'e> Interpreter<'e> {
         if let Some(&arg) = ctx.block(block).args().first() {
             state.set_ops(arg, vec![payload]);
         }
-        self.run_block(ctx, state, block)
+        self.drain_handle_events(state);
+        let result = self.run_block(ctx, state, block);
+        self.drain_handle_events(state);
+        self.stats.publish_to_metrics();
+        result
     }
 
     /// Executes every transform op in `block`, in order.
@@ -250,12 +399,30 @@ impl<'e> Interpreter<'e> {
             }
         }
 
-        let handler_start = Instant::now();
-        (def.handler)(self, ctx, state, op)?;
-        metrics::timer_ns(
-            &format!("transform.{name}"),
-            handler_start.elapsed().as_nanos(),
-        );
+        let location = ctx.op(op).location.clone();
+        self.notify_transform_hooks(ctx, name.as_str(), true);
+
+        // The trace span is the single clock: its measured duration also
+        // feeds the per-transform metrics timer, so the two never disagree.
+        let mut span = trace::span("transform", name.as_str().to_owned());
+        let result = (def.handler)(self, ctx, state, op);
+        if let Err(err) = &result {
+            span.arg("failed", err.diagnostic().message().to_owned());
+        }
+        let duration = span.end();
+        metrics::timer_ns(&format!("transform.{name}"), duration.as_nanos());
+        if let Err(err) = result {
+            if self.observing {
+                for instr in &mut self.instrumentations {
+                    instr.transform_failed(
+                        name.as_str(),
+                        err.diagnostic().message(),
+                        err.is_silenceable(),
+                    );
+                }
+            }
+            return Err(err);
+        }
         metrics::counter("interp.transforms_executed", 1);
         metrics::high_watermark("interp.live_handles_peak", state.num_mappings() as u64);
         self.stats.transforms_executed += 1;
@@ -263,19 +430,36 @@ impl<'e> Interpreter<'e> {
         for (handle, reason) in to_invalidate {
             state.invalidate(handle, reason);
         }
+        self.drain_handle_events(state);
 
         // Dynamic post-condition verification (§3.3).
         if let Some((scope, before)) = condition_scope {
             if ctx.is_live(scope) {
                 let after = crate::conditions::scan_payload_ops(ctx, scope, None);
                 let post = crate::conditions::OpSet::of(def.post.iter());
-                if let Err(diag) =
-                    crate::conditions::verify_transition(name.as_str(), &before, &after, &post)
-                {
+                let check =
+                    crate::conditions::verify_transition(name.as_str(), &before, &after, &post);
+                if self.observing {
+                    let passed = check.is_ok();
+                    let detail = match &check {
+                        Ok(()) => "post-condition check passed".to_owned(),
+                        Err(diag) => format!("post-condition check failed: {}", diag.message()),
+                    };
+                    for instr in &mut self.instrumentations {
+                        instr.condition_check(name.as_str(), passed, &detail);
+                    }
+                    diag::emit_remark(Remark::analysis(name.as_str(), location.clone(), detail));
+                }
+                if let Err(diag) = check {
                     return Err(TransformError::Definite(diag));
                 }
             }
         }
+
+        if self.observing {
+            diag::emit_remark(Remark::applied(name.as_str(), location, "applied"));
+        }
+        self.notify_transform_hooks(ctx, name.as_str(), false);
         Ok(())
     }
 
@@ -294,6 +478,117 @@ impl<'e> Interpreter<'e> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use td_support::diag::RemarkKind;
+
+    const LOOP_PAYLOAD: &str = r#"module {
+  func.func @f(%m: memref<256xf32>) {
+    %lo = arith.constant 0 : index
+    %hi = arith.constant 256 : index
+    %st = arith.constant 1 : index
+    scf.for %i = %lo to %hi step %st {
+      %v = "memref.load"(%m, %i) : (memref<256xf32>, index) -> f32
+      "test.use"(%v) : (f32) -> ()
+    }
+    func.return
+  }
+}"#;
+
+    fn setup(payload_src: &str, script_src: &str) -> (Context, OpId, OpId) {
+        let mut ctx = Context::new();
+        td_dialects::register_all_dialects(&mut ctx);
+        crate::register_transform_dialect(&mut ctx);
+        let payload = td_ir::parse_module(&mut ctx, payload_src).unwrap();
+        let script = td_ir::parse_module(&mut ctx, script_src).unwrap();
+        let entry = ctx.lookup_symbol(script, "main").unwrap();
+        (ctx, payload, entry)
+    }
+
+    /// The acceptance scenario: with tracing on, a schedule run produces
+    /// transform-op spans nested under the interpreter's apply span,
+    /// handle-invalidation instant events, and applied remarks — and the
+    /// Chrome export of all of it is valid JSON.
+    #[test]
+    fn tracing_captures_nested_spans_and_handle_events() {
+        trace::reset();
+        trace::set_enabled(true);
+        diag::reset_remarks();
+        diag::set_remark_filter(diag::RemarkFilter::all());
+        let script = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %tiles, %points = "transform.loop.tile"(%loop) {tile_sizes = [32]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+  }
+}"#;
+        let (mut ctx, payload, entry) = setup(LOOP_PAYLOAD, script);
+        let env = InterpEnv::standard();
+        let mut interp = Interpreter::new(&env);
+        interp.apply(&mut ctx, entry, payload).unwrap();
+        let recorded = trace::take();
+        let remarks = diag::take_remarks();
+        trace::clear_enabled_override();
+        diag::clear_remark_filter_override();
+
+        let apply = recorded
+            .events()
+            .iter()
+            .find(|e| e.cat == "interp" && e.name == "apply")
+            .expect("interp apply span");
+        let tile = recorded
+            .events()
+            .iter()
+            .find(|e| e.cat == "transform" && e.name == "transform.loop.tile")
+            .expect("transform span");
+        assert!(
+            tile.depth > apply.depth,
+            "transform span nests under the apply span"
+        );
+        assert!(
+            recorded
+                .events()
+                .iter()
+                .any(|e| e.cat == "handle" && e.name == "handle.invalidated"),
+            "tile consumes %loop, so an invalidation instant must appear:\n{}",
+            recorded.to_tree_string()
+        );
+        let json = recorded.to_chrome_json();
+        trace::validate_json(&json).unwrap();
+        assert!(json.contains("\"handle.invalidated\""));
+        assert!(remarks
+            .iter()
+            .any(|r| r.kind == RemarkKind::Applied && r.origin == "transform.loop.tile"));
+    }
+
+    /// A silenceable error swallowed by a suppressing sequence surfaces as
+    /// exactly one missed-optimization remark.
+    #[test]
+    fn suppressed_silenceable_error_surfaces_one_missed_remark() {
+        diag::reset_remarks();
+        diag::set_remark_filter(diag::RemarkFilter::parse("missed"));
+        let script = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    "transform.sequence"(%root) ({
+    ^bb0(%arg: !transform.any_op):
+      %missing = "transform.match_op"(%arg) {name = "nonexistent.op", select = "first"} : (!transform.any_op) -> !transform.any_op
+      "transform.yield"() : () -> ()
+    }) {failure_propagation_mode = "suppress"} : (!transform.any_op) -> ()
+  }
+}"#;
+        let (mut ctx, payload, entry) = setup(LOOP_PAYLOAD, script);
+        let env = InterpEnv::standard();
+        let mut interp = Interpreter::new(&env);
+        interp.apply(&mut ctx, entry, payload).unwrap();
+        let remarks = diag::take_remarks();
+        diag::clear_remark_filter_override();
+
+        assert_eq!(interp.stats.suppressed_errors, 1);
+        let missed: Vec<_> = remarks
+            .iter()
+            .filter(|r| r.kind == RemarkKind::Missed)
+            .collect();
+        assert_eq!(missed.len(), 1, "one suppression, one remark: {remarks:?}");
+        assert!(missed[0].message.contains("suppressed silenceable error"));
+        assert_eq!(missed[0].origin, "transform.sequence");
+    }
 
     /// Per-transform timing, execution counters, and the live-handle
     /// high-watermark all land in the metrics registry, and the JSON dump

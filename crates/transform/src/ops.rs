@@ -14,7 +14,7 @@ use crate::state::TransformState;
 use std::collections::HashMap;
 use td_ir::rewrite::{apply_patterns_greedily, GreedyConfig, PatternSet};
 use td_ir::{Attribute, Context, OpId, OpSpec, OpTraits, ValueId};
-use td_support::{Location, Symbol};
+use td_support::{metrics, trace, Location, Symbol};
 
 /// Registers the transform dialect's op *specs* (for IR verification and
 /// printing of Transform scripts themselves).
@@ -284,8 +284,7 @@ fn sequence(
     );
     match interp.run_block(ctx, state, block) {
         Err(TransformError::Silenceable(diag)) if suppress => {
-            let _ = diag;
-            interp.stats.suppressed_errors += 1;
+            interp.suppress("transform.sequence", &diag);
             Ok(())
         }
         other => other,
@@ -424,8 +423,8 @@ fn alternatives(
                 erase_subtree_best_effort(ctx, target);
                 return Ok(());
             }
-            Err(TransformError::Silenceable(_)) => {
-                interp.stats.suppressed_errors += 1;
+            Err(TransformError::Silenceable(d)) => {
+                interp.suppress("transform.alternatives", &d);
                 erase_subtree_best_effort(ctx, clone);
                 continue;
             }
@@ -854,7 +853,11 @@ fn apply_registered_pass(
         .create(&pass_name)
         .ok_or_else(|| definite(ctx, op, format!("unknown pass '{pass_name}'")))?;
     for &target in &targets {
-        pass.run(ctx, target).map_err(TransformError::Definite)?;
+        let span = trace::span("pass", pass_name.clone());
+        let result = pass.run(ctx, target);
+        let duration = span.end();
+        metrics::timer_ns(&format!("pass.{pass_name}"), duration.as_nanos());
+        result.map_err(TransformError::Definite)?;
     }
     // Passes do not report fine-grained events; prune mappings of erased
     // payload ops and re-associate the result with the surviving targets.

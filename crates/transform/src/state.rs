@@ -6,6 +6,7 @@ use crate::error::{TransformError, TransformResult};
 use std::collections::HashMap;
 use td_ir::rewrite::RewriteEvent;
 use td_ir::{Attribute, Context, OpId, ValueId};
+use td_support::trace::HandleEvent;
 use td_support::Location;
 
 /// What a transform value is associated with.
@@ -23,6 +24,11 @@ pub struct TransformState {
     mapping: HashMap<ValueId, Mapped>,
     /// Invalidated handles with the reason, for precise diagnostics.
     invalidated: HashMap<ValueId, String>,
+    /// When true, handle lifecycle events are appended to `events` for the
+    /// interpreter to drain into the trace/instrumentation streams. Off by
+    /// default so uninstrumented runs pay nothing.
+    observe: bool,
+    events: Vec<HandleEvent>,
 }
 
 impl TransformState {
@@ -31,14 +37,39 @@ impl TransformState {
         Self::default()
     }
 
+    /// Enables or disables handle-lifecycle event logging.
+    pub fn set_observe(&mut self, observe: bool) {
+        self.observe = observe;
+    }
+
+    /// Drains the logged handle events (allocation/invalidation) since the
+    /// last call. Empty unless [`TransformState::set_observe`] was enabled.
+    pub fn take_handle_events(&mut self) -> Vec<HandleEvent> {
+        std::mem::take(&mut self.events)
+    }
+
     /// Associates `handle` with payload operations.
     pub fn set_ops(&mut self, handle: ValueId, ops: Vec<OpId>) {
+        if self.observe {
+            self.events.push(HandleEvent::Allocated {
+                handle: format!("{handle:?}"),
+                num_entities: ops.len(),
+                kind: "ops",
+            });
+        }
         self.invalidated.remove(&handle);
         self.mapping.insert(handle, Mapped::Ops(ops));
     }
 
     /// Associates `handle` with parameters.
     pub fn set_params(&mut self, handle: ValueId, params: Vec<Attribute>) {
+        if self.observe {
+            self.events.push(HandleEvent::Allocated {
+                handle: format!("{handle:?}"),
+                num_entities: params.len(),
+                kind: "params",
+            });
+        }
         self.invalidated.remove(&handle);
         self.mapping.insert(handle, Mapped::Params(params));
     }
@@ -125,7 +156,14 @@ impl TransformState {
 
     /// Marks a handle invalidated with a reason.
     pub fn invalidate(&mut self, handle: ValueId, reason: impl Into<String>) {
-        self.invalidated.insert(handle, reason.into());
+        let reason = reason.into();
+        if self.observe {
+            self.events.push(HandleEvent::Invalidated {
+                handle: format!("{handle:?}"),
+                reason: reason.clone(),
+            });
+        }
+        self.invalidated.insert(handle, reason);
         self.mapping.remove(&handle);
     }
 
@@ -294,6 +332,44 @@ mod tests {
             state.ops(h1, &Location::unknown()).unwrap(),
             Vec::<OpId>::new()
         );
+    }
+
+    /// With observation on, allocation and invalidation land in the event
+    /// log; with it off (the default), nothing is recorded.
+    #[test]
+    fn handle_events_are_logged_when_observing() {
+        let (_ctx, outer, inner, h1, h2) = fixture();
+        let mut state = TransformState::new();
+        state.set_ops(h1, vec![outer]);
+        assert!(state.take_handle_events().is_empty(), "off by default");
+
+        state.set_observe(true);
+        state.set_ops(h2, vec![outer, inner]);
+        state.set_params(h1, vec![Attribute::Int(4)]);
+        state.invalidate(h2, "consumed by 'transform.loop.tile'");
+        let events = state.take_handle_events();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(
+            &events[0],
+            HandleEvent::Allocated {
+                num_entities: 2,
+                kind: "ops",
+                ..
+            }
+        ));
+        assert!(matches!(
+            &events[1],
+            HandleEvent::Allocated {
+                num_entities: 1,
+                kind: "params",
+                ..
+            }
+        ));
+        let HandleEvent::Invalidated { reason, .. } = &events[2] else {
+            panic!("expected invalidation, got {:?}", events[2]);
+        };
+        assert!(reason.contains("loop.tile"));
+        assert!(state.take_handle_events().is_empty(), "drained");
     }
 
     #[test]

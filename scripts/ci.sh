@@ -17,6 +17,14 @@ cargo test -q --offline --workspace
 echo "== format check =="
 cargo fmt --check
 
+echo "== traced schedule smoke (observability) =="
+# Runs the quickstart schedule with tracing on; the binary validates the
+# Chrome trace JSON (std-only validator) and fails on an empty event
+# stream or missing span/instant structure.
+mkdir -p target
+TD_TRACE=target/trace_smoke.json cargo run -q --release --offline -p td-bench --bin trace_smoke
+test -s target/trace_smoke.json || { echo "trace_smoke.json is empty"; exit 1; }
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== micro-benchmark smoke run =="
     TD_BENCH_QUICK=1 TD_BENCH_JSON=BENCH_micro.json cargo bench -q --offline -p td-bench

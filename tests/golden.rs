@@ -61,6 +61,78 @@ fn quickstart_tile_unroll_matches_golden() {
     );
 }
 
+/// The quickstart schedule again, this time with every observability
+/// channel on — the programmatic equivalents of `TD_PRINT_IR_AFTER=all`,
+/// `TD_REMARKS=applied`, and `TD_TRACE` — and the combined transcript
+/// (IR snapshots, then remarks, then the trace tree) checked against a
+/// golden file: snapshot headers per transform op, the known applied
+/// remarks, and the handle-invalidation events from consumed handles.
+#[test]
+fn quickstart_observability_matches_golden() {
+    use std::fmt::Write as _;
+    use std::sync::{Arc, Mutex};
+    use td_support::trace::{self, PrintFilter, PrintIr};
+    use td_support::{diag, RemarkFilter};
+
+    let payload_src = r#"module {
+  func.func @saxpy(%x: memref<1024xf32>, %y: memref<1024xf32>) {
+    %lo = arith.constant 0 : index
+    %hi = arith.constant 1024 : index
+    %st = arith.constant 1 : index
+    %a = arith.constant 2.0 : f32
+    scf.for %i = %lo to %hi step %st {
+      %xv = "memref.load"(%x, %i) : (memref<1024xf32>, index) -> f32
+      %yv = "memref.load"(%y, %i) : (memref<1024xf32>, index) -> f32
+      %ax = "arith.mulf"(%a, %xv) : (f32, f32) -> f32
+      %s = "arith.addf"(%ax, %yv) : (f32, f32) -> f32
+      "memref.store"(%s, %y, %i) : (f32, memref<1024xf32>, index) -> ()
+    }
+    func.return
+  }
+}"#;
+    let script_src = r#"module {
+  transform.named_sequence @optimize(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %tiles, %points = "transform.loop.tile"(%loop) {tile_sizes = [64]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    %unrolled = "transform.loop.unroll"(%points) {factor = 4} : (!transform.any_op) -> !transform.any_op
+  }
+}"#;
+    trace::reset();
+    trace::set_enabled(true);
+    diag::reset_remarks();
+    diag::set_remark_filter(RemarkFilter::parse("applied"));
+    let snapshots = Arc::new(Mutex::new(String::new()));
+
+    let mut ctx = td_ir::Context::new();
+    td_dialects::register_all_dialects(&mut ctx);
+    td_transform::register_transform_dialect(&mut ctx);
+    let payload = td_ir::parse_module(&mut ctx, payload_src).unwrap();
+    let script = td_ir::parse_module(&mut ctx, script_src).unwrap();
+    let entry = ctx.lookup_symbol(script, "optimize").unwrap();
+    let env = InterpEnv::standard();
+    let mut interp = Interpreter::new(&env);
+    interp.add_instrumentation(Box::new(PrintIr::with_buffer(
+        PrintFilter::default(),
+        PrintFilter::parse("all"),
+        Arc::clone(&snapshots),
+    )));
+    interp.apply(&mut ctx, entry, payload).unwrap();
+
+    let mut transcript = snapshots.lock().unwrap().clone();
+    for remark in diag::take_remarks() {
+        let _ = writeln!(transcript, "{remark}");
+    }
+    transcript.push_str(&trace::take().to_tree_string());
+    trace::clear_enabled_override();
+    diag::clear_remark_filter_override();
+
+    assert_checks(
+        "quickstart_observability",
+        &transcript,
+        include_str!("golden/quickstart_observability.expected"),
+    );
+}
+
 /// Script-on-script optimization against its golden file: the include is
 /// inlined, the parameter propagated, and the no-op unroll removed. The
 /// script is the one from `examples/transform_script_optimization.rs`.

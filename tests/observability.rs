@@ -1,0 +1,177 @@
+//! Integration tests for the observability subsystem — the two acceptance
+//! criteria of the instrumentation framework:
+//!
+//! 1. Running a schedule with tracing on yields a Chrome `trace_event`
+//!    JSON document whose spans nest transform-op → pass → rewrite, with
+//!    handle-invalidation instant events alongside.
+//! 2. The `TD_PRINT_IR_AFTER` on-change filter (`changed`) prints a
+//!    snapshot only when the IR fingerprint actually changed.
+//!
+//! Env-var behavior is exercised through the programmatic equivalents
+//! (`trace::set_enabled`, `PrintIr::with_buffer`) so parallel tests never
+//! race on process-global environment state.
+
+use std::sync::{Arc, Mutex};
+use td_support::trace::{self, EventKind, PrintFilter, PrintIr};
+use td_transform::{InterpEnv, Interpreter};
+
+fn setup(payload_src: &str, script_src: &str) -> (td_ir::Context, td_ir::OpId, td_ir::OpId) {
+    let mut ctx = td_ir::Context::new();
+    td_dialects::register_all_dialects(&mut ctx);
+    td_transform::register_transform_dialect(&mut ctx);
+    let payload = td_ir::parse_module(&mut ctx, payload_src).unwrap();
+    let script = td_ir::parse_module(&mut ctx, script_src).unwrap();
+    let entry = ctx.lookup_symbol(script, "main").unwrap();
+    (ctx, payload, entry)
+}
+
+const CONST_FOLD_PAYLOAD: &str = r#"module {
+  func.func @f() {
+    %a = arith.constant 2 : i64
+    %b = arith.constant 3 : i64
+    %c = "arith.addi"(%a, %b) : (i64, i64) -> i64
+    "test.use"(%c) : (i64) -> ()
+    func.return
+  }
+}"#;
+
+/// Acceptance criterion 1: a schedule that routes through
+/// `transform.apply_registered_pass` produces a Chrome trace whose spans
+/// nest transform-op ⊃ pass ⊃ rewrite, plus handle-invalidation instants
+/// when handles are consumed.
+#[test]
+fn chrome_trace_nests_transform_pass_and_rewrite_spans() {
+    let script = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %func = "transform.match_op"(%root) {name = "func.func", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %after = "transform.apply_registered_pass"(%func) {pass_name = "canonicalize"} : (!transform.any_op) -> !transform.any_op
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %tiles, %points = "transform.loop.tile"(%loop) {tile_sizes = [8]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+  }
+}"#;
+    let payload = r#"module {
+  func.func @f(%m: memref<64xf32>) {
+    %lo = arith.constant 0 : index
+    %hi = arith.constant 64 : index
+    %st = arith.constant 1 : index
+    scf.for %i = %lo to %hi step %st {
+      %v = "memref.load"(%m, %i) : (memref<64xf32>, index) -> f32
+      "test.use"(%v) : (f32) -> ()
+    }
+    func.return
+  }
+}"#;
+    trace::reset();
+    trace::set_enabled(true);
+    let (mut ctx, payload, entry) = setup(payload, script);
+    let mut passes = td_ir::PassRegistry::new();
+    td_dialects::passes::register_all_passes(&mut passes);
+    let mut env = InterpEnv::standard();
+    env.passes = Some(&passes);
+    Interpreter::new(&env)
+        .apply(&mut ctx, entry, payload)
+        .unwrap();
+    let recorded = trace::take();
+    trace::clear_enabled_override();
+
+    let find = |cat: &str, name: &str| {
+        recorded
+            .events()
+            .iter()
+            .find(|e| e.cat == cat && e.name == name)
+            .unwrap_or_else(|| panic!("missing {cat}/{name}:\n{}", recorded.to_tree_string()))
+    };
+    let apply_pass = find("transform", "transform.apply_registered_pass");
+    let canonicalize = find("pass", "canonicalize");
+    let greedy = find("rewrite", "greedy");
+    assert!(
+        apply_pass.depth < canonicalize.depth && canonicalize.depth < greedy.depth,
+        "spans must nest transform-op > pass > rewrite:\n{}",
+        recorded.to_tree_string()
+    );
+    let invalidations: Vec<_> = recorded
+        .events()
+        .iter()
+        .filter(|e| e.name == "handle.invalidated" && e.kind == EventKind::Instant)
+        .collect();
+    assert!(
+        !invalidations.is_empty(),
+        "tile consumes its operand, so an invalidation instant must exist"
+    );
+
+    let json = recorded.to_chrome_json();
+    trace::validate_json(&json).expect("chrome export is valid JSON");
+    assert!(json.contains("\"ph\":\"X\"") && json.contains("\"ph\":\"i\""));
+    assert!(json.contains("\"canonicalize\"") && json.contains("\"greedy\""));
+    assert!(json.contains("\"handle.invalidated\""));
+}
+
+/// Acceptance criterion 2: with the `changed` filter, only transforms
+/// that actually mutate the payload produce an after-snapshot; pure
+/// matches (unchanged fingerprint) are skipped.
+#[test]
+fn print_ir_on_change_skips_non_mutating_transforms() {
+    let script = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %adds = "transform.match_op"(%root) {name = "arith.addi", select = "all"} : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%adds) {name = "hot"} : (!transform.any_op) -> ()
+    %again = "transform.match_op"(%root) {name = "arith.addi", select = "all"} : (!transform.any_op) -> !transform.any_op
+  }
+}"#;
+    let (mut ctx, payload, entry) = setup(CONST_FOLD_PAYLOAD, script);
+    let env = InterpEnv::standard();
+    let mut interp = Interpreter::new(&env);
+    let buffer = Arc::new(Mutex::new(String::new()));
+    interp.add_instrumentation(Box::new(PrintIr::with_buffer(
+        PrintFilter::default(),
+        PrintFilter::parse("all,changed"),
+        Arc::clone(&buffer),
+    )));
+    interp.apply(&mut ctx, entry, payload).unwrap();
+
+    let output = buffer.lock().unwrap().clone();
+    // The first match establishes the baseline fingerprint; annotate
+    // mutates (adds an attribute) and prints; the second match leaves the
+    // fingerprint untouched and is skipped.
+    assert!(
+        output.contains("// -----// IR Dump After transform.annotate //----- //"),
+        "mutating transform must print:\n{output}"
+    );
+    let dumps = output.matches("// -----// IR Dump After").count();
+    assert_eq!(
+        dumps, 2,
+        "one baseline dump plus one changed dump, match_op #2 skipped:\n{output}"
+    );
+    assert!(
+        !output[output.find("transform.annotate").unwrap()..]
+            .contains("IR Dump After transform.match_op"),
+        "the second, non-mutating match_op must not print:\n{output}"
+    );
+}
+
+/// Without any observability channel active, the interpreter records no
+/// trace events and allocates no handle-event log entries.
+#[test]
+fn observability_is_silent_when_disabled() {
+    let script = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %adds = "transform.match_op"(%root) {name = "arith.addi", select = "all"} : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%adds) {name = "hot"} : (!transform.any_op) -> ()
+  }
+}"#;
+    trace::reset();
+    trace::set_enabled(false);
+    let (mut ctx, payload, entry) = setup(CONST_FOLD_PAYLOAD, script);
+    let env = InterpEnv::standard();
+    let mut interp = Interpreter::new(&env);
+    let mut state = td_transform::TransformState::new();
+    interp
+        .apply_with_state(&mut ctx, &mut state, entry, payload)
+        .unwrap();
+    assert!(trace::snapshot().is_empty(), "no events when disabled");
+    assert!(
+        state.take_handle_events().is_empty(),
+        "handle log stays empty when not observing"
+    );
+    trace::clear_enabled_override();
+}
