@@ -101,6 +101,46 @@ fn bench_greedy_patterns(suite: &mut BenchSuite) {
     });
 }
 
+fn bench_sched_engine(suite: &mut BenchSuite) {
+    use td_sched::{Engine, EngineConfig, Job};
+    let script = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %c = "transform.match_op"(%root) {name = "arith.constant", select = "all"}
+        : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%c) {name = "seen"} : (!transform.any_op) -> ()
+  }
+}"#;
+    let batch = |n: usize| -> Vec<Job> {
+        (0..n)
+            .map(|i| {
+                Job::new(
+                    script,
+                    format!("module {{\n  %c = arith.constant {i} : index\n}}"),
+                )
+            })
+            .collect()
+    };
+    for workers in [1usize, 4] {
+        let engine = Engine::new(
+            EngineConfig::standard()
+                .with_workers(workers)
+                .without_cache(),
+        );
+        suite.run(&format!("sched.batch16.workers{workers}"), || {
+            let report = engine.run_batch(batch(16));
+            assert_eq!(report.ok_count(), 16);
+            std::hint::black_box(report)
+        });
+    }
+    let cached = Engine::new(EngineConfig::standard().with_workers(1));
+    cached.run_batch(batch(16));
+    suite.run("sched.batch16.warm_cache", || {
+        let report = cached.run_batch(batch(16));
+        assert_eq!(report.cache.hits, 16);
+        std::hint::black_box(report)
+    });
+}
+
 fn main() {
     let mut suite = BenchSuite::from_env();
     bench_parser(&mut suite);
@@ -108,6 +148,7 @@ fn main() {
     bench_cache_sim(&mut suite);
     bench_table1_smallest(&mut suite);
     bench_greedy_patterns(&mut suite);
+    bench_sched_engine(&mut suite);
     if let Ok(path) = std::env::var("TD_BENCH_JSON") {
         suite.write_json(&path).expect("write JSON report");
         println!("wrote {path}");

@@ -1,0 +1,142 @@
+//! Throughput benchmark for the td-sched engine: applies a fixed batch of
+//! tiling schedules at 1/2/4/8 workers (cache disabled, so every job does
+//! interpreter work) and reports modules/second and speedup over the
+//! single-worker baseline, plus a cache-effectiveness row (warm re-run hit
+//! rate). Output correctness is asserted — any divergence between worker
+//! counts is a hard failure — but speedup is *reported, not asserted*:
+//! observed scaling depends on the core count of the machine running the
+//! benchmark (a single-core container cannot show parallel speedup).
+//!
+//! ```text
+//! cargo run --release -p td-bench --bin sched_throughput
+//! TD_BENCH_QUICK=1 ...      # fewer measurement iterations
+//! TD_BENCH_JSON=BENCH_sched.json ...   # also write JSON lines
+//! ```
+
+use td_bench::{render_table, BenchSuite};
+use td_sched::{Engine, EngineConfig, Job};
+
+const BATCH: usize = 64;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn payload(i: usize) -> String {
+    let extent = 32 * (i % 8 + 1);
+    format!(
+        r#"module {{
+  func.func @work{i}(%x: memref<{extent}x{extent}xf32>) {{
+    %lo = arith.constant 0 : index
+    %hi = arith.constant {extent} : index
+    %st = arith.constant 1 : index
+    scf.for %i = %lo to %hi step %st {{
+      scf.for %j = %lo to %hi step %st {{
+        %v = "memref.load"(%x, %i, %j) : (memref<{extent}x{extent}xf32>, index, index) -> f32
+        %w = "arith.mulf"(%v, %v) : (f32, f32) -> f32
+        "memref.store"(%w, %x, %i, %j) : (f32, memref<{extent}x{extent}xf32>, index, index) -> ()
+      }}
+    }}
+    func.return
+  }}
+}}"#
+    )
+}
+
+const SCRIPT: &str = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %tiles, %points = "transform.loop.tile"(%loop) {tile_sizes = [8]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+  }
+}"#;
+
+fn batch() -> Vec<Job> {
+    (0..BATCH).map(|i| Job::new(SCRIPT, payload(i))).collect()
+}
+
+fn main() {
+    let mut suite = BenchSuite::from_env();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Reference outputs from a single worker; every other configuration
+    // must reproduce them exactly.
+    let reference =
+        Engine::new(EngineConfig::standard().with_workers(1).without_cache()).run_batch(batch());
+    assert_eq!(
+        reference.ok_count(),
+        BATCH,
+        "every job must apply: {:?}",
+        reference.results.iter().find(|r| r.is_err())
+    );
+
+    let mut rows = Vec::new();
+    let mut baseline_ns: Option<u128> = None;
+    for workers in WORKER_COUNTS {
+        let engine = Engine::new(
+            EngineConfig::standard()
+                .with_workers(workers)
+                .without_cache(),
+        );
+        let stats = suite
+            .run(&format!("sched.batch.workers{workers}"), || {
+                let report = engine.run_batch(batch());
+                assert_eq!(
+                    report.output_texts(),
+                    reference.output_texts(),
+                    "output divergence at {workers} workers"
+                );
+                report
+            })
+            .clone();
+        let baseline = *baseline_ns.get_or_insert(stats.median_ns);
+        let modules_per_sec = BATCH as f64 * 1e9 / stats.median_ns as f64;
+        let speedup = baseline as f64 / stats.median_ns as f64;
+        rows.push(vec![
+            workers.to_string(),
+            format!("{:.1}", stats.median_ns as f64 / 1e6),
+            format!("{modules_per_sec:.0}"),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+
+    // Cache effectiveness: cold run populates, warm run must be served
+    // entirely from the cache with identical output.
+    let cached = Engine::new(EngineConfig::standard().with_workers(4));
+    let cold = cached.run_batch(batch());
+    let warm_stats = suite.run("sched.batch.warm_cache", || {
+        let warm = cached.run_batch(batch());
+        assert!(
+            warm.cache.hit_rate() >= 0.9,
+            "warm batch must hit the cache: {:?}",
+            warm.cache
+        );
+        assert_eq!(warm.output_texts(), cold.output_texts());
+        warm
+    });
+    let warm_modules_per_sec = BATCH as f64 * 1e9 / warm_stats.median_ns as f64;
+    rows.push(vec![
+        "4 (warm cache)".to_owned(),
+        format!("{:.1}", warm_stats.median_ns as f64 / 1e6),
+        format!("{warm_modules_per_sec:.0}"),
+        format!(
+            "{:.2}x",
+            baseline_ns.expect("baseline measured") as f64 / warm_stats.median_ns as f64
+        ),
+    ]);
+
+    println!();
+    println!(
+        "sched throughput: {BATCH}-module batch, tile-by-8 schedule, {cores} core(s) available"
+    );
+    println!(
+        "{}",
+        render_table(
+            &["workers", "median ms/batch", "modules/s", "speedup vs 1"],
+            &rows
+        )
+    );
+
+    if let Ok(path) = std::env::var("TD_BENCH_JSON") {
+        suite.write_json(&path).expect("write JSON report");
+        println!("wrote {path}");
+    }
+}

@@ -782,11 +782,50 @@ impl Context {
         clone
     }
 
+    /// Deep-clones a top-level module (or any other detachable op tree)
+    /// as a new detached op in the same context, built on [`Context::clone_op`].
+    ///
+    /// This is the cheap payload-replication primitive batch drivers use:
+    /// cloning skips the lexer/parser entirely, so replicating a payload
+    /// module N times for a job batch costs arena copies only. The clone
+    /// shares nothing mutable with the original — subsequent rewrites of
+    /// one are invisible to the other (types are interned and immutable,
+    /// so sharing `TypeId`s is sound).
+    pub fn clone_module(&mut self, module: OpId) -> OpId {
+        let mut value_map = HashMap::new();
+        self.clone_op(module, &mut value_map)
+    }
+
     /// Total number of live operations (for tests and statistics).
     pub fn num_ops(&self) -> usize {
         self.ops.len()
     }
 }
+
+// The concurrency contract of the IR: a `Context` (with everything it
+// owns — arenas, the type store, the dialect registry) can be *moved* to
+// another thread, which is what lets a scheduler build payloads on one
+// thread and hand whole contexts to workers. These are compile-time
+// assertions; if a future field change introduces a thread-hostile type
+// (`Rc`, `RefCell` shared via aliasing, raw pointers), this stops
+// compiling rather than producing a data race.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Context>();
+    assert_send::<crate::types::TypeStore>();
+    assert_send::<crate::dialect::DialectRegistry>();
+    assert_send::<td_support::Arena<OpData>>();
+    assert_send::<td_support::Arena<BlockData>>();
+    assert_send::<td_support::Arena<RegionData>>();
+    assert_send::<td_support::Arena<ValueData>>();
+    // Ids are plain `Copy` data and additionally `Sync`: shareable freely.
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<OpId>();
+    assert_send_sync::<BlockId>();
+    assert_send_sync::<RegionId>();
+    assert_send_sync::<ValueId>();
+    assert_send_sync::<crate::types::TypeId>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -1040,6 +1079,49 @@ mod tests {
         assert_eq!(ctx.op(cloned_use).operands(), &[cloned_arg]);
         assert_eq!(map[&arg], cloned_arg);
         assert_ne!(cloned_use, use_op);
+    }
+
+    #[test]
+    fn clone_module_is_deep_and_independent() {
+        let (mut ctx, module, body) = ctx_with_module();
+        let i32t = ctx.i32_type();
+        let c = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![i32t],
+            vec![(Symbol::new("value"), Attribute::Int(7))],
+            0,
+        );
+        ctx.append_op(body, c);
+        let ops_before = ctx.num_ops();
+        let clone = ctx.clone_module(module);
+        assert_eq!(ctx.num_ops(), ops_before * 2);
+        assert_eq!(ctx.op(clone).name.as_str(), "builtin.module");
+        assert!(ctx.op(clone).parent().is_none(), "clone starts detached");
+        // Mutating the original is invisible to the clone.
+        ctx.set_attr(c, "value", Attribute::Int(8));
+        let cloned_body = ctx.sole_block(clone, 0);
+        let cloned_c = ctx.block(cloned_body).ops()[0];
+        assert_ne!(cloned_c, c);
+        assert_eq!(ctx.op(cloned_c).attr("value"), Some(&Attribute::Int(7)));
+        // And erasing the clone leaves the original intact.
+        ctx.erase_op(clone);
+        assert!(ctx.is_live(module));
+        assert!(ctx.is_live(c));
+    }
+
+    #[test]
+    fn context_moves_across_threads() {
+        let (mut ctx, module, body) = ctx_with_module();
+        let op = ctx.create_op(Location::unknown(), "test.a", vec![], vec![], vec![], 0);
+        ctx.append_op(body, op);
+        // The `Send` guarantee, exercised: hand the whole context to a
+        // worker thread and keep using it there.
+        let count = std::thread::spawn(move || ctx.walk(module).len())
+            .join()
+            .unwrap();
+        assert_eq!(count, 2);
     }
 
     #[test]

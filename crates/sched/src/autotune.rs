@@ -1,0 +1,105 @@
+//! Autotuning on top of the engine: the `td-autotune` search loop with
+//! candidate schedules evaluated as engine jobs.
+//!
+//! Two entry points:
+//!
+//! * [`tune_schedules`] — drives any [`Searcher`] (random, annealing,
+//!   Bayesian, …) sequentially; the engine contributes panic isolation,
+//!   deadlines, and — decisively — the result cache: searchers routinely
+//!   re-propose configurations (annealing revisits the incumbent, grid
+//!   resumes overlap), and a re-proposed schedule costs one cache lookup
+//!   instead of a full interpreter run.
+//! * [`sweep_schedules`] — evaluates an *entire* parameter space as one
+//!   batch, fanning the independent candidates across the worker pool.
+//!   This is exhaustive (grid) search restructured for the engine: since
+//!   every candidate is known up front, there is no sequential dependency
+//!   to respect.
+
+use crate::engine::Engine;
+use crate::job::{Job, JobOutput, JobResult};
+use td_autotune::{Config, ParamSpace, Searcher, TuneResult};
+
+/// Runs `searcher` for `budget` evaluations, rendering each proposed
+/// configuration into a transform script with `render` and scoring the
+/// transformed module with `cost` (smaller is better; `None` marks the
+/// configuration failed). Jobs that fail (parse errors, transform
+/// failures, panics, deadlines) are reported to the search loop as failed
+/// configurations, not as process errors.
+pub fn tune_schedules(
+    engine: &Engine,
+    payload: &str,
+    space: &ParamSpace,
+    searcher: &mut dyn Searcher,
+    budget: usize,
+    seed: u64,
+    render: impl Fn(&Config) -> String,
+    cost: impl Fn(&JobOutput) -> Option<f64>,
+) -> TuneResult {
+    td_autotune::tune(space, searcher, budget, seed, |config| {
+        let script = render(config);
+        let report = engine.run_batch(vec![Job::new(script, payload)]);
+        match report.results.into_iter().next() {
+            Some(Ok(output)) => cost(&output),
+            _ => None,
+        }
+    })
+}
+
+/// One evaluated configuration from [`sweep_schedules`].
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// The configuration.
+    pub config: Config,
+    /// The engine's result for its rendered schedule.
+    pub result: JobResult,
+    /// The cost, when the job succeeded and the cost function accepted it.
+    pub cost: Option<f64>,
+}
+
+/// Result of an exhaustive parallel sweep.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Every configuration in enumeration order.
+    pub outcomes: Vec<SweepOutcome>,
+}
+
+impl SweepResult {
+    /// The cheapest successfully-evaluated configuration, if any.
+    pub fn best(&self) -> Option<&SweepOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.cost.is_some())
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("costs are comparable"))
+    }
+}
+
+/// Evaluates every configuration of `space` as one engine batch (parallel
+/// exhaustive search). Enumeration order is preserved in the outcomes, so
+/// the sweep is deterministic regardless of worker count.
+pub fn sweep_schedules(
+    engine: &Engine,
+    payload: &str,
+    space: &ParamSpace,
+    render: impl Fn(&Config) -> String,
+    cost: impl Fn(&JobOutput) -> Option<f64>,
+) -> SweepResult {
+    let configs = space.enumerate();
+    let jobs = configs
+        .iter()
+        .map(|config| Job::new(render(config), payload))
+        .collect();
+    let report = engine.run_batch(jobs);
+    let outcomes = configs
+        .into_iter()
+        .zip(report.results)
+        .map(|(config, result)| {
+            let cost_value = result.as_ref().ok().and_then(&cost);
+            SweepOutcome {
+                config,
+                result,
+                cost: cost_value,
+            }
+        })
+        .collect();
+    SweepResult { outcomes }
+}

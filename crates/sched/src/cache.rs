@@ -1,0 +1,291 @@
+//! The fingerprint-keyed result cache shared by all workers.
+//!
+//! Keys are `(script fingerprint, payload fingerprint)` pairs produced by
+//! [`td_ir::fingerprint_op`] under the engine's fixed parse discipline
+//! (payload first, then script, into a fresh context — see the crate docs
+//! for why that makes equal keys imply identical inputs). Values are the
+//! printed output module plus the interpreter statistics needed to
+//! reconstruct a [`crate::job::JobOutput`].
+//!
+//! The cache is a plain `Mutex` around a map with last-used ticks: workers
+//! touch it twice per job (one lookup, at most one insert), so contention
+//! is negligible next to interpreting a schedule, and LRU eviction scans
+//! the map only when full (capacities are small enough that O(n) eviction
+//! is irrelevant).
+
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+use td_support::metrics;
+
+/// Cache key: fingerprints of the script, the payload, and the entry
+/// symbol. The entry participates because a script module may contain
+/// several named sequences — two jobs over identical texts but different
+/// entry points run different schedules and must not share an entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// `fingerprint_op` of the parsed script module.
+    pub script_fp: u64,
+    /// `fingerprint_op` of the parsed payload module.
+    pub payload_fp: u64,
+    /// [`fnv1a`] of the entry symbol name.
+    pub entry_fp: u64,
+}
+
+/// FNV-1a over a byte string (the same family `td_ir::fingerprint_op`
+/// uses), for hashing the entry symbol into the key.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Cached outcome of one successful job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedResult {
+    /// The transformed payload module, printed.
+    pub module_text: String,
+    /// Transform ops the interpreter executed to produce it.
+    pub transforms_executed: usize,
+}
+
+/// Counters describing cache behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing (including all lookups on a disabled
+    /// cache).
+    pub misses: u64,
+    /// Entries stored.
+    pub inserts: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Counter deltas since `earlier` (used to report per-batch stats from
+    /// cumulative engine counters).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            inserts: self.inserts - earlier.inserts,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+
+    /// Hit rate in `[0, 1]`, or 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    value: CachedResult,
+    last_used: u64,
+}
+
+struct CacheState {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// A bounded, thread-safe LRU result cache.
+pub struct ResultCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries. Capacity 0 disables
+    /// caching entirely (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                tick: 0,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        // Nothing panics while holding the lock, but a poisoned cache is
+        // still fully usable: recover the inner state.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit. Records the
+    /// outcome in [`CacheStats`] and as `sched.cache.hit` /
+    /// `sched.cache.miss` metrics counters on the calling thread.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedResult> {
+        let mut state = self.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        match state.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let value = entry.value.clone();
+                state.stats.hits += 1;
+                drop(state);
+                metrics::counter("sched.cache.hit", 1);
+                Some(value)
+            }
+            None => {
+                state.stats.misses += 1;
+                drop(state);
+                metrics::counter("sched.cache.miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Stores `value` under `key`, evicting the least-recently-used entry
+    /// if the cache is full. No-op when the cache is disabled.
+    pub fn insert(&self, key: CacheKey, value: CachedResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut state = self.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        if !state.map.contains_key(&key) && state.map.len() >= self.capacity {
+            if let Some(&victim) = state
+                .map
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(k, _)| k)
+            {
+                state.map.remove(&victim);
+                state.stats.evictions += 1;
+                metrics::counter("sched.cache.eviction", 1);
+            }
+        }
+        state.stats.inserts += 1;
+        state.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: u64, p: u64) -> CacheKey {
+        CacheKey {
+            script_fp: s,
+            payload_fp: p,
+            entry_fp: fnv1a(b"main"),
+        }
+    }
+
+    fn value(text: &str) -> CachedResult {
+        CachedResult {
+            module_text: text.to_owned(),
+            transforms_executed: 1,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = ResultCache::new(4);
+        assert_eq!(cache.get(&key(1, 1)), None);
+        cache.insert(key(1, 1), value("a"));
+        assert_eq!(cache.get(&key(1, 1)).unwrap().module_text, "a");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ResultCache::new(2);
+        cache.insert(key(1, 1), value("a"));
+        cache.insert(key(2, 2), value("b"));
+        // Touch (1,1) so (2,2) becomes the LRU victim.
+        assert!(cache.get(&key(1, 1)).is_some());
+        cache.insert(key(3, 3), value("c"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1, 1)).is_some());
+        assert!(cache.get(&key(2, 2)).is_none(), "LRU entry was evicted");
+        assert!(cache.get(&key(3, 3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let cache = ResultCache::new(2);
+        cache.insert(key(1, 1), value("a"));
+        cache.insert(key(2, 2), value("b"));
+        cache.insert(key(1, 1), value("a2"));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(&key(1, 1)).unwrap().module_text, "a2");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResultCache::new(0);
+        cache.insert(key(1, 1), value("a"));
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&key(1, 1)), None);
+        assert_eq!(cache.stats().inserts, 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn stats_delta_since() {
+        let cache = ResultCache::new(4);
+        cache.insert(key(1, 1), value("a"));
+        let before = cache.stats();
+        assert!(cache.get(&key(1, 1)).is_some());
+        assert!(cache.get(&key(9, 9)).is_none());
+        let delta = cache.stats().since(&before);
+        assert_eq!((delta.hits, delta.misses, delta.inserts), (1, 1, 0));
+    }
+}

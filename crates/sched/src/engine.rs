@@ -1,0 +1,421 @@
+//! The worker-pool engine: bounded job queue, per-worker interpreter
+//! environments, result collection in job order.
+//!
+//! # Determinism
+//!
+//! `run_batch` is deterministic in its *results* regardless of worker
+//! count: every job parses its own texts into its own fresh context and
+//! never observes another job's state, so the only thing scheduling can
+//! change is timing. Results are reported back as `(job index, result)`
+//! pairs and placed into their slot, so the returned vector is in
+//! submission order even when workers finish out of order. (The result
+//! cache cannot break this either: a cached value is the printed output of
+//! a job with identical inputs — see the crate docs on key soundness.)
+//!
+//! # Observability
+//!
+//! The batch runs inside a `sched`/`batch` trace span; each job gets a
+//! `sched`/`job` span annotated with its cache outcome. Worker threads
+//! record into their own thread-local trace/metrics stores, hand them back
+//! on exit, and the coordinator merges them (`trace::adopt` gives each
+//! worker its own `tid` lane in the Chrome export, `metrics::absorb` sums
+//! the counters), so a single `TD_TRACE` file shows the whole pool.
+
+use crate::cache::{CacheKey, CacheStats, CachedResult, ResultCache};
+use crate::job::{Job, JobError, JobOutput, JobResult};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use td_ir::{Context, PassRegistry};
+use td_support::{metrics, mpmc, trace};
+use td_transform::{InterpEnv, Interpreter, TransformOpRegistry};
+
+/// Builds the fresh `Context` each job attempt parses into.
+pub type ContextFactory = Arc<dyn Fn() -> Context + Send + Sync>;
+
+/// Builds each worker's transform-op registry (the extension point used by
+/// tests and downstream transform libraries).
+pub type TransformsFactory = Arc<dyn Fn() -> TransformOpRegistry + Send + Sync>;
+
+/// Builds each worker's pass registry (backing
+/// `transform.apply_registered_pass`).
+pub type PassesFactory = Arc<dyn Fn() -> PassRegistry + Send + Sync>;
+
+/// Engine configuration.
+#[derive(Clone)]
+pub struct EngineConfig {
+    /// Worker threads per batch (minimum 1).
+    pub workers: usize,
+    /// Bound of the job queue; producers block when it is full.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Per-job deadline, measured from batch start. Jobs still queued when
+    /// it elapses are cancelled without running; jobs that finish past it
+    /// report [`JobError::DeadlineExceeded`] (their output is still
+    /// cached — it is correct, merely late).
+    pub deadline: Option<Duration>,
+    /// Interpreter attempts per job (minimum 1). Attempts beyond the first
+    /// happen only for *silenceable* failures, each against a completely
+    /// fresh context so no partial mutation leaks between attempts.
+    pub max_attempts: u32,
+    /// Fresh-context builder (dialect registration).
+    pub context_factory: ContextFactory,
+    /// Per-worker transform-op registry builder.
+    pub transforms_factory: TransformsFactory,
+    /// Per-worker pass registry builder, if pass application is wanted.
+    pub passes_factory: Option<PassesFactory>,
+}
+
+impl EngineConfig {
+    /// The standard configuration: all payload dialects + the transform
+    /// dialect registered, the standard transform ops, the full pass
+    /// registry, one worker per available core, a 1024-entry cache, no
+    /// deadline, no retries.
+    pub fn standard() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_capacity: 64,
+            cache_capacity: 1024,
+            deadline: None,
+            max_attempts: 1,
+            context_factory: Arc::new(|| {
+                let mut ctx = Context::new();
+                td_dialects::register_all_dialects(&mut ctx);
+                td_transform::register_transform_dialect(&mut ctx);
+                ctx
+            }),
+            transforms_factory: Arc::new(TransformOpRegistry::with_standard_ops),
+            passes_factory: Some(Arc::new(|| {
+                let mut registry = PassRegistry::new();
+                td_dialects::passes::register_all_passes(&mut registry);
+                registry
+            })),
+        }
+    }
+
+    /// Sets the worker count (builder-style).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the result-cache capacity (builder-style); 0 disables it.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Disables the result cache (builder-style).
+    pub fn without_cache(self) -> Self {
+        self.with_cache_capacity(0)
+    }
+
+    /// Sets the per-job deadline (builder-style).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the retry budget for silenceable failures (builder-style).
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+}
+
+impl std::fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("deadline", &self.deadline)
+            .field("max_attempts", &self.max_attempts)
+            .field("has_passes", &self.passes_factory.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Outcome of one [`Engine::run_batch`] call.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-job results, in submission order.
+    pub results: Vec<JobResult>,
+    /// Cache counter deltas attributable to this batch.
+    pub cache: CacheStats,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl BatchReport {
+    /// Number of successful jobs.
+    pub fn ok_count(&self) -> usize {
+        self.results.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Number of failed jobs.
+    pub fn err_count(&self) -> usize {
+        self.results.len() - self.ok_count()
+    }
+
+    /// The output module texts of successful jobs, `None` for failures —
+    /// the value two runs of the same batch must agree on.
+    pub fn output_texts(&self) -> Vec<Option<&str>> {
+        self.results
+            .iter()
+            .map(|r| r.as_ref().ok().map(|o| o.module_text.as_str()))
+            .collect()
+    }
+}
+
+/// The schedule-application engine: a reusable worker pool configuration
+/// plus the result cache that persists across batches.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    cache: ResultCache,
+}
+
+impl Engine {
+    /// Creates an engine; the result cache is sized from the config and
+    /// lives as long as the engine (batches share it).
+    pub fn new(config: EngineConfig) -> Self {
+        let cache = ResultCache::new(config.cache_capacity);
+        Engine { config, cache }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Cumulative cache counters across all batches.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Applies every job in `jobs` across the worker pool and returns the
+    /// results in submission order. See the module docs for the
+    /// determinism and observability contracts.
+    pub fn run_batch(&self, jobs: Vec<Job>) -> BatchReport {
+        let started = Instant::now();
+        let job_count = jobs.len();
+        let workers = self.config.workers.max(1);
+        let stats_before = self.cache.stats();
+        let mut batch_span = trace::span("sched", "batch");
+        batch_span.arg("jobs", job_count.to_string());
+        batch_span.arg("workers", workers.to_string());
+        metrics::counter("sched.batches", 1);
+        metrics::counter("sched.jobs", job_count as u64);
+
+        let queue: mpmc::Queue<(usize, Job)> = mpmc::Queue::new(self.config.queue_capacity);
+        let (result_tx, result_rx) = mpsc::channel::<(usize, JobResult)>();
+        let trace_on = trace::enabled();
+        let mut slots: Vec<Option<JobResult>> = Vec::new();
+        slots.resize_with(job_count, || None);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for worker_index in 0..workers {
+                let queue = &queue;
+                let result_tx = result_tx.clone();
+                handles.push(scope.spawn(move || {
+                    trace::reset();
+                    trace::set_enabled(trace_on);
+                    metrics::reset();
+                    {
+                        let _worker_span = trace::span("sched", format!("worker{worker_index}"));
+                        let transforms = (self.config.transforms_factory)();
+                        let passes = self.config.passes_factory.as_ref().map(|build| build());
+                        let mut env = InterpEnv::standard();
+                        env.transforms = transforms;
+                        env.passes = passes.as_ref();
+                        while let Some((index, job)) = queue.pop() {
+                            // The catch_unwind is the panic-isolation
+                            // boundary: a panicking transform handler
+                            // unwinds out of its job (dropping that job's
+                            // context) and the worker keeps serving.
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                self.run_job(&env, &job, started)
+                            }))
+                            .unwrap_or_else(|payload| {
+                                metrics::counter("sched.panics", 1);
+                                Err(JobError::Panicked {
+                                    message: panic_message(payload.as_ref()),
+                                })
+                            });
+                            if result_tx.send((index, result)).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                    (trace::take(), metrics::take())
+                }));
+            }
+            drop(result_tx);
+            for (index, job) in jobs.into_iter().enumerate() {
+                if queue.push((index, job)).is_err() {
+                    break;
+                }
+            }
+            queue.close();
+            for (index, result) in result_rx {
+                slots[index] = Some(result);
+            }
+            for (worker_index, handle) in handles.into_iter().enumerate() {
+                if let Ok((worker_trace, worker_metrics)) = handle.join() {
+                    // Lane 1 is the coordinator; workers get 2, 3, ...
+                    trace::adopt(&worker_trace, worker_index as u32 + 2);
+                    metrics::absorb(&worker_metrics);
+                }
+            }
+        });
+
+        let results = slots
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(JobError::Panicked {
+                        message: "worker terminated before reporting a result".to_owned(),
+                    })
+                })
+            })
+            .collect();
+        drop(batch_span);
+        BatchReport {
+            results,
+            cache: self.cache.stats().since(&stats_before),
+            wall: started.elapsed(),
+            workers,
+        }
+    }
+
+    /// Runs one job on the calling worker thread: deadline pre-check,
+    /// cache lookup, then up to `max_attempts` interpreter attempts.
+    fn run_job(&self, env: &InterpEnv<'_>, job: &Job, batch_start: Instant) -> JobResult {
+        let mut job_span = trace::span("sched", "job");
+        job_span.arg("entry", job.entry.clone());
+        if self.deadline_elapsed(batch_start) {
+            job_span.arg("outcome", "cancelled");
+            metrics::counter("sched.deadline_cancelled", 1);
+            return Err(JobError::DeadlineExceeded);
+        }
+
+        // Fingerprint pass: fresh context, payload first, then script —
+        // the fixed discipline that makes the key a pure function of the
+        // two texts (crate docs, "Cache-key soundness").
+        let key = {
+            let mut ctx = (self.config.context_factory)();
+            let payload = parse(&mut ctx, &job.payload, "payload")?;
+            let script = parse(&mut ctx, &job.script, "script")?;
+            CacheKey {
+                script_fp: td_ir::fingerprint_op(&ctx, script),
+                payload_fp: td_ir::fingerprint_op(&ctx, payload),
+                entry_fp: crate::cache::fnv1a(job.entry.as_bytes()),
+            }
+        };
+        if let Some(hit) = self.cache.get(&key) {
+            job_span.arg("cache", "hit");
+            return Ok(JobOutput {
+                module_text: hit.module_text,
+                transforms_executed: hit.transforms_executed,
+                attempts: 0,
+                from_cache: true,
+            });
+        }
+        job_span.arg("cache", "miss");
+
+        let max_attempts = self.config.max_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.attempt(env, job) {
+                Ok((module_text, transforms_executed)) => {
+                    self.cache.insert(
+                        key,
+                        CachedResult {
+                            module_text: module_text.clone(),
+                            transforms_executed,
+                        },
+                    );
+                    if self.deadline_elapsed(batch_start) {
+                        job_span.arg("outcome", "expired");
+                        metrics::counter("sched.deadline_expired", 1);
+                        return Err(JobError::DeadlineExceeded);
+                    }
+                    return Ok(JobOutput {
+                        module_text,
+                        transforms_executed,
+                        attempts: attempt,
+                        from_cache: false,
+                    });
+                }
+                Err(JobError::Transform {
+                    message,
+                    silenceable: true,
+                }) if attempt < max_attempts && !self.deadline_elapsed(batch_start) => {
+                    metrics::counter("sched.retries", 1);
+                    trace::instant(
+                        "sched",
+                        "retry",
+                        &[("attempt", attempt.to_string()), ("reason", message)],
+                    );
+                }
+                Err(error) => return Err(error),
+            }
+        }
+    }
+
+    /// One interpreter attempt against a completely fresh context.
+    fn attempt(&self, env: &InterpEnv<'_>, job: &Job) -> Result<(String, usize), JobError> {
+        let mut ctx = (self.config.context_factory)();
+        let payload = parse(&mut ctx, &job.payload, "payload")?;
+        let script = parse(&mut ctx, &job.script, "script")?;
+        let entry =
+            ctx.lookup_symbol(script, &job.entry)
+                .ok_or_else(|| JobError::EntryMissing {
+                    name: job.entry.clone(),
+                })?;
+        let mut interp = Interpreter::new(env);
+        match interp.apply_reentrant(&mut ctx, entry, payload) {
+            Ok(()) => Ok((
+                td_ir::print_op(&ctx, payload),
+                interp.stats.transforms_executed,
+            )),
+            Err(error) => Err(JobError::Transform {
+                message: error.diagnostic().message().to_owned(),
+                silenceable: error.is_silenceable(),
+            }),
+        }
+    }
+
+    fn deadline_elapsed(&self, batch_start: Instant) -> bool {
+        self.config
+            .deadline
+            .is_some_and(|deadline| batch_start.elapsed() >= deadline)
+    }
+}
+
+fn parse(ctx: &mut Context, source: &str, what: &'static str) -> Result<td_ir::OpId, JobError> {
+    td_ir::parse_module(ctx, source).map_err(|diag| JobError::Parse {
+        what,
+        message: diag.message().to_owned(),
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

@@ -1,0 +1,142 @@
+//! Jobs and their outcomes: the unit of work the engine schedules.
+
+/// One unit of work: apply a transform script to a payload module.
+///
+/// Both sides are carried as *source text*, not as in-context ids — each
+/// job (and each retry attempt) parses into its own fresh
+/// [`td_ir::Context`], which is what makes jobs freely movable across
+/// worker threads and makes the cache key a pure function of the texts
+/// (see the crate docs on cache-key soundness).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Job {
+    /// Transform script source (a module containing the entry sequence).
+    pub script: String,
+    /// Payload module source.
+    pub payload: String,
+    /// Symbol name of the entry `transform.named_sequence` in the script.
+    pub entry: String,
+}
+
+impl Job {
+    /// A job with the conventional entry point `@main`.
+    pub fn new(script: impl Into<String>, payload: impl Into<String>) -> Self {
+        Job {
+            script: script.into(),
+            payload: payload.into(),
+            entry: "main".to_owned(),
+        }
+    }
+
+    /// Overrides the entry-point symbol name (builder-style).
+    pub fn with_entry(mut self, entry: impl Into<String>) -> Self {
+        self.entry = entry.into();
+        self
+    }
+}
+
+/// Successful outcome of a job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobOutput {
+    /// The transformed payload module, printed.
+    pub module_text: String,
+    /// Transform ops executed by the interpreter (0 for cache hits).
+    pub transforms_executed: usize,
+    /// Interpreter attempts consumed (0 for cache hits, 1 for a first-try
+    /// success, more when silenceable failures were retried).
+    pub attempts: u32,
+    /// Whether the result was served from the result cache.
+    pub from_cache: bool,
+}
+
+/// Why a job failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The payload or script text did not parse.
+    Parse {
+        /// Which input failed: `"payload"` or `"script"`.
+        what: &'static str,
+        /// The parser diagnostic.
+        message: String,
+    },
+    /// The script parsed but does not contain the entry symbol.
+    EntryMissing {
+        /// The symbol that was looked up.
+        name: String,
+    },
+    /// The interpreter reported an error (after exhausting any retries).
+    Transform {
+        /// The diagnostic message.
+        message: String,
+        /// Whether the final error was silenceable. Even silenceable
+        /// errors are definite from the engine's point of view once the
+        /// retry budget is spent.
+        silenceable: bool,
+    },
+    /// A transform handler panicked. The job's context is discarded, the
+    /// worker and all other jobs are unaffected, and the panic is never
+    /// retried (a panic is a definite error by construction).
+    Panicked {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The job's deadline elapsed before it produced a usable result —
+    /// either it was cancelled while still queued, or it finished past the
+    /// deadline and the (still correct, still cached) output was dropped.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Parse { what, message } => write!(f, "{what} failed to parse: {message}"),
+            JobError::EntryMissing { name } => {
+                write!(f, "script has no entry sequence named '{name}'")
+            }
+            JobError::Transform {
+                message,
+                silenceable,
+            } => {
+                let kind = if *silenceable {
+                    "silenceable"
+                } else {
+                    "definite"
+                };
+                write!(f, "{kind} transform failure: {message}")
+            }
+            JobError::Panicked { message } => write!(f, "transform panicked: {message}"),
+            JobError::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Shorthand for per-job results.
+pub type JobResult = Result<JobOutput, JobError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_builder_defaults_to_main() {
+        let job = Job::new("s", "p");
+        assert_eq!(job.entry, "main");
+        assert_eq!(Job::new("s", "p").with_entry("other").entry, "other");
+    }
+
+    #[test]
+    fn errors_display_their_kind() {
+        let e = JobError::Transform {
+            message: "no match".into(),
+            silenceable: true,
+        };
+        assert!(e.to_string().contains("silenceable"));
+        assert!(JobError::DeadlineExceeded.to_string().contains("deadline"));
+        let p = JobError::Parse {
+            what: "payload",
+            message: "bad token".into(),
+        };
+        assert!(p.to_string().contains("payload"));
+    }
+}

@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+
+//! `td-sched`: a concurrent schedule-application engine.
+//!
+//! The Transform dialect makes a schedule a *value* — a script that can be
+//! stored, compared, and applied to any payload. This crate exploits that:
+//! it applies batches of `(transform script, payload module)` jobs across a
+//! pool of worker threads (std threads only; the workspace is hermetic),
+//! one [`td_ir::Context`] per job, with:
+//!
+//! * a **result cache** keyed by `(script fingerprint, payload
+//!   fingerprint)` over [`td_ir::fingerprint_op`], with LRU eviction and
+//!   hit/miss/eviction counters ([`cache`]);
+//! * **per-job robustness**: panics inside a transform handler are caught
+//!   and mapped to definite job errors, jobs carry optional deadlines with
+//!   graceful cancellation, and silenceable failures can be retried
+//!   against a fresh context ([`job`], [`engine`]);
+//! * **deterministic output**: a batch returns results in job order and
+//!   the result *values* are independent of the worker count — workers
+//!   never share mutable payload state, so scheduling order cannot leak
+//!   into outputs ([`engine::Engine::run_batch`]);
+//! * full **observability**: every job runs inside trace spans, worker
+//!   threads get their own lanes in the Chrome trace export
+//!   (`td_support::trace::adopt`), and per-worker metrics are merged back
+//!   into the coordinator (`td_support::metrics::absorb`).
+//!
+//! The [`autotune`] module wires the `td-autotune` search loop onto the
+//! engine: candidate schedules rendered from configurations are evaluated
+//! as jobs, so re-proposed configurations hit the result cache and
+//! exhaustive sweeps fan out across the pool.
+//!
+//! # Cache-key soundness
+//!
+//! [`td_ir::fingerprint_op`] is context-relative (it hashes interned value
+//! ids and type ids), so fingerprints are only comparable when produced by
+//! the same parse discipline. Every job therefore parses into a **fresh
+//! context in a fixed order — payload first, then script** — which makes
+//! the payload fingerprint a pure function of the payload text and the
+//! script fingerprint a pure function of `(script text, payload text)`.
+//! The entry-point symbol is hashed into the key as well, since one script
+//! module can hold several named sequences. Equal keys thus imply
+//! structurally identical inputs *and* the same entry, and a cached output
+//! is exactly what re-running the job would print.
+//!
+//! ```
+//! use td_sched::{Engine, EngineConfig, Job};
+//! let engine = Engine::new(EngineConfig::standard().with_workers(2));
+//! let payload = "module {\n  %c = arith.constant 1 : index\n  %s = \"arith.addi\"(%c, %c) : (index, index) -> index\n}";
+//! let script = r#"module {
+//!   transform.named_sequence @main(%root: !transform.any_op) {
+//!     %adds = "transform.match_op"(%root) {name = "arith.addi", select = "all"}
+//!         : (!transform.any_op) -> !transform.any_op
+//!     "transform.annotate"(%adds) {name = "seen"} : (!transform.any_op) -> ()
+//!   }
+//! }"#;
+//! let report = engine.run_batch(vec![Job::new(script, payload)]);
+//! let output = report.results[0].as_ref().expect("job succeeds");
+//! assert!(output.module_text.contains("seen"));
+//! // The same job again is served from the cache, byte-identically.
+//! let again = engine.run_batch(vec![Job::new(script, payload)]);
+//! let cached = again.results[0].as_ref().expect("job succeeds");
+//! assert!(cached.from_cache);
+//! assert_eq!(cached.module_text, output.module_text);
+//! ```
+
+pub mod autotune;
+pub mod cache;
+pub mod engine;
+pub mod job;
+
+pub use autotune::{sweep_schedules, tune_schedules, SweepOutcome, SweepResult};
+pub use cache::{CacheKey, CacheStats, CachedResult, ResultCache};
+pub use engine::{
+    BatchReport, ContextFactory, Engine, EngineConfig, PassesFactory, TransformsFactory,
+};
+pub use job::{Job, JobError, JobOutput, JobResult};

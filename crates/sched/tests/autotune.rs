@@ -1,0 +1,158 @@
+//! Tests for the autotune wiring: the search loop evaluates candidate
+//! schedules as engine jobs, sweeps fan out as one batch, and re-proposed
+//! configurations are served from the result cache.
+
+use td_autotune::{ParamDomain, ParamSpace, ParamValue, RandomSearch};
+use td_sched::{sweep_schedules, tune_schedules, Engine, EngineConfig, Job, JobOutput};
+
+const PAYLOAD: &str = "module {\n  %a = arith.constant 1 : index\n  \
+                       %s = \"arith.addi\"(%a, %a) : (index, index) -> index\n}";
+
+fn space() -> ParamSpace {
+    ParamSpace::new().param("tile", ParamDomain::Ordinal(vec![1, 2, 4, 8]))
+}
+
+/// Renders a schedule that stamps the candidate tile size into the payload
+/// (as an annotation on the generically-printed `arith.addi`), so the cost
+/// function can read the choice back out of the transformed module.
+fn render(config: &td_autotune::Config) -> String {
+    let tile = config[0].as_int().expect("ordinal parameter");
+    format!(
+        r#"module {{
+  transform.named_sequence @main(%root: !transform.any_op) {{
+    %adds = "transform.match_op"(%root) {{name = "arith.addi", select = "all"}}
+        : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%adds) {{name = "tile_{tile}"}} : (!transform.any_op) -> ()
+  }}
+}}"#
+    )
+}
+
+/// Reads the stamped tile size back and scores distance from 2.
+fn cost(output: &JobOutput) -> Option<f64> {
+    let marker = output.module_text.split("tile_").nth(1)?;
+    let digits: String = marker.chars().take_while(char::is_ascii_digit).collect();
+    let tile: f64 = digits.parse().ok()?;
+    Some((tile - 2.0).powi(2))
+}
+
+#[test]
+fn sweep_evaluates_every_config_and_finds_the_optimum() {
+    let engine = Engine::new(EngineConfig::standard().with_workers(4));
+    let result = sweep_schedules(&engine, PAYLOAD, &space(), render, cost);
+    assert_eq!(result.outcomes.len(), 4, "exhaustive over the space");
+    assert!(result.outcomes.iter().all(|o| o.result.is_ok()));
+    let best = result.best().expect("some config evaluated");
+    assert_eq!(best.config[0], ParamValue::Int(2));
+    assert_eq!(best.cost, Some(0.0));
+}
+
+#[test]
+fn sweep_is_deterministic_across_worker_counts() {
+    let single = Engine::new(EngineConfig::standard().with_workers(1).without_cache());
+    let pooled = Engine::new(EngineConfig::standard().with_workers(4).without_cache());
+    let a = sweep_schedules(&single, PAYLOAD, &space(), render, cost);
+    let b = sweep_schedules(&pooled, PAYLOAD, &space(), render, cost);
+    let costs_a: Vec<_> = a.outcomes.iter().map(|o| o.cost).collect();
+    let costs_b: Vec<_> = b.outcomes.iter().map(|o| o.cost).collect();
+    assert_eq!(costs_a, costs_b);
+    assert_eq!(
+        a.best().unwrap().config,
+        b.best().unwrap().config,
+        "winner independent of worker count"
+    );
+}
+
+#[test]
+fn tune_reuses_the_cache_when_configs_are_reproposed() {
+    let engine = Engine::new(EngineConfig::standard().with_workers(1));
+    let mut searcher = RandomSearch;
+    // 16 random draws from a 4-point space must repeat configurations;
+    // each repeat is one cache hit instead of an interpreter run.
+    let result = tune_schedules(
+        &engine,
+        PAYLOAD,
+        &space(),
+        &mut searcher,
+        16,
+        7,
+        render,
+        cost,
+    );
+    assert!(!result.evaluations.is_empty());
+    assert!(result.best().unwrap().cost >= 0.0);
+    let stats = engine.cache_stats();
+    assert!(stats.inserts <= 4, "at most one insert per distinct config");
+    assert!(
+        stats.hits >= 16 - 4,
+        "re-proposed configs hit the cache: {stats:?}"
+    );
+}
+
+#[test]
+fn failing_candidates_are_skipped_not_fatal() {
+    let engine = Engine::new(EngineConfig::standard().with_workers(2));
+    // Render an unparsable script for tile=4 — that candidate must be
+    // dropped by the search loop while the rest evaluate normally.
+    let render_broken = |config: &td_autotune::Config| {
+        if config[0].as_int() == Some(4) {
+            "module { not valid ir".to_owned()
+        } else {
+            render(config)
+        }
+    };
+    let result = sweep_schedules(&engine, PAYLOAD, &space(), render_broken, cost);
+    assert_eq!(result.outcomes.len(), 4);
+    let failed: Vec<_> = result
+        .outcomes
+        .iter()
+        .filter(|o| o.result.is_err())
+        .collect();
+    assert_eq!(failed.len(), 1);
+    assert_eq!(failed[0].config[0], ParamValue::Int(4));
+    assert_eq!(result.best().unwrap().config[0], ParamValue::Int(2));
+
+    let mut searcher = RandomSearch;
+    let tuned = tune_schedules(
+        &engine,
+        PAYLOAD,
+        &space(),
+        &mut searcher,
+        12,
+        3,
+        render_broken,
+        cost,
+    );
+    assert!(tuned.evaluations.iter().all(|e| e.cost.is_finite()));
+    assert!(tuned
+        .evaluations
+        .iter()
+        .all(|e| e.config[0] != ParamValue::Int(4)));
+}
+
+#[test]
+fn jobs_with_distinct_entries_do_not_collide_in_cache() {
+    // Same texts, different entry symbol: the entry is part of the script
+    // text here (two sequences), so fingerprints differ and the cache
+    // cannot confuse them.
+    let engine = Engine::new(EngineConfig::standard().with_workers(1));
+    let script = r#"module {
+  transform.named_sequence @first(%root: !transform.any_op) {
+    %adds = "transform.match_op"(%root) {name = "arith.addi", select = "all"}
+        : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%adds) {name = "via_first"} : (!transform.any_op) -> ()
+  }
+  transform.named_sequence @second(%root: !transform.any_op) {
+    %adds = "transform.match_op"(%root) {name = "arith.addi", select = "all"}
+        : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%adds) {name = "via_second"} : (!transform.any_op) -> ()
+  }
+}"#;
+    let report = engine.run_batch(vec![
+        Job::new(script, PAYLOAD).with_entry("first"),
+        Job::new(script, PAYLOAD).with_entry("second"),
+    ]);
+    let texts = report.output_texts();
+    assert!(texts[0].unwrap().contains("via_first"));
+    assert!(texts[1].unwrap().contains("via_second"));
+}

@@ -1,0 +1,312 @@
+//! Integration tests for the schedule-application engine: determinism
+//! across worker counts, cache behaviour, panic isolation, deadlines,
+//! retries, and observability merging.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use td_sched::{Engine, EngineConfig, Job, JobError};
+use td_support::trace;
+use td_transform::{TransformError, TransformOpDef, TransformOpRegistry};
+
+/// A payload module whose text varies with `i` (distinct fingerprints).
+fn payload(i: usize) -> String {
+    format!(
+        "module {{\n  %a = arith.constant {i} : index\n  %b = arith.constant {} : index\n  \
+         %s = \"arith.addi\"(%a, %b) : (index, index) -> index\n}}",
+        i + 1
+    )
+}
+
+/// A script that annotates every `arith.addi` with `marker` (addi prints
+/// generically, so the annotation is visible in the output text).
+fn annotate_script(marker: &str) -> String {
+    format!(
+        r#"module {{
+  transform.named_sequence @main(%root: !transform.any_op) {{
+    %adds = "transform.match_op"(%root) {{name = "arith.addi", select = "all"}}
+        : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%adds) {{name = "{marker}"}} : (!transform.any_op) -> ()
+  }}
+}}"#
+    )
+}
+
+/// A script whose body is a single custom transform op (used with
+/// registries extended by `test.panic` / `test.flaky` handlers).
+fn custom_op_script(op: &str) -> String {
+    format!(
+        r#"module {{
+  transform.named_sequence @main(%root: !transform.any_op) {{
+    "{op}"() : () -> ()
+  }}
+}}"#
+    )
+}
+
+fn batch(n: usize, marker: &str) -> Vec<Job> {
+    (0..n)
+        .map(|i| Job::new(annotate_script(marker), payload(i)))
+        .collect()
+}
+
+#[test]
+fn one_and_four_workers_produce_identical_outputs() {
+    let single = Engine::new(EngineConfig::standard().with_workers(1).without_cache());
+    let pooled = Engine::new(EngineConfig::standard().with_workers(4).without_cache());
+    let report_1 = single.run_batch(batch(12, "seen"));
+    let report_4 = pooled.run_batch(batch(12, "seen"));
+    assert_eq!(report_1.ok_count(), 12);
+    assert_eq!(report_1.output_texts(), report_4.output_texts());
+    // Outputs really were transformed (order-sensitive slot placement
+    // can't be confused with echoing the input back).
+    for (i, text) in report_1.output_texts().into_iter().enumerate() {
+        let text = text.expect("job succeeded");
+        assert!(text.contains("seen"), "job {i} output was not annotated");
+        assert!(text.contains(&format!("constant {i}")), "job {i} misplaced");
+    }
+}
+
+#[test]
+fn repeated_batch_is_served_from_cache_with_identical_output() {
+    let engine = Engine::new(EngineConfig::standard().with_workers(2));
+    let cold = engine.run_batch(batch(8, "seen"));
+    assert_eq!(cold.ok_count(), 8);
+    assert_eq!(cold.cache.hits, 0);
+    assert_eq!(cold.cache.inserts, 8);
+
+    let warm = engine.run_batch(batch(8, "seen"));
+    assert_eq!(warm.ok_count(), 8);
+    assert_eq!(warm.cache.hits, 8, "every repeated job must hit the cache");
+    assert!(warm.cache.hit_rate() >= 0.9);
+    assert_eq!(cold.output_texts(), warm.output_texts());
+    for result in &warm.results {
+        let output = result.as_ref().expect("job succeeded");
+        assert!(output.from_cache);
+        assert_eq!(output.attempts, 0);
+    }
+}
+
+#[test]
+fn whitespace_variants_share_a_cache_entry() {
+    // The fingerprint is structural: reformatting the payload parses to
+    // the same module, so the second job is a cache hit.
+    let engine = Engine::new(EngineConfig::standard().with_workers(1));
+    let script = annotate_script("seen");
+    let a = "module {\n  %a = arith.constant 7 : index\n  %s = \"arith.addi\"(%a, %a) : (index, index) -> index\n}";
+    let b = "module   {\n      %a = arith.constant 7 : index\n      %s = \"arith.addi\"(%a,%a) : (index, index) -> index\n\n}";
+    let report = engine.run_batch(vec![Job::new(&script, a), Job::new(&script, b)]);
+    assert_eq!(report.ok_count(), 2);
+    assert_eq!(report.cache.hits, 1);
+    assert_eq!(
+        report.results[0].as_ref().unwrap().module_text,
+        report.results[1].as_ref().unwrap().module_text
+    );
+}
+
+#[test]
+fn panic_is_isolated_to_its_job() {
+    let transforms: td_sched::engine::TransformsFactory = Arc::new(|| {
+        let mut registry = TransformOpRegistry::with_standard_ops();
+        registry.register(TransformOpDef::new(
+            "test.panic",
+            "always panics",
+            |_, _, _, _| panic!("intentional test panic"),
+        ));
+        registry
+    });
+    let mut config = EngineConfig::standard().with_workers(2).without_cache();
+    config.transforms_factory = transforms;
+    let engine = Engine::new(config);
+
+    let jobs = vec![
+        Job::new(annotate_script("seen"), payload(0)),
+        Job::new(custom_op_script("test.panic"), payload(1)),
+        Job::new(annotate_script("seen"), payload(2)),
+    ];
+    let report = engine.run_batch(jobs);
+    assert_eq!(report.results.len(), 3);
+    assert!(report.results[0].is_ok(), "job before the panic unaffected");
+    match &report.results[1] {
+        Err(JobError::Panicked { message }) => {
+            assert!(message.contains("intentional test panic"))
+        }
+        other => panic!("expected a panic error, got {other:?}"),
+    }
+    assert!(report.results[2].is_ok(), "job after the panic unaffected");
+}
+
+#[test]
+fn silenceable_failures_retry_against_fresh_context() {
+    // Fails silenceably on the first handler invocation, succeeds after —
+    // so attempt 1 fails and attempt 2 (fresh context) succeeds.
+    let calls = Arc::new(AtomicUsize::new(0));
+    let calls_in_handler = Arc::clone(&calls);
+    let transforms: td_sched::engine::TransformsFactory = Arc::new(move || {
+        let calls = Arc::clone(&calls_in_handler);
+        let mut registry = TransformOpRegistry::with_standard_ops();
+        registry.register(TransformOpDef::new(
+            "test.flaky",
+            "fails silenceably once",
+            move |_, ctx, _, op| {
+                if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Err(TransformError::silenceable(
+                        ctx.op(op).location.clone(),
+                        "flaky precondition",
+                    ))
+                } else {
+                    Ok(())
+                }
+            },
+        ));
+        registry
+    });
+    let mut config = EngineConfig::standard()
+        .with_workers(1)
+        .without_cache()
+        .with_max_attempts(3);
+    config.transforms_factory = transforms;
+    let engine = Engine::new(config);
+
+    let report = engine.run_batch(vec![Job::new(custom_op_script("test.flaky"), payload(0))]);
+    let output = report.results[0].as_ref().expect("retry succeeds");
+    assert_eq!(output.attempts, 2);
+    assert_eq!(calls.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn retry_budget_of_one_surfaces_the_silenceable_error() {
+    let transforms: td_sched::engine::TransformsFactory = Arc::new(|| {
+        let mut registry = TransformOpRegistry::with_standard_ops();
+        registry.register(TransformOpDef::new(
+            "test.flaky",
+            "always fails silenceably",
+            |_, ctx, _, op| {
+                Err(TransformError::silenceable(
+                    ctx.op(op).location.clone(),
+                    "flaky precondition",
+                ))
+            },
+        ));
+        registry
+    });
+    let mut config = EngineConfig::standard().with_workers(1).without_cache();
+    config.transforms_factory = transforms;
+    let engine = Engine::new(config);
+
+    let report = engine.run_batch(vec![Job::new(custom_op_script("test.flaky"), payload(0))]);
+    match &report.results[0] {
+        Err(JobError::Transform {
+            silenceable: true, ..
+        }) => {}
+        other => panic!("expected a silenceable transform error, got {other:?}"),
+    }
+}
+
+#[test]
+fn definite_failures_are_not_retried() {
+    let calls = Arc::new(AtomicUsize::new(0));
+    let calls_in_handler = Arc::clone(&calls);
+    let transforms: td_sched::engine::TransformsFactory = Arc::new(move || {
+        let calls = Arc::clone(&calls_in_handler);
+        let mut registry = TransformOpRegistry::with_standard_ops();
+        registry.register(TransformOpDef::new(
+            "test.doomed",
+            "always fails definitely",
+            move |_, ctx, _, op| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Err(TransformError::definite(
+                    ctx.op(op).location.clone(),
+                    "payload corrupted",
+                ))
+            },
+        ));
+        registry
+    });
+    let mut config = EngineConfig::standard()
+        .with_workers(1)
+        .without_cache()
+        .with_max_attempts(5);
+    config.transforms_factory = transforms;
+    let engine = Engine::new(config);
+
+    let report = engine.run_batch(vec![Job::new(custom_op_script("test.doomed"), payload(0))]);
+    match &report.results[0] {
+        Err(JobError::Transform {
+            silenceable: false, ..
+        }) => {}
+        other => panic!("expected a definite transform error, got {other:?}"),
+    }
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        1,
+        "definite errors never retry"
+    );
+}
+
+#[test]
+fn zero_deadline_cancels_every_job() {
+    let engine = Engine::new(
+        EngineConfig::standard()
+            .with_workers(2)
+            .with_deadline(Duration::ZERO),
+    );
+    let report = engine.run_batch(batch(4, "seen"));
+    for result in &report.results {
+        assert_eq!(result.as_ref().unwrap_err(), &JobError::DeadlineExceeded);
+    }
+}
+
+#[test]
+fn parse_and_entry_errors_are_reported_per_job() {
+    let engine = Engine::new(EngineConfig::standard().with_workers(1));
+    let jobs = vec![
+        Job::new(annotate_script("seen"), "module { not valid ir"),
+        Job::new("module { also not valid", payload(0)),
+        Job::new(annotate_script("seen"), payload(1)).with_entry("nonexistent"),
+    ];
+    let report = engine.run_batch(jobs);
+    match &report.results[0] {
+        Err(JobError::Parse { what, .. }) => assert_eq!(*what, "payload"),
+        other => panic!("expected a payload parse error, got {other:?}"),
+    }
+    match &report.results[1] {
+        Err(JobError::Parse { what, .. }) => assert_eq!(*what, "script"),
+        other => panic!("expected a script parse error, got {other:?}"),
+    }
+    match &report.results[2] {
+        Err(JobError::EntryMissing { name }) => assert_eq!(name, "nonexistent"),
+        other => panic!("expected a missing-entry error, got {other:?}"),
+    }
+}
+
+#[test]
+fn worker_spans_merge_into_the_coordinator_trace() {
+    trace::reset();
+    trace::set_enabled(true);
+    let engine = Engine::new(EngineConfig::standard().with_workers(2).without_cache());
+    let report = engine.run_batch(batch(6, "seen"));
+    assert_eq!(report.ok_count(), 6);
+    let recorded = trace::take();
+    trace::clear_enabled_override();
+
+    let batch_spans = recorded
+        .events()
+        .iter()
+        .filter(|e| e.name == "batch" && e.tid == trace::MAIN_TID)
+        .count();
+    assert_eq!(batch_spans, 1, "batch span on the coordinator lane");
+    let worker_lanes: std::collections::BTreeSet<u32> = recorded
+        .events()
+        .iter()
+        .filter(|e| e.name == "job")
+        .map(|e| e.tid)
+        .collect();
+    assert!(
+        !worker_lanes.is_empty() && worker_lanes.iter().all(|&tid| tid >= 2),
+        "job spans live on worker lanes, got {worker_lanes:?}"
+    );
+    let json = recorded.to_chrome_json();
+    trace::validate_json(&json).expect("merged trace is valid Chrome JSON");
+    assert!(json.contains("\"tid\":2"), "worker lane visible in export");
+}

@@ -24,7 +24,9 @@
 //!   trait, and the `print-ir-before/after` snapshot instrumentation;
 //!   [`diag`] additionally hosts the optimization-remarks channel;
 //! * [`filecheck`] — a FileCheck-lite substring-check DSL backing the
-//!   golden-file tests.
+//!   golden-file tests;
+//! * [`mpmc`] — a bounded multi-producer/multi-consumer work queue with a
+//!   shutdown signal, the channel under `td-sched`'s worker pool.
 
 pub mod arena;
 pub mod diag;
@@ -32,6 +34,7 @@ pub mod filecheck;
 pub mod interner;
 pub mod location;
 pub mod metrics;
+pub mod mpmc;
 pub mod proptest;
 pub mod rng;
 pub mod trace;

@@ -231,6 +231,14 @@ pub fn take() -> Metrics {
     REGISTRY.with(|m| std::mem::take(&mut *m.borrow_mut()))
 }
 
+/// Merges a metrics snapshot recorded on another thread into the current
+/// thread's registry (counters add, timers aggregate). Worker pools use
+/// this so per-worker counters and timers survive worker-thread exit and
+/// show up in the coordinator's `dump_json` / `TD_BENCH_JSON` output.
+pub fn absorb(other: &Metrics) {
+    REGISTRY.with(|m| m.borrow_mut().merge(other));
+}
+
 /// JSON dump of the current thread's metrics.
 pub fn dump_json() -> String {
     snapshot().to_json()

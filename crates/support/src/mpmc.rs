@@ -1,0 +1,234 @@
+//! A bounded multi-producer/multi-consumer work queue with a shutdown
+//! signal, built on `std::sync` only (the workspace is hermetic by policy).
+//!
+//! This is the channel underneath `td-sched`'s worker pool: the driver
+//! pushes jobs (blocking when the queue is full, which gives natural
+//! backpressure), workers pop (blocking when it is empty), and closing the
+//! queue wakes everyone up — producers get their item back, consumers drain
+//! what is left and then observe `None`.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use td_support::mpmc::Queue;
+//! let queue = Arc::new(Queue::new(4));
+//! queue.push(1).unwrap();
+//! queue.push(2).unwrap();
+//! queue.close();
+//! assert_eq!(queue.pop(), Some(1));
+//! assert_eq!(queue.pop(), Some(2));
+//! assert_eq!(queue.pop(), None); // closed and drained
+//! assert!(queue.push(3).is_err()); // closed for producers
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Error returned by [`Queue::push`] on a closed queue; carries the item
+/// back so the producer can handle it (log, reroute, drop).
+#[derive(Debug, PartialEq, Eq)]
+pub struct Closed<T>(pub T);
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue. Clone an `Arc<Queue<T>>` into each worker.
+pub struct Queue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> Queue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Queue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues an item, blocking while the queue is full.
+    ///
+    /// # Errors
+    /// Returns the item back if the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), Closed<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if state.closed {
+                return Err(Closed(item));
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    /// Returns the item back if the queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), Closed<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(Closed(item));
+        }
+        state.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues an item, blocking while the queue is empty. Returns `None`
+    /// once the queue is closed *and* drained — the worker's signal to
+    /// exit its loop.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: producers fail fast, consumers drain the backlog
+    /// and then observe end-of-stream. Idempotent.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`Queue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> std::fmt::Debug for Queue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Queue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let queue = Queue::new(8);
+        for i in 0..5 {
+            queue.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(queue.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let queue = Queue::new(8);
+        queue.push("a").unwrap();
+        queue.close();
+        assert_eq!(queue.push("b"), Err(Closed("b")));
+        assert_eq!(queue.pop(), Some("a"));
+        assert_eq!(queue.pop(), None);
+        assert_eq!(queue.pop(), None, "end-of-stream is sticky");
+    }
+
+    #[test]
+    fn try_push_respects_capacity() {
+        let queue = Queue::new(2);
+        assert!(queue.try_push(1).is_ok());
+        assert!(queue.try_push(2).is_ok());
+        assert_eq!(queue.try_push(3), Err(Closed(3)));
+        assert_eq!(queue.pop(), Some(1));
+        assert!(queue.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn bounded_push_applies_backpressure() {
+        let queue = Arc::new(Queue::new(1));
+        queue.push(0u32).unwrap();
+        let producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                // Blocks until the consumer below makes room.
+                queue.push(1).unwrap();
+            })
+        };
+        // Give the producer a chance to block on the full queue.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(queue.pop(), Some(0));
+        producer.join().unwrap();
+        assert_eq!(queue.pop(), Some(1));
+    }
+
+    #[test]
+    fn workers_collectively_consume_everything() {
+        let queue = Arc::new(Queue::new(4));
+        let total = 200u64;
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let mut sum = 0u64;
+                    while let Some(v) = queue.pop() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        for v in 1..=total {
+            queue.push(v).unwrap();
+        }
+        queue.close();
+        let sum: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(sum, total * (total + 1) / 2);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let queue: Arc<Queue<u8>> = Arc::new(Queue::new(1));
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        queue.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

@@ -71,11 +71,17 @@ pub struct TraceEvent {
     pub start_ns: u128,
     /// Nesting depth at the time the event began (0 = top level).
     pub depth: usize,
+    /// Logical thread lane in the Chrome export (1 = the recording thread;
+    /// worker traces merged via [`adopt`] get their own lanes).
+    pub tid: u32,
     /// Span or instant.
     pub kind: EventKind,
     /// Structured key/value arguments.
     pub args: Vec<(String, String)>,
 }
+
+/// The default thread lane for events recorded on the current thread.
+pub const MAIN_TID: u32 = 1;
 
 /// An immutable snapshot of a trace stream with its exporters.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -95,11 +101,31 @@ impl Trace {
         self.events.is_empty()
     }
 
-    /// Events sorted by start time, parents before their children.
+    /// Events sorted by thread lane then start time, parents before their
+    /// children within a lane.
     pub fn ordered(&self) -> Vec<&TraceEvent> {
         let mut out: Vec<&TraceEvent> = self.events.iter().collect();
-        out.sort_by_key(|e| (e.start_ns, e.depth));
+        out.sort_by_key(|e| (e.tid, e.start_ns, e.depth));
         out
+    }
+
+    /// Appends all of `other`'s events to this trace, preserving their
+    /// thread lanes. Exporters interleave lanes by `tid`.
+    pub fn merge(&mut self, other: &Trace) {
+        self.events.extend(other.events.iter().cloned());
+    }
+
+    /// Appends `other`'s events retagged onto thread lane `tid`. This is
+    /// how a worker thread's span buffer joins the parent trace: the
+    /// worker records into its own thread-local collector, hands the
+    /// [`take`]n trace back, and the coordinator adopts it under a worker
+    /// lane so the Chrome export shows one track per worker.
+    pub fn merge_as_thread(&mut self, other: &Trace, tid: u32) {
+        self.events
+            .extend(other.events.iter().cloned().map(|mut e| {
+                e.tid = tid;
+                e
+            }));
     }
 
     /// Serializes as Chrome `trace_event` JSON:
@@ -116,9 +142,10 @@ impl Trace {
             let ts_us = event.start_ns as f64 / 1_000.0;
             let _ = write!(
                 out,
-                "{{\"name\":{},\"cat\":{},\"pid\":1,\"tid\":1,\"ts\":{ts_us:.3}",
+                "{{\"name\":{},\"cat\":{},\"pid\":1,\"tid\":{},\"ts\":{ts_us:.3}",
                 json_string(&event.name),
                 json_string(&event.cat),
+                event.tid,
             );
             match event.kind {
                 EventKind::Span { dur_ns } => {
@@ -151,6 +178,9 @@ impl Trace {
     pub fn to_tree_string(&self) -> String {
         let mut out = String::new();
         for event in self.ordered() {
+            if event.tid != MAIN_TID {
+                let _ = write!(out, "t{} ", event.tid);
+            }
             for _ in 0..event.depth {
                 out.push_str("  ");
             }
@@ -283,6 +313,7 @@ impl SpanGuard {
                     name: std::mem::take(&mut self.name),
                     start_ns: self.start_ns,
                     depth: self.depth,
+                    tid: MAIN_TID,
                     kind: EventKind::Span {
                         dur_ns: elapsed.as_nanos(),
                     },
@@ -343,6 +374,7 @@ pub fn instant(cat: &'static str, name: &str, args: &[(&str, String)]) {
             name: name.to_owned(),
             start_ns,
             depth,
+            tid: MAIN_TID,
             kind: EventKind::Instant,
             args: args
                 .iter()
@@ -369,6 +401,25 @@ pub fn take() -> Trace {
 /// Clears this thread's trace and restarts its epoch.
 pub fn reset() {
     COLLECTOR.with(|c| *c.borrow_mut() = Collector::new());
+}
+
+/// Adopts a trace recorded on another thread into this thread's collector,
+/// retagged onto lane `tid` (use a value > [`MAIN_TID`], e.g. `worker
+/// index + 2`). Without this, spans recorded off the main thread die with
+/// their thread-local buffer and never reach the Chrome export written by
+/// [`write_env_trace`].
+///
+/// Timestamps stay relative to the *worker's* epoch (each thread-local
+/// collector has its own); workers should [`reset`] when they start so
+/// their lane aligns with the coordinator's span that spawned them.
+pub fn adopt(other: &Trace, tid: u32) {
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        c.events.extend(other.events.iter().cloned().map(|mut e| {
+            e.tid = tid;
+            e
+        }));
+    });
 }
 
 /// Writes this thread's trace as Chrome `trace_event` JSON to the path in
@@ -971,6 +1022,62 @@ mod tests {
         assert!(output.contains("IR Dump After p1"));
         assert!(!output.contains("IR Dump After p2"), "output: {output}");
         assert!(output.contains("IR Dump After p3"));
+    }
+
+    #[test]
+    fn adopt_merges_worker_thread_events_into_parent_export() {
+        let trace = with_tracing(|| {
+            let coordinator = span("sched", "batch");
+            // A worker thread records into its own collector and hands the
+            // trace back; without adopt() these events would be dropped.
+            let worker_trace = std::thread::spawn(|| {
+                reset();
+                set_enabled(true);
+                {
+                    let _s = span("sched.job", "job-0");
+                }
+                take()
+            })
+            .join()
+            .unwrap();
+            adopt(&worker_trace, 2);
+            drop(coordinator);
+            take()
+        });
+        let json = trace.to_chrome_json();
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"tid\":1"), "coordinator lane: {json}");
+        assert!(json.contains("\"tid\":2"), "worker lane: {json}");
+        assert!(json.contains("\"job-0\""));
+        let tree = trace.to_tree_string();
+        assert!(tree.contains("t2 "), "worker lane marked in tree: {tree}");
+    }
+
+    #[test]
+    fn trace_merge_preserves_and_retags_lanes() {
+        let a = with_tracing(|| {
+            {
+                let _s = span("pass", "main-side");
+            }
+            take()
+        });
+        let b = with_tracing(|| {
+            {
+                let _s = span("pass", "worker-side");
+            }
+            take()
+        });
+        let mut merged = a.clone();
+        merged.merge_as_thread(&b, 3);
+        assert_eq!(merged.events().len(), 2);
+        assert!(merged.events().iter().any(|e| e.tid == MAIN_TID));
+        assert!(merged
+            .events()
+            .iter()
+            .any(|e| e.tid == 3 && e.name == "worker-side"));
+        let mut plain = a;
+        plain.merge(&b);
+        assert!(plain.events().iter().all(|e| e.tid == MAIN_TID));
     }
 
     #[test]

@@ -255,6 +255,27 @@ impl<'e> Interpreter<'e> {
         self.apply_with_state(ctx, &mut state, entry, payload)
     }
 
+    /// Re-entrant variant of [`Interpreter::apply`] for concurrent drivers
+    /// (`td-sched` workers): behaves identically except that it does *not*
+    /// flush the `TD_TRACE` Chrome-trace file after the run. The
+    /// convenience flush in [`Interpreter::apply_with_state`] is a
+    /// process-global side effect — concurrent workers would each
+    /// overwrite the file with only their own thread-local events — so an
+    /// engine that runs many applies merges worker traces itself
+    /// (`td_support::trace::adopt`) and writes the combined file once.
+    ///
+    /// # Errors
+    /// Propagates definite errors and unsuppressed silenceable errors.
+    pub fn apply_reentrant(
+        &mut self,
+        ctx: &mut Context,
+        entry: OpId,
+        payload: OpId,
+    ) -> TransformResult {
+        let mut state = TransformState::new();
+        self.apply_inner(ctx, &mut state, entry, payload)
+    }
+
     /// Like [`Interpreter::apply`] but against caller-provided state
     /// (useful for inspecting mappings afterwards).
     pub fn apply_with_state(

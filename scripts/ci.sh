@@ -25,6 +25,12 @@ mkdir -p target
 TD_TRACE=target/trace_smoke.json cargo run -q --release --offline -p td-bench --bin trace_smoke
 test -s target/trace_smoke.json || { echo "trace_smoke.json is empty"; exit 1; }
 
+echo "== concurrent engine smoke (td-sched) =="
+# Same batch at 1 and 4 workers; the binary fails on output divergence,
+# on a cold->warm cache miss, or on an empty/invalid merged worker trace.
+TD_TRACE=target/sched_smoke_trace.json cargo run -q --release --offline -p td-bench --bin sched_smoke
+test -s target/sched_smoke_trace.json || { echo "sched_smoke_trace.json is empty"; exit 1; }
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== micro-benchmark smoke run =="
     TD_BENCH_QUICK=1 TD_BENCH_JSON=BENCH_micro.json cargo bench -q --offline -p td-bench

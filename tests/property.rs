@@ -295,6 +295,60 @@ fn parse_print_structural_roundtrip() {
     });
 }
 
+/// `fingerprint_op` is stable under a print→parse round-trip into a fresh
+/// context: parsing the same text twice (or parsing, printing, and parsing
+/// again) yields the same fingerprint. This is the invariant the td-sched
+/// result cache rests on — its `(script, payload)` keys are fingerprints
+/// computed under exactly this fresh-context parse discipline, so the test
+/// failing would mean cache keys are not pure functions of source text.
+#[test]
+fn fingerprint_stable_under_print_parse_roundtrip() {
+    check(
+        "fingerprint_stable_under_print_parse_roundtrip",
+        Config::default(),
+        |g| {
+            let num_ops = g.usize(1, 30.min(g.size() as usize + 1) + 1);
+            let mut ctx = Context::new();
+            td_dialects::register_all_dialects(&mut ctx);
+            let module = build_random_module(&mut ctx, g.rng(), num_ops);
+            let printed = td_ir::print_op(&ctx, module);
+
+            let mut ctx1 = Context::new();
+            td_dialects::register_all_dialects(&mut ctx1);
+            let m1 = td_ir::parse_module(&mut ctx1, &printed)
+                .map_err(|e| format!("printed module must parse: {e}\n{printed}"))?;
+            let fp1 = td_ir::fingerprint_op(&ctx1, m1);
+
+            // Same text into another fresh context: identical fingerprint.
+            let mut ctx1b = Context::new();
+            td_dialects::register_all_dialects(&mut ctx1b);
+            let m1b = td_ir::parse_module(&mut ctx1b, &printed)
+                .map_err(|e| format!("reparse must succeed: {e}"))?;
+            if td_ir::fingerprint_op(&ctx1b, m1b) != fp1 {
+                return Err(format!(
+                    "same text, fresh contexts, different fingerprints\n{printed}"
+                ));
+            }
+
+            // Full round-trip (print the reparsed module, parse again):
+            // still the same fingerprint.
+            let reprinted = td_ir::print_op(&ctx1, m1);
+            let mut ctx2 = Context::new();
+            td_dialects::register_all_dialects(&mut ctx2);
+            let m2 = td_ir::parse_module(&mut ctx2, &reprinted)
+                .map_err(|e| format!("reprinted module must parse: {e}\n{reprinted}"))?;
+            let fp2 = td_ir::fingerprint_op(&ctx2, m2);
+            if fp1 != fp2 {
+                return Err(format!(
+                    "fingerprint changed across print→parse round-trip: \
+                     {fp1:#x} vs {fp2:#x}\nfirst print:\n{printed}\nsecond print:\n{reprinted}"
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
 /// Canonicalization preserves the observable value: folding a random
 /// arithmetic DAG produces the same result the interpreter computes.
 #[test]
