@@ -356,6 +356,14 @@ impl Context {
         data.operands = operands;
         data.results = results;
         data.regions = regions;
+        if td_support::journal::recording() {
+            td_support::journal::record_change(
+                td_support::journal::ChangeKind::Created,
+                &format!("{op:?}"),
+                name.as_str(),
+                "",
+            );
+        }
         op
     }
 
@@ -544,6 +552,14 @@ impl Context {
     /// # Panics
     /// Panics if any result still has uses *outside* the erased subtree.
     pub fn erase_op(&mut self, op: OpId) {
+        if td_support::journal::recording() {
+            td_support::journal::record_change(
+                td_support::journal::ChangeKind::Erased,
+                &format!("{op:?}"),
+                self.ops[op].name.as_str(),
+                "",
+            );
+        }
         // First erase nested regions so uses inside the subtree disappear.
         let regions = self.ops[op].regions.clone();
         for region in regions {

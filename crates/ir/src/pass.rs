@@ -24,7 +24,7 @@ use crate::verify::verify;
 use std::collections::HashMap;
 use std::time::Duration;
 use td_support::trace::{self, Instrumentation, IrView, PrintIr};
-use td_support::{metrics, Diagnostic, Location};
+use td_support::{journal, metrics, Diagnostic, Location};
 
 /// A compiler pass anchored at one operation.
 pub trait Pass {
@@ -137,6 +137,13 @@ impl PassManager {
                     instr.before_pass(&name, &view);
                 }
             }
+            // Provenance step frame: payload changes made by the pass
+            // (through `Context::create_op`/`erase_op`) attribute to it.
+            let journal_step = if journal::enabled() {
+                journal::begin_step("pass", &name, "", Vec::new(), fingerprint_op(ctx, target))
+            } else {
+                None
+            };
             let mut span = trace::span("pass", name.clone());
             let result = pass.run(ctx, target);
             if let Err(diag) = &result {
@@ -152,7 +159,21 @@ impl PassManager {
                 name: name.clone(),
                 duration,
             });
+            let close_step = |ctx: &Context, outcome: journal::StepOutcome, message: &str| {
+                if journal_step.is_some() {
+                    journal::end_step(
+                        journal_step,
+                        fingerprint_op(ctx, target),
+                        duration.as_nanos(),
+                        outcome,
+                        message,
+                        &format!("{target:?}"),
+                        ctx.op(target).name.as_str(),
+                    );
+                }
+            };
             if let Err(diag) = result {
+                close_step(ctx, journal::StepOutcome::Failed, diag.message());
                 for instr in &mut self.instrumentations {
                     instr.pass_failed(&name, diag.message());
                 }
@@ -178,16 +199,19 @@ impl PassManager {
                 }
                 if let Err(mut diags) = outcome {
                     let first = diags.remove(0);
-                    return Err(Diagnostic::error(
+                    let diag = Diagnostic::error(
                         first.location().clone(),
                         format!(
                             "IR verification failed after pass '{}': {}",
                             name,
                             first.message()
                         ),
-                    ));
+                    );
+                    close_step(ctx, journal::StepOutcome::Failed, diag.message());
+                    return Err(diag);
                 }
             }
+            close_step(ctx, journal::StepOutcome::Ok, "");
         }
         Ok(())
     }

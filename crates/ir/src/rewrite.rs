@@ -96,7 +96,19 @@ impl<'c> Rewriter<'c> {
         for (&old, &new) in results.iter().zip(new_values.iter()) {
             self.ctx.replace_all_uses(old, new);
         }
+        // Record Replaced *after* erase_op so provenance queries see the
+        // replacement (not the plain erasure) as the op's final change.
+        let journaled = td_support::journal::recording()
+            .then(|| (format!("{op:?}"), self.ctx.op(op).name.as_str().to_owned()));
         self.ctx.erase_op(op);
+        if let Some((id, name)) = journaled {
+            td_support::journal::record_change(
+                td_support::journal::ChangeKind::Replaced,
+                &id,
+                &name,
+                &format!("-> {} value(s)", new_values.len()),
+            );
+        }
         self.events.push(RewriteEvent::Replaced {
             old: op,
             new_values,

@@ -16,10 +16,16 @@
 //!
 //! The batch runs inside a `sched`/`batch` trace span; each job gets a
 //! `sched`/`job` span annotated with its cache outcome. Worker threads
-//! record into their own thread-local trace/metrics stores, hand them back
-//! on exit, and the coordinator merges them (`trace::adopt` gives each
-//! worker its own `tid` lane in the Chrome export, `metrics::absorb` sums
-//! the counters), so a single `TD_TRACE` file shows the whole pool.
+//! record into their own thread-local trace/metrics/journal stores, hand
+//! them back on exit, and the coordinator merges them (`trace::adopt`
+//! gives each worker its own `tid` lane in the Chrome export,
+//! `metrics::absorb` sums the counters, `journal::absorb` rebases the
+//! provenance steps), so a single `TD_TRACE` / `TD_JOURNAL` file shows the
+//! whole pool. The merged journal also rides on the [`BatchReport`], whose
+//! [`BatchReport::report_text`] / [`BatchReport::report_json`] rank
+//! transforms by payload ops touched, time, and failures; jobs that fail
+//! with a reproducible transform error additionally get a bisected,
+//! minimized repro schedule attached as a `bisect` artifact.
 
 use crate::cache::{CacheKey, CacheStats, CachedResult, ResultCache};
 use crate::job::{Job, JobError, JobOutput, JobResult};
@@ -28,7 +34,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use td_ir::{Context, PassRegistry};
-use td_support::{metrics, mpmc, trace};
+use td_support::{journal, metrics, mpmc, trace};
 use td_transform::{InterpEnv, Interpreter, TransformOpRegistry};
 
 /// Builds the fresh `Context` each job attempt parses into.
@@ -151,6 +157,11 @@ pub struct BatchReport {
     pub wall: Duration,
     /// Worker threads used.
     pub workers: usize,
+    /// The merged provenance journal of the batch: every worker's journal
+    /// (steps stamped with their job index) plus any bisection artifacts,
+    /// rebased into one store. Empty unless journaling was enabled
+    /// (`TD_JOURNAL` or `journal::set_enabled`) when the batch ran.
+    pub journal: journal::Journal,
 }
 
 impl BatchReport {
@@ -171,6 +182,20 @@ impl BatchReport {
             .iter()
             .map(|r| r.as_ref().ok().map(|o| o.module_text.as_str()))
             .collect()
+    }
+
+    /// Human-readable batch provenance report: the ranked transform table
+    /// (payload ops touched, time, failures) plus per-step lines and any
+    /// bisection artifacts. Empty-ish when journaling was off.
+    pub fn report_text(&self) -> String {
+        self.journal.report_text()
+    }
+
+    /// The batch provenance report as one JSON object (steps, changes,
+    /// artifacts, ranked summary); validates with
+    /// `td_support::trace::validate_json`.
+    pub fn report_json(&self) -> String {
+        self.journal.to_json()
     }
 }
 
@@ -217,6 +242,8 @@ impl Engine {
         let queue: mpmc::Queue<(usize, Job)> = mpmc::Queue::new(self.config.queue_capacity);
         let (result_tx, result_rx) = mpsc::channel::<(usize, JobResult)>();
         let trace_on = trace::enabled();
+        let journal_on = journal::enabled();
+        let mut batch_journal = journal::Journal::new();
         let mut slots: Vec<Option<JobResult>> = Vec::new();
         slots.resize_with(job_count, || None);
 
@@ -229,6 +256,8 @@ impl Engine {
                     trace::reset();
                     trace::set_enabled(trace_on);
                     metrics::reset();
+                    journal::reset();
+                    journal::set_enabled(journal_on);
                     {
                         let _worker_span = trace::span("sched", format!("worker{worker_index}"));
                         let transforms = (self.config.transforms_factory)();
@@ -237,6 +266,10 @@ impl Engine {
                         env.transforms = transforms;
                         env.passes = passes.as_ref();
                         while let Some((index, job)) = queue.pop() {
+                            // Journal steps recorded during this job carry
+                            // its index, so the merged batch journal stays
+                            // attributable per job.
+                            journal::set_job(Some(index));
                             // The catch_unwind is the panic-isolation
                             // boundary: a panicking transform handler
                             // unwinds out of its job (dropping that job's
@@ -250,12 +283,16 @@ impl Engine {
                                     message: panic_message(payload.as_ref()),
                                 })
                             });
+                            if journal_on {
+                                self.bisect_failed_job(&env, &job, index, &result);
+                            }
+                            journal::set_job(None);
                             if result_tx.send((index, result)).is_err() {
                                 break;
                             }
                         }
                     }
-                    (trace::take(), metrics::take())
+                    (trace::take(), metrics::take(), journal::take())
                 }));
             }
             drop(result_tx);
@@ -269,10 +306,16 @@ impl Engine {
                 slots[index] = Some(result);
             }
             for (worker_index, handle) in handles.into_iter().enumerate() {
-                if let Ok((worker_trace, worker_metrics)) = handle.join() {
+                if let Ok((worker_trace, worker_metrics, worker_journal)) = handle.join() {
                     // Lane 1 is the coordinator; workers get 2, 3, ...
                     trace::adopt(&worker_trace, worker_index as u32 + 2);
                     metrics::absorb(&worker_metrics);
+                    // Journals merge twice on purpose: into the report
+                    // (batch-scoped) and into the coordinator's
+                    // thread-local store (so `write_env_journal` covers
+                    // the pool the way `TD_TRACE` does).
+                    batch_journal.merge(&worker_journal);
+                    journal::absorb(&worker_journal);
                 }
             }
         });
@@ -293,7 +336,51 @@ impl Engine {
             cache: self.cache.stats().since(&stats_before),
             wall: started.elapsed(),
             workers,
+            journal: batch_journal,
         }
+    }
+
+    /// When a job fails with a (reproducible) transform error and
+    /// journaling is on, bisect the schedule against the job's own texts
+    /// and attach the minimized repro to this worker's journal as a
+    /// `bisect` artifact. Runs on the worker thread, after the failure,
+    /// with the probes themselves excluded from the journal.
+    fn bisect_failed_job(&self, env: &InterpEnv<'_>, job: &Job, index: usize, result: &JobResult) {
+        if !matches!(result, Err(JobError::Transform { .. })) {
+            return;
+        }
+        let make_ctx = || (self.config.context_factory)();
+        let Some(outcome) = td_transform::bisect_schedule_failure(
+            env,
+            &make_ctx,
+            &job.script,
+            &job.payload,
+            &job.entry,
+        ) else {
+            return;
+        };
+        metrics::counter("sched.bisections", 1);
+        trace::instant(
+            "sched",
+            "bisect",
+            &[
+                ("job", index.to_string()),
+                ("failing_prefix", outcome.failing_prefix.to_string()),
+                ("probes", outcome.probes.to_string()),
+            ],
+        );
+        journal::add_artifact(
+            "bisect",
+            &format!("job{index}"),
+            &format!(
+                "failing prefix: {} of {} step(s) ({} probe(s))\nfailure: {}\n{}",
+                outcome.failing_prefix,
+                outcome.total_steps,
+                outcome.probes,
+                outcome.message,
+                outcome.minimized_script,
+            ),
+        );
     }
 
     /// Runs one job on the calling worker thread: deadline pre-check,

@@ -310,3 +310,87 @@ fn worker_spans_merge_into_the_coordinator_trace() {
     trace::validate_json(&json).expect("merged trace is valid Chrome JSON");
     assert!(json.contains("\"tid\":2"), "worker lane visible in export");
 }
+
+#[test]
+fn worker_journals_merge_into_one_batch_report() {
+    use td_support::journal;
+    journal::reset();
+    journal::set_enabled(true);
+    let engine = Engine::new(EngineConfig::standard().with_workers(4).without_cache());
+    let mut jobs = batch(6, "seen");
+    // One failing job: its schedule matches an op the payload lacks, with
+    // an innocent trailing step bisection must shave off.
+    jobs.push(Job::new(
+        r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %missing = "transform.match_op"(%root) {name = "nonexistent.op", select = "first"} : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%root) {name = "never"} : (!transform.any_op) -> ()
+  }
+}"#,
+        payload(99),
+    ));
+    let report = engine.run_batch(jobs);
+    let thread_local_merged = journal::take();
+    journal::clear_enabled_override();
+
+    assert_eq!(report.ok_count(), 6);
+    assert_eq!(report.err_count(), 1);
+
+    // Steps from every job landed in the merged journal, stamped with
+    // their job index; the summary ranks the annotate transform.
+    let stamped: std::collections::BTreeSet<usize> = report
+        .journal
+        .steps()
+        .iter()
+        .filter_map(|s| s.job)
+        .collect();
+    assert_eq!(stamped.len(), 7, "all jobs contributed steps: {stamped:?}");
+    assert!(report
+        .journal
+        .summarize()
+        .iter()
+        .any(|row| row.name == "transform.annotate" && row.ops_touched > 0));
+    let failed = report
+        .journal
+        .first_failure()
+        .expect("failing job recorded a failed step");
+    assert_eq!(failed.name, "transform.match_op");
+
+    // The failing job got a bisected minimized repro attached.
+    let artifact = report
+        .journal
+        .artifacts()
+        .iter()
+        .find(|a| a.kind == "bisect")
+        .expect("bisect artifact attached");
+    assert_eq!(artifact.label, "job6");
+    assert!(artifact.content.contains("nonexistent.op"));
+    assert!(
+        !artifact.content.contains("\"never\""),
+        "repro drops the innocent trailing step:\n{}",
+        artifact.content
+    );
+
+    // Reports are emitted in both shapes; the JSON validates.
+    trace::validate_json(&report.report_json()).expect("report JSON validates");
+    assert!(report.report_text().contains("transform.annotate"));
+
+    // The coordinator's thread-local journal absorbed the same steps, so
+    // a TD_JOURNAL flush covers the pool.
+    assert_eq!(
+        thread_local_merged.steps().len(),
+        report.journal.steps().len()
+    );
+}
+
+#[test]
+fn journal_off_batches_record_nothing() {
+    use td_support::journal;
+    journal::reset();
+    journal::set_enabled(false);
+    let engine = Engine::new(EngineConfig::standard().with_workers(2).without_cache());
+    let report = engine.run_batch(batch(3, "seen"));
+    journal::clear_enabled_override();
+    assert_eq!(report.ok_count(), 3);
+    assert!(report.journal.is_empty(), "journaling off: empty journal");
+}

@@ -23,6 +23,9 @@
 //!   JSON + human-readable tree), the [`trace::Instrumentation`] hook
 //!   trait, and the `print-ir-before/after` snapshot instrumentation;
 //!   [`diag`] additionally hosts the optimization-remarks channel;
+//! * [`journal`] — the transform provenance journal: payload-change
+//!   attribution ("which transform erased op X"), batch reports, and the
+//!   store the failure bisector writes minimized repro schedules into;
 //! * [`filecheck`] — a FileCheck-lite substring-check DSL backing the
 //!   golden-file tests;
 //! * [`mpmc`] — a bounded multi-producer/multi-consumer work queue with a
@@ -32,6 +35,7 @@ pub mod arena;
 pub mod diag;
 pub mod filecheck;
 pub mod interner;
+pub mod journal;
 pub mod location;
 pub mod metrics;
 pub mod mpmc;

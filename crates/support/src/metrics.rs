@@ -35,8 +35,21 @@ pub struct TimerStat {
     pub count: u64,
     /// Total duration across all intervals, in nanoseconds.
     pub total_ns: u128,
+    /// Shortest single interval, in nanoseconds (0 when no intervals).
+    pub min_ns: u128,
     /// Longest single interval, in nanoseconds.
     pub max_ns: u128,
+}
+
+impl TimerStat {
+    /// Arithmetic mean interval in nanoseconds (0 when no intervals).
+    pub fn mean_ns(&self) -> u128 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_ns / u128::from(self.count)
+        }
+    }
 }
 
 /// A snapshot (or live store) of all recorded metrics.
@@ -67,6 +80,11 @@ impl Metrics {
     /// Records one timed interval of `ns` nanoseconds under `name`.
     pub fn add_timer_ns(&mut self, name: &str, ns: u128) {
         let stat = self.timers.entry(name.to_owned()).or_default();
+        stat.min_ns = if stat.count == 0 {
+            ns
+        } else {
+            stat.min_ns.min(ns)
+        };
         stat.count += 1;
         stat.total_ns += ns;
         stat.max_ns = stat.max_ns.max(ns);
@@ -104,6 +122,13 @@ impl Metrics {
         }
         for (name, stat) in &other.timers {
             let mine = self.timers.entry(name.clone()).or_default();
+            if stat.count > 0 {
+                mine.min_ns = if mine.count == 0 {
+                    stat.min_ns
+                } else {
+                    mine.min_ns.min(stat.min_ns)
+                };
+            }
             mine.count += stat.count;
             mine.total_ns += stat.total_ns;
             mine.max_ns = mine.max_ns.max(stat.max_ns);
@@ -111,7 +136,8 @@ impl Metrics {
     }
 
     /// Serializes the snapshot as a single JSON object:
-    /// `{"counters": {...}, "timers": {"name": {"count", "total_ns", "max_ns"}}}`.
+    /// `{"counters": {...}, "timers": {"name": {"count", "total_ns",
+    /// "min_ns", "mean_ns", "max_ns"}}}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, (name, value)) in self.counters.iter().enumerate() {
@@ -127,10 +153,12 @@ impl Metrics {
             }
             let _ = write!(
                 out,
-                "{}:{{\"count\":{},\"total_ns\":{},\"max_ns\":{}}}",
+                "{}:{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{}}}",
                 json_string(name),
                 stat.count,
                 stat.total_ns,
+                stat.min_ns,
+                stat.mean_ns(),
                 stat.max_ns
             );
         }
@@ -265,10 +293,14 @@ mod tests {
         let mut m = Metrics::new();
         m.add_timer_ns("t", 10);
         m.add_timer_ns("t", 30);
+        m.add_timer_ns("t", 20);
         let stat = m.timer_stat("t").unwrap();
-        assert_eq!(stat.count, 2);
-        assert_eq!(stat.total_ns, 40);
+        assert_eq!(stat.count, 3);
+        assert_eq!(stat.total_ns, 60);
+        assert_eq!(stat.min_ns, 10);
+        assert_eq!(stat.mean_ns(), 20);
         assert_eq!(stat.max_ns, 30);
+        assert_eq!(TimerStat::default().mean_ns(), 0);
     }
 
     #[test]
@@ -284,7 +316,61 @@ mod tests {
         assert_eq!(a.counter_value("c"), Some(3));
         assert_eq!(a.counter_value("d"), Some(7));
         assert_eq!(a.timer_stat("t").unwrap().count, 2);
+        assert_eq!(a.timer_stat("t").unwrap().min_ns, 5);
+        assert_eq!(a.timer_stat("t").unwrap().mean_ns(), 7);
         assert_eq!(a.timer_stat("t").unwrap().max_ns, 9);
+    }
+
+    #[test]
+    fn merge_keeps_min_correct_across_empty_and_ordered_sides() {
+        // A timer present on only one side must not let the other side's
+        // default (0) poison the min.
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        b.add_timer_ns("only_b", 50);
+        a.merge(&b);
+        assert_eq!(a.timer_stat("only_b").unwrap().min_ns, 50);
+        // And merging the smaller-min side second still wins.
+        let mut c = Metrics::new();
+        c.add_timer_ns("only_b", 8);
+        a.merge(&c);
+        assert_eq!(a.timer_stat("only_b").unwrap().min_ns, 8);
+        assert_eq!(a.timer_stat("only_b").unwrap().max_ns, 50);
+    }
+
+    #[test]
+    fn absorb_aggregates_min_mean_across_worker_lanes() {
+        // Simulates the td-sched worker-pool flow: each worker thread
+        // records into its own registry, `take()`s it at thread exit, and
+        // the coordinator `absorb`s every lane.
+        reset();
+        let lanes: Vec<Metrics> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|lane| {
+                    scope.spawn(move || {
+                        reset();
+                        timer_ns("job.apply", 100 * (lane as u128 + 1));
+                        timer_ns("job.apply", 10 * (lane as u128 + 1));
+                        take()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for lane in &lanes {
+            absorb(lane);
+        }
+        let stat = snapshot().timer_stat("job.apply").unwrap();
+        assert_eq!(stat.count, 8);
+        assert_eq!(stat.min_ns, 10);
+        assert_eq!(stat.max_ns, 400);
+        // total = (100+10)*(1+2+3+4) = 1100; mean = 1100/8 = 137.
+        assert_eq!(stat.total_ns, 1100);
+        assert_eq!(stat.mean_ns(), 137);
+        let json = snapshot().to_json();
+        assert!(json.contains("\"min_ns\":10"));
+        assert!(json.contains("\"mean_ns\":137"));
+        reset();
     }
 
     #[test]
@@ -295,9 +381,10 @@ mod tests {
         let json = m.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"quote\\\"key\":1"));
-        assert!(
-            json.contains("\"pass.canonicalize\":{\"count\":1,\"total_ns\":123,\"max_ns\":123}")
-        );
+        assert!(json.contains(
+            "\"pass.canonicalize\":{\"count\":1,\"total_ns\":123,\"min_ns\":123,\
+             \"mean_ns\":123,\"max_ns\":123}"
+        ));
     }
 
     #[test]

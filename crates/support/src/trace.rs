@@ -427,13 +427,29 @@ pub fn adopt(other: &Trace, tid: u32) {
 /// smoke binary) call this once before exiting.
 ///
 /// # Errors
-/// Propagates I/O errors from writing the file.
+/// I/O failures are reported with the offending `TD_TRACE` path in the
+/// message (a bare `io::Error` would leave the user guessing which file
+/// the driver tried to write).
 pub fn write_env_trace() -> std::io::Result<Option<String>> {
     let Some(path) = env_trace_path() else {
         return Ok(None);
     };
-    std::fs::write(&path, snapshot().to_chrome_json())?;
+    write_trace_to(&path)?;
     Ok(Some(path))
+}
+
+/// Writes this thread's trace as Chrome `trace_event` JSON to `path`.
+///
+/// # Errors
+/// I/O failures carry the offending path in the message (see
+/// [`write_env_trace`]).
+pub fn write_trace_to(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, snapshot().to_chrome_json()).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("cannot write TD_TRACE trace to '{path}': {e}"),
+        )
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1093,5 +1109,20 @@ mod tests {
         assert_eq!(view.fingerprint(), 42);
         assert_eq!(view.fingerprint(), 42);
         assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn unwritable_trace_path_reports_the_path() {
+        let path = "/definitely/not/a/writable/dir/trace.json";
+        let err = write_trace_to(path).unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains(path),
+            "diagnostic names the offending path: {message}"
+        );
+        assert!(
+            message.contains("TD_TRACE"),
+            "diagnostic names the env var: {message}"
+        );
     }
 }

@@ -16,7 +16,7 @@ use crate::state::TransformState;
 use td_ir::{BlockId, Context, OpId, PassRegistry, ValueId};
 use td_support::diag::{self, Remark};
 use td_support::trace::{self, Instrumentation, IrView, PrintIr};
-use td_support::{metrics, Diagnostic};
+use td_support::{journal, metrics, Diagnostic};
 
 /// Interpreter configuration.
 #[derive(Clone, Copy, Debug)]
@@ -288,11 +288,33 @@ impl<'e> Interpreter<'e> {
         let result = self.apply_inner(ctx, state, entry, payload);
         // Flush after the apply span has closed, so a bare `TD_TRACE=...`
         // on any schedule-running binary produces the trace file without
-        // call-site plumbing.
+        // call-site plumbing. Same deal for `TD_JOURNAL=...`.
         if let Err(e) = trace::write_env_trace() {
             eprintln!("warning: failed to write TD_TRACE file: {e}");
         }
+        if let Err(e) = journal::write_env_journal() {
+            eprintln!("warning: failed to write TD_JOURNAL file: {e}");
+        }
         result
+    }
+
+    /// Applies only the first `limit` top-level ops of the entry block —
+    /// the probe primitive of the failure bisector (see
+    /// [`crate::bisect`]): re-running ever shorter prefixes against fresh
+    /// payloads locates the shortest failing schedule.
+    ///
+    /// # Errors
+    /// Propagates definite errors and unsuppressed silenceable errors,
+    /// exactly like [`Interpreter::apply_reentrant`] (no env flushes).
+    pub fn apply_prefix(
+        &mut self,
+        ctx: &mut Context,
+        entry: OpId,
+        payload: OpId,
+        limit: usize,
+    ) -> TransformResult {
+        let mut state = TransformState::new();
+        self.apply_bounded(ctx, &mut state, entry, payload, Some(limit))
     }
 
     fn apply_inner(
@@ -301,6 +323,17 @@ impl<'e> Interpreter<'e> {
         state: &mut TransformState,
         entry: OpId,
         payload: OpId,
+    ) -> TransformResult {
+        self.apply_bounded(ctx, state, entry, payload, None)
+    }
+
+    fn apply_bounded(
+        &mut self,
+        ctx: &mut Context,
+        state: &mut TransformState,
+        entry: OpId,
+        payload: OpId,
+        limit: Option<usize>,
     ) -> TransformResult {
         let _apply_span = metrics::span("interp.apply");
         let _apply_trace = trace::span("interp", "apply");
@@ -333,7 +366,20 @@ impl<'e> Interpreter<'e> {
             state.set_ops(arg, vec![payload]);
         }
         self.drain_handle_events(state);
-        let result = self.run_block(ctx, state, block);
+        let result = match limit {
+            None => self.run_block(ctx, state, block),
+            Some(n) => {
+                let ops = ctx.block(block).ops().to_vec();
+                let mut result = Ok(());
+                for op in ops.into_iter().take(n) {
+                    if let Err(e) = self.execute(ctx, state, op) {
+                        result = Err(e);
+                        break;
+                    }
+                }
+                result
+            }
+        };
         self.drain_handle_events(state);
         self.stats.publish_to_metrics();
         result
@@ -423,6 +469,26 @@ impl<'e> Interpreter<'e> {
         let location = ctx.op(op).location.clone();
         self.notify_transform_hooks(ctx, name.as_str(), true);
 
+        // Provenance step frame: payload ops created/erased while the
+        // handler runs attribute to this transform in the journal.
+        let journal_step = if journal::enabled() {
+            let handles: Vec<String> = ctx
+                .op(op)
+                .operands()
+                .iter()
+                .map(|v| format!("{v:?}"))
+                .collect();
+            journal::begin_step(
+                "transform",
+                name.as_str(),
+                &location.to_string(),
+                handles,
+                self.payload_fingerprint(ctx),
+            )
+        } else {
+            None
+        };
+
         // The trace span is the single clock: its measured duration also
         // feeds the per-transform metrics timer, so the two never disagree.
         let mut span = trace::span("transform", name.as_str().to_owned());
@@ -433,6 +499,18 @@ impl<'e> Interpreter<'e> {
         let duration = span.end();
         metrics::timer_ns(&format!("transform.{name}"), duration.as_nanos());
         if let Err(err) = result {
+            let outcome = if err.is_silenceable() {
+                journal::StepOutcome::FailedSilenceable
+            } else {
+                journal::StepOutcome::Failed
+            };
+            self.close_journal_step(
+                ctx,
+                journal_step,
+                duration.as_nanos(),
+                outcome,
+                err.diagnostic().message(),
+            );
             if self.observing {
                 for instr in &mut self.instrumentations {
                     instr.transform_failed(
@@ -472,16 +550,66 @@ impl<'e> Interpreter<'e> {
                     diag::emit_remark(Remark::analysis(name.as_str(), location.clone(), detail));
                 }
                 if let Err(diag) = check {
+                    self.close_journal_step(
+                        ctx,
+                        journal_step,
+                        duration.as_nanos(),
+                        journal::StepOutcome::Failed,
+                        diag.message(),
+                    );
                     return Err(TransformError::Definite(diag));
                 }
             }
         }
 
+        self.close_journal_step(
+            ctx,
+            journal_step,
+            duration.as_nanos(),
+            journal::StepOutcome::Ok,
+            "",
+        );
         if self.observing {
             diag::emit_remark(Remark::applied(name.as_str(), location, "applied"));
         }
         self.notify_transform_hooks(ctx, name.as_str(), false);
         Ok(())
+    }
+
+    /// Fingerprint of the payload root for journal step frames (0 when the
+    /// root is gone or no apply is in flight).
+    fn payload_fingerprint(&self, ctx: &Context) -> u64 {
+        self.payload_root
+            .filter(|&root| ctx.is_live(root))
+            .map_or(0, |root| td_ir::fingerprint_op(ctx, root))
+    }
+
+    /// Closes a journal step frame with the after-fingerprint of the
+    /// payload root (no-op when `token` is `None`).
+    fn close_journal_step(
+        &self,
+        ctx: &Context,
+        token: Option<journal::StepToken>,
+        duration_ns: u128,
+        outcome: journal::StepOutcome,
+        message: &str,
+    ) {
+        if token.is_none() {
+            return;
+        }
+        let (root_id, root_name) = match self.payload_root.filter(|&root| ctx.is_live(root)) {
+            Some(root) => (format!("{root:?}"), ctx.op(root).name.as_str().to_owned()),
+            None => (String::new(), String::new()),
+        };
+        journal::end_step(
+            token,
+            self.payload_fingerprint(ctx),
+            duration_ns,
+            outcome,
+            message,
+            &root_id,
+            &root_name,
+        );
     }
 
     /// The payload scope a transform affects, for dynamic condition

@@ -21,6 +21,7 @@
 //! and the autodiff introspection case study — live in sibling modules.
 
 pub mod autodiff;
+pub mod bisect;
 pub mod conditions;
 pub mod error;
 pub mod interp;
@@ -32,6 +33,7 @@ pub mod registry;
 pub mod script_opt;
 pub mod state;
 
+pub use bisect::{bisect_schedule_failure, BisectOutcome};
 pub use conditions::{check_pipeline, check_script, CheckReport, OpPattern, OpSet, PassConditions};
 pub use error::{TransformError, TransformResult};
 pub use interp::{InterpConfig, InterpEnv, InterpStats, Interpreter};

@@ -31,6 +31,15 @@ echo "== concurrent engine smoke (td-sched) =="
 TD_TRACE=target/sched_smoke_trace.json cargo run -q --release --offline -p td-bench --bin sched_smoke
 test -s target/sched_smoke_trace.json || { echo "sched_smoke_trace.json is empty"; exit 1; }
 
+echo "== provenance journal smoke (attribution + bisection + batch report) =="
+# Runs a tiled-matmul schedule with TD_JOURNAL set and asserts: the journal
+# attributes the original loop's erasure to transform.loop.tile, bisection
+# emits a non-empty minimized repro schedule for a known-failing pipeline,
+# and a 4-worker td-sched batch merges per-worker journals into one report
+# whose JSON passes the std-only validator.
+TD_JOURNAL=target/journal_smoke.json cargo run -q --release --offline -p td-bench --bin journal_smoke
+test -s target/journal_smoke.json || { echo "journal_smoke.json is empty"; exit 1; }
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== micro-benchmark smoke run =="
     TD_BENCH_QUICK=1 TD_BENCH_JSON=BENCH_micro.json cargo bench -q --offline -p td-bench

@@ -133,6 +133,105 @@ fn quickstart_observability_matches_golden() {
     );
 }
 
+/// The two failure channels that must keep their remark shape while the
+/// provenance journal observes them: a suppressed silenceable error (one
+/// missed remark from the suppressing sequence) and a failed dynamic
+/// condition check (one analysis remark naming the undeclared op).
+#[test]
+fn failure_remarks_match_golden() {
+    use std::fmt::Write as _;
+    use td_support::{diag, Location, RemarkFilter};
+    use td_transform::TransformOpDef;
+
+    let payload_src = r#"module {
+  func.func @f(%m: memref<256xf32>) {
+    %lo = arith.constant 0 : index
+    %hi = arith.constant 256 : index
+    %st = arith.constant 1 : index
+    scf.for %i = %lo to %hi step %st {
+      %v = "memref.load"(%m, %i) : (memref<256xf32>, index) -> f32
+      "test.use"(%v) : (f32) -> ()
+    }
+    func.return
+  }
+}"#;
+    diag::reset_remarks();
+    diag::set_remark_filter(RemarkFilter::parse("missed,analysis"));
+
+    // Channel 1: a silenceable error swallowed by a suppressing sequence.
+    {
+        let script_src = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    "transform.sequence"(%root) ({
+    ^bb0(%arg: !transform.any_op):
+      %missing = "transform.match_op"(%arg) {name = "nonexistent.op", select = "first"} : (!transform.any_op) -> !transform.any_op
+      "transform.yield"() : () -> ()
+    }) {failure_propagation_mode = "suppress"} : (!transform.any_op) -> ()
+  }
+}"#;
+        let mut ctx = td_bench::full_context();
+        let payload = td_ir::parse_module(&mut ctx, payload_src).unwrap();
+        let script = td_ir::parse_module(&mut ctx, script_src).unwrap();
+        let entry = ctx.lookup_symbol(script, "main").unwrap();
+        let env = InterpEnv::standard();
+        Interpreter::new(&env)
+            .apply(&mut ctx, entry, payload)
+            .unwrap();
+    }
+
+    // Channel 2: a transform whose declaration lies (introduces
+    // test.surprise, declares arith.constant) under dynamic checking.
+    {
+        let script_src = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    "transform.misdeclared"(%loop) : (!transform.any_op) -> ()
+  }
+}"#;
+        let mut ctx = td_bench::full_context();
+        ctx.registry.register(td_ir::OpSpec::new(
+            "transform.misdeclared",
+            "buggy extension",
+        ));
+        let payload = td_ir::parse_module(&mut ctx, payload_src).unwrap();
+        let script = td_ir::parse_module(&mut ctx, script_src).unwrap();
+        let entry = ctx.lookup_symbol(script, "main").unwrap();
+        let mut env = InterpEnv::standard();
+        env.config.check_conditions = true;
+        env.transforms.register(
+            TransformOpDef::new(
+                "transform.misdeclared",
+                "declares wrong post",
+                |_, ctx, state, op| {
+                    let handle = ctx.op(op).operands()[0];
+                    let location = ctx.op(op).location.clone();
+                    let targets = state.ops(handle, &location)?;
+                    let mut b = td_ir::OpBuilder::before(ctx, targets[0]);
+                    b.set_location(Location::name("surprise"));
+                    b.op("test.surprise").build();
+                    Ok(())
+                },
+            )
+            .with_conditions([], ["arith.constant"]),
+        );
+        Interpreter::new(&env)
+            .apply(&mut ctx, entry, payload)
+            .unwrap_err();
+    }
+
+    let mut transcript = String::new();
+    for remark in diag::take_remarks() {
+        let _ = writeln!(transcript, "{remark}");
+    }
+    diag::clear_remark_filter_override();
+
+    assert_checks(
+        "failure_remarks",
+        &transcript,
+        include_str!("golden/failure_remarks.expected"),
+    );
+}
+
 /// Script-on-script optimization against its golden file: the include is
 /// inlined, the parameter propagated, and the no-op unroll removed. The
 /// script is the one from `examples/transform_script_optimization.rs`.

@@ -871,3 +871,95 @@ fn interpreter_is_total_on_random_scripts() {
         },
     );
 }
+
+// ----- observability JSON emission is robust to hostile names ------------------
+
+/// Builds a string from a palette biased toward JSON-hostile characters:
+/// quotes, backslashes, newlines, other control characters (< 0x20), and
+/// multi-byte unicode.
+fn hostile_string(g: &mut Gen) -> String {
+    let picks = g.vec(0, 24, |g| g.u8(0, 15));
+    let mut s = String::new();
+    for p in picks {
+        match p {
+            0 => s.push('"'),
+            1 => s.push('\\'),
+            2 => s.push('\n'),
+            3 => s.push('\r'),
+            4 => s.push('\t'),
+            5 => s.push('\u{0}'),
+            6 => s.push('\u{1}'),
+            7 => s.push('\u{1f}'),
+            8 => s.push('\u{7f}'),
+            9 => s.push('é'),
+            10 => s.push('日'),
+            _ => s.push((b'a' + (p - 11)) as char),
+        }
+    }
+    s
+}
+
+/// Every trace, metrics, and journal JSON emission must stay well-formed
+/// (accepted by the std-only `trace::validate_json`) no matter what op
+/// names, span args, or failure messages contain — including quotes,
+/// backslashes, newlines, and raw control characters.
+#[test]
+fn observability_json_survives_hostile_names() {
+    use td_support::{journal, metrics, trace};
+    check(
+        "observability_json_survives_hostile_names",
+        Config::default(),
+        |g| {
+            let names = g.vec(1, 8, hostile_string);
+
+            // Trace: spans (with hostile args) and instant events.
+            trace::reset();
+            trace::set_enabled(true);
+            for name in &names {
+                let mut span = trace::span("prop", name.clone());
+                span.arg("key", name.clone());
+                trace::instant("prop", name, &[("arg", format!("x{name}"))]);
+            }
+            let emitted = trace::take();
+            trace::clear_enabled_override();
+            let chrome = emitted.to_chrome_json();
+            trace::validate_json(&chrome)
+                .map_err(|e| format!("trace JSON invalid: {e}\n{chrome}"))?;
+
+            // Metrics: counter and timer names.
+            let mut m = metrics::Metrics::new();
+            for name in &names {
+                m.add_counter(name, 1);
+                m.add_timer_ns(name, 7);
+            }
+            let metrics_json = m.to_json();
+            trace::validate_json(&metrics_json)
+                .map_err(|e| format!("metrics JSON invalid: {e}\n{metrics_json}"))?;
+
+            // Journal: step names, locations, handles, messages, changes,
+            // artifacts.
+            journal::reset();
+            journal::set_enabled(true);
+            for name in &names {
+                let step = journal::begin_step("transform", name, name, vec![name.clone()], 1);
+                journal::record_change(journal::ChangeKind::Created, name, name, name);
+                journal::end_step(
+                    step,
+                    2,
+                    5,
+                    journal::StepOutcome::FailedSilenceable,
+                    name,
+                    name,
+                    name,
+                );
+                journal::add_artifact("bisect", name, name);
+            }
+            let recorded = journal::take();
+            journal::clear_enabled_override();
+            let journal_json = recorded.to_json();
+            trace::validate_json(&journal_json)
+                .map_err(|e| format!("journal JSON invalid: {e}\n{journal_json}"))?;
+            Ok(())
+        },
+    );
+}
