@@ -1,0 +1,299 @@
+//! CI chaos smoke check for the transactional interpreter and the
+//! fault-tolerant td-sched engine. Four gates:
+//!
+//! 1. **Rollback acceptance**: a silenceable failure injected at *every*
+//!    step index of the loop-tiling schedule in turn must leave the
+//!    payload verifier-clean and byte-identical to a clean run of the
+//!    committed prefix (the restore itself is fingerprint-validated by
+//!    `Context::restore_module`).
+//! 2. **Chaos determinism**: the `sched_smoke` batch replayed under a
+//!    probabilistic silenceable plan and a probabilistic panic plan must
+//!    produce *identical per-job outcomes* at 1 and 4 workers, with
+//!    nonzero rollback/fired counters and zero invalid output IR; under a
+//!    sleep + deadline plan the partial results must stay valid.
+//! 3. **Graceful degradation**: with every job failing definitively and a
+//!    failure budget of 3, a single-worker batch runs exactly 3 jobs,
+//!    cancels the rest, and flags the report as degraded.
+//! 4. **Checkpoint overhead**: with faults disabled, the default
+//!    (`TxnMode::Auto`) interpreter must cost about the same as one with
+//!    transactions hard-disabled — the number EXPERIMENTS.md records.
+//!
+//! ```text
+//! cargo run --release -p td-bench --bin chaos_smoke
+//! ```
+
+use std::time::{Duration, Instant};
+use td_ir::Context;
+use td_sched::{Engine, EngineConfig, Job, JobError};
+use td_support::{fault, metrics};
+use td_transform::{InterpEnv, Interpreter, TxnMode};
+
+const BATCH: usize = 16;
+
+fn payload(i: usize) -> String {
+    let extent = 64 * (i + 1);
+    format!(
+        r#"module {{
+  func.func @work{i}(%x: memref<{extent}xf32>) {{
+    %lo = arith.constant 0 : index
+    %hi = arith.constant {extent} : index
+    %st = arith.constant 1 : index
+    scf.for %i = %lo to %hi step %st {{
+      %v = "memref.load"(%x, %i) : (memref<{extent}xf32>, index) -> f32
+      %w = "arith.addf"(%v, %v) : (f32, f32) -> f32
+      "memref.store"(%w, %x, %i) : (f32, memref<{extent}xf32>, index) -> ()
+    }}
+    func.return
+  }}
+}}"#
+    )
+}
+
+/// The `sched_smoke` schedule: three steps (match, tile, unroll) plus the
+/// implicit yield (which consumes no fault hit index).
+const SCRIPT: &str = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %tiles, %points = "transform.loop.tile"(%loop) {tile_sizes = [16]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    %unrolled = "transform.loop.unroll"(%points) {factor = 2} : (!transform.any_op) -> !transform.any_op
+  }
+}"#;
+
+const STEPS: usize = 3;
+
+fn batch() -> Vec<Job> {
+    (0..BATCH).map(|i| Job::new(SCRIPT, payload(i))).collect()
+}
+
+fn setup(ctx: &mut Context, src: &str) -> (td_ir::OpId, td_ir::OpId) {
+    td_dialects::register_all_dialects(ctx);
+    td_transform::register_transform_dialect(ctx);
+    let payload = td_ir::parse_module(ctx, src).expect("payload parses");
+    let script = td_ir::parse_module(ctx, SCRIPT).expect("script parses");
+    let entry = ctx.lookup_symbol(script, "main").expect("entry exists");
+    (entry, payload)
+}
+
+/// Gate 1: injected silenceable failure at every step index in turn.
+fn rollback_acceptance() {
+    let env = InterpEnv::standard();
+    let src = payload(0);
+    for step in 0..STEPS {
+        fault::set_thread_plan(None);
+        let mut ref_ctx = Context::new();
+        let (ref_entry, ref_payload) = setup(&mut ref_ctx, &src);
+        Interpreter::new(&env)
+            .apply_prefix(&mut ref_ctx, ref_entry, ref_payload, step)
+            .unwrap_or_else(|e| panic!("clean {step}-step prefix: {}", e.diagnostic()));
+        let expected = td_ir::print_op(&ref_ctx, ref_payload);
+
+        let mut ctx = Context::new();
+        let (entry, module) = setup(&mut ctx, &src);
+        fault::set_thread_plan(Some(
+            fault::FaultPlan::parse(&format!("silenceable@step={step}")).unwrap(),
+        ));
+        fault::set_lane(0);
+        let mut interp = Interpreter::new(&env);
+        let err = interp
+            .apply(&mut ctx, entry, module)
+            .expect_err("injected fault fires");
+        fault::set_thread_plan(None);
+        assert!(err.is_silenceable(), "step {step}");
+        assert_eq!(interp.stats.rolled_back, 1, "step {step}");
+        td_ir::verify(&ctx, module)
+            .unwrap_or_else(|e| panic!("step {step}: payload dirty after rollback: {e:?}"));
+        assert_eq!(
+            td_ir::print_op(&ctx, module),
+            expected,
+            "step {step}: payload differs from the committed prefix"
+        );
+    }
+    println!("chaos gate 1 OK: rollback clean at all {STEPS} step indices");
+}
+
+/// Every successful output must re-parse and verify in a fresh context.
+fn assert_outputs_valid(report: &td_sched::BatchReport, what: &str) {
+    for (i, result) in report.results.iter().enumerate() {
+        if let Ok(output) = result {
+            let mut ctx = Context::new();
+            td_dialects::register_all_dialects(&mut ctx);
+            td_transform::register_transform_dialect(&mut ctx);
+            let module = td_ir::parse_module(&mut ctx, &output.module_text)
+                .unwrap_or_else(|e| panic!("{what}: job {i} output does not re-parse: {e}"));
+            td_ir::verify(&ctx, module)
+                .unwrap_or_else(|e| panic!("{what}: job {i} output invalid: {e:?}"));
+        }
+    }
+}
+
+fn outcome(result: &Result<td_sched::JobOutput, JobError>) -> String {
+    match result {
+        Ok(output) => format!("ok attempts={}", output.attempts),
+        Err(error) => format!("err {error}"),
+    }
+}
+
+/// Runs `batch()` under `plan` at the given worker count, returning the
+/// report (cache disabled: a fault-free cached result would mask faults).
+fn run_under_plan(plan: &str, workers: usize, config: EngineConfig) -> td_sched::BatchReport {
+    fault::set_plan(Some(fault::FaultPlan::parse(plan).unwrap()));
+    let engine = Engine::new(config.with_workers(workers).without_cache());
+    // Injected panics are contained and asserted on below; their default
+    // backtrace spew would only drown the smoke output.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = engine.run_batch(batch());
+    std::panic::set_hook(hook);
+    fault::set_plan(None);
+    report
+}
+
+/// Gate 2: the batch under silenceable / panic / deadline fault plans.
+fn chaos_determinism() {
+    metrics::reset();
+    fault::reset_stats();
+
+    // Silenceable chaos: outcomes must be worker-count independent.
+    let plan = "silenceable@p=0.3,seed=11";
+    let r1 = run_under_plan(plan, 1, EngineConfig::standard());
+    let r4 = run_under_plan(plan, 4, EngineConfig::standard());
+    let o1: Vec<String> = r1.results.iter().map(outcome).collect();
+    let o4: Vec<String> = r4.results.iter().map(outcome).collect();
+    assert_eq!(o1, o4, "silenceable chaos diverged across worker counts");
+    assert!(
+        r1.ok_count() > 0 && r1.err_count() > 0,
+        "p=0.3 should mix outcomes: {o1:?}"
+    );
+    assert_outputs_valid(&r1, "silenceable chaos");
+    assert_outputs_valid(&r4, "silenceable chaos x4");
+
+    // Panic chaos: contained by the transactional interpreter, surfaced
+    // as definite errors, still deterministic.
+    let plan = "panic@p=0.2,seed=3";
+    let p1 = run_under_plan(plan, 1, EngineConfig::standard());
+    let p4 = run_under_plan(plan, 4, EngineConfig::standard());
+    let po1: Vec<String> = p1.results.iter().map(outcome).collect();
+    let po4: Vec<String> = p4.results.iter().map(outcome).collect();
+    assert_eq!(po1, po4, "panic chaos diverged across worker counts");
+    assert!(p1.err_count() > 0, "p=0.2 should panic somewhere: {po1:?}");
+    for result in &p1.results {
+        if let Err(error) = result {
+            let text = error.to_string();
+            assert!(
+                text.contains("panicked") && text.contains("rolled back"),
+                "panic must be contained and rolled back, got: {text}"
+            );
+        }
+    }
+    assert_outputs_valid(&p1, "panic chaos");
+
+    // Deadline chaos: job 0 sleeps past the deadline; whatever else the
+    // clock allows must be either a clean, valid output or a timeout —
+    // never invalid IR. (Which jobs time out is inherently clock-bound,
+    // so cross-worker-count equality is not asserted here.)
+    let plan = "sleep@job=0,ms=40";
+    let d1 = run_under_plan(
+        plan,
+        2,
+        EngineConfig::standard().with_deadline(Duration::from_millis(20)),
+    );
+    assert!(
+        matches!(d1.results[0], Err(JobError::DeadlineExceeded)),
+        "job 0 slept 3x40ms past a 20ms deadline: {:?}",
+        d1.results[0]
+    );
+    for (i, result) in d1.results.iter().enumerate() {
+        match result {
+            Ok(_) | Err(JobError::DeadlineExceeded) => {}
+            other => panic!("deadline chaos job {i}: unexpected outcome {other:?}"),
+        }
+    }
+    assert_outputs_valid(&d1, "deadline chaos");
+
+    // Counters: the workers' metrics were absorbed into this (the
+    // coordinator) thread, and the fault stats are process-wide.
+    let absorbed = metrics::snapshot();
+    let rolled_back = absorbed.counter_value("interp.rolled_back").unwrap_or(0);
+    assert!(rolled_back > 0, "no rollbacks counted across chaos batches");
+    fault::publish_metrics();
+    let fired = fault::stats().iter().map(|(_, s)| s.fired).sum::<u64>();
+    assert!(fired > 0, "no faults fired across chaos batches");
+    println!(
+        "chaos gate 2 OK: {} silenceable / {} panic / {} deadline failures, {rolled_back} rollbacks, {fired} faults fired",
+        r1.err_count(),
+        p1.err_count(),
+        d1.err_count(),
+    );
+}
+
+/// Gate 3: failure budget trips into graceful degradation.
+fn graceful_degradation() {
+    fault::set_plan(Some(fault::FaultPlan::parse("definite@p=1").unwrap()));
+    let engine = Engine::new(
+        EngineConfig::standard()
+            .with_workers(1)
+            .without_cache()
+            .with_failure_budget(3),
+    );
+    let report = engine.run_batch(batch());
+    fault::set_plan(None);
+    assert!(report.degraded, "the failure budget must trip");
+    let cancelled = report
+        .results
+        .iter()
+        .filter(|r| matches!(r, Err(JobError::Cancelled)))
+        .count();
+    assert_eq!(cancelled, BATCH - 3, "jobs past the budget are cancelled");
+    assert!(report
+        .results
+        .iter()
+        .take(3)
+        .all(|r| matches!(r, Err(JobError::Transform { .. }))));
+    println!("chaos gate 3 OK: budget of 3 tripped, {cancelled}/{BATCH} jobs cancelled");
+}
+
+/// Gate 4: with faults disabled, the default interpreter configuration
+/// must not pay for transactions it is not running.
+fn checkpoint_overhead() {
+    fault::set_thread_plan(None);
+    let src = payload(3);
+    let rep = |txn: TxnMode| -> Duration {
+        let mut env = InterpEnv::standard();
+        env.config.txn = txn;
+        env.config.verify_after_each = false;
+        let started = Instant::now();
+        for _ in 0..60 {
+            let mut ctx = Context::new();
+            let (entry, module) = setup(&mut ctx, &src);
+            Interpreter::new(&env)
+                .apply(&mut ctx, entry, module)
+                .expect("clean run");
+        }
+        started.elapsed()
+    };
+    // Interleave the modes (machine-load noise hits all three equally)
+    // and keep the best rep of each — the least-perturbed measurement.
+    let (mut never, mut auto, mut always) = (Duration::MAX, Duration::MAX, Duration::MAX);
+    for _ in 0..7 {
+        never = never.min(rep(TxnMode::Never));
+        auto = auto.min(rep(TxnMode::Auto));
+        always = always.min(rep(TxnMode::Always));
+    }
+    let pct = |t: Duration| 100.0 * (t.as_secs_f64() / never.as_secs_f64() - 1.0);
+    println!(
+        "chaos gate 4: txn=never {:?}, txn=auto (faults off) {:?} ({:+.2}%), txn=always {:?} ({:+.2}%)",
+        never,
+        auto,
+        pct(auto),
+        always,
+        pct(always),
+    );
+}
+
+fn main() {
+    rollback_acceptance();
+    chaos_determinism();
+    graceful_degradation();
+    checkpoint_overhead();
+    println!("chaos smoke OK: {BATCH} jobs per batch, {STEPS}-step schedule");
+}

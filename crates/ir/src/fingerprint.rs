@@ -14,7 +14,8 @@
 //! (same context, before vs. after a pass) and deliberately *not* a
 //! structural-equality oracle.
 
-use crate::ir::{Context, OpId};
+use crate::ir::{BlockId, Context, OpId, ValueId};
+use std::collections::HashMap;
 use std::fmt::{self, Write};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -53,6 +54,74 @@ pub fn fingerprint_op(ctx: &Context, root: OpId) -> u64 {
     let mut hasher = FnvWriter::new();
     hash_op(ctx, root, &mut hasher);
     hasher.0
+}
+
+/// Computes a *structural* fingerprint of `root`: like [`fingerprint_op`]
+/// but with value and block ids normalized to dense preorder numbers, so
+/// two structurally identical op trees hash identically even when their
+/// arena ids differ. This is the validation hash of the checkpoint/rollback
+/// machinery ([`Context::restore_module`]): a restored module is a deep
+/// clone whose arena ids necessarily differ from the originals, so the
+/// id-sensitive fingerprint cannot compare a restore against its
+/// checkpoint — this one can. Types are interned per context and hash by
+/// id, so the hash is still context-relative across *contexts*.
+pub fn structural_fingerprint_op(ctx: &Context, root: OpId) -> u64 {
+    let mut hasher = FnvWriter::new();
+    let mut norm = Normalizer::default();
+    hash_op_structural(ctx, root, &mut hasher, &mut norm);
+    hasher.0
+}
+
+/// First-encounter dense numbering of value/block ids along the preorder
+/// walk; identical structures encounter ids in identical order.
+#[derive(Default)]
+struct Normalizer {
+    values: HashMap<ValueId, u32>,
+    blocks: HashMap<BlockId, u32>,
+}
+
+impl Normalizer {
+    fn value(&mut self, v: ValueId) -> u32 {
+        let next = self.values.len() as u32;
+        *self.values.entry(v).or_insert(next)
+    }
+
+    fn block(&mut self, b: BlockId) -> u32 {
+        let next = self.blocks.len() as u32;
+        *self.blocks.entry(b).or_insert(next)
+    }
+}
+
+fn hash_op_structural(ctx: &Context, op: OpId, hasher: &mut FnvWriter, norm: &mut Normalizer) {
+    let data = ctx.op(op);
+    let _ = write!(hasher, "o{}", data.name.as_str());
+    for &operand in data.operands() {
+        let _ = write!(hasher, ";{}", norm.value(operand));
+    }
+    for &result in data.results() {
+        let _ = write!(hasher, ">{}", norm.value(result));
+        let _ = write!(hasher, ":{:?}", ctx.value_type(result));
+    }
+    for (key, value) in data.attributes() {
+        let _ = write!(hasher, "@{key}={value:?}");
+    }
+    for &successor in data.successors() {
+        let _ = write!(hasher, "^{}", norm.block(successor));
+    }
+    for &region in data.regions() {
+        hasher.write_bytes(b"(");
+        for &block in ctx.region(region).blocks() {
+            let _ = write!(hasher, "[{}", norm.block(block));
+            for &arg in ctx.block(block).args() {
+                let _ = write!(hasher, "a{}:{:?}", norm.value(arg), ctx.value_type(arg));
+            }
+            for &nested in ctx.block(block).ops() {
+                hash_op_structural(ctx, nested, hasher, norm);
+            }
+            hasher.write_bytes(b"]");
+        }
+        hasher.write_bytes(b")");
+    }
 }
 
 fn hash_op(ctx: &Context, op: OpId, hasher: &mut FnvWriter) {
@@ -131,6 +200,28 @@ mod tests {
             .unwrap();
         ctx.erase_op(add);
         assert_ne!(before, fingerprint_op(&ctx, module));
+    }
+
+    #[test]
+    fn structural_fingerprint_ignores_arena_ids() {
+        let (mut ctx, module) = module_with_constant();
+        let clone = ctx.clone_module(module);
+        assert_ne!(
+            fingerprint_op(&ctx, module),
+            fingerprint_op(&ctx, clone),
+            "the id-sensitive hash distinguishes clones"
+        );
+        assert_eq!(
+            structural_fingerprint_op(&ctx, module),
+            structural_fingerprint_op(&ctx, clone),
+            "the structural hash does not"
+        );
+        // But it still sees real structural changes.
+        ctx.set_attr(clone, "test.marker", Attribute::Int(1));
+        assert_ne!(
+            structural_fingerprint_op(&ctx, module),
+            structural_fingerprint_op(&ctx, clone)
+        );
     }
 
     #[test]

@@ -317,6 +317,22 @@ impl Context {
         num_regions: usize,
     ) -> OpId {
         let name = name.into();
+        if td_support::fault::active() {
+            if let Some(fault) =
+                td_support::fault::check(td_support::fault::POINT_IR_ALLOC, name.as_str())
+            {
+                match fault {
+                    td_support::fault::Fault::Sleep(duration) => std::thread::sleep(duration),
+                    // `create_op` has no error channel, so every other
+                    // kind models allocation failure as a panic; the
+                    // containment boundaries above prove they recover.
+                    _ => panic!(
+                        "injected fault at ir.create_op while creating '{}'",
+                        name.as_str()
+                    ),
+                }
+            }
+        }
         let op = self.ops.alloc(OpData {
             name,
             location,
@@ -812,9 +828,117 @@ impl Context {
         self.clone_op(module, &mut value_map)
     }
 
+    // ----- checkpoints ---------------------------------------------------
+
+    /// Snapshots `module` for a later [`Context::restore_module`]: a deep
+    /// detached clone plus the fingerprint it must restore to.
+    ///
+    /// This is the transactional interpreter's unit of rollback. The
+    /// snapshot's bookkeeping is invisible to the provenance journal
+    /// (recording is paused — cloning is not a payload change a transform
+    /// made) and immune to fault injection (the safety net must not
+    /// itself fail).
+    pub fn checkpoint_module(&mut self, module: OpId) -> ModuleCheckpoint {
+        let _quiet = td_support::journal::pause();
+        td_support::fault::suppressed(|| ModuleCheckpoint {
+            snapshot: self.clone_module(module),
+            fingerprint: crate::fingerprint::structural_fingerprint_op(self, module),
+        })
+    }
+
+    /// Rolls `module` back to a checkpoint taken from it, consuming the
+    /// checkpoint. The root `OpId` stays valid: the dirty region contents
+    /// are erased and the snapshot's regions are transplanted under the
+    /// live root, whose name and attributes are also restored (the
+    /// fingerprint covers them — a failed step may have edited root
+    /// attributes). The restored module's fingerprint is validated against
+    /// the one captured at checkpoint time.
+    ///
+    /// Root operands/results are left untouched; module-like roots have
+    /// none, and restoring a non-root op tree is not supported.
+    ///
+    /// # Errors
+    /// Returns a message if the restored fingerprint does not match the
+    /// checkpoint — a broken snapshot, or a checkpoint from a different
+    /// module.
+    pub fn restore_module(
+        &mut self,
+        module: OpId,
+        checkpoint: ModuleCheckpoint,
+    ) -> Result<(), String> {
+        let _quiet = td_support::journal::pause();
+        td_support::fault::suppressed(|| {
+            let ModuleCheckpoint {
+                snapshot,
+                fingerprint,
+            } = checkpoint;
+            // Drop the dirty contents of the live root.
+            let dirty = std::mem::take(&mut self.ops[module].regions);
+            for region in dirty {
+                self.erase_region_contents(region);
+                self.regions.erase(region);
+            }
+            // Transplant the snapshot's regions under the live root.
+            let transplanted = std::mem::take(&mut self.ops[snapshot].regions);
+            for &region in &transplanted {
+                self.regions[region].parent = Some(module);
+            }
+            let (name, attributes, location) = {
+                let snap = &self.ops[snapshot];
+                (snap.name, snap.attributes.clone(), snap.location.clone())
+            };
+            {
+                let live = &mut self.ops[module];
+                live.regions = transplanted;
+                live.name = name;
+                live.attributes = attributes;
+                live.location = location;
+            }
+            // The shell is now empty; erase it.
+            self.erase_op(snapshot);
+            let actual = crate::fingerprint::structural_fingerprint_op(self, module);
+            if actual != fingerprint {
+                return Err(format!(
+                    "restore_module fingerprint mismatch: checkpoint {fingerprint:#018x}, \
+                     restored {actual:#018x}"
+                ));
+            }
+            Ok(())
+        })
+    }
+
+    /// Drops a checkpoint without restoring it (the step committed).
+    pub fn discard_checkpoint(&mut self, checkpoint: ModuleCheckpoint) {
+        let _quiet = td_support::journal::pause();
+        td_support::fault::suppressed(|| self.erase_op(checkpoint.snapshot));
+    }
+
     /// Total number of live operations (for tests and statistics).
     pub fn num_ops(&self) -> usize {
         self.ops.len()
+    }
+}
+
+/// A payload snapshot produced by [`Context::checkpoint_module`]: the
+/// detached clone plus the fingerprint [`Context::restore_module`]
+/// validates against. Consume it with `restore_module` (roll back) or
+/// [`Context::discard_checkpoint`] (commit) — dropping it on the floor
+/// leaks the snapshot ops into the context for the context's lifetime.
+#[derive(Debug)]
+pub struct ModuleCheckpoint {
+    snapshot: OpId,
+    fingerprint: u64,
+}
+
+impl ModuleCheckpoint {
+    /// The fingerprint the checkpointed module had at snapshot time.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The detached snapshot root (for inspection; owned by the context).
+    pub fn snapshot_op(&self) -> OpId {
+        self.snapshot
     }
 }
 
@@ -1125,6 +1249,132 @@ mod tests {
         ctx.erase_op(clone);
         assert!(ctx.is_live(module));
         assert!(ctx.is_live(c));
+    }
+
+    #[test]
+    fn checkpoint_restores_structure_attributes_and_fingerprint() {
+        let (mut ctx, module, body) = ctx_with_module();
+        let i32t = ctx.i32_type();
+        let c = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![i32t],
+            vec![(Symbol::new("value"), Attribute::Int(7))],
+            0,
+        );
+        ctx.append_op(body, c);
+        ctx.set_attr(module, "tag", Attribute::Int(1));
+        let fp_before = crate::fingerprint::structural_fingerprint_op(&ctx, module);
+        let ops_before = ctx.num_ops();
+        let checkpoint = ctx.checkpoint_module(module);
+        assert_eq!(checkpoint.fingerprint(), fp_before);
+
+        // Dirty the payload: nested mutation + root-attribute mutation.
+        ctx.set_attr(c, "value", Attribute::Int(8));
+        ctx.set_attr(module, "tag", Attribute::Int(2));
+        let extra = ctx.create_op(Location::unknown(), "test.extra", vec![], vec![], vec![], 0);
+        ctx.append_op(body, extra);
+        assert_ne!(
+            crate::fingerprint::structural_fingerprint_op(&ctx, module),
+            fp_before
+        );
+
+        ctx.restore_module(module, checkpoint).expect("restores");
+        assert!(ctx.is_live(module), "root id survives the restore");
+        assert_eq!(
+            crate::fingerprint::structural_fingerprint_op(&ctx, module),
+            fp_before
+        );
+        assert_eq!(ctx.op(module).attr("tag"), Some(&Attribute::Int(1)));
+        assert_eq!(
+            ctx.num_ops(),
+            ops_before,
+            "snapshot shell and dirty ops are gone"
+        );
+        let restored_body = ctx.sole_block(module, 0);
+        let ops = ctx.block(restored_body).ops().to_vec();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(
+            ctx.op(ops[0]).attr("value"),
+            Some(&Attribute::Int(7)),
+            "nested attribute rolled back"
+        );
+    }
+
+    #[test]
+    fn discard_checkpoint_frees_the_snapshot() {
+        let (mut ctx, module, body) = ctx_with_module();
+        let op = ctx.create_op(Location::unknown(), "test.a", vec![], vec![], vec![], 0);
+        ctx.append_op(body, op);
+        let ops_before = ctx.num_ops();
+        let checkpoint = ctx.checkpoint_module(module);
+        assert!(ctx.num_ops() > ops_before);
+        ctx.discard_checkpoint(checkpoint);
+        assert_eq!(ctx.num_ops(), ops_before);
+        assert!(ctx.is_live(op), "live payload untouched");
+    }
+
+    #[test]
+    fn restore_rejects_a_corrupted_snapshot() {
+        let (mut ctx, module, body) = ctx_with_module();
+        let op = ctx.create_op(Location::unknown(), "test.a", vec![], vec![], vec![], 0);
+        ctx.append_op(body, op);
+        let checkpoint = ctx.checkpoint_module(module);
+        // Corrupt the snapshot behind the checkpoint's back; the restore
+        // must notice it no longer reproduces the checkpointed state.
+        let snap_body = ctx.sole_block(checkpoint.snapshot_op(), 0);
+        let snap_op = ctx.block(snap_body).ops()[0];
+        ctx.set_attr(snap_op, "corrupted", Attribute::Int(1));
+        let err = ctx
+            .restore_module(module, checkpoint)
+            .expect_err("corrupted snapshot must not validate");
+        assert!(err.contains("fingerprint mismatch"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_is_invisible_to_the_journal() {
+        use td_support::journal;
+        let (mut ctx, module, body) = ctx_with_module();
+        let op = ctx.create_op(Location::unknown(), "test.a", vec![], vec![], vec![], 0);
+        ctx.append_op(body, op);
+        journal::reset();
+        journal::set_enabled(true);
+        let step = journal::begin_step("transform", "t", "", vec![], 0);
+        let checkpoint = ctx.checkpoint_module(module);
+        ctx.restore_module(module, checkpoint).unwrap();
+        journal::end_step(step, 0, 1, journal::StepOutcome::Ok, "", "", "");
+        let recorded = journal::take();
+        journal::clear_enabled_override();
+        assert!(
+            recorded.changes().is_empty(),
+            "snapshot bookkeeping must not attribute as payload changes: {:?}",
+            recorded.changes()
+        );
+    }
+
+    #[test]
+    fn checkpoint_machinery_is_immune_to_fault_injection() {
+        use td_support::fault;
+        let (mut ctx, module, body) = ctx_with_module();
+        let op = ctx.create_op(Location::unknown(), "test.a", vec![], vec![], vec![], 0);
+        ctx.append_op(body, op);
+        fault::set_thread_plan(Some(fault::FaultPlan::parse("alloc_pressure@p=1").unwrap()));
+        fault::set_lane(0);
+        // Clone + restore under a plan that fails every op creation.
+        let checkpoint = ctx.checkpoint_module(module);
+        ctx.restore_module(module, checkpoint).expect("restores");
+        fault::set_thread_plan(None);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault at ir.create_op")]
+    fn alloc_pressure_fault_panics_in_create_op() {
+        use td_support::fault;
+        fault::set_thread_plan(Some(fault::FaultPlan::parse("alloc_pressure@p=1").unwrap()));
+        fault::set_lane(0);
+        let mut ctx = Context::new();
+        let _ = ctx.create_op(Location::unknown(), "test.a", vec![], vec![], vec![], 0);
     }
 
     #[test]

@@ -30,11 +30,13 @@
 use crate::cache::{CacheKey, CacheStats, CachedResult, ResultCache};
 use crate::job::{Job, JobError, JobOutput, JobResult};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use td_ir::{Context, PassRegistry};
-use td_support::{journal, metrics, mpmc, trace};
+use td_support::rng::{derive_seed, Xoshiro256pp};
+use td_support::{fault, journal, metrics, mpmc, trace};
 use td_transform::{InterpEnv, Interpreter, TransformOpRegistry};
 
 /// Builds the fresh `Context` each job attempt parses into.
@@ -66,6 +68,21 @@ pub struct EngineConfig {
     /// happen only for *silenceable* failures, each against a completely
     /// fresh context so no partial mutation leaks between attempts.
     pub max_attempts: u32,
+    /// Base delay between retry attempts; `None` retries immediately.
+    /// Attempt `n` sleeps an exponentially grown multiple of this with
+    /// deterministic jitter in `[delay/2, delay)`, seeded from
+    /// `(retry_seed, job index, attempt)` so the schedule is a pure
+    /// function of the job, not of the worker it landed on.
+    pub retry_backoff: Option<Duration>,
+    /// Seed for retry-backoff jitter (see [`EngineConfig::retry_backoff`]).
+    pub retry_seed: u64,
+    /// Failed jobs tolerated per batch before graceful degradation: once
+    /// the count of *executed* failures reaches this, workers stop
+    /// dispatching and drain the remaining queue as
+    /// [`JobError::Cancelled`], and the batch reports
+    /// [`BatchReport::degraded`]. `None` never degrades. In-flight jobs
+    /// finish normally; nothing is aborted mid-step.
+    pub failure_budget: Option<usize>,
     /// Fresh-context builder (dialect registration).
     pub context_factory: ContextFactory,
     /// Per-worker transform-op registry builder.
@@ -88,6 +105,9 @@ impl EngineConfig {
             cache_capacity: 1024,
             deadline: None,
             max_attempts: 1,
+            retry_backoff: None,
+            retry_seed: 0,
+            failure_budget: None,
             context_factory: Arc::new(|| {
                 let mut ctx = Context::new();
                 td_dialects::register_all_dialects(&mut ctx);
@@ -131,6 +151,19 @@ impl EngineConfig {
         self.max_attempts = attempts.max(1);
         self
     }
+
+    /// Sets the base retry backoff and its jitter seed (builder-style).
+    pub fn with_retry_backoff(mut self, base: Duration, seed: u64) -> Self {
+        self.retry_backoff = Some(base);
+        self.retry_seed = seed;
+        self
+    }
+
+    /// Sets the per-batch failure budget (builder-style).
+    pub fn with_failure_budget(mut self, budget: usize) -> Self {
+        self.failure_budget = Some(budget);
+        self
+    }
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -141,6 +174,8 @@ impl std::fmt::Debug for EngineConfig {
             .field("cache_capacity", &self.cache_capacity)
             .field("deadline", &self.deadline)
             .field("max_attempts", &self.max_attempts)
+            .field("retry_backoff", &self.retry_backoff)
+            .field("failure_budget", &self.failure_budget)
             .field("has_passes", &self.passes_factory.is_some())
             .finish_non_exhaustive()
     }
@@ -157,6 +192,13 @@ pub struct BatchReport {
     pub wall: Duration,
     /// Worker threads used.
     pub workers: usize,
+    /// Whether the batch degraded gracefully: the failure budget
+    /// ([`EngineConfig::failure_budget`]) tripped and the remaining queue
+    /// was drained as [`JobError::Cancelled`] instead of being run. The
+    /// results are *partial* but every slot is filled and every completed
+    /// job's result is exactly what a non-degraded run would have
+    /// produced.
+    pub degraded: bool,
     /// The merged provenance journal of the batch: every worker's journal
     /// (steps stamped with their job index) plus any bisection artifacts,
     /// rebased into one store. Empty unless journaling was enabled
@@ -243,6 +285,10 @@ impl Engine {
         let (result_tx, result_rx) = mpsc::channel::<(usize, JobResult)>();
         let trace_on = trace::enabled();
         let journal_on = journal::enabled();
+        // Failure-budget state, shared across workers: executed failures
+        // so far, and whether the batch has tripped into drain mode.
+        let failures = AtomicUsize::new(0);
+        let degraded = AtomicBool::new(false);
         let mut batch_journal = journal::Journal::new();
         let mut slots: Vec<Option<JobResult>> = Vec::new();
         slots.resize_with(job_count, || None);
@@ -252,6 +298,8 @@ impl Engine {
             for worker_index in 0..workers {
                 let queue = &queue;
                 let result_tx = result_tx.clone();
+                let failures = &failures;
+                let degraded = &degraded;
                 handles.push(scope.spawn(move || {
                     trace::reset();
                     trace::set_enabled(trace_on);
@@ -270,19 +318,70 @@ impl Engine {
                             // its index, so the merged batch journal stays
                             // attributable per job.
                             journal::set_job(Some(index));
-                            // The catch_unwind is the panic-isolation
-                            // boundary: a panicking transform handler
-                            // unwinds out of its job (dropping that job's
-                            // context) and the worker keeps serving.
-                            let result = catch_unwind(AssertUnwindSafe(|| {
-                                self.run_job(&env, &job, started)
-                            }))
-                            .unwrap_or_else(|payload| {
-                                metrics::counter("sched.panics", 1);
-                                Err(JobError::Panicked {
-                                    message: panic_message(payload.as_ref()),
+                            // Fault-injection lanes are keyed by *job*
+                            // index, not worker index: a fault plan fires
+                            // identically no matter which worker (or how
+                            // many workers) the job lands on. `set_lane`
+                            // also resets the per-lane hit counters, so
+                            // `step=N` clauses count from this job's first
+                            // faultpoint hit.
+                            fault::set_lane(index as u64);
+                            let result = if degraded.load(Ordering::Acquire) {
+                                // Budget tripped: drain without
+                                // dispatching. Every remaining slot still
+                                // gets filled, just with `Cancelled`.
+                                metrics::counter("sched.cancelled", 1);
+                                if let Some(token) =
+                                    journal::begin_step("job", "sched.cancel", "", vec![], 0)
+                                {
+                                    journal::end_step(
+                                        Some(token),
+                                        0,
+                                        0,
+                                        journal::StepOutcome::Failed,
+                                        "cancelled: batch failure budget exhausted",
+                                        "",
+                                        "",
+                                    );
+                                }
+                                Err(JobError::Cancelled)
+                            } else {
+                                // The catch_unwind is the panic-isolation
+                                // boundary: a panicking transform handler
+                                // unwinds out of its job (dropping that
+                                // job's context) and the worker keeps
+                                // serving.
+                                catch_unwind(AssertUnwindSafe(|| {
+                                    self.run_job(&env, &job, index, started)
+                                }))
+                                .unwrap_or_else(|payload| {
+                                    metrics::counter("sched.panics", 1);
+                                    journal::unwind_open_steps(
+                                        journal::StepOutcome::Failed,
+                                        "panicked: job unwound to the worker boundary",
+                                    );
+                                    Err(JobError::Panicked {
+                                        message: fault::panic_text(payload.as_ref()),
+                                    })
                                 })
-                            });
+                            };
+                            if let Err(error) = &result {
+                                if !matches!(error, JobError::Cancelled) {
+                                    let failed = failures.fetch_add(1, Ordering::AcqRel) + 1;
+                                    let tripped = self
+                                        .config
+                                        .failure_budget
+                                        .is_some_and(|budget| failed >= budget);
+                                    if tripped && !degraded.swap(true, Ordering::AcqRel) {
+                                        metrics::counter("sched.degraded", 1);
+                                        trace::instant(
+                                            "sched",
+                                            "degraded",
+                                            &[("failures", failed.to_string())],
+                                        );
+                                    }
+                                }
+                            }
                             if journal_on {
                                 self.bisect_failed_job(&env, &job, index, &result);
                             }
@@ -336,6 +435,7 @@ impl Engine {
             cache: self.cache.stats().since(&stats_before),
             wall: started.elapsed(),
             workers,
+            degraded: degraded.load(Ordering::Acquire),
             journal: batch_journal,
         }
     }
@@ -385,12 +485,19 @@ impl Engine {
 
     /// Runs one job on the calling worker thread: deadline pre-check,
     /// cache lookup, then up to `max_attempts` interpreter attempts.
-    fn run_job(&self, env: &InterpEnv<'_>, job: &Job, batch_start: Instant) -> JobResult {
+    fn run_job(
+        &self,
+        env: &InterpEnv<'_>,
+        job: &Job,
+        index: usize,
+        batch_start: Instant,
+    ) -> JobResult {
         let mut job_span = trace::span("sched", "job");
         job_span.arg("entry", job.entry.clone());
         if self.deadline_elapsed(batch_start) {
             job_span.arg("outcome", "cancelled");
             metrics::counter("sched.deadline_cancelled", 1);
+            self.journal_timeout("cancelled while queued: batch deadline elapsed before dispatch");
             return Err(JobError::DeadlineExceeded);
         }
 
@@ -434,6 +541,9 @@ impl Engine {
                     if self.deadline_elapsed(batch_start) {
                         job_span.arg("outcome", "expired");
                         metrics::counter("sched.deadline_expired", 1);
+                        self.journal_timeout(
+                            "finished past the batch deadline: output cached but dropped",
+                        );
                         return Err(JobError::DeadlineExceeded);
                     }
                     return Ok(JobOutput {
@@ -448,11 +558,19 @@ impl Engine {
                     silenceable: true,
                 }) if attempt < max_attempts && !self.deadline_elapsed(batch_start) => {
                     metrics::counter("sched.retries", 1);
+                    let delay = self.retry_delay(index, attempt);
                     trace::instant(
                         "sched",
                         "retry",
-                        &[("attempt", attempt.to_string()), ("reason", message)],
+                        &[
+                            ("attempt", attempt.to_string()),
+                            ("backoff_us", delay.as_micros().to_string()),
+                            ("reason", message),
+                        ],
                     );
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
                 }
                 Err(error) => return Err(error),
             }
@@ -487,6 +605,47 @@ impl Engine {
             .deadline
             .is_some_and(|deadline| batch_start.elapsed() >= deadline)
     }
+
+    /// Deterministic backoff before retry `attempt + 1`: the base delay
+    /// doubled per attempt (capped at 64x), jittered into `[d/2, d)` by a
+    /// generator seeded from `(retry_seed, job index, attempt)`. Pure in
+    /// the job, so two runs of the same batch sleep identically whatever
+    /// the worker count. Zero when no backoff is configured.
+    fn retry_delay(&self, index: usize, attempt: u32) -> Duration {
+        let Some(base) = self.config.retry_backoff else {
+            return Duration::ZERO;
+        };
+        let exp = base.saturating_mul(1u32 << attempt.saturating_sub(1).min(6));
+        let nanos = exp.as_nanos().min(u128::from(u64::MAX)) as u64;
+        if nanos < 2 {
+            return exp;
+        }
+        let mut rng = Xoshiro256pp::seed_from_u64(
+            derive_seed(self.config.retry_seed, index as u64) ^ u64::from(attempt),
+        );
+        let half = nanos / 2;
+        Duration::from_nanos(half + rng.below(nanos - half))
+    }
+
+    /// Journals a synthetic `job`-kind step with [`StepOutcome::TimedOut`]
+    /// so batch provenance reports distinguish *slow* jobs from *broken*
+    /// ones. No-op when journaling is off; transform steps the job did run
+    /// before expiring are already in the journal with their own outcomes.
+    ///
+    /// [`StepOutcome::TimedOut`]: journal::StepOutcome::TimedOut
+    fn journal_timeout(&self, message: &str) {
+        if let Some(token) = journal::begin_step("job", "sched.deadline", "", vec![], 0) {
+            journal::end_step(
+                Some(token),
+                0,
+                0,
+                journal::StepOutcome::TimedOut,
+                message,
+                "",
+                "",
+            );
+        }
+    }
 }
 
 fn parse(ctx: &mut Context, source: &str, what: &'static str) -> Result<td_ir::OpId, JobError> {
@@ -494,15 +653,4 @@ fn parse(ctx: &mut Context, source: &str, what: &'static str) -> Result<td_ir::O
         what,
         message: diag.message().to_owned(),
     })
-}
-
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
-    }
 }

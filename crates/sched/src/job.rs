@@ -83,6 +83,10 @@ pub enum JobError {
     /// either it was cancelled while still queued, or it finished past the
     /// deadline and the (still correct, still cached) output was dropped.
     DeadlineExceeded,
+    /// The batch's failure budget tripped before this job ran: the engine
+    /// degraded gracefully, draining the queue without dispatching. The
+    /// job itself was never attempted, so nothing about it is cached.
+    Cancelled,
 }
 
 impl std::fmt::Display for JobError {
@@ -105,6 +109,7 @@ impl std::fmt::Display for JobError {
             }
             JobError::Panicked { message } => write!(f, "transform panicked: {message}"),
             JobError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            JobError::Cancelled => write!(f, "cancelled by the batch failure budget"),
         }
     }
 }
@@ -133,6 +138,7 @@ mod tests {
         };
         assert!(e.to_string().contains("silenceable"));
         assert!(JobError::DeadlineExceeded.to_string().contains("deadline"));
+        assert!(JobError::Cancelled.to_string().contains("failure budget"));
         let p = JobError::Parse {
             what: "payload",
             message: "bad token".into(),

@@ -1,0 +1,176 @@
+//! Chaos tests for the engine: deterministic fault injection across
+//! worker counts, retry backoff against transient faults, failure-budget
+//! degradation, and `TimedOut` journal attribution for deadline jobs.
+//!
+//! These tests set the *process-wide* fault plan, so they serialize on
+//! [`fault::test_guard`] and clear the plan before releasing it.
+
+use std::time::Duration;
+use td_sched::{Engine, EngineConfig, Job, JobError};
+use td_support::{fault, journal};
+
+/// A payload module whose text varies with `i` (distinct fingerprints).
+fn payload(i: usize) -> String {
+    format!(
+        "module {{\n  %a = arith.constant {i} : index\n  %b = arith.constant {} : index\n  \
+         %s = \"arith.addi\"(%a, %b) : (index, index) -> index\n}}",
+        i + 1
+    )
+}
+
+/// A two-step schedule: match every `arith.addi`, annotate it.
+fn annotate_script() -> String {
+    r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %adds = "transform.match_op"(%root) {name = "arith.addi", select = "all"}
+        : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%adds) {name = "seen"} : (!transform.any_op) -> ()
+  }
+}"#
+    .to_owned()
+}
+
+fn batch(n: usize) -> Vec<Job> {
+    (0..n)
+        .map(|i| Job::new(annotate_script(), payload(i)))
+        .collect()
+}
+
+/// Collapses a result to a comparable outcome summary.
+fn outcome(result: &Result<td_sched::JobOutput, JobError>) -> String {
+    match result {
+        Ok(output) => format!("ok attempts={}", output.attempts),
+        Err(error) => format!("err {error}"),
+    }
+}
+
+#[test]
+fn probabilistic_faults_are_deterministic_across_worker_counts() {
+    let _guard = fault::test_guard();
+    fault::set_plan(Some(
+        fault::FaultPlan::parse("silenceable@p=0.4,seed=7").unwrap(),
+    ));
+    // Fault lanes are keyed by job index, so the same jobs must fail with
+    // the same messages no matter how many workers the batch used.
+    let single = Engine::new(EngineConfig::standard().with_workers(1).without_cache());
+    let pooled = Engine::new(EngineConfig::standard().with_workers(4).without_cache());
+    let report_1 = single.run_batch(batch(12));
+    let report_4 = pooled.run_batch(batch(12));
+    fault::set_plan(None);
+
+    let outcomes_1: Vec<String> = report_1.results.iter().map(outcome).collect();
+    let outcomes_4: Vec<String> = report_4.results.iter().map(outcome).collect();
+    assert_eq!(
+        outcomes_1, outcomes_4,
+        "fault schedule leaked worker timing"
+    );
+    assert!(
+        report_1.ok_count() > 0 && report_1.err_count() > 0,
+        "p=0.4 over 12 jobs should mix successes and failures: {outcomes_1:?}"
+    );
+    for result in &report_1.results {
+        if let Err(error) = result {
+            assert!(
+                error.to_string().contains("injected"),
+                "only injected faults should fail this batch: {error}"
+            );
+        }
+    }
+}
+
+#[test]
+fn transient_faults_are_retried_with_backoff() {
+    let _guard = fault::test_guard();
+    // `step=1` fires once per lane (the per-lane hit counter keeps
+    // counting across attempts), so attempt 1 fails and attempt 2 runs
+    // clean — the transient-fault shape retries are for.
+    fault::set_plan(Some(fault::FaultPlan::parse("silenceable@step=1").unwrap()));
+    let engine = Engine::new(
+        EngineConfig::standard()
+            .with_workers(2)
+            .without_cache()
+            .with_max_attempts(3)
+            .with_retry_backoff(Duration::from_micros(500), 42),
+    );
+    let report = engine.run_batch(batch(6));
+    fault::set_plan(None);
+
+    assert_eq!(
+        report.ok_count(),
+        6,
+        "retries must absorb the transient fault"
+    );
+    for (i, result) in report.results.iter().enumerate() {
+        let output = result.as_ref().expect("job succeeds on retry");
+        assert_eq!(output.attempts, 2, "job {i} should succeed on attempt 2");
+        assert!(output.module_text.contains("seen"), "job {i} not annotated");
+    }
+}
+
+#[test]
+fn failure_budget_cancels_the_remaining_queue() {
+    let _guard = fault::test_guard();
+    // Every executed job fails definitively; with a budget of 2 and one
+    // worker (FIFO), jobs 0-1 run and fail, jobs 2+ are drained as
+    // cancelled without ever being dispatched.
+    fault::set_plan(Some(
+        fault::FaultPlan::parse("definite@transform=transform.annotate").unwrap(),
+    ));
+    let engine = Engine::new(
+        EngineConfig::standard()
+            .with_workers(1)
+            .without_cache()
+            .with_failure_budget(2),
+    );
+    let report = engine.run_batch(batch(6));
+    fault::set_plan(None);
+
+    assert!(report.degraded, "the failure budget must trip");
+    assert_eq!(report.results.len(), 6, "every slot is still filled");
+    for (i, result) in report.results.iter().enumerate() {
+        match result {
+            Err(JobError::Transform { silenceable, .. }) if i < 2 => {
+                assert!(!silenceable, "injected definite failure");
+            }
+            Err(JobError::Cancelled) if i >= 2 => {}
+            other => panic!("job {i}: unexpected outcome {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn deadline_exceeded_jobs_journal_timed_out() {
+    let _guard = fault::test_guard();
+    fault::set_plan(None);
+    journal::reset();
+    journal::set_enabled(true);
+    let engine = Engine::new(
+        EngineConfig::standard()
+            .with_workers(2)
+            .without_cache()
+            .with_deadline(Duration::ZERO),
+    );
+    let report = engine.run_batch(batch(4));
+    journal::set_enabled(false);
+    journal::reset();
+
+    assert_eq!(report.err_count(), 4);
+    for result in &report.results {
+        assert_eq!(result.as_ref().err(), Some(&JobError::DeadlineExceeded));
+    }
+    // Satellite contract: deadline jobs are journaled as TimedOut (slow),
+    // never as a generic failure (broken).
+    let timed_out: Vec<_> = report
+        .journal
+        .steps()
+        .iter()
+        .filter(|step| step.outcome == journal::StepOutcome::TimedOut)
+        .collect();
+    assert_eq!(timed_out.len(), 4, "one TimedOut step per cancelled job");
+    for step in timed_out {
+        assert_eq!(step.kind, "job");
+        assert_eq!(step.name, "sched.deadline");
+        assert!(step.outcome.is_failure());
+        assert!(step.message.contains("deadline"), "{}", step.message);
+    }
+}

@@ -104,6 +104,11 @@ pub enum StepOutcome {
     Failed,
     /// Failed with a silenceable error (§3 error model).
     FailedSilenceable,
+    /// Failed (really or by injection) and the payload was rolled back to
+    /// the pre-step checkpoint by the transactional interpreter.
+    RolledBack,
+    /// Exceeded its deadline (a `td-sched` job outcome): slow, not broken.
+    TimedOut,
 }
 
 impl StepOutcome {
@@ -114,12 +119,20 @@ impl StepOutcome {
             StepOutcome::Ok => "ok",
             StepOutcome::Failed => "failed",
             StepOutcome::FailedSilenceable => "failed-silenceable",
+            StepOutcome::RolledBack => "rolled-back",
+            StepOutcome::TimedOut => "timed-out",
         }
     }
 
     /// Whether this is one of the failure outcomes.
     pub fn is_failure(self) -> bool {
-        matches!(self, StepOutcome::Failed | StepOutcome::FailedSilenceable)
+        matches!(
+            self,
+            StepOutcome::Failed
+                | StepOutcome::FailedSilenceable
+                | StepOutcome::RolledBack
+                | StepOutcome::TimedOut
+        )
     }
 }
 
@@ -513,6 +526,8 @@ thread_local! {
     static ENV_ENABLED: Cell<Option<bool>> = const { Cell::new(None) };
     /// Fast path for the IR-mutation hooks: enabled AND a step is open.
     static RECORDING: Cell<bool> = const { Cell::new(false) };
+    /// Pause depth: while > 0, change records are dropped (see [`pause`]).
+    static PAUSED: Cell<u32> = const { Cell::new(0) };
 }
 
 /// The path in `TD_JOURNAL`, if set (also the enablement signal).
@@ -549,13 +564,57 @@ pub fn clear_enabled_override() {
     ENABLED_OVERRIDE.with(|o| o.set(None));
 }
 
-/// Whether a change record would be accepted right now: journaling is on
-/// *and* a step frame is open. The IR-mutation hooks check this single
-/// thread-local boolean before formatting any arguments, which is what
-/// keeps the journal-off cost of `Context::create_op`/`erase_op` at one
-/// branch.
+/// Whether a change record would be accepted right now: journaling is on,
+/// a step frame is open, and recording is not [`pause`]d. The IR-mutation
+/// hooks check these two thread-local reads before formatting any
+/// arguments, which is what keeps the journal-off cost of
+/// `Context::create_op`/`erase_op` near one branch.
 pub fn recording() -> bool {
-    RECORDING.with(Cell::get)
+    RECORDING.with(Cell::get) && PAUSED.with(Cell::get) == 0
+}
+
+/// Guard returned by [`pause`]; recording resumes when it drops.
+pub struct PauseGuard(());
+
+impl Drop for PauseGuard {
+    fn drop(&mut self) {
+        PAUSED.with(|p| p.set(p.get().saturating_sub(1)));
+    }
+}
+
+/// Pauses change recording on this thread until the guard drops (nests).
+/// The transactional interpreter wraps checkpoint clones and rollback
+/// restores in this: the erase/create traffic of snapshot bookkeeping is
+/// not a payload change any transform made, and attributing it to the
+/// failing step would misreport what the step actually did.
+pub fn pause() -> PauseGuard {
+    PAUSED.with(|p| p.set(p.get() + 1));
+    PauseGuard(())
+}
+
+/// Force-closes every open step frame on this thread, stamping frames
+/// still [`StepOutcome::Open`] with `outcome` and `message`. Returns the
+/// number of frames closed. The panic-containment path uses this: a
+/// panicking transform handler never reaches its `end_step`, so before
+/// rolling the payload back the interpreter unwinds the journal stack —
+/// otherwise the rollback's own bookkeeping would attribute to a frame
+/// that no longer corresponds to running code.
+pub fn unwind_open_steps(outcome: StepOutcome, message: &str) -> usize {
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        let mut closed = 0;
+        while let Some(index) = c.stack.pop() {
+            if let Some(step) = c.journal.steps.get_mut(index) {
+                if step.outcome == StepOutcome::Open {
+                    step.outcome = outcome;
+                    step.message = message.to_owned();
+                    closed += 1;
+                }
+            }
+        }
+        RECORDING.with(|r| r.set(false));
+        closed
+    })
 }
 
 /// Token returned by [`begin_step`]; hand it back to [`end_step`].
@@ -919,6 +978,58 @@ mod tests {
             message.contains("TD_JOURNAL"),
             "names the env var: {message}"
         );
+    }
+
+    #[test]
+    fn pause_drops_change_records() {
+        let ((), journal) = with_journal(|| {
+            let s = begin_step("transform", "t", "", vec![], 1);
+            {
+                let _guard = pause();
+                assert!(!recording());
+                record_change(ChangeKind::Erased, "#1v0", "scf.for", "");
+                {
+                    let _nested = pause();
+                    record_change(ChangeKind::Created, "#2v0", "scf.for", "");
+                }
+                assert!(!recording(), "pause nests");
+            }
+            assert!(recording(), "recording resumes after the guard drops");
+            record_change(ChangeKind::Created, "#3v0", "scf.for", "");
+            end_step(s, 1, 1, StepOutcome::Ok, "", "", "");
+        });
+        assert_eq!(journal.changes().len(), 1);
+        assert_eq!(journal.changes()[0].op, "#3v0");
+    }
+
+    #[test]
+    fn unwind_closes_open_frames_with_outcome() {
+        let ((), journal) = with_journal(|| {
+            let _outer = begin_step("transform", "outer", "", vec![], 1);
+            let _inner = begin_step("transform", "inner", "", vec![], 2);
+            let closed = unwind_open_steps(StepOutcome::Failed, "panicked: boom");
+            assert_eq!(closed, 2);
+            assert!(!recording());
+        });
+        assert_eq!(journal.steps().len(), 2);
+        for step in journal.steps() {
+            assert_eq!(step.outcome, StepOutcome::Failed);
+            assert_eq!(step.message, "panicked: boom");
+        }
+    }
+
+    #[test]
+    fn rolled_back_and_timed_out_are_failures_with_names() {
+        assert!(StepOutcome::RolledBack.is_failure());
+        assert!(StepOutcome::TimedOut.is_failure());
+        assert_eq!(StepOutcome::RolledBack.name(), "rolled-back");
+        assert_eq!(StepOutcome::TimedOut.name(), "timed-out");
+        let ((), journal) = with_journal(|| {
+            let s = begin_step("transform", "t", "", vec![], 1);
+            end_step(s, 1, 1, StepOutcome::RolledBack, "rolled back", "", "");
+        });
+        assert_eq!(journal.first_failure().unwrap().name, "t");
+        assert!(journal.to_json().contains("\"rolled-back\""));
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //! * [`journal`] — the transform provenance journal: payload-change
 //!   attribution ("which transform erased op X"), batch reports, and the
 //!   store the failure bisector writes minimized repro schedules into;
+//! * [`fault`] — deterministic fault injection (`TD_FAULT` plans, named
+//!   faultpoints, seeded per-lane schedules), the chaos harness driving
+//!   the transactional transform-application layer;
 //! * [`filecheck`] — a FileCheck-lite substring-check DSL backing the
 //!   golden-file tests;
 //! * [`mpmc`] — a bounded multi-producer/multi-consumer work queue with a
@@ -33,6 +36,7 @@
 
 pub mod arena;
 pub mod diag;
+pub mod fault;
 pub mod filecheck;
 pub mod interner;
 pub mod journal;

@@ -16,8 +16,9 @@
 //! by the caller (see `td-sched`'s engine).
 
 use crate::interp::{InterpEnv, Interpreter};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use td_ir::{Context, OpId};
-use td_support::journal;
+use td_support::{fault, journal};
 
 /// Result of a successful bisection.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -61,14 +62,27 @@ impl Bisector<'_, '_> {
 
     /// Applies the first `limit` steps of the schedule to a fresh payload;
     /// returns the failure message, or `None` if the prefix succeeds.
+    ///
+    /// A panicking transform is contained with `catch_unwind` and bisects
+    /// like a definite error — without this, the first probe that reaches
+    /// a panicking step would kill the whole bisection. Deterministic
+    /// fault-injection counters are reset per probe so an injected fault
+    /// (`step=N` clauses in particular) re-fires identically on every
+    /// probe and the minimized repro reproduces the original schedule.
     fn probe(&mut self, limit: usize) -> Option<String> {
         self.probes += 1;
+        fault::reset_counters();
         let (mut ctx, entry, payload) = self.fresh()?;
         let mut interp = Interpreter::new(self.env);
-        interp
-            .apply_prefix(&mut ctx, entry, payload, limit)
-            .err()
-            .map(|e| e.diagnostic().message().to_owned())
+        match catch_unwind(AssertUnwindSafe(|| {
+            interp.apply_prefix(&mut ctx, entry, payload, limit)
+        })) {
+            Ok(result) => result.err().map(|e| e.diagnostic().message().to_owned()),
+            Err(panic_payload) => Some(format!(
+                "panicked: {}",
+                fault::panic_text(panic_payload.as_ref())
+            )),
+        }
     }
 }
 
@@ -243,6 +257,28 @@ mod tests {
             outcome.minimized_script
         );
         assert!(outcome.probes >= 2);
+    }
+
+    #[test]
+    fn bisection_tolerates_panicking_transforms() {
+        use td_support::fault;
+        let env = InterpEnv::standard();
+        // Every probe that reaches the annotate step panics; the bisector
+        // must contain that and treat it as the failing step.
+        fault::set_thread_plan(Some(
+            fault::FaultPlan::parse("panic@transform=transform.annotate").unwrap(),
+        ));
+        fault::set_lane(0);
+        let outcome = bisect_schedule_failure(&env, &make_ctx, PASSING_SCRIPT, PAYLOAD, "main");
+        fault::set_thread_plan(None);
+        let outcome = outcome.expect("a panicking transform bisects like a definite error");
+        assert_eq!(outcome.failing_prefix, 2, "annotate is step 2");
+        assert!(outcome.message.contains("panicked"), "{}", outcome.message);
+        assert!(
+            outcome.minimized_script.contains("transform.annotate"),
+            "repro keeps the panicking step:\n{}",
+            outcome.minimized_script
+        );
     }
 
     #[test]

@@ -13,10 +13,27 @@
 use crate::error::{TransformError, TransformResult};
 use crate::registry::{LibraryResolver, NamedPatternRegistry, TransformOpRegistry};
 use crate::state::TransformState;
-use td_ir::{BlockId, Context, OpId, PassRegistry, ValueId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use td_ir::{BlockId, Context, ModuleCheckpoint, OpId, PassRegistry, ValueId};
 use td_support::diag::{self, Remark};
 use td_support::trace::{self, Instrumentation, IrView, PrintIr};
-use td_support::{journal, metrics, Diagnostic};
+use td_support::{fault, journal, metrics, Diagnostic, Location};
+
+/// When the interpreter wraps top-level steps in payload transactions
+/// (checkpoint before, roll back on failure).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TxnMode {
+    /// Transactional exactly when something needs it: a fault plan is
+    /// armed ([`td_support::fault::active`]) or
+    /// [`InterpConfig::verify_after_each`] is on. The default: plain runs
+    /// keep the zero-clone fast path.
+    #[default]
+    Auto,
+    /// Checkpoint every top-level step unconditionally.
+    Always,
+    /// Never checkpoint (failures leave whatever the transform left).
+    Never,
+}
 
 /// Interpreter configuration.
 #[derive(Clone, Copy, Debug)]
@@ -30,6 +47,12 @@ pub struct InterpConfig {
     /// declaration does not cover. Catches *wrong declarations*, which the
     /// static checker cannot.
     pub check_conditions: bool,
+    /// Transactional application of top-level steps (see [`TxnMode`]).
+    pub txn: TxnMode,
+    /// Run the IR verifier on the payload after every top-level step; a
+    /// verifier failure rolls the step back and aborts with a definite
+    /// error. Defaults to the presence of `TD_VERIFY_EACH`.
+    pub verify_after_each: bool,
 }
 
 impl Default for InterpConfig {
@@ -37,8 +60,20 @@ impl Default for InterpConfig {
         InterpConfig {
             expensive_checks: true,
             check_conditions: false,
+            txn: TxnMode::Auto,
+            verify_after_each: env_verify_each(),
         }
     }
+}
+
+/// Cached truthiness of `TD_VERIFY_EACH` (`0` and empty mean off).
+fn env_verify_each() -> bool {
+    static CACHE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("TD_VERIFY_EACH")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
 }
 
 /// The interpreter's environment: every registry a transform might need.
@@ -89,6 +124,8 @@ pub struct InterpStats {
     pub transforms_executed: usize,
     /// Number of silenceable errors suppressed by enclosing constructs.
     pub suppressed_errors: usize,
+    /// Number of top-level steps rolled back to their pre-step checkpoint.
+    pub rolled_back: usize,
 }
 
 impl InterpStats {
@@ -104,6 +141,7 @@ impl InterpStats {
             "interp.stats.suppressed_errors",
             self.suppressed_errors as u64,
         );
+        metrics::high_watermark("interp.stats.rolled_back", self.rolled_back as u64);
     }
 }
 
@@ -366,23 +404,160 @@ impl<'e> Interpreter<'e> {
             state.set_ops(arg, vec![payload]);
         }
         self.drain_handle_events(state);
-        let result = match limit {
-            None => self.run_block(ctx, state, block),
-            Some(n) => {
-                let ops = ctx.block(block).ops().to_vec();
-                let mut result = Ok(());
-                for op in ops.into_iter().take(n) {
-                    if let Err(e) = self.execute(ctx, state, op) {
-                        result = Err(e);
-                        break;
-                    }
-                }
-                result
-            }
+        // Top-level steps are the transaction boundary: each one runs
+        // against a pre-step payload checkpoint when transactions are on.
+        let transactional = match self.env.config.txn {
+            TxnMode::Always => true,
+            TxnMode::Never => false,
+            TxnMode::Auto => self.env.config.verify_after_each || fault::active(),
         };
+        let ops = ctx.block(block).ops().to_vec();
+        let take = limit.unwrap_or(ops.len());
+        let mut result = Ok(());
+        for op in ops.into_iter().take(take) {
+            let step = if transactional {
+                self.execute_transactional(ctx, state, op)
+            } else {
+                self.execute(ctx, state, op)
+            };
+            if let Err(e) = step {
+                result = Err(e);
+                break;
+            }
+        }
         self.drain_handle_events(state);
         self.stats.publish_to_metrics();
         result
+    }
+
+    /// Executes one top-level transform step as a transaction: the payload
+    /// is checkpointed first, and any failure — silenceable, definite,
+    /// verifier (with [`InterpConfig::verify_after_each`]), or a contained
+    /// panic — rolls it back to the checkpoint before the error
+    /// propagates. The error still propagates: per the paper's semantics
+    /// the *enclosing* construct decides whether to suppress, and the
+    /// transaction's job is only to guarantee the payload it inspects
+    /// afterwards is the valid pre-step one.
+    ///
+    /// Handles are *not* rolled back: handles minted by the failed step
+    /// die with the propagating error, and handles from earlier steps may
+    /// dangle (rollback re-materializes payload ops under fresh ids),
+    /// which is safe precisely because the error terminates the apply.
+    ///
+    /// # Errors
+    /// The step's own failure; a panicking handler becomes a definite
+    /// error. A failing rollback (broken snapshot) is also definite.
+    pub fn execute_transactional(
+        &mut self,
+        ctx: &mut Context,
+        state: &mut TransformState,
+        op: OpId,
+    ) -> TransformResult {
+        let Some(root) = self.payload_root.filter(|&r| ctx.is_live(r)) else {
+            return self.execute(ctx, state, op);
+        };
+        let name = ctx.op(op).name;
+        let location = ctx.op(op).location.clone();
+        let checkpoint = ctx.checkpoint_module(root);
+        metrics::counter("interp.checkpoints", 1);
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.execute(ctx, state, op)));
+        match outcome {
+            Ok(Ok(())) => {
+                if self.env.config.verify_after_each {
+                    if let Err(diags) = td_ir::verify(ctx, root) {
+                        let detail = diags
+                            .first()
+                            .map(|d| d.message().to_owned())
+                            .unwrap_or_default();
+                        let why = format!("payload verifier failed after '{name}': {detail}");
+                        self.rollback(ctx, root, checkpoint, &location, &why)?;
+                        return Err(TransformError::definite(location, why));
+                    }
+                }
+                ctx.discard_checkpoint(checkpoint);
+                Ok(())
+            }
+            Ok(Err(err)) => {
+                let why = format!(
+                    "rolled back '{name}' after {} error: {}",
+                    if err.is_silenceable() {
+                        "silenceable"
+                    } else {
+                        "definite"
+                    },
+                    err.diagnostic().message()
+                );
+                self.rollback(ctx, root, checkpoint, &location, &why)?;
+                Err(err)
+            }
+            Err(panic_payload) => {
+                // The handler never reached its end_step: close its journal
+                // frame(s) before the rollback writes its own record.
+                let text = fault::panic_text(panic_payload.as_ref());
+                journal::unwind_open_steps(
+                    journal::StepOutcome::Failed,
+                    &format!("panicked: {text}"),
+                );
+                let why = format!("rolled back '{name}' after panic: {text}");
+                self.rollback(ctx, root, checkpoint, &location, &why)?;
+                Err(TransformError::definite(
+                    location,
+                    format!("transform '{name}' panicked: {text} (payload rolled back)"),
+                ))
+            }
+        }
+    }
+
+    /// Restores the payload to `checkpoint` and records the rollback in
+    /// stats, metrics, the journal (a `txn` step with the
+    /// [`journal::StepOutcome::RolledBack`] outcome), the trace stream,
+    /// and — when observing — an analysis remark.
+    fn rollback(
+        &mut self,
+        ctx: &mut Context,
+        root: OpId,
+        checkpoint: ModuleCheckpoint,
+        location: &Location,
+        why: &str,
+    ) -> TransformResult {
+        let fp_dirty = self.payload_fingerprint(ctx);
+        let started = std::time::Instant::now();
+        ctx.restore_module(root, checkpoint).map_err(|e| {
+            TransformError::definite(location.clone(), format!("rollback failed: {e}"))
+        })?;
+        self.stats.rolled_back += 1;
+        metrics::counter("interp.rolled_back", 1);
+        let token = if journal::enabled() {
+            journal::begin_step(
+                "txn",
+                "interp.rollback",
+                &location.to_string(),
+                vec![],
+                fp_dirty,
+            )
+        } else {
+            None
+        };
+        self.close_journal_step(
+            ctx,
+            token,
+            started.elapsed().as_nanos(),
+            journal::StepOutcome::RolledBack,
+            why,
+        );
+        if self.observing {
+            trace::instant(
+                "transform",
+                "txn.rolled_back",
+                &[("reason", why.to_owned())],
+            );
+            diag::emit_remark(Remark::analysis(
+                "interp.txn",
+                location.clone(),
+                format!("{why}; payload restored to pre-step checkpoint"),
+            ));
+        }
+        Ok(())
     }
 
     /// Executes every transform op in `block`, in order.
@@ -492,7 +667,10 @@ impl<'e> Interpreter<'e> {
         // The trace span is the single clock: its measured duration also
         // feeds the per-transform metrics timer, so the two never disagree.
         let mut span = trace::span("transform", name.as_str().to_owned());
-        let result = (def.handler)(self, ctx, state, op);
+        let result = match self.injected_fault(name.as_str(), &location) {
+            Some(err) => Err(err),
+            None => (def.handler)(self, ctx, state, op),
+        };
         if let Err(err) = &result {
             span.arg("failed", err.diagnostic().message().to_owned());
         }
@@ -574,6 +752,32 @@ impl<'e> Interpreter<'e> {
         }
         self.notify_transform_hooks(ctx, name.as_str(), false);
         Ok(())
+    }
+
+    /// Evaluates the `interp.step` faultpoint for the transform about to
+    /// run. Sleep faults are served in place (inside the step's trace
+    /// span); panic faults unwind from here and are contained by
+    /// [`Interpreter::execute_transactional`]; error faults are returned
+    /// and flow through the exact failure path a real handler error takes.
+    fn injected_fault(&self, name: &str, location: &Location) -> Option<TransformError> {
+        if !fault::active() {
+            return None;
+        }
+        match fault::check(fault::POINT_INTERP_STEP, name)? {
+            fault::Fault::Sleep(duration) => {
+                std::thread::sleep(duration);
+                None
+            }
+            fault::Fault::Silenceable => Some(TransformError::silenceable(
+                location.clone(),
+                format!("injected silenceable failure at '{name}'"),
+            )),
+            fault::Fault::Definite => Some(TransformError::definite(
+                location.clone(),
+                format!("injected definite failure at '{name}'"),
+            )),
+            fault::Fault::Panic => panic!("injected panic at '{name}'"),
+        }
     }
 
     /// Fingerprint of the payload root for journal step frames (0 when the
@@ -737,6 +941,158 @@ mod tests {
         assert_eq!(missed.len(), 1, "one suppression, one remark: {remarks:?}");
         assert!(missed[0].message.contains("suppressed silenceable error"));
         assert_eq!(missed[0].origin, "transform.sequence");
+    }
+
+    /// Three-step flat schedule over [`LOOP_PAYLOAD`]: match, annotate,
+    /// tile. Chaos tests inject at the tile step and expect the committed
+    /// annotate to survive while the tile rolls back.
+    const TILE_SCRIPT: &str = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%loop) {name = "tagged"} : (!transform.any_op) -> ()
+    %tiles, %points = "transform.loop.tile"(%loop) {tile_sizes = [16]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+  }
+}"#;
+
+    fn loop_count(ctx: &Context, payload: OpId) -> usize {
+        ctx.walk_nested(payload)
+            .into_iter()
+            .filter(|&o| ctx.op(o).name.as_str() == "scf.for")
+            .count()
+    }
+
+    #[test]
+    fn injected_silenceable_failure_rolls_back_the_step() {
+        let (mut ctx, payload, entry) = setup(LOOP_PAYLOAD, TILE_SCRIPT);
+        fault::set_thread_plan(Some(
+            fault::FaultPlan::parse("silenceable@transform=loop.tile").unwrap(),
+        ));
+        fault::set_lane(0);
+        let env = InterpEnv::standard();
+        let mut interp = Interpreter::new(&env);
+        let err = interp
+            .apply(&mut ctx, entry, payload)
+            .expect_err("the injected fault fires");
+        fault::set_thread_plan(None);
+        assert!(err.is_silenceable());
+        assert!(err.diagnostic().message().contains("injected"));
+        assert_eq!(interp.stats.rolled_back, 1);
+        td_ir::verify(&ctx, payload).expect("payload is verifier-clean after rollback");
+        let printed = td_ir::print_op(&ctx, payload);
+        assert!(
+            printed.contains("tagged"),
+            "committed steps stay:\n{printed}"
+        );
+        assert_eq!(
+            loop_count(&ctx, payload),
+            1,
+            "the tile step rolled back — still exactly one loop:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_rolled_back() {
+        let (mut ctx, payload, entry) = setup(LOOP_PAYLOAD, TILE_SCRIPT);
+        fault::set_thread_plan(Some(
+            fault::FaultPlan::parse("panic@transform=loop.tile").unwrap(),
+        ));
+        fault::set_lane(0);
+        let env = InterpEnv::standard();
+        let mut interp = Interpreter::new(&env);
+        let err = interp
+            .apply(&mut ctx, entry, payload)
+            .expect_err("the injected panic is contained, not propagated");
+        fault::set_thread_plan(None);
+        assert!(
+            !err.is_silenceable(),
+            "a panic surfaces as a definite error"
+        );
+        let message = err.diagnostic().message().to_owned();
+        assert!(message.contains("panicked"), "{message}");
+        assert!(message.contains("payload rolled back"), "{message}");
+        assert_eq!(interp.stats.rolled_back, 1);
+        td_ir::verify(&ctx, payload).expect("payload is verifier-clean after panic rollback");
+        assert_eq!(loop_count(&ctx, payload), 1);
+    }
+
+    #[test]
+    fn alloc_pressure_mid_rewrite_is_contained_and_rolled_back() {
+        let (mut ctx, payload, entry) = setup(LOOP_PAYLOAD, TILE_SCRIPT);
+        // Every payload-op creation panics: the tile handler dies halfway
+        // through its rewrite, the worst case for payload validity.
+        fault::set_thread_plan(Some(fault::FaultPlan::parse("alloc_pressure@p=1").unwrap()));
+        fault::set_lane(0);
+        let env = InterpEnv::standard();
+        let mut interp = Interpreter::new(&env);
+        let err = interp
+            .apply(&mut ctx, entry, payload)
+            .expect_err("allocation pressure kills the rewrite");
+        fault::set_thread_plan(None);
+        assert!(err.diagnostic().message().contains("ir.create_op"));
+        assert_eq!(interp.stats.rolled_back, 1);
+        td_ir::verify(&ctx, payload)
+            .expect("a rewrite killed mid-flight must not leave invalid IR");
+        assert_eq!(loop_count(&ctx, payload), 1);
+    }
+
+    #[test]
+    fn txn_never_opts_out_of_rollback() {
+        let (mut ctx, payload, entry) = setup(LOOP_PAYLOAD, TILE_SCRIPT);
+        fault::set_thread_plan(Some(
+            fault::FaultPlan::parse("silenceable@transform=loop.tile").unwrap(),
+        ));
+        fault::set_lane(0);
+        let mut env = InterpEnv::standard();
+        env.config.txn = TxnMode::Never;
+        let mut interp = Interpreter::new(&env);
+        let err = interp.apply(&mut ctx, entry, payload);
+        fault::set_thread_plan(None);
+        assert!(err.is_err());
+        assert_eq!(interp.stats.rolled_back, 0, "Never means no transactions");
+    }
+
+    #[test]
+    fn verify_after_each_rolls_back_a_corrupting_transform() {
+        let script = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    "test.corrupt"(%root) : (!transform.any_op) -> ()
+  }
+}"#;
+        let (mut ctx, payload, entry) = setup(LOOP_PAYLOAD, script);
+        let mut env = InterpEnv::standard();
+        env.config.verify_after_each = true;
+        // A transform that silently corrupts the payload (erases the
+        // function terminator) and reports success anyway.
+        env.transforms
+            .register(crate::registry::TransformOpDef::new(
+                "test.corrupt",
+                "erases the function terminator",
+                |_, ctx, state, op| {
+                    let operand = ctx.op(op).operands()[0];
+                    let location = ctx.op(op).location.clone();
+                    let roots = state.ops(operand, &location)?.to_vec();
+                    let victim = ctx
+                        .walk_nested(roots[0])
+                        .into_iter()
+                        .find(|&o| ctx.op(o).name.as_str() == "func.return")
+                        .expect("payload has a return");
+                    ctx.erase_op(victim);
+                    Ok(())
+                },
+            ));
+        let mut interp = Interpreter::new(&env);
+        let err = interp
+            .apply(&mut ctx, entry, payload)
+            .expect_err("the verifier catches the corruption");
+        assert!(
+            err.diagnostic().message().contains("verifier failed"),
+            "{}",
+            err.diagnostic().message()
+        );
+        assert_eq!(interp.stats.rolled_back, 1);
+        td_ir::verify(&ctx, payload).expect("rollback restored the valid payload");
+        let printed = td_ir::print_op(&ctx, payload);
+        assert!(printed.contains("func.return"), "{printed}");
     }
 
     /// Per-transform timing, execution counters, and the live-handle

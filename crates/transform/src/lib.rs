@@ -36,7 +36,7 @@ pub mod state;
 pub use bisect::{bisect_schedule_failure, BisectOutcome};
 pub use conditions::{check_pipeline, check_script, CheckReport, OpPattern, OpSet, PassConditions};
 pub use error::{TransformError, TransformResult};
-pub use interp::{InterpConfig, InterpEnv, InterpStats, Interpreter};
+pub use interp::{InterpConfig, InterpEnv, InterpStats, Interpreter, TxnMode};
 pub use invalidation::analyze_invalidation;
 pub use ops::register_transform_dialect;
 pub use pipeline_to_script::{pipeline_to_script, transform_main, TRANSFORM_MAIN};

@@ -1,0 +1,118 @@
+//! Chaos tests for the transactional interpreter: the rollback property
+//! (an injected silenceable failure at *any* step index leaves the payload
+//! verifier-clean and byte-identical to the pre-step state) and the golden
+//! text of the `RolledBack` analysis remark.
+//!
+//! These tests use *thread-local* fault plans ([`fault::set_thread_plan`]),
+//! so they are isolated from each other and from the rest of the process
+//! even under the parallel test runner.
+
+use td_ir::{Context, OpId};
+use td_support::{diag, fault, filecheck};
+use td_transform::{register_transform_dialect, InterpEnv, Interpreter};
+
+const LOOP_PAYLOAD: &str = r#"module {
+  func.func @f(%m: memref<256xf32>) {
+    %lo = arith.constant 0 : index
+    %hi = arith.constant 256 : index
+    %st = arith.constant 1 : index
+    scf.for %i = %lo to %hi step %st {
+      %v = "memref.load"(%m, %i) : (memref<256xf32>, index) -> f32
+      "test.use"(%v) : (f32) -> ()
+    }
+    func.return
+  }
+}"#;
+
+/// Three real steps (match, annotate, tile); the implicit trailing yield
+/// does not consume fault-injection hit indices.
+const TILE_SCRIPT: &str = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%loop) {name = "tagged"} : (!transform.any_op) -> ()
+    %tiles, %points = "transform.loop.tile"(%loop) {tile_sizes = [16]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+  }
+}"#;
+
+const STEPS: u64 = 3;
+
+fn setup() -> (Context, OpId, OpId) {
+    let mut ctx = Context::new();
+    td_dialects::register_all_dialects(&mut ctx);
+    register_transform_dialect(&mut ctx);
+    let payload = td_ir::parse_module(&mut ctx, LOOP_PAYLOAD).unwrap();
+    let script = td_ir::parse_module(&mut ctx, TILE_SCRIPT).unwrap();
+    let entry = ctx.lookup_symbol(script, "main").unwrap();
+    (ctx, payload, entry)
+}
+
+/// The rollback property, exhaustively over every step index: inject a
+/// silenceable failure at step `i`, and the payload after the failed run
+/// must (a) pass the verifier and (b) print byte-identically to a clean
+/// run of just the first `i` steps — i.e. the failed step left no trace.
+#[test]
+fn silenceable_failure_at_any_step_restores_the_pre_step_state() {
+    let env = InterpEnv::standard();
+    for step in 0..STEPS {
+        // Reference: the committed prefix, applied cleanly.
+        fault::set_thread_plan(None);
+        let (mut ref_ctx, ref_payload, ref_entry) = setup();
+        Interpreter::new(&env)
+            .apply_prefix(&mut ref_ctx, ref_entry, ref_payload, step as usize)
+            .unwrap_or_else(|e| panic!("clean {step}-step prefix run: {}", e.diagnostic()));
+        let expected = td_ir::print_op(&ref_ctx, ref_payload);
+
+        // Faulted: the full schedule with step `step` failing silenceably.
+        let (mut ctx, payload, entry) = setup();
+        fault::set_thread_plan(Some(
+            fault::FaultPlan::parse(&format!("silenceable@step={step}")).unwrap(),
+        ));
+        fault::set_lane(0); // resets this thread's hit counters
+        let mut interp = Interpreter::new(&env);
+        let err = interp
+            .apply(&mut ctx, entry, payload)
+            .expect_err("the injected fault fires");
+        fault::set_thread_plan(None);
+
+        assert!(err.is_silenceable(), "step {step}");
+        assert_eq!(interp.stats.rolled_back, 1, "step {step}");
+        td_ir::verify(&ctx, payload)
+            .unwrap_or_else(|e| panic!("step {step}: payload dirty after rollback: {e:?}"));
+        let printed = td_ir::print_op(&ctx, payload);
+        assert_eq!(
+            printed, expected,
+            "step {step}: rollback did not restore the pre-step payload"
+        );
+    }
+}
+
+/// Golden text of the rollback remark the transactional interpreter emits
+/// when observability is on.
+#[test]
+fn rolled_back_remark_text_is_stable() {
+    diag::reset_remarks();
+    diag::set_remark_filter(diag::RemarkFilter::all());
+    fault::set_thread_plan(Some(
+        fault::FaultPlan::parse("silenceable@transform=loop.tile").unwrap(),
+    ));
+    fault::set_lane(0);
+    let (mut ctx, payload, entry) = setup();
+    let env = InterpEnv::standard();
+    Interpreter::new(&env)
+        .apply(&mut ctx, entry, payload)
+        .expect_err("the injected fault fires");
+    fault::set_thread_plan(None);
+    let rendered: String = diag::take_remarks()
+        .iter()
+        .map(|remark| format!("{remark}\n"))
+        .collect();
+    diag::clear_remark_filter_override();
+
+    filecheck::check(
+        &rendered,
+        r#"
+CHECK: [analysis] interp.txn: rolled back 'transform.loop.tile' after silenceable error: injected silenceable failure at 'transform.loop.tile'; payload restored to pre-step checkpoint
+"#,
+    )
+    .unwrap_or_else(|e| panic!("remark golden mismatch: {e}\n--- remarks ---\n{rendered}"));
+}

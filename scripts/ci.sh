@@ -40,6 +40,15 @@ echo "== provenance journal smoke (attribution + bisection + batch report) =="
 TD_JOURNAL=target/journal_smoke.json cargo run -q --release --offline -p td-bench --bin journal_smoke
 test -s target/journal_smoke.json || { echo "journal_smoke.json is empty"; exit 1; }
 
+echo "== chaos smoke (fault injection + transactional rollback) =="
+# Replays the sched_smoke batch under silenceable, panic, and deadline
+# fault plans. The binary fails if outcomes diverge between 1 and 4
+# workers, if any output IR is invalid, if no rollbacks/faults were
+# counted, if the failure budget does not degrade gracefully, or if an
+# injected silenceable failure at any step index leaves the payload
+# different from its pre-step checkpoint.
+cargo run -q --release --offline -p td-bench --bin chaos_smoke
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== micro-benchmark smoke run =="
     TD_BENCH_QUICK=1 TD_BENCH_JSON=BENCH_micro.json cargo bench -q --offline -p td-bench
