@@ -1,0 +1,137 @@
+//! The regression corpus: minimized repro pairs committed to the repo and
+//! replayed by the golden-test harness.
+//!
+//! A corpus entry is two files side by side:
+//!
+//! * `<name>.payload.mlir` — the payload module.
+//! * `<name>.schedule.mlir` — the transform script (entry `@main`).
+//!
+//! The default location is `tests/golden/fuzz/` at the repo root;
+//! `TD_FUZZ_CORPUS` overrides it (used by CI smoke runs and by local
+//! triage to point at a scratch directory).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::oracle::{differential, Pair};
+
+/// Environment variable overriding the corpus directory.
+pub const CORPUS_ENV: &str = "TD_FUZZ_CORPUS";
+
+const PAYLOAD_SUFFIX: &str = ".payload.mlir";
+const SCHEDULE_SUFFIX: &str = ".schedule.mlir";
+
+/// The committed corpus directory (`tests/golden/fuzz/` at the repo root).
+pub fn default_corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/fuzz")
+}
+
+/// The active corpus directory: [`CORPUS_ENV`] if set, else the default.
+pub fn corpus_dir() -> PathBuf {
+    match std::env::var(CORPUS_ENV) {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => default_corpus_dir(),
+    }
+}
+
+/// Write one pair as a corpus entry, creating the directory if needed.
+pub fn write_pair(dir: &Path, name: &str, pair: &Pair) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{name}{PAYLOAD_SUFFIX}")), &pair.payload)?;
+    fs::write(dir.join(format!("{name}{SCHEDULE_SUFFIX}")), &pair.schedule)?;
+    Ok(())
+}
+
+/// Load every complete corpus entry, sorted by name for determinism.
+///
+/// A payload file without its schedule sibling (or vice versa) is an
+/// error: a half-committed repro silently skipped would look like
+/// coverage it does not provide.
+pub fn load_pairs(dir: &Path) -> io::Result<Vec<(String, Pair)>> {
+    let mut names = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let file_name = entry.file_name();
+        let Some(file_name) = file_name.to_str() else {
+            continue;
+        };
+        if let Some(stem) = file_name.strip_suffix(PAYLOAD_SUFFIX) {
+            names.push(stem.to_owned());
+        }
+    }
+    names.sort();
+    let mut pairs = Vec::with_capacity(names.len());
+    for name in names {
+        let payload = fs::read_to_string(dir.join(format!("{name}{PAYLOAD_SUFFIX}")))?;
+        let schedule_path = dir.join(format!("{name}{SCHEDULE_SUFFIX}"));
+        let schedule = fs::read_to_string(&schedule_path).map_err(|err| {
+            io::Error::new(
+                err.kind(),
+                format!("corpus entry '{name}' has a payload but no schedule: {err}"),
+            )
+        })?;
+        pairs.push((name, Pair::new(payload, schedule)));
+    }
+    Ok(pairs)
+}
+
+/// Replay the whole corpus through the differential oracle.
+///
+/// Returns the number of entries replayed; `Err` describes the first
+/// diverging entry. An empty or missing corpus directory is `Ok(0)` so
+/// fresh checkouts without a corpus still pass.
+pub fn replay(dir: &Path) -> Result<usize, String> {
+    let pairs = match load_pairs(dir) {
+        Ok(pairs) => pairs,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(err) => return Err(format!("corpus load failed: {err}")),
+    };
+    if pairs.is_empty() {
+        return Ok(0);
+    }
+    let bare: Vec<Pair> = pairs.iter().map(|(_, p)| p.clone()).collect();
+    let reports = differential(&bare);
+    for ((name, _), report) in pairs.iter().zip(&reports) {
+        if let Some(failure) = report.failure() {
+            return Err(format!("corpus entry '{name}' diverged: {failure}"));
+        }
+    }
+    Ok(pairs.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("td-fuzz-corpus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let pair = Pair::new("module {\n}\n", "module {\n}\n");
+        write_pair(&dir, "case-a", &pair).unwrap();
+        write_pair(&dir, "case-b", &pair).unwrap();
+        let loaded = load_pairs(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].0, "case-a");
+        assert_eq!(loaded[1].0, "case-b");
+        assert_eq!(loaded[0].1, pair);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_replays_zero_entries() {
+        let dir = std::env::temp_dir().join("td-fuzz-no-such-corpus");
+        assert_eq!(replay(&dir), Ok(0));
+    }
+
+    #[test]
+    fn orphan_payload_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("td-fuzz-orphan-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("lonely.payload.mlir"), "module {\n}\n").unwrap();
+        assert!(load_pairs(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,345 @@
+//! The fuzz loop: derive pair specs from one root seed, run each pair
+//! through the differential oracle, and auto-minimize anything that
+//! diverges.
+
+use std::collections::BTreeMap;
+
+use td_ir::parse_module;
+use td_modelgen::{
+    generate_payload, generate_schedule_text, payload_op_names, PayloadOptions, ScheduleOptions,
+};
+use td_support::rng::{derive_seed, Xoshiro256pp};
+
+use crate::minimize::{bisect_schedule, shrink_pair, Shrunk};
+use crate::oracle::{differential, differential_failure, fresh_context, Outcome, Pair};
+
+/// Environment variable overriding the root fuzz seed.
+pub const SEED_ENV: &str = "TD_FUZZ_SEED";
+/// Environment variable overriding the number of pairs per run.
+pub const BUDGET_ENV: &str = "TD_FUZZ_BUDGET";
+/// The default root seed (used by CI so runs are comparable).
+pub const DEFAULT_SEED: u64 = 0x7D5E_CA57_F022_2026;
+
+/// Knobs of one fuzz run.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Root seed; every pair seed derives from it.
+    pub seed: u64,
+    /// Number of (schedule, payload) pairs to generate and check.
+    pub budget: usize,
+    /// Upper bound on the payload size knob (segments past the skeleton).
+    pub max_payload_size: u32,
+    /// Upper bound on the schedule steps knob.
+    pub max_schedule_steps: u32,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: DEFAULT_SEED,
+            budget: 200,
+            max_payload_size: 20,
+            max_schedule_steps: 10,
+        }
+    }
+}
+
+impl FuzzConfig {
+    /// Defaults overridden by [`SEED_ENV`] and [`BUDGET_ENV`].
+    pub fn from_env() -> Self {
+        let mut config = FuzzConfig::default();
+        if let Ok(seed) = std::env::var(SEED_ENV) {
+            if let Ok(seed) = seed.trim().parse() {
+                config.seed = seed;
+            }
+        }
+        if let Ok(budget) = std::env::var(BUDGET_ENV) {
+            if let Ok(budget) = budget.trim().parse() {
+                config.budget = budget;
+            }
+        }
+        config
+    }
+}
+
+/// The knobs that fully determine one generated pair.
+///
+/// `build` is a pure function of this struct — which is what lets the
+/// minimizer shrink by rebuilding at smaller knob values and lets anyone
+/// reproduce a reported case from three numbers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairSpec {
+    /// Seed for both the payload and (derived) the schedule generator.
+    pub seed: u64,
+    /// Payload size knob.
+    pub payload_size: u32,
+    /// Schedule steps knob.
+    pub schedule_steps: u32,
+}
+
+impl PairSpec {
+    /// Generate the pair plus the payload's op-name occurrence counts.
+    pub fn build_with_coverage(&self) -> (Pair, BTreeMap<String, u64>) {
+        let mut ctx = fresh_context();
+        let module = generate_payload(
+            &mut ctx,
+            &PayloadOptions::new(self.seed).with_size(self.payload_size),
+        );
+        let mut counts = BTreeMap::new();
+        for &op in &ctx.walk_nested(module) {
+            *counts
+                .entry(ctx.op(op).name.as_str().to_owned())
+                .or_insert(0) += 1;
+        }
+        let names = payload_op_names(&ctx, module);
+        let payload = td_ir::print_op(&ctx, module);
+        let schedule = generate_schedule_text(
+            &ScheduleOptions::new(derive_seed(self.seed, 0x5ced), names)
+                .with_steps(self.schedule_steps),
+        );
+        (Pair::new(payload, schedule), counts)
+    }
+
+    /// Generate just the pair.
+    pub fn build(&self) -> Pair {
+        self.build_with_coverage().0
+    }
+
+    /// The same spec with different size knobs (for shrinking).
+    pub fn resized(&self, payload_size: u32, schedule_steps: u32) -> PairSpec {
+        PairSpec {
+            seed: self.seed,
+            payload_size,
+            schedule_steps,
+        }
+    }
+}
+
+/// The specs a config expands to, in deterministic order.
+pub fn pair_specs(config: &FuzzConfig) -> Vec<PairSpec> {
+    let mut rng = Xoshiro256pp::seed_from_u64(derive_seed(config.seed, 0xd1ff_597e));
+    (0..config.budget)
+        .map(|index| PairSpec {
+            seed: derive_seed(config.seed, index as u64),
+            payload_size: rng.range_usize(0, config.max_payload_size as usize) as u32,
+            schedule_steps: rng.range_usize(2, config.max_schedule_steps as usize) as u32,
+        })
+        .collect()
+}
+
+/// One diverging pair, shrunk as far as the oracle allows.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Index of the pair in the run.
+    pub index: usize,
+    /// The original (unshrunk) spec.
+    pub spec: PairSpec,
+    /// The oracle's description of the disagreement.
+    pub description: String,
+    /// The minimized still-diverging pair.
+    pub minimized: Pair,
+    /// Final `(payload size, schedule steps)` knobs after shrinking.
+    pub minimized_knobs: (u32, u32),
+    /// Whether schedule bisection shortened the script further.
+    pub bisected: bool,
+    /// Predicate evaluations the shrink spent.
+    pub probes: usize,
+}
+
+/// Aggregate results of one fuzz run.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Pairs generated and checked.
+    pub pairs: usize,
+    /// Pairs where the schedule applied cleanly (reference mode).
+    pub ok: usize,
+    /// Pairs ending in a silenceable transform failure.
+    pub silenceable: usize,
+    /// Pairs ending in a definite transform failure.
+    pub definite: usize,
+    /// Pairs that never reached the interpreter (generator bugs).
+    pub setup_errors: usize,
+    /// Pairs whose reference run panicked.
+    pub panics: usize,
+    /// Payload op name -> total occurrences across all generated payloads.
+    pub payload_ops: BTreeMap<String, u64>,
+    /// Transform op name -> total occurrences across all schedules.
+    pub schedule_ops: BTreeMap<String, u64>,
+    /// Diverging pairs, shrunk.
+    pub divergences: Vec<Divergence>,
+}
+
+impl FuzzReport {
+    /// Dialect prefix -> op occurrences, folded from [`Self::payload_ops`].
+    pub fn dialect_coverage(&self) -> BTreeMap<String, u64> {
+        let mut dialects = BTreeMap::new();
+        for (name, count) in &self.payload_ops {
+            let prefix = name.split('.').next().unwrap_or(name);
+            *dialects.entry(prefix.to_owned()).or_insert(0) += count;
+        }
+        dialects
+    }
+
+    /// Human-readable run summary.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "fuzz: {} pairs | ok {} | silenceable {} | definite {} | setup {} | panic {} | divergences {}\n",
+            self.pairs,
+            self.ok,
+            self.silenceable,
+            self.definite,
+            self.setup_errors,
+            self.panics,
+            self.divergences.len()
+        );
+        out.push_str("payload dialect coverage:");
+        for (dialect, count) in self.dialect_coverage() {
+            out.push_str(&format!(" {dialect}={count}"));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "distinct payload ops: {} | distinct schedule ops: {}\n",
+            self.payload_ops.len(),
+            self.schedule_ops.len()
+        ));
+        out
+    }
+}
+
+fn count_schedule_ops(schedule: &str, into: &mut BTreeMap<String, u64>) {
+    let mut ctx = fresh_context();
+    if let Ok(module) = parse_module(&mut ctx, schedule) {
+        for &op in &ctx.walk_nested(module) {
+            let name = ctx.op(op).name.as_str();
+            if name.starts_with("transform.") {
+                *into.entry(name.to_owned()).or_insert(0) += 1;
+            }
+        }
+    }
+}
+
+/// Generate `config.budget` pairs, run the differential oracle over all of
+/// them, and shrink every divergence.
+pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
+    let specs = pair_specs(config);
+    let mut report = FuzzReport {
+        pairs: specs.len(),
+        ..FuzzReport::default()
+    };
+
+    let mut pairs = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let (pair, counts) = spec.build_with_coverage();
+        for (name, count) in counts {
+            *report.payload_ops.entry(name).or_insert(0) += count;
+        }
+        count_schedule_ops(&pair.schedule, &mut report.schedule_ops);
+        pairs.push(pair);
+    }
+
+    let case_reports = differential(&pairs);
+    for (index, case) in case_reports.iter().enumerate() {
+        match case.reference() {
+            Outcome::Ok { .. } => report.ok += 1,
+            Outcome::Transform {
+                silenceable: true, ..
+            } => report.silenceable += 1,
+            Outcome::Transform {
+                silenceable: false, ..
+            } => report.definite += 1,
+            Outcome::Setup { .. } | Outcome::RoundTrip { .. } => report.setup_errors += 1,
+            Outcome::Panic { .. } => report.panics += 1,
+        }
+        if let Some(description) = case.failure() {
+            report
+                .divergences
+                .push(shrink_divergence(index, specs[index], description));
+        }
+    }
+    report
+}
+
+/// Shrink one diverging spec: knob shrinking first, then schedule
+/// bisection, both gated on the single-pair differential still failing.
+pub fn shrink_divergence(index: usize, spec: PairSpec, description: String) -> Divergence {
+    let build = |size: u32, steps: u32| spec.resized(size, steps).build();
+    let still_fails = |pair: &Pair| differential_failure(pair).is_some();
+    let shrunk = shrink_pair(
+        &build,
+        (spec.payload_size, spec.schedule_steps),
+        &still_fails,
+    );
+    let (mut minimized, minimized_knobs, probes) = match shrunk {
+        Some(Shrunk {
+            pair,
+            payload_size,
+            schedule_steps,
+            probes,
+        }) => (pair, (payload_size, schedule_steps), probes),
+        // The failure did not reproduce in isolation (e.g. it needed the
+        // whole batch); keep the original pair as the repro.
+        None => (spec.build(), (spec.payload_size, spec.schedule_steps), 1),
+    };
+    let mut bisected = false;
+    if let Some(shorter) = bisect_schedule(&minimized, &still_fails) {
+        minimized = shorter;
+        bisected = true;
+    }
+    Divergence {
+        index,
+        spec,
+        description,
+        minimized,
+        minimized_knobs,
+        bisected,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_support::fault;
+
+    #[test]
+    fn specs_are_deterministic_and_distinct() {
+        let config = FuzzConfig {
+            budget: 16,
+            ..FuzzConfig::default()
+        };
+        let a = pair_specs(&config);
+        let b = pair_specs(&config);
+        assert_eq!(a, b);
+        let seeds: std::collections::BTreeSet<u64> = a.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), 16, "pair seeds must not collide");
+        assert_eq!(a[3].build(), a[3].build(), "build must be pure");
+    }
+
+    #[test]
+    fn a_small_run_has_no_divergences() {
+        let _guard = fault::test_guard();
+        let config = FuzzConfig {
+            budget: 12,
+            max_payload_size: 8,
+            max_schedule_steps: 8,
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&config);
+        assert_eq!(report.pairs, 12);
+        assert!(
+            report.divergences.is_empty(),
+            "{}",
+            report
+                .divergences
+                .iter()
+                .map(|d| d.description.clone())
+                .collect::<Vec<_>>()
+                .join("\n---\n")
+        );
+        assert_eq!(report.setup_errors, 0, "generators must emit valid pairs");
+        assert_eq!(report.panics, 0);
+        assert!(report.ok + report.silenceable + report.definite == 12);
+        assert!(!report.payload_ops.is_empty());
+        assert!(!report.schedule_ops.is_empty());
+    }
+}

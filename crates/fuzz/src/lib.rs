@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! `td-fuzz`: generative differential fuzzing for the transform dialect.
+//!
+//! The pipeline is:
+//!
+//! 1. `td-modelgen` generates a (payload, schedule) [`Pair`] as a pure
+//!    function of a seed and two size knobs ([`PairSpec`]).
+//! 2. The [`oracle`] runs the pair through every execution mode the
+//!    project offers — direct interpreter under `TxnMode::Auto` and
+//!    `TxnMode::Always`, the `td-sched` engine with 1 and 4 workers, with
+//!    the provenance journal on, and cached cold/warm — and demands
+//!    byte-identical printed modules and re-parse fingerprints (or the
+//!    identical error) from all of them.
+//! 3. Divergences are shrunk by [`minimize`] (knob shrinking plus
+//!    schedule bisection via `bisect_schedule_failure`) and written to the
+//!    [`corpus`] as committed `.mlir` repro files replayed by the golden
+//!    tests.
+//!
+//! The [`driver`] module glues the three together for CI's `fuzz_smoke`
+//! and the `tests/fuzz.rs` suite.
+
+pub mod corpus;
+pub mod driver;
+pub mod minimize;
+pub mod oracle;
+
+pub use driver::{
+    pair_specs, run_fuzz, shrink_divergence, Divergence, FuzzConfig, FuzzReport, PairSpec,
+    BUDGET_ENV, DEFAULT_SEED, SEED_ENV,
+};
+pub use minimize::{bisect_schedule, shrink_pair, Shrunk};
+pub use oracle::{
+    differential, differential_failure, fresh_context, run_direct, run_engine, CaseReport,
+    EngineRun, Outcome, Pair, MODES,
+};

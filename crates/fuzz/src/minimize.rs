@@ -1,0 +1,171 @@
+//! Shrinking for failing fuzz cases.
+//!
+//! Because generation is a pure function of `(seed, payload size, schedule
+//! steps)`, shrinking works on the *knobs*, not the text: rebuild the pair
+//! at smaller sizes and keep any rebuild on which the failure predicate
+//! still holds. That is proptest-style integer shrinking (halve, then
+//! linear), and it composes with schedule-level delta debugging:
+//! [`bisect_schedule`] asks `td_transform::bisect_schedule_failure` for the
+//! shortest failing script prefix and adopts it when the predicate agrees.
+
+use td_transform::bisect_schedule_failure;
+
+use crate::oracle::{fresh_context, standard_passes, Pair};
+
+/// Result of [`shrink_pair`].
+#[derive(Clone, Debug)]
+pub struct Shrunk {
+    /// The smallest still-failing pair found.
+    pub pair: Pair,
+    /// Payload size knob of the final pair.
+    pub payload_size: u32,
+    /// Schedule steps knob of the final pair.
+    pub schedule_steps: u32,
+    /// Predicate evaluations spent (including the initial confirmation).
+    pub probes: usize,
+}
+
+/// Shrink `(payload size, schedule steps)` while `still_fails` holds.
+///
+/// `build` must be deterministic: the same knobs always produce the same
+/// pair. Returns `None` when the starting pair does not satisfy the
+/// predicate (nothing to shrink — the failure did not reproduce).
+pub fn shrink_pair(
+    build: &dyn Fn(u32, u32) -> Pair,
+    start: (u32, u32),
+    still_fails: &dyn Fn(&Pair) -> bool,
+) -> Option<Shrunk> {
+    const MAX_PROBES: usize = 64;
+    let (mut size, mut steps) = start;
+    let mut pair = build(size, steps);
+    let mut probes = 1;
+    if !still_fails(&pair) {
+        return None;
+    }
+    loop {
+        let mut progressed = false;
+        // Halve the payload size while the failure persists.
+        while size > 0 && probes < MAX_PROBES {
+            let candidate = size / 2;
+            let next = build(candidate, steps);
+            probes += 1;
+            if still_fails(&next) {
+                size = candidate;
+                pair = next;
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+        // Halve the schedule length (floor 1: an empty schedule is a
+        // different program, not a smaller version of this one).
+        while steps > 1 && probes < MAX_PROBES {
+            let candidate = (steps / 2).max(1);
+            if candidate == steps {
+                break;
+            }
+            let next = build(size, candidate);
+            probes += 1;
+            if still_fails(&next) {
+                steps = candidate;
+                pair = next;
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+        // Linear last-mile decrements.
+        if size > 0 && probes < MAX_PROBES {
+            let next = build(size - 1, steps);
+            probes += 1;
+            if still_fails(&next) {
+                size -= 1;
+                pair = next;
+                progressed = true;
+            }
+        }
+        if steps > 1 && probes < MAX_PROBES {
+            let next = build(size, steps - 1);
+            probes += 1;
+            if still_fails(&next) {
+                steps -= 1;
+                pair = next;
+                progressed = true;
+            }
+        }
+        if !progressed || probes >= MAX_PROBES {
+            break;
+        }
+    }
+    Some(Shrunk {
+        pair,
+        payload_size: size,
+        schedule_steps: steps,
+        probes,
+    })
+}
+
+/// Try to replace the pair's schedule with the minimized failing prefix
+/// that `bisect_schedule_failure` finds against a standard interpreter.
+///
+/// Only returns `Some` when the bisected script both exists and still
+/// satisfies `still_fails` — the bisector minimizes *interpreter
+/// failures*, which is a subset of what the differential oracle flags, so
+/// the caller's predicate stays the source of truth.
+pub fn bisect_schedule(pair: &Pair, still_fails: &dyn Fn(&Pair) -> bool) -> Option<Pair> {
+    let passes = standard_passes();
+    let mut env = td_transform::InterpEnv::standard();
+    env.passes = Some(&passes);
+    let outcome = bisect_schedule_failure(
+        &env,
+        &fresh_context,
+        &pair.schedule,
+        &pair.payload,
+        &pair.entry,
+    )?;
+    let candidate = Pair {
+        payload: pair.payload.clone(),
+        schedule: outcome.minimized_script,
+        entry: pair.entry.clone(),
+    };
+    if still_fails(&candidate) {
+        Some(candidate)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_modelgen::{generate_payload_text, generate_schedule_text, PayloadOptions};
+
+    fn build(size: u32, steps: u32) -> Pair {
+        let payload = generate_payload_text(&PayloadOptions::new(7).with_size(size));
+        let schedule = generate_schedule_text(
+            &td_modelgen::ScheduleOptions::new(7, vec!["scf.for".into(), "func.func".into()])
+                .with_steps(steps),
+        );
+        Pair::new(payload, schedule)
+    }
+
+    #[test]
+    fn shrinking_reaches_the_smallest_failing_knobs() {
+        // Failure predicate: payload at least 3 segments AND schedule at
+        // least 5 steps. The minimum is exactly (3, 5).
+        let shrunk = shrink_pair(&|s, t| build(s, t), (16, 12), &|p: &Pair| {
+            p.payload.len() >= build(3, 5).payload.len()
+                && p.schedule.len() >= build(3, 5).schedule.len()
+        });
+        let shrunk = shrunk.expect("initial pair must fail");
+        assert!(shrunk.payload_size <= 16);
+        assert!(shrunk.schedule_steps <= 12);
+        assert!(shrunk.probes >= 2);
+    }
+
+    #[test]
+    fn non_reproducing_failure_returns_none() {
+        let shrunk = shrink_pair(&|s, t| build(s, t), (4, 4), &|_| false);
+        assert!(shrunk.is_none());
+    }
+}

@@ -853,6 +853,14 @@ fn apply_registered_pass(
         .create(&pass_name)
         .ok_or_else(|| definite(ctx, op, format!("unknown pass '{pass_name}'")))?;
     for &target in &targets {
+        // A pass run on an earlier target can erase this one (e.g. CSE on
+        // the enclosing func erasing a duplicate constant the same handle
+        // also targets); running a pass rooted at a dead op is UB-adjacent
+        // (stale arena index), so skip — prune_dead below drops the
+        // mapping.
+        if !ctx.is_live(target) {
+            continue;
+        }
         let span = trace::span("pass", pass_name.clone());
         let result = pass.run(ctx, target);
         let duration = span.end();
@@ -909,6 +917,11 @@ fn apply_patterns(
         }
     }
     for target in targets {
+        // Same liveness hazard as apply_registered_pass: a rewrite on an
+        // earlier target may have erased this one.
+        if !ctx.is_live(target) {
+            continue;
+        }
         let outcome = apply_patterns_greedily(ctx, target, &patterns, GreedyConfig::default())
             .map_err(TransformError::Definite)?;
         // §3.1: subscribe to replaced/erased events so handles follow

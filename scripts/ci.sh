@@ -49,6 +49,16 @@ echo "== chaos smoke (fault injection + transactional rollback) =="
 # different from its pre-step checkpoint.
 cargo run -q --release --offline -p td-bench --bin chaos_smoke
 
+echo "== generative fuzz smoke (differential oracle) =="
+# Fixed-seed fuzz run: 200 generated (schedule, payload) pairs pushed
+# through all seven oracle modes (direct Auto/Always, engine 1w/4w,
+# journal on, cache cold/warm) with zero divergences allowed; the
+# committed regression corpus under tests/golden/fuzz/ replays clean; and
+# an injected silenceable fault is shown to auto-minimize into a
+# replayable corpus-format repro. TD_FUZZ_SEED / TD_FUZZ_BUDGET override
+# the defaults for soak runs.
+cargo run -q --release --offline -p td-bench --bin fuzz_smoke
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== micro-benchmark smoke run =="
     TD_BENCH_QUICK=1 TD_BENCH_JSON=BENCH_micro.json cargo bench -q --offline -p td-bench

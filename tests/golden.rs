@@ -268,3 +268,19 @@ fn script_optimization_matches_golden() {
         include_str!("golden/script_optimization.expected"),
     );
 }
+
+/// The committed fuzz regression corpus (`tests/golden/fuzz/`) replays
+/// clean through the full differential oracle: every repro pair must
+/// produce identical results across direct Auto/Always interpretation,
+/// 1-vs-4 engine workers, journaling, and cold/warm cache runs.
+#[test]
+fn fuzz_corpus_replays_clean() {
+    let _guard = td_support::fault::test_guard();
+    let dir = td_fuzz::corpus::default_corpus_dir();
+    let replayed = td_fuzz::corpus::replay(&dir).unwrap_or_else(|err| panic!("{err}"));
+    assert!(
+        replayed >= 5,
+        "expected at least 5 committed fuzz repros in {}, found {replayed}",
+        dir.display()
+    );
+}

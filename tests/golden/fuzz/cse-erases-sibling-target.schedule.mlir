@@ -1,0 +1,8 @@
+module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %funcs = "transform.match_op"(%root) {name = "func.func"} : (!transform.any_op) -> !transform.any_op
+    %consts = "transform.match_op"(%root) {name = "arith.constant"} : (!transform.any_op) -> !transform.any_op
+    %merged = "transform.merge_handles"(%funcs, %consts) : (!transform.any_op, !transform.any_op) -> !transform.any_op
+    %after = "transform.apply_registered_pass"(%merged) {pass_name = "cse"} : (!transform.any_op) -> !transform.any_op
+  }
+}

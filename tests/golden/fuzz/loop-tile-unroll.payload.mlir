@@ -1,0 +1,13 @@
+module {
+  func.func @main(%arg0: memref<16xf32>) {
+    %lo = arith.constant 0 : index
+    %hi = arith.constant 16 : index
+    %step = arith.constant 1 : index
+    scf.for %i = %lo to %hi step %step {
+      %v = "memref.load"(%arg0, %i) : (memref<16xf32>, index) -> f32
+      %w = "arith.addf"(%v, %v) : (f32, f32) -> f32
+      "memref.store"(%w, %arg0, %i) : (f32, memref<16xf32>, index) -> ()
+    }
+    func.return
+  }
+}

@@ -1,0 +1,10 @@
+module {
+  func.func @main() {
+    %a = arith.constant 1 : i64
+    %b = arith.constant 2 : i64
+    %c = arith.constant 4 : i64
+    %ab = "arith.addi"(%a, %b) : (i64, i64) -> i64
+    %abc = "arith.muli"(%ab, %c) : (i64, i64) -> i64
+    func.return
+  }
+}

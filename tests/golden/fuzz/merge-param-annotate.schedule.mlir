@@ -1,0 +1,9 @@
+module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %consts = "transform.match_op"(%root) {name = "arith.constant"} : (!transform.any_op) -> !transform.any_op
+    %funcs = "transform.match_op"(%root) {name = "func.func"} : (!transform.any_op) -> !transform.any_op
+    %merged = "transform.merge_handles"(%consts, %funcs) : (!transform.any_op, !transform.any_op) -> !transform.any_op
+    %p = "transform.param.constant"() {value = 3} : () -> !transform.param
+    "transform.annotate"(%merged, %p) {name = "fuzz.tagged"} : (!transform.any_op, !transform.param) -> ()
+  }
+}

@@ -1,0 +1,8 @@
+module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %c = "transform.match_op"(%root) {name = "arith.constant", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %parent = "transform.get_parent_op"(%c) {name = "func.func"} : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%parent) {name = "fuzz.parent"} : (!transform.any_op) -> ()
+    %after = "transform.apply_registered_pass"(%parent) {pass_name = "canonicalize"} : (!transform.any_op) -> !transform.any_op
+  }
+}

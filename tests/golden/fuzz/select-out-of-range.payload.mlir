@@ -1,0 +1,8 @@
+module {
+  func.func @main() {
+    %a = arith.constant 5 : i64
+    %b = arith.constant 6 : i64
+    %sum = "arith.addi"(%a, %b) : (i64, i64) -> i64
+    func.return
+  }
+}

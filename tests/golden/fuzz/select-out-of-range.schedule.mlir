@@ -1,0 +1,7 @@
+module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %consts = "transform.match_op"(%root) {name = "arith.constant"} : (!transform.any_op) -> !transform.any_op
+    %nth = "transform.select_op"(%consts) {index = 7} : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%nth) {name = "fuzz.unreached"} : (!transform.any_op) -> ()
+  }
+}

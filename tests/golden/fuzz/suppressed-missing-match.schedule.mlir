@@ -1,0 +1,12 @@
+module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    "transform.sequence"(%root) ({
+    ^bb0(%arg0: !transform.any_op):
+      %missing = "transform.match_op"(%arg0) {name = "fuzz.absent", select = "first"} : (!transform.any_op) -> !transform.any_op
+      "transform.annotate"(%missing) {name = "fuzz.never"} : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {failure_propagation_mode = "suppress"} : (!transform.any_op) -> ()
+    %funcs = "transform.match_op"(%root) {name = "func.func"} : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%funcs) {name = "fuzz.survived"} : (!transform.any_op) -> ()
+  }
+}

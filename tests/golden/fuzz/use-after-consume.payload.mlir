@@ -1,0 +1,12 @@
+module {
+  func.func @main(%arg0: memref<8xf32>) {
+    %lo = arith.constant 0 : index
+    %hi = arith.constant 8 : index
+    %step = arith.constant 1 : index
+    scf.for %i = %lo to %hi step %step {
+      %v = "memref.load"(%arg0, %i) : (memref<8xf32>, index) -> f32
+      "memref.store"(%v, %arg0, %i) : (f32, memref<8xf32>, index) -> ()
+    }
+    func.return
+  }
+}

@@ -1,0 +1,7 @@
+module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %tiles, %points = "transform.loop.tile"(%loop) {tile_sizes = [2]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    "transform.annotate"(%loop) {name = "fuzz.stale"} : (!transform.any_op) -> ()
+  }
+}

@@ -963,3 +963,88 @@ fn observability_json_survives_hostile_names() {
         },
     );
 }
+
+// ----- generative fuzzer ------------------------------------------------------
+
+/// Generated payload modules hit the print->parse->print fixed point, and
+/// across the run the generator exercises every dialect it declares
+/// (`td_modelgen::PAYLOAD_DIALECTS`).
+#[test]
+fn generated_payload_print_parse_fixpoint() {
+    let dialects_seen = std::cell::RefCell::new(std::collections::BTreeSet::new());
+    check(
+        "generated_payload_print_parse_fixpoint",
+        Config::with_cases(32),
+        |g| {
+            let seed = g.any_u64();
+            let size = g.usize(0, 12) as u32;
+            let opts = td_modelgen::PayloadOptions::new(seed).with_size(size);
+            let first = td_modelgen::generate_payload_text(&opts);
+            let mut ctx = td_fuzz::fresh_context();
+            let module = td_ir::parse_module(&mut ctx, &first)
+                .map_err(|e| format!("generated payload must parse: {}", e.message()))?;
+            td_ir::verify::verify(&ctx, module)
+                .map_err(|e| format!("generated payload must verify: {e:?}"))?;
+            // walk (not walk_nested): the root builtin.module counts too.
+            for &op in &ctx.walk(module) {
+                let name = ctx.op(op).name.as_str();
+                if let Some((dialect, _)) = name.split_once('.') {
+                    dialects_seen.borrow_mut().insert(dialect.to_owned());
+                }
+            }
+            let reprinted = td_ir::print_op(&ctx, module);
+            if first != reprinted {
+                return Err(format!(
+                    "print->parse->print is not a fixed point (seed {seed}, size {size}):\n--- generated\n{first}\n--- reprinted\n{reprinted}"
+                ));
+            }
+            Ok(())
+        },
+    );
+    let dialects_seen = dialects_seen.into_inner();
+    for dialect in td_modelgen::PAYLOAD_DIALECTS {
+        assert!(
+            dialects_seen.contains(*dialect),
+            "dialect '{dialect}' never emitted across the run (saw: {dialects_seen:?})"
+        );
+    }
+}
+
+/// Generated transform schedules parse, and their *printed* form is a
+/// print->parse->print fixed point (the raw generated text is
+/// hand-formatted, so the first parse normalizes it).
+#[test]
+fn generated_schedule_print_parse_fixpoint() {
+    check(
+        "generated_schedule_print_parse_fixpoint",
+        Config::with_cases(32),
+        |g| {
+            let seed = g.any_u64();
+            let steps = g.usize(1, 12) as u32;
+            let opts = td_modelgen::ScheduleOptions::new(
+                seed,
+                vec![
+                    "arith.constant".to_owned(),
+                    "func.func".to_owned(),
+                    "scf.for".to_owned(),
+                ],
+            )
+            .with_steps(steps);
+            let text = td_modelgen::generate_schedule_text(&opts);
+            let mut ctx1 = td_fuzz::fresh_context();
+            let m1 = td_ir::parse_module(&mut ctx1, &text)
+                .map_err(|e| format!("generated schedule must parse: {}", e.message()))?;
+            let printed1 = td_ir::print_op(&ctx1, m1);
+            let mut ctx2 = td_fuzz::fresh_context();
+            let m2 = td_ir::parse_module(&mut ctx2, &printed1)
+                .map_err(|e| format!("printed schedule must re-parse: {}", e.message()))?;
+            let printed2 = td_ir::print_op(&ctx2, m2);
+            if printed1 != printed2 {
+                return Err(format!(
+                    "schedule print->parse->print is not a fixed point (seed {seed}):\n--- first\n{printed1}\n--- second\n{printed2}"
+                ));
+            }
+            Ok(())
+        },
+    );
+}
