@@ -1,0 +1,288 @@
+//! CI observability smoke check for the telemetry surface. Four gates:
+//!
+//! 1. **Percentile surface**: a scheduler batch must report latency
+//!    histograms with p50/p90/p99/p999 for queue wait, run time, and
+//!    total, both in `BatchReport::report_json()` and — via worker
+//!    metrics absorption — in the coordinator metrics snapshot that
+//!    `TD_BENCH_JSON` files embed; the bench harness JSON lines must
+//!    carry the unified nearest-rank percentile fields.
+//! 2. **Flight dump**: an injected `TD_FAULT`-style panic plan must leave
+//!    a flight-recorder bundle in `TD_FLIGHT_DIR` that is well-formed
+//!    JSON and replays the failing step's attribution (transform name,
+//!    operand handles, payload fingerprint, failure class).
+//! 3. **Profiler**: with `TD_PROFILE` set, applying a schedule must write
+//!    a speedscope-compatible collapsed-stack file attributing self time
+//!    to the transform ops that ran.
+//! 4. **Idle overhead**: the always-on flight recorder must cost < 3%
+//!    on a fault-free schedule application (min-of-N methodology, see
+//!    EXPERIMENTS.md "Flight recorder overhead").
+//!
+//! ```text
+//! cargo run --release -p td-bench --bin obs_smoke
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use td_bench::{BenchConfig, BenchSuite};
+use td_ir::Context;
+use td_sched::{Engine, EngineConfig, Job};
+use td_support::trace::validate_json;
+use td_support::{fault, flight, metrics, trace};
+use td_transform::{InterpEnv, Interpreter};
+
+fn payload(i: usize) -> String {
+    let extent = 64 * (i + 1);
+    format!(
+        r#"module {{
+  func.func @work{i}(%x: memref<{extent}xf32>) {{
+    %lo = arith.constant 0 : index
+    %hi = arith.constant {extent} : index
+    %st = arith.constant 1 : index
+    scf.for %i = %lo to %hi step %st {{
+      %v = "memref.load"(%x, %i) : (memref<{extent}xf32>, index) -> f32
+      %w = "arith.addf"(%v, %v) : (f32, f32) -> f32
+      "memref.store"(%w, %x, %i) : (f32, memref<{extent}xf32>, index) -> ()
+    }}
+    func.return
+  }}
+}}"#
+    )
+}
+
+/// Three steps: match (0), tile (1), unroll (2).
+const SCRIPT: &str = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %tiles, %points = "transform.loop.tile"(%loop) {tile_sizes = [16]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    %unrolled = "transform.loop.unroll"(%points) {factor = 2} : (!transform.any_op) -> !transform.any_op
+  }
+}"#;
+
+fn setup(ctx: &mut Context, src: &str) -> (td_ir::OpId, td_ir::OpId) {
+    td_dialects::register_all_dialects(ctx);
+    td_transform::register_transform_dialect(ctx);
+    let payload = td_ir::parse_module(ctx, src).expect("payload parses");
+    let script = td_ir::parse_module(ctx, SCRIPT).expect("script parses");
+    let entry = ctx.lookup_symbol(script, "main").expect("entry exists");
+    (entry, payload)
+}
+
+/// One clean schedule application in a fresh context (the gate workload).
+fn apply_once(i: usize) {
+    let env = InterpEnv::standard();
+    let mut ctx = Context::new();
+    let (entry, module) = setup(&mut ctx, &payload(i));
+    Interpreter::new(&env)
+        .apply(&mut ctx, entry, module)
+        .unwrap_or_else(|e| panic!("clean apply failed: {}", e.diagnostic()));
+}
+
+/// Gate 1: percentile fields across the batch report, the coordinator
+/// metrics snapshot, and the bench harness JSON lines.
+fn percentile_surface() {
+    metrics::reset();
+    // Duplicate jobs so the result cache sees hits within the batch.
+    let jobs: Vec<Job> = (0..8).map(|i| Job::new(SCRIPT, payload(i % 4))).collect();
+    let engine = Engine::new(EngineConfig::standard().with_workers(2));
+    let report = engine.run_batch(jobs);
+    assert_eq!(report.err_count(), 0, "clean batch must succeed");
+    assert_eq!(report.stats.total.count, 8, "one total sample per job");
+    assert_eq!(report.stats.lanes.len(), 2, "one lane per worker");
+    assert!(
+        report.stats.cache.hits >= 1,
+        "duplicate jobs should hit the cache: {:?}",
+        report.stats.cache
+    );
+
+    let json = report.report_json();
+    validate_json(&json).expect("batch report JSON well-formed");
+    for field in [
+        "\"stats\":{",
+        "\"queue_wait\":{\"count\":8",
+        "\"run\":{\"count\":8",
+        "\"total\":{\"count\":8",
+        "\"p50_ns\":",
+        "\"p90_ns\":",
+        "\"p99_ns\":",
+        "\"p999_ns\":",
+        "\"pool_utilization\":",
+        "\"hit_rate\":",
+    ] {
+        assert!(json.contains(field), "report_json missing {field}");
+    }
+    let text = report.report_text();
+    for needle in ["batch stats:", "queue_wait", "p999", "worker 0:"] {
+        assert!(text.contains(needle), "report_text missing {needle}");
+    }
+
+    // Worker metrics were absorbed into this (coordinator) thread, so the
+    // snapshot that `TD_BENCH_JSON` embeds carries the histograms too.
+    let snapshot = metrics::snapshot().to_json();
+    for series in ["interp.step", "sched.job.run", "sched.job.queue_wait"] {
+        assert!(
+            snapshot.contains(&format!("\"{series}\":{{\"count\":")),
+            "metrics snapshot missing histogram {series}: {snapshot}"
+        );
+    }
+
+    // The harness shares the same nearest-rank percentile implementation
+    // and now exports the full field set per benchmark line.
+    let mut suite = BenchSuite::new(BenchConfig::quick());
+    suite.run("obs.apply", || apply_once(0));
+    let lines = suite.to_json_lines_with_metrics();
+    validate_json(lines.lines().next().expect("bench line")).expect("bench line well-formed");
+    for field in [
+        "\"p90_ns\":",
+        "\"p99_ns\":",
+        "\"p999_ns\":",
+        "\"histograms\":",
+    ] {
+        assert!(lines.contains(field), "bench JSON missing {field}");
+    }
+    println!("obs gate 1 OK: percentile fields in batch report, metrics snapshot, bench lines");
+}
+
+/// Gate 2: an injected panic must produce a flight bundle replaying the
+/// failing step's attribution.
+fn flight_dump(dir: &Path) {
+    flight::reset();
+    let dumps_before = flight::dump_count();
+    // Panic at step index 1 — the `transform.loop.tile` step.
+    fault::set_thread_plan(Some(fault::FaultPlan::parse("panic@step=1").unwrap()));
+    fault::set_lane(0);
+    let env = InterpEnv::standard();
+    let mut ctx = Context::new();
+    let (entry, module) = setup(&mut ctx, &payload(0));
+    // The injected panic is contained by the transactional interpreter;
+    // silence its default backtrace spew.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let err = Interpreter::new(&env)
+        .apply(&mut ctx, entry, module)
+        .expect_err("injected panic surfaces as an error");
+    std::panic::set_hook(hook);
+    fault::set_thread_plan(None);
+    assert!(!err.is_silenceable(), "contained panic is a definite error");
+    assert_eq!(
+        flight::dump_count(),
+        dumps_before + 1,
+        "definite failure must dump exactly one bundle"
+    );
+
+    let mut bundles: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("flight dir readable")
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    bundles.sort();
+    let bundle_path = bundles.last().expect("a flight bundle was written");
+    let bundle = std::fs::read_to_string(bundle_path).expect("bundle readable");
+    validate_json(&bundle).expect("flight bundle is well-formed JSON");
+    for field in [
+        "\"reason\":\"definite-failure\"",
+        "\"kind\":\"step.begin\"",
+        "\"kind\":\"step.failed\"",
+        "\"name\":\"transform.loop.tile\"",
+        "\"handles\":",
+        "\"fingerprint\":",
+        "\"class\":\"definite\"",
+        "\"kind\":\"fault.fired\"",
+        "\"metrics\":",
+        "\"journal_tail\":",
+    ] {
+        assert!(
+            bundle.contains(field),
+            "bundle {} missing {field}",
+            bundle_path.display()
+        );
+    }
+    println!(
+        "obs gate 2 OK: flight bundle {} replays the failing step",
+        bundle_path.file_name().unwrap().to_string_lossy()
+    );
+}
+
+/// Gate 3: `TD_PROFILE` writes a collapsed-stack profile attributing the
+/// transform ops that ran.
+fn profiler(profile_path: &Path) {
+    std::env::set_var("TD_PROFILE", profile_path);
+    trace::set_enabled(true);
+    let _ = trace::take();
+    apply_once(0);
+    trace::set_enabled(false);
+    std::env::remove_var("TD_PROFILE");
+
+    let collapsed = std::fs::read_to_string(profile_path).expect("TD_PROFILE file written");
+    for frame in ["transform.loop.tile", "transform.loop.unroll"] {
+        assert!(collapsed.contains(frame), "profile missing {frame}");
+    }
+    for line in collapsed.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("collapsed line format");
+        assert!(
+            !stack.is_empty() && weight.parse::<u128>().is_ok(),
+            "{line}"
+        );
+    }
+    println!(
+        "obs gate 3 OK: TD_PROFILE wrote {} collapsed frame(s)",
+        collapsed.lines().count()
+    );
+}
+
+/// Wall time of `runs` schedule applications.
+fn time_runs(runs: usize) -> u128 {
+    let started = Instant::now();
+    for i in 0..runs {
+        apply_once(i % 4);
+    }
+    started.elapsed().as_nanos()
+}
+
+/// Gate 4: idle flight-recorder overhead < 3%. Methodology (also the
+/// EXPERIMENTS.md row): enabled/disabled samples interleave so machine
+/// drift cannot bias one side, min-of-N per side absorbs scheduler
+/// noise, best of four attempts tolerates shared CI machines.
+fn idle_overhead() {
+    let quick = std::env::var("TD_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (runs, samples) = if quick { (4, 5) } else { (8, 7) };
+    let mut best_overhead = f64::MAX;
+    for _attempt in 0..4 {
+        let mut disabled = u128::MAX;
+        let mut enabled = u128::MAX;
+        for _ in 0..samples {
+            flight::set_enabled(false);
+            disabled = disabled.min(time_runs(runs));
+            flight::clear_enabled_override();
+            enabled = enabled.min(time_runs(runs));
+        }
+        let overhead = enabled as f64 / disabled as f64 - 1.0;
+        best_overhead = best_overhead.min(overhead);
+        if best_overhead < 0.03 {
+            break;
+        }
+    }
+    assert!(
+        best_overhead < 0.03,
+        "idle flight-recorder overhead {:.2}% >= 3%",
+        best_overhead * 100.0
+    );
+    println!(
+        "obs gate 4 OK: idle flight overhead {:.2}% (< 3%)",
+        best_overhead.max(0.0) * 100.0
+    );
+}
+
+fn main() {
+    let base = std::env::temp_dir().join(format!("td-obs-smoke-{}", std::process::id()));
+    let flight_dir = base.join("flight");
+    std::fs::create_dir_all(&flight_dir).expect("temp dir");
+    std::env::set_var("TD_FLIGHT_DIR", &flight_dir);
+
+    percentile_surface();
+    flight_dump(&flight_dir);
+    profiler(&base.join("profile.collapsed"));
+    idle_overhead();
+
+    std::env::remove_var("TD_FLIGHT_DIR");
+    let _ = std::fs::remove_dir_all(&base);
+    println!("obs_smoke OK");
+}

@@ -10,7 +10,7 @@
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
-use td_support::metrics::json_string;
+use td_support::metrics::{json_string, percentile_nearest_rank};
 
 /// Harness configuration.
 #[derive(Clone, Copy, Debug)]
@@ -53,8 +53,14 @@ pub struct BenchStats {
     pub mean_ns: u128,
     /// Median (50th percentile), nanoseconds.
     pub median_ns: u128,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: u128,
     /// 95th percentile, nanoseconds.
     pub p95_ns: u128,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u128,
+    /// 99.9th percentile, nanoseconds.
+    pub p999_ns: u128,
 }
 
 impl BenchStats {
@@ -63,13 +69,17 @@ impl BenchStats {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"name\":{},\"iters\":{},\"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{}}}",
+            "{{\"name\":{},\"iters\":{},\"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\
+             \"p90_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}",
             json_string(&self.name),
             self.iters,
             self.min_ns,
             self.mean_ns,
             self.median_ns,
-            self.p95_ns
+            self.p90_ns,
+            self.p95_ns,
+            self.p99_ns,
+            self.p999_ns
         );
         out
     }
@@ -81,13 +91,6 @@ impl BenchStats {
             self.name, self.median_ns, self.p95_ns, self.iters
         )
     }
-}
-
-/// Percentile by nearest-rank over a sorted sample.
-fn percentile(sorted: &[u128], p: f64) -> u128 {
-    debug_assert!(!sorted.is_empty());
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Runs one benchmark: `warmup` untimed + `iters` timed calls of `f`.
@@ -108,15 +111,19 @@ pub fn bench<R>(name: &str, config: BenchConfig, mut f: impl FnMut() -> R) -> Be
     samples.sort_unstable();
     let min_ns = samples[0];
     let mean_ns = samples.iter().sum::<u128>() / samples.len() as u128;
-    let median_ns = percentile(&samples, 50.0);
-    let p95_ns = percentile(&samples, 95.0);
+    // Quantile semantics are shared with the metrics histograms: one
+    // nearest-rank implementation in `td_support::metrics`, so a `p95`
+    // here and a `p95_ns` there mean the same thing (see its docs).
     BenchStats {
         name: name.to_owned(),
         iters,
         min_ns,
         mean_ns,
-        median_ns,
-        p95_ns,
+        median_ns: percentile_nearest_rank(&samples, 50.0),
+        p90_ns: percentile_nearest_rank(&samples, 90.0),
+        p95_ns: percentile_nearest_rank(&samples, 95.0),
+        p99_ns: percentile_nearest_rank(&samples, 99.0),
+        p999_ns: percentile_nearest_rank(&samples, 99.9),
     }
 }
 
@@ -240,10 +247,10 @@ mod tests {
     }
 
     #[test]
-    fn percentile_nearest_rank() {
+    fn percentile_matches_shared_nearest_rank_semantics() {
         let sorted = vec![10, 20, 30, 40];
-        assert_eq!(percentile(&sorted, 50.0), 20);
-        assert_eq!(percentile(&sorted, 95.0), 40);
-        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile_nearest_rank(&sorted, 50.0), 20);
+        assert_eq!(percentile_nearest_rank(&sorted, 95.0), 40);
+        assert_eq!(percentile_nearest_rank(&[7], 50.0), 7);
     }
 }

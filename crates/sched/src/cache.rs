@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 use std::sync::{Mutex, PoisonError};
-use td_support::metrics;
+use td_support::{flight, metrics};
 
 /// Cache key: fingerprints of the script, the payload, and the entry
 /// symbol. The entry participates because a script module may contain
@@ -139,12 +139,14 @@ impl ResultCache {
                 state.stats.hits += 1;
                 drop(state);
                 metrics::counter("sched.cache.hit", 1);
+                flight::record("cache.hit", &[("script_fp", key.script_fp.to_string())]);
                 Some(value)
             }
             None => {
                 state.stats.misses += 1;
                 drop(state);
                 metrics::counter("sched.cache.miss", 1);
+                flight::record("cache.miss", &[("script_fp", key.script_fp.to_string())]);
                 None
             }
         }

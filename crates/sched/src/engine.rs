@@ -29,6 +29,7 @@
 
 use crate::cache::{CacheKey, CacheStats, CachedResult, ResultCache};
 use crate::job::{Job, JobError, JobOutput, JobResult};
+use crate::stats::{BatchStats, WorkerLane, QUEUE_WAIT_SERIES, RUN_SERIES, TOTAL_SERIES};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -36,7 +37,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use td_ir::{Context, PassRegistry};
 use td_support::rng::{derive_seed, Xoshiro256pp};
-use td_support::{fault, journal, metrics, mpmc, trace};
+use td_support::{fault, flight, journal, metrics, mpmc, trace};
 use td_transform::{InterpEnv, Interpreter, TransformOpRegistry};
 
 /// Builds the fresh `Context` each job attempt parses into.
@@ -204,6 +205,11 @@ pub struct BatchReport {
     /// rebased into one store. Empty unless journaling was enabled
     /// (`TD_JOURNAL` or `journal::set_enabled`) when the batch ran.
     pub journal: journal::Journal,
+    /// Latency and utilization breakdown: queue-wait vs. run-time
+    /// histograms (p50/p90/p99/p999), per-worker utilization timeline, and
+    /// the batch-scoped cache hit rate. Always populated — workers record
+    /// these unconditionally (histogram observation is not env-gated).
+    pub stats: BatchStats,
 }
 
 impl BatchReport {
@@ -226,18 +232,24 @@ impl BatchReport {
             .collect()
     }
 
-    /// Human-readable batch provenance report: the ranked transform table
-    /// (payload ops touched, time, failures) plus per-step lines and any
-    /// bisection artifacts. Empty-ish when journaling was off.
+    /// Human-readable batch report: the latency/utilization breakdown
+    /// ([`BatchStats::report_text`]) followed by the ranked transform
+    /// provenance table (empty-ish when journaling was off).
     pub fn report_text(&self) -> String {
-        self.journal.report_text()
+        format!("{}{}", self.stats.report_text(), self.journal.report_text())
     }
 
-    /// The batch provenance report as one JSON object (steps, changes,
-    /// artifacts, ranked summary); validates with
+    /// The batch report as one JSON object:
+    /// `{"stats":{...},"journal":{...}}` — latency percentiles, worker
+    /// utilization, and cache hit rate under `stats`; steps, changes,
+    /// artifacts, and the ranked summary under `journal`. Validates with
     /// `td_support::trace::validate_json`.
     pub fn report_json(&self) -> String {
-        self.journal.to_json()
+        format!(
+            "{{\"stats\":{},\"journal\":{}}}",
+            self.stats.to_json(),
+            self.journal.to_json()
+        )
     }
 }
 
@@ -281,7 +293,10 @@ impl Engine {
         metrics::counter("sched.batches", 1);
         metrics::counter("sched.jobs", job_count as u64);
 
-        let queue: mpmc::Queue<(usize, Job)> = mpmc::Queue::new(self.config.queue_capacity);
+        // Each queued job carries its enqueue time so workers can split
+        // latency into queue-wait vs. run-time for the batch stats.
+        let queue: mpmc::Queue<(usize, Job, Instant)> =
+            mpmc::Queue::new(self.config.queue_capacity);
         let (result_tx, result_rx) = mpsc::channel::<(usize, JobResult)>();
         let trace_on = trace::enabled();
         let journal_on = journal::enabled();
@@ -290,6 +305,7 @@ impl Engine {
         let failures = AtomicUsize::new(0);
         let degraded = AtomicBool::new(false);
         let mut batch_journal = journal::Journal::new();
+        let mut batch_stats = BatchStats::default();
         let mut slots: Vec<Option<JobResult>> = Vec::new();
         slots.resize_with(job_count, || None);
 
@@ -306,6 +322,10 @@ impl Engine {
                     metrics::reset();
                     journal::reset();
                     journal::set_enabled(journal_on);
+                    let mut lane = WorkerLane {
+                        worker: worker_index,
+                        ..WorkerLane::default()
+                    };
                     {
                         let _worker_span = trace::span("sched", format!("worker{worker_index}"));
                         let transforms = (self.config.transforms_factory)();
@@ -313,7 +333,11 @@ impl Engine {
                         let mut env = InterpEnv::standard();
                         env.transforms = transforms;
                         env.passes = passes.as_ref();
-                        while let Some((index, job)) = queue.pop() {
+                        while let Some((index, job, enqueued)) = queue.pop() {
+                            let wait_ns = enqueued.elapsed().as_nanos();
+                            metrics::observe(QUEUE_WAIT_SERIES, wait_ns);
+                            let dispatched_at = started.elapsed().as_nanos();
+                            let run_started = Instant::now();
                             // Journal steps recorded during this job carry
                             // its index, so the merged batch journal stays
                             // attributable per job.
@@ -386,17 +410,24 @@ impl Engine {
                                 self.bisect_failed_job(&env, &job, index, &result);
                             }
                             journal::set_job(None);
+                            let run_ns = run_started.elapsed().as_nanos();
+                            metrics::observe(RUN_SERIES, run_ns);
+                            metrics::observe(TOTAL_SERIES, wait_ns + run_ns);
+                            lane.jobs += 1;
+                            lane.busy_ns += run_ns;
+                            lane.timeline
+                                .push((dispatched_at, started.elapsed().as_nanos()));
                             if result_tx.send((index, result)).is_err() {
                                 break;
                             }
                         }
                     }
-                    (trace::take(), metrics::take(), journal::take())
+                    (trace::take(), metrics::take(), journal::take(), lane)
                 }));
             }
             drop(result_tx);
             for (index, job) in jobs.into_iter().enumerate() {
-                if queue.push((index, job)).is_err() {
+                if queue.push((index, job, Instant::now())).is_err() {
                     break;
                 }
             }
@@ -405,9 +436,14 @@ impl Engine {
                 slots[index] = Some(result);
             }
             for (worker_index, handle) in handles.into_iter().enumerate() {
-                if let Ok((worker_trace, worker_metrics, worker_journal)) = handle.join() {
+                if let Ok((worker_trace, worker_metrics, worker_journal, lane)) = handle.join() {
                     // Lane 1 is the coordinator; workers get 2, 3, ...
                     trace::adopt(&worker_trace, worker_index as u32 + 2);
+                    // Workers reset their metrics at spawn, so these are
+                    // exactly batch-scoped: the stats histograms pool them
+                    // per batch, the absorb sends the same samples on to
+                    // the coordinator registry (and thus TD_BENCH_JSON).
+                    batch_stats.absorb_worker(&worker_metrics, lane);
                     metrics::absorb(&worker_metrics);
                     // Journals merge twice on purpose: into the report
                     // (batch-scoped) and into the coordinator's
@@ -430,13 +466,25 @@ impl Engine {
             })
             .collect();
         drop(batch_span);
+        // Chaos analyzability: when a fault plan is armed, the batch's
+        // metrics (and so TD_BENCH_JSON and flight bundles) carry the
+        // per-point fault.* hit/armed/fired counters.
+        if fault::active() {
+            fault::publish_metrics();
+        }
+        let wall = started.elapsed();
+        let cache = self.cache.stats().since(&stats_before);
+        batch_stats.wall_ns = wall.as_nanos();
+        batch_stats.cache = cache;
+        metrics::observe("sched.batch.wall", wall.as_nanos());
         BatchReport {
             results,
-            cache: self.cache.stats().since(&stats_before),
-            wall: started.elapsed(),
+            cache,
+            wall,
             workers,
             degraded: degraded.load(Ordering::Acquire),
             journal: batch_journal,
+            stats: batch_stats,
         }
     }
 
@@ -498,6 +546,13 @@ impl Engine {
             job_span.arg("outcome", "cancelled");
             metrics::counter("sched.deadline_cancelled", 1);
             self.journal_timeout("cancelled while queued: batch deadline elapsed before dispatch");
+            let attribution = [
+                ("job", index.to_string()),
+                ("entry", job.entry.clone()),
+                ("phase", "queued".to_owned()),
+            ];
+            flight::record("deadline.expired", &attribution);
+            flight::dump("deadline", &attribution);
             return Err(JobError::DeadlineExceeded);
         }
 
@@ -544,6 +599,13 @@ impl Engine {
                         self.journal_timeout(
                             "finished past the batch deadline: output cached but dropped",
                         );
+                        let attribution = [
+                            ("job", index.to_string()),
+                            ("entry", job.entry.clone()),
+                            ("phase", "ran".to_owned()),
+                        ];
+                        flight::record("deadline.expired", &attribution);
+                        flight::dump("deadline", &attribution);
                         return Err(JobError::DeadlineExceeded);
                     }
                     return Ok(JobOutput {

@@ -67,6 +67,7 @@ pub mod autotune;
 pub mod cache;
 pub mod engine;
 pub mod job;
+pub mod stats;
 
 pub use autotune::{sweep_schedules, tune_schedules, SweepOutcome, SweepResult};
 pub use cache::{CacheKey, CacheStats, CachedResult, ResultCache};
@@ -74,3 +75,4 @@ pub use engine::{
     BatchReport, ContextFactory, Engine, EngineConfig, PassesFactory, TransformsFactory,
 };
 pub use job::{Job, JobError, JobOutput, JobResult};
+pub use stats::{BatchStats, WorkerLane};

@@ -435,6 +435,18 @@ pub fn check(point: &'static str, label: &str) -> Option<Fault> {
         row.hits += 1;
         row.fired += u64::from(fired.is_some());
     }
+    if let Some(fault) = fired {
+        crate::flight::record(
+            "fault.fired",
+            &[
+                ("point", point.to_owned()),
+                ("label", label.to_owned()),
+                ("kind", format!("{fault:?}")),
+                ("lane", lane.to_string()),
+                ("hit", hit.to_string()),
+            ],
+        );
+    }
     fired
 }
 

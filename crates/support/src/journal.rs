@@ -360,62 +360,21 @@ impl Journal {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(
-                out,
-                "{{\"index\":{},\"kind\":{},\"name\":{},\"location\":{},\"handles\":[",
-                step.index,
-                json_string(step.kind),
-                json_string(&step.name),
-                json_string(&step.location),
-            );
-            for (j, handle) in step.handles.iter().enumerate() {
-                if j > 0 {
-                    out.push(',');
-                }
-                out.push_str(&json_string(handle));
-            }
-            let _ = write!(
-                out,
-                "],\"depth\":{},\"job\":{},\"fp_before\":{},\"fp_after\":{},\
-                 \"duration_ns\":{},\"outcome\":{},\"message\":{},\"changes\":{}}}",
-                step.depth,
-                step.job.map_or("null".to_owned(), |j| j.to_string()),
-                step.fp_before,
-                step.fp_after,
-                step.duration_ns,
-                json_string(step.outcome.name()),
-                json_string(&step.message),
-                step.changes,
-            );
+            out.push_str(&Self::step_json(step));
         }
         out.push_str("],\"changes\":[");
         for (i, change) in self.changes.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(
-                out,
-                "{{\"seq\":{},\"step\":{},\"kind\":{},\"op\":{},\"op_name\":{},\"detail\":{}}}",
-                change.seq,
-                change.step,
-                json_string(change.kind.name()),
-                json_string(&change.op),
-                json_string(&change.op_name),
-                json_string(&change.detail),
-            );
+            out.push_str(&Self::change_json(change));
         }
         out.push_str("],\"artifacts\":[");
         for (i, artifact) in self.artifacts.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(
-                out,
-                "{{\"kind\":{},\"label\":{},\"content\":{}}}",
-                json_string(&artifact.kind),
-                json_string(&artifact.label),
-                json_string(&artifact.content),
-            );
+            out.push_str(&Self::artifact_json(artifact));
         }
         out.push_str("],\"summary\":[");
         for (i, row) in self.summarize().iter().enumerate() {
@@ -431,6 +390,92 @@ impl Journal {
                 row.total_ns,
                 row.failures,
             );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn step_json(step: &StepRecord) -> String {
+        let mut out = format!(
+            "{{\"index\":{},\"kind\":{},\"name\":{},\"location\":{},\"handles\":[",
+            step.index,
+            json_string(step.kind),
+            json_string(&step.name),
+            json_string(&step.location),
+        );
+        for (j, handle) in step.handles.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(handle));
+        }
+        let _ = write!(
+            out,
+            "],\"depth\":{},\"job\":{},\"fp_before\":{},\"fp_after\":{},\
+             \"duration_ns\":{},\"outcome\":{},\"message\":{},\"changes\":{}}}",
+            step.depth,
+            step.job.map_or("null".to_owned(), |j| j.to_string()),
+            step.fp_before,
+            step.fp_after,
+            step.duration_ns,
+            json_string(step.outcome.name()),
+            json_string(&step.message),
+            step.changes,
+        );
+        out
+    }
+
+    fn change_json(change: &ChangeRecord) -> String {
+        format!(
+            "{{\"seq\":{},\"step\":{},\"kind\":{},\"op\":{},\"op_name\":{},\"detail\":{}}}",
+            change.seq,
+            change.step,
+            json_string(change.kind.name()),
+            json_string(&change.op),
+            json_string(&change.op_name),
+            json_string(&change.detail),
+        )
+    }
+
+    fn artifact_json(artifact: &Artifact) -> String {
+        format!(
+            "{{\"kind\":{},\"label\":{},\"content\":{}}}",
+            json_string(&artifact.kind),
+            json_string(&artifact.label),
+            json_string(&artifact.content),
+        )
+    }
+
+    /// Serializes only the *tail* of the journal — the last `k` steps,
+    /// changes, and artifacts — for the flight recorder's post-mortem
+    /// bundle, where the full journal would dwarf the ring buffer it
+    /// accompanies. Field shapes match [`Journal::to_json`] exactly so
+    /// tooling parses both with one schema.
+    pub fn tail_json(&self, k: usize) -> String {
+        let tail = |len: usize| len.saturating_sub(k);
+        let mut out = String::from("{\"steps\":[");
+        for (i, step) in self.steps[tail(self.steps.len())..].iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&Self::step_json(step));
+        }
+        out.push_str("],\"changes\":[");
+        for (i, change) in self.changes[tail(self.changes.len())..].iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&Self::change_json(change));
+        }
+        out.push_str("],\"artifacts\":[");
+        for (i, artifact) in self.artifacts[tail(self.artifacts.len())..]
+            .iter()
+            .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&Self::artifact_json(artifact));
         }
         out.push_str("]}");
         out

@@ -29,6 +29,13 @@
 //! * [`fault`] — deterministic fault injection (`TD_FAULT` plans, named
 //!   faultpoints, seeded per-lane schedules), the chaos harness driving
 //!   the transactional transform-application layer;
+//! * [`profile`] — the transform profiler: folds trace spans into
+//!   per-transform-op self/total time attribution with a ranked top-K
+//!   report and a speedscope-compatible collapsed-stack export
+//!   (`TD_PROFILE`);
+//! * [`flight`] — the crash flight recorder: a fixed-size ring buffer of
+//!   recent structured events dumped as a post-mortem artifact bundle to
+//!   `TD_FLIGHT_DIR` on panic, definite failure, or deadline expiry;
 //! * [`filecheck`] — a FileCheck-lite substring-check DSL backing the
 //!   golden-file tests;
 //! * [`mpmc`] — a bounded multi-producer/multi-consumer work queue with a
@@ -38,11 +45,13 @@ pub mod arena;
 pub mod diag;
 pub mod fault;
 pub mod filecheck;
+pub mod flight;
 pub mod interner;
 pub mod journal;
 pub mod location;
 pub mod metrics;
 pub mod mpmc;
+pub mod profile;
 pub mod proptest;
 pub mod rng;
 pub mod trace;

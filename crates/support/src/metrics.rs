@@ -52,11 +52,175 @@ impl TimerStat {
     }
 }
 
+/// Shared quantile semantics for the whole workspace: nearest-rank
+/// percentile over an ascending-sorted sample. The bench harness and the
+/// histogram bucket walk both use this definition, so a `p95` in a
+/// `BENCH_*.json` line and a `p95` derived from a [`Histogram`] mean the
+/// same thing.
+///
+/// `p` is in percent (`50.0` = median). Empty input returns 0.
+pub fn percentile_nearest_rank(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Sub-bucket resolution of [`Histogram`]: each power-of-two octave is
+/// split into `2^SUB_BITS` linear sub-buckets, bounding the relative
+/// quantile error at `2^-SUB_BITS` (12.5% worst case, half that at bucket
+/// midpoints) while keeping the bucket array a few hundred entries even
+/// for multi-minute latencies.
+const SUB_BITS: u32 = 3;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// A log-bucketed latency histogram: constant-time recording, bounded
+/// relative error quantiles (p50/p90/p99/p999), and lossless merging
+/// across worker lanes (bucket counts add element-wise).
+///
+/// Values are nanoseconds. Buckets follow the HDR scheme: values below
+/// `2^SUB_BITS` are exact, larger values land in `2^SUB_BITS` linear
+/// sub-buckets per power-of-two octave.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of all recorded values, in nanoseconds.
+    pub total_ns: u128,
+    /// Smallest recorded value (0 when empty).
+    pub min_ns: u128,
+    /// Largest recorded value.
+    pub max_ns: u128,
+    /// Bucket counts, grown lazily to the highest index observed.
+    buckets: Vec<u64>,
+}
+
+/// Bucket index of value `v` (clamped to `u64::MAX` ns ≈ 584 years).
+fn bucket_index(v: u128) -> usize {
+    let v = v.min(u128::from(u64::MAX)) as u64;
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros();
+    let sub = (v >> (octave - SUB_BITS)) & (SUB_BUCKETS - 1);
+    (((u64::from(octave) - u64::from(SUB_BITS) + 1) << SUB_BITS) + sub) as usize
+}
+
+/// Upper bound (inclusive, in ns) of bucket `index` — the value quantile
+/// queries report for samples that landed in the bucket.
+fn bucket_upper_bound(index: usize) -> u128 {
+    let index = index as u64;
+    if index < SUB_BUCKETS {
+        return u128::from(index);
+    }
+    let group = index >> SUB_BITS;
+    let sub = index & (SUB_BUCKETS - 1);
+    let octave = group + u64::from(SUB_BITS) - 1;
+    let base = 1u128 << octave;
+    let width = 1u128 << (octave - u64::from(SUB_BITS));
+    base + (u128::from(sub) + 1) * width - 1
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value (nanoseconds).
+    pub fn observe(&mut self, ns: u128) {
+        let index = bucket_index(ns);
+        if self.buckets.len() <= index {
+            self.buckets.resize(index + 1, 0);
+        }
+        self.buckets[index] += 1;
+        self.min_ns = if self.count == 0 {
+            ns
+        } else {
+            self.min_ns.min(ns)
+        };
+        self.count += 1;
+        self.total_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Arithmetic mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u128 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_ns / u128::from(self.count)
+        }
+    }
+
+    /// Nearest-rank quantile estimate in nanoseconds. `q` is in `[0, 1]`
+    /// (0.999 = p999). The estimate is the upper bound of the bucket the
+    /// ranked sample fell into, clamped into `[min_ns, max_ns]`, so the
+    /// relative error is bounded by the bucket width (≤ 12.5%).
+    pub fn quantile_ns(&self, q: f64) -> u128 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(index).clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Merges `other` into `self` (bucket counts add element-wise — the
+    /// merged quantiles are exactly those of the pooled sample).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, &theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.min_ns = if self.count == 0 {
+            other.min_ns
+        } else {
+            self.min_ns.min(other.min_ns)
+        };
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// The histogram summary as one JSON object with a corpus-stable field
+    /// order: `count`, `total_ns`, `min_ns`, `mean_ns`, `max_ns`, then the
+    /// four standard percentiles `p50_ns`/`p90_ns`/`p99_ns`/`p999_ns`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{},\
+             \"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}",
+            self.count,
+            self.total_ns,
+            self.min_ns,
+            self.mean_ns(),
+            self.max_ns,
+            self.quantile_ns(0.50),
+            self.quantile_ns(0.90),
+            self.quantile_ns(0.99),
+            self.quantile_ns(0.999),
+        )
+    }
+}
+
 /// A snapshot (or live store) of all recorded metrics.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Metrics {
     counters: BTreeMap<String, u64>,
     timers: BTreeMap<String, TimerStat>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 impl Metrics {
@@ -90,9 +254,27 @@ impl Metrics {
         stat.max_ns = stat.max_ns.max(ns);
     }
 
+    /// Records one value (nanoseconds) into histogram `name`.
+    pub fn observe_ns(&mut self, name: &str, ns: u128) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .observe(ns);
+    }
+
     /// Current value of a counter.
     pub fn counter_value(&self, name: &str) -> Option<u64> {
         self.counters.get(name).copied()
+    }
+
+    /// Current state of a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Current statistics of a timer.
@@ -112,10 +294,13 @@ impl Metrics {
 
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.timers.is_empty()
+        self.counters.is_empty() && self.timers.is_empty() && self.histograms.is_empty()
     }
 
-    /// Merges `other` into `self` (counters add, timers aggregate).
+    /// Merges `other` into `self` (counters add, timers aggregate,
+    /// histogram buckets add element-wise — merged quantiles are exactly
+    /// those of the pooled sample, which is what makes [`absorb`] across
+    /// worker lanes sound).
     pub fn merge(&mut self, other: &Metrics) {
         for (name, &value) in &other.counters {
             *self.counters.entry(name.clone()).or_insert(0) += value;
@@ -133,11 +318,19 @@ impl Metrics {
             mine.total_ns += stat.total_ns;
             mine.max_ns = mine.max_ns.max(stat.max_ns);
         }
+        for (name, histogram) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge(histogram);
+        }
     }
 
     /// Serializes the snapshot as a single JSON object:
     /// `{"counters": {...}, "timers": {"name": {"count", "total_ns",
-    /// "min_ns", "mean_ns", "max_ns"}}}`.
+    /// "min_ns", "mean_ns", "max_ns"}}, "histograms": {"name": {"count",
+    /// "total_ns", "min_ns", "mean_ns", "max_ns", "p50_ns", "p90_ns",
+    /// "p99_ns", "p999_ns"}}}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, (name, value)) in self.counters.iter().enumerate() {
@@ -161,6 +354,13 @@ impl Metrics {
                 stat.mean_ns(),
                 stat.max_ns
             );
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, histogram)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(name), histogram.to_json());
         }
         out.push_str("}}");
         out
@@ -205,6 +405,11 @@ pub fn high_watermark(name: &str, value: u64) {
 /// Records a timed interval under `name`.
 pub fn timer_ns(name: &str, ns: u128) {
     REGISTRY.with(|m| m.borrow_mut().add_timer_ns(name, ns));
+}
+
+/// Records a latency sample into the thread-local histogram `name`.
+pub fn observe(name: &str, ns: u128) {
+    REGISTRY.with(|m| m.borrow_mut().observe_ns(name, ns));
 }
 
 /// Times `f` and records the interval under `name`.
@@ -370,6 +575,118 @@ mod tests {
         let json = snapshot().to_json();
         assert!(json.contains("\"min_ns\":10"));
         assert!(json.contains("\"mean_ns\":137"));
+        reset();
+    }
+
+    #[test]
+    fn histogram_buckets_are_contiguous_and_invertible() {
+        // Every value must land in a bucket whose bounds contain it, and
+        // consecutive values must never skip backwards over buckets.
+        let mut last = 0usize;
+        for v in 0u128..4096 {
+            let index = bucket_index(v);
+            assert!(index >= last, "bucket index regressed at {v}");
+            assert!(
+                bucket_upper_bound(index) >= v,
+                "upper bound below value at {v}"
+            );
+            if index > 0 {
+                assert!(
+                    bucket_upper_bound(index - 1) < v,
+                    "previous bucket still covers {v}"
+                );
+            }
+            last = index;
+        }
+        // Large values clamp instead of overflowing.
+        let _ = bucket_index(u128::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_the_sample() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u128 {
+            h.observe(v * 1000); // 1µs .. 1ms
+        }
+        assert_eq!(h.count, 1000);
+        assert_eq!(h.min_ns, 1000);
+        assert_eq!(h.max_ns, 1_000_000);
+        // Log-bucketed estimates: within the 12.5% bucket-width bound.
+        let within = |q: f64, exact: u128| {
+            let est = h.quantile_ns(q);
+            assert!(
+                est >= exact && (est - exact) * 8 <= exact + 8,
+                "q{q}: estimate {est} not within a bucket of exact {exact}"
+            );
+        };
+        within(0.50, 500_000);
+        within(0.90, 900_000);
+        within(0.99, 990_000);
+        within(0.999, 999_000);
+        assert_eq!(h.quantile_ns(1.0), 1_000_000);
+        assert_eq!(Histogram::new().quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_merge_pools_samples_exactly() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut pooled = Histogram::new();
+        for v in 0..500u128 {
+            a.observe(v * 7 + 3);
+            pooled.observe(v * 7 + 3);
+        }
+        for v in 0..500u128 {
+            b.observe(v * 13 + 100_000);
+            pooled.observe(v * 13 + 100_000);
+        }
+        a.merge(&b);
+        assert_eq!(a, pooled, "merge must equal recording the pooled sample");
+        // Merging an empty histogram is a no-op.
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+        // Merging into an empty histogram copies.
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn metrics_carry_histograms_through_merge_and_json() {
+        let mut a = Metrics::new();
+        a.observe_ns("interp.step", 1_000);
+        a.observe_ns("interp.step", 100_000);
+        let mut b = Metrics::new();
+        b.observe_ns("interp.step", 10_000);
+        b.observe_ns("sched.job.run", 5_000);
+        a.merge(&b);
+        assert_eq!(a.histogram("interp.step").unwrap().count, 3);
+        assert_eq!(a.histogram("sched.job.run").unwrap().count, 1);
+        let json = a.to_json();
+        assert!(json.contains("\"histograms\":{"), "dump: {json}");
+        for field in ["\"p50_ns\":", "\"p90_ns\":", "\"p99_ns\":", "\"p999_ns\":"] {
+            assert!(json.contains(field), "missing {field}: {json}");
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank_matches_bench_semantics() {
+        let sorted = vec![10, 20, 30, 40];
+        assert_eq!(percentile_nearest_rank(&sorted, 50.0), 20);
+        assert_eq!(percentile_nearest_rank(&sorted, 95.0), 40);
+        assert_eq!(percentile_nearest_rank(&[7], 50.0), 7);
+        assert_eq!(percentile_nearest_rank(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn observe_feeds_the_thread_local_registry() {
+        reset();
+        observe("lat", 123);
+        observe("lat", 456);
+        let snap = snapshot();
+        assert_eq!(snap.histogram("lat").unwrap().count, 2);
+        assert!(!snap.is_empty());
         reset();
     }
 

@@ -1,0 +1,403 @@
+//! The transform profiler: folds [`crate::trace`] spans into per-span-name
+//! self/total time attribution, answering "where did the schedule's time
+//! actually go" per transform op rather than per whole pipeline.
+//!
+//! Mirrors the classic profiler vocabulary:
+//!
+//! * **total** (inclusive) time — the span's own duration, children
+//!   included; recursive spans count once per activation, so a name's
+//!   total may exceed wall clock (the standard inclusive-time caveat);
+//! * **self** (exclusive) time — duration minus the time spent in child
+//!   spans, which is what the ranked report sorts by: it points at the
+//!   code *itself*, not at whatever it happened to call.
+//!
+//! Two exports sit next to the Chrome `trace_event` exporter:
+//!
+//! * [`Profile::to_report_string`] — a ranked top-K table for terminals
+//!   and batch reports;
+//! * [`Profile::to_collapsed`] — Brendan Gregg collapsed-stack format
+//!   (`frame;frame;frame weight` lines, weight in nanoseconds of self
+//!   time), loadable directly by speedscope and `flamegraph.pl`.
+//!
+//! Driven by `TD_PROFILE=out.collapsed`: setting it implies trace
+//! collection (see [`crate::trace::enabled`]), and drivers flush via
+//! [`write_env_profile`] exactly where they flush `TD_TRACE`.
+
+use crate::metrics::json_string;
+use crate::trace::{EventKind, Trace};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated timing for one span name within one category.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// Span category (`pass`, `transform`, `sched`, ...).
+    pub cat: String,
+    /// Span name (e.g. `transform.loop.tile`).
+    pub name: String,
+    /// Number of activations.
+    pub count: u64,
+    /// Inclusive time across activations, in nanoseconds.
+    pub total_ns: u128,
+    /// Exclusive time across activations, in nanoseconds.
+    pub self_ns: u128,
+}
+
+/// A folded profile: per-name attribution plus the collapsed call stacks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Profile {
+    entries: BTreeMap<(String, String), ProfileEntry>,
+    /// `a;b;c` stack path → accumulated self nanoseconds.
+    stacks: BTreeMap<String, u128>,
+    /// Sum of root (depth-0) span durations — the profile's wall clock.
+    root_ns: u128,
+    /// Total span activations folded.
+    spans: u64,
+}
+
+/// One open frame during the fold: a span whose children are still being
+/// attributed.
+struct Frame {
+    cat: String,
+    name: String,
+    dur_ns: u128,
+    child_ns: u128,
+}
+
+impl Profile {
+    /// Folds a trace's span events into a profile. Instant events are
+    /// ignored; lanes (worker `tid`s from [`Trace::merge_as_thread`]) fold
+    /// independently so a merged batch trace attributes every worker's
+    /// time. Nesting is reconstructed from the recorded span depths, which
+    /// survive lane merging.
+    pub fn from_trace(trace: &Trace) -> Profile {
+        let mut profile = Profile::default();
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut lane: Option<u32> = None;
+        for event in trace.ordered() {
+            let EventKind::Span { dur_ns } = event.kind else {
+                continue;
+            };
+            if lane != Some(event.tid) {
+                profile.close_frames(&mut stack, 0);
+                lane = Some(event.tid);
+            }
+            profile.close_frames(&mut stack, event.depth);
+            if event.depth == 0 {
+                profile.root_ns += dur_ns;
+            }
+            stack.push(Frame {
+                cat: event.cat.clone(),
+                name: event.name.clone(),
+                dur_ns,
+                child_ns: 0,
+            });
+        }
+        profile.close_frames(&mut stack, 0);
+        profile
+    }
+
+    /// Pops frames until the stack is `depth` deep, attributing each
+    /// popped frame's self time and feeding its duration to its parent.
+    fn close_frames(&mut self, stack: &mut Vec<Frame>, depth: usize) {
+        while stack.len() > depth {
+            let frame = stack.pop().expect("stack len checked above");
+            let self_ns = frame.dur_ns.saturating_sub(frame.child_ns);
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns += frame.dur_ns;
+            }
+            let mut path = String::new();
+            for ancestor in stack.iter() {
+                path.push_str(&ancestor.name.replace(';', ","));
+                path.push(';');
+            }
+            path.push_str(&frame.name.replace(';', ","));
+            *self.stacks.entry(path).or_insert(0) += self_ns;
+            let entry = self
+                .entries
+                .entry((frame.cat.clone(), frame.name.clone()))
+                .or_insert_with(|| ProfileEntry {
+                    cat: frame.cat,
+                    name: frame.name,
+                    ..ProfileEntry::default()
+                });
+            entry.count += 1;
+            entry.total_ns += frame.dur_ns;
+            entry.self_ns += self_ns;
+            self.spans += 1;
+        }
+    }
+
+    /// Whether no spans were folded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of span activations folded.
+    pub fn span_count(&self) -> u64 {
+        self.spans
+    }
+
+    /// Sum of root-span durations (the profile's wall clock).
+    pub fn root_ns(&self) -> u128 {
+        self.root_ns
+    }
+
+    /// Looks up one entry by category and name.
+    pub fn entry(&self, cat: &str, name: &str) -> Option<&ProfileEntry> {
+        self.entries.get(&(cat.to_owned(), name.to_owned()))
+    }
+
+    /// Entries ranked by self time (descending), ties broken by name for
+    /// corpus-stable output.
+    pub fn ranked(&self) -> Vec<&ProfileEntry> {
+        let mut out: Vec<&ProfileEntry> = self.entries.values().collect();
+        out.sort_by(|a, b| {
+            b.self_ns
+                .cmp(&a.self_ns)
+                .then_with(|| a.name.cmp(&b.name))
+                .then_with(|| a.cat.cmp(&b.cat))
+        });
+        out
+    }
+
+    /// A ranked top-`k` text report:
+    ///
+    /// ```text
+    /// profile: 12 names, 40 spans, 1.204ms root time
+    ///   #  self         %      total        count  name
+    ///   1  0.800ms      66.4%  0.900ms          3  transform  loop.tile
+    /// ```
+    pub fn to_report_string(&self, k: usize) -> String {
+        let mut out = format!(
+            "profile: {} names, {} spans, {:.3}ms root time\n",
+            self.entries.len(),
+            self.spans,
+            self.root_ns as f64 / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "  {:>3}  {:>12}  {:>6}  {:>12}  {:>6}  name",
+            "#", "self", "%", "total", "count"
+        );
+        for (rank, entry) in self.ranked().iter().take(k).enumerate() {
+            let percent = if self.root_ns == 0 {
+                0.0
+            } else {
+                entry.self_ns as f64 * 100.0 / self.root_ns as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {:>3}  {:>10.3}ms  {:>5.1}%  {:>10.3}ms  {:>6}  {}  {}",
+                rank + 1,
+                entry.self_ns as f64 / 1e6,
+                percent,
+                entry.total_ns as f64 / 1e6,
+                entry.count,
+                entry.cat,
+                entry.name
+            );
+        }
+        out
+    }
+
+    /// Brendan Gregg collapsed-stack format: one `frame;frame;frame weight`
+    /// line per distinct stack, weight = accumulated self time in
+    /// nanoseconds. speedscope and `flamegraph.pl` import this directly.
+    /// Lines are sorted by stack path for corpus-stable output; semicolons
+    /// inside frame names are replaced with commas (the format's only
+    /// reserved character).
+    pub fn to_collapsed(&self) -> String {
+        let mut out = String::new();
+        for (path, self_ns) in &self.stacks {
+            let _ = writeln!(out, "{path} {self_ns}");
+        }
+        out
+    }
+
+    /// JSON report with stable field order, ranked by self time:
+    /// `{"root_ns":..,"spans":..,"entries":[{"cat":..,"name":..,
+    /// "count":..,"total_ns":..,"self_ns":..},...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"root_ns\":{},\"spans\":{},", self.root_ns, self.spans);
+        out.push_str("\"entries\":[");
+        for (i, entry) in self.ranked().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"cat\":{},\"name\":{},\"count\":{},\"total_ns\":{},\"self_ns\":{}}}",
+                json_string(&entry.cat),
+                json_string(&entry.name),
+                entry.count,
+                entry.total_ns,
+                entry.self_ns
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The `TD_PROFILE` collapsed-stack output path, if requested.
+pub fn env_profile_path() -> Option<String> {
+    std::env::var("TD_PROFILE").ok().filter(|p| !p.is_empty())
+}
+
+/// Folds this thread's trace and writes the collapsed-stack export to the
+/// path in `TD_PROFILE`, if set. Returns the path written to. Drivers call
+/// this once before exiting, next to [`crate::trace::write_env_trace`].
+///
+/// # Errors
+/// I/O failures carry the offending `TD_PROFILE` path in the message.
+pub fn write_env_profile() -> std::io::Result<Option<String>> {
+    let Some(path) = env_profile_path() else {
+        return Ok(None);
+    };
+    let profile = Profile::from_trace(&crate::trace::snapshot());
+    std::fs::write(&path, profile.to_collapsed()).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("cannot write TD_PROFILE profile to '{path}': {e}"),
+        )
+    })?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{validate_json, TraceEvent, MAIN_TID};
+
+    fn span(cat: &str, name: &str, start_ns: u128, dur_ns: u128, depth: usize) -> TraceEvent {
+        TraceEvent {
+            cat: cat.to_owned(),
+            name: name.to_owned(),
+            start_ns,
+            depth,
+            tid: MAIN_TID,
+            kind: EventKind::Span { dur_ns },
+            args: Vec::new(),
+        }
+    }
+
+    fn instant(name: &str, start_ns: u128, depth: usize) -> TraceEvent {
+        TraceEvent {
+            cat: "handle".to_owned(),
+            name: name.to_owned(),
+            start_ns,
+            depth,
+            tid: MAIN_TID,
+            kind: EventKind::Instant,
+            args: Vec::new(),
+        }
+    }
+
+    /// interp(0..1000) > tile(100..400), unroll(500..900) > vectorize(600..800)
+    fn sample_trace() -> Trace {
+        Trace::from_events(vec![
+            span("interp", "sequence", 0, 1000, 0),
+            span("transform", "loop.tile", 100, 300, 1),
+            instant("handle.allocated", 150, 2),
+            span("transform", "loop.unroll", 500, 400, 1),
+            span("transform", "vectorize", 600, 200, 2),
+        ])
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        let profile = Profile::from_trace(&sample_trace());
+        assert_eq!(profile.span_count(), 4);
+        assert_eq!(profile.root_ns(), 1000);
+        let seq = profile.entry("interp", "sequence").unwrap();
+        assert_eq!(seq.total_ns, 1000);
+        assert_eq!(seq.self_ns, 300, "1000 - tile 300 - unroll 400");
+        let unroll = profile.entry("transform", "loop.unroll").unwrap();
+        assert_eq!(unroll.total_ns, 400);
+        assert_eq!(unroll.self_ns, 200, "400 - vectorize 200");
+        let tile = profile.entry("transform", "loop.tile").unwrap();
+        assert_eq!(tile.self_ns, tile.total_ns, "leaf span is all self time");
+    }
+
+    #[test]
+    fn ranking_sorts_by_self_time_then_name() {
+        let profile = Profile::from_trace(&sample_trace());
+        let ranked = profile.ranked();
+        assert_eq!(ranked[0].name, "loop.tile"); // 300 self
+                                                 // sequence and vectorize are self-tied at 300/200: sequence 300 ties tile 300,
+                                                 // broken by name: "loop.tile" < "sequence".
+        assert_eq!(ranked[1].name, "sequence");
+        let report = profile.to_report_string(2);
+        assert!(report.contains("4 spans"), "report: {report}");
+        assert!(report.contains("loop.tile"), "report: {report}");
+        assert!(
+            !report.contains("vectorize"),
+            "top-2 cuts rank 3+: {report}"
+        );
+    }
+
+    #[test]
+    fn collapsed_export_encodes_full_stacks() {
+        let profile = Profile::from_trace(&sample_trace());
+        let collapsed = profile.to_collapsed();
+        let mut lines: Vec<&str> = collapsed.lines().collect();
+        lines.sort_unstable();
+        assert_eq!(
+            lines,
+            vec![
+                "sequence 300",
+                "sequence;loop.tile 300",
+                "sequence;loop.unroll 200",
+                "sequence;loop.unroll;vectorize 200",
+            ]
+        );
+    }
+
+    #[test]
+    fn lanes_fold_independently() {
+        let mut events = sample_trace().events().to_vec();
+        // A worker lane with its own epoch: overlapping timestamps must not
+        // confuse the fold because lanes are processed separately.
+        let mut worker = span("sched.job", "job-0", 0, 700, 0);
+        worker.tid = 2;
+        let mut inner = span("transform", "loop.tile", 50, 600, 1);
+        inner.tid = 2;
+        events.push(worker);
+        events.push(inner);
+        let profile = Profile::from_trace(&Trace::from_events(events));
+        assert_eq!(profile.root_ns(), 1700);
+        let tile = profile.entry("transform", "loop.tile").unwrap();
+        assert_eq!(tile.count, 2);
+        assert_eq!(tile.total_ns, 900);
+        let job = profile.entry("sched.job", "job-0").unwrap();
+        assert_eq!(job.self_ns, 100);
+        assert!(profile.to_collapsed().contains("job-0;loop.tile 600"));
+    }
+
+    #[test]
+    fn json_report_is_valid_and_ranked() {
+        let profile = Profile::from_trace(&sample_trace());
+        let json = profile.to_json();
+        validate_json(&json).expect("profile json well-formed");
+        assert!(json.starts_with("{\"root_ns\":1000,\"spans\":4,"));
+        let tile_at = json.find("loop.tile").unwrap();
+        let seq_at = json.find("\"sequence\"").unwrap();
+        assert!(tile_at < seq_at, "ranked order in entries: {json}");
+    }
+
+    #[test]
+    fn empty_trace_folds_to_empty_profile() {
+        let profile = Profile::from_trace(&Trace::default());
+        assert!(profile.is_empty());
+        assert_eq!(profile.to_collapsed(), "");
+        validate_json(&profile.to_json()).unwrap();
+    }
+
+    #[test]
+    fn semicolons_in_names_are_sanitized() {
+        let trace = Trace::from_events(vec![span("x", "a;b", 0, 10, 0)]);
+        let collapsed = Profile::from_trace(&trace).to_collapsed();
+        assert_eq!(collapsed, "a,b 10\n");
+    }
+}

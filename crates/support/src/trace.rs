@@ -90,6 +90,11 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Builds a trace from explicit events (deterministic tests, replay).
+    pub fn from_events(events: Vec<TraceEvent>) -> Trace {
+        Trace { events }
+    }
+
     /// The recorded events. Spans are recorded when they *end*, so the
     /// vector is not in start order; exporters sort as needed.
     pub fn events(&self) -> &[TraceEvent] {
@@ -242,7 +247,9 @@ pub fn env_trace_path() -> Option<String> {
 }
 
 /// Whether tracing is enabled on this thread (explicit
-/// [`set_enabled`] override, else the presence of `TD_TRACE`).
+/// [`set_enabled`] override, else the presence of `TD_TRACE` or
+/// `TD_PROFILE` — the profiler folds trace spans, so asking for a
+/// profile implies collecting the trace).
 pub fn enabled() -> bool {
     if let Some(explicit) = ENABLED_OVERRIDE.with(Cell::get) {
         return explicit;
@@ -250,7 +257,8 @@ pub fn enabled() -> bool {
     ENV_ENABLED.with(|cache| match cache.get() {
         Some(enabled) => enabled,
         None => {
-            let enabled = env_trace_path().is_some();
+            let enabled =
+                env_trace_path().is_some() || crate::profile::env_profile_path().is_some();
             cache.set(Some(enabled));
             enabled
         }

@@ -18,7 +18,7 @@
 use crate::interp::{InterpEnv, Interpreter};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use td_ir::{Context, OpId};
-use td_support::{fault, journal};
+use td_support::{fault, flight, journal};
 
 /// Result of a successful bisection.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -74,15 +74,20 @@ impl Bisector<'_, '_> {
         fault::reset_counters();
         let (mut ctx, entry, payload) = self.fresh()?;
         let mut interp = Interpreter::new(self.env);
-        match catch_unwind(AssertUnwindSafe(|| {
-            interp.apply_prefix(&mut ctx, entry, payload, limit)
-        })) {
-            Ok(result) => result.err().map(|e| e.diagnostic().message().to_owned()),
-            Err(panic_payload) => Some(format!(
-                "panicked: {}",
-                fault::panic_text(panic_payload.as_ref())
-            )),
-        }
+        // Probes reproduce the failure *on purpose*, O(log n) times; the
+        // flight recorder must neither record them as fresh incidents nor
+        // burn its dump cap re-dumping the crash being bisected.
+        flight::suppressed(|| {
+            match catch_unwind(AssertUnwindSafe(|| {
+                interp.apply_prefix(&mut ctx, entry, payload, limit)
+            })) {
+                Ok(result) => result.err().map(|e| e.diagnostic().message().to_owned()),
+                Err(panic_payload) => Some(format!(
+                    "panicked: {}",
+                    fault::panic_text(panic_payload.as_ref())
+                )),
+            }
+        })
     }
 }
 

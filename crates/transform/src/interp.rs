@@ -17,7 +17,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use td_ir::{BlockId, Context, ModuleCheckpoint, OpId, PassRegistry, ValueId};
 use td_support::diag::{self, Remark};
 use td_support::trace::{self, Instrumentation, IrView, PrintIr};
-use td_support::{fault, journal, metrics, Diagnostic, Location};
+use td_support::{fault, flight, journal, metrics, profile, Diagnostic, Location};
 
 /// When the interpreter wraps top-level steps in payload transactions
 /// (checkpoint before, roll back on failure).
@@ -333,6 +333,9 @@ impl<'e> Interpreter<'e> {
         if let Err(e) = journal::write_env_journal() {
             eprintln!("warning: failed to write TD_JOURNAL file: {e}");
         }
+        if let Err(e) = profile::write_env_profile() {
+            eprintln!("warning: failed to write TD_PROFILE file: {e}");
+        }
         result
     }
 
@@ -415,18 +418,65 @@ impl<'e> Interpreter<'e> {
         let take = limit.unwrap_or(ops.len());
         let mut result = Ok(());
         for op in ops.into_iter().take(take) {
+            let step_name = ctx.op(op).name.as_str().to_owned();
+            flight::record("step.begin", &[("name", step_name.clone())]);
+            let started = std::time::Instant::now();
             let step = if transactional {
                 self.execute_transactional(ctx, state, op)
             } else {
                 self.execute(ctx, state, op)
             };
-            if let Err(e) = step {
-                result = Err(e);
-                break;
+            let step_ns = started.elapsed().as_nanos();
+            metrics::observe("interp.step", step_ns);
+            match step {
+                Ok(()) => flight::record(
+                    "step.end",
+                    &[("name", step_name), ("dur_ns", step_ns.to_string())],
+                ),
+                Err(e) => {
+                    // The failing step's full attribution — name, operand
+                    // handles, post-failure payload fingerprint — goes into
+                    // the ring, so a flight dump replays what died and on
+                    // what. Cost is fine here: this path ends the apply.
+                    let handles: Vec<String> = ctx
+                        .op(op)
+                        .operands()
+                        .iter()
+                        .map(|v| format!("{v:?}"))
+                        .collect();
+                    let fingerprint = self.payload_fingerprint(ctx);
+                    let attribution = [
+                        ("name", step_name),
+                        ("handles", handles.join(",")),
+                        ("fingerprint", fingerprint.to_string()),
+                        ("error", e.diagnostic().message().to_owned()),
+                        (
+                            "class",
+                            if e.is_silenceable() {
+                                "silenceable".to_owned()
+                            } else {
+                                "definite".to_owned()
+                            },
+                        ),
+                    ];
+                    flight::record("step.failed", &attribution);
+                    // Dump only for definite failures (panics are contained
+                    // into definite errors by the transaction layer):
+                    // silenceable errors are routinely injected in chaos
+                    // runs and retried by td-sched.
+                    if !e.is_silenceable() {
+                        flight::dump("definite-failure", &attribution);
+                    }
+                    result = Err(e);
+                    break;
+                }
             }
         }
         self.drain_handle_events(state);
         self.stats.publish_to_metrics();
+        if fault::active() {
+            fault::publish_metrics();
+        }
         result
     }
 
@@ -527,6 +577,7 @@ impl<'e> Interpreter<'e> {
         })?;
         self.stats.rolled_back += 1;
         metrics::counter("interp.rolled_back", 1);
+        flight::record("rollback", &[("reason", why.to_owned())]);
         let token = if journal::enabled() {
             journal::begin_step(
                 "txn",

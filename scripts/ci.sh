@@ -49,6 +49,16 @@ echo "== chaos smoke (fault injection + transactional rollback) =="
 # different from its pre-step checkpoint.
 cargo run -q --release --offline -p td-bench --bin chaos_smoke
 
+echo "== observability smoke (histograms + flight recorder + profiler) =="
+# Four gates: p50/p90/p99/p999 percentile fields must appear in the batch
+# report JSON, the coordinator metrics snapshot (the TD_BENCH_JSON
+# surface), and the bench harness lines; an injected panic plan must dump
+# a flight bundle into TD_FLIGHT_DIR that replays the failing step's
+# attribution; TD_PROFILE must write a speedscope-loadable collapsed
+# profile; and the always-on flight recorder must cost < 3% idle
+# (EXPERIMENTS.md "Flight recorder overhead" methodology).
+cargo run -q --release --offline -p td-bench --bin obs_smoke
+
 echo "== generative fuzz smoke (differential oracle) =="
 # Fixed-seed fuzz run: 200 generated (schedule, payload) pairs pushed
 # through all seven oracle modes (direct Auto/Always, engine 1w/4w,

@@ -175,3 +175,125 @@ fn observability_is_silent_when_disabled() {
     );
     trace::clear_enabled_override();
 }
+
+/// The schedule each concurrent lane applies in
+/// [`merged_worker_lanes_remap_tids_and_keep_nesting`]: three transform
+/// steps, so every lane contributes a multi-level span tree.
+const LANE_SCRIPT: &str = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %tiles, %points = "transform.loop.tile"(%loop) {tile_sizes = [8]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    %unrolled = "transform.loop.unroll"(%points) {factor = 2} : (!transform.any_op) -> !transform.any_op
+  }
+}"#;
+
+fn lane_payload(i: usize) -> String {
+    let extent = 32 * (i + 1);
+    format!(
+        r#"module {{
+  func.func @lane{i}(%m: memref<{extent}xf32>) {{
+    %lo = arith.constant 0 : index
+    %hi = arith.constant {extent} : index
+    %st = arith.constant 1 : index
+    scf.for %i = %lo to %hi step %st {{
+      %v = "memref.load"(%m, %i) : (memref<{extent}xf32>, index) -> f32
+      "test.use"(%v) : (f32) -> ()
+    }}
+    func.return
+  }}
+}}"#
+    )
+}
+
+/// One lane's trace, recorded on its own thread-local collector.
+fn record_lane(i: usize) -> trace::Trace {
+    trace::reset();
+    trace::set_enabled(true);
+    let (mut ctx, payload, entry) = setup(&lane_payload(i), LANE_SCRIPT);
+    Interpreter::new(&InterpEnv::standard())
+        .apply(&mut ctx, entry, payload)
+        .unwrap();
+    trace::clear_enabled_override();
+    trace::take()
+}
+
+/// Worker-lane merging (`Trace::merge_as_thread` / `trace::adopt`): three
+/// lanes recorded on three real threads land at distinct tids, every
+/// lane's span nesting survives the merge, and both merge paths produce
+/// a Chrome export the std-only validator accepts.
+#[test]
+fn merged_worker_lanes_remap_tids_and_keep_nesting() {
+    let lanes: Vec<trace::Trace> = {
+        let handles: Vec<_> = (0..3)
+            .map(|i| std::thread::spawn(move || record_lane(i)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    };
+    for (i, lane) in lanes.iter().enumerate() {
+        assert!(!lane.is_empty(), "lane {i} recorded nothing");
+    }
+
+    // Path 1: pure-data merge into a standalone Trace.
+    let mut merged = trace::Trace::from_events(Vec::new());
+    for (i, lane) in lanes.iter().enumerate() {
+        merged.merge_as_thread(lane, i as u32 + 2);
+    }
+    let tids: std::collections::BTreeSet<u32> = merged.events().iter().map(|e| e.tid).collect();
+    assert_eq!(
+        tids,
+        [2u32, 3, 4].into_iter().collect(),
+        "each lane must land at its assigned tid"
+    );
+    for tid in [2u32, 3, 4] {
+        let lane_events: Vec<_> = merged.events().iter().filter(|e| e.tid == tid).collect();
+        let apply = lane_events
+            .iter()
+            .find(|e| e.cat == "interp" && e.name == "apply")
+            .unwrap_or_else(|| panic!("lane tid={tid} lost its apply span"));
+        for op in [
+            "transform.match_op",
+            "transform.loop.tile",
+            "transform.loop.unroll",
+        ] {
+            let span = lane_events
+                .iter()
+                .find(|e| e.cat == "transform" && e.name == op)
+                .unwrap_or_else(|| panic!("lane tid={tid} lost span {op}"));
+            assert!(
+                span.depth > apply.depth,
+                "lane tid={tid}: {op} must stay nested under apply"
+            );
+        }
+    }
+    trace::validate_json(&merged.to_chrome_json()).expect("merged export valid");
+
+    // Path 2: adoption into the live thread-local collector, under an
+    // enclosing coordinator span at MAIN_TID.
+    trace::reset();
+    trace::set_enabled(true);
+    {
+        let _batch = trace::span("sched", "batch");
+        for (i, lane) in lanes.iter().enumerate() {
+            trace::adopt(lane, i as u32 + 2);
+        }
+    }
+    trace::clear_enabled_override();
+    let adopted = trace::take();
+    let adopted_tids: std::collections::BTreeSet<u32> =
+        adopted.events().iter().map(|e| e.tid).collect();
+    assert_eq!(
+        adopted_tids,
+        [trace::MAIN_TID, 2, 3, 4].into_iter().collect(),
+        "coordinator span at MAIN_TID alongside the adopted lanes"
+    );
+    let per_lane = |tid: u32| {
+        adopted
+            .events()
+            .iter()
+            .filter(|e| e.tid == tid && e.cat == "transform")
+            .count()
+    };
+    assert_eq!(per_lane(2), per_lane(3));
+    assert_eq!(per_lane(3), per_lane(4));
+    trace::validate_json(&adopted.to_chrome_json()).expect("adopted export valid");
+}
