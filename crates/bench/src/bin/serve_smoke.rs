@@ -1,0 +1,294 @@
+//! CI smoke check for td-serve, in two acts.
+//!
+//! **Act 1 — warm restarts (subprocess).** Spawns the real `td_serve`
+//! daemon binary in stdio mode with a persistent cache directory, runs a
+//! mixed two-tenant batch cold, shuts the daemon down, starts a *fresh*
+//! daemon process over the same directory, and reruns the batch (with the
+//! tenants swapped — content addressing shares results across tenants).
+//! Fails unless the warm run is byte-identical to the cold run and >90%
+//! of warm jobs are served by the on-disk cache.
+//!
+//! **Act 2 — multi-tenant chaos soak (in-process).** Installs a TD_FAULT
+//! plan targeting three tenants' fault lanes with three fault kinds —
+//! silenceable (absorbed by that tenant's retry budget), panic (contained
+//! by the engine), and sleep-past-deadline — while a fourth, unfaulted
+//! tenant runs the same interleaved workload. Fails unless the unfaulted
+//! tenant's outputs are byte-identical to a no-fault baseline (tenant
+//! isolation), every faulted tenant shows exactly its configured failure
+//! mode, and the drain delivers every admitted job (clean shutdown).
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use td_sched::JobError;
+use td_serve::{Client, Service, ServiceConfig, TenantConfig};
+use td_support::fault;
+
+fn payload(i: usize) -> String {
+    let extent = 32 * (i + 1);
+    format!(
+        r#"module {{
+  func.func @work{i}(%x: memref<{extent}xf32>) {{
+    %lo = arith.constant 0 : index
+    %hi = arith.constant {extent} : index
+    %st = arith.constant 1 : index
+    scf.for %i = %lo to %hi step %st {{
+      %v = "memref.load"(%x, %i) : (memref<{extent}xf32>, index) -> f32
+      %w = "arith.addf"(%v, %v) : (f32, f32) -> f32
+      "memref.store"(%w, %x, %i) : (f32, memref<{extent}xf32>, index) -> ()
+    }}
+    func.return
+  }}
+}}"#
+    )
+}
+
+const SCRIPT: &str = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %loop = "transform.match_op"(%root) {name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %tiles, %points = "transform.loop.tile"(%loop) {tile_sizes = [8]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+  }
+}"#;
+
+/// Extracts `"key":<u64>` from a flat JSON string (the stats surface).
+fn json_u64(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("stats JSON missing {key}: {json}"));
+    json[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("unparsable {key} in {json}"))
+}
+
+/// Spawns the sibling `td_serve` binary in stdio mode over `cache_dir`.
+fn spawn_daemon(cache_dir: &PathBuf) -> Child {
+    let daemon = std::env::current_exe()
+        .expect("own path")
+        .with_file_name("td_serve");
+    assert!(
+        daemon.exists(),
+        "daemon binary missing at {} (build the workspace first)",
+        daemon.display()
+    );
+    Command::new(daemon)
+        .env_remove("TD_SERVE_SOCK")
+        .env_remove("TD_FAULT")
+        .env("TD_SERVE_CACHE_DIR", cache_dir)
+        .env("TD_SERVE_TENANTS", "alpha:weight=2;beta")
+        .env("TD_SERVE_WORKERS", "2")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn td_serve")
+}
+
+/// One daemon lifetime: submit `jobs` alternating between the two
+/// tenants (`swap` flips which tenant asks), return the outputs plus the
+/// daemon's final disk-hit count.
+fn run_session(cache_dir: &PathBuf, jobs: usize, swap: bool) -> (Vec<String>, u64, u64) {
+    let mut child = spawn_daemon(cache_dir);
+    let stdout = child.stdout.take().expect("child stdout");
+    let stdin = child.stdin.take().expect("child stdin");
+    let mut client = Client::new(stdout, stdin);
+    client.ping().expect("daemon must answer PING");
+    let batch_started = std::time::Instant::now();
+    let mut outputs = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        let tenant = match (i % 2 == 0) ^ swap {
+            true => "alpha",
+            false => "beta",
+        };
+        let done = client
+            .submit(tenant, SCRIPT, &payload(i), "main")
+            .unwrap_or_else(|e| panic!("submit {i} as {tenant}: {e}"));
+        outputs.push(
+            done.output
+                .unwrap_or_else(|e| panic!("job {i} failed: {e}")),
+        );
+    }
+    let batch_wall = batch_started.elapsed();
+    let stats = client.stats().expect("STATS");
+    let disk_hits = json_u64(&stats, "disk_hits");
+    let completed = json_u64(&stats, "jobs_completed");
+    client.shutdown().expect("SHUTDOWN must answer BYE");
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success(), "daemon exited dirty: {status}");
+    println!(
+        "  session ({}): {jobs} jobs in {:.1} ms ({:.0} jobs/s), {disk_hits} disk hit(s)",
+        if swap {
+            "warm, tenants swapped"
+        } else {
+            "cold"
+        },
+        batch_wall.as_secs_f64() * 1e3,
+        jobs as f64 / batch_wall.as_secs_f64(),
+    );
+    (outputs, disk_hits, completed)
+}
+
+fn restart_smoke() {
+    let cache_dir =
+        std::env::temp_dir().join(format!("td-serve-smoke-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let jobs = 12;
+
+    let (cold_outputs, cold_disk_hits, cold_completed) = run_session(&cache_dir, jobs, false);
+    assert_eq!(cold_completed, jobs as u64);
+    assert_eq!(cold_disk_hits, 0, "a cold daemon has nothing on disk");
+
+    // Fresh process, same directory, tenants swapped: every job must be
+    // served from the persistent layer.
+    let (warm_outputs, warm_disk_hits, warm_completed) = run_session(&cache_dir, jobs, true);
+    assert_eq!(warm_completed, jobs as u64);
+    assert_eq!(
+        warm_outputs, cold_outputs,
+        "warm outputs diverge from the cold run"
+    );
+    let warm_rate = warm_disk_hits as f64 / jobs as f64;
+    assert!(
+        warm_rate > 0.9,
+        "restart must warm-start from disk: {warm_disk_hits}/{jobs} hits"
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    println!(
+        "serve restart smoke OK: {jobs} jobs cold, {warm_disk_hits}/{jobs} served from disk \
+         after restart ({:.0}%)",
+        warm_rate * 100.0
+    );
+}
+
+fn chaos_soak() {
+    // Three fault kinds, each scoped to one tenant's lane; `steady` (lane
+    // 11) is in none of them.
+    fault::set_plan(Some(
+        // The schedule runs two transforms, so per-lane hit indices 0 and
+        // 1 exist; `step=1` fires on the second transform of every job in
+        // that lane.
+        fault::FaultPlan::parse("silenceable@job=7,step=1;panic@job=8,step=1;sleep@ms=60,job=9")
+            .expect("plan parses"),
+    ));
+    let tenants = vec![
+        TenantConfig::new("steady")
+            .with_weight(2)
+            .with_fault_lane(11),
+        TenantConfig::new("flaky")
+            .with_fault_lane(7)
+            .with_max_attempts(2),
+        TenantConfig::new("crashy")
+            .with_fault_lane(8)
+            .with_failure_budget(8),
+        TenantConfig::new("laggy")
+            .with_fault_lane(9)
+            .with_deadline_ms(20),
+    ];
+    let service = Service::start(ServiceConfig::new(tenants).with_workers(3)).unwrap();
+
+    // Interleave all four tenants so faulted and unfaulted jobs share the
+    // worker pool concurrently — the condition isolation must survive.
+    // Payloads are disjoint per tenant: the cache is shared and content-
+    // addressed, so identical inputs would be (correctly!) served from
+    // memory without ever reaching a faultpoint.
+    let per_tenant = 5;
+    let mut ids: Vec<(String, u64)> = Vec::new();
+    for i in 0..per_tenant {
+        for (slot, tenant) in ["steady", "flaky", "crashy", "laggy"]
+            .into_iter()
+            .enumerate()
+        {
+            let id = service
+                .submit(tenant, SCRIPT, payload(100 * slot + i), "main")
+                .unwrap_or_else(|e| panic!("admitting {tenant} job {i}: {e}"));
+            ids.push((tenant.to_owned(), id));
+        }
+    }
+    let mut steady_outputs = Vec::new();
+    let mut crashy_failures = 0;
+    for (tenant, id) in ids {
+        let done = service.wait(id);
+        match tenant.as_str() {
+            "steady" => {
+                let output = done
+                    .result
+                    .unwrap_or_else(|e| panic!("unfaulted tenant hit a fault: {e}"));
+                steady_outputs.push(output.module_text);
+            }
+            "flaky" => {
+                // The silenceable fault fires once per job; the tenant's
+                // retry budget absorbs it invisibly.
+                let output = done
+                    .result
+                    .unwrap_or_else(|e| panic!("retry budget must absorb the fault: {e}"));
+                assert_eq!(output.attempts, 2, "flaky jobs succeed on attempt 2");
+            }
+            "crashy" => {
+                // The transactional interpreter contains the panic, rolls
+                // the payload back, and reports a definite failure.
+                match done.result {
+                    Err(JobError::Transform {
+                        message,
+                        silenceable,
+                    }) => {
+                        assert!(message.contains("panicked"), "{message}");
+                        assert!(!silenceable);
+                        crashy_failures += 1;
+                    }
+                    other => panic!("crashy job: expected contained panic, got {other:?}"),
+                }
+                // Failed jobs leave retrievable diagnostics.
+                assert!(
+                    service.artifact(done.job_id, "flight").is_some(),
+                    "failed job {} must retain a flight bundle",
+                    done.job_id
+                );
+            }
+            "laggy" => match done.result {
+                Err(JobError::DeadlineExceeded) => {}
+                other => panic!("laggy job: expected deadline miss, got {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+    assert_eq!(crashy_failures, per_tenant);
+    let summary = service.drain();
+    assert_eq!(
+        summary.jobs,
+        (per_tenant * 4) as u64,
+        "drain must deliver every admitted job"
+    );
+    fault::set_plan(None);
+
+    // The isolation gate: the unfaulted tenant's outputs must be
+    // byte-identical to a run with no fault plan installed at all.
+    let baseline_service =
+        Service::start(ServiceConfig::new(vec![TenantConfig::new("steady")])).unwrap();
+    let baseline: Vec<String> = (0..per_tenant)
+        .map(|i| {
+            baseline_service
+                .submit_wait("steady", SCRIPT, payload(i), "main")
+                .unwrap()
+                .result
+                .unwrap()
+                .module_text
+        })
+        .collect();
+    baseline_service.drain();
+    assert_eq!(
+        steady_outputs, baseline,
+        "cross-tenant fault leakage: unfaulted tenant's outputs changed"
+    );
+    println!(
+        "serve chaos soak OK: 3 faulted tenants contained, {} unfaulted jobs byte-identical, \
+         {} jobs drained cleanly",
+        per_tenant, summary.jobs
+    );
+}
+
+fn main() {
+    restart_smoke();
+    chaos_soak();
+    println!("serve smoke OK");
+}

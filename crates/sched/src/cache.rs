@@ -14,7 +14,7 @@
 //! is irrelevant).
 
 use std::collections::HashMap;
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use td_support::{flight, metrics};
 
 /// Cache key: fingerprints of the script, the payload, and the entry
@@ -51,18 +51,42 @@ pub struct CachedResult {
     pub transforms_executed: usize,
 }
 
+/// A second-level persistence layer behind the in-memory [`ResultCache`]:
+/// consulted on a memory miss, written through on every insert. `td-serve`
+/// implements this with a content-addressed on-disk store so the result
+/// cache survives daemon restarts; tests can implement it with a plain
+/// map. Implementations must be safe to call from any worker thread and
+/// should treat `store` as best-effort (a failed write only loses a future
+/// warm hit, never correctness — equal keys imply identical inputs).
+pub trait CachePersist: Send + Sync {
+    /// Looks `key` up in the persistent layer.
+    fn load(&self, key: &CacheKey) -> Option<CachedResult>;
+    /// Writes `value` through to the persistent layer.
+    fn store(&self, key: &CacheKey, value: &CachedResult);
+}
+
 /// Counters describing cache behaviour.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups that found an entry.
+    /// Lookups that found an entry (in memory or in the persistent
+    /// layer — the subset served by the latter is also in `disk_hits`).
     pub hits: u64,
     /// Lookups that found nothing (including all lookups on a disabled
     /// cache).
     pub misses: u64,
-    /// Entries stored.
+    /// New entries stored. Same-key replacements are *not* inserts — they
+    /// are counted in `replacements` instead.
     pub inserts: u64,
-    /// Entries evicted to make room.
+    /// Entries evicted to make room. A same-key replacement displaces no
+    /// victim and is deliberately not counted here.
     pub evictions: u64,
+    /// Same-key inserts that overwrote a live entry (neither a hit, nor an
+    /// insert, nor an eviction).
+    pub replacements: u64,
+    /// The subset of `hits` served by the persistent layer
+    /// ([`CachePersist`]) rather than memory — the warm-start signal after
+    /// a restart.
+    pub disk_hits: u64,
 }
 
 impl CacheStats {
@@ -74,6 +98,8 @@ impl CacheStats {
             misses: self.misses - earlier.misses,
             inserts: self.inserts - earlier.inserts,
             evictions: self.evictions - earlier.evictions,
+            replacements: self.replacements - earlier.replacements,
+            disk_hits: self.disk_hits - earlier.disk_hits,
         }
     }
 
@@ -84,6 +110,18 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of lookups served by the persistent layer, in `[0, 1]` —
+    /// the warm-start hit rate a freshly restarted `td-serve` daemon
+    /// reports.
+    pub fn disk_hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.disk_hits as f64 / total as f64
         }
     }
 }
@@ -99,10 +137,12 @@ struct CacheState {
     stats: CacheStats,
 }
 
-/// A bounded, thread-safe LRU result cache.
+/// A bounded, thread-safe LRU result cache, optionally backed by a
+/// persistent second level ([`CachePersist`]).
 pub struct ResultCache {
     capacity: usize,
     state: Mutex<CacheState>,
+    persist: Option<Arc<dyn CachePersist>>,
 }
 
 impl ResultCache {
@@ -116,7 +156,20 @@ impl ResultCache {
                 tick: 0,
                 stats: CacheStats::default(),
             }),
+            persist: None,
         }
+    }
+
+    /// A cache backed by a persistent layer: memory misses fall through to
+    /// `persist.load` (a hit is promoted into memory and counted as both a
+    /// hit and a `disk_hit`), and inserts write through via
+    /// `persist.store`. With capacity 0 the memory level is disabled but
+    /// the persistent level still serves and stores — a daemon restarted
+    /// with an empty memory cache starts warm.
+    pub fn with_persistence(capacity: usize, persist: Arc<dyn CachePersist>) -> Self {
+        let mut cache = ResultCache::new(capacity);
+        cache.persist = Some(persist);
+        cache
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
@@ -125,43 +178,104 @@ impl ResultCache {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Looks up `key`, refreshing its recency on a hit. Records the
-    /// outcome in [`CacheStats`] and as `sched.cache.hit` /
-    /// `sched.cache.miss` metrics counters on the calling thread.
+    /// Looks up `key`, refreshing its recency on a hit. A memory miss
+    /// falls through to the persistent layer (if any); a persistent hit is
+    /// promoted into memory and counted as both a hit and a `disk_hit`.
+    /// Records the outcome in [`CacheStats`] and as `sched.cache.hit` /
+    /// `sched.cache.disk_hit` / `sched.cache.miss` metrics counters on the
+    /// calling thread.
     pub fn get(&self, key: &CacheKey) -> Option<CachedResult> {
         let mut state = self.lock();
         state.tick += 1;
         let tick = state.tick;
-        match state.map.get_mut(key) {
-            Some(entry) => {
-                entry.last_used = tick;
-                let value = entry.value.clone();
+        if let Some(entry) = state.map.get_mut(key) {
+            entry.last_used = tick;
+            let value = entry.value.clone();
+            state.stats.hits += 1;
+            drop(state);
+            metrics::counter("sched.cache.hit", 1);
+            flight::record("cache.hit", &[("script_fp", key.script_fp.to_string())]);
+            return Some(value);
+        }
+        drop(state);
+        // The persistent layer is consulted outside the lock: disk I/O
+        // must not serialize other workers' memory lookups. Two threads
+        // racing the same key may both load and promote — idempotent,
+        // since equal keys imply identical values.
+        if let Some(persist) = &self.persist {
+            if let Some(value) = persist.load(key) {
+                self.promote(*key, value.clone());
+                let mut state = self.lock();
                 state.stats.hits += 1;
+                state.stats.disk_hits += 1;
                 drop(state);
                 metrics::counter("sched.cache.hit", 1);
-                flight::record("cache.hit", &[("script_fp", key.script_fp.to_string())]);
-                Some(value)
-            }
-            None => {
-                state.stats.misses += 1;
-                drop(state);
-                metrics::counter("sched.cache.miss", 1);
-                flight::record("cache.miss", &[("script_fp", key.script_fp.to_string())]);
-                None
+                metrics::counter("sched.cache.disk_hit", 1);
+                flight::record(
+                    "cache.disk_hit",
+                    &[("script_fp", key.script_fp.to_string())],
+                );
+                return Some(value);
             }
         }
+        let mut state = self.lock();
+        state.stats.misses += 1;
+        drop(state);
+        metrics::counter("sched.cache.miss", 1);
+        flight::record("cache.miss", &[("script_fp", key.script_fp.to_string())]);
+        None
     }
 
     /// Stores `value` under `key`, evicting the least-recently-used entry
-    /// if the cache is full. No-op when the cache is disabled.
+    /// if the cache is full. Replacing a live entry under the same key is
+    /// counted as a `replacement` — *not* as an insert, a hit, or an
+    /// eviction (no victim was displaced; see [`CacheStats`]). Writes
+    /// through to the persistent layer even when the memory level is
+    /// disabled (capacity 0).
     pub fn insert(&self, key: CacheKey, value: CachedResult) {
+        if let Some(persist) = &self.persist {
+            persist.store(&key, &value);
+        }
         if self.capacity == 0 {
             return;
         }
         let mut state = self.lock();
         state.tick += 1;
         let tick = state.tick;
-        if !state.map.contains_key(&key) && state.map.len() >= self.capacity {
+        let replaced = self.store_entry(&mut state, key, value, tick);
+        if replaced {
+            state.stats.replacements += 1;
+            metrics::counter("sched.cache.replacement", 1);
+        } else {
+            state.stats.inserts += 1;
+        }
+    }
+
+    /// Places a disk-loaded value into the memory level without touching
+    /// the insert/replacement counters (a promotion is neither — the entry
+    /// was neither computed nor displaced by new work).
+    fn promote(&self, key: CacheKey, value: CachedResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut state = self.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        self.store_entry(&mut state, key, value, tick);
+    }
+
+    /// Inserts into the memory map, evicting the LRU entry when a *new*
+    /// key would overflow capacity. Returns whether a live entry under the
+    /// same key was replaced.
+    fn store_entry(
+        &self,
+        state: &mut CacheState,
+        key: CacheKey,
+        value: CachedResult,
+        tick: u64,
+    ) -> bool {
+        let replaced = state.map.contains_key(&key);
+        if !replaced && state.map.len() >= self.capacity {
             if let Some(&victim) = state
                 .map
                 .iter()
@@ -173,7 +287,6 @@ impl ResultCache {
                 metrics::counter("sched.cache.eviction", 1);
             }
         }
-        state.stats.inserts += 1;
         state.map.insert(
             key,
             Entry {
@@ -181,6 +294,7 @@ impl ResultCache {
                 last_used: tick,
             },
         );
+        replaced
     }
 
     /// Snapshot of the cumulative counters.
@@ -278,6 +392,73 @@ mod tests {
         assert_eq!(cache.get(&key(1, 1)), None);
         assert_eq!(cache.stats().inserts, 0);
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    /// Regression: a same-key insert replaces the live entry and must be
+    /// counted as a *replacement* — not as an insert (which would
+    /// overstate distinct results computed), not as an eviction (no
+    /// victim was displaced), and not as a hit.
+    #[test]
+    fn replacement_counts_as_neither_hit_nor_eviction_nor_insert() {
+        let cache = ResultCache::new(2);
+        cache.insert(key(1, 1), value("a"));
+        cache.insert(key(1, 1), value("a2"));
+        cache.insert(key(1, 1), value("a3"));
+        let stats = cache.stats();
+        assert_eq!(stats.inserts, 1, "one distinct key was ever inserted");
+        assert_eq!(stats.replacements, 2, "two same-key overwrites");
+        assert_eq!(stats.evictions, 0, "replacement displaces no victim");
+        assert_eq!(stats.hits, 0, "inserting is not a lookup");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key(1, 1)).unwrap().module_text, "a3");
+    }
+
+    struct MapPersist(Mutex<HashMap<CacheKey, CachedResult>>);
+
+    impl MapPersist {
+        fn new() -> Arc<Self> {
+            Arc::new(MapPersist(Mutex::new(HashMap::new())))
+        }
+    }
+
+    impl CachePersist for MapPersist {
+        fn load(&self, key: &CacheKey) -> Option<CachedResult> {
+            self.0.lock().unwrap().get(key).cloned()
+        }
+        fn store(&self, key: &CacheKey, value: &CachedResult) {
+            self.0.lock().unwrap().insert(*key, value.clone());
+        }
+    }
+
+    #[test]
+    fn persistent_layer_serves_and_promotes_on_memory_miss() {
+        let persist = MapPersist::new();
+        let warm = ResultCache::with_persistence(4, Arc::clone(&persist) as Arc<dyn CachePersist>);
+        // Simulate a pre-restart write: the entry exists only on "disk".
+        persist.store(&key(1, 1), &value("a"));
+        let got = warm
+            .get(&key(1, 1))
+            .expect("served from the persistent layer");
+        assert_eq!(got.module_text, "a");
+        let stats = warm.stats();
+        assert_eq!((stats.hits, stats.disk_hits, stats.misses), (1, 1, 0));
+        assert_eq!(stats.inserts, 0, "promotion is not an insert");
+        // Promoted: the second lookup is a pure memory hit.
+        assert!(warm.get(&key(1, 1)).is_some());
+        let stats = warm.stats();
+        assert_eq!((stats.hits, stats.disk_hits), (2, 1));
+        assert!((stats.disk_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inserts_write_through_even_with_memory_disabled() {
+        let persist = MapPersist::new();
+        let cache = ResultCache::with_persistence(0, Arc::clone(&persist) as Arc<dyn CachePersist>);
+        cache.insert(key(1, 1), value("a"));
+        assert!(cache.is_empty(), "memory level stays disabled");
+        // A capacity-0 cache with persistence still serves from disk.
+        assert_eq!(cache.get(&key(1, 1)).unwrap().module_text, "a");
+        assert_eq!(cache.stats().disk_hits, 1);
     }
 
     #[test]

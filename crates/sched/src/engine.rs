@@ -258,20 +258,35 @@ impl BatchReport {
 #[derive(Debug)]
 pub struct Engine {
     config: EngineConfig,
-    cache: ResultCache,
+    cache: Arc<ResultCache>,
 }
 
 impl Engine {
     /// Creates an engine; the result cache is sized from the config and
     /// lives as long as the engine (batches share it).
     pub fn new(config: EngineConfig) -> Self {
-        let cache = ResultCache::new(config.cache_capacity);
+        let cache = Arc::new(ResultCache::new(config.cache_capacity));
+        Engine { config, cache }
+    }
+
+    /// Creates an engine over a caller-owned result cache. This is the
+    /// multi-tenant hook: `td-serve` gives every tenant its own engine
+    /// (own deadline/retry/budget config) while all of them share one
+    /// memory+disk cache — results are content-addressed, so sharing is
+    /// safe across tenants by construction.
+    pub fn with_shared_cache(config: EngineConfig, cache: Arc<ResultCache>) -> Self {
         Engine { config, cache }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The engine's result cache (shared across batches; possibly across
+    /// engines — see [`Engine::with_shared_cache`]).
+    pub fn cache(&self) -> &Arc<ResultCache> {
+        &self.cache
     }
 
     /// Cumulative cache counters across all batches.
@@ -348,8 +363,10 @@ impl Engine {
                             // many workers) the job lands on. `set_lane`
                             // also resets the per-lane hit counters, so
                             // `step=N` clauses count from this job's first
-                            // faultpoint hit.
-                            fault::set_lane(index as u64);
+                            // faultpoint hit. Jobs carrying an explicit
+                            // lane (td-serve: the tenant's lane) keep it,
+                            // so a `job=N` selector targets one tenant.
+                            fault::set_lane(job.fault_lane.unwrap_or(index as u64));
                             let result = if degraded.load(Ordering::Acquire) {
                                 // Budget tripped: drain without
                                 // dispatching. Every remaining slot still
@@ -542,6 +559,9 @@ impl Engine {
     ) -> JobResult {
         let mut job_span = trace::span("sched", "job");
         job_span.arg("entry", job.entry.clone());
+        if !job.tag.is_empty() {
+            job_span.arg("tenant", job.tag.clone());
+        }
         if self.deadline_elapsed(batch_start) {
             job_span.arg("outcome", "cancelled");
             metrics::counter("sched.deadline_cancelled", 1);
@@ -549,6 +569,7 @@ impl Engine {
             let attribution = [
                 ("job", index.to_string()),
                 ("entry", job.entry.clone()),
+                ("tenant", job.tag.clone()),
                 ("phase", "queued".to_owned()),
             ];
             flight::record("deadline.expired", &attribution);
@@ -602,6 +623,7 @@ impl Engine {
                         let attribution = [
                             ("job", index.to_string()),
                             ("entry", job.entry.clone()),
+                            ("tenant", job.tag.clone()),
                             ("phase", "ran".to_owned()),
                         ];
                         flight::record("deadline.expired", &attribution);

@@ -15,6 +15,18 @@ pub struct Job {
     pub payload: String,
     /// Symbol name of the entry `transform.named_sequence` in the script.
     pub entry: String,
+    /// Free-form owner tag (td-serve: the tenant name; empty when unused).
+    /// Carried into trace spans and flight-recorder attributions so a
+    /// multi-tenant batch report says *whose* job did what. Deliberately
+    /// not part of the cache key: two tenants submitting identical inputs
+    /// share the cached result.
+    pub tag: String,
+    /// Fault-injection lane override. By default a job's chaos lane is its
+    /// batch index (worker-count-independent fault schedules); a service
+    /// multiplexing many tenants through single-job batches sets this to a
+    /// per-tenant lane instead, so a `TD_FAULT` `job=N` selector targets
+    /// one tenant without touching the others.
+    pub fault_lane: Option<u64>,
 }
 
 impl Job {
@@ -24,12 +36,27 @@ impl Job {
             script: script.into(),
             payload: payload.into(),
             entry: "main".to_owned(),
+            tag: String::new(),
+            fault_lane: None,
         }
     }
 
     /// Overrides the entry-point symbol name (builder-style).
     pub fn with_entry(mut self, entry: impl Into<String>) -> Self {
         self.entry = entry.into();
+        self
+    }
+
+    /// Sets the owner tag (builder-style; td-serve: the tenant name).
+    pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = tag.into();
+        self
+    }
+
+    /// Pins the job's fault-injection lane (builder-style); see
+    /// [`Job::fault_lane`].
+    pub fn with_fault_lane(mut self, lane: u64) -> Self {
+        self.fault_lane = Some(lane);
         self
     }
 }

@@ -70,7 +70,7 @@ pub mod job;
 pub mod stats;
 
 pub use autotune::{sweep_schedules, tune_schedules, SweepOutcome, SweepResult};
-pub use cache::{CacheKey, CacheStats, CachedResult, ResultCache};
+pub use cache::{CacheKey, CachePersist, CacheStats, CachedResult, ResultCache};
 pub use engine::{
     BatchReport, ContextFactory, Engine, EngineConfig, PassesFactory, TransformsFactory,
 };

@@ -156,12 +156,15 @@ impl BatchStats {
         let _ = write!(
             out,
             "\"cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{},\
-             \"hit_rate\":{:.4}}},",
+             \"replacements\":{},\"disk_hits\":{},\"hit_rate\":{:.4},\"disk_hit_rate\":{:.4}}},",
             self.cache.hits,
             self.cache.misses,
             self.cache.inserts,
             self.cache.evictions,
+            self.cache.replacements,
+            self.cache.disk_hits,
             self.cache.hit_rate(),
+            self.cache.disk_hit_rate(),
         );
         let _ = write!(
             out,
@@ -272,7 +275,7 @@ mod tests {
                 hits: 1,
                 misses: 3,
                 inserts: 3,
-                evictions: 0,
+                ..CacheStats::default()
             },
             ..BatchStats::default()
         };

@@ -1,0 +1,113 @@
+//! Per-job artifact store: retrievable diagnostics keyed by job id.
+//!
+//! Every completed job can leave behind textual artifacts — the batch
+//! report JSON (`report`), a minimized bisect repro (`bisect`, failed jobs
+//! with journaling on), a flight-recorder bundle (`flight`) — and a client
+//! fetches them later with an `ARTIFACT` request naming `(job, kind)`.
+//! The store is bounded by *job count* with FIFO eviction: a long-lived
+//! daemon keeps the most recent `capacity` jobs' diagnostics, which is
+//! what an operator debugging a live incident actually wants.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// A bounded, thread-safe artifact store.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    state: Mutex<State>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    by_job: HashMap<u64, Vec<(String, String)>>,
+    order: VecDeque<u64>,
+}
+
+impl ArtifactStore {
+    /// A store retaining artifacts for at most `capacity` jobs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ArtifactStore {
+            state: Mutex::new(State::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Attaches `content` under `(job, kind)`, evicting the oldest job's
+    /// artifacts when the job cap is exceeded.
+    pub fn put(&self, job: u64, kind: impl Into<String>, content: impl Into<String>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !state.by_job.contains_key(&job) {
+            if state.order.len() >= self.capacity {
+                if let Some(evicted) = state.order.pop_front() {
+                    state.by_job.remove(&evicted);
+                }
+            }
+            state.order.push_back(job);
+        }
+        state
+            .by_job
+            .entry(job)
+            .or_default()
+            .push((kind.into(), content.into()));
+    }
+
+    /// The artifact under `(job, kind)`, if retained.
+    pub fn get(&self, job: u64, kind: &str) -> Option<String> {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state
+            .by_job
+            .get(&job)?
+            .iter()
+            .find(|(k, _)| k == kind)
+            .map(|(_, c)| c.clone())
+    }
+
+    /// The artifact kinds retained for `job`.
+    pub fn kinds(&self, job: u64) -> Vec<String> {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state
+            .by_job
+            .get(&job)
+            .map(|arts| arts.iter().map(|(k, _)| k.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of jobs with retained artifacts.
+    pub fn job_count(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .by_job
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_and_kinds() {
+        let store = ArtifactStore::new(8);
+        store.put(7, "report", "{}");
+        store.put(7, "bisect", "module {}");
+        assert_eq!(store.get(7, "report").as_deref(), Some("{}"));
+        assert_eq!(store.get(7, "missing"), None);
+        assert_eq!(store.kinds(7), vec!["report", "bisect"]);
+        assert_eq!(store.kinds(8), Vec::<String>::new());
+    }
+
+    #[test]
+    fn fifo_eviction_by_job() {
+        let store = ArtifactStore::new(2);
+        store.put(1, "report", "a");
+        store.put(2, "report", "b");
+        store.put(2, "flight", "fb"); // same job: no eviction
+        store.put(3, "report", "c");
+        assert_eq!(store.get(1, "report"), None, "oldest job evicted");
+        assert_eq!(store.get(2, "flight").as_deref(), Some("fb"));
+        assert_eq!(store.get(3, "report").as_deref(), Some("c"));
+        assert_eq!(store.job_count(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! A minimal synchronous client for the td-serve protocol.
+//!
+//! Works over any `(Read, Write)` pair — a `UnixStream` and its clone, or
+//! a child daemon's stdout/stdin pipes (how `serve_smoke` drives the
+//! daemon). One request in flight at a time: every helper writes one
+//! frame and reads exactly one response frame.
+
+use crate::framing::{read_frame, write_frame};
+use crate::protocol::{self, Message};
+use std::io::{Read, Write};
+
+/// A connected client.
+pub struct Client<R: Read, W: Write> {
+    reader: R,
+    writer: W,
+}
+
+/// A completed submission, decoded from a `RESULT` message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// The daemon-assigned job id (artifact retrieval key).
+    pub job_id: u64,
+    /// Transformed module text (`Ok`) or the job's error display (`Err`).
+    pub output: Result<String, String>,
+    /// Whether the result came from the daemon's result cache.
+    pub cached: bool,
+    /// Transform ops the interpreter executed (0 on cache hits).
+    pub transforms: usize,
+}
+
+/// A client-side failure: transport trouble or an `ERR` response.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Frame- or stream-level I/O failure (includes unexpected EOF).
+    Transport(std::io::Error),
+    /// The daemon answered `ERR`; the refusal code (if any) and reason.
+    Refused {
+        /// Machine-readable code (`queue_full`, `budget_exhausted`, ...).
+        code: Option<String>,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The daemon answered something other than the expected verb.
+    UnexpectedVerb(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Refused { code, reason } => match code {
+                Some(code) => write!(f, "refused ({code}): {reason}"),
+                None => write!(f, "refused: {reason}"),
+            },
+            ClientError::UnexpectedVerb(verb) => write!(f, "unexpected response verb '{verb}'"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+impl<R: Read, W: Write> Client<R, W> {
+    /// A client over an established transport.
+    pub fn new(reader: R, writer: W) -> Self {
+        Client { reader, writer }
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    /// [`ClientError::Transport`] on I/O or framing trouble (EOF before a
+    /// response is an `UnexpectedEof` transport error).
+    pub fn request(&mut self, message: &Message) -> Result<Message, ClientError> {
+        write_frame(&mut self.writer, &message.encode())
+            .map_err(|e| ClientError::Transport(e.into_io()))?;
+        let payload = read_frame(&mut self.reader)
+            .map_err(|e| ClientError::Transport(e.into_io()))?
+            .ok_or_else(|| {
+                ClientError::Transport(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "daemon closed the stream before responding",
+                ))
+            })?;
+        Message::decode(&payload).map_err(|e| {
+            ClientError::Transport(std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        })
+    }
+
+    /// Expects `verb` back; maps `ERR` to [`ClientError::Refused`].
+    fn expect(&mut self, request: &Message, verb: &str) -> Result<Message, ClientError> {
+        let response = self.request(request)?;
+        if response.verb == verb {
+            Ok(response)
+        } else if response.verb == protocol::VERB_ERR {
+            Err(ClientError::Refused {
+                code: response.get_field("code").map(str::to_owned),
+                reason: response
+                    .get_field("reason")
+                    .unwrap_or("unspecified")
+                    .to_owned(),
+            })
+        } else {
+            Err(ClientError::UnexpectedVerb(response.verb))
+        }
+    }
+
+    /// Submits one job and waits for its result.
+    ///
+    /// # Errors
+    /// Admission refusals surface as [`ClientError::Refused`] with the
+    /// machine-readable `code`; a job that *ran* and failed is `Ok` with
+    /// `output: Err(...)`.
+    pub fn submit(
+        &mut self,
+        tenant: &str,
+        script: &str,
+        payload: &str,
+        entry: &str,
+    ) -> Result<SubmitOutcome, ClientError> {
+        let request = Message::new(protocol::VERB_SUBMIT)
+            .field("tenant", tenant)
+            .field("entry", entry)
+            .blob("script", script.as_bytes().to_vec())
+            .blob("payload", payload.as_bytes().to_vec());
+        let response = self.expect(&request, protocol::VERB_RESULT)?;
+        let job_id = response
+            .get_field("job")
+            .and_then(|j| j.parse().ok())
+            .unwrap_or(0);
+        let ok = response.get_field("ok") == Some("true");
+        let output = if ok {
+            Ok(response.get_blob_text("module").unwrap_or_default())
+        } else {
+            Err(response
+                .get_blob_text("error")
+                .unwrap_or_else(|| "unspecified error".to_owned()))
+        };
+        Ok(SubmitOutcome {
+            job_id,
+            output,
+            cached: response.get_field("cached") == Some("true"),
+            transforms: response
+                .get_field("transforms")
+                .and_then(|t| t.parse().ok())
+                .unwrap_or(0),
+        })
+    }
+
+    /// Retrieves an artifact (`report` / `bisect` / `flight`) by job id.
+    ///
+    /// # Errors
+    /// [`ClientError::Refused`] with code `not_found` when not retained.
+    pub fn artifact(&mut self, job: u64, kind: &str) -> Result<String, ClientError> {
+        let request = Message::new(protocol::VERB_ARTIFACT)
+            .field("job", job.to_string())
+            .field("kind", kind);
+        let response = self.expect(&request, protocol::VERB_ARTIFACT)?;
+        Ok(response.get_blob_text("data").unwrap_or_default())
+    }
+
+    /// Fetches the service counters JSON.
+    ///
+    /// # Errors
+    /// Transport failures or an `ERR` response.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let response = self.expect(&Message::new(protocol::VERB_STATS), protocol::VERB_STATS)?;
+        Ok(response.get_blob_text("data").unwrap_or_default())
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    /// Transport failures or a non-`PONG` response.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.expect(&Message::new(protocol::VERB_PING), protocol::VERB_PONG)
+            .map(|_| ())
+    }
+
+    /// Asks the daemon to drain and exit; returns once `BYE` arrives.
+    ///
+    /// # Errors
+    /// Transport failures or a non-`BYE` response.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.expect(&Message::new(protocol::VERB_SHUTDOWN), protocol::VERB_BYE)
+            .map(|_| ())
+    }
+}

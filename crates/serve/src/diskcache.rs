@@ -1,0 +1,279 @@
+//! The content-addressed on-disk result store: the persistence layer
+//! behind the engine's in-memory cache ([`td_sched::CachePersist`]).
+//!
+//! This is the cache-as-tuning-database promoted to a service asset: a
+//! result computed for any tenant, in any past daemon process, is served
+//! to every future request with identical inputs. Three properties make
+//! that safe and restart-proof:
+//!
+//! * **Content addressing.** The file name *is* the cache key — the three
+//!   fingerprints of `(script, payload, entry)` rendered as fixed-width
+//!   hex. Equal names imply identical inputs (the engine's cache-key
+//!   soundness argument), so a stale-file race can at worst rewrite a file
+//!   with identical logical content.
+//! * **Atomic writes.** Entries are written to a unique `*.tmp` sibling
+//!   and `rename`d into place; readers never observe a half-written
+//!   entry, and a crash mid-store leaves only garbage tmp files that are
+//!   swept on the next open.
+//! * **Versioned entry format.** Every entry starts with
+//!   `tdserve-cache <version>`; unknown versions, truncated bodies, and
+//!   length mismatches are treated as misses (and the corrupt file is
+//!   left for inspection, never trusted). Bumping [`FORMAT_VERSION`]
+//!   invalidates the whole store without deleting anything.
+//!
+//! Store I/O is best-effort by design: a failed write costs a future warm
+//! hit, never correctness. Counters land in `serve.disk.*` metrics on the
+//! calling thread and in process-wide atomics surfaced by
+//! [`DiskStore::stats_json`].
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use td_sched::{CacheKey, CachePersist, CachedResult};
+use td_support::metrics;
+
+/// Entry-format version; bump to invalidate all existing entries.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic line prefix of an entry file.
+const MAGIC: &str = "tdserve-cache";
+
+/// Process-wide counters for one store.
+#[derive(Debug, Default)]
+struct Counters {
+    loads: AtomicU64,
+    hits: AtomicU64,
+    stores: AtomicU64,
+    store_errors: AtomicU64,
+    invalid: AtomicU64,
+}
+
+/// A content-addressed on-disk store of [`CachedResult`]s.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    counters: Counters,
+    tmp_seq: AtomicU64,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the store rooted at `dir` and sweeps
+    /// leftover `*.tmp` files from crashed writers.
+    ///
+    /// # Errors
+    /// Propagates the `create_dir_all` failure — a service configured with
+    /// an unusable cache dir should fail loudly at startup, not silently
+    /// run cold forever.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<DiskStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        if let Ok(entries) = fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                if name.to_string_lossy().ends_with(".tmp") {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(DiskStore {
+            dir,
+            counters: Counters::default(),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The content-addressed file name of `key`.
+    fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!(
+            "{:016x}{:016x}{:016x}.v{}",
+            key.script_fp, key.payload_fp, key.entry_fp, FORMAT_VERSION
+        ))
+    }
+
+    /// Number of committed entries currently on disk (tmp files excluded).
+    pub fn entry_count(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter(|e| {
+                        e.file_name()
+                            .to_string_lossy()
+                            .ends_with(&format!(".v{FORMAT_VERSION}"))
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Serializes one entry:
+    ///
+    /// ```text
+    /// tdserve-cache 1
+    /// transforms <N>
+    /// module <byte-length>
+    /// <module bytes>
+    /// ```
+    fn encode_entry(value: &CachedResult) -> Vec<u8> {
+        let mut out = Vec::with_capacity(value.module_text.len() + 64);
+        let _ = writeln!(out, "{MAGIC} {FORMAT_VERSION}");
+        let _ = writeln!(out, "transforms {}", value.transforms_executed);
+        let _ = writeln!(out, "module {}", value.module_text.len());
+        out.extend_from_slice(value.module_text.as_bytes());
+        out
+    }
+
+    /// Parses an entry file; `None` on any version/format/length mismatch.
+    fn decode_entry(bytes: &[u8]) -> Option<CachedResult> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let mut lines = text.splitn(4, '\n');
+        let magic = lines.next()?;
+        let (tag, version) = magic.split_once(' ')?;
+        if tag != MAGIC || version.parse::<u32>().ok()? != FORMAT_VERSION {
+            return None;
+        }
+        let transforms = lines.next()?.strip_prefix("transforms ")?.parse().ok()?;
+        let declared: usize = lines.next()?.strip_prefix("module ")?.parse().ok()?;
+        let module = lines.next()?;
+        if module.len() != declared {
+            return None;
+        }
+        Some(CachedResult {
+            module_text: module.to_owned(),
+            transforms_executed: transforms,
+        })
+    }
+
+    /// Service-facing counter snapshot as one JSON object.
+    pub fn stats_json(&self) -> String {
+        let loads = self.counters.loads.load(Ordering::Relaxed);
+        let hits = self.counters.hits.load(Ordering::Relaxed);
+        format!(
+            "{{\"dir\":{},\"loads\":{loads},\"hits\":{hits},\"stores\":{},\
+             \"store_errors\":{},\"invalid\":{},\"hit_rate\":{:.4}}}",
+            metrics::json_string(&self.dir.to_string_lossy()),
+            self.counters.stores.load(Ordering::Relaxed),
+            self.counters.store_errors.load(Ordering::Relaxed),
+            self.counters.invalid.load(Ordering::Relaxed),
+            if loads == 0 {
+                0.0
+            } else {
+                hits as f64 / loads as f64
+            },
+        )
+    }
+}
+
+impl CachePersist for DiskStore {
+    fn load(&self, key: &CacheKey) -> Option<CachedResult> {
+        self.counters.loads.fetch_add(1, Ordering::Relaxed);
+        let bytes = fs::read(self.entry_path(key)).ok()?;
+        match Self::decode_entry(&bytes) {
+            Some(value) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                metrics::counter("serve.disk.hit", 1);
+                Some(value)
+            }
+            None => {
+                // Unknown version or corruption: a miss, never an error.
+                self.counters.invalid.fetch_add(1, Ordering::Relaxed);
+                metrics::counter("serve.disk.invalid", 1);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: &CacheKey, value: &CachedResult) {
+        let path = self.entry_path(key);
+        let tmp = self.dir.join(format!(
+            "{:016x}.{}.{}.tmp",
+            key.script_fp,
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let committed = fs::write(&tmp, Self::encode_entry(value))
+            .and_then(|()| fs::rename(&tmp, &path))
+            .is_ok();
+        if committed {
+            self.counters.stores.fetch_add(1, Ordering::Relaxed);
+            metrics::counter("serve.disk.store", 1);
+        } else {
+            let _ = fs::remove_file(&tmp);
+            self.counters.store_errors.fetch_add(1, Ordering::Relaxed);
+            metrics::counter("serve.disk.store_error", 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_sched::cache::fnv1a;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("td-serve-diskcache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey {
+            script_fp: n,
+            payload_fp: n.wrapping_mul(31),
+            entry_fp: fnv1a(b"main"),
+        }
+    }
+
+    fn value(text: &str) -> CachedResult {
+        CachedResult {
+            module_text: text.to_owned(),
+            transforms_executed: 3,
+        }
+    }
+
+    #[test]
+    fn store_then_load_round_trips_across_instances() {
+        let dir = temp_dir("roundtrip");
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.load(&key(1)), None);
+        store.store(&key(1), &value("module {\n}\n"));
+        assert_eq!(store.load(&key(1)), Some(value("module {\n}\n")));
+        // A fresh instance over the same dir — the restart case.
+        let reopened = DiskStore::open(&dir).unwrap();
+        assert_eq!(reopened.load(&key(1)), Some(value("module {\n}\n")));
+        assert_eq!(reopened.entry_count(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_mislengthed_entries_read_as_misses() {
+        let dir = temp_dir("corrupt");
+        let store = DiskStore::open(&dir).unwrap();
+        store.store(&key(2), &value("ok"));
+        let path = store.entry_path(&key(2));
+        fs::write(&path, b"tdserve-cache 1\ntransforms 3\nmodule 999\nok").unwrap();
+        assert_eq!(store.load(&key(2)), None, "length mismatch is a miss");
+        fs::write(&path, b"tdserve-cache 99\ntransforms 3\nmodule 2\nok").unwrap();
+        assert_eq!(store.load(&key(2)), None, "future version is a miss");
+        assert_eq!(store.counters.invalid.load(Ordering::Relaxed), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files() {
+        let dir = temp_dir("sweep");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("deadbeef.123.0.tmp"), b"half-written").unwrap();
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.entry_count(), 0);
+        assert!(!dir.join("deadbeef.123.0.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,208 @@
+//! Length-prefixed frames: the wire unit of the td-serve protocol.
+//!
+//! A frame is a 4-byte big-endian payload length followed by exactly that
+//! many payload bytes. That is the whole story — framing knows nothing
+//! about message contents (see [`crate::protocol`] for the layer above),
+//! which keeps the artifact-exchange surface "text in, text out": any
+//! client that can count bytes can speak it.
+//!
+//! The reader enforces [`MAX_FRAME`] against the *declared* length before
+//! allocating, so a malformed or hostile peer cannot make the daemon
+//! allocate unbounded memory, and it distinguishes a clean end-of-stream
+//! (EOF exactly at a frame boundary → `Ok(None)`) from a truncated frame
+//! (EOF inside the prefix or the payload → [`FrameError::Truncated`]).
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame's declared payload length (64 MiB). Schedules and
+/// payload modules are text; anything beyond this is a protocol error,
+/// not a workload.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Why a frame could not be read or written.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended inside a frame — mid-prefix or mid-payload.
+    Truncated {
+        /// How many bytes of the frame arrived before EOF.
+        got: usize,
+        /// How many were required (4 for the prefix, 4 + declared length
+        /// for the payload).
+        want: usize,
+    },
+    /// The declared payload length exceeds [`MAX_FRAME`].
+    Oversized {
+        /// The declared length.
+        declared: usize,
+        /// The configured cap the declaration exceeded.
+        limit: usize,
+    },
+    /// An underlying I/O error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { got, want } => {
+                write!(f, "truncated frame: got {got} of {want} byte(s) before EOF")
+            }
+            FrameError::Oversized { declared, limit } => {
+                write!(
+                    f,
+                    "oversized frame: declared {declared} byte(s), limit {limit}"
+                )
+            }
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<FrameError> for io::Error {
+    fn from(e: FrameError) -> io::Error {
+        match e {
+            FrameError::Io(e) => e,
+            e @ FrameError::Truncated { .. } => {
+                io::Error::new(io::ErrorKind::UnexpectedEof, e.to_string())
+            }
+            e @ FrameError::Oversized { .. } => {
+                io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+            }
+        }
+    }
+}
+
+impl FrameError {
+    /// Collapses into an [`io::Error`] (truncation/oversize become
+    /// `UnexpectedEof`/`InvalidData`) for callers living in `io::Result`.
+    pub fn into_io(self) -> io::Error {
+        self.into()
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+///
+/// # Errors
+/// [`FrameError::Oversized`] when `payload` exceeds [`MAX_FRAME`], or the
+/// underlying I/O error.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME {
+        return Err(FrameError::Oversized {
+            declared: payload.len(),
+            limit: MAX_FRAME,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean end-of-stream (EOF
+/// before any prefix byte), the payload on success.
+///
+/// # Errors
+/// [`FrameError::Truncated`] when the stream ends mid-frame,
+/// [`FrameError::Oversized`] when the declared length exceeds `limit`
+/// (pass [`MAX_FRAME`] unless a test wants a tighter bound), or the
+/// underlying I/O error.
+pub fn read_frame_limited(r: &mut impl Read, limit: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    match read_exact_or_eof(r, &mut prefix)? {
+        0 => return Ok(None),
+        4 => {}
+        got => return Err(FrameError::Truncated { got, want: 4 }),
+    }
+    let declared = u32::from_be_bytes(prefix) as usize;
+    if declared > limit {
+        return Err(FrameError::Oversized { declared, limit });
+    }
+    let mut payload = vec![0u8; declared];
+    let got = read_exact_or_eof(r, &mut payload)?;
+    if got < declared {
+        return Err(FrameError::Truncated {
+            got: 4 + got,
+            want: 4 + declared,
+        });
+    }
+    Ok(Some(payload))
+}
+
+/// [`read_frame_limited`] with the default [`MAX_FRAME`] cap.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    read_frame_limited(r, MAX_FRAME)
+}
+
+/// Fills `buf` as far as the stream allows; returns how many bytes were
+/// read (short only at EOF). `Interrupted` reads are retried.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_bytes() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_prefix_is_rejected() {
+        let mut r: &[u8] = &[0, 0, 1];
+        match read_frame(&mut r) {
+            Err(FrameError::Truncated { got: 3, want: 4 }) => {}
+            other => panic!("expected truncated prefix, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abcdef").unwrap();
+        wire.truncate(7); // 4-byte prefix + 3 of 6 payload bytes
+        let mut r = wire.as_slice();
+        match read_frame(&mut r) {
+            Err(FrameError::Truncated { got: 7, want: 10 }) => {}
+            other => panic!("expected truncated payload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_declaration_is_rejected_before_allocation() {
+        let mut wire = (u32::MAX).to_be_bytes().to_vec();
+        wire.extend_from_slice(b"x");
+        let mut r = wire.as_slice();
+        match read_frame(&mut r) {
+            Err(FrameError::Oversized { declared, limit }) => {
+                assert_eq!(declared, u32::MAX as usize);
+                assert_eq!(limit, MAX_FRAME);
+            }
+            other => panic!("expected oversized, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,652 @@
+//! The service core: admission control, the weighted-fair dispatcher, the
+//! persistent worker pool, and per-job completion/artifact delivery.
+//!
+//! # Architecture
+//!
+//! ```text
+//! submit() ──admission──▶ FairQueue (per-tenant FIFOs, WFQ)
+//!                              │ dispatcher thread
+//!                              ▼
+//!                      mpmc::Queue (bounded, = backpressure)
+//!                              │ N worker threads
+//!                              ▼
+//!                  tenant's td_sched::Engine (1-job batch)
+//!                              │
+//!            completions map + condvar ──▶ wait(job_id)
+//!                              │
+//!                  ArtifactStore (report / bisect / flight)
+//! ```
+//!
+//! Every tenant gets its own [`Engine`] carrying its deadline, retry, and
+//! chaos-lane policy, while all engines share one [`ResultCache`] (memory
+//! + optional [`DiskStore`]) — sharing is safe because results are
+//! content-addressed. Tenant isolation is therefore structural:
+//!
+//! * a tenant's faults can only fire in its own fault lane
+//!   ([`td_sched::Job::fault_lane`] = the tenant's configured lane);
+//! * a tenant's failures only advance its own failure budget (per-tenant
+//!   counters; admission fuses off *that* tenant only);
+//! * a tenant's load can only delay, never change, another tenant's
+//!   results (workers never share payload state — the engine's
+//!   determinism contract).
+//!
+//! # Drain
+//!
+//! [`Service::drain`] closes admission, lets the dispatcher flush every
+//! admitted job into the worker queue, closes the queue, joins the
+//! workers, and merges their thread-local metrics/trace lanes into the
+//! caller. No admitted job is ever dropped: every `submit` that returned
+//! a job id has a completion waiting after `drain` returns.
+
+use crate::artifacts::ArtifactStore;
+use crate::diskcache::DiskStore;
+use crate::scheduler::FairQueue;
+use crate::tenant::TenantConfig;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use td_sched::{Engine, EngineConfig, Job, JobError, JobResult, ResultCache};
+use td_support::{flight, journal, metrics, mpmc, trace};
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// The tenants allowed to submit (at least one).
+    pub tenants: Vec<TenantConfig>,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Bound of the dispatcher→worker queue. Small on purpose: jobs held
+    /// back in the per-tenant queues stay subject to weighted fairness,
+    /// jobs already released are FIFO.
+    pub queue_capacity: usize,
+    /// In-memory result-cache entries shared by all tenants.
+    pub cache_capacity: usize,
+    /// On-disk persistent cache directory (`None` = memory only).
+    pub cache_dir: Option<PathBuf>,
+    /// Whether to journal jobs and retain per-job artifacts
+    /// (report/bisect/flight) for `ARTIFACT` retrieval.
+    pub collect_artifacts: bool,
+    /// Jobs whose artifacts are retained (FIFO eviction beyond this).
+    pub artifact_capacity: usize,
+}
+
+impl ServiceConfig {
+    /// A service for the given tenants with defaults: 4 workers, queue
+    /// bound = workers, 1024 cache entries, no disk cache, artifacts on.
+    pub fn new(tenants: Vec<TenantConfig>) -> Self {
+        ServiceConfig {
+            tenants,
+            workers: 4,
+            queue_capacity: 4,
+            cache_capacity: 1024,
+            cache_dir: None,
+            collect_artifacts: true,
+            artifact_capacity: 256,
+        }
+    }
+
+    /// Sets the worker count and matches the queue bound (builder-style).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self.queue_capacity = self.workers;
+        self
+    }
+
+    /// Sets the persistent cache directory (builder-style).
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the in-memory cache capacity (builder-style).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Disables journaling/artifact retention (builder-style).
+    pub fn without_artifacts(mut self) -> Self {
+        self.collect_artifacts = false;
+        self
+    }
+}
+
+/// Why a submission was refused at admission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The `tenant` field names no configured tenant.
+    UnknownTenant(String),
+    /// The tenant's pending cap ([`TenantConfig::max_pending`]) is full.
+    QueueFull,
+    /// The tenant's cumulative failure budget is exhausted; it is fused
+    /// off until the daemon restarts.
+    BudgetExhausted,
+    /// The service is draining and admits nothing new.
+    Draining,
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::UnknownTenant(name) => write!(f, "unknown tenant '{name}'"),
+            AdmitError::QueueFull => write!(f, "tenant queue full"),
+            AdmitError::BudgetExhausted => write!(f, "tenant failure budget exhausted"),
+            AdmitError::Draining => write!(f, "service is draining"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// A completed job as delivered to the submitter.
+#[derive(Clone, Debug)]
+pub struct ServeResult {
+    /// The service-assigned job id (artifact retrieval key).
+    pub job_id: u64,
+    /// The owning tenant.
+    pub tenant: String,
+    /// The engine's result.
+    pub result: JobResult,
+    /// Dispatch-to-completion wall time.
+    pub wall: Duration,
+}
+
+/// Summary returned by [`Service::drain`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Jobs completed over the service's lifetime.
+    pub jobs: u64,
+    /// Worker threads joined.
+    pub workers: usize,
+}
+
+struct TenantRuntime {
+    config: TenantConfig,
+    engine: Engine,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+impl TenantRuntime {
+    fn fused(&self) -> bool {
+        self.config
+            .failure_budget
+            .is_some_and(|budget| self.failed.load(Ordering::Acquire) as usize >= budget)
+    }
+}
+
+struct Dispatched {
+    id: u64,
+    tenant: usize,
+    job: Job,
+}
+
+struct PendState {
+    fair: FairQueue<Dispatched>,
+    draining: bool,
+}
+
+struct Inner {
+    tenants: Vec<TenantRuntime>,
+    by_name: HashMap<String, usize>,
+    pending: Mutex<PendState>,
+    pending_cv: Condvar,
+    queue: mpmc::Queue<Dispatched>,
+    completions: Mutex<HashMap<u64, ServeResult>>,
+    completions_cv: Condvar,
+    next_job: AtomicU64,
+    jobs_completed: AtomicU64,
+    rejected: AtomicU64,
+    artifacts: ArtifactStore,
+    cache: Arc<ResultCache>,
+    disk: Option<Arc<DiskStore>>,
+    collect_artifacts: bool,
+    draining: AtomicBool,
+}
+
+/// The long-lived multi-tenant schedule-compilation service.
+pub struct Service {
+    inner: Arc<Inner>,
+    threads: Mutex<Option<Threads>>,
+    worker_count: usize,
+}
+
+struct Threads {
+    dispatcher: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<(trace::Trace, metrics::Metrics)>>,
+}
+
+impl Service {
+    /// Starts the service: opens the disk cache (if configured), builds
+    /// one engine per tenant over the shared cache, and spawns the
+    /// dispatcher and worker threads.
+    ///
+    /// # Errors
+    /// Propagates a disk-cache directory that cannot be created.
+    pub fn start(config: ServiceConfig) -> std::io::Result<Service> {
+        assert!(!config.tenants.is_empty(), "a service needs tenants");
+        let disk = match &config.cache_dir {
+            Some(dir) => Some(Arc::new(DiskStore::open(dir)?)),
+            None => None,
+        };
+        let cache = Arc::new(match &disk {
+            Some(store) => ResultCache::with_persistence(
+                config.cache_capacity,
+                Arc::clone(store) as Arc<dyn td_sched::CachePersist>,
+            ),
+            None => ResultCache::new(config.cache_capacity),
+        });
+        let mut tenants = Vec::with_capacity(config.tenants.len());
+        let mut by_name = HashMap::new();
+        for tenant in &config.tenants {
+            // Each tenant gets its own engine: its deadline, retry budget,
+            // and (single-job) batch policy — over the shared cache. The
+            // engine's own failure budget stays off; the service fuses at
+            // admission instead, across batches.
+            let mut engine_config = EngineConfig::standard().with_workers(1);
+            engine_config.cache_capacity = config.cache_capacity;
+            engine_config = engine_config.with_max_attempts(tenant.max_attempts);
+            if let Some(ms) = tenant.deadline_ms {
+                engine_config = engine_config.with_deadline(Duration::from_millis(ms));
+            }
+            by_name.insert(tenant.name.clone(), tenants.len());
+            tenants.push(TenantRuntime {
+                config: tenant.clone(),
+                engine: Engine::with_shared_cache(engine_config, Arc::clone(&cache)),
+                submitted: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+                in_flight: AtomicU64::new(0),
+            });
+        }
+        let weights: Vec<u32> = config.tenants.iter().map(|t| t.weight).collect();
+        let inner = Arc::new(Inner {
+            tenants,
+            by_name,
+            pending: Mutex::new(PendState {
+                fair: FairQueue::new(&weights),
+                draining: false,
+            }),
+            pending_cv: Condvar::new(),
+            queue: mpmc::Queue::new(config.queue_capacity.max(1)),
+            completions: Mutex::new(HashMap::new()),
+            completions_cv: Condvar::new(),
+            next_job: AtomicU64::new(1),
+            jobs_completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            artifacts: ArtifactStore::new(config.artifact_capacity),
+            cache,
+            disk,
+            collect_artifacts: config.collect_artifacts,
+            draining: AtomicBool::new(false),
+        });
+
+        let dispatcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || inner.dispatch_loop())
+        };
+        let trace_on = trace::enabled();
+        let workers = (0..config.workers.max(1))
+            .map(|worker_index| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || inner.worker_loop(worker_index, trace_on))
+            })
+            .collect();
+
+        metrics::counter("serve.starts", 1);
+        Ok(Service {
+            inner,
+            threads: Mutex::new(Some(Threads {
+                dispatcher,
+                workers,
+            })),
+            worker_count: config.workers.max(1),
+        })
+    }
+
+    /// Admits one job for `tenant` and returns its job id. The job runs
+    /// asynchronously; retrieve the outcome with [`Service::wait`].
+    ///
+    /// # Errors
+    /// The [`AdmitError`] explaining the refusal; a refused job costs the
+    /// tenant nothing.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        script: impl Into<String>,
+        payload: impl Into<String>,
+        entry: &str,
+    ) -> Result<u64, AdmitError> {
+        let inner = &self.inner;
+        let Some(&tenant_index) = inner.by_name.get(tenant) else {
+            inner.rejected.fetch_add(1, Ordering::Relaxed);
+            metrics::counter("serve.rejected.unknown_tenant", 1);
+            return Err(AdmitError::UnknownTenant(tenant.to_owned()));
+        };
+        let runtime = &inner.tenants[tenant_index];
+        if runtime.fused() {
+            inner.rejected.fetch_add(1, Ordering::Relaxed);
+            metrics::counter("serve.rejected.budget", 1);
+            return Err(AdmitError::BudgetExhausted);
+        }
+        // Reserve an in-flight slot; undone on any later refusal.
+        let reserved = runtime
+            .in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < runtime.config.max_pending as u64).then_some(n + 1)
+            })
+            .is_ok();
+        if !reserved {
+            inner.rejected.fetch_add(1, Ordering::Relaxed);
+            metrics::counter("serve.rejected.queue_full", 1);
+            return Err(AdmitError::QueueFull);
+        }
+        let id = inner.next_job.fetch_add(1, Ordering::Relaxed);
+        let job = Job::new(script, payload)
+            .with_entry(entry)
+            .with_tag(&runtime.config.name)
+            .with_fault_lane(runtime.config.fault_lane);
+        {
+            let mut pending = inner.pending.lock().unwrap_or_else(|e| e.into_inner());
+            if pending.draining {
+                drop(pending);
+                runtime.in_flight.fetch_sub(1, Ordering::AcqRel);
+                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                metrics::counter("serve.rejected.draining", 1);
+                return Err(AdmitError::Draining);
+            }
+            pending.fair.push(
+                tenant_index,
+                Dispatched {
+                    id,
+                    tenant: tenant_index,
+                    job,
+                },
+            );
+        }
+        inner.pending_cv.notify_one();
+        runtime.submitted.fetch_add(1, Ordering::Relaxed);
+        metrics::counter("serve.submitted", 1);
+        Ok(id)
+    }
+
+    /// Blocks until job `id` completes and takes its result. Waiting on an
+    /// id that was never admitted blocks forever — callers hold ids from
+    /// [`Service::submit`] only.
+    pub fn wait(&self, id: u64) -> ServeResult {
+        let inner = &self.inner;
+        let mut completions = inner.completions.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = completions.remove(&id) {
+                return result;
+            }
+            completions = inner
+                .completions_cv
+                .wait(completions)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// [`Service::submit`] + [`Service::wait`] in one call.
+    pub fn submit_wait(
+        &self,
+        tenant: &str,
+        script: impl Into<String>,
+        payload: impl Into<String>,
+        entry: &str,
+    ) -> Result<ServeResult, AdmitError> {
+        let id = self.submit(tenant, script, payload, entry)?;
+        Ok(self.wait(id))
+    }
+
+    /// Takes job `id`'s result if it has completed (non-blocking).
+    pub fn try_take(&self, id: u64) -> Option<ServeResult> {
+        self.inner
+            .completions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id)
+    }
+
+    /// Retrieves a retained artifact (`report` / `bisect` / `flight`).
+    pub fn artifact(&self, job: u64, kind: &str) -> Option<String> {
+        self.inner.artifacts.get(job, kind)
+    }
+
+    /// Artifact kinds retained for `job`.
+    pub fn artifact_kinds(&self, job: u64) -> Vec<String> {
+        self.inner.artifacts.kinds(job)
+    }
+
+    /// The shared result cache's cumulative counters (includes
+    /// `disk_hits` — the warm-start signal).
+    pub fn cache_stats(&self) -> td_sched::CacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Service counters as one JSON object (the `STATS` response body):
+    /// global and per-tenant admission/completion counts, WFQ dispatch
+    /// counts, the shared cache counters (memory + disk), and the disk
+    /// store's own counters.
+    pub fn stats_json(&self) -> String {
+        use std::fmt::Write as _;
+        let inner = &self.inner;
+        let cache = inner.cache.stats();
+        let dispatched: Vec<u64> = {
+            let pending = inner.pending.lock().unwrap_or_else(|e| e.into_inner());
+            pending.fair.dispatched.clone()
+        };
+        let mut out = format!(
+            "{{\"jobs_completed\":{},\"rejected\":{},\"draining\":{},",
+            inner.jobs_completed.load(Ordering::Relaxed),
+            inner.rejected.load(Ordering::Relaxed),
+            inner.draining.load(Ordering::Acquire),
+        );
+        let _ = write!(
+            out,
+            "\"cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{},\
+             \"replacements\":{},\"disk_hits\":{},\"hit_rate\":{:.4},\"disk_hit_rate\":{:.4}}},",
+            cache.hits,
+            cache.misses,
+            cache.inserts,
+            cache.evictions,
+            cache.replacements,
+            cache.disk_hits,
+            cache.hit_rate(),
+            cache.disk_hit_rate(),
+        );
+        match &inner.disk {
+            Some(store) => {
+                let _ = write!(out, "\"disk\":{},", store.stats_json());
+            }
+            None => out.push_str("\"disk\":null,"),
+        }
+        out.push_str("\"tenants\":[");
+        for (i, tenant) in inner.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"weight\":{},\"submitted\":{},\"dispatched\":{},\
+                 \"completed\":{},\"failed\":{},\"in_flight\":{},\"fused\":{},\"lane\":{}}}",
+                metrics::json_string(&tenant.config.name),
+                tenant.config.weight,
+                tenant.submitted.load(Ordering::Relaxed),
+                dispatched.get(i).copied().unwrap_or(0),
+                tenant.completed.load(Ordering::Relaxed),
+                tenant.failed.load(Ordering::Relaxed),
+                tenant.in_flight.load(Ordering::Relaxed),
+                tenant.fused(),
+                tenant.config.fault_lane,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Whether the service has begun draining.
+    pub fn draining(&self) -> bool {
+        self.inner.draining.load(Ordering::Acquire)
+    }
+
+    /// Drains and stops the pool: admission closes, every already-admitted
+    /// job is flushed through the workers, the queue closes, and the
+    /// worker threads are joined with their metrics and trace lanes merged
+    /// into the calling thread. Idempotent; the second call is a no-op
+    /// returning the same totals.
+    pub fn drain(&self) -> DrainSummary {
+        let inner = &self.inner;
+        {
+            let mut pending = inner.pending.lock().unwrap_or_else(|e| e.into_inner());
+            pending.draining = true;
+            inner.draining.store(true, Ordering::Release);
+        }
+        inner.pending_cv.notify_all();
+        if let Some(threads) = self
+            .threads
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            // Dispatcher: flushes the fair queues, then closes the worker
+            // queue — which is what lets the workers exit once drained.
+            let _ = threads.dispatcher.join();
+            for (worker_index, handle) in threads.workers.into_iter().enumerate() {
+                if let Ok((worker_trace, worker_metrics)) = handle.join() {
+                    trace::adopt(&worker_trace, worker_index as u32 + 2);
+                    metrics::absorb(&worker_metrics);
+                }
+            }
+            metrics::counter("serve.drains", 1);
+        }
+        DrainSummary {
+            jobs: inner.jobs_completed.load(Ordering::Relaxed),
+            workers: self.worker_count,
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // A dropped service must not leak blocked threads.
+        self.drain();
+    }
+}
+
+impl Inner {
+    /// The dispatcher: moves jobs from the weighted-fair per-tenant queues
+    /// into the bounded worker queue, in fairness order, until draining
+    /// *and* empty — then closes the worker queue.
+    fn dispatch_loop(&self) {
+        loop {
+            let next = {
+                let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(queued) = pending.fair.pop() {
+                        break Some(queued.item);
+                    }
+                    if pending.draining {
+                        break None;
+                    }
+                    pending = self
+                        .pending_cv
+                        .wait(pending)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            match next {
+                // The push blocks when the worker queue is full — that
+                // backpressure is what keeps undispatched jobs under
+                // weighted fairness instead of FIFO.
+                Some(item) => {
+                    if self.queue.push(item).is_err() {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        self.queue.close();
+    }
+
+    /// One worker: pops dispatched jobs, runs them through the owning
+    /// tenant's engine as single-job batches, records completions and
+    /// artifacts. Exits when the queue is closed and drained.
+    fn worker_loop(&self, worker_index: usize, trace_on: bool) -> (trace::Trace, metrics::Metrics) {
+        trace::reset();
+        trace::set_enabled(trace_on);
+        metrics::reset();
+        journal::reset();
+        journal::set_enabled(self.collect_artifacts);
+        let _worker_span = trace::span("serve", format!("worker{worker_index}"));
+        while let Some(dispatched) = self.queue.pop() {
+            let Dispatched { id, tenant, job } = dispatched;
+            let runtime = &self.tenants[tenant];
+            let started = Instant::now();
+            // Fresh journal per job so the batch report and artifacts are
+            // exactly job-scoped (the engine absorbs its scoped worker's
+            // journal into this thread).
+            journal::reset();
+            let mut report = runtime.engine.run_batch(vec![job]);
+            let result = report.results.pop().unwrap_or_else(|| {
+                Err(JobError::Panicked {
+                    message: "engine returned no result slot".to_owned(),
+                })
+            });
+            let failed = match &result {
+                Ok(_) => false,
+                Err(JobError::Cancelled) => false,
+                Err(_) => true,
+            };
+            if failed {
+                runtime.failed.fetch_add(1, Ordering::AcqRel);
+                metrics::counter("serve.jobs.failed", 1);
+                if runtime.fused() {
+                    metrics::counter("serve.tenant.fused", 1);
+                    flight::record("serve.fused", &[("tenant", runtime.config.name.clone())]);
+                }
+            }
+            if self.collect_artifacts {
+                self.artifacts.put(id, "report", report.report_json());
+                for artifact in report.journal.artifacts() {
+                    if artifact.kind == "bisect" {
+                        self.artifacts.put(id, "bisect", artifact.content.clone());
+                    }
+                }
+                if failed {
+                    let bundle = flight::bundle_json(
+                        "serve.job.failed",
+                        &[
+                            ("job", id.to_string()),
+                            ("tenant", runtime.config.name.clone()),
+                        ],
+                    );
+                    self.artifacts.put(id, "flight", bundle);
+                }
+            }
+            runtime.completed.fetch_add(1, Ordering::Relaxed);
+            runtime.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            metrics::counter("serve.jobs.completed", 1);
+            {
+                let mut completions = self.completions.lock().unwrap_or_else(|e| e.into_inner());
+                completions.insert(
+                    id,
+                    ServeResult {
+                        job_id: id,
+                        tenant: runtime.config.name.clone(),
+                        result,
+                        wall: started.elapsed(),
+                    },
+                );
+            }
+            self.completions_cv.notify_all();
+        }
+        (trace::take(), metrics::take())
+    }
+}

@@ -69,6 +69,17 @@ echo "== generative fuzz smoke (differential oracle) =="
 # the defaults for soak runs.
 cargo run -q --release --offline -p td-bench --bin fuzz_smoke
 
+echo "== serve smoke (daemon + persistent cache + multi-tenant chaos soak) =="
+# Two gates. Restart: a real td_serve daemon subprocess (stdio transport)
+# runs a mixed two-tenant batch cold, shuts down, and a fresh daemon over
+# the same TD_SERVE_CACHE_DIR must serve >90% of the rerun from the
+# on-disk result cache with byte-identical outputs. Soak: a TD_FAULT plan
+# injects silenceable/panic/deadline faults into three tenants' fault
+# lanes under concurrent load; the unfaulted tenant's outputs must be
+# byte-identical to a no-fault baseline and the drain must deliver every
+# admitted job.
+cargo run -q --release --offline -p td-bench --bin serve_smoke
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== micro-benchmark smoke run =="
     TD_BENCH_QUICK=1 TD_BENCH_JSON=BENCH_micro.json cargo bench -q --offline -p td-bench

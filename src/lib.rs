@@ -24,5 +24,6 @@ pub use td_irdl;
 pub use td_machine;
 pub use td_modelgen;
 pub use td_sched;
+pub use td_serve;
 pub use td_support;
 pub use td_transform;
