@@ -12,12 +12,14 @@
 //!
 //! Configuration is entirely environmental:
 //!
-//! | variable             | effect                                              |
-//! |----------------------|-----------------------------------------------------|
-//! | `TD_SERVE_SOCK`      | bind this unix socket instead of serving stdio      |
-//! | `TD_SERVE_CACHE_DIR` | persistent result cache directory (warm restarts)   |
-//! | `TD_SERVE_TENANTS`   | tenant spec (see `td_serve::tenant` for the grammar)|
-//! | `TD_SERVE_WORKERS`   | worker threads (default 4)                          |
+//! | variable                   | effect                                              |
+//! |----------------------------|-----------------------------------------------------|
+//! | `TD_SERVE_SOCK`            | bind this unix socket instead of serving stdio      |
+//! | `TD_SERVE_CACHE_DIR`       | persistent result cache directory (warm restarts)   |
+//! | `TD_SERVE_CACHE_MAX_BYTES` | disk-cache size cap (oldest-mtime eviction)         |
+//! | `TD_SERVE_TENANTS`         | tenant spec (see `td_serve::tenant` for the grammar)|
+//! | `TD_SERVE_WORKERS`         | worker threads (default 4)                          |
+//! | `TD_SERVE_LOG`             | structured JSON-lines event log path                |
 //!
 //! Without `TD_SERVE_TENANTS` a single default tenant named `default` is
 //! configured — handy for local poking, useless for multi-tenant tests,
@@ -44,6 +46,12 @@ fn main() {
     let mut config = ServiceConfig::new(tenants).with_workers(workers);
     if let Some(dir) = server::env_cache_dir() {
         config = config.with_cache_dir(dir);
+    }
+    if let Some(bytes) = server::env_cache_max_bytes() {
+        config = config.with_cache_max_bytes(bytes);
+    }
+    if let Some(path) = server::env_event_log() {
+        config = config.with_event_log(path);
     }
     let service = match Service::start(config) {
         Ok(service) => service,

@@ -1,0 +1,287 @@
+//! `td-top` — a terminal dashboard for a live td-serve daemon.
+//!
+//! Polls the daemon's `METRICS` (Prometheus text exposition) and `PING`
+//! endpoints over the unix socket in `TD_SERVE_SOCK` (or the first
+//! positional argument) and renders per-tenant columns: completion rate,
+//! window latency quantiles, deadline misses, SLO error-budget burn and
+//! health, in-flight depth, and a sparkline of recent rates.
+//!
+//! ```text
+//! TD_SERVE_SOCK=/tmp/td.sock td_top             # live, 1s refresh
+//! td_top /tmp/td.sock --once                    # one frame, no ANSI
+//! td_top /tmp/td.sock --interval-ms 250         # faster refresh
+//! ```
+//!
+//! `--once` prints a single frame without clearing the screen — the form
+//! CI and transcripts use. The dashboard is read-only: it never submits
+//! jobs and only ever issues `METRICS`/`PING`.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+use td_serve::Client;
+
+/// One scrape, decoded: `(metric, tenant-or-empty, quantile-or-empty)` →
+/// value.
+type Samples = HashMap<(String, String, String), f64>;
+
+fn parse_exposition(text: &str) -> Samples {
+    let mut samples = Samples::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_labels, value) = match line.rsplit_once(' ') {
+            Some(pair) => pair,
+            None => continue,
+        };
+        let Ok(value) = value.parse::<f64>() else {
+            continue;
+        };
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((name, rest)) => (name, rest.trim_end_matches('}')),
+            None => (name_labels, ""),
+        };
+        let mut tenant = String::new();
+        let mut quantile = String::new();
+        for label in split_labels(labels) {
+            if let Some((key, val)) = label.split_once('=') {
+                let val = unescape(val.trim_matches('"'));
+                match key {
+                    "tenant" => tenant = val,
+                    "quantile" => quantile = val,
+                    _ => {}
+                }
+            }
+        }
+        samples.insert((name.to_owned(), tenant, quantile), value);
+    }
+    samples
+}
+
+/// Splits a label block on commas outside quotes.
+fn split_labels(labels: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in labels.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                out.push(&labels[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < labels.len() {
+        out.push(&labels[start..]);
+    }
+    out
+}
+
+fn unescape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => break,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn sparkline(history: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = history.iter().cloned().fold(0.0f64, f64::max);
+    history
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                BARS[0]
+            } else {
+                let idx = ((v / max) * 7.0).round() as usize;
+                BARS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+fn health_name(gauge: f64) -> &'static str {
+    match gauge as u64 {
+        0 => "ok",
+        1 => "warn",
+        _ => "BURNING",
+    }
+}
+
+struct Options {
+    socket: Option<String>,
+    once: bool,
+    interval: Duration,
+    frames: Option<u64>,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        socket: std::env::var("TD_SERVE_SOCK")
+            .ok()
+            .filter(|s| !s.is_empty()),
+        once: false,
+        interval: Duration::from_millis(1000),
+        frames: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--once" => options.once = true,
+            "--interval-ms" => {
+                if let Some(ms) = args.next().and_then(|v| v.parse().ok()) {
+                    options.interval = Duration::from_millis(ms);
+                }
+            }
+            "--frames" => options.frames = args.next().and_then(|v| v.parse().ok()),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: td_top [SOCKET] [--once] [--interval-ms N] [--frames N]\n\
+                     SOCKET defaults to $TD_SERVE_SOCK"
+                );
+                std::process::exit(0);
+            }
+            path => options.socket = Some(path.to_owned()),
+        }
+    }
+    options
+}
+
+fn render(samples: &Samples, history: &HashMap<String, Vec<f64>>, uptime_ms: u64) -> String {
+    let mut tenants: Vec<&str> = samples
+        .keys()
+        .filter(|(metric, tenant, _)| {
+            metric == "td_serve_tenant_submitted_total" && !tenant.is_empty()
+        })
+        .map(|(_, tenant, _)| tenant.as_str())
+        .collect();
+    tenants.sort_unstable();
+    let get = |metric: &str, tenant: &str, quantile: &str| {
+        samples
+            .get(&(metric.to_owned(), tenant.to_owned(), quantile.to_owned()))
+            .copied()
+    };
+    let jobs = get("td_serve_jobs_completed_total", "", "").unwrap_or(0.0);
+    let rejected = get("td_serve_rejected_total", "", "").unwrap_or(0.0);
+    let mut out = format!(
+        "td-top — uptime {:>6.1}s   jobs {}   rejected {}\n",
+        uptime_ms as f64 / 1000.0,
+        jobs as u64,
+        rejected as u64,
+    );
+    out.push_str(&format!(
+        "{:<12} {:>7} {:>9} {:>9} {:>6} {:>7} {:>8} {:>5}  {}\n",
+        "TENANT", "RATE/S", "P50 MS", "P99 MS", "MISS", "BURN", "HEALTH", "INFL", "HISTORY"
+    ));
+    for tenant in tenants {
+        let rate = get("td_serve_tenant_rate", tenant, "").unwrap_or(0.0);
+        let p50 = get("td_serve_tenant_latency_ms", tenant, "0.5");
+        let p99 = get("td_serve_tenant_latency_ms", tenant, "0.99");
+        let miss = get("td_serve_tenant_deadline_missed_total", tenant, "").unwrap_or(0.0);
+        let burn = get("td_serve_tenant_slo_burn", tenant, "");
+        let health = get("td_serve_tenant_health", tenant, "");
+        let in_flight = get("td_serve_tenant_in_flight", tenant, "").unwrap_or(0.0);
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.2}"),
+            None => "-".to_owned(),
+        };
+        out.push_str(&format!(
+            "{:<12} {:>7.2} {:>9} {:>9} {:>6} {:>7} {:>8} {:>5}  {}\n",
+            tenant,
+            rate,
+            fmt_opt(p50),
+            fmt_opt(p99),
+            miss as u64,
+            fmt_opt(burn),
+            health.map(health_name).unwrap_or("-"),
+            in_flight as u64,
+            history
+                .get(tenant)
+                .map(|h| sparkline(h))
+                .unwrap_or_default(),
+        ));
+    }
+    out
+}
+
+fn main() {
+    let options = parse_args();
+    let Some(socket) = options.socket else {
+        eprintln!("td-top: no socket (set TD_SERVE_SOCK or pass a path)");
+        std::process::exit(2);
+    };
+    let stream = match UnixStream::connect(&socket) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("td-top: cannot connect to {socket}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let reader = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(e) => {
+            eprintln!("td-top: cannot clone stream: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut client = Client::new(reader, stream);
+    let mut history: HashMap<String, Vec<f64>> = HashMap::new();
+    let mut frame = 0u64;
+    loop {
+        let info = match client.ping() {
+            Ok(info) => info,
+            Err(e) => {
+                eprintln!("td-top: daemon gone: {e}");
+                std::process::exit(1);
+            }
+        };
+        let text = match client.metrics() {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("td-top: METRICS failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let samples = parse_exposition(&text);
+        for ((metric, tenant, _), &value) in &samples {
+            if metric == "td_serve_tenant_rate" {
+                let entry = history.entry(tenant.clone()).or_default();
+                entry.push(value);
+                let excess = entry.len().saturating_sub(30);
+                if excess > 0 {
+                    entry.drain(..excess);
+                }
+            }
+        }
+        let body = render(&samples, &history, info.uptime_ms);
+        if options.once {
+            print!("{body}");
+            return;
+        }
+        // Clear + home, then the frame.
+        print!("\x1b[2J\x1b[H{body}");
+        let _ = std::io::stdout().flush();
+        frame += 1;
+        if options.frames.is_some_and(|n| frame >= n) {
+            return;
+        }
+        std::thread::sleep(options.interval);
+    }
+}

@@ -354,9 +354,11 @@ impl Engine {
                             let dispatched_at = started.elapsed().as_nanos();
                             let run_started = Instant::now();
                             // Journal steps recorded during this job carry
-                            // its index, so the merged batch journal stays
-                            // attributable per job.
+                            // its index (and, under td-serve, the service
+                            // request id), so the merged batch journal
+                            // stays attributable per job.
                             journal::set_job(Some(index));
+                            journal::set_request(job.request.clone());
                             // Fault-injection lanes are keyed by *job*
                             // index, not worker index: a fault plan fires
                             // identically no matter which worker (or how
@@ -427,6 +429,7 @@ impl Engine {
                                 self.bisect_failed_job(&env, &job, index, &result);
                             }
                             journal::set_job(None);
+                            journal::set_request("");
                             let run_ns = run_started.elapsed().as_nanos();
                             metrics::observe(RUN_SERIES, run_ns);
                             metrics::observe(TOTAL_SERIES, wait_ns + run_ns);
@@ -562,6 +565,9 @@ impl Engine {
         if !job.tag.is_empty() {
             job_span.arg("tenant", job.tag.clone());
         }
+        if !job.request.is_empty() {
+            job_span.arg("request", job.request.clone());
+        }
         if self.deadline_elapsed(batch_start) {
             job_span.arg("outcome", "cancelled");
             metrics::counter("sched.deadline_cancelled", 1);
@@ -570,6 +576,7 @@ impl Engine {
                 ("job", index.to_string()),
                 ("entry", job.entry.clone()),
                 ("tenant", job.tag.clone()),
+                ("request", job.request.clone()),
                 ("phase", "queued".to_owned()),
             ];
             flight::record("deadline.expired", &attribution);
@@ -624,6 +631,7 @@ impl Engine {
                             ("job", index.to_string()),
                             ("entry", job.entry.clone()),
                             ("tenant", job.tag.clone()),
+                            ("request", job.request.clone()),
                             ("phase", "ran".to_owned()),
                         ];
                         flight::record("deadline.expired", &attribution);

@@ -27,6 +27,11 @@ pub struct Job {
     /// per-tenant lane instead, so a `TD_FAULT` `job=N` selector targets
     /// one tenant without touching the others.
     pub fault_lane: Option<u64>,
+    /// Service request id (td-serve; empty when unused). Threaded into the
+    /// job's trace span, journal steps, and flight-recorder attributions so
+    /// one id stitches every artifact of a submission together. Like
+    /// [`Job::tag`], deliberately not part of the cache key.
+    pub request: String,
 }
 
 impl Job {
@@ -38,6 +43,7 @@ impl Job {
             entry: "main".to_owned(),
             tag: String::new(),
             fault_lane: None,
+            request: String::new(),
         }
     }
 
@@ -57,6 +63,12 @@ impl Job {
     /// [`Job::fault_lane`].
     pub fn with_fault_lane(mut self, lane: u64) -> Self {
         self.fault_lane = Some(lane);
+        self
+    }
+
+    /// Sets the service request id (builder-style); see [`Job::request`].
+    pub fn with_request(mut self, request: impl Into<String>) -> Self {
+        self.request = request.into();
         self
     }
 }

@@ -20,12 +20,29 @@ pub struct Client<R: Read, W: Write> {
 pub struct SubmitOutcome {
     /// The daemon-assigned job id (artifact retrieval key).
     pub job_id: u64,
+    /// The request id echoed by `RESULT request=` — client-supplied or
+    /// daemon-minted; the correlation key across traces, journals, flight
+    /// bundles, and the event log.
+    pub request: String,
     /// Transformed module text (`Ok`) or the job's error display (`Err`).
     pub output: Result<String, String>,
     /// Whether the result came from the daemon's result cache.
     pub cached: bool,
     /// Transform ops the interpreter executed (0 on cache hits).
     pub transforms: usize,
+}
+
+/// Daemon identity fields from an enriched `PONG`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Daemon uptime in milliseconds.
+    pub uptime_ms: u64,
+    /// Protocol magic+version (`td-serve/1`).
+    pub proto: String,
+    /// Daemon build fingerprint (crate version).
+    pub build: String,
+    /// Instance token distinguishing daemon incarnations.
+    pub instance: String,
 }
 
 /// A client-side failure: transport trouble or an `ERR` response.
@@ -123,9 +140,31 @@ impl<R: Read, W: Write> Client<R, W> {
         payload: &str,
         entry: &str,
     ) -> Result<SubmitOutcome, ClientError> {
-        let request = Message::new(protocol::VERB_SUBMIT)
+        self.submit_with_request(tenant, script, payload, entry, None)
+    }
+
+    /// [`Client::submit`] with an explicit request id to stamp on the job
+    /// (`None` lets the daemon mint one; either way the outcome carries
+    /// the effective id).
+    ///
+    /// # Errors
+    /// As [`Client::submit`]; a malformed id refuses with code
+    /// `bad_request_id`.
+    pub fn submit_with_request(
+        &mut self,
+        tenant: &str,
+        script: &str,
+        payload: &str,
+        entry: &str,
+        request_id: Option<&str>,
+    ) -> Result<SubmitOutcome, ClientError> {
+        let mut request = Message::new(protocol::VERB_SUBMIT)
             .field("tenant", tenant)
-            .field("entry", entry)
+            .field("entry", entry);
+        if let Some(id) = request_id {
+            request = request.field("request", id);
+        }
+        let request = request
             .blob("script", script.as_bytes().to_vec())
             .blob("payload", payload.as_bytes().to_vec());
         let response = self.expect(&request, protocol::VERB_RESULT)?;
@@ -143,6 +182,7 @@ impl<R: Read, W: Write> Client<R, W> {
         };
         Ok(SubmitOutcome {
             job_id,
+            request: response.get_field("request").unwrap_or_default().to_owned(),
             output,
             cached: response.get_field("cached") == Some("true"),
             transforms: response
@@ -164,6 +204,23 @@ impl<R: Read, W: Write> Client<R, W> {
         Ok(response.get_blob_text("data").unwrap_or_default())
     }
 
+    /// Retrieves an artifact by *request* id instead of job id.
+    ///
+    /// # Errors
+    /// [`ClientError::Refused`] with code `not_found` when the request id
+    /// is unknown or the artifact was not retained.
+    pub fn artifact_by_request(
+        &mut self,
+        request_id: &str,
+        kind: &str,
+    ) -> Result<String, ClientError> {
+        let request = Message::new(protocol::VERB_ARTIFACT)
+            .field("request", request_id)
+            .field("kind", kind);
+        let response = self.expect(&request, protocol::VERB_ARTIFACT)?;
+        Ok(response.get_blob_text("data").unwrap_or_default())
+    }
+
     /// Fetches the service counters JSON.
     ///
     /// # Errors
@@ -173,13 +230,36 @@ impl<R: Read, W: Write> Client<R, W> {
         Ok(response.get_blob_text("data").unwrap_or_default())
     }
 
-    /// Liveness probe.
+    /// Fetches the Prometheus text exposition.
+    ///
+    /// # Errors
+    /// Transport failures or an `ERR` response.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let response = self.expect(
+            &Message::new(protocol::VERB_METRICS),
+            protocol::VERB_METRICS,
+        )?;
+        Ok(response.get_blob_text("data").unwrap_or_default())
+    }
+
+    /// Liveness probe; returns the daemon's identity fields.
     ///
     /// # Errors
     /// Transport failures or a non-`PONG` response.
-    pub fn ping(&mut self) -> Result<(), ClientError> {
-        self.expect(&Message::new(protocol::VERB_PING), protocol::VERB_PONG)
-            .map(|_| ())
+    pub fn ping(&mut self) -> Result<ServerInfo, ClientError> {
+        let response = self.expect(&Message::new(protocol::VERB_PING), protocol::VERB_PONG)?;
+        Ok(ServerInfo {
+            uptime_ms: response
+                .get_field("uptime_ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+            proto: response.get_field("proto").unwrap_or_default().to_owned(),
+            build: response.get_field("build").unwrap_or_default().to_owned(),
+            instance: response
+                .get_field("instance")
+                .unwrap_or_default()
+                .to_owned(),
+        })
     }
 
     /// Asks the daemon to drain and exit; returns once `BYE` arrives.

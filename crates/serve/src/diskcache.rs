@@ -47,6 +47,30 @@ struct Counters {
     stores: AtomicU64,
     store_errors: AtomicU64,
     invalid: AtomicU64,
+    evicted: AtomicU64,
+    evicted_bytes: AtomicU64,
+}
+
+/// A point-in-time snapshot of a store's counters (the `METRICS`
+/// exposition's source).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskCounters {
+    /// Load attempts.
+    pub loads: u64,
+    /// Load hits.
+    pub hits: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Failed stores.
+    pub store_errors: u64,
+    /// Corrupt/foreign-version entries read as misses.
+    pub invalid: u64,
+    /// Entries evicted by the size cap.
+    pub evicted: u64,
+    /// Bytes reclaimed by eviction.
+    pub evicted_bytes: u64,
+    /// Current on-disk footprint of committed entries.
+    pub bytes: u64,
 }
 
 /// A content-addressed on-disk store of [`CachedResult`]s.
@@ -55,6 +79,13 @@ pub struct DiskStore {
     dir: PathBuf,
     counters: Counters,
     tmp_seq: AtomicU64,
+    /// Size cap (`TD_SERVE_CACHE_MAX_BYTES`); `None` = unbounded.
+    max_bytes: Option<u64>,
+    /// Approximate committed footprint, maintained incrementally and
+    /// re-measured during eviction sweeps.
+    bytes: AtomicU64,
+    /// Serializes eviction sweeps (stores themselves stay lock-free).
+    sweep: std::sync::Mutex<()>,
 }
 
 impl DiskStore {
@@ -66,21 +97,44 @@ impl DiskStore {
     /// an unusable cache dir should fail loudly at startup, not silently
     /// run cold forever.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<DiskStore> {
+        Self::open_with_limit(dir, None)
+    }
+
+    /// [`DiskStore::open`] with a size cap: when committed entries exceed
+    /// `max_bytes`, oldest-mtime entries are evicted down to a 90%
+    /// watermark after each store. The cap is approximate (entries are
+    /// measured, directory overhead is not) and best-effort, like every
+    /// other store operation.
+    ///
+    /// # Errors
+    /// Propagates the `create_dir_all` failure.
+    pub fn open_with_limit(
+        dir: impl Into<PathBuf>,
+        max_bytes: Option<u64>,
+    ) -> std::io::Result<DiskStore> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        let mut bytes = 0u64;
         if let Ok(entries) = fs::read_dir(&dir) {
             for entry in entries.flatten() {
                 let name = entry.file_name();
                 if name.to_string_lossy().ends_with(".tmp") {
                     let _ = fs::remove_file(entry.path());
+                } else if let Ok(meta) = entry.metadata() {
+                    bytes += meta.len();
                 }
             }
         }
-        Ok(DiskStore {
+        let store = DiskStore {
             dir,
             counters: Counters::default(),
             tmp_seq: AtomicU64::new(0),
-        })
+            max_bytes,
+            bytes: AtomicU64::new(bytes),
+            sweep: std::sync::Mutex::new(()),
+        };
+        store.evict_if_over();
+        Ok(store)
     }
 
     /// The store's root directory.
@@ -152,21 +206,93 @@ impl DiskStore {
 
     /// Service-facing counter snapshot as one JSON object.
     pub fn stats_json(&self) -> String {
-        let loads = self.counters.loads.load(Ordering::Relaxed);
-        let hits = self.counters.hits.load(Ordering::Relaxed);
+        let c = self.counter_values();
         format!(
-            "{{\"dir\":{},\"loads\":{loads},\"hits\":{hits},\"stores\":{},\
-             \"store_errors\":{},\"invalid\":{},\"hit_rate\":{:.4}}}",
+            "{{\"dir\":{},\"loads\":{},\"hits\":{},\"stores\":{},\
+             \"store_errors\":{},\"invalid\":{},\"hit_rate\":{:.4},\
+             \"evicted\":{},\"evicted_bytes\":{},\"bytes\":{},\"max_bytes\":{}}}",
             metrics::json_string(&self.dir.to_string_lossy()),
-            self.counters.stores.load(Ordering::Relaxed),
-            self.counters.store_errors.load(Ordering::Relaxed),
-            self.counters.invalid.load(Ordering::Relaxed),
-            if loads == 0 {
+            c.loads,
+            c.hits,
+            c.stores,
+            c.store_errors,
+            c.invalid,
+            if c.loads == 0 {
                 0.0
             } else {
-                hits as f64 / loads as f64
+                c.hits as f64 / c.loads as f64
+            },
+            c.evicted,
+            c.evicted_bytes,
+            c.bytes,
+            match self.max_bytes {
+                Some(max) => max.to_string(),
+                None => "null".to_owned(),
             },
         )
+    }
+
+    /// The counters as plain values.
+    pub fn counter_values(&self) -> DiskCounters {
+        DiskCounters {
+            loads: self.counters.loads.load(Ordering::Relaxed),
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            stores: self.counters.stores.load(Ordering::Relaxed),
+            store_errors: self.counters.store_errors.load(Ordering::Relaxed),
+            invalid: self.counters.invalid.load(Ordering::Relaxed),
+            evicted: self.counters.evicted.load(Ordering::Relaxed),
+            evicted_bytes: self.counters.evicted_bytes.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs an eviction sweep if the store exceeds its cap: re-measures
+    /// the directory (the incremental counter drifts under concurrent
+    /// writers), then removes oldest-mtime committed entries until the
+    /// footprint is under 90% of the cap. Contending sweeps coalesce —
+    /// a second caller returns immediately.
+    fn evict_if_over(&self) {
+        let Some(max) = self.max_bytes else {
+            return;
+        };
+        if self.bytes.load(Ordering::Relaxed) <= max {
+            return;
+        }
+        let Ok(_guard) = self.sweep.try_lock() else {
+            return;
+        };
+        let suffix = format!(".v{FORMAT_VERSION}");
+        let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        let mut measured = 0u64;
+        let Ok(dir) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in dir.flatten() {
+            if !entry.file_name().to_string_lossy().ends_with(&suffix) {
+                continue;
+            }
+            if let Ok(meta) = entry.metadata() {
+                measured += meta.len();
+                let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                entries.push((mtime, entry.path(), meta.len()));
+            }
+        }
+        let watermark = max.saturating_mul(9) / 10;
+        entries.sort_by_key(|(mtime, _, _)| *mtime);
+        for (_, path, len) in entries {
+            if measured <= watermark {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                measured = measured.saturating_sub(len);
+                self.counters.evicted.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .evicted_bytes
+                    .fetch_add(len, Ordering::Relaxed);
+                metrics::counter("serve.disk.evicted", 1);
+            }
+        }
+        self.bytes.store(measured, Ordering::Relaxed);
     }
 }
 
@@ -197,12 +323,16 @@ impl CachePersist for DiskStore {
             std::process::id(),
             self.tmp_seq.fetch_add(1, Ordering::Relaxed)
         ));
-        let committed = fs::write(&tmp, Self::encode_entry(value))
+        let encoded = Self::encode_entry(value);
+        let entry_len = encoded.len() as u64;
+        let committed = fs::write(&tmp, encoded)
             .and_then(|()| fs::rename(&tmp, &path))
             .is_ok();
         if committed {
             self.counters.stores.fetch_add(1, Ordering::Relaxed);
             metrics::counter("serve.disk.store", 1);
+            self.bytes.fetch_add(entry_len, Ordering::Relaxed);
+            self.evict_if_over();
         } else {
             let _ = fs::remove_file(&tmp);
             self.counters.store_errors.fetch_add(1, Ordering::Relaxed);
@@ -263,6 +393,36 @@ mod tests {
         fs::write(&path, b"tdserve-cache 99\ntransforms 3\nmodule 2\nok").unwrap();
         assert_eq!(store.load(&key(2)), None, "future version is a miss");
         assert_eq!(store.counters.invalid.load(Ordering::Relaxed), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn size_cap_evicts_oldest_entries_first() {
+        let dir = temp_dir("evict");
+        let big = "x".repeat(512);
+        // Cap at ~3 entries' worth; store 8 and verify the oldest go.
+        let store = DiskStore::open_with_limit(&dir, Some(1800)).unwrap();
+        for n in 0..8u64 {
+            store.store(&key(n), &value(&big));
+            // mtime resolution is coarse on some filesystems; the sort
+            // only needs *some* ordering, and same-mtime ties are fine.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let counters = store.counter_values();
+        assert!(counters.evicted > 0, "cap must trigger eviction");
+        assert!(counters.evicted_bytes > 0);
+        assert!(
+            counters.bytes <= 1800,
+            "footprint {} stays under the cap",
+            counters.bytes
+        );
+        // The newest entry must survive; the oldest must be gone.
+        assert_eq!(store.load(&key(7)), Some(value(&big)));
+        assert_eq!(store.load(&key(0)), None);
+        assert!(store.stats_json().contains("\"evicted\":"));
+        // Reopening under the same cap re-measures and stays under it.
+        let reopened = DiskStore::open_with_limit(&dir, Some(1800)).unwrap();
+        assert!(reopened.counter_values().bytes <= 1800);
         let _ = fs::remove_dir_all(&dir);
     }
 

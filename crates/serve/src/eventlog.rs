@@ -1,0 +1,140 @@
+//! Structured service event log: one JSON object per line, appended to
+//! the file named by `TD_SERVE_LOG`.
+//!
+//! The log is the service's narrative surface — admissions, refusals,
+//! fuse trips, deadline expiries, completions, drains — and every entry
+//! that concerns a submission carries its request id, so `grep r42 log`
+//! reconstructs one request's life without correlating timestamps. When
+//! `TD_SERVE_LOG` is unset the logger is a no-op sink with no lock, no
+//! file handle, and no formatting cost (the observability overhead gate
+//! measures the *enabled* plane; disabled must be free).
+//!
+//! Values are escaped with the shared [`td_support::metrics::json_string`]
+//! serializer — event attributes include client-controlled strings
+//! (tenant names, request ids, error texts) and must never be
+//! interpolated raw.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::SystemTime;
+
+use td_support::metrics::json_string;
+
+/// A JSON-lines event sink; cheap to probe when disabled.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    sink: Option<Mutex<File>>,
+}
+
+impl EventLog {
+    /// A disabled logger: every [`EventLog::log`] call is a no-op.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A logger appending to `path` (created if missing). Returns the
+    /// open error rather than silently disabling: a service asked to log
+    /// and unable to should say so at startup, not at the postmortem.
+    ///
+    /// # Errors
+    /// The underlying open/create failure.
+    pub fn to_path(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path.as_ref())?;
+        Ok(EventLog {
+            sink: Some(Mutex::new(file)),
+        })
+    }
+
+    /// A logger from the `TD_SERVE_LOG` environment variable: disabled
+    /// when unset or empty.
+    ///
+    /// # Errors
+    /// The open failure when the variable names an unusable path.
+    pub fn from_env() -> std::io::Result<Self> {
+        match std::env::var("TD_SERVE_LOG") {
+            Ok(path) if !path.is_empty() => Self::to_path(path),
+            _ => Ok(Self::disabled()),
+        }
+    }
+
+    /// Whether events are actually written anywhere.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Appends one event line: `{"ts_ms":...,"event":"...",...attrs}`.
+    /// Write failures are swallowed — the log is observability, and a
+    /// full disk must not take the service down with it.
+    pub fn log(&self, event: &str, attrs: &[(&str, String)]) {
+        let Some(sink) = &self.sink else {
+            return;
+        };
+        let ts_ms = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_millis())
+            .unwrap_or(0);
+        let mut line = format!("{{\"ts_ms\":{ts_ms},\"event\":{}", json_string(event));
+        for (key, value) in attrs {
+            line.push_str(&format!(",{}:{}", json_string(key), json_string(value)));
+        }
+        line.push_str("}\n");
+        if let Ok(mut file) = sink.lock() {
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_support::trace::validate_json;
+
+    #[test]
+    fn disabled_log_is_a_silent_no_op() {
+        let log = EventLog::disabled();
+        assert!(!log.enabled());
+        log.log("admit", &[("tenant", "alpha".to_owned())]);
+    }
+
+    #[test]
+    fn events_are_valid_json_lines_with_escaped_values() {
+        let dir = std::env::temp_dir().join(format!("td-eventlog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let log = EventLog::to_path(&path).unwrap();
+        assert!(log.enabled());
+        log.log(
+            "refuse",
+            &[
+                ("tenant", "evil\"name\nwith\\stuff".to_owned()),
+                ("request", "r1".to_owned()),
+            ],
+        );
+        log.log("drain", &[]);
+        drop(log);
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            validate_json(line).expect("event line parses as JSON");
+        }
+        assert!(lines[0].contains("\"event\":\"refuse\""));
+        assert!(lines[0].contains("evil\\\"name\\nwith\\\\stuff"));
+        assert!(lines[1].contains("\"event\":\"drain\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_env_without_variable_is_disabled() {
+        // TD_SERVE_LOG is only read by the daemon binary in practice; the
+        // test relies on it being unset in the test environment.
+        if std::env::var("TD_SERVE_LOG").is_err() {
+            assert!(!EventLog::from_env().unwrap().enabled());
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! Prometheus text exposition: rendering the service's counters, gauges,
+//! and latency summaries into the `# HELP`/`# TYPE` line format any
+//! scraper consumes, plus a std-only well-formedness checker CI uses the
+//! way `td_support::trace::validate_json` is used for JSON surfaces.
+//!
+//! The renderer is deliberately a dumb string builder with two hard
+//! rules, both enforced here rather than at call sites:
+//!
+//! * metric names are sanitized to `[a-zA-Z_:][a-zA-Z0-9_:]*` (the
+//!   internal dotted series names map `.` → `_`);
+//! * label values are escaped (`\\`, `\"`, `\n`) — tenant names are
+//!   client-controlled strings and flow into labels verbatim.
+
+use std::fmt::Write as _;
+
+/// A metric family's type, as exposed on its `# TYPE` line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricType {
+    /// Monotonically increasing.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Pre-computed quantiles (`{quantile="..."}` samples plus `_sum` and
+    /// `_count`).
+    Summary,
+}
+
+impl MetricType {
+    fn name(self) -> &'static str {
+        match self {
+            MetricType::Counter => "counter",
+            MetricType::Gauge => "gauge",
+            MetricType::Summary => "summary",
+        }
+    }
+}
+
+/// Maps an internal dotted series name onto the exposition charset:
+/// `[a-zA-Z0-9_:]`, everything else becomes `_`, and a leading digit gets
+/// an underscore prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// An exposition document under construction.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+/// One sample's labels: `(key, value)` pairs (values escaped at render).
+pub type Labels<'a> = &'a [(&'a str, &'a str)];
+
+impl Exposition {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: MetricType) {
+        // HELP text escapes backslash and newline (not quotes).
+        let help = help.replace('\\', "\\\\").replace('\n', "\\n");
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {}", kind.name());
+    }
+
+    fn sample(&mut self, name: &str, labels: Labels<'_>, value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (key, val)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{key}=\"{}\"", escape_label(val));
+            }
+            self.out.push('}');
+        }
+        if value.fract() == 0.0 && value.abs() < 1e15 {
+            let _ = writeln!(self.out, " {}", value as i64);
+        } else {
+            let _ = writeln!(self.out, " {value}");
+        }
+    }
+
+    /// Emits one metric family: `# HELP`/`# TYPE` then one sample per
+    /// label set. Families with no samples are skipped entirely.
+    pub fn family(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: MetricType,
+        samples: &[(Vec<(&str, &str)>, f64)],
+    ) {
+        if samples.is_empty() {
+            return;
+        }
+        let name = sanitize_name(name);
+        self.header(&name, help, kind);
+        for (labels, value) in samples {
+            self.sample(&name, labels, *value);
+        }
+    }
+
+    /// Emits a summary family from quantile readings: one
+    /// `{quantile="..."}` sample per entry plus `_sum` and `_count`
+    /// series, all sharing `labels`.
+    pub fn summary(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: Labels<'_>,
+        quantiles: &[(f64, f64)],
+        sum: f64,
+        count: u64,
+    ) {
+        let name = sanitize_name(name);
+        if !self.out.contains(&format!("# TYPE {name} ")) {
+            self.header(&name, help, MetricType::Summary);
+        }
+        for (q, value) in quantiles {
+            let q = format!("{q}");
+            let mut with_quantile: Vec<(&str, &str)> = labels.to_vec();
+            with_quantile.push(("quantile", &q));
+            self.sample(&name, &with_quantile, *value);
+        }
+        self.sample(&format!("{name}_sum"), labels, sum);
+        self.sample(&format!("{name}_count"), labels, count as f64);
+    }
+
+    /// The rendered document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Well-formedness checking (std-only, for CI)
+// ---------------------------------------------------------------------------
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn valid_value(token: &str) -> bool {
+    matches!(token, "+Inf" | "-Inf" | "NaN") || token.parse::<f64>().is_ok()
+}
+
+/// Strips a sample line's label block, validating label syntax (names,
+/// quoting, escapes). Returns `(metric_name, rest_after_labels)`.
+fn split_labels(line: &str, lineno: usize) -> Result<(&str, &str), String> {
+    let Some(brace) = line.find('{') else {
+        let (name, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("line {lineno}: sample has no value"))?;
+        return Ok((name, rest));
+    };
+    let name = &line[..brace];
+    let rest = &line[brace + 1..];
+    let mut chars = rest.char_indices();
+    loop {
+        // Label name up to '='.
+        let start = match chars.next() {
+            Some((i, '}')) => {
+                let after = &rest[i + 1..];
+                return Ok((name, after.trim_start()));
+            }
+            Some((i, _)) => i,
+            None => return Err(format!("line {lineno}: unterminated label block")),
+        };
+        let eq = loop {
+            match chars.next() {
+                Some((i, '=')) => break i,
+                Some((_, c)) if c.is_ascii_alphanumeric() || c == '_' => {}
+                Some((i, c)) => {
+                    return Err(format!(
+                        "line {lineno}: bad char '{c}' in label name at {i}"
+                    ))
+                }
+                None => return Err(format!("line {lineno}: label name never reaches '='")),
+            }
+        };
+        if !valid_label_name(&rest[start..eq]) {
+            return Err(format!("line {lineno}: invalid label name"));
+        }
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("line {lineno}: label value is not quoted")),
+        }
+        // Quoted value with escapes.
+        loop {
+            match chars.next() {
+                Some((_, '"')) => break,
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '\\' | '"' | 'n')) => {}
+                    _ => return Err(format!("line {lineno}: bad escape in label value")),
+                },
+                Some(_) => {}
+                None => return Err(format!("line {lineno}: unterminated label value")),
+            }
+        }
+        match chars.next() {
+            Some((_, ',')) => {}
+            Some((i, '}')) => {
+                let after = &rest[i + 1..];
+                return Ok((name, after.trim_start()));
+            }
+            _ => return Err(format!("line {lineno}: expected ',' or '}}' after label")),
+        }
+    }
+}
+
+/// Validates Prometheus text exposition: every line is a `# HELP`, a
+/// `# TYPE` (with a known type, at most one per metric, before that
+/// metric's samples), or a `name{labels} value [timestamp]` sample with a
+/// legal name, legal labels, and a float-parsable value. The final line
+/// must be newline-terminated.
+///
+/// # Errors
+/// A message naming the first offending line.
+pub fn validate_exposition(input: &str) -> Result<(), String> {
+    if input.is_empty() {
+        return Err("empty exposition".to_owned());
+    }
+    if !input.ends_with('\n') {
+        return Err("exposition must end with a newline".to_owned());
+    }
+    let mut typed: Vec<String> = Vec::new();
+    let mut sampled: Vec<String> = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.splitn(2, ' ');
+                let name = parts.next().unwrap_or_default();
+                let kind = parts.next().unwrap_or_default().trim();
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: bad metric name in TYPE"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                ) {
+                    return Err(format!("line {lineno}: unknown metric type '{kind}'"));
+                }
+                if typed.iter().any(|t| t == name) {
+                    return Err(format!("line {lineno}: duplicate TYPE for '{name}'"));
+                }
+                if sampled.iter().any(|s| s == name) {
+                    return Err(format!(
+                        "line {lineno}: TYPE for '{name}' after its samples"
+                    ));
+                }
+                typed.push(name.to_owned());
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split(' ').next().unwrap_or_default();
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: bad metric name in HELP"));
+                }
+            }
+            // Other comments are free-form.
+            continue;
+        }
+        let (name, rest) = split_labels(line, lineno)?;
+        if !valid_metric_name(name) {
+            return Err(format!("line {lineno}: bad metric name '{name}'"));
+        }
+        let mut tokens = rest.split_whitespace();
+        let Some(value) = tokens.next() else {
+            return Err(format!("line {lineno}: sample has no value"));
+        };
+        if !valid_value(value) {
+            return Err(format!("line {lineno}: bad sample value '{value}'"));
+        }
+        if let Some(ts) = tokens.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(format!("line {lineno}: bad timestamp '{ts}'"));
+            }
+        }
+        if tokens.next().is_some() {
+            return Err(format!("line {lineno}: trailing tokens after sample"));
+        }
+        // `_sum`/`_count`/`_bucket` samples belong to their base family.
+        let base = name
+            .strip_suffix("_sum")
+            .or_else(|| name.strip_suffix("_count"))
+            .or_else(|| name.strip_suffix("_bucket"))
+            .filter(|base| typed.iter().any(|t| t == base))
+            .unwrap_or(name);
+        sampled.push(base.to_owned());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renderer_produces_valid_exposition() {
+        let mut expo = Exposition::new();
+        expo.family(
+            "td_serve.jobs.completed",
+            "Jobs completed over the daemon lifetime.",
+            MetricType::Counter,
+            &[(vec![], 42.0)],
+        );
+        expo.family(
+            "td_serve_tenant_rate",
+            "Windowed completion rate.",
+            MetricType::Gauge,
+            &[
+                (vec![("tenant", "alpha")], 1.5),
+                (vec![("tenant", "beta\"evil\\name\n")], 0.0),
+            ],
+        );
+        expo.summary(
+            "td_serve_tenant_latency_seconds",
+            "Completion latency.",
+            &[("tenant", "alpha")],
+            &[(0.5, 0.010), (0.99, 0.100)],
+            1.23,
+            100,
+        );
+        let text = expo.finish();
+        validate_exposition(&text).expect("rendered exposition is valid");
+        assert!(text.contains("# TYPE td_serve_jobs_completed counter"));
+        assert!(text.contains("td_serve_tenant_rate{tenant=\"alpha\"} 1.5"));
+        assert!(text.contains("beta\\\"evil\\\\name\\n"));
+        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("td_serve_tenant_latency_seconds_count{tenant=\"alpha\"} 100"));
+    }
+
+    #[test]
+    fn sanitize_and_escape_cover_the_charsets() {
+        assert_eq!(sanitize_name("serve.disk.hit"), "serve_disk_hit");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("ok_name:total"), "ok_name:total");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_exposition("").is_err());
+        assert!(validate_exposition("x 1").is_err(), "missing final newline");
+        assert!(validate_exposition("1bad_name 3\n").is_err());
+        assert!(validate_exposition("name nope\n").is_err(), "bad value");
+        assert!(validate_exposition("name{l=unquoted} 1\n").is_err());
+        assert!(validate_exposition("name{l=\"open} 1\n").is_err());
+        assert!(validate_exposition("# TYPE m wat\nm 1\n").is_err());
+        assert!(
+            validate_exposition("# TYPE m counter\n# TYPE m counter\nm 1\n").is_err(),
+            "duplicate TYPE"
+        );
+        assert!(
+            validate_exposition("m 1\n# TYPE m counter\n").is_err(),
+            "TYPE after samples"
+        );
+        assert!(validate_exposition("m 1 2 3\n").is_err(), "trailing tokens");
+    }
+
+    #[test]
+    fn validator_accepts_the_format_corners() {
+        let text = "# scraped by td-top\n\
+                    # HELP m One metric.\n\
+                    # TYPE m summary\n\
+                    m{quantile=\"0.5\"} 0.01\n\
+                    m_sum 1.5\n\
+                    m_count 3\n\
+                    plain 4 1700000000\n\
+                    inf_ok +Inf\n";
+        validate_exposition(text).expect("corner cases are legal");
+    }
+}

@@ -17,8 +17,8 @@
 //!
 //! Fields precede blobs; a line starting with `#` switches the parser to
 //! blob mode permanently. Verbs: `SUBMIT`, `RESULT`, `ARTIFACT`, `STATS`,
-//! `PING`, `PONG`, `SHUTDOWN`, `BYE`, `ERR` (see [`crate::server`] for
-//! which side sends which).
+//! `METRICS`, `PING`, `PONG`, `SHUTDOWN`, `BYE`, `ERR` (see
+//! [`crate::server`] for which side sends which).
 
 /// The protocol magic + version tag every message starts with.
 pub const HEADER: &str = "td-serve/1";
@@ -35,6 +35,10 @@ pub const VERB_RESULT: &str = "RESULT";
 pub const VERB_ARTIFACT: &str = "ARTIFACT";
 /// Request/response: service counters as a JSON blob (`data`).
 pub const VERB_STATS: &str = "STATS";
+/// Request/response: Prometheus text exposition as a `data` blob —
+/// per-tenant rate/latency/SLO series from the windowed time-series
+/// registry plus live engine/cache/fault counters.
+pub const VERB_METRICS: &str = "METRICS";
 /// Liveness probe.
 pub const VERB_PING: &str = "PING";
 /// Response to [`VERB_PING`].

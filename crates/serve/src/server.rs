@@ -5,12 +5,19 @@
 //!
 //! | request                                          | response |
 //! |--------------------------------------------------|----------|
-//! | `SUBMIT tenant= entry=? #script #payload`        | `RESULT job= tenant= ok= cached= attempts= transforms= wall_us= #module\|#error` |
-//! | `ARTIFACT job= kind=`                            | `ARTIFACT job= kind= #data`, or `ERR code=not_found` |
+//! | `SUBMIT tenant= entry=? request=? #script #payload` | `RESULT job= request= tenant= ok= cached= attempts= transforms= wall_us= #module\|#error` |
+//! | `ARTIFACT job=\|request= kind=`                  | `ARTIFACT job= kind= #data`, or `ERR code=not_found` |
 //! | `STATS`                                          | `STATS #data` (the service counters JSON) |
-//! | `PING`                                           | `PONG` |
+//! | `METRICS`                                        | `METRICS #data` (Prometheus text exposition) |
+//! | `PING`                                           | `PONG uptime_ms= proto= build= instance=` |
 //! | `SHUTDOWN`                                       | `BYE`, then the connection (and in stdio mode the daemon) ends |
 //! | anything else                                    | `ERR reason=` |
+//!
+//! `SUBMIT request=` lets the client supply its own request id (charset
+//! `[A-Za-z0-9._:/-]`, ≤64 bytes); otherwise the service mints one.
+//! Either way `RESULT request=` echoes it, and it is the id stamped into
+//! the job's trace spans, journal steps, flight bundles, and event-log
+//! entries — the correlation key of the observability plane.
 //!
 //! Admission refusals answer `ERR code=unknown_tenant|queue_full|`
 //! `budget_exhausted|draining reason=...` — the job was *not* run and the
@@ -79,7 +86,13 @@ pub fn handle_connection(
             protocol::VERB_STATS => {
                 Message::new(protocol::VERB_STATS).blob("data", service.stats_json().into_bytes())
             }
-            protocol::VERB_PING => Message::new(protocol::VERB_PONG),
+            protocol::VERB_METRICS => Message::new(protocol::VERB_METRICS)
+                .blob("data", service.metrics_exposition().into_bytes()),
+            protocol::VERB_PING => Message::new(protocol::VERB_PONG)
+                .field("uptime_ms", service.uptime_ms().to_string())
+                .field("proto", protocol::HEADER)
+                .field("build", env!("CARGO_PKG_VERSION"))
+                .field("instance", service.instance()),
             protocol::VERB_SHUTDOWN => {
                 write_frame(writer, &Message::new(protocol::VERB_BYE).encode())?;
                 return Ok(ConnectionOutcome::Shutdown);
@@ -95,16 +108,19 @@ fn handle_submit(service: &Service, request: &Message) -> Message {
         return err_message("SUBMIT needs a tenant= field");
     };
     let entry = request.get_field("entry").unwrap_or("main");
+    let request_id = request.get_field("request");
     let (Some(script), Some(payload)) = (
         request.get_blob_text("script"),
         request.get_blob_text("payload"),
     ) else {
         return err_message("SUBMIT needs #script and #payload blobs");
     };
-    match service.submit_wait(tenant, script, payload, entry) {
+    let admitted = service.submit_with_request(tenant, script, payload, entry, request_id);
+    match admitted.map(|(id, _)| service.wait(id)) {
         Ok(done) => {
             let base = Message::new(protocol::VERB_RESULT)
                 .field("job", done.job_id.to_string())
+                .field("request", done.request)
                 .field("tenant", done.tenant)
                 .field("wall_us", done.wall.as_micros().to_string());
             match done.result {
@@ -125,6 +141,7 @@ fn handle_submit(service: &Service, request: &Message) -> Message {
                 AdmitError::QueueFull => "queue_full",
                 AdmitError::BudgetExhausted => "budget_exhausted",
                 AdmitError::Draining => "draining",
+                AdmitError::BadRequestId(_) => "bad_request_id",
             };
             err_message(refusal.to_string()).field("code", code)
         }
@@ -132,19 +149,32 @@ fn handle_submit(service: &Service, request: &Message) -> Message {
 }
 
 fn handle_artifact(service: &Service, request: &Message) -> Message {
-    let (Some(job), Some(kind)) = (request.get_field("job"), request.get_field("kind")) else {
-        return err_message("ARTIFACT needs job= and kind= fields");
+    let Some(kind) = request.get_field("kind") else {
+        return err_message("ARTIFACT needs a kind= field");
     };
-    let Ok(job_id) = job.parse::<u64>() else {
-        return err_message(format!("bad job id '{job}'"));
+    // Artifacts are addressed by job id or, equivalently, by the request
+    // id the RESULT echoed — the observability plane's correlation key.
+    let job_id = match (request.get_field("job"), request.get_field("request")) {
+        (Some(job), _) => match job.parse::<u64>() {
+            Ok(id) => id,
+            Err(_) => return err_message(format!("bad job id '{job}'")),
+        },
+        (None, Some(rid)) => match service.job_for_request(rid) {
+            Some(id) => id,
+            None => {
+                return err_message(format!("unknown request id '{rid}'"))
+                    .field("code", "not_found")
+            }
+        },
+        (None, None) => return err_message("ARTIFACT needs a job= or request= field"),
     };
     match service.artifact(job_id, kind) {
         Some(data) => Message::new(protocol::VERB_ARTIFACT)
-            .field("job", job)
+            .field("job", job_id.to_string())
             .field("kind", kind)
             .blob("data", data.into_bytes()),
         None => {
-            err_message(format!("no '{kind}' artifact for job {job}")).field("code", "not_found")
+            err_message(format!("no '{kind}' artifact for job {job_id}")).field("code", "not_found")
         }
     }
 }
@@ -241,6 +271,21 @@ pub fn env_socket_path() -> Option<PathBuf> {
 /// The persistent-cache directory in `TD_SERVE_CACHE_DIR`, if set.
 pub fn env_cache_dir() -> Option<PathBuf> {
     std::env::var_os("TD_SERVE_CACHE_DIR")
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from)
+}
+
+/// The disk-cache size cap in `TD_SERVE_CACHE_MAX_BYTES`, if set and
+/// parsable.
+pub fn env_cache_max_bytes() -> Option<u64> {
+    std::env::var("TD_SERVE_CACHE_MAX_BYTES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+}
+
+/// The structured event-log path in `TD_SERVE_LOG`, if set.
+pub fn env_event_log() -> Option<PathBuf> {
+    std::env::var_os("TD_SERVE_LOG")
         .filter(|s| !s.is_empty())
         .map(PathBuf::from)
 }

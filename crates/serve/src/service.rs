@@ -40,9 +40,12 @@
 
 use crate::artifacts::ArtifactStore;
 use crate::diskcache::DiskStore;
+use crate::eventlog::EventLog;
+use crate::exposition::{Exposition, MetricType};
 use crate::scheduler::FairQueue;
 use crate::tenant::TenantConfig;
-use std::collections::HashMap;
+use crate::timeseries::{slo_reading, SeriesRegistry};
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -70,6 +73,16 @@ pub struct ServiceConfig {
     pub collect_artifacts: bool,
     /// Jobs whose artifacts are retained (FIFO eviction beyond this).
     pub artifact_capacity: usize,
+    /// Size cap for the on-disk cache (`TD_SERVE_CACHE_MAX_BYTES`); when
+    /// the store grows past this, oldest-mtime entries are evicted.
+    /// `None` = unbounded.
+    pub cache_max_bytes: Option<u64>,
+    /// Structured event-log path (`TD_SERVE_LOG`); `None` disables.
+    pub event_log: Option<PathBuf>,
+    /// Whether the observability plane (request time series, event log,
+    /// per-job metric flush, queue-wait spans) is active. On by default;
+    /// the overhead gate in CI compares against `false`.
+    pub observe: bool,
 }
 
 impl ServiceConfig {
@@ -84,6 +97,9 @@ impl ServiceConfig {
             cache_dir: None,
             collect_artifacts: true,
             artifact_capacity: 256,
+            cache_max_bytes: None,
+            event_log: None,
+            observe: true,
         }
     }
 
@@ -111,6 +127,25 @@ impl ServiceConfig {
         self.collect_artifacts = false;
         self
     }
+
+    /// Caps the on-disk cache size (builder-style).
+    pub fn with_cache_max_bytes(mut self, bytes: u64) -> Self {
+        self.cache_max_bytes = Some(bytes);
+        self
+    }
+
+    /// Enables the structured event log at `path` (builder-style).
+    pub fn with_event_log(mut self, path: impl Into<PathBuf>) -> Self {
+        self.event_log = Some(path.into());
+        self
+    }
+
+    /// Turns the observability plane off (builder-style) — the baseline
+    /// half of the CI overhead comparison.
+    pub fn without_observability(mut self) -> Self {
+        self.observe = false;
+        self
+    }
 }
 
 /// Why a submission was refused at admission.
@@ -125,6 +160,9 @@ pub enum AdmitError {
     BudgetExhausted,
     /// The service is draining and admits nothing new.
     Draining,
+    /// The client-supplied `request=` id is malformed (charset
+    /// `[A-Za-z0-9._:/-]`, 1–64 bytes).
+    BadRequestId(String),
 }
 
 impl std::fmt::Display for AdmitError {
@@ -134,6 +172,7 @@ impl std::fmt::Display for AdmitError {
             AdmitError::QueueFull => write!(f, "tenant queue full"),
             AdmitError::BudgetExhausted => write!(f, "tenant failure budget exhausted"),
             AdmitError::Draining => write!(f, "service is draining"),
+            AdmitError::BadRequestId(id) => write!(f, "invalid request id '{id}'"),
         }
     }
 }
@@ -145,6 +184,10 @@ impl std::error::Error for AdmitError {}
 pub struct ServeResult {
     /// The service-assigned job id (artifact retrieval key).
     pub job_id: u64,
+    /// The request id: client-supplied at SUBMIT or minted at admission.
+    /// The same id appears in the job's trace spans, journal steps,
+    /// flight-recorder attributions, and event-log entries.
+    pub request: String,
     /// The owning tenant.
     pub tenant: String,
     /// The engine's result.
@@ -169,6 +212,7 @@ struct TenantRuntime {
     completed: AtomicU64,
     failed: AtomicU64,
     in_flight: AtomicU64,
+    deadline_missed: AtomicU64,
 }
 
 impl TenantRuntime {
@@ -182,7 +226,31 @@ impl TenantRuntime {
 struct Dispatched {
     id: u64,
     tenant: usize,
+    request: String,
+    /// When admission accepted the job — the queue-wait span's start.
+    admitted: Instant,
     job: Job,
+}
+
+/// Bounded request-id → job-id index (FIFO eviction), serving `ARTIFACT`
+/// and `RESULT` lookups by request id.
+#[derive(Default)]
+struct RequestIndex {
+    by_request: HashMap<String, u64>,
+    order: VecDeque<String>,
+}
+
+impl RequestIndex {
+    fn insert(&mut self, request: String, job: u64, capacity: usize) {
+        if self.by_request.insert(request.clone(), job).is_none() {
+            self.order.push_back(request);
+            while self.order.len() > capacity.max(1) {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.by_request.remove(&evicted);
+                }
+            }
+        }
+    }
 }
 
 struct PendState {
@@ -206,6 +274,19 @@ struct Inner {
     disk: Option<Arc<DiskStore>>,
     collect_artifacts: bool,
     draining: AtomicBool,
+    /// Observability plane (gated by [`ServiceConfig::observe`]).
+    observe: bool,
+    series: SeriesRegistry,
+    events: EventLog,
+    /// Per-job worker metrics flushed here so a live `METRICS` scrape sees
+    /// engine/fault/cache counters mid-flight, not only after drain.
+    live_metrics: Mutex<metrics::Metrics>,
+    requests: Mutex<RequestIndex>,
+    request_capacity: usize,
+    started: Instant,
+    /// Short random-ish token distinguishing daemon incarnations; the
+    /// prefix of minted request ids and a PONG field.
+    instance: String,
 }
 
 /// The long-lived multi-tenant schedule-compilation service.
@@ -230,8 +311,15 @@ impl Service {
     pub fn start(config: ServiceConfig) -> std::io::Result<Service> {
         assert!(!config.tenants.is_empty(), "a service needs tenants");
         let disk = match &config.cache_dir {
-            Some(dir) => Some(Arc::new(DiskStore::open(dir)?)),
+            Some(dir) => Some(Arc::new(DiskStore::open_with_limit(
+                dir,
+                config.cache_max_bytes,
+            )?)),
             None => None,
+        };
+        let events = match &config.event_log {
+            Some(path) => EventLog::to_path(path)?,
+            None => EventLog::disabled(),
         };
         let cache = Arc::new(match &disk {
             Some(store) => ResultCache::with_persistence(
@@ -261,8 +349,23 @@ impl Service {
                 completed: AtomicU64::new(0),
                 failed: AtomicU64::new(0),
                 in_flight: AtomicU64::new(0),
+                deadline_missed: AtomicU64::new(0),
             });
         }
+        // Instance token: wall-clock nanos xor pid, truncated. Not a
+        // security boundary — just enough to tell two daemon incarnations
+        // (and their minted request ids) apart in merged logs.
+        let instance = {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::SystemTime::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            format!(
+                "{:08x}",
+                (nanos ^ (u64::from(std::process::id()) << 32)) as u32
+            )
+        };
+        let tenant_count = config.tenants.len();
         let weights: Vec<u32> = config.tenants.iter().map(|t| t.weight).collect();
         let inner = Arc::new(Inner {
             tenants,
@@ -283,6 +386,14 @@ impl Service {
             disk,
             collect_artifacts: config.collect_artifacts,
             draining: AtomicBool::new(false),
+            observe: config.observe,
+            series: SeriesRegistry::new(tenant_count),
+            events,
+            live_metrics: Mutex::new(metrics::Metrics::new()),
+            requests: Mutex::new(RequestIndex::default()),
+            request_capacity: config.artifact_capacity.max(256),
+            started: Instant::now(),
+            instance,
         });
 
         let dispatcher = {
@@ -321,16 +432,50 @@ impl Service {
         payload: impl Into<String>,
         entry: &str,
     ) -> Result<u64, AdmitError> {
+        self.submit_with_request(tenant, script, payload, entry, None)
+            .map(|(id, _)| id)
+    }
+
+    /// [`Service::submit`] with an explicit request id: `request` is the
+    /// client-supplied id to honor, or `None` to mint one
+    /// (`r<instance>-<job>`). Returns `(job_id, request_id)`; the request
+    /// id is threaded through the job's trace spans, journal, flight
+    /// attributions, event log, and the `ARTIFACT`-by-request index.
+    ///
+    /// # Errors
+    /// The [`AdmitError`] explaining the refusal, including
+    /// [`AdmitError::BadRequestId`] for malformed client-supplied ids.
+    pub fn submit_with_request(
+        &self,
+        tenant: &str,
+        script: impl Into<String>,
+        payload: impl Into<String>,
+        entry: &str,
+        request: Option<&str>,
+    ) -> Result<(u64, String), AdmitError> {
         let inner = &self.inner;
+        if let Some(id) = request {
+            if !valid_request_id(id) {
+                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                metrics::counter("serve.rejected.bad_request_id", 1);
+                inner.refusal_event(tenant, id, "bad_request_id");
+                return Err(AdmitError::BadRequestId(id.to_owned()));
+            }
+        }
         let Some(&tenant_index) = inner.by_name.get(tenant) else {
             inner.rejected.fetch_add(1, Ordering::Relaxed);
             metrics::counter("serve.rejected.unknown_tenant", 1);
+            inner.refusal_event(tenant, request.unwrap_or(""), "unknown_tenant");
             return Err(AdmitError::UnknownTenant(tenant.to_owned()));
         };
         let runtime = &inner.tenants[tenant_index];
-        if runtime.fused() {
+        let refuse = |reason: &'static str, counter: &'static str| {
             inner.rejected.fetch_add(1, Ordering::Relaxed);
-            metrics::counter("serve.rejected.budget", 1);
+            metrics::counter(counter, 1);
+            inner.refusal_event(tenant, request.unwrap_or(""), reason);
+        };
+        if runtime.fused() {
+            refuse("budget_exhausted", "serve.rejected.budget");
             return Err(AdmitError::BudgetExhausted);
         }
         // Reserve an in-flight slot; undone on any later refusal.
@@ -341,22 +486,25 @@ impl Service {
             })
             .is_ok();
         if !reserved {
-            inner.rejected.fetch_add(1, Ordering::Relaxed);
-            metrics::counter("serve.rejected.queue_full", 1);
+            refuse("queue_full", "serve.rejected.queue_full");
             return Err(AdmitError::QueueFull);
         }
         let id = inner.next_job.fetch_add(1, Ordering::Relaxed);
+        let request = match request {
+            Some(r) => r.to_owned(),
+            None => format!("r{}-{id}", inner.instance),
+        };
         let job = Job::new(script, payload)
             .with_entry(entry)
             .with_tag(&runtime.config.name)
-            .with_fault_lane(runtime.config.fault_lane);
+            .with_fault_lane(runtime.config.fault_lane)
+            .with_request(&request);
         {
             let mut pending = inner.pending.lock().unwrap_or_else(|e| e.into_inner());
             if pending.draining {
                 drop(pending);
                 runtime.in_flight.fetch_sub(1, Ordering::AcqRel);
-                inner.rejected.fetch_add(1, Ordering::Relaxed);
-                metrics::counter("serve.rejected.draining", 1);
+                refuse("draining", "serve.rejected.draining");
                 return Err(AdmitError::Draining);
             }
             pending.fair.push(
@@ -364,6 +512,8 @@ impl Service {
                 Dispatched {
                     id,
                     tenant: tenant_index,
+                    request: request.clone(),
+                    admitted: Instant::now(),
                     job,
                 },
             );
@@ -371,7 +521,38 @@ impl Service {
         inner.pending_cv.notify_one();
         runtime.submitted.fetch_add(1, Ordering::Relaxed);
         metrics::counter("serve.submitted", 1);
-        Ok(id)
+        if inner.observe {
+            let depth = runtime.in_flight.load(Ordering::Relaxed);
+            inner.series.record(tenant_index, |bucket| {
+                bucket.submits += 1;
+                bucket.queue_depth_max = bucket.queue_depth_max.max(depth);
+            });
+            inner
+                .requests
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(request.clone(), id, inner.request_capacity);
+            inner.events.log(
+                "admit",
+                &[
+                    ("tenant", tenant.to_owned()),
+                    ("request", request.clone()),
+                    ("job", id.to_string()),
+                ],
+            );
+        }
+        Ok((id, request))
+    }
+
+    /// The job id behind a request id, while the bounded index retains it.
+    pub fn job_for_request(&self, request: &str) -> Option<u64> {
+        self.inner
+            .requests
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .by_request
+            .get(request)
+            .copied()
     }
 
     /// Blocks until job `id` completes and takes its result. Waiting on an
@@ -441,10 +622,13 @@ impl Service {
             pending.fair.dispatched.clone()
         };
         let mut out = format!(
-            "{{\"jobs_completed\":{},\"rejected\":{},\"draining\":{},",
+            "{{\"jobs_completed\":{},\"rejected\":{},\"draining\":{},\
+             \"uptime_ms\":{},\"instance\":{},",
             inner.jobs_completed.load(Ordering::Relaxed),
             inner.rejected.load(Ordering::Relaxed),
             inner.draining.load(Ordering::Acquire),
+            inner.started.elapsed().as_millis(),
+            metrics::json_string(&inner.instance),
         );
         let _ = write!(
             out,
@@ -473,20 +657,340 @@ impl Service {
             let _ = write!(
                 out,
                 "{{\"name\":{},\"weight\":{},\"submitted\":{},\"dispatched\":{},\
-                 \"completed\":{},\"failed\":{},\"in_flight\":{},\"fused\":{},\"lane\":{}}}",
+                 \"completed\":{},\"failed\":{},\"deadline_missed\":{},\"in_flight\":{},\
+                 \"fused\":{},\"lane\":{}",
                 metrics::json_string(&tenant.config.name),
                 tenant.config.weight,
                 tenant.submitted.load(Ordering::Relaxed),
                 dispatched.get(i).copied().unwrap_or(0),
                 tenant.completed.load(Ordering::Relaxed),
                 tenant.failed.load(Ordering::Relaxed),
+                tenant.deadline_missed.load(Ordering::Relaxed),
                 tenant.in_flight.load(Ordering::Relaxed),
                 tenant.fused(),
                 tenant.config.fault_lane,
             );
+            if inner.observe {
+                let window = inner.series.window(i, 60);
+                let seconds = 60.0f64;
+                let hit_rate = if window.completions > 0 {
+                    window.cache_hits as f64 / window.completions as f64
+                } else {
+                    0.0
+                };
+                let _ = write!(
+                    out,
+                    ",\"window\":{{\"seconds\":60,\"submits\":{},\"completions\":{},\
+                     \"errors\":{},\"deadline_misses\":{},\"rate\":{:.4},\
+                     \"cache_hit_rate\":{:.4},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\
+                     \"queue_depth_max\":{}}}",
+                    window.submits,
+                    window.completions,
+                    window.errors,
+                    window.deadline_misses,
+                    window.completions as f64 / seconds,
+                    hit_rate,
+                    window.latency.quantile_ns(0.50) as f64 / 1e6,
+                    window.latency.quantile_ns(0.99) as f64 / 1e6,
+                    window.queue_depth_max,
+                );
+                match slo_reading(
+                    &window,
+                    tenant.config.slo_ms.map(|_| tenant.config.slo_target),
+                ) {
+                    Some(slo) => {
+                        let _ = write!(
+                            out,
+                            ",\"slo\":{{\"slo_ms\":{},\"target\":{},\"violations\":{},\
+                             \"burn\":{:.4},\"health\":{}}}",
+                            tenant.config.slo_ms.unwrap_or(0),
+                            tenant.config.slo_target,
+                            slo.violations,
+                            slo.burn,
+                            metrics::json_string(slo.health.name()),
+                        );
+                    }
+                    None => out.push_str(",\"slo\":null"),
+                }
+            }
+            out.push('}');
         }
         out.push_str("]}");
         out
+    }
+
+    /// Daemon uptime in milliseconds (a PONG field).
+    pub fn uptime_ms(&self) -> u64 {
+        self.inner.started.elapsed().as_millis() as u64
+    }
+
+    /// The daemon's instance token (a PONG field; the prefix of minted
+    /// request ids).
+    pub fn instance(&self) -> &str {
+        &self.inner.instance
+    }
+
+    /// Renders the `METRICS` response body: Prometheus text exposition of
+    /// the per-tenant windowed time series and SLO readings, the global
+    /// admission/cache counters, and the live internal metric registry
+    /// (engine, fault, disk-cache counters flushed per job), each internal
+    /// series prefixed `td_internal_`.
+    pub fn metrics_exposition(&self) -> String {
+        let inner = &self.inner;
+        let mut expo = Exposition::new();
+        let names: Vec<&str> = inner
+            .tenants
+            .iter()
+            .map(|t| t.config.name.as_str())
+            .collect();
+        let gather = |load: &dyn Fn(&TenantRuntime) -> f64| -> Vec<(Vec<(&str, &str)>, f64)> {
+            inner
+                .tenants
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (vec![("tenant", names[i])], load(t)))
+                .collect()
+        };
+        expo.family(
+            "td_serve_tenant_submitted_total",
+            "Jobs admitted per tenant over the daemon lifetime.",
+            MetricType::Counter,
+            &gather(&|t| t.submitted.load(Ordering::Relaxed) as f64),
+        );
+        expo.family(
+            "td_serve_tenant_completed_total",
+            "Jobs completed per tenant over the daemon lifetime.",
+            MetricType::Counter,
+            &gather(&|t| t.completed.load(Ordering::Relaxed) as f64),
+        );
+        expo.family(
+            "td_serve_tenant_failed_total",
+            "Jobs failed per tenant over the daemon lifetime.",
+            MetricType::Counter,
+            &gather(&|t| t.failed.load(Ordering::Relaxed) as f64),
+        );
+        expo.family(
+            "td_serve_tenant_deadline_missed_total",
+            "Jobs that exceeded their per-tenant deadline.",
+            MetricType::Counter,
+            &gather(&|t| t.deadline_missed.load(Ordering::Relaxed) as f64),
+        );
+        expo.family(
+            "td_serve_tenant_in_flight",
+            "Jobs admitted and not yet completed, per tenant.",
+            MetricType::Gauge,
+            &gather(&|t| t.in_flight.load(Ordering::Relaxed) as f64),
+        );
+        expo.family(
+            "td_serve_tenant_fused",
+            "Whether the tenant's failure budget has fused it off (0/1).",
+            MetricType::Gauge,
+            &gather(&|t| f64::from(u8::from(t.fused()))),
+        );
+        if inner.observe {
+            let windows: Vec<crate::timeseries::Bucket> = (0..inner.tenants.len())
+                .map(|i| inner.series.window(i, 60))
+                .collect();
+            expo.family(
+                "td_serve_tenant_rate",
+                "Completions per second over the trailing 60s window.",
+                MetricType::Gauge,
+                &windows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| (vec![("tenant", names[i])], w.completions as f64 / 60.0))
+                    .collect::<Vec<_>>(),
+            );
+            expo.family(
+                "td_serve_tenant_cache_hit_rate",
+                "Result-cache hit rate over the trailing 60s window.",
+                MetricType::Gauge,
+                &windows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| {
+                        let rate = if w.completions > 0 {
+                            w.cache_hits as f64 / w.completions as f64
+                        } else {
+                            0.0
+                        };
+                        (vec![("tenant", names[i])], rate)
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            for (i, window) in windows.iter().enumerate() {
+                if window.latency.count > 0 {
+                    expo.summary(
+                        "td_serve_tenant_latency_ms",
+                        "Completion latency over the trailing 60s window.",
+                        &[("tenant", names[i])],
+                        &[
+                            (0.5, window.latency.quantile_ns(0.50) as f64 / 1e6),
+                            (0.99, window.latency.quantile_ns(0.99) as f64 / 1e6),
+                        ],
+                        window.latency.total_ns as f64 / 1e6,
+                        window.latency.count,
+                    );
+                }
+            }
+            let mut burns = Vec::new();
+            let mut healths = Vec::new();
+            for (i, (tenant, window)) in inner.tenants.iter().zip(&windows).enumerate() {
+                let target = tenant.config.slo_ms.map(|_| tenant.config.slo_target);
+                if let Some(slo) = slo_reading(window, target) {
+                    burns.push((vec![("tenant", names[i])], slo.burn));
+                    healths.push((vec![("tenant", names[i])], slo.health.as_gauge() as f64));
+                }
+            }
+            expo.family(
+                "td_serve_tenant_slo_burn",
+                "Error-budget burn rate over the trailing 60s window (1.0 = \
+                 burning exactly the budget).",
+                MetricType::Gauge,
+                &burns,
+            );
+            expo.family(
+                "td_serve_tenant_health",
+                "Derived SLO health: 0 ok, 1 warn, 2 burning.",
+                MetricType::Gauge,
+                &healths,
+            );
+        }
+        // Global service counters.
+        expo.family(
+            "td_serve_jobs_completed_total",
+            "Jobs completed across all tenants.",
+            MetricType::Counter,
+            &[(vec![], inner.jobs_completed.load(Ordering::Relaxed) as f64)],
+        );
+        expo.family(
+            "td_serve_rejected_total",
+            "Submissions refused at admission.",
+            MetricType::Counter,
+            &[(vec![], inner.rejected.load(Ordering::Relaxed) as f64)],
+        );
+        expo.family(
+            "td_serve_uptime_seconds",
+            "Daemon uptime.",
+            MetricType::Gauge,
+            &[(vec![], inner.started.elapsed().as_secs_f64())],
+        );
+        expo.family(
+            "td_serve_draining",
+            "Whether the service is draining (0/1).",
+            MetricType::Gauge,
+            &[(
+                vec![],
+                f64::from(u8::from(inner.draining.load(Ordering::Acquire))),
+            )],
+        );
+        let cache = inner.cache.stats();
+        expo.family(
+            "td_serve_cache_hits_total",
+            "Shared result-cache hits (memory).",
+            MetricType::Counter,
+            &[(vec![], cache.hits as f64)],
+        );
+        expo.family(
+            "td_serve_cache_misses_total",
+            "Shared result-cache misses.",
+            MetricType::Counter,
+            &[(vec![], cache.misses as f64)],
+        );
+        expo.family(
+            "td_serve_cache_disk_hits_total",
+            "Result-cache hits served from the disk layer.",
+            MetricType::Counter,
+            &[(vec![], cache.disk_hits as f64)],
+        );
+        if let Some(disk) = &inner.disk {
+            let counters = disk.counter_values();
+            for (name, help, value) in [
+                (
+                    "td_serve_disk_loads_total",
+                    "Disk-cache load attempts.",
+                    counters.loads,
+                ),
+                (
+                    "td_serve_disk_hits_total",
+                    "Disk-cache load hits.",
+                    counters.hits,
+                ),
+                (
+                    "td_serve_disk_stores_total",
+                    "Disk-cache stores.",
+                    counters.stores,
+                ),
+                (
+                    "td_serve_disk_evicted_total",
+                    "Disk-cache entries evicted by the size cap.",
+                    counters.evicted,
+                ),
+                (
+                    "td_serve_disk_evicted_bytes_total",
+                    "Bytes reclaimed by disk-cache eviction.",
+                    counters.evicted_bytes,
+                ),
+            ] {
+                expo.family(name, help, MetricType::Counter, &[(vec![], value as f64)]);
+            }
+            expo.family(
+                "td_serve_disk_bytes",
+                "Current disk-cache footprint in bytes.",
+                MetricType::Gauge,
+                &[(vec![], counters.bytes as f64)],
+            );
+        }
+        // Pass through the live internal registry (engine, fault, cache
+        // counters flushed per job) under a distinct prefix so names never
+        // collide with the curated series above.
+        let live = inner
+            .live_metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        for (name, value) in live.counters() {
+            expo.family(
+                &format!(
+                    "td_internal_{}_total",
+                    crate::exposition::sanitize_name(name)
+                ),
+                "Internal counter (see td-support metrics).",
+                MetricType::Counter,
+                &[(vec![], value as f64)],
+            );
+        }
+        for (name, stat) in live.timers() {
+            let base = format!("td_internal_{}", crate::exposition::sanitize_name(name));
+            expo.family(
+                &format!("{base}_ns_total"),
+                "Internal timer: cumulative nanoseconds.",
+                MetricType::Counter,
+                &[(vec![], stat.total_ns as f64)],
+            );
+            expo.family(
+                &format!("{base}_count"),
+                "Internal timer: intervals recorded.",
+                MetricType::Counter,
+                &[(vec![], stat.count as f64)],
+            );
+        }
+        for (name, histogram) in live.histograms() {
+            if histogram.count > 0 {
+                expo.summary(
+                    &format!("td_internal_{}_ns", crate::exposition::sanitize_name(name)),
+                    "Internal histogram (nanoseconds).",
+                    &[],
+                    &[
+                        (0.5, histogram.quantile_ns(0.50) as f64),
+                        (0.99, histogram.quantile_ns(0.99) as f64),
+                    ],
+                    histogram.total_ns as f64,
+                    histogram.count,
+                );
+            }
+        }
+        expo.finish()
     }
 
     /// Whether the service has begun draining.
@@ -522,7 +1026,22 @@ impl Service {
                     metrics::absorb(&worker_metrics);
                 }
             }
+            // Workers also flushed per-job metrics into the live snapshot;
+            // move those into the caller too so nothing is counted twice
+            // or lost.
+            let flushed =
+                std::mem::take(&mut *inner.live_metrics.lock().unwrap_or_else(|e| e.into_inner()));
+            metrics::absorb(&flushed);
             metrics::counter("serve.drains", 1);
+            if inner.observe {
+                inner.events.log(
+                    "drain",
+                    &[(
+                        "jobs",
+                        inner.jobs_completed.load(Ordering::Relaxed).to_string(),
+                    )],
+                );
+            }
         }
         DrainSummary {
             jobs: inner.jobs_completed.load(Ordering::Relaxed),
@@ -585,9 +1104,31 @@ impl Inner {
         journal::set_enabled(self.collect_artifacts);
         let _worker_span = trace::span("serve", format!("worker{worker_index}"));
         while let Some(dispatched) = self.queue.pop() {
-            let Dispatched { id, tenant, job } = dispatched;
+            let Dispatched {
+                id,
+                tenant,
+                request,
+                admitted,
+                job,
+            } = dispatched;
             let runtime = &self.tenants[tenant];
             let started = Instant::now();
+            if self.observe {
+                // The queue-wait span starts on the connection thread but
+                // is only known here; record it retroactively.
+                let wait = admitted.elapsed();
+                trace::complete(
+                    "serve",
+                    "queue_wait",
+                    wait,
+                    &[
+                        ("job", id.to_string()),
+                        ("tenant", runtime.config.name.clone()),
+                        ("request", request.clone()),
+                    ],
+                );
+                metrics::observe("serve.queue_wait", wait.as_nanos());
+            }
             // Fresh journal per job so the batch report and artifacts are
             // exactly job-scoped (the engine absorbs its scoped worker's
             // journal into this thread).
@@ -598,17 +1139,42 @@ impl Inner {
                     message: "engine returned no result slot".to_owned(),
                 })
             });
+            let wall = started.elapsed();
             let failed = match &result {
                 Ok(_) => false,
                 Err(JobError::Cancelled) => false,
                 Err(_) => true,
             };
+            let deadline_missed = matches!(result, Err(JobError::DeadlineExceeded));
+            if deadline_missed {
+                runtime.deadline_missed.fetch_add(1, Ordering::Relaxed);
+                if self.observe {
+                    self.events.log(
+                        "deadline",
+                        &[
+                            ("tenant", runtime.config.name.clone()),
+                            ("request", request.clone()),
+                            ("job", id.to_string()),
+                        ],
+                    );
+                }
+            }
             if failed {
                 runtime.failed.fetch_add(1, Ordering::AcqRel);
                 metrics::counter("serve.jobs.failed", 1);
                 if runtime.fused() {
                     metrics::counter("serve.tenant.fused", 1);
                     flight::record("serve.fused", &[("tenant", runtime.config.name.clone())]);
+                    if self.observe {
+                        self.events.log(
+                            "fuse",
+                            &[
+                                ("tenant", runtime.config.name.clone()),
+                                ("request", request.clone()),
+                                ("job", id.to_string()),
+                            ],
+                        );
+                    }
                 }
             }
             if self.collect_artifacts {
@@ -624,10 +1190,28 @@ impl Inner {
                         &[
                             ("job", id.to_string()),
                             ("tenant", runtime.config.name.clone()),
+                            ("request", request.clone()),
                         ],
                     );
                     self.artifacts.put(id, "flight", bundle);
                 }
+            }
+            if self.observe {
+                let cached = matches!(&result, Ok(output) if output.from_cache);
+                let slo_violation = runtime
+                    .config
+                    .slo_ms
+                    .is_some_and(|slo| wall.as_millis() as u64 > slo);
+                let depth = runtime.in_flight.load(Ordering::Relaxed);
+                self.series.record(tenant, |bucket| {
+                    bucket.completions += 1;
+                    bucket.errors += u64::from(failed);
+                    bucket.deadline_misses += u64::from(deadline_missed);
+                    bucket.cache_hits += u64::from(cached);
+                    bucket.slo_violations += u64::from(slo_violation);
+                    bucket.queue_depth_max = bucket.queue_depth_max.max(depth);
+                    bucket.latency.observe(wall.as_nanos());
+                });
             }
             runtime.completed.fetch_add(1, Ordering::Relaxed);
             runtime.in_flight.fetch_sub(1, Ordering::AcqRel);
@@ -639,14 +1223,49 @@ impl Inner {
                     id,
                     ServeResult {
                         job_id: id,
+                        request,
                         tenant: runtime.config.name.clone(),
                         result,
-                        wall: started.elapsed(),
+                        wall,
                     },
                 );
             }
             self.completions_cv.notify_all();
+            if self.observe {
+                // Flush this worker's thread-local metrics (including the
+                // engine's absorbed fault/cache counters) into the shared
+                // snapshot so a live METRICS scrape sees them.
+                let flushed = metrics::take();
+                self.live_metrics
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .merge(&flushed);
+            }
         }
         (trace::take(), metrics::take())
     }
+
+    /// Logs a refusal to the event log (no-op when logging is off).
+    fn refusal_event(&self, tenant: &str, request: &str, reason: &'static str) {
+        if self.observe {
+            self.events.log(
+                "refuse",
+                &[
+                    ("tenant", tenant.to_owned()),
+                    ("request", request.to_owned()),
+                    ("reason", reason.to_owned()),
+                ],
+            );
+        }
+    }
+}
+
+/// Request ids travel in protocol fields, artifact keys, JSON bodies, and
+/// log greps — keep them to a boring charset.
+fn valid_request_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b':' | b'/' | b'-'))
 }

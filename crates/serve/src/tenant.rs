@@ -12,6 +12,8 @@
 //!          | 'attempts=' N     -- retry budget for silenceable failures (default 1)
 //!          | 'budget=' N       -- cumulative failure budget (default none)
 //!          | 'lane=' N         -- TD_FAULT chaos lane (default: hash of the name)
+//!          | 'slo_ms=' N       -- latency SLO threshold (default none)
+//!          | 'slo_target=' F   -- SLO target fraction in (0,1) (default 0.99)
 //! ```
 //!
 //! Example: `alpha:weight=3,deadline_ms=500;beta:budget=4,lane=20`.
@@ -25,7 +27,7 @@
 use td_sched::cache::fnv1a;
 
 /// One tenant's policy knobs.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TenantConfig {
     /// Tenant name (the `tenant=` field of SUBMIT requests).
     pub name: String,
@@ -45,6 +47,16 @@ pub struct TenantConfig {
     pub failure_budget: Option<usize>,
     /// Deterministic fault-injection lane for this tenant's jobs.
     pub fault_lane: u64,
+    /// Latency SLO threshold in milliseconds: a completion slower than
+    /// this counts as an SLO violation in the tenant's windowed time
+    /// series (it still completes normally — the SLO is observational,
+    /// unlike [`TenantConfig::deadline_ms`] which cancels). `None`
+    /// disables SLO tracking for the tenant.
+    pub slo_ms: Option<u64>,
+    /// SLO target as a success fraction in `(0, 1)`: 0.99 means "99% of
+    /// completions under `slo_ms`". The remaining fraction is the error
+    /// budget; burn rate is violations over that allowance.
+    pub slo_target: f64,
 }
 
 impl TenantConfig {
@@ -63,6 +75,8 @@ impl TenantConfig {
             max_attempts: 1,
             failure_budget: None,
             fault_lane,
+            slo_ms: None,
+            slo_target: 0.99,
         }
     }
 
@@ -99,6 +113,18 @@ impl TenantConfig {
     /// Pins the chaos lane (builder-style).
     pub fn with_fault_lane(mut self, lane: u64) -> Self {
         self.fault_lane = lane;
+        self
+    }
+
+    /// Sets the latency SLO threshold (builder-style).
+    pub fn with_slo_ms(mut self, ms: u64) -> Self {
+        self.slo_ms = Some(ms);
+        self
+    }
+
+    /// Sets the SLO target fraction (builder-style; clamped to (0, 1)).
+    pub fn with_slo_target(mut self, target: f64) -> Self {
+        self.slo_target = target.clamp(0.001, 0.999_999);
         self
     }
 }
@@ -150,6 +176,14 @@ pub fn parse_tenants(spec: &str) -> Result<Vec<TenantConfig>, String> {
                 }
                 "budget" => tenant.failure_budget = Some(value.parse().map_err(|_| bad("budget"))?),
                 "lane" => tenant.fault_lane = value.parse().map_err(|_| bad("lane"))?,
+                "slo_ms" => tenant.slo_ms = Some(value.parse().map_err(|_| bad("slo_ms"))?),
+                "slo_target" => {
+                    let target: f64 = value.parse().map_err(|_| bad("slo_target"))?;
+                    if !(target > 0.0 && target < 1.0) {
+                        return Err(bad("slo_target"));
+                    }
+                    tenant.slo_target = target;
+                }
                 other => {
                     return Err(format!("unknown parameter '{other}' for tenant '{name}'"));
                 }
@@ -187,6 +221,18 @@ mod tests {
         assert_eq!(tenants[1].failure_budget, Some(4));
         assert_eq!(tenants[1].fault_lane, 20);
         assert_eq!(tenants[1].max_pending, 8);
+    }
+
+    #[test]
+    fn parse_accepts_slo_parameters() {
+        let tenants = parse_tenants("alpha:slo_ms=50,slo_target=0.95;beta").unwrap();
+        assert_eq!(tenants[0].slo_ms, Some(50));
+        assert!((tenants[0].slo_target - 0.95).abs() < 1e-9);
+        assert_eq!(tenants[1].slo_ms, None);
+        assert!((tenants[1].slo_target - 0.99).abs() < 1e-9);
+        assert!(parse_tenants("alpha:slo_target=1.5").is_err());
+        assert!(parse_tenants("alpha:slo_target=0").is_err());
+        assert!(parse_tenants("alpha:slo_ms=x").is_err());
     }
 
     #[test]

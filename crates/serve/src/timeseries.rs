@@ -1,0 +1,438 @@
+//! Per-tenant windowed time series and SLO accounting: the service-level
+//! answer to "what was tenant B doing ten seconds ago".
+//!
+//! The cumulative counters in `STATS` can say *how much* has happened
+//! since the daemon started, never *when*. This module keeps a ring of
+//! per-second buckets per tenant — submits, completions, errors, deadline
+//! misses, cache hits, queue depth, and a latency [`Histogram`] — so the
+//! `STATS`/`METRICS` surfaces (and `td-top`) can report rates and
+//! windowed percentiles, and so a per-tenant SLO (`slo_ms` at
+//! `slo_target`, from the tenant spec grammar) turns into a rolling
+//! error-budget burn with a derived health state.
+//!
+//! # Ring semantics
+//!
+//! A [`TenantSeries`] holds [`WINDOW_SECS`] buckets indexed by
+//! `second % WINDOW_SECS`. Writing into a bucket whose stamped second
+//! differs from the current one *rotates* it: the stale contents are
+//! cleared, the bucket is restamped, and a monotonic rotation sequence
+//! advances (the property tests pin rotation, merge, and monotonicity).
+//! Readers merge the buckets that fall inside the queried window; buckets
+//! older than the window are ignored whether or not they have rotated
+//! yet, so a reader never sees stale seconds.
+//!
+//! # SLO and burn semantics
+//!
+//! A completion *violates* the SLO when it failed or finished slower than
+//! `slo_ms`. The target tolerates `(1 - slo_target)` of completions
+//! violating; the **burn rate** is observed violations divided by that
+//! allowance over the window (the standard error-budget burn reading:
+//! 1.0 = spending the budget exactly as fast as allowed). Health derives
+//! from burn: `ok` up to 1.0, `warn` up to [`BURN_WARN`], `burning`
+//! beyond. Tenants with no SLO configured never burn.
+
+use std::sync::Mutex;
+use td_support::metrics::Histogram;
+
+/// Seconds of per-second history each tenant retains.
+pub const WINDOW_SECS: usize = 60;
+
+/// Burn rate above which health degrades from `warn` to `burning`.
+pub const BURN_WARN: f64 = 2.0;
+
+/// One second of one tenant's traffic.
+#[derive(Clone, Debug, Default)]
+pub struct Bucket {
+    /// The absolute second (relative to the registry epoch) this bucket
+    /// currently describes.
+    pub second: u64,
+    /// Jobs admitted.
+    pub submits: u64,
+    /// Jobs completed (any outcome).
+    pub completions: u64,
+    /// Jobs that completed with a failure.
+    pub errors: u64,
+    /// Jobs that failed specifically with a deadline miss.
+    pub deadline_misses: u64,
+    /// Completions served from the result cache.
+    pub cache_hits: u64,
+    /// Completions that violated the tenant's SLO (failed or slower than
+    /// `slo_ms`); always 0 for tenants without an SLO.
+    pub slo_violations: u64,
+    /// High-watermark of the tenant's backlog observed this second.
+    pub queue_depth_max: u64,
+    /// Completion latency (admission to completion), nanoseconds.
+    pub latency: Histogram,
+}
+
+impl Bucket {
+    fn clear_for(&mut self, second: u64) {
+        *self = Bucket {
+            second,
+            ..Bucket::default()
+        };
+    }
+
+    /// Element-wise sum of two buckets (second stamps are not merged —
+    /// the caller decides what window the sum describes).
+    pub fn absorb(&mut self, other: &Bucket) {
+        self.submits += other.submits;
+        self.completions += other.completions;
+        self.errors += other.errors;
+        self.deadline_misses += other.deadline_misses;
+        self.cache_hits += other.cache_hits;
+        self.slo_violations += other.slo_violations;
+        self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// One tenant's ring of per-second buckets.
+#[derive(Debug)]
+pub struct TenantSeries {
+    buckets: Vec<Bucket>,
+    /// Monotonic rotation counter: advances every time a bucket is
+    /// cleared for a new second. Never decreases (the property tests pin
+    /// this), so readers can detect rotation between two snapshots.
+    seq: u64,
+}
+
+impl Default for TenantSeries {
+    fn default() -> Self {
+        TenantSeries {
+            buckets: vec![Bucket::default(); WINDOW_SECS],
+            seq: 0,
+        }
+    }
+}
+
+impl TenantSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The rotation sequence (monotonic).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Mutable access to `second`'s bucket, rotating it first if it still
+    /// holds an older second.
+    pub fn bucket_mut(&mut self, second: u64) -> &mut Bucket {
+        let index = (second % WINDOW_SECS as u64) as usize;
+        let bucket = &mut self.buckets[index];
+        if bucket.second != second {
+            bucket.clear_for(second);
+            self.seq += 1;
+        }
+        bucket
+    }
+
+    /// Sums the buckets covering the `window_secs` seconds ending at
+    /// `now_sec` (inclusive). Buckets stamped outside the window — stale
+    /// ring slots that have not rotated yet — are skipped, so the merge
+    /// never mixes seconds from different laps of the ring.
+    pub fn window(&self, now_sec: u64, window_secs: u64) -> Bucket {
+        let window_secs = window_secs.clamp(1, WINDOW_SECS as u64);
+        let oldest = now_sec.saturating_sub(window_secs - 1);
+        let mut sum = Bucket {
+            second: now_sec,
+            ..Bucket::default()
+        };
+        for bucket in &self.buckets {
+            if bucket.second >= oldest && bucket.second <= now_sec {
+                sum.absorb(bucket);
+            }
+        }
+        sum
+    }
+}
+
+/// Health state derived from the error-budget burn rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// Burn ≤ 1.0: spending the budget no faster than allowed.
+    Ok,
+    /// 1.0 < burn ≤ [`BURN_WARN`]: over-spending, not yet critical.
+    Warn,
+    /// Burn > [`BURN_WARN`]: the budget is being torched.
+    Burning,
+}
+
+impl Health {
+    /// The state's name in JSON/exposition surfaces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Health::Ok => "ok",
+            Health::Warn => "warn",
+            Health::Burning => "burning",
+        }
+    }
+
+    /// A numeric encoding for gauges (0 = ok, 1 = warn, 2 = burning).
+    pub fn as_gauge(self) -> u64 {
+        match self {
+            Health::Ok => 0,
+            Health::Warn => 1,
+            Health::Burning => 2,
+        }
+    }
+}
+
+/// A windowed SLO reading for one tenant.
+#[derive(Clone, Copy, Debug)]
+pub struct SloReading {
+    /// Violations observed in the window.
+    pub violations: u64,
+    /// Violations the target would have tolerated in the window
+    /// (fractional: `(1 - target) * completions`).
+    pub allowed: f64,
+    /// `violations / allowed` (0.0 when nothing completed).
+    pub burn: f64,
+    /// Health derived from the burn rate.
+    pub health: Health,
+}
+
+/// Computes the error-budget burn for a window summed by
+/// [`TenantSeries::window`]. `None` when the tenant has no SLO.
+pub fn slo_reading(window: &Bucket, slo_target: Option<f64>) -> Option<SloReading> {
+    let target = slo_target?;
+    let budget = (1.0 - target.clamp(0.0, 1.0)).max(f64::EPSILON);
+    let allowed = budget * window.completions as f64;
+    let burn = if window.completions == 0 {
+        0.0
+    } else {
+        // `allowed` can dip below one violation's worth on tiny windows;
+        // floor it at one so a single violation never reads as a multi-x
+        // burn before there is any traffic to amortize it.
+        window.slo_violations as f64 / allowed.max(1.0)
+    };
+    let health = if burn <= 1.0 {
+        Health::Ok
+    } else if burn <= BURN_WARN {
+        Health::Warn
+    } else {
+        Health::Burning
+    };
+    Some(SloReading {
+        violations: window.slo_violations,
+        allowed,
+        burn,
+        health,
+    })
+}
+
+/// The service-wide registry: one locked [`TenantSeries`] per tenant,
+/// indexed by the service's tenant index, over one shared epoch.
+#[derive(Debug)]
+pub struct SeriesRegistry {
+    epoch: std::time::Instant,
+    tenants: Vec<Mutex<TenantSeries>>,
+}
+
+impl SeriesRegistry {
+    /// A registry for `tenants` tenants with its epoch at now.
+    pub fn new(tenants: usize) -> Self {
+        SeriesRegistry {
+            epoch: std::time::Instant::now(),
+            tenants: (0..tenants)
+                .map(|_| Mutex::new(TenantSeries::new()))
+                .collect(),
+        }
+    }
+
+    /// The current second relative to the registry epoch.
+    pub fn now_sec(&self) -> u64 {
+        self.epoch.elapsed().as_secs()
+    }
+
+    /// Applies `f` to tenant `index`'s bucket for the current second.
+    pub fn record(&self, index: usize, f: impl FnOnce(&mut Bucket)) {
+        self.record_at(index, self.now_sec(), f);
+    }
+
+    /// Applies `f` to tenant `index`'s bucket for an explicit `second`
+    /// (the test hook; production callers use [`SeriesRegistry::record`]).
+    pub fn record_at(&self, index: usize, second: u64, f: impl FnOnce(&mut Bucket)) {
+        if let Some(series) = self.tenants.get(index) {
+            let mut series = series.lock().unwrap_or_else(|e| e.into_inner());
+            f(series.bucket_mut(second));
+        }
+    }
+
+    /// Sums tenant `index`'s buckets over the trailing `window_secs`.
+    pub fn window(&self, index: usize, window_secs: u64) -> Bucket {
+        self.window_at(index, self.now_sec(), window_secs)
+    }
+
+    /// Sums tenant `index`'s buckets over `window_secs` ending at
+    /// `now_sec` (the test hook).
+    pub fn window_at(&self, index: usize, now_sec: u64, window_secs: u64) -> Bucket {
+        self.tenants
+            .get(index)
+            .map(|series| {
+                series
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .window(now_sec, window_secs)
+            })
+            .unwrap_or_default()
+    }
+
+    /// Tenant `index`'s rotation sequence.
+    pub fn seq(&self, index: usize) -> u64 {
+        self.tenants
+            .get(index)
+            .map(|series| series.lock().unwrap_or_else(|e| e.into_inner()).seq())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_support::proptest::{check, Config, Gen};
+
+    #[test]
+    fn buckets_rotate_and_windows_ignore_stale_laps() {
+        let mut series = TenantSeries::new();
+        series.bucket_mut(3).submits += 5;
+        series.bucket_mut(3).completions += 5;
+        assert_eq!(series.window(3, 10).submits, 5);
+        // One full lap later the same slot holds a different second: the
+        // old contents must rotate out and never leak into a window read.
+        let later = 3 + WINDOW_SECS as u64;
+        series.bucket_mut(later).submits += 2;
+        assert_eq!(series.window(later, 10).submits, 2);
+        assert_eq!(series.window(later, WINDOW_SECS as u64).submits, 2);
+    }
+
+    #[test]
+    fn window_sums_only_the_requested_span() {
+        let mut series = TenantSeries::new();
+        for sec in 0..20u64 {
+            series.bucket_mut(sec).completions += 1;
+            series
+                .bucket_mut(sec)
+                .latency
+                .observe(1_000_000 * (sec as u128 + 1));
+        }
+        assert_eq!(series.window(19, 5).completions, 5);
+        assert_eq!(series.window(19, 20).completions, 20);
+        // The merged histogram carries every sample in the span.
+        assert_eq!(series.window(19, 20).latency.count, 20);
+    }
+
+    #[test]
+    fn slo_burn_thresholds_derive_health() {
+        let mut window = Bucket {
+            completions: 1000,
+            ..Bucket::default()
+        };
+        assert!(slo_reading(&window, None).is_none(), "no SLO, no reading");
+        // 1% budget over 1000 completions allows 10 violations.
+        window.slo_violations = 5;
+        let reading = slo_reading(&window, Some(0.99)).unwrap();
+        assert_eq!(reading.health, Health::Ok);
+        assert!(reading.burn < 1.0);
+        window.slo_violations = 15;
+        let reading = slo_reading(&window, Some(0.99)).unwrap();
+        assert_eq!(reading.health, Health::Warn);
+        window.slo_violations = 50;
+        let reading = slo_reading(&window, Some(0.99)).unwrap();
+        assert_eq!(reading.health, Health::Burning);
+        assert!(reading.burn > BURN_WARN);
+        // Idle tenants never burn.
+        let idle = Bucket::default();
+        assert_eq!(slo_reading(&idle, Some(0.99)).unwrap().burn, 0.0);
+    }
+
+    #[test]
+    fn registry_records_per_tenant_and_isolated() {
+        let registry = SeriesRegistry::new(2);
+        registry.record_at(0, 1, |b| b.submits += 3);
+        registry.record_at(1, 1, |b| b.deadline_misses += 1);
+        assert_eq!(registry.window_at(0, 1, 5).submits, 3);
+        assert_eq!(registry.window_at(0, 1, 5).deadline_misses, 0);
+        assert_eq!(registry.window_at(1, 1, 5).deadline_misses, 1);
+        // Out-of-range tenant indices are ignored, not panics.
+        registry.record_at(9, 1, |b| b.submits += 1);
+        assert_eq!(registry.window_at(9, 1, 5).submits, 0);
+    }
+
+    #[test]
+    fn prop_rotation_seq_is_monotonic_and_counts_fresh_seconds() {
+        check(
+            "timeseries.rotation",
+            Config::with_cases(64),
+            |gen: &mut Gen| {
+                let mut series = TenantSeries::new();
+                let mut last_seq = 0;
+                let mut sec = 0u64;
+                for _ in 0..gen.usize(1, 200) {
+                    sec += gen.u64(0, 3);
+                    series.bucket_mut(sec).submits += 1;
+                    let seq = series.seq();
+                    if seq < last_seq {
+                        return Err(format!("rotation seq decreased: {last_seq} -> {seq}"));
+                    }
+                    last_seq = seq;
+                }
+                // Writes into the current bucket never rotate it again.
+                let seq = series.seq();
+                series.bucket_mut(sec).submits += 1;
+                if series.seq() != seq {
+                    return Err("same-second write rotated the bucket".to_owned());
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn prop_window_merge_equals_scalar_sum() {
+        check(
+            "timeseries.window-merge",
+            Config::with_cases(64),
+            |gen: &mut Gen| {
+                let mut series = TenantSeries::new();
+                let now = gen.u64(0, 1000);
+                let span = gen.u64(1, WINDOW_SECS as u64);
+                let oldest = now.saturating_sub(span - 1);
+                let mut expected = 0u64;
+                for _ in 0..gen.usize(1, 100) {
+                    // Only the last WINDOW_SECS seconds can be recorded
+                    // without rotating earlier writes out.
+                    let sec = now.saturating_sub(gen.u64(0, WINDOW_SECS as u64 - 1));
+                    let n = gen.u64(1, 5);
+                    // One completion per write, with `n` as its latency, so
+                    // window.completions must equal window.latency.count.
+                    series.bucket_mut(sec).completions += 1;
+                    series.bucket_mut(sec).latency.observe(n as u128);
+                }
+                for sec in oldest..=now {
+                    let index = (sec % WINDOW_SECS as u64) as usize;
+                    let bucket = &series.buckets[index];
+                    if bucket.second == sec {
+                        expected += bucket.completions;
+                    }
+                }
+                let window = series.window(now, span);
+                if window.completions != expected {
+                    return Err(format!(
+                        "window sum {} != scalar sum {expected}",
+                        window.completions
+                    ));
+                }
+                if window.latency.count != window.completions {
+                    return Err(format!(
+                        "latency samples {} != completions {}",
+                        window.latency.count, window.completions
+                    ));
+                }
+                Ok(())
+            },
+        );
+    }
+}

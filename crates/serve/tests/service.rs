@@ -305,3 +305,151 @@ fn client_and_server_converse_over_a_socketpair() {
     assert_eq!(server.join().unwrap().unwrap(), ConnectionOutcome::Shutdown);
     service.drain();
 }
+
+#[test]
+fn request_ids_round_trip_from_submit_to_artifact() {
+    let service =
+        Arc::new(Service::start(ServiceConfig::new(vec![TenantConfig::new("alpha")])).unwrap());
+    let (client_side, server_side) = UnixStream::pair().unwrap();
+    let server = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            let mut reader = server_side.try_clone().unwrap();
+            let mut writer = server_side;
+            td_serve::handle_connection(&service, &mut reader, &mut writer)
+        })
+    };
+    let mut client = Client::new(client_side.try_clone().unwrap(), client_side);
+
+    // Client-supplied id echoes back and keys the artifact index.
+    let done = client
+        .submit_with_request("alpha", &script(), &payload(1), "main", Some("ci/run-1"))
+        .unwrap();
+    assert_eq!(done.request, "ci/run-1");
+    let by_request = client.artifact_by_request("ci/run-1", "report").unwrap();
+    assert_eq!(by_request, client.artifact(done.job_id, "report").unwrap());
+    assert!(
+        by_request.contains("\"request\":\"ci/run-1\""),
+        "journal steps must be stamped: {by_request}"
+    );
+
+    // Daemon-minted ids are returned and resolvable too.
+    let minted = client
+        .submit("alpha", &script(), &payload(2), "main")
+        .unwrap();
+    assert!(minted.request.starts_with('r'), "{}", minted.request);
+    assert_eq!(
+        service.job_for_request(&minted.request),
+        Some(minted.job_id)
+    );
+
+    // Malformed ids refuse without poisoning the connection.
+    match client.submit_with_request("alpha", &script(), &payload(3), "main", Some("spaced id")) {
+        Err(ClientError::Refused { code, .. }) => {
+            assert_eq!(code.as_deref(), Some("bad_request_id"));
+        }
+        other => panic!("expected bad_request_id, got {other:?}"),
+    }
+    match client.artifact_by_request("ci/unknown", "report") {
+        Err(ClientError::Refused { code, .. }) => assert_eq!(code.as_deref(), Some("not_found")),
+        other => panic!("expected not_found, got {other:?}"),
+    }
+
+    client.shutdown().unwrap();
+    assert_eq!(server.join().unwrap().unwrap(), ConnectionOutcome::Shutdown);
+    service.drain();
+}
+
+#[test]
+fn stats_and_metrics_stay_valid_under_concurrent_tenant_load() {
+    use td_support::trace::validate_json;
+
+    // Hostile tenant names: label escaping and JSON escaping both on trial.
+    let hostile = "we\"ird\\ten\nant";
+    let service = Arc::new(
+        Service::start(ServiceConfig::new(vec![
+            TenantConfig::new("alpha").with_weight(2).with_slo_ms(5_000),
+            TenantConfig::new("bravo"),
+            TenantConfig::new("charlie")
+                .with_slo_ms(1)
+                .with_slo_target(0.5),
+            TenantConfig::new(hostile),
+        ]))
+        .unwrap(),
+    );
+
+    let submitters: Vec<_> = ["alpha", "bravo", "charlie", hostile]
+        .into_iter()
+        .enumerate()
+        .map(|(t, tenant)| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                for i in 0..6 {
+                    service
+                        .submit_wait(tenant, script(), payload(t * 100 + i), "main")
+                        .expect("admitted")
+                        .result
+                        .expect("job succeeds");
+                }
+            })
+        })
+        .collect();
+    // Scrape both surfaces *while* the load runs, then once after.
+    for _ in 0..5 {
+        validate_json(&service.stats_json()).expect("stats JSON valid mid-load");
+        td_serve::validate_exposition(&service.metrics_exposition())
+            .expect("exposition valid mid-load");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    for handle in submitters {
+        handle.join().unwrap();
+    }
+
+    let stats = service.stats_json();
+    validate_json(&stats).expect("stats JSON valid after load");
+    assert!(stats.contains("\"uptime_ms\":"), "{stats}");
+    assert!(stats.contains("\"window\":"), "{stats}");
+    assert!(stats.contains("\"slo\":"), "{stats}");
+
+    let expo = service.metrics_exposition();
+    td_serve::validate_exposition(&expo).expect("exposition valid after load");
+    assert!(
+        expo.contains(r#"tenant="we\"ird\\ten\nant""#),
+        "hostile tenant label must be escaped: {expo}"
+    );
+    // 24 jobs completed across the four tenants; charlie's 1ms SLO at a
+    // forgiving 0.5 target still yields a burn series.
+    assert!(
+        expo.contains("td_serve_tenant_slo_burn{tenant=\"charlie\"}"),
+        "{expo}"
+    );
+    assert!(
+        expo.contains("td_serve_tenant_latency_ms{tenant=\"alpha\",quantile=\"0.99\"}"),
+        "{expo}"
+    );
+    service.drain();
+}
+
+#[test]
+fn observability_can_be_switched_off() {
+    let service = Service::start(
+        ServiceConfig::new(vec![TenantConfig::new("solo").with_slo_ms(1_000)])
+            .without_observability(),
+    )
+    .unwrap();
+    let (id, request) = service
+        .submit_with_request("solo", script(), payload(7), "main", Some("ci/off-1"))
+        .unwrap();
+    assert_eq!(request, "ci/off-1");
+    service.wait(id).result.expect("job succeeds");
+    // No request index, no window/slo blocks, no windowed series — but
+    // both surfaces stay well-formed.
+    assert_eq!(service.job_for_request("ci/off-1"), None);
+    let stats = service.stats_json();
+    td_support::trace::validate_json(&stats).expect("stats JSON valid");
+    assert!(!stats.contains("\"window\":"), "{stats}");
+    let expo = service.metrics_exposition();
+    td_serve::validate_exposition(&expo).expect("exposition valid");
+    assert!(!expo.contains("td_serve_tenant_rate"), "{expo}");
+    service.drain();
+}

@@ -154,6 +154,10 @@ pub struct StepRecord {
     pub depth: usize,
     /// Batch job index, when running under `td-sched`.
     pub job: Option<usize>,
+    /// Service request id, when running under td-serve (empty otherwise).
+    /// Serialized only when non-empty, so journals recorded outside the
+    /// service keep their exact historical shape.
+    pub request: String,
     /// Payload fingerprint before the step.
     pub fp_before: u64,
     /// Payload fingerprint after the step.
@@ -411,10 +415,17 @@ impl Journal {
         }
         let _ = write!(
             out,
-            "],\"depth\":{},\"job\":{},\"fp_before\":{},\"fp_after\":{},\
-             \"duration_ns\":{},\"outcome\":{},\"message\":{},\"changes\":{}}}",
+            "],\"depth\":{},\"job\":{}",
             step.depth,
             step.job.map_or("null".to_owned(), |j| j.to_string()),
+        );
+        if !step.request.is_empty() {
+            let _ = write!(out, ",\"request\":{}", json_string(&step.request));
+        }
+        let _ = write!(
+            out,
+            ",\"fp_before\":{},\"fp_after\":{},\
+             \"duration_ns\":{},\"outcome\":{},\"message\":{},\"changes\":{}}}",
             step.fp_before,
             step.fp_after,
             step.duration_ns,
@@ -551,6 +562,8 @@ struct Collector {
     stack: Vec<usize>,
     /// Job index stamped onto steps begun while set.
     job: Option<usize>,
+    /// Service request id stamped onto steps begun while non-empty.
+    request: String,
 }
 
 impl Collector {
@@ -559,6 +572,7 @@ impl Collector {
             journal: Journal::new(),
             stack: Vec::new(),
             job: None,
+            request: String::new(),
         }
     }
 }
@@ -684,6 +698,7 @@ pub fn begin_step(
         let index = c.journal.steps.len();
         let depth = c.stack.len();
         let job = c.job;
+        let request = c.request.clone();
         c.journal.steps.push(StepRecord {
             index,
             kind,
@@ -692,6 +707,7 @@ pub fn begin_step(
             handles,
             depth,
             job,
+            request,
             fp_before,
             fp_after: fp_before,
             duration_ns: 0,
@@ -800,6 +816,14 @@ pub fn add_artifact(kind: &str, label: &str, content: &str) {
 /// to jobs).
 pub fn set_job(job: Option<usize>) {
     COLLECTOR.with(|c| c.borrow_mut().job = job);
+}
+
+/// Stamps subsequently begun steps with a service request id (td-serve
+/// workers set this per job so journal steps — and thus batch reports and
+/// flight-bundle journal tails — correlate back to the originating
+/// `SUBMIT`). Pass an empty string to clear.
+pub fn set_request(request: impl Into<String>) {
+    COLLECTOR.with(|c| c.borrow_mut().request = request.into());
 }
 
 /// A copy of this thread's journal.

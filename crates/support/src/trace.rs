@@ -367,6 +367,42 @@ pub fn span(cat: &'static str, name: impl Into<String>) -> SpanGuard {
     }
 }
 
+/// Records a span retroactively: a duration event of length `dur` ending
+/// *now*, at the current nesting depth. This is for phases whose start
+/// predates the recording thread — td-serve's queue-wait span starts when
+/// a job is admitted (on the connection thread) but is recorded by the
+/// worker that finally dequeues it, so a live [`span`] guard cannot
+/// bracket it. No-op when tracing is disabled.
+pub fn complete(
+    cat: &'static str,
+    name: impl Into<String>,
+    dur: Duration,
+    args: &[(&str, String)],
+) {
+    if !enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        let now_ns = c.epoch.elapsed().as_nanos();
+        let depth = c.depth;
+        c.events.push(TraceEvent {
+            cat: cat.to_owned(),
+            name: name.into(),
+            start_ns: now_ns.saturating_sub(dur.as_nanos()),
+            depth,
+            tid: MAIN_TID,
+            kind: EventKind::Span {
+                dur_ns: dur.as_nanos(),
+            },
+            args: args
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect(),
+        });
+    });
+}
+
 /// Records an instant event (no duration) at the current nesting depth.
 /// No-op when tracing is disabled.
 pub fn instant(cat: &'static str, name: &str, args: &[(&str, String)]) {

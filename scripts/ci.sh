@@ -80,6 +80,20 @@ echo "== serve smoke (daemon + persistent cache + multi-tenant chaos soak) =="
 # admitted job.
 cargo run -q --release --offline -p td-bench --bin serve_smoke
 
+echo "== serve observability (request tracing + SLO series + METRICS + td-top) =="
+# Three gates. Live daemon: a td_serve subprocess (unix socket) with four
+# tenants — one fault-injected to sleep past its deadline — must expose a
+# well-formed Prometheus METRICS document whose deadline-miss counters are
+# nonzero only for the faulted tenant, burn its SLO budget, evict from the
+# size-capped disk cache, serve artifacts by request id, render a td_top
+# frame, and leave a JSON-lines event log whose admission/deadline/refusal
+# entries carry request ids. Correlation: one request id supplied at
+# SUBMIT must be retrievable from the RESULT, the journal report, the
+# flight bundle (injected panic plan), and the Chrome trace's queue-wait
+# and run spans. Overhead: the observability plane must cost < 3% against
+# the same service started without_observability().
+TD_BENCH_QUICK=1 cargo run -q --release --offline -p td-bench --bin serve_obs
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== micro-benchmark smoke run =="
     TD_BENCH_QUICK=1 TD_BENCH_JSON=BENCH_micro.json cargo bench -q --offline -p td-bench
