@@ -1,29 +1,38 @@
 //! CI chaos smoke check for the transactional interpreter and the
 //! fault-tolerant td-sched engine. Four gates:
 //!
-//! 1. **Rollback acceptance**: a silenceable failure injected at *every*
-//!    step index of the loop-tiling schedule in turn must leave the
-//!    payload verifier-clean and byte-identical to a clean run of the
-//!    committed prefix (the restore itself is fingerprint-validated by
-//!    `Context::restore_module`).
+//! 1. **Rollback acceptance**: a failure injected at *every* step index
+//!    of the loop-tiling schedule in turn — for every fault kind
+//!    (silenceable, definite, panic) and under *both* checkpoint backends
+//!    (incremental undo log and full clone) — must leave the payload
+//!    verifier-clean and byte-identical to a clean run of the committed
+//!    prefix. An `alloc_pressure` panic mid-rewrite (inside the
+//!    op-creation hook, not at the step boundary) must also roll back to
+//!    byte-identical states on both backends.
 //! 2. **Chaos determinism**: the `sched_smoke` batch replayed under a
 //!    probabilistic silenceable plan and a probabilistic panic plan must
 //!    produce *identical per-job outcomes* at 1 and 4 workers, with
-//!    nonzero rollback/fired counters and zero invalid output IR; under a
-//!    sleep + deadline plan the partial results must stay valid.
+//!    nonzero rollback/fired counters and zero invalid output IR; the
+//!    same plans replayed with the backend pinned to undo and to clone
+//!    must agree byte-for-byte; under a sleep + deadline plan the partial
+//!    results must stay valid.
 //! 3. **Graceful degradation**: with every job failing definitively and a
 //!    failure budget of 3, a single-worker batch runs exactly 3 jobs,
 //!    cancels the rest, and flags the report as degraded.
 //! 4. **Checkpoint overhead**: with faults disabled, the default
-//!    (`TxnMode::Auto`) interpreter must cost about the same as one with
-//!    transactions hard-disabled — the number EXPERIMENTS.md records.
+//!    (`TxnMode::Always` on the undo backend) interpreter must cost no
+//!    more than 1.10× one with transactions hard-disabled — enforced in
+//!    release builds (debug builds fingerprint-validate every restore,
+//!    see `TD_TXN_VALIDATE`). The same comparison is reported end-to-end
+//!    through a 4-worker td-sched batch. EXPERIMENTS.md records the
+//!    numbers.
 //!
 //! ```text
 //! cargo run --release -p td-bench --bin chaos_smoke
 //! ```
 
 use std::time::{Duration, Instant};
-use td_ir::Context;
+use td_ir::{CheckpointBackend, Context};
 use td_sched::{Engine, EngineConfig, Job, JobError};
 use td_support::{fault, metrics};
 use td_transform::{InterpEnv, Interpreter, TxnMode};
@@ -74,11 +83,40 @@ fn setup(ctx: &mut Context, src: &str) -> (td_ir::OpId, td_ir::OpId) {
     (entry, payload)
 }
 
-/// Gate 1: injected silenceable failure at every step index in turn.
+const BACKENDS: [CheckpointBackend; 2] = [CheckpointBackend::Undo, CheckpointBackend::Clone];
+
+/// Runs the schedule with `plan` armed under `backend`, expecting a
+/// failure; returns the rolled-back payload print (verified clean).
+fn faulted_print(env: &InterpEnv<'_>, src: &str, plan: &str, backend: CheckpointBackend) -> String {
+    let mut ctx = Context::new();
+    let (entry, module) = setup(&mut ctx, src);
+    ctx.set_txn_backend(backend);
+    fault::set_thread_plan(Some(fault::FaultPlan::parse(plan).unwrap()));
+    fault::set_lane(0);
+    let mut interp = Interpreter::new(env);
+    let result = interp.apply(&mut ctx, entry, module);
+    fault::set_thread_plan(None);
+    assert!(
+        result.is_err(),
+        "{plan} ({backend:?}): injected fault must fire"
+    );
+    assert_eq!(interp.stats.rolled_back, 1, "{plan} ({backend:?})");
+    td_ir::verify(&ctx, module)
+        .unwrap_or_else(|e| panic!("{plan} ({backend:?}): payload dirty after rollback: {e:?}"));
+    td_ir::print_op(&ctx, module)
+}
+
+/// Gate 1: an injected failure at every step index × every fault kind ×
+/// both checkpoint backends must restore the committed prefix exactly.
 fn rollback_acceptance() {
     let env = InterpEnv::standard();
     let src = payload(0);
+    // Injected panics are contained and asserted on; silence their spew.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut cases = 0;
     for step in 0..STEPS {
+        // The committed prefix is the same whatever the backend or kind.
         fault::set_thread_plan(None);
         let mut ref_ctx = Context::new();
         let (ref_entry, ref_payload) = setup(&mut ref_ctx, &src);
@@ -87,28 +125,34 @@ fn rollback_acceptance() {
             .unwrap_or_else(|e| panic!("clean {step}-step prefix: {}", e.diagnostic()));
         let expected = td_ir::print_op(&ref_ctx, ref_payload);
 
-        let mut ctx = Context::new();
-        let (entry, module) = setup(&mut ctx, &src);
-        fault::set_thread_plan(Some(
-            fault::FaultPlan::parse(&format!("silenceable@step={step}")).unwrap(),
-        ));
-        fault::set_lane(0);
-        let mut interp = Interpreter::new(&env);
-        let err = interp
-            .apply(&mut ctx, entry, module)
-            .expect_err("injected fault fires");
-        fault::set_thread_plan(None);
-        assert!(err.is_silenceable(), "step {step}");
-        assert_eq!(interp.stats.rolled_back, 1, "step {step}");
-        td_ir::verify(&ctx, module)
-            .unwrap_or_else(|e| panic!("step {step}: payload dirty after rollback: {e:?}"));
-        assert_eq!(
-            td_ir::print_op(&ctx, module),
-            expected,
-            "step {step}: payload differs from the committed prefix"
-        );
+        for kind in ["silenceable", "definite", "panic"] {
+            for backend in BACKENDS {
+                let plan = format!("{kind}@step={step}");
+                let print = faulted_print(&env, &src, &plan, backend);
+                assert_eq!(
+                    print, expected,
+                    "{plan} ({backend:?}): payload differs from the committed prefix"
+                );
+                cases += 1;
+            }
+        }
     }
-    println!("chaos gate 1 OK: rollback clean at all {STEPS} step indices");
+
+    // alloc_pressure panics mid-rewrite (inside the op-creation hook),
+    // not at the step boundary — containment must still restore a clean
+    // state, byte-identical across backends.
+    let prints: Vec<String> = BACKENDS
+        .iter()
+        .map(|&backend| faulted_print(&env, &src, "alloc_pressure@p=1", backend))
+        .collect();
+    assert_eq!(
+        prints[0], prints[1],
+        "alloc_pressure rollback diverges between backends"
+    );
+    std::panic::set_hook(hook);
+    println!(
+        "chaos gate 1 OK: rollback clean across {cases} (step x kind x backend) cases + alloc_pressure on both backends"
+    );
 }
 
 /// Every successful output must re-parse and verify in a fresh context.
@@ -187,6 +231,43 @@ fn chaos_determinism() {
     }
     assert_outputs_valid(&p1, "panic chaos");
 
+    // Backend differential: the same chaos plans with the checkpoint
+    // backend pinned to undo and to clone must agree on every per-job
+    // outcome AND print byte-identical output modules, at both worker
+    // counts — the rollback path is hot here, so this is where a wrong
+    // inverse operation would show.
+    for (plan, what) in [
+        ("silenceable@p=0.3,seed=11", "silenceable"),
+        ("panic@p=0.2,seed=3", "panic"),
+    ] {
+        for workers in [1, 4] {
+            let undo = run_under_plan(
+                plan,
+                workers,
+                EngineConfig::standard().with_txn_backend(td_sched::CheckpointBackend::Undo),
+            );
+            let clone = run_under_plan(
+                plan,
+                workers,
+                EngineConfig::standard().with_txn_backend(td_sched::CheckpointBackend::Clone),
+            );
+            let undo_outcomes: Vec<String> = undo.results.iter().map(outcome).collect();
+            let clone_outcomes: Vec<String> = clone.results.iter().map(outcome).collect();
+            assert_eq!(
+                undo_outcomes, clone_outcomes,
+                "{what} chaos outcomes diverge between backends at {workers} worker(s)"
+            );
+            for (i, (u, c)) in undo.results.iter().zip(&clone.results).enumerate() {
+                if let (Ok(u), Ok(c)) = (u, c) {
+                    assert_eq!(
+                        u.module_text, c.module_text,
+                        "{what} chaos job {i} output diverges between backends at {workers} worker(s)"
+                    );
+                }
+            }
+        }
+    }
+
     // Deadline chaos: job 0 sleeps past the deadline; whatever else the
     // clock allows must be either a clean, valid output or a timeout —
     // never invalid IR. (Which jobs time out is inherently clock-bound,
@@ -253,11 +334,12 @@ fn graceful_degradation() {
 }
 
 /// Gate 4: with faults disabled, the default interpreter configuration
-/// must not pay for transactions it is not running.
+/// (`TxnMode::Always` on the undo backend) must not pay meaningfully for
+/// transactions — enforced at 1.10× of transactions hard-off.
 fn checkpoint_overhead() {
     fault::set_thread_plan(None);
     let src = payload(3);
-    let rep = |txn: TxnMode| -> Duration {
+    let rep = |txn: TxnMode, backend: CheckpointBackend| -> Duration {
         let mut env = InterpEnv::standard();
         env.config.txn = txn;
         env.config.verify_after_each = false;
@@ -265,28 +347,74 @@ fn checkpoint_overhead() {
         for _ in 0..60 {
             let mut ctx = Context::new();
             let (entry, module) = setup(&mut ctx, &src);
+            ctx.set_txn_backend(backend);
             Interpreter::new(&env)
                 .apply(&mut ctx, entry, module)
                 .expect("clean run");
         }
         started.elapsed()
     };
-    // Interleave the modes (machine-load noise hits all three equally)
+    // Interleave the modes (machine-load noise hits all four equally)
     // and keep the best rep of each — the least-perturbed measurement.
-    let (mut never, mut auto, mut always) = (Duration::MAX, Duration::MAX, Duration::MAX);
+    let (mut never, mut auto, mut undo, mut clone) =
+        (Duration::MAX, Duration::MAX, Duration::MAX, Duration::MAX);
     for _ in 0..7 {
-        never = never.min(rep(TxnMode::Never));
-        auto = auto.min(rep(TxnMode::Auto));
-        always = always.min(rep(TxnMode::Always));
+        never = never.min(rep(TxnMode::Never, CheckpointBackend::Undo));
+        auto = auto.min(rep(TxnMode::Auto, CheckpointBackend::Undo));
+        undo = undo.min(rep(TxnMode::Always, CheckpointBackend::Undo));
+        clone = clone.min(rep(TxnMode::Always, CheckpointBackend::Clone));
     }
     let pct = |t: Duration| 100.0 * (t.as_secs_f64() / never.as_secs_f64() - 1.0);
     println!(
-        "chaos gate 4: txn=never {:?}, txn=auto (faults off) {:?} ({:+.2}%), txn=always {:?} ({:+.2}%)",
+        "chaos gate 4: txn=never {:?}, txn=auto {:?} ({:+.2}%), txn=always/undo {:?} ({:+.2}%), txn=always/clone {:?} ({:+.2}%)",
         never,
         auto,
         pct(auto),
-        always,
-        pct(always),
+        undo,
+        pct(undo),
+        clone,
+        pct(clone),
+    );
+    // The enforced bound is a release-performance contract: debug builds
+    // fingerprint-validate every restore (an O(module) walk per step,
+    // TD_TXN_VALIDATE defaults on under debug_assertions), which is paid
+    // deliberately there and excused here.
+    if cfg!(debug_assertions) {
+        println!("chaos gate 4: overhead bound skipped (debug build validates restores)");
+    } else {
+        assert!(
+            undo <= never.mul_f64(1.10),
+            "txn=always/undo overhead {:+.2}% exceeds the 10% bound (never {never:?}, always/undo {undo:?})",
+            pct(undo)
+        );
+    }
+
+    // End-to-end through the engine: a clean 4-worker batch with
+    // transactions on vs. off (reported, not enforced — scheduling noise
+    // dominates at this batch size).
+    let sched = |txn: TxnMode| -> Duration {
+        let mut best = Duration::MAX;
+        for _ in 0..3 {
+            let engine = Engine::new(
+                EngineConfig::standard()
+                    .with_workers(4)
+                    .without_cache()
+                    .with_txn(txn),
+            );
+            let started = Instant::now();
+            let report = engine.run_batch(batch());
+            assert_eq!(report.err_count(), 0, "clean batch");
+            best = best.min(started.elapsed());
+        }
+        best
+    };
+    let sched_never = sched(TxnMode::Never);
+    let sched_always = sched(TxnMode::Always);
+    println!(
+        "chaos gate 4 OK: sched batch txn=never {:?}, txn=always {:?} ({:+.2}%)",
+        sched_never,
+        sched_always,
+        100.0 * (sched_always.as_secs_f64() / sched_never.as_secs_f64() - 1.0),
     );
 }
 

@@ -4,7 +4,12 @@
 //!    `TD_FUZZ_SEED` / `TD_FUZZ_BUDGET` override) pushes every generated
 //!    (schedule, payload) pair through all seven oracle modes — direct
 //!    Auto/Always, engine 1w/4w, journal on, cache cold/warm — and every
-//!    mode must agree byte-for-byte.
+//!    mode must agree byte-for-byte. A prefix of the run additionally
+//!    gets the undo-log equivalence sweep: the incremental undo-log
+//!    checkpoint backend vs. the full-clone backend, clean and with a
+//!    silenceable fault injected at every step index in turn, demanding
+//!    byte-identical post-rollback payloads and exact in-context
+//!    fingerprint restoration.
 //! 2. **Corpus replay**: the committed regression corpus under
 //!    `tests/golden/fuzz/` (or `TD_FUZZ_CORPUS`) replays clean, with at
 //!    least the five committed entries present.
@@ -127,6 +132,10 @@ fn main() {
     assert_eq!(report.pairs, config.budget);
     assert_eq!(report.setup_errors, 0, "generated pairs must parse");
     assert_eq!(report.panics, 0, "no schedule may panic the interpreter");
+    assert!(
+        report.undo_checked > 0,
+        "the undo-log equivalence sweep must cover at least one pair"
+    );
     if !report.divergences.is_empty() {
         for d in &report.divergences {
             eprintln!(

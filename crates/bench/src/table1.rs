@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 use td_modelgen::{build_model, count_model_ops, paper_models, ModelSpec};
-use td_transform::{pipeline_to_script, transform_main, InterpEnv, Interpreter};
+use td_transform::{pipeline_to_script, transform_main, InterpEnv, Interpreter, TxnMode};
 
 /// One row of Table 1.
 #[derive(Clone, Debug)]
@@ -55,8 +55,13 @@ pub fn compile_with_transform(spec: &ModelSpec) -> f64 {
     let entry = transform_main(&ctx, script).expect("entry point exists");
     let mut env = InterpEnv::standard();
     env.passes = Some(&registry);
-    // Expensive checks off for a fair comparison with the pass manager.
+    // Expensive checks and transactions off for a fair comparison with
+    // the pass manager, which has neither: this harness isolates the
+    // paper's Table 1 quantity (interpreter *dispatch* overhead). The
+    // cost of transactional application is measured separately against
+    // its own bound by the chaos_smoke overhead gate.
     env.config.expensive_checks = false;
+    env.config.txn = TxnMode::Never;
     let mut interp = Interpreter::new(&env);
     let start = Instant::now();
     interp

@@ -11,7 +11,9 @@ use td_modelgen::{
 use td_support::rng::{derive_seed, Xoshiro256pp};
 
 use crate::minimize::{bisect_schedule, shrink_pair, Shrunk};
-use crate::oracle::{differential, differential_failure, fresh_context, Outcome, Pair};
+use crate::oracle::{
+    differential, differential_failure, fresh_context, undo_equivalence, Outcome, Pair,
+};
 
 /// Environment variable overriding the root fuzz seed.
 pub const SEED_ENV: &str = "TD_FUZZ_SEED";
@@ -31,6 +33,12 @@ pub struct FuzzConfig {
     pub max_payload_size: u32,
     /// Upper bound on the schedule steps knob.
     pub max_schedule_steps: u32,
+    /// How many of the generated pairs also get the undo-log equivalence
+    /// sweep ([`undo_equivalence`]): clone vs. undo checkpoint backends,
+    /// clean and with a fault injected at every step index. The sweep
+    /// costs ~2·(steps+1) extra interpreter runs per pair, so it covers a
+    /// prefix of the run rather than every pair.
+    pub undo_sweep: usize,
 }
 
 impl Default for FuzzConfig {
@@ -40,6 +48,7 @@ impl Default for FuzzConfig {
             budget: 200,
             max_payload_size: 20,
             max_schedule_steps: 10,
+            undo_sweep: 64,
         }
     }
 }
@@ -161,6 +170,8 @@ pub struct FuzzReport {
     pub setup_errors: usize,
     /// Pairs whose reference run panicked.
     pub panics: usize,
+    /// Pairs additionally swept for undo/clone backend equivalence.
+    pub undo_checked: usize,
     /// Payload op name -> total occurrences across all generated payloads.
     pub payload_ops: BTreeMap<String, u64>,
     /// Transform op name -> total occurrences across all schedules.
@@ -183,13 +194,14 @@ impl FuzzReport {
     /// Human-readable run summary.
     pub fn summary(&self) -> String {
         let mut out = format!(
-            "fuzz: {} pairs | ok {} | silenceable {} | definite {} | setup {} | panic {} | divergences {}\n",
+            "fuzz: {} pairs | ok {} | silenceable {} | definite {} | setup {} | panic {} | undo-swept {} | divergences {}\n",
             self.pairs,
             self.ok,
             self.silenceable,
             self.definite,
             self.setup_errors,
             self.panics,
+            self.undo_checked,
             self.divergences.len()
         );
         out.push_str("payload dialect coverage:");
@@ -256,18 +268,47 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
                 .push(shrink_divergence(index, specs[index], description));
         }
     }
+
+    // Undo-log equivalence sweep over a prefix of the run: the clone and
+    // undo checkpoint backends must be observationally identical, clean
+    // and at every injected fault point. Shrinking is gated on the *undo*
+    // predicate — these divergences are invisible to the differential
+    // oracle (all its modes share one backend default).
+    for (index, pair) in pairs.iter().take(config.undo_sweep).enumerate() {
+        report.undo_checked += 1;
+        if let Some(description) = undo_equivalence(pair) {
+            report.divergences.push(shrink_divergence_with(
+                index,
+                specs[index],
+                format!("undo-equivalence: {description}"),
+                &|pair| undo_equivalence(pair).is_some(),
+            ));
+        }
+    }
     report
 }
 
 /// Shrink one diverging spec: knob shrinking first, then schedule
 /// bisection, both gated on the single-pair differential still failing.
 pub fn shrink_divergence(index: usize, spec: PairSpec, description: String) -> Divergence {
+    shrink_divergence_with(index, spec, description, &|pair| {
+        differential_failure(pair).is_some()
+    })
+}
+
+/// [`shrink_divergence`] with an explicit still-failing predicate (the
+/// undo-equivalence sweep shrinks against its own oracle).
+pub fn shrink_divergence_with(
+    index: usize,
+    spec: PairSpec,
+    description: String,
+    still_fails: &dyn Fn(&Pair) -> bool,
+) -> Divergence {
     let build = |size: u32, steps: u32| spec.resized(size, steps).build();
-    let still_fails = |pair: &Pair| differential_failure(pair).is_some();
     let shrunk = shrink_pair(
         &build,
         (spec.payload_size, spec.schedule_steps),
-        &still_fails,
+        still_fails,
     );
     let (mut minimized, minimized_knobs, probes) = match shrunk {
         Some(Shrunk {
@@ -281,7 +322,7 @@ pub fn shrink_divergence(index: usize, spec: PairSpec, description: String) -> D
         None => (spec.build(), (spec.payload_size, spec.schedule_steps), 1),
     };
     let mut bisected = false;
-    if let Some(shorter) = bisect_schedule(&minimized, &still_fails) {
+    if let Some(shorter) = bisect_schedule(&minimized, still_fails) {
         minimized = shorter;
         bisected = true;
     }

@@ -11,7 +11,12 @@
 //!    `TxnMode::Always`, the `td-sched` engine with 1 and 4 workers, with
 //!    the provenance journal on, and cached cold/warm — and demands
 //!    byte-identical printed modules and re-parse fingerprints (or the
-//!    identical error) from all of them.
+//!    identical error) from all of them. A second sweep
+//!    ([`undo_equivalence`]) pits the incremental undo-log checkpoint
+//!    backend against the full-clone backend, clean and with a
+//!    silenceable fault injected at every step index in turn, demanding
+//!    byte-identical post-rollback payloads and exact fingerprint
+//!    restoration.
 //! 3. Divergences are shrunk by [`minimize`] (knob shrinking plus
 //!    schedule bisection via `bisect_schedule_failure`) and written to the
 //!    [`corpus`] as committed `.mlir` repro files replayed by the golden
@@ -31,6 +36,6 @@ pub use driver::{
 };
 pub use minimize::{bisect_schedule, shrink_pair, Shrunk};
 pub use oracle::{
-    differential, differential_failure, fresh_context, run_direct, run_engine, CaseReport,
-    EngineRun, Outcome, Pair, MODES,
+    differential, differential_failure, fresh_context, run_direct, run_direct_on, run_engine,
+    undo_equivalence, CaseReport, EngineRun, Outcome, Pair, MODES,
 };

@@ -31,7 +31,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use td_ir::{parse_module, print_op, Context, PassRegistry};
+use td_ir::{parse_module, print_op, CheckpointBackend, Context, PassRegistry};
 use td_sched::{Engine, EngineConfig, Job, JobError};
 use td_support::{fault, journal};
 use td_transform::{InterpEnv, Interpreter, TxnMode};
@@ -163,8 +163,16 @@ fn normalize_ok(text: String) -> Outcome {
 /// Parses payload first, then script (the same discipline the engine's
 /// workers use, so op ids — and thus printed SSA names — line up).
 pub fn run_direct(pair: &Pair, txn: TxnMode) -> Outcome {
+    run_direct_on(pair, txn, CheckpointBackend::default())
+}
+
+/// [`run_direct`] with an explicit checkpoint backend, set on the context
+/// itself rather than through `TD_TXN_BACKEND` so concurrent tests never
+/// race on process environment.
+pub fn run_direct_on(pair: &Pair, txn: TxnMode, backend: CheckpointBackend) -> Outcome {
     let result = catch_unwind(AssertUnwindSafe(|| {
         let mut ctx = fresh_context();
+        ctx.set_txn_backend(backend);
         let payload = match parse_module(&mut ctx, &pair.payload) {
             Ok(op) => op,
             Err(err) => {
@@ -381,6 +389,221 @@ pub fn differential_failure(pair: &Pair) -> Option<String> {
     differential(std::slice::from_ref(pair)).remove(0).failure()
 }
 
+// ---------------------------------------------------------------------
+// Undo-log equivalence: the incremental undo-log checkpoint backend vs.
+// the full-clone backend, clean and at every injected fault point.
+// ---------------------------------------------------------------------
+
+/// What one journaled, possibly fault-armed run observed.
+struct SweptRun {
+    /// The outcome (Ok text is *not* normalized — raw equality suffices
+    /// because both backends print in a freshly parsed context).
+    outcome: Outcome,
+    /// Payload print after `apply` returned — the post-rollback state on
+    /// failure, the final module on success.
+    post_print: String,
+    /// Transform steps that committed.
+    executed: usize,
+    /// `fp_before` of the last *top-level* (minimal-depth) journal step —
+    /// the state a failing run's transaction must restore. `None` when no
+    /// step was recorded.
+    pre_step_fp: Option<u64>,
+    /// Live-context [`td_ir::fingerprint_op`] of the payload after
+    /// `apply` returned.
+    post_fp: u64,
+}
+
+/// One instrumented run under `TxnMode::Always`: journal on (for per-step
+/// fingerprints), optionally with a silenceable fault armed at hit index
+/// `fault_step` of the interpreter's step fault point.
+fn swept_run(pair: &Pair, fault_step: Option<usize>, backend: CheckpointBackend) -> SweptRun {
+    match fault_step {
+        Some(step) => {
+            fault::set_thread_plan(Some(
+                fault::FaultPlan::parse(&format!("silenceable@step={step}"))
+                    .expect("sweep plan parses"),
+            ));
+            fault::reset_counters();
+            fault::set_lane(0);
+        }
+        None => fault::set_thread_plan(None),
+    }
+    let journal_was_on = journal::enabled();
+    journal::set_enabled(true);
+    journal::reset();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut ctx = fresh_context();
+        ctx.set_txn_backend(backend);
+        let payload = match parse_module(&mut ctx, &pair.payload) {
+            Ok(op) => op,
+            Err(err) => {
+                return Err(format!("payload failed to parse: {}", err.message()));
+            }
+        };
+        let script = match parse_module(&mut ctx, &pair.schedule) {
+            Ok(op) => op,
+            Err(err) => {
+                return Err(format!("script failed to parse: {}", err.message()));
+            }
+        };
+        let Some(entry) = ctx.lookup_symbol(script, &pair.entry) else {
+            return Err(format!(
+                "script has no entry sequence named '{}'",
+                pair.entry
+            ));
+        };
+        let passes = standard_passes();
+        let mut env = InterpEnv::standard();
+        env.passes = Some(&passes);
+        env.config.txn = TxnMode::Always;
+        let mut interp = Interpreter::new(&env);
+        let outcome = match interp.apply_reentrant(&mut ctx, entry, payload) {
+            Ok(()) => Outcome::Ok {
+                text: String::new(),
+                fingerprint: 0,
+                structural: 0,
+            },
+            Err(err) => Outcome::Transform {
+                silenceable: err.is_silenceable(),
+                message: err.diagnostic().message().to_owned(),
+            },
+        };
+        Ok((
+            outcome,
+            print_op(&ctx, payload),
+            interp.stats.transforms_executed,
+            td_ir::fingerprint_op(&ctx, payload),
+        ))
+    }));
+    fault::set_thread_plan(None);
+    let recorded = journal::take();
+    journal::set_enabled(journal_was_on);
+    // When a run fails, the top-level transaction restores the state
+    // before the failing *top-level* step — which is the last
+    // minimal-depth record (its committed predecessors all ran to
+    // completion, and no later top-level step began). Failures at deeper
+    // records may have been suppressed (e.g. by an alternatives-style
+    // construct), so neither "first failing record" nor the fault's hit
+    // index identifies the restored state in general.
+    let base_depth = recorded.steps().iter().map(|s| s.depth).min();
+    let pre_step_fp = base_depth.and_then(|base| {
+        recorded
+            .steps()
+            .iter()
+            .filter(|s| s.depth == base)
+            .next_back()
+            .map(|s| s.fp_before)
+    });
+    match result {
+        Ok(Ok((outcome, post_print, executed, post_fp))) => SweptRun {
+            outcome,
+            post_print,
+            executed,
+            pre_step_fp,
+            post_fp,
+        },
+        Ok(Err(message)) => SweptRun {
+            outcome: Outcome::Setup { message },
+            post_print: String::new(),
+            executed: 0,
+            pre_step_fp: None,
+            post_fp: 0,
+        },
+        Err(payload) => SweptRun {
+            outcome: Outcome::Panic {
+                message: fault::panic_text(payload.as_ref()),
+            },
+            post_print: String::new(),
+            executed: 0,
+            pre_step_fp: None,
+            post_fp: 0,
+        },
+    }
+}
+
+/// Differential check of the undo-log checkpoint backend against the
+/// full-clone backend for one pair, clean and at every fault point.
+///
+/// Under `TxnMode::Always` the two backends must be observationally
+/// identical. The sweep demands:
+///
+/// 1. **Clean equivalence** — byte-identical final payload prints (or the
+///    identical error) with no faults armed.
+/// 2. **Per-step rollback equivalence** — with a silenceable fault
+///    injected at every step index of the clean run in turn, both
+///    backends report the same outcome and print byte-identical
+///    post-rollback payloads.
+/// 3. **Fingerprint restoration** (undo backend) — the post-rollback
+///    [`td_ir::fingerprint_op`] equals the failing step's journaled
+///    `fp_before`, in the *same* context. The undo log restores freed
+///    entities under their original generational ids, so even the
+///    id-sensitive fingerprint must come back exact. (The clone backend
+///    is exempt: a restored clone has fresh ids by construction; print
+///    identity is its contract.)
+/// 4. **Round-trip** — every post-rollback print re-parses in a fresh
+///    context.
+///
+/// Returns `Some(description)` on the first violation. Pairs that never
+/// reach the interpreter vacuously pass — generator bugs are
+/// [`differential`]'s department.
+pub fn undo_equivalence(pair: &Pair) -> Option<String> {
+    let clone_clean = swept_run(pair, None, CheckpointBackend::Clone);
+    if matches!(clone_clean.outcome, Outcome::Setup { .. }) {
+        return None;
+    }
+    let undo_clean = swept_run(pair, None, CheckpointBackend::Undo);
+    if undo_clean.outcome != clone_clean.outcome || undo_clean.post_print != clone_clean.post_print
+    {
+        return Some(format!(
+            "undo/clone clean runs diverge:\n  clone: {}\n  undo: {}\n--- clone print ---\n{}\n--- undo print ---\n{}",
+            clone_clean.outcome.brief(),
+            undo_clean.outcome.brief(),
+            clone_clean.post_print,
+            undo_clean.post_print
+        ));
+    }
+
+    // Fault at every step index the clean run executed. A silenceable
+    // fault at hit k fails the k-th step *before* its handler runs, so
+    // the post-rollback state must be exactly the k-step committed state.
+    for step in 0..clone_clean.executed {
+        let clone_run = swept_run(pair, Some(step), CheckpointBackend::Clone);
+        let undo_run = swept_run(pair, Some(step), CheckpointBackend::Undo);
+        if undo_run.outcome != clone_run.outcome {
+            return Some(format!(
+                "fault@step={step}: outcomes diverge:\n  clone: {}\n  undo: {}",
+                clone_run.outcome.brief(),
+                undo_run.outcome.brief()
+            ));
+        }
+        if undo_run.post_print != clone_run.post_print {
+            return Some(format!(
+                "fault@step={step}: post-rollback payloads diverge\n--- clone ---\n{}\n--- undo ---\n{}",
+                clone_run.post_print, undo_run.post_print
+            ));
+        }
+        // Fingerprint restoration is only a theorem when the run actually
+        // failed — a suppressed fault (alternatives-style recovery) leaves
+        // the run to succeed with whatever state the recovery built.
+        if matches!(undo_run.outcome, Outcome::Transform { .. }) {
+            if let Some(expected) = undo_run.pre_step_fp {
+                if undo_run.post_fp != expected {
+                    return Some(format!(
+                        "fault@step={step}: undo rollback fingerprint {:016x} != pre-step {expected:016x}",
+                        undo_run.post_fp
+                    ));
+                }
+            }
+        }
+        if let Outcome::RoundTrip { message } = normalize_ok(undo_run.post_print) {
+            return Some(format!(
+                "fault@step={step}: post-rollback payload failed to re-parse: {message}"
+            ));
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +656,33 @@ mod tests {
             "{:?}",
             report.reference()
         );
+    }
+
+    #[test]
+    fn undo_and_clone_backends_are_equivalent_on_a_simple_pair() {
+        let _guard = fault::test_guard();
+        let pair = Pair::new(PAYLOAD, SCHEDULE);
+        let verdict = undo_equivalence(&pair);
+        assert!(verdict.is_none(), "{verdict:?}");
+    }
+
+    #[test]
+    fn undo_sweep_covers_failing_pairs_too() {
+        let _guard = fault::test_guard();
+        // The schedule fails silenceably at its first step; the sweep must
+        // still agree across backends on the clean (failing) run and not
+        // report a divergence.
+        let schedule = SCHEDULE.replace("scf.for", "fuzz.absent");
+        let pair = Pair::new(PAYLOAD, schedule);
+        let verdict = undo_equivalence(&pair);
+        assert!(verdict.is_none(), "{verdict:?}");
+    }
+
+    #[test]
+    fn undo_sweep_vacuously_passes_setup_errors() {
+        let _guard = fault::test_guard();
+        let pair = Pair::new("not mlir at all", SCHEDULE);
+        assert!(undo_equivalence(&pair).is_none());
     }
 
     #[test]

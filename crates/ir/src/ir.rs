@@ -17,6 +17,7 @@
 use crate::attrs::Attribute;
 use crate::dialect::DialectRegistry;
 use crate::types::{TypeId, TypeKind, TypeStore};
+use crate::undo::{CheckpointBackend, Mark, UndoEntry, UndoLog};
 use std::collections::HashMap;
 use td_support::{Arena, Idx, Location, Symbol};
 
@@ -184,12 +185,36 @@ pub struct Context {
     pub(crate) types: TypeStore,
     /// Registered dialects (op specs, verifiers, folders).
     pub registry: DialectRegistry,
+    /// The incremental undo log (inactive — one false branch per
+    /// mutation — until a checkpoint opens a watermark).
+    pub(crate) undo: UndoLog,
+    /// Which checkpoint mechanism this context uses.
+    txn_backend: CheckpointBackend,
 }
 
 impl Context {
     /// Creates an empty context with no dialects registered.
+    ///
+    /// The checkpoint backend defaults from `TD_TXN_BACKEND` (undo log
+    /// unless set to `clone`); override per context with
+    /// [`Context::set_txn_backend`].
     pub fn new() -> Self {
-        Self::default()
+        Context {
+            txn_backend: CheckpointBackend::from_env(),
+            ..Self::default()
+        }
+    }
+
+    /// Selects the checkpoint mechanism for this context (per-context so
+    /// differential tests can run both backends side by side in one
+    /// process without touching the environment).
+    pub fn set_txn_backend(&mut self, backend: CheckpointBackend) {
+        self.txn_backend = backend;
+    }
+
+    /// The checkpoint mechanism this context uses.
+    pub fn txn_backend(&self) -> CheckpointBackend {
+        self.txn_backend
     }
 
     // ----- types ---------------------------------------------------------
@@ -372,6 +397,9 @@ impl Context {
         data.operands = operands;
         data.results = results;
         data.regions = regions;
+        if self.undo.active {
+            self.undo.push(UndoEntry::OpCreated { op });
+        }
         if td_support::journal::recording() {
             td_support::journal::record_change(
                 td_support::journal::ChangeKind::Created,
@@ -414,6 +442,9 @@ impl Context {
             .collect();
         self.blocks[block].args = args;
         self.regions[region].blocks.push(block);
+        if self.undo.active {
+            self.undo.push(UndoEntry::BlockCreated { block });
+        }
         block
     }
 
@@ -426,12 +457,18 @@ impl Context {
             uses: vec![],
         });
         self.blocks[block].args.push(value);
+        if self.undo.active {
+            self.undo.push(UndoEntry::BlockArgAdded { block, value });
+        }
         value
     }
 
     /// Sets the successor blocks of a terminator.
     pub fn set_successors(&mut self, op: OpId, successors: Vec<BlockId>) {
-        self.ops[op].successors = successors;
+        let old = std::mem::replace(&mut self.ops[op].successors, successors);
+        if self.undo.active {
+            self.undo.push(UndoEntry::SuccessorsSet { op, old });
+        }
     }
 
     // ----- insertion and movement ----------------------------------------
@@ -452,6 +489,9 @@ impl Context {
         );
         self.blocks[block].ops.insert(index, op);
         self.ops[op].parent = Some(block);
+        if self.undo.active {
+            self.undo.push(UndoEntry::OpInserted { op });
+        }
     }
 
     /// Detaches an op from its block without erasing it.
@@ -461,6 +501,13 @@ impl Context {
                 .op_position(block, op)
                 .expect("op missing from parent block list");
             self.blocks[block].ops.remove(pos);
+            if self.undo.active {
+                self.undo.push(UndoEntry::OpDetached {
+                    op,
+                    block,
+                    index: pos,
+                });
+            }
         }
     }
 
@@ -508,6 +555,13 @@ impl Context {
         }
         self.values[new_value].uses.push((op, index as u32));
         self.ops[op].operands[index] = new_value;
+        if self.undo.active {
+            self.undo.push(UndoEntry::OperandSet {
+                op,
+                index: index as u32,
+                old,
+            });
+        }
     }
 
     /// Renames an operation in place, keeping operands/results/attributes.
@@ -516,7 +570,10 @@ impl Context {
     /// identical (e.g. bufferization renaming `tensor.empty` to
     /// `memref.alloc`).
     pub fn set_op_name(&mut self, op: OpId, name: impl Into<Symbol>) {
-        self.ops[op].name = name.into();
+        let old = std::mem::replace(&mut self.ops[op].name, name.into());
+        if self.undo.active {
+            self.undo.push(UndoEntry::NameSet { op, old });
+        }
     }
 
     /// Appends an operand to `op`, updating use lists.
@@ -524,6 +581,9 @@ impl Context {
         let index = self.ops[op].operands.len() as u32;
         self.ops[op].operands.push(value);
         self.values[value].uses.push((op, index));
+        if self.undo.active {
+            self.undo.push(UndoEntry::OperandAppended { op });
+        }
     }
 
     /// Replaces every use of `old` with `new`.
@@ -535,17 +595,29 @@ impl Context {
         for &(op, index) in &uses {
             self.ops[op].operands[index as usize] = new;
         }
+        if self.undo.active {
+            self.undo.push(UndoEntry::UsesReplaced {
+                old,
+                new,
+                uses: uses.clone(),
+            });
+        }
         self.values[new].uses.extend(uses);
     }
 
     /// Sets (or overwrites) an attribute on an operation.
     pub fn set_attr(&mut self, op: OpId, name: impl Into<Symbol>, value: Attribute) {
         let name = name.into();
+        let log = self.undo.active;
         let attrs = &mut self.ops[op].attributes;
-        if let Some(slot) = attrs.iter_mut().find(|(k, _)| *k == name) {
-            slot.1 = value;
+        let old = if let Some(slot) = attrs.iter_mut().find(|(k, _)| *k == name) {
+            Some(std::mem::replace(&mut slot.1, value))
         } else {
             attrs.push((name, value));
+            None
+        };
+        if log {
+            self.undo.push(UndoEntry::AttrSet { op, name, old });
         }
     }
 
@@ -553,7 +625,16 @@ impl Context {
     pub fn remove_attr(&mut self, op: OpId, name: &str) -> Option<Attribute> {
         let attrs = &mut self.ops[op].attributes;
         let pos = attrs.iter().position(|(k, _)| k.as_str() == name)?;
-        Some(attrs.remove(pos).1)
+        let (name_sym, value) = attrs.remove(pos);
+        if self.undo.active {
+            self.undo.push(UndoEntry::AttrRemoved {
+                op,
+                index: pos,
+                name: name_sym,
+                value: value.clone(),
+            });
+        }
+        Some(value)
     }
 
     // ----- erasure -------------------------------------------------------
@@ -580,7 +661,13 @@ impl Context {
         let regions = self.ops[op].regions.clone();
         for region in regions {
             self.erase_region_contents(region);
-            self.regions.erase(region);
+            let data = self.regions.erase(region).expect("region is live");
+            if self.undo.active {
+                self.undo.push(UndoEntry::RegionFreed {
+                    region,
+                    data: Box::new(data),
+                });
+            }
         }
         // Unlink operand uses.
         let operands = self.ops[op].operands.clone();
@@ -592,6 +679,13 @@ impl Context {
                     .position(|&(o, i)| o == op && i as usize == index)
                 {
                     value.uses.swap_remove(pos);
+                    if self.undo.active {
+                        self.undo.push(UndoEntry::UseUnlinked {
+                            value: operand,
+                            op,
+                            index: index as u32,
+                        });
+                    }
                 }
             }
         }
@@ -609,14 +703,32 @@ impl Context {
                 "erasing op {:?} ({}) whose result still has live uses",
                 op, self.ops[op].name
             );
-            self.values.erase(result);
+            let data = self.values.erase(result).expect("result is live");
+            if self.undo.active {
+                self.undo.push(UndoEntry::ValueFreed {
+                    value: result,
+                    data: Box::new(data),
+                });
+            }
         }
-        self.ops.erase(op);
+        let data = self.ops.erase(op).expect("op is live");
+        if self.undo.active {
+            self.undo.push(UndoEntry::OpFreed {
+                op,
+                data: Box::new(data),
+            });
+        }
     }
 
     /// Erases all blocks (and their ops) of a region, leaving it empty.
     pub fn erase_region_contents(&mut self, region: RegionId) {
         let blocks = std::mem::take(&mut self.regions[region].blocks);
+        if self.undo.active {
+            self.undo.push(UndoEntry::RegionBlocksTaken {
+                region,
+                blocks: blocks.clone(),
+            });
+        }
         for block in blocks {
             // Erase ops in reverse so uses disappear before defs.
             let ops: Vec<OpId> = self.blocks[block].ops.clone();
@@ -625,9 +737,21 @@ impl Context {
             }
             let args = self.blocks[block].args.clone();
             for arg in args {
-                self.values.erase(arg);
+                let data = self.values.erase(arg).expect("block arg is live");
+                if self.undo.active {
+                    self.undo.push(UndoEntry::ValueFreed {
+                        value: arg,
+                        data: Box::new(data),
+                    });
+                }
             }
-            self.blocks.erase(block);
+            let data = self.blocks.erase(block).expect("block is live");
+            if self.undo.active {
+                self.undo.push(UndoEntry::BlockFreed {
+                    block,
+                    data: Box::new(data),
+                });
+            }
         }
     }
 
@@ -728,7 +852,10 @@ impl Context {
     /// are responsible for materializing casts so existing uses stay
     /// type-correct.
     pub fn set_value_type(&mut self, value: ValueId, ty: TypeId) {
-        self.values[value].ty = ty;
+        let old = std::mem::replace(&mut self.values[value].ty, ty);
+        if self.undo.active {
+            self.undo.push(UndoEntry::ValueTypeSet { value, old });
+        }
     }
 
     /// Moves all blocks of `from` to the end of `to`, leaving `from` empty.
@@ -738,6 +865,13 @@ impl Context {
         let blocks = std::mem::take(&mut self.regions[from].blocks);
         for &block in &blocks {
             self.blocks[block].parent = Some(to);
+        }
+        if self.undo.active {
+            self.undo.push(UndoEntry::BlocksTransferred {
+                from,
+                to,
+                blocks: blocks.clone(),
+            });
         }
         self.regions[to].blocks.extend(blocks);
     }
@@ -830,37 +964,82 @@ impl Context {
 
     // ----- checkpoints ---------------------------------------------------
 
-    /// Snapshots `module` for a later [`Context::restore_module`]: a deep
-    /// detached clone plus the fingerprint it must restore to.
+    /// Makes `module` restorable by a later [`Context::restore_module`].
+    ///
+    /// Under the default [`CheckpointBackend::Undo`] this is nearly free:
+    /// it pushes a watermark onto the undo log and every subsequent
+    /// mutation records its inverse. Under [`CheckpointBackend::Clone`]
+    /// it deep-clones the module as before.
     ///
     /// This is the transactional interpreter's unit of rollback. The
-    /// snapshot's bookkeeping is invisible to the provenance journal
-    /// (recording is paused — cloning is not a payload change a transform
-    /// made) and immune to fault injection (the safety net must not
-    /// itself fail).
+    /// checkpoint's bookkeeping is invisible to the provenance journal
+    /// (recording is paused — snapshotting is not a payload change a
+    /// transform made) and immune to fault injection (the safety net must
+    /// not itself fail).
+    ///
+    /// # Restore validation
+    ///
+    /// A structural fingerprint captured here lets [`Context::restore_module`]
+    /// verify the rolled-back module byte-for-byte. The walk is O(module),
+    /// which would be the undo backend's *only* non-constant checkpoint
+    /// cost, so under the undo backend it is captured in debug builds
+    /// (and when `TD_TXN_VALIDATE=1` in release; `TD_TXN_VALIDATE=0`
+    /// force-disables it) but skipped by default in release — release
+    /// rollback correctness is continuously enforced externally by the
+    /// chaos and fuzz differential gates. The clone backend already pays
+    /// an O(module) deep copy per checkpoint, so it always validates.
     pub fn checkpoint_module(&mut self, module: OpId) -> ModuleCheckpoint {
         let _quiet = td_support::journal::pause();
-        td_support::fault::suppressed(|| ModuleCheckpoint {
-            snapshot: self.clone_module(module),
-            fingerprint: crate::fingerprint::structural_fingerprint_op(self, module),
+        td_support::fault::suppressed(|| {
+            let validate =
+                matches!(self.txn_backend, CheckpointBackend::Clone) || Self::txn_validate();
+            let fingerprint =
+                validate.then(|| crate::fingerprint::structural_fingerprint_op(self, module));
+            let detail = match self.txn_backend {
+                CheckpointBackend::Undo => CheckpointDetail::Undo {
+                    mark: self.undo.begin(),
+                    module,
+                },
+                CheckpointBackend::Clone => CheckpointDetail::Clone {
+                    snapshot: self.clone_module(module),
+                },
+            };
+            ModuleCheckpoint {
+                detail,
+                fingerprint,
+            }
+        })
+    }
+
+    /// Whether undo-backend checkpoints capture a validation fingerprint:
+    /// on in debug builds, opt-in via `TD_TXN_VALIDATE=1` in release,
+    /// `TD_TXN_VALIDATE=0` force-disables either way.
+    fn txn_validate() -> bool {
+        static CACHE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *CACHE.get_or_init(|| match std::env::var("TD_TXN_VALIDATE").as_deref() {
+            Ok("0") => false,
+            Ok(_) => true,
+            Err(_) => cfg!(debug_assertions),
         })
     }
 
     /// Rolls `module` back to a checkpoint taken from it, consuming the
-    /// checkpoint. The root `OpId` stays valid: the dirty region contents
-    /// are erased and the snapshot's regions are transplanted under the
-    /// live root, whose name and attributes are also restored (the
-    /// fingerprint covers them — a failed step may have edited root
-    /// attributes). The restored module's fingerprint is validated against
-    /// the one captured at checkpoint time.
+    /// checkpoint. The root `OpId` stays valid under both backends.
     ///
-    /// Root operands/results are left untouched; module-like roots have
-    /// none, and restoring a non-root op tree is not supported.
+    /// Under the undo backend the log is replayed in reverse down to the
+    /// checkpoint's watermark; erased entities are resurrected under
+    /// their *original* generational ids, so even handles into the
+    /// rolled-back region become live again. Under the clone backend the
+    /// dirty region contents are erased and the snapshot's regions are
+    /// transplanted under the live root (name/attributes restored too).
+    /// Either way the restored module's structural fingerprint is
+    /// validated against the one captured at checkpoint time.
     ///
     /// # Errors
     /// Returns a message if the restored fingerprint does not match the
-    /// checkpoint — a broken snapshot, or a checkpoint from a different
-    /// module.
+    /// checkpoint — a broken snapshot, a checkpoint from a different
+    /// module, or an unlogged mutation (e.g. parsing new IR into the
+    /// context mid-transaction).
     pub fn restore_module(
         &mut self,
         module: OpId,
@@ -869,39 +1048,66 @@ impl Context {
         let _quiet = td_support::journal::pause();
         td_support::fault::suppressed(|| {
             let ModuleCheckpoint {
-                snapshot,
+                detail,
                 fingerprint,
             } = checkpoint;
-            // Drop the dirty contents of the live root.
-            let dirty = std::mem::take(&mut self.ops[module].regions);
-            for region in dirty {
-                self.erase_region_contents(region);
-                self.regions.erase(region);
+            match detail {
+                CheckpointDetail::Undo {
+                    mark,
+                    module: checkpointed,
+                } => {
+                    if checkpointed != module {
+                        return Err(format!(
+                            "restore_module: checkpoint was taken from {checkpointed:?}, \
+                             not {module:?}"
+                        ));
+                    }
+                    let Some(tail) = self.undo.rollback(mark) else {
+                        return Err(
+                            "restore_module: undo watermark already closed (double restore \
+                             or out-of-order checkpoint use)"
+                                .to_string(),
+                        );
+                    };
+                    for entry in tail {
+                        self.apply_undo(entry);
+                    }
+                }
+                CheckpointDetail::Clone { snapshot } => {
+                    // Drop the dirty contents of the live root.
+                    let dirty = std::mem::take(&mut self.ops[module].regions);
+                    for region in dirty {
+                        self.erase_region_contents(region);
+                        self.regions.erase(region);
+                    }
+                    // Transplant the snapshot's regions under the live root.
+                    let transplanted = std::mem::take(&mut self.ops[snapshot].regions);
+                    for &region in &transplanted {
+                        self.regions[region].parent = Some(module);
+                    }
+                    let (name, attributes, location) = {
+                        let snap = &self.ops[snapshot];
+                        (snap.name, snap.attributes.clone(), snap.location.clone())
+                    };
+                    {
+                        let live = &mut self.ops[module];
+                        live.regions = transplanted;
+                        live.name = name;
+                        live.attributes = attributes;
+                        live.location = location;
+                    }
+                    // The shell is now empty; erase it.
+                    self.erase_op(snapshot);
+                }
             }
-            // Transplant the snapshot's regions under the live root.
-            let transplanted = std::mem::take(&mut self.ops[snapshot].regions);
-            for &region in &transplanted {
-                self.regions[region].parent = Some(module);
-            }
-            let (name, attributes, location) = {
-                let snap = &self.ops[snapshot];
-                (snap.name, snap.attributes.clone(), snap.location.clone())
-            };
-            {
-                let live = &mut self.ops[module];
-                live.regions = transplanted;
-                live.name = name;
-                live.attributes = attributes;
-                live.location = location;
-            }
-            // The shell is now empty; erase it.
-            self.erase_op(snapshot);
-            let actual = crate::fingerprint::structural_fingerprint_op(self, module);
-            if actual != fingerprint {
-                return Err(format!(
-                    "restore_module fingerprint mismatch: checkpoint {fingerprint:#018x}, \
-                     restored {actual:#018x}"
-                ));
+            if let Some(expected) = fingerprint {
+                let actual = crate::fingerprint::structural_fingerprint_op(self, module);
+                if actual != expected {
+                    return Err(format!(
+                        "restore_module fingerprint mismatch: checkpoint {expected:#018x}, \
+                         restored {actual:#018x}"
+                    ));
+                }
             }
             Ok(())
         })
@@ -910,7 +1116,219 @@ impl Context {
     /// Drops a checkpoint without restoring it (the step committed).
     pub fn discard_checkpoint(&mut self, checkpoint: ModuleCheckpoint) {
         let _quiet = td_support::journal::pause();
-        td_support::fault::suppressed(|| self.erase_op(checkpoint.snapshot));
+        td_support::fault::suppressed(|| match checkpoint.detail {
+            CheckpointDetail::Undo { mark, .. } => {
+                let closed = self.undo.commit(mark);
+                debug_assert!(closed, "checkpoint committed twice");
+            }
+            CheckpointDetail::Clone { snapshot } => self.erase_op(snapshot),
+        });
+    }
+
+    /// Undo-log entries recorded since `checkpoint` was taken — how much
+    /// a rollback would unwind. `None` for clone-backend checkpoints.
+    pub fn undo_entries_since(&self, checkpoint: &ModuleCheckpoint) -> Option<usize> {
+        match checkpoint.detail {
+            CheckpointDetail::Undo { mark, .. } => Some(self.undo.len().saturating_sub(mark.pos())),
+            CheckpointDetail::Clone { .. } => None,
+        }
+    }
+
+    /// Number of currently open undo watermarks (transaction nesting
+    /// depth); 0 when no transaction is active or under the clone backend.
+    pub fn undo_depth(&self) -> usize {
+        self.undo.depth()
+    }
+
+    // ----- nested step watermarks ----------------------------------------
+
+    /// Opens a *nested* watermark if (and only if) an undo-backed
+    /// transaction is already active, making an inner step independently
+    /// rollback-able for free (no clone, no fingerprint walk).
+    ///
+    /// Returns `None` when no undo log is active — inner steps then run
+    /// untracked, exactly as before (the clone backend cannot afford
+    /// per-inner-step snapshots).
+    pub fn begin_step_watermark(&mut self) -> Option<StepWatermark> {
+        if !self.undo.active {
+            return None;
+        }
+        Some(StepWatermark {
+            mark: self.undo.begin(),
+        })
+    }
+
+    /// Rolls back to a nested step watermark, unwinding every mutation
+    /// recorded since [`Context::begin_step_watermark`]. Abandoned deeper
+    /// watermarks (e.g. after a panic unwound past them) are dropped.
+    pub fn rollback_step_watermark(&mut self, watermark: StepWatermark) {
+        let _quiet = td_support::journal::pause();
+        td_support::fault::suppressed(|| {
+            if let Some(tail) = self.undo.rollback(watermark.mark) {
+                for entry in tail {
+                    self.apply_undo(entry);
+                }
+            }
+        });
+    }
+
+    /// Commits a nested step watermark (keeps the entries; an enclosing
+    /// transaction may still roll them back).
+    pub fn commit_step_watermark(&mut self, watermark: StepWatermark) {
+        self.undo.commit(watermark.mark);
+    }
+
+    /// Replays one inverse operation. Uses raw arena/field access only —
+    /// never the public mutators — so the replay itself is neither
+    /// re-logged nor journaled, and hits no fault points.
+    fn apply_undo(&mut self, entry: UndoEntry) {
+        match entry {
+            UndoEntry::OpCreated { op } => {
+                // The op is detached and its regions are empty by now
+                // (later insertions/appends were undone first).
+                let data = self.ops.erase(op).expect("created op is live");
+                debug_assert!(data.parent.is_none(), "undo of create found attached op");
+                for (index, operand) in data.operands.into_iter().enumerate() {
+                    if let Some(value) = self.values.get_mut(operand) {
+                        if let Some(pos) = value
+                            .uses
+                            .iter()
+                            .position(|&(o, i)| o == op && i as usize == index)
+                        {
+                            value.uses.swap_remove(pos);
+                        }
+                    }
+                }
+                for result in data.results {
+                    self.values.erase(result);
+                }
+                for region in data.regions {
+                    self.regions.erase(region);
+                }
+            }
+            UndoEntry::BlockCreated { block } => {
+                let data = self.blocks.erase(block).expect("created block is live");
+                debug_assert!(data.ops.is_empty(), "undo of block create found ops");
+                for arg in data.args {
+                    self.values.erase(arg);
+                }
+                if let Some(region) = data.parent {
+                    if let Some(region) = self.regions.get_mut(region) {
+                        region.blocks.retain(|&b| b != block);
+                    }
+                }
+            }
+            UndoEntry::BlockArgAdded { block, value } => {
+                self.blocks[block].args.retain(|&a| a != value);
+                self.values.erase(value);
+            }
+            UndoEntry::OpInserted { op } => {
+                if let Some(block) = self.ops[op].parent.take() {
+                    let pos = self.blocks[block]
+                        .ops
+                        .iter()
+                        .position(|&o| o == op)
+                        .expect("inserted op missing from block");
+                    self.blocks[block].ops.remove(pos);
+                }
+            }
+            UndoEntry::OpDetached { op, block, index } => {
+                self.blocks[block].ops.insert(index, op);
+                self.ops[op].parent = Some(block);
+            }
+            UndoEntry::OperandSet { op, index, old } => {
+                let current = self.ops[op].operands[index as usize];
+                let uses = &mut self.values[current].uses;
+                if let Some(pos) = uses.iter().position(|&(o, i)| o == op && i == index) {
+                    uses.swap_remove(pos);
+                }
+                self.values[old].uses.push((op, index));
+                self.ops[op].operands[index as usize] = old;
+            }
+            UndoEntry::OperandAppended { op } => {
+                let value = self.ops[op].operands.pop().expect("appended operand");
+                let index = self.ops[op].operands.len() as u32;
+                let uses = &mut self.values[value].uses;
+                if let Some(pos) = uses.iter().position(|&(o, i)| o == op && i == index) {
+                    uses.swap_remove(pos);
+                }
+            }
+            UndoEntry::NameSet { op, old } => {
+                self.ops[op].name = old;
+            }
+            UndoEntry::SuccessorsSet { op, old } => {
+                self.ops[op].successors = old;
+            }
+            UndoEntry::UsesReplaced { old, new, uses } => {
+                for &(op, index) in &uses {
+                    let new_uses = &mut self.values[new].uses;
+                    if let Some(pos) = new_uses.iter().position(|&(o, i)| o == op && i == index) {
+                        new_uses.swap_remove(pos);
+                    }
+                    self.ops[op].operands[index as usize] = old;
+                }
+                self.values[old].uses.extend(uses);
+            }
+            UndoEntry::AttrSet { op, name, old } => {
+                let attrs = &mut self.ops[op].attributes;
+                let pos = attrs
+                    .iter()
+                    .position(|(k, _)| *k == name)
+                    .expect("set attribute present");
+                match old {
+                    Some(value) => attrs[pos].1 = value,
+                    None => {
+                        attrs.remove(pos);
+                    }
+                }
+            }
+            UndoEntry::AttrRemoved {
+                op,
+                index,
+                name,
+                value,
+            } => {
+                self.ops[op].attributes.insert(index, (name, value));
+            }
+            UndoEntry::ValueTypeSet { value, old } => {
+                self.values[value].ty = old;
+            }
+            UndoEntry::BlocksTransferred { from, to, blocks } => {
+                self.regions[to].blocks.retain(|b| !blocks.contains(b));
+                for &block in &blocks {
+                    self.blocks[block].parent = Some(from);
+                }
+                self.regions[from].blocks = blocks;
+            }
+            UndoEntry::UseUnlinked { value, op, index } => {
+                if let Some(value) = self.values.get_mut(value) {
+                    value.uses.push((op, index));
+                }
+            }
+            UndoEntry::OpFreed { op, data } => {
+                self.ops
+                    .restore(op, *data)
+                    .unwrap_or_else(|_| panic!("undo replay could not restore op {op:?}"));
+            }
+            UndoEntry::ValueFreed { value, data } => {
+                self.values
+                    .restore(value, *data)
+                    .unwrap_or_else(|_| panic!("undo replay could not restore value {value:?}"));
+            }
+            UndoEntry::BlockFreed { block, data } => {
+                self.blocks
+                    .restore(block, *data)
+                    .unwrap_or_else(|_| panic!("undo replay could not restore block {block:?}"));
+            }
+            UndoEntry::RegionFreed { region, data } => {
+                self.regions
+                    .restore(region, *data)
+                    .unwrap_or_else(|_| panic!("undo replay could not restore region {region:?}"));
+            }
+            UndoEntry::RegionBlocksTaken { region, blocks } => {
+                self.regions[region].blocks = blocks;
+            }
+        }
     }
 
     /// Total number of live operations (for tests and statistics).
@@ -919,27 +1337,61 @@ impl Context {
     }
 }
 
-/// A payload snapshot produced by [`Context::checkpoint_module`]: the
-/// detached clone plus the fingerprint [`Context::restore_module`]
-/// validates against. Consume it with `restore_module` (roll back) or
-/// [`Context::discard_checkpoint`] (commit) — dropping it on the floor
-/// leaks the snapshot ops into the context for the context's lifetime.
+/// A payload checkpoint produced by [`Context::checkpoint_module`]: an
+/// undo-log watermark (default) or a detached deep clone, plus the
+/// fingerprint [`Context::restore_module`] validates against. Consume it
+/// with `restore_module` (roll back) or [`Context::discard_checkpoint`]
+/// (commit) — dropping it on the floor leaks the watermark (entries
+/// accumulate) or the snapshot ops for the context's lifetime.
 #[derive(Debug)]
 pub struct ModuleCheckpoint {
-    snapshot: OpId,
-    fingerprint: u64,
+    detail: CheckpointDetail,
+    fingerprint: Option<u64>,
+}
+
+#[derive(Debug)]
+enum CheckpointDetail {
+    /// Undo-log watermark over `module`.
+    Undo { mark: Mark, module: OpId },
+    /// Detached deep clone (legacy backend).
+    Clone { snapshot: OpId },
 }
 
 impl ModuleCheckpoint {
-    /// The fingerprint the checkpointed module had at snapshot time.
-    pub fn fingerprint(&self) -> u64 {
+    /// The validation fingerprint captured at checkpoint time, if any.
+    /// Always present under the clone backend; under the undo backend
+    /// only when restore validation is enabled (debug builds, or
+    /// `TD_TXN_VALIDATE=1` in release — see
+    /// [`Context::checkpoint_module`]).
+    pub fn fingerprint(&self) -> Option<u64> {
         self.fingerprint
     }
 
-    /// The detached snapshot root (for inspection; owned by the context).
-    pub fn snapshot_op(&self) -> OpId {
-        self.snapshot
+    /// Which backend produced this checkpoint.
+    pub fn backend(&self) -> CheckpointBackend {
+        match self.detail {
+            CheckpointDetail::Undo { .. } => CheckpointBackend::Undo,
+            CheckpointDetail::Clone { .. } => CheckpointBackend::Clone,
+        }
     }
+
+    /// The detached snapshot root for clone-backend checkpoints
+    /// (`None` under the undo backend, which has no snapshot).
+    pub fn snapshot_op(&self) -> Option<OpId> {
+        match self.detail {
+            CheckpointDetail::Clone { snapshot } => Some(snapshot),
+            CheckpointDetail::Undo { .. } => None,
+        }
+    }
+}
+
+/// A nested transaction scope from [`Context::begin_step_watermark`]:
+/// close it with [`Context::rollback_step_watermark`] or
+/// [`Context::commit_step_watermark`]. Leaking one (e.g. across a panic
+/// unwind) is tolerated — the enclosing checkpoint's close drops it.
+#[derive(Debug)]
+pub struct StepWatermark {
+    mark: Mark,
 }
 
 // The concurrency contract of the IR: a `Context` (with everything it
@@ -970,6 +1422,7 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use td_support::rng::Xoshiro256pp;
     use td_support::Location;
 
     fn ctx_with_module() -> (Context, OpId, BlockId) {
@@ -1268,7 +1721,7 @@ mod tests {
         let fp_before = crate::fingerprint::structural_fingerprint_op(&ctx, module);
         let ops_before = ctx.num_ops();
         let checkpoint = ctx.checkpoint_module(module);
-        assert_eq!(checkpoint.fingerprint(), fp_before);
+        assert_eq!(checkpoint.fingerprint(), Some(fp_before));
 
         // Dirty the payload: nested mutation + root-attribute mutation.
         ctx.set_attr(c, "value", Attribute::Int(8));
@@ -1302,9 +1755,184 @@ mod tests {
         );
     }
 
+    /// Applies `actions` randomly chosen public mutations to `module`:
+    /// op creation (with random operands and attributes), use-guarded
+    /// erasure, attribute churn, use rewiring, and operand pokes. Pure in
+    /// `rng`, so a failing seed reproduces exactly.
+    fn random_burst(ctx: &mut Context, module: OpId, rng: &mut Xoshiro256pp, actions: usize) {
+        let i32t = ctx.i32_type();
+        for _ in 0..actions {
+            let ops: Vec<OpId> = ctx
+                .walk_nested(module)
+                .into_iter()
+                .filter(|&op| op != module)
+                .collect();
+            let values: Vec<ValueId> = ops
+                .iter()
+                .flat_map(|&op| ctx.op(op).results().to_vec())
+                .collect();
+            let body = ctx.sole_block(module, 0);
+            match rng.range_usize(0, 5) {
+                0 => {
+                    let arity = if values.is_empty() {
+                        0
+                    } else {
+                        rng.range_usize(0, 3)
+                    };
+                    let operands = (0..arity)
+                        .map(|_| values[rng.range_usize(0, values.len())])
+                        .collect();
+                    let op = ctx.create_op(
+                        Location::unknown(),
+                        "test.node",
+                        operands,
+                        vec![i32t],
+                        vec![(Symbol::new("n"), Attribute::Int(rng.next_u64() as i64))],
+                        0,
+                    );
+                    ctx.append_op(body, op);
+                }
+                1 => {
+                    // Erase an op whose results are unused, so the rest of
+                    // the module stays printable.
+                    let dead = ops
+                        .iter()
+                        .copied()
+                        .find(|&op| ctx.op(op).results().iter().all(|&v| !ctx.has_uses(v)));
+                    if let Some(op) = dead {
+                        ctx.erase_op(op);
+                    }
+                }
+                2 if !ops.is_empty() => {
+                    let op = ops[rng.range_usize(0, ops.len())];
+                    if rng.range_usize(0, 2) == 0 {
+                        ctx.set_attr(op, "tag", Attribute::Int(rng.next_u64() as i64));
+                    } else {
+                        ctx.remove_attr(op, "n");
+                    }
+                }
+                // Both rewiring arms draw the new value from ops that
+                // precede the rewritten use in walk (= print) order, so
+                // the module keeps parsing: defs stay before uses.
+                3 if ops.len() >= 2 => {
+                    let io = rng.range_usize(1, ops.len());
+                    let earlier: Vec<ValueId> = ops[..io]
+                        .iter()
+                        .flat_map(|&op| ctx.op(op).results().to_vec())
+                        .collect();
+                    let old = ctx.op(ops[io]).results().first().copied();
+                    if let (Some(old), false) = (old, earlier.is_empty()) {
+                        let new = earlier[rng.range_usize(0, earlier.len())];
+                        ctx.replace_all_uses(old, new);
+                    }
+                }
+                4 if ops.len() >= 2 => {
+                    let i = rng.range_usize(1, ops.len());
+                    let op = ops[i];
+                    let arity = ctx.op(op).operands().len();
+                    let earlier: Vec<ValueId> = ops[..i]
+                        .iter()
+                        .flat_map(|&op| ctx.op(op).results().to_vec())
+                        .collect();
+                    if arity > 0 && !earlier.is_empty() {
+                        ctx.set_operand(
+                            op,
+                            rng.range_usize(0, arity),
+                            earlier[rng.range_usize(0, earlier.len())],
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Property: for any seeded pre-state and any seeded mutation burst,
+    /// checkpoint → burst → restore is a print fixpoint under *both*
+    /// backends, and the restored print round-trips through the parser.
+    #[test]
+    fn property_checkpoint_burst_restore_is_a_print_fixpoint() {
+        for backend in [CheckpointBackend::Undo, CheckpointBackend::Clone] {
+            for seed in 0..32u64 {
+                let mut rng = Xoshiro256pp::seed_from_u64(seed);
+                let mut ctx = Context::new();
+                ctx.set_txn_backend(backend);
+                let module = ctx.create_module(Location::unknown());
+                random_burst(&mut ctx, module, &mut rng, 12);
+                let before = crate::print_op(&ctx, module);
+
+                let checkpoint = ctx.checkpoint_module(module);
+                random_burst(&mut ctx, module, &mut rng, 20);
+                ctx.restore_module(module, checkpoint)
+                    .unwrap_or_else(|e| panic!("{backend:?} seed {seed}: {e}"));
+
+                let after = crate::print_op(&ctx, module);
+                assert_eq!(after, before, "{backend:?} seed {seed}");
+                let mut fresh = Context::new();
+                let reparsed = crate::parse_module(&mut fresh, &after).unwrap_or_else(|e| {
+                    panic!("{backend:?} seed {seed}: restored print must re-parse: {e}")
+                });
+                assert_eq!(
+                    crate::print_op(&fresh, reparsed),
+                    after,
+                    "{backend:?} seed {seed}: restored print is not a parse fixpoint"
+                );
+            }
+        }
+    }
+
+    /// Property: nested step watermarks compose with the outer
+    /// transaction — an inner rollback returns exactly to the inner
+    /// boundary, an inner commit keeps its mutations, and the outer
+    /// restore unwinds everything (committed inner steps included) back
+    /// to the checkpoint.
+    #[test]
+    fn property_nested_watermarks_compose_with_outer_restore() {
+        for seed in 0..16u64 {
+            let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x5eed);
+            let mut ctx = Context::new();
+            let module = ctx.create_module(Location::unknown());
+            random_burst(&mut ctx, module, &mut rng, 10);
+            let base = crate::print_op(&ctx, module);
+
+            let outer = ctx.checkpoint_module(module);
+            random_burst(&mut ctx, module, &mut rng, 6);
+            let mid = crate::print_op(&ctx, module);
+
+            let inner = ctx
+                .begin_step_watermark()
+                .expect("undo transaction is active");
+            random_burst(&mut ctx, module, &mut rng, 8);
+            ctx.rollback_step_watermark(inner);
+            assert_eq!(
+                crate::print_op(&ctx, module),
+                mid,
+                "seed {seed}: inner rollback must return to the inner boundary"
+            );
+
+            let inner = ctx.begin_step_watermark().expect("still active");
+            random_burst(&mut ctx, module, &mut rng, 5);
+            ctx.commit_step_watermark(inner);
+
+            ctx.restore_module(module, outer)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(
+                crate::print_op(&ctx, module),
+                base,
+                "seed {seed}: outer restore must unwind committed inner steps too"
+            );
+            assert_eq!(
+                ctx.undo_depth(),
+                0,
+                "seed {seed}: no open watermarks remain"
+            );
+        }
+    }
+
     #[test]
     fn discard_checkpoint_frees_the_snapshot() {
         let (mut ctx, module, body) = ctx_with_module();
+        ctx.set_txn_backend(CheckpointBackend::Clone);
         let op = ctx.create_op(Location::unknown(), "test.a", vec![], vec![], vec![], 0);
         ctx.append_op(body, op);
         let ops_before = ctx.num_ops();
@@ -1318,12 +1946,14 @@ mod tests {
     #[test]
     fn restore_rejects_a_corrupted_snapshot() {
         let (mut ctx, module, body) = ctx_with_module();
+        ctx.set_txn_backend(CheckpointBackend::Clone);
         let op = ctx.create_op(Location::unknown(), "test.a", vec![], vec![], vec![], 0);
         ctx.append_op(body, op);
         let checkpoint = ctx.checkpoint_module(module);
         // Corrupt the snapshot behind the checkpoint's back; the restore
         // must notice it no longer reproduces the checkpointed state.
-        let snap_body = ctx.sole_block(checkpoint.snapshot_op(), 0);
+        let snapshot = checkpoint.snapshot_op().expect("clone backend snapshots");
+        let snap_body = ctx.sole_block(snapshot, 0);
         let snap_op = ctx.block(snap_body).ops()[0];
         ctx.set_attr(snap_op, "corrupted", Attribute::Int(1));
         let err = ctx
@@ -1357,6 +1987,9 @@ mod tests {
     fn checkpoint_machinery_is_immune_to_fault_injection() {
         use td_support::fault;
         let (mut ctx, module, body) = ctx_with_module();
+        // The clone backend is the one that allocates ops during
+        // checkpointing — the interesting case for fault suppression.
+        ctx.set_txn_backend(CheckpointBackend::Clone);
         let op = ctx.create_op(Location::unknown(), "test.a", vec![], vec![], vec![], 0);
         ctx.append_op(body, op);
         fault::set_thread_plan(Some(fault::FaultPlan::parse("alloc_pressure@p=1").unwrap()));
@@ -1388,6 +2021,203 @@ mod tests {
             .join()
             .unwrap();
         assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn undo_checkpoint_is_allocation_free_and_restores_exactly() {
+        let (mut ctx, module, body) = ctx_with_module();
+        ctx.set_txn_backend(CheckpointBackend::Undo);
+        let i32t = ctx.i32_type();
+        let a = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![i32t],
+            vec![(Symbol::new("value"), Attribute::Int(1))],
+            0,
+        );
+        let b = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![i32t],
+            vec![(Symbol::new("value"), Attribute::Int(2))],
+            0,
+        );
+        ctx.append_op(body, a);
+        ctx.append_op(body, b);
+        let va = ctx.op(a).results()[0];
+        let vb = ctx.op(b).results()[0];
+        let add = ctx.create_op(
+            Location::unknown(),
+            "arith.addi",
+            vec![va, va],
+            vec![i32t],
+            vec![],
+            0,
+        );
+        ctx.append_op(body, add);
+        let before = crate::print::print_op(&ctx, module);
+        let ops_before = ctx.num_ops();
+
+        let checkpoint = ctx.checkpoint_module(module);
+        assert_eq!(checkpoint.backend(), CheckpointBackend::Undo);
+        assert!(checkpoint.snapshot_op().is_none());
+        assert_eq!(ctx.num_ops(), ops_before, "undo checkpoint clones nothing");
+
+        // A representative mutation burst across every mutator class.
+        ctx.set_attr(a, "value", Attribute::Int(9));
+        ctx.set_attr(add, "overflow", Attribute::Bool(true));
+        ctx.remove_attr(b, "value");
+        ctx.set_operand(add, 1, vb);
+        ctx.set_op_name(b, "arith.renamed");
+        ctx.replace_all_uses(va, vb);
+        ctx.move_op_before(b, a);
+        let extra = ctx.create_op(
+            Location::unknown(),
+            "test.extra",
+            vec![vb],
+            vec![],
+            vec![],
+            0,
+        );
+        ctx.append_op(body, extra);
+        ctx.erase_op(extra);
+        ctx.erase_op(add);
+        assert!(ctx.undo_entries_since(&checkpoint).unwrap() > 0);
+
+        ctx.restore_module(module, checkpoint).expect("restores");
+        assert_eq!(crate::print::print_op(&ctx, module), before);
+        assert_eq!(ctx.num_ops(), ops_before);
+        assert_eq!(ctx.uses(va).len(), 2, "use lists restored");
+    }
+
+    #[test]
+    fn undo_restore_resurrects_original_ids() {
+        let (mut ctx, module, body) = ctx_with_module();
+        ctx.set_txn_backend(CheckpointBackend::Undo);
+        let i32t = ctx.i32_type();
+        let c = ctx.create_op(
+            Location::unknown(),
+            "arith.constant",
+            vec![],
+            vec![i32t],
+            vec![],
+            0,
+        );
+        ctx.append_op(body, c);
+        let vc = ctx.op(c).results()[0];
+        let checkpoint = ctx.checkpoint_module(module);
+        ctx.erase_op(c);
+        assert!(!ctx.is_live(c));
+        assert!(!ctx.is_value_live(vc));
+        ctx.restore_module(module, checkpoint).expect("restores");
+        // The *same* handles are live again — no re-materialization under
+        // fresh ids, unlike the clone backend.
+        assert!(ctx.is_live(c), "original OpId resurrected");
+        assert!(ctx.is_value_live(vc), "original ValueId resurrected");
+        assert_eq!(ctx.op(c).results()[0], vc);
+        assert_eq!(ctx.block(body).ops(), &[c]);
+    }
+
+    #[test]
+    fn nested_step_watermarks_compose() {
+        let (mut ctx, module, body) = ctx_with_module();
+        ctx.set_txn_backend(CheckpointBackend::Undo);
+        let checkpoint = ctx.checkpoint_module(module);
+        let a = ctx.create_op(Location::unknown(), "test.a", vec![], vec![], vec![], 0);
+        ctx.append_op(body, a);
+
+        let inner = ctx.begin_step_watermark().expect("txn active");
+        let b = ctx.create_op(Location::unknown(), "test.b", vec![], vec![], vec![], 0);
+        ctx.append_op(body, b);
+        assert_eq!(ctx.undo_depth(), 2);
+        ctx.rollback_step_watermark(inner);
+        assert!(
+            !ctx.is_live(b),
+            "inner rollback unwinds only the inner step"
+        );
+        assert!(ctx.is_live(a), "outer mutations survive inner rollback");
+
+        let inner2 = ctx.begin_step_watermark().expect("txn still active");
+        let c = ctx.create_op(Location::unknown(), "test.c", vec![], vec![], vec![], 0);
+        ctx.append_op(body, c);
+        ctx.commit_step_watermark(inner2);
+        assert!(ctx.is_live(c), "inner commit keeps the step");
+
+        ctx.restore_module(module, checkpoint).expect("restores");
+        assert!(!ctx.is_live(a));
+        assert!(
+            !ctx.is_live(c),
+            "outer rollback unwinds committed inner steps"
+        );
+        assert_eq!(ctx.undo_depth(), 0);
+    }
+
+    #[test]
+    fn step_watermark_requires_an_active_transaction() {
+        let (mut ctx, _m, _body) = ctx_with_module();
+        ctx.set_txn_backend(CheckpointBackend::Undo);
+        assert!(
+            ctx.begin_step_watermark().is_none(),
+            "no watermark without an open checkpoint"
+        );
+        ctx.set_txn_backend(CheckpointBackend::Clone);
+        let module2 = ctx.create_module(Location::unknown());
+        let cp = ctx.checkpoint_module(module2);
+        assert!(
+            ctx.begin_step_watermark().is_none(),
+            "clone checkpoints do not activate the undo log"
+        );
+        ctx.discard_checkpoint(cp);
+    }
+
+    #[test]
+    fn undo_discard_commits_and_clears_the_log() {
+        let (mut ctx, module, body) = ctx_with_module();
+        ctx.set_txn_backend(CheckpointBackend::Undo);
+        let checkpoint = ctx.checkpoint_module(module);
+        let a = ctx.create_op(Location::unknown(), "test.a", vec![], vec![], vec![], 0);
+        ctx.append_op(body, a);
+        ctx.discard_checkpoint(checkpoint);
+        assert!(ctx.is_live(a), "commit keeps the mutations");
+        assert_eq!(ctx.undo_depth(), 0);
+        // After commit the log is inactive: mutations are free again and a
+        // fresh checkpoint starts from a clean slate.
+        let cp2 = ctx.checkpoint_module(module);
+        assert_eq!(ctx.undo_entries_since(&cp2), Some(0));
+        ctx.discard_checkpoint(cp2);
+    }
+
+    #[test]
+    fn both_backends_restore_identical_payloads() {
+        for backend in [CheckpointBackend::Undo, CheckpointBackend::Clone] {
+            let (mut ctx, module, body) = ctx_with_module();
+            ctx.set_txn_backend(backend);
+            let i32t = ctx.i32_type();
+            let c = ctx.create_op(
+                Location::unknown(),
+                "arith.constant",
+                vec![],
+                vec![i32t],
+                vec![(Symbol::new("value"), Attribute::Int(7))],
+                0,
+            );
+            ctx.append_op(body, c);
+            let before = crate::print::print_op(&ctx, module);
+            let checkpoint = ctx.checkpoint_module(module);
+            ctx.set_attr(c, "value", Attribute::Int(8));
+            let junk = ctx.create_op(Location::unknown(), "test.junk", vec![], vec![], vec![], 0);
+            ctx.append_op(body, junk);
+            ctx.restore_module(module, checkpoint)
+                .unwrap_or_else(|e| panic!("{} restore failed: {e}", backend.name()));
+            assert_eq!(
+                crate::print::print_op(&ctx, module),
+                before,
+                "byte-identical restore under {}",
+                backend.name()
+            );
+        }
     }
 
     #[test]

@@ -48,13 +48,16 @@ pub mod pass;
 pub mod print;
 pub mod rewrite;
 pub mod types;
+pub mod undo;
 pub mod verify;
 
 pub use attrs::{Attribute, FloatVal};
 pub use builder::{InsertPoint, OpBuilder};
 pub use dialect::{DialectRegistry, FoldResult, OpSpec, OpTraits};
 pub use fingerprint::{fingerprint_op, structural_fingerprint_op};
-pub use ir::{BlockId, Context, ModuleCheckpoint, OpData, OpId, RegionId, ValueDef, ValueId};
+pub use ir::{
+    BlockId, Context, ModuleCheckpoint, OpData, OpId, RegionId, StepWatermark, ValueDef, ValueId,
+};
 pub use parse::{parse_module, parse_type_str};
 pub use pass::{Pass, PassManager, PassRegistry};
 pub use print::{print_attribute, print_op, print_type};
@@ -63,4 +66,5 @@ pub use rewrite::{
     RewriteEvent, RewritePattern, Rewriter,
 };
 pub use types::{Extent, TypeId, TypeKind};
+pub use undo::CheckpointBackend;
 pub use verify::verify;

@@ -35,10 +35,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use td_ir::{Context, PassRegistry};
+use td_ir::{CheckpointBackend, Context, PassRegistry};
 use td_support::rng::{derive_seed, Xoshiro256pp};
 use td_support::{fault, flight, journal, metrics, mpmc, trace};
-use td_transform::{InterpEnv, Interpreter, TransformOpRegistry};
+use td_transform::{InterpEnv, Interpreter, TransformOpRegistry, TxnMode};
 
 /// Builds the fresh `Context` each job attempt parses into.
 pub type ContextFactory = Arc<dyn Fn() -> Context + Send + Sync>;
@@ -84,6 +84,16 @@ pub struct EngineConfig {
     /// [`BatchReport::degraded`]. `None` never degrades. In-flight jobs
     /// finish normally; nothing is aborted mid-step.
     pub failure_budget: Option<usize>,
+    /// Transactional application of top-level steps, the engine-wide
+    /// default (jobs override per-job via [`Job::txn`]). Defaults to
+    /// [`TxnMode::Always`]: every failure leaves the payload exactly as
+    /// the last committed step printed it.
+    pub txn: TxnMode,
+    /// Checkpoint backend forced onto every job context; `None` uses the
+    /// process default (`TD_TXN_BACKEND`, normally the undo log). Set
+    /// explicitly for differential testing of the two backends inside one
+    /// process.
+    pub txn_backend: Option<CheckpointBackend>,
     /// Fresh-context builder (dialect registration).
     pub context_factory: ContextFactory,
     /// Per-worker transform-op registry builder.
@@ -109,6 +119,8 @@ impl EngineConfig {
             retry_backoff: None,
             retry_seed: 0,
             failure_budget: None,
+            txn: TxnMode::Always,
+            txn_backend: None,
             context_factory: Arc::new(|| {
                 let mut ctx = Context::new();
                 td_dialects::register_all_dialects(&mut ctx);
@@ -165,6 +177,19 @@ impl EngineConfig {
         self.failure_budget = Some(budget);
         self
     }
+
+    /// Sets the engine-wide transactional mode (builder-style).
+    pub fn with_txn(mut self, txn: TxnMode) -> Self {
+        self.txn = txn;
+        self
+    }
+
+    /// Forces a checkpoint backend onto every job context (builder-style);
+    /// see [`EngineConfig::txn_backend`].
+    pub fn with_txn_backend(mut self, backend: CheckpointBackend) -> Self {
+        self.txn_backend = Some(backend);
+        self
+    }
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -177,6 +202,8 @@ impl std::fmt::Debug for EngineConfig {
             .field("max_attempts", &self.max_attempts)
             .field("retry_backoff", &self.retry_backoff)
             .field("failure_budget", &self.failure_budget)
+            .field("txn", &self.txn)
+            .field("txn_backend", &self.txn_backend)
             .field("has_passes", &self.passes_factory.is_some())
             .finish_non_exhaustive()
     }
@@ -348,7 +375,12 @@ impl Engine {
                         let mut env = InterpEnv::standard();
                         env.transforms = transforms;
                         env.passes = passes.as_ref();
+                        env.config.txn = self.config.txn;
                         while let Some((index, job, enqueued)) = queue.pop() {
+                            // Per-job transactional override (td-serve:
+                            // the tenant's txn_mode); the env is this
+                            // worker's own, so flipping it is job-local.
+                            env.config.txn = job.txn.unwrap_or(self.config.txn);
                             let wait_ns = enqueued.elapsed().as_nanos();
                             metrics::observe(QUEUE_WAIT_SERIES, wait_ns);
                             let dispatched_at = started.elapsed().as_nanos();
@@ -517,7 +549,7 @@ impl Engine {
         if !matches!(result, Err(JobError::Transform { .. })) {
             return;
         }
-        let make_ctx = || (self.config.context_factory)();
+        let make_ctx = || self.fresh_context();
         let Some(outcome) = td_transform::bisect_schedule_failure(
             env,
             &make_ctx,
@@ -549,6 +581,16 @@ impl Engine {
                 outcome.minimized_script,
             ),
         );
+    }
+
+    /// A fresh job context from the factory, with the engine's checkpoint
+    /// backend applied (see [`EngineConfig::txn_backend`]).
+    fn fresh_context(&self) -> Context {
+        let mut ctx = (self.config.context_factory)();
+        if let Some(backend) = self.config.txn_backend {
+            ctx.set_txn_backend(backend);
+        }
+        ctx
     }
 
     /// Runs one job on the calling worker thread: deadline pre-check,
@@ -588,7 +630,7 @@ impl Engine {
         // the fixed discipline that makes the key a pure function of the
         // two texts (crate docs, "Cache-key soundness").
         let key = {
-            let mut ctx = (self.config.context_factory)();
+            let mut ctx = self.fresh_context();
             let payload = parse(&mut ctx, &job.payload, "payload")?;
             let script = parse(&mut ctx, &job.script, "script")?;
             CacheKey {
@@ -604,6 +646,8 @@ impl Engine {
                 transforms_executed: hit.transforms_executed,
                 attempts: 0,
                 from_cache: true,
+                rolled_back: 0,
+                undo_entries: 0,
             });
         }
         job_span.arg("cache", "miss");
@@ -613,12 +657,12 @@ impl Engine {
         loop {
             attempt += 1;
             match self.attempt(env, job) {
-                Ok((module_text, transforms_executed)) => {
+                Ok(output) => {
                     self.cache.insert(
                         key,
                         CachedResult {
-                            module_text: module_text.clone(),
-                            transforms_executed,
+                            module_text: output.module_text.clone(),
+                            transforms_executed: output.transforms_executed,
                         },
                     );
                     if self.deadline_elapsed(batch_start) {
@@ -639,10 +683,12 @@ impl Engine {
                         return Err(JobError::DeadlineExceeded);
                     }
                     return Ok(JobOutput {
-                        module_text,
-                        transforms_executed,
+                        module_text: output.module_text,
+                        transforms_executed: output.transforms_executed,
                         attempts: attempt,
                         from_cache: false,
+                        rolled_back: output.rolled_back,
+                        undo_entries: output.undo_entries,
                     });
                 }
                 Err(JobError::Transform {
@@ -669,9 +715,11 @@ impl Engine {
         }
     }
 
-    /// One interpreter attempt against a completely fresh context.
-    fn attempt(&self, env: &InterpEnv<'_>, job: &Job) -> Result<(String, usize), JobError> {
-        let mut ctx = (self.config.context_factory)();
+    /// One interpreter attempt against a completely fresh context. On
+    /// success returns the printed module plus the attempt's interpreter
+    /// stats (transform count, rollbacks, undo-log volume).
+    fn attempt(&self, env: &InterpEnv<'_>, job: &Job) -> Result<AttemptOutput, JobError> {
+        let mut ctx = self.fresh_context();
         let payload = parse(&mut ctx, &job.payload, "payload")?;
         let script = parse(&mut ctx, &job.script, "script")?;
         let entry =
@@ -681,10 +729,12 @@ impl Engine {
                 })?;
         let mut interp = Interpreter::new(env);
         match interp.apply_reentrant(&mut ctx, entry, payload) {
-            Ok(()) => Ok((
-                td_ir::print_op(&ctx, payload),
-                interp.stats.transforms_executed,
-            )),
+            Ok(()) => Ok(AttemptOutput {
+                module_text: td_ir::print_op(&ctx, payload),
+                transforms_executed: interp.stats.transforms_executed,
+                rolled_back: interp.stats.rolled_back,
+                undo_entries: interp.stats.undo_entries,
+            }),
             Err(error) => Err(JobError::Transform {
                 message: error.diagnostic().message().to_owned(),
                 silenceable: error.is_silenceable(),
@@ -738,6 +788,15 @@ impl Engine {
             );
         }
     }
+}
+
+/// The successful result of one interpreter attempt (see
+/// [`Engine::attempt`]).
+struct AttemptOutput {
+    module_text: String,
+    transforms_executed: usize,
+    rolled_back: usize,
+    undo_entries: usize,
 }
 
 fn parse(ctx: &mut Context, source: &str, what: &'static str) -> Result<td_ir::OpId, JobError> {

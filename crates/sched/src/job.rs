@@ -1,5 +1,7 @@
 //! Jobs and their outcomes: the unit of work the engine schedules.
 
+use td_transform::TxnMode;
+
 /// One unit of work: apply a transform script to a payload module.
 ///
 /// Both sides are carried as *source text*, not as in-context ids — each
@@ -32,6 +34,12 @@ pub struct Job {
     /// one id stitches every artifact of a submission together. Like
     /// [`Job::tag`], deliberately not part of the cache key.
     pub request: String,
+    /// Transactional-application override for this job; `None` uses the
+    /// engine's [`EngineConfig::txn`](crate::EngineConfig::txn). td-serve
+    /// sets this from the tenant's `txn_mode`. Not part of the cache key:
+    /// transactionality never changes a *successful* job's output, only
+    /// how failures are contained.
+    pub txn: Option<TxnMode>,
 }
 
 impl Job {
@@ -44,6 +52,7 @@ impl Job {
             tag: String::new(),
             fault_lane: None,
             request: String::new(),
+            txn: None,
         }
     }
 
@@ -71,6 +80,13 @@ impl Job {
         self.request = request.into();
         self
     }
+
+    /// Overrides the engine's transactional mode for this job
+    /// (builder-style); see [`Job::txn`].
+    pub fn with_txn(mut self, txn: TxnMode) -> Self {
+        self.txn = Some(txn);
+        self
+    }
 }
 
 /// Successful outcome of a job.
@@ -85,6 +101,14 @@ pub struct JobOutput {
     pub attempts: u32,
     /// Whether the result was served from the result cache.
     pub from_cache: bool,
+    /// Top-level steps rolled back to their checkpoint during the
+    /// *successful* attempt (silenceable failures inside suppressing
+    /// sequences). 0 for cache hits — rollbacks describe an execution,
+    /// not a result, so they are not cached.
+    pub rolled_back: usize,
+    /// Undo-log entries recorded inside the successful attempt's
+    /// transactional steps (0 under the clone backend or cache hits).
+    pub undo_entries: usize,
 }
 
 /// Why a job failed.

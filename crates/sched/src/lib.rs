@@ -76,3 +76,7 @@ pub use engine::{
 };
 pub use job::{Job, JobError, JobOutput, JobResult};
 pub use stats::{BatchStats, WorkerLane};
+// Re-exported so engine embedders (td-serve) can name the transactional
+// knobs without a direct td-transform / td-ir dependency edge.
+pub use td_ir::CheckpointBackend;
+pub use td_transform::TxnMode;

@@ -70,6 +70,16 @@ pub struct BatchStats {
     pub cache: CacheStats,
     /// Per-worker activity, indexed by worker.
     pub lanes: Vec<WorkerLane>,
+    /// Transactional rollbacks across the batch (the workers'
+    /// `interp.rolled_back` counters — includes rollbacks of attempts
+    /// that went on to fail, which per-job [`JobOutput`] stats cannot
+    /// see).
+    ///
+    /// [`JobOutput`]: crate::JobOutput
+    pub rollbacks: u64,
+    /// Undo-log entries recorded inside transactional steps across the
+    /// batch (the workers' `interp.txn.undo_entries` counters).
+    pub undo_entries: u64,
 }
 
 impl BatchStats {
@@ -85,6 +95,12 @@ impl BatchStats {
                 histogram.merge(worker_histogram);
             }
         }
+        self.rollbacks += worker_metrics
+            .counter_value("interp.rolled_back")
+            .unwrap_or(0);
+        self.undo_entries += worker_metrics
+            .counter_value("interp.txn.undo_entries")
+            .unwrap_or(0);
         self.lanes.push(lane);
     }
 
@@ -117,6 +133,15 @@ impl BatchStats {
             self.cache.hits,
             self.cache.hits + self.cache.misses,
         );
+        if self.rollbacks > 0 || self.undo_entries > 0 {
+            let _ = writeln!(
+                out,
+                "  txn: {} rollback(s), {} undo entr{}",
+                self.rollbacks,
+                self.undo_entries,
+                if self.undo_entries == 1 { "y" } else { "ies" },
+            );
+        }
         for (label, histogram) in [
             ("queue_wait", &self.queue_wait),
             ("run", &self.run),
@@ -165,6 +190,11 @@ impl BatchStats {
             self.cache.disk_hits,
             self.cache.hit_rate(),
             self.cache.disk_hit_rate(),
+        );
+        let _ = write!(
+            out,
+            "\"txn\":{{\"rollbacks\":{},\"undo_entries\":{}}},",
+            self.rollbacks, self.undo_entries,
         );
         let _ = write!(
             out,

@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use td_sched::{Engine, EngineConfig, Job, JobError};
+use td_sched::{Engine, EngineConfig, Job, JobError, TxnMode};
 use td_support::trace;
 use td_transform::{TransformError, TransformOpDef, TransformOpRegistry};
 
@@ -119,21 +119,38 @@ fn panic_is_isolated_to_its_job() {
     config.transforms_factory = transforms;
     let engine = Engine::new(config);
 
+    // Under the default TxnMode::Always the interpreter's transactional
+    // wrapper contains the panic at the step boundary: the job fails with
+    // a *definite transform error* (payload rolled back), not a raw
+    // panic, and neighbours are untouched. Opting the panicking job out
+    // of transactions (txn=never) restores the raw unwind, which the
+    // worker's catch_unwind boundary maps to JobError::Panicked.
     let jobs = vec![
         Job::new(annotate_script("seen"), payload(0)),
         Job::new(custom_op_script("test.panic"), payload(1)),
         Job::new(annotate_script("seen"), payload(2)),
+        Job::new(custom_op_script("test.panic"), payload(3)).with_txn(TxnMode::Never),
     ];
     let report = engine.run_batch(jobs);
-    assert_eq!(report.results.len(), 3);
+    assert_eq!(report.results.len(), 4);
     assert!(report.results[0].is_ok(), "job before the panic unaffected");
     match &report.results[1] {
+        Err(JobError::Transform {
+            message,
+            silenceable: false,
+        }) => {
+            assert!(message.contains("intentional test panic"), "{message}");
+            assert!(message.contains("rolled back"), "{message}");
+        }
+        other => panic!("expected a contained definite error, got {other:?}"),
+    }
+    assert!(report.results[2].is_ok(), "job after the panic unaffected");
+    match &report.results[3] {
         Err(JobError::Panicked { message }) => {
             assert!(message.contains("intentional test panic"))
         }
-        other => panic!("expected a panic error, got {other:?}"),
+        other => panic!("expected a panic error under txn=never, got {other:?}"),
     }
-    assert!(report.results[2].is_ok(), "job after the panic unaffected");
 }
 
 #[test]

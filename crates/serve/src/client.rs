@@ -158,11 +158,33 @@ impl<R: Read, W: Write> Client<R, W> {
         entry: &str,
         request_id: Option<&str>,
     ) -> Result<SubmitOutcome, ClientError> {
+        self.submit_with_options(tenant, script, payload, entry, request_id, None)
+    }
+
+    /// [`Client::submit_with_request`] plus an optional `txn_mode` field
+    /// (`auto` | `always` | `never`) overriding the tenant's configured
+    /// transactional mode for this one job.
+    ///
+    /// # Errors
+    /// As [`Client::submit`]; an invalid mode refuses with code
+    /// `bad_txn_mode`.
+    pub fn submit_with_options(
+        &mut self,
+        tenant: &str,
+        script: &str,
+        payload: &str,
+        entry: &str,
+        request_id: Option<&str>,
+        txn_mode: Option<&str>,
+    ) -> Result<SubmitOutcome, ClientError> {
         let mut request = Message::new(protocol::VERB_SUBMIT)
             .field("tenant", tenant)
             .field("entry", entry);
         if let Some(id) = request_id {
             request = request.field("request", id);
+        }
+        if let Some(mode) = txn_mode {
+            request = request.field("txn_mode", mode);
         }
         let request = request
             .blob("script", script.as_bytes().to_vec())

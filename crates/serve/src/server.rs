@@ -37,6 +37,7 @@ use std::io::{Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
+use td_sched::TxnMode;
 use td_support::metrics;
 
 /// How a connection's request loop ended.
@@ -109,13 +110,22 @@ fn handle_submit(service: &Service, request: &Message) -> Message {
     };
     let entry = request.get_field("entry").unwrap_or("main");
     let request_id = request.get_field("request");
+    // Optional per-request transactional override; an invalid value is a
+    // validation ERR (code bad_txn_mode), never a dropped connection.
+    let txn = match request.get_field("txn_mode") {
+        Some(text) => match TxnMode::parse(text) {
+            Ok(mode) => Some(mode),
+            Err(message) => return err_message(message).field("code", "bad_txn_mode"),
+        },
+        None => None,
+    };
     let (Some(script), Some(payload)) = (
         request.get_blob_text("script"),
         request.get_blob_text("payload"),
     ) else {
         return err_message("SUBMIT needs #script and #payload blobs");
     };
-    let admitted = service.submit_with_request(tenant, script, payload, entry, request_id);
+    let admitted = service.submit_with_options(tenant, script, payload, entry, request_id, txn);
     match admitted.map(|(id, _)| service.wait(id)) {
         Ok(done) => {
             let base = Message::new(protocol::VERB_RESULT)

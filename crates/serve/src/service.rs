@@ -50,7 +50,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use td_sched::{Engine, EngineConfig, Job, JobError, JobResult, ResultCache};
+use td_sched::{Engine, EngineConfig, Job, JobError, JobResult, ResultCache, TxnMode};
 use td_support::{flight, journal, metrics, mpmc, trace};
 
 /// Service configuration.
@@ -213,6 +213,11 @@ struct TenantRuntime {
     failed: AtomicU64,
     in_flight: AtomicU64,
     deadline_missed: AtomicU64,
+    /// Transactional rollbacks across the tenant's jobs (includes
+    /// rollbacks inside attempts that went on to fail).
+    rollbacks: AtomicU64,
+    /// Undo-log entries recorded inside the tenant's transactional steps.
+    undo_entries: AtomicU64,
 }
 
 impl TenantRuntime {
@@ -337,7 +342,9 @@ impl Service {
             // admission instead, across batches.
             let mut engine_config = EngineConfig::standard().with_workers(1);
             engine_config.cache_capacity = config.cache_capacity;
-            engine_config = engine_config.with_max_attempts(tenant.max_attempts);
+            engine_config = engine_config
+                .with_max_attempts(tenant.max_attempts)
+                .with_txn(tenant.txn_mode);
             if let Some(ms) = tenant.deadline_ms {
                 engine_config = engine_config.with_deadline(Duration::from_millis(ms));
             }
@@ -350,6 +357,8 @@ impl Service {
                 failed: AtomicU64::new(0),
                 in_flight: AtomicU64::new(0),
                 deadline_missed: AtomicU64::new(0),
+                rollbacks: AtomicU64::new(0),
+                undo_entries: AtomicU64::new(0),
             });
         }
         // Instance token: wall-clock nanos xor pid, truncated. Not a
@@ -453,6 +462,24 @@ impl Service {
         entry: &str,
         request: Option<&str>,
     ) -> Result<(u64, String), AdmitError> {
+        self.submit_with_options(tenant, script, payload, entry, request, None)
+    }
+
+    /// [`Service::submit_with_request`] plus a per-request transactional
+    /// override: `txn` replaces the tenant's configured
+    /// [`TenantConfig::txn_mode`] for this one job (`None` keeps it).
+    ///
+    /// # Errors
+    /// As [`Service::submit_with_request`].
+    pub fn submit_with_options(
+        &self,
+        tenant: &str,
+        script: impl Into<String>,
+        payload: impl Into<String>,
+        entry: &str,
+        request: Option<&str>,
+        txn: Option<TxnMode>,
+    ) -> Result<(u64, String), AdmitError> {
         let inner = &self.inner;
         if let Some(id) = request {
             if !valid_request_id(id) {
@@ -498,7 +525,8 @@ impl Service {
             .with_entry(entry)
             .with_tag(&runtime.config.name)
             .with_fault_lane(runtime.config.fault_lane)
-            .with_request(&request);
+            .with_request(&request)
+            .with_txn(txn.unwrap_or(runtime.config.txn_mode));
         {
             let mut pending = inner.pending.lock().unwrap_or_else(|e| e.into_inner());
             if pending.draining {
@@ -658,7 +686,8 @@ impl Service {
                 out,
                 "{{\"name\":{},\"weight\":{},\"submitted\":{},\"dispatched\":{},\
                  \"completed\":{},\"failed\":{},\"deadline_missed\":{},\"in_flight\":{},\
-                 \"fused\":{},\"lane\":{}",
+                 \"fused\":{},\"lane\":{},\"txn_mode\":{},\"rollbacks\":{},\
+                 \"undo_entries\":{}",
                 metrics::json_string(&tenant.config.name),
                 tenant.config.weight,
                 tenant.submitted.load(Ordering::Relaxed),
@@ -669,6 +698,9 @@ impl Service {
                 tenant.in_flight.load(Ordering::Relaxed),
                 tenant.fused(),
                 tenant.config.fault_lane,
+                metrics::json_string(tenant.config.txn_mode.name()),
+                tenant.rollbacks.load(Ordering::Relaxed),
+                tenant.undo_entries.load(Ordering::Relaxed),
             );
             if inner.observe {
                 let window = inner.series.window(i, 60);
@@ -786,6 +818,18 @@ impl Service {
             "Whether the tenant's failure budget has fused it off (0/1).",
             MetricType::Gauge,
             &gather(&|t| f64::from(u8::from(t.fused()))),
+        );
+        expo.family(
+            "td_txn_rollbacks_total",
+            "Transactional step rollbacks per tenant over the daemon lifetime.",
+            MetricType::Counter,
+            &gather(&|t| t.rollbacks.load(Ordering::Relaxed) as f64),
+        );
+        expo.family(
+            "td_txn_undo_entries",
+            "Undo-log entries recorded in transactional steps per tenant.",
+            MetricType::Counter,
+            &gather(&|t| t.undo_entries.load(Ordering::Relaxed) as f64),
         );
         if inner.observe {
             let windows: Vec<crate::timeseries::Bucket> = (0..inner.tenants.len())
@@ -1140,6 +1184,14 @@ impl Inner {
                 })
             });
             let wall = started.elapsed();
+            // Batch-level txn counters (not JobOutput's) so rollbacks
+            // inside attempts that went on to fail are counted too.
+            runtime
+                .rollbacks
+                .fetch_add(report.stats.rollbacks, Ordering::Relaxed);
+            runtime
+                .undo_entries
+                .fetch_add(report.stats.undo_entries, Ordering::Relaxed);
             let failed = match &result {
                 Ok(_) => false,
                 Err(JobError::Cancelled) => false,

@@ -14,6 +14,8 @@
 //!          | 'lane=' N         -- TD_FAULT chaos lane (default: hash of the name)
 //!          | 'slo_ms=' N       -- latency SLO threshold (default none)
 //!          | 'slo_target=' F   -- SLO target fraction in (0,1) (default 0.99)
+//!          | 'txn_mode=' M     -- transactional application: auto|always|never
+//!                                 (default always)
 //! ```
 //!
 //! Example: `alpha:weight=3,deadline_ms=500;beta:budget=4,lane=20`.
@@ -25,6 +27,7 @@
 //! isolation.
 
 use td_sched::cache::fnv1a;
+use td_sched::TxnMode;
 
 /// One tenant's policy knobs.
 #[derive(Clone, Debug, PartialEq)]
@@ -57,6 +60,11 @@ pub struct TenantConfig {
     /// completions under `slo_ms`". The remaining fraction is the error
     /// budget; burn rate is violations over that allowance.
     pub slo_target: f64,
+    /// Transactional application of the tenant's jobs
+    /// ([`TxnMode::Always`] by default: a failing step rolls the payload
+    /// back to the last committed step). Overridable per SUBMIT via the
+    /// request's own `txn_mode=` field.
+    pub txn_mode: TxnMode,
 }
 
 impl TenantConfig {
@@ -77,6 +85,7 @@ impl TenantConfig {
             fault_lane,
             slo_ms: None,
             slo_target: 0.99,
+            txn_mode: TxnMode::Always,
         }
     }
 
@@ -125,6 +134,12 @@ impl TenantConfig {
     /// Sets the SLO target fraction (builder-style; clamped to (0, 1)).
     pub fn with_slo_target(mut self, target: f64) -> Self {
         self.slo_target = target.clamp(0.001, 0.999_999);
+        self
+    }
+
+    /// Sets the transactional mode (builder-style).
+    pub fn with_txn_mode(mut self, txn_mode: TxnMode) -> Self {
+        self.txn_mode = txn_mode;
         self
     }
 }
@@ -184,6 +199,10 @@ pub fn parse_tenants(spec: &str) -> Result<Vec<TenantConfig>, String> {
                     }
                     tenant.slo_target = target;
                 }
+                "txn_mode" => {
+                    tenant.txn_mode = TxnMode::parse(value.trim())
+                        .map_err(|message| format!("{message} for tenant '{name}'"))?
+                }
                 other => {
                     return Err(format!("unknown parameter '{other}' for tenant '{name}'"));
                 }
@@ -233,6 +252,17 @@ mod tests {
         assert!(parse_tenants("alpha:slo_target=1.5").is_err());
         assert!(parse_tenants("alpha:slo_target=0").is_err());
         assert!(parse_tenants("alpha:slo_ms=x").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_txn_mode() {
+        let tenants = parse_tenants("alpha:txn_mode=never;beta:txn_mode=auto;gamma").unwrap();
+        assert_eq!(tenants[0].txn_mode, TxnMode::Never);
+        assert_eq!(tenants[1].txn_mode, TxnMode::Auto);
+        assert_eq!(tenants[2].txn_mode, TxnMode::Always, "default is always");
+        let err = parse_tenants("alpha:txn_mode=sometimes").unwrap_err();
+        assert!(err.contains("txn_mode"), "{err}");
+        assert!(err.contains("alpha"), "{err}");
     }
 
     #[test]

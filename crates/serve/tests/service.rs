@@ -361,6 +361,84 @@ fn request_ids_round_trip_from_submit_to_artifact() {
 }
 
 #[test]
+fn txn_mode_flows_from_tenant_config_to_stats_metrics_and_wire() {
+    // A schedule whose only step fails silenceably (nothing matches):
+    // under txn_mode=always the step rolls back, which the per-tenant
+    // rollback counters must surface in STATS and METRICS.
+    let failing_script = r#"module {
+  transform.named_sequence @main(%root: !transform.any_op) {
+    %none = "transform.match_op"(%root) {name = "nonexistent.op"}
+        : (!transform.any_op) -> !transform.any_op
+    "transform.annotate"(%none) {name = "seen"} : (!transform.any_op) -> ()
+  }
+}"#;
+    let service = Arc::new(
+        Service::start(ServiceConfig::new(vec![
+            TenantConfig::new("transacted"),
+            TenantConfig::new("raw").with_txn_mode(td_sched::TxnMode::Never),
+        ]))
+        .unwrap(),
+    );
+    let done = service
+        .submit_wait("transacted", failing_script, payload(1), "main")
+        .unwrap();
+    assert!(done.result.is_err(), "match of nothing must fail the job");
+
+    let stats = service.stats_json();
+    assert!(stats.contains("\"txn_mode\":\"always\""), "{stats}");
+    assert!(stats.contains("\"txn_mode\":\"never\""), "{stats}");
+    // The exact count depends on how often the observability plane
+    // replays the failing job (flight/bisect capture) — only "some
+    // rollbacks happened for the transacted tenant" is contractual.
+    let transacted = stats.find("\"transacted\"").expect("tenant in stats");
+    let rollbacks: u64 = stats[transacted..]
+        .split("\"rollbacks\":")
+        .nth(1)
+        .and_then(|rest| rest.split([',', '}']).next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no rollbacks counter: {stats}"));
+    assert!(rollbacks > 0, "{stats}");
+    let expo = service.metrics_exposition();
+    let line = expo
+        .lines()
+        .find(|l| l.starts_with("td_txn_rollbacks_total{tenant=\"transacted\"}"))
+        .unwrap_or_else(|| panic!("no rollback series: {expo}"));
+    assert!(!line.ends_with(" 0"), "{line}");
+    assert!(
+        expo.contains("td_txn_undo_entries{tenant=\"transacted\"}"),
+        "{expo}"
+    );
+
+    // Over the wire: a per-request override is accepted, an invalid one
+    // is an ERR with its own code — and never poisons the connection.
+    let (client_side, server_side) = UnixStream::pair().unwrap();
+    let server = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            let mut reader = server_side.try_clone().unwrap();
+            let mut writer = server_side;
+            td_serve::handle_connection(&service, &mut reader, &mut writer)
+        })
+    };
+    let mut client = Client::new(client_side.try_clone().unwrap(), client_side);
+    let ok = client
+        .submit_with_options("raw", &script(), &payload(2), "main", None, Some("always"))
+        .unwrap();
+    assert!(ok.output.expect("job succeeds").contains("seen"));
+    match client.submit_with_options("raw", &script(), &payload(3), "main", None, Some("banana")) {
+        Err(ClientError::Refused { code, reason }) => {
+            assert_eq!(code.as_deref(), Some("bad_txn_mode"));
+            assert!(reason.contains("txn_mode"), "{reason}");
+        }
+        other => panic!("expected bad_txn_mode, got {other:?}"),
+    }
+    client.ping().unwrap();
+    client.shutdown().unwrap();
+    assert_eq!(server.join().unwrap().unwrap(), ConnectionOutcome::Shutdown);
+    service.drain();
+}
+
+#[test]
 fn stats_and_metrics_stay_valid_under_concurrent_tenant_load() {
     use td_support::trace::validate_json;
 

@@ -212,6 +212,61 @@ impl<T> Arena<T> {
         }
     }
 
+    /// Re-occupies a freed slot with the exact index *and generation* it
+    /// had before [`Arena::erase`], making every outstanding copy of `idx`
+    /// live again. This is the primitive undo-log rollback is built on:
+    /// replaying an erase in reverse must resurrect the entity under its
+    /// original id, because other restored entities still refer to it.
+    ///
+    /// The slot is unlinked from the free list. Restores that replay
+    /// erases in reverse order find their slot at the head of the list
+    /// (erase pushes, restore pops), so the common case is O(1); an
+    /// interleaved alloc history degrades gracefully to a list walk.
+    ///
+    /// # Errors
+    /// Returns the value if the slot is currently occupied or was never
+    /// allocated — a sign the caller's replay is out of order.
+    pub fn restore(&mut self, idx: Idx<T>, value: T) -> Result<(), T> {
+        let index = idx.index as usize;
+        if !matches!(self.slots.get(index), Some(Slot::Free { .. })) {
+            return Err(value);
+        }
+        // Unlink `index` from the singly-linked free list.
+        let mut cursor = self.free_head;
+        let mut prev: Option<u32> = None;
+        while let Some(at) = cursor {
+            if at == idx.index {
+                break;
+            }
+            prev = Some(at);
+            cursor = match &self.slots[at as usize] {
+                Slot::Free { next_free, .. } => *next_free,
+                Slot::Occupied { .. } => None,
+            };
+        }
+        if cursor != Some(idx.index) {
+            return Err(value); // not on the free list: corrupt replay
+        }
+        let next = match &self.slots[index] {
+            Slot::Free { next_free, .. } => *next_free,
+            Slot::Occupied { .. } => unreachable!("checked free above"),
+        };
+        match prev {
+            None => self.free_head = next,
+            Some(p) => {
+                if let Slot::Free { next_free, .. } = &mut self.slots[p as usize] {
+                    *next_free = next;
+                }
+            }
+        }
+        self.slots[index] = Slot::Occupied {
+            generation: idx.generation,
+            value,
+        };
+        self.len += 1;
+        Ok(())
+    }
+
     /// Iterates over all live `(index, value)` pairs in slot order.
     pub fn iter(&self) -> impl Iterator<Item = (Idx<T>, &T)> {
         self.slots
@@ -317,5 +372,84 @@ mod tests {
     #[test]
     fn phantom_tag_is_zero_cost() {
         assert_eq!(std::mem::size_of::<Idx<String>>(), 8);
+    }
+
+    #[test]
+    fn restore_resurrects_the_original_id() {
+        let mut arena = Arena::new();
+        let a = arena.alloc("a");
+        let b = arena.alloc("b");
+        arena.erase(a);
+        assert!(arena.get(a).is_none());
+        arena.restore(a, "a again").expect("slot is free");
+        assert_eq!(arena[a], "a again", "the *original* id resolves again");
+        assert_eq!(arena[b], "b");
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn restore_rejects_occupied_or_unallocated_slots() {
+        let mut arena = Arena::new();
+        let a = arena.alloc(1);
+        assert_eq!(arena.restore(a, 2), Err(2), "occupied slot");
+        let ghost = Idx::from_raw(99, 0);
+        assert_eq!(arena.restore(ghost, 3), Err(3), "never-allocated slot");
+    }
+
+    #[test]
+    fn restore_in_reverse_erase_order_repairs_the_free_list() {
+        let mut arena = Arena::new();
+        let ids: Vec<_> = (0..4).map(|i| arena.alloc(i)).collect();
+        for &id in &ids {
+            arena.erase(id);
+        }
+        // Reverse replay: last erased restored first (the O(1) path).
+        for &id in ids.iter().rev() {
+            arena.restore(id, arena_value(id)).unwrap();
+        }
+        for &id in &ids {
+            assert_eq!(arena[id], arena_value(id));
+        }
+        // The free list is empty again: fresh allocs get fresh slots.
+        let fresh = arena.alloc(100);
+        assert_eq!(fresh.index(), 4);
+    }
+
+    fn arena_value(id: Idx<i32>) -> i32 {
+        id.index() as i32
+    }
+
+    #[test]
+    fn restore_from_the_middle_of_the_free_list() {
+        let mut arena = Arena::new();
+        let a = arena.alloc("a");
+        let b = arena.alloc("b");
+        let c = arena.alloc("c");
+        arena.erase(a);
+        arena.erase(b);
+        arena.erase(c);
+        // Free list is c -> b -> a; restore the middle entry.
+        arena.restore(b, "b").unwrap();
+        assert_eq!(arena[b], "b");
+        // Remaining free slots are still allocatable, exactly twice.
+        let r1 = arena.alloc("x");
+        let r2 = arena.alloc("y");
+        assert_eq!(arena.len(), 3);
+        assert_ne!(r1.index(), b.index());
+        assert_ne!(r2.index(), b.index());
+        let r3 = arena.alloc("z");
+        assert_eq!(r3.index(), 3, "free list exhausted, new slot grown");
+    }
+
+    #[test]
+    fn restored_slot_erases_again_cleanly() {
+        let mut arena = Arena::new();
+        let a = arena.alloc(7);
+        arena.erase(a);
+        arena.restore(a, 7).unwrap();
+        assert_eq!(arena.erase(a), Some(7));
+        let again = arena.alloc(8);
+        assert_eq!(again.index(), a.index());
+        assert_ne!(again.generation(), a.generation());
     }
 }

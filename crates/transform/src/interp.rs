@@ -25,14 +25,41 @@ use td_support::{fault, flight, journal, metrics, profile, Diagnostic, Location}
 pub enum TxnMode {
     /// Transactional exactly when something needs it: a fault plan is
     /// armed ([`td_support::fault::active`]) or
-    /// [`InterpConfig::verify_after_each`] is on. The default: plain runs
-    /// keep the zero-clone fast path.
-    #[default]
+    /// [`InterpConfig::verify_after_each`] is on. Kept for callers that
+    /// explicitly opt out of always-on transactions.
     Auto,
-    /// Checkpoint every top-level step unconditionally.
+    /// Checkpoint every top-level step unconditionally. The default:
+    /// with the undo-log checkpoint backend a checkpoint is a watermark
+    /// push, so transactional application is nearly free and a mid-step
+    /// panic can never poison the payload.
+    #[default]
     Always,
     /// Never checkpoint (failures leave whatever the transform left).
     Never,
+}
+
+impl TxnMode {
+    /// Parses `auto` / `always` / `never` (the td-serve tenant-spec and
+    /// SUBMIT-field grammar).
+    pub fn parse(text: &str) -> Result<TxnMode, String> {
+        match text {
+            "auto" => Ok(TxnMode::Auto),
+            "always" => Ok(TxnMode::Always),
+            "never" => Ok(TxnMode::Never),
+            other => Err(format!(
+                "invalid txn_mode '{other}' (expected auto|always|never)"
+            )),
+        }
+    }
+
+    /// Stable lowercase name (`auto` / `always` / `never`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TxnMode::Auto => "auto",
+            TxnMode::Always => "always",
+            TxnMode::Never => "never",
+        }
+    }
 }
 
 /// Interpreter configuration.
@@ -60,7 +87,7 @@ impl Default for InterpConfig {
         InterpConfig {
             expensive_checks: true,
             check_conditions: false,
-            txn: TxnMode::Auto,
+            txn: TxnMode::Always,
             verify_after_each: env_verify_each(),
         }
     }
@@ -126,6 +153,9 @@ pub struct InterpStats {
     pub suppressed_errors: usize,
     /// Number of top-level steps rolled back to their pre-step checkpoint.
     pub rolled_back: usize,
+    /// Total undo-log entries recorded inside transactional steps
+    /// (committed or unwound); 0 under the clone backend.
+    pub undo_entries: usize,
 }
 
 impl InterpStats {
@@ -142,6 +172,7 @@ impl InterpStats {
             self.suppressed_errors as u64,
         );
         metrics::high_watermark("interp.stats.rolled_back", self.rolled_back as u64);
+        metrics::high_watermark("interp.stats.undo_entries", self.undo_entries as u64);
     }
 }
 
@@ -490,9 +521,12 @@ impl<'e> Interpreter<'e> {
     /// afterwards is the valid pre-step one.
     ///
     /// Handles are *not* rolled back: handles minted by the failed step
-    /// die with the propagating error, and handles from earlier steps may
-    /// dangle (rollback re-materializes payload ops under fresh ids),
-    /// which is safe precisely because the error terminates the apply.
+    /// die with the propagating error. Under the default undo-log backend
+    /// rollback resurrects erased payload ops under their *original* ids,
+    /// so handles from earlier steps stay valid; under the clone backend
+    /// rollback re-materializes payload ops under fresh ids and earlier
+    /// handles may dangle — safe either way because the error terminates
+    /// the apply.
     ///
     /// # Errors
     /// The step's own failure; a panicking handler becomes a definite
@@ -524,6 +558,8 @@ impl<'e> Interpreter<'e> {
                         return Err(TransformError::definite(location, why));
                     }
                 }
+                let entries = ctx.undo_entries_since(&checkpoint).unwrap_or(0);
+                self.stats.undo_entries += entries;
                 ctx.discard_checkpoint(checkpoint);
                 Ok(())
             }
@@ -571,13 +607,28 @@ impl<'e> Interpreter<'e> {
         why: &str,
     ) -> TransformResult {
         let fp_dirty = self.payload_fingerprint(ctx);
+        let backend = checkpoint.backend();
+        let undo_entries = ctx.undo_entries_since(&checkpoint).unwrap_or(0);
+        let undo_depth = ctx.undo_depth();
         let started = std::time::Instant::now();
         ctx.restore_module(root, checkpoint).map_err(|e| {
             TransformError::definite(location.clone(), format!("rollback failed: {e}"))
         })?;
         self.stats.rolled_back += 1;
+        self.stats.undo_entries += undo_entries;
         metrics::counter("interp.rolled_back", 1);
-        flight::record("rollback", &[("reason", why.to_owned())]);
+        metrics::counter("interp.txn.undo_entries", undo_entries as u64);
+        // Flight bundles show the rollback mechanism and how much was
+        // unwound, not just that a rollback happened.
+        flight::record(
+            "rollback",
+            &[
+                ("reason", why.to_owned()),
+                ("backend", backend.name().to_owned()),
+                ("undo_entries", undo_entries.to_string()),
+                ("undo_depth", undo_depth.to_string()),
+            ],
+        );
         let token = if journal::enabled() {
             journal::begin_step(
                 "txn",
@@ -594,7 +645,10 @@ impl<'e> Interpreter<'e> {
             token,
             started.elapsed().as_nanos(),
             journal::StepOutcome::RolledBack,
-            why,
+            &format!(
+                "{why} [backend={} undo_entries={undo_entries} undo_depth={undo_depth}]",
+                backend.name()
+            ),
         );
         if self.observing {
             trace::instant(
@@ -715,6 +769,17 @@ impl<'e> Interpreter<'e> {
             None
         };
 
+        // Nested transaction scope: when an undo-backed checkpoint is
+        // already open (the top-level transaction), every step — however
+        // deeply nested in sequences/alternatives — gets its own free
+        // watermark, so a failing step's partial mutations are unwound
+        // before the error reaches the enclosing construct. `None` (no
+        // active transaction, or the clone backend) preserves the old
+        // behavior: nested steps run untracked. A panicking handler
+        // abandons the watermark mid-unwind; the enclosing transaction's
+        // rollback adopts and unwinds it.
+        let step_txn = ctx.begin_step_watermark();
+
         // The trace span is the single clock: its measured duration also
         // feeds the per-transform metrics timer, so the two never disagree.
         let mut span = trace::span("transform", name.as_str().to_owned());
@@ -728,6 +793,10 @@ impl<'e> Interpreter<'e> {
         let duration = span.end();
         metrics::timer_ns(&format!("transform.{name}"), duration.as_nanos());
         if let Err(err) = result {
+            if let Some(watermark) = step_txn {
+                ctx.rollback_step_watermark(watermark);
+                metrics::counter("interp.step_rollbacks", 1);
+            }
             let outcome = if err.is_silenceable() {
                 journal::StepOutcome::FailedSilenceable
             } else {
@@ -779,6 +848,10 @@ impl<'e> Interpreter<'e> {
                     diag::emit_remark(Remark::analysis(name.as_str(), location.clone(), detail));
                 }
                 if let Err(diag) = check {
+                    if let Some(watermark) = step_txn {
+                        ctx.rollback_step_watermark(watermark);
+                        metrics::counter("interp.step_rollbacks", 1);
+                    }
                     self.close_journal_step(
                         ctx,
                         journal_step,
@@ -791,6 +864,9 @@ impl<'e> Interpreter<'e> {
             }
         }
 
+        if let Some(watermark) = step_txn {
+            ctx.commit_step_watermark(watermark);
+        }
         self.close_journal_step(
             ctx,
             journal_step,
